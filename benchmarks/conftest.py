@@ -1,0 +1,27 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one artifact of the paper's evaluation
+(figures, the mapping table, the walkthrough verdicts) and asserts the
+qualitative result the paper reports. Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.systems.crash import build_crash
+from repro.systems.pims import build_pims
+
+
+@pytest.fixture(scope="session")
+def pims():
+    """The PIMS case study (session-scoped; treat as read-only)."""
+    return build_pims()
+
+
+@pytest.fixture(scope="session")
+def crash():
+    """The CRASH case study (session-scoped; treat as read-only)."""
+    return build_crash()

@@ -1,0 +1,93 @@
+"""E9 / §4.2 — the "Entity Availability" walkthrough, executed.
+
+The paper describes the expected run-time outcome: "If the architecture
+provides a mechanism for detecting the availability of the entities, then
+the User Interface component of the Fire Department's Command and Control
+... will receive an error message alerting the unavailability of the
+Police Department's Command and Control. Otherwise, Fire Department's
+Command and Control will not receive any alert."
+
+This benchmark actually executes the scenario on the simulated
+architecture under both configurations, and also demonstrates the paper's
+§4.2 caveat: "static walkthroughs have limited effectiveness" — the static
+engine cannot distinguish the two variants, the dynamic engine can.
+"""
+
+from __future__ import annotations
+
+from repro.core.dynamic import DynamicEvaluator
+from repro.core.walkthrough import WalkthroughEngine
+from repro.sim.network import ChannelPolicy
+from repro.sim.runtime import RuntimeConfig
+from repro.systems.crash import (
+    ENTITY_AVAILABILITY,
+    build_crash,
+    build_crash_architecture,
+    build_crash_mapping,
+    display,
+)
+
+
+def run_availability():
+    crash = build_crash()
+    scenario = crash.scenarios.get(ENTITY_AVAILABILITY)
+
+    def dynamic_verdict(detection: bool):
+        evaluator = DynamicEvaluator(
+            crash.architecture,
+            crash.bindings,
+            config=RuntimeConfig(
+                policy=ChannelPolicy(latency=1.0, failure_detection=detection)
+            ),
+        )
+        return evaluator.evaluate(scenario, crash.scenarios)
+
+    with_detection = dynamic_verdict(True)
+    without_detection = dynamic_verdict(False)
+
+    static_with = WalkthroughEngine(
+        crash.architecture, crash.mapping, crash.options
+    ).walk_scenario(scenario, crash.scenarios)
+    plain_architecture = build_crash_architecture(failure_detection=False)
+    static_without = WalkthroughEngine(
+        plain_architecture,
+        build_crash_mapping(crash.ontology, plain_architecture),
+        crash.options,
+    ).walk_scenario(scenario, crash.scenarios)
+
+    return crash, with_detection, without_detection, static_with, static_without
+
+
+def test_bench_availability_walkthrough(benchmark):
+    crash, with_detection, without_detection, static_with, static_without = (
+        benchmark(run_availability)
+    )
+
+    # Dynamic execution distinguishes the variants (the paper's claim).
+    assert with_detection.passed
+    assert not without_detection.passed
+
+    # With detection, the alert reaches the Fire Department's display.
+    assert with_detection.trace.was_delivered(
+        "availability-alert", display("Fire Department")
+    )
+    # Without it, no failure signal exists anywhere.
+    assert not without_detection.trace.failure_notices_to(
+        "Fire Department Command and Control"
+    )
+
+    # Static walkthroughs cannot tell the two apart.
+    assert static_with.passed
+    assert static_without.passed
+
+    print()
+    print("=== E9 / §4.2: Entity Availability walkthrough ===")
+    print(f"{'configuration':28} {'static':8} {'dynamic':8}")
+    print(f"{'with failure detection':28} {'pass':8} "
+          f"{'pass' if with_detection.passed else 'FAIL':8}")
+    print(f"{'without failure detection':28} {'pass':8} "
+          f"{'pass' if without_detection.passed else 'FAIL':8}")
+    print()
+    print("dynamic findings without detection:")
+    for finding in without_detection.findings:
+        print(f"  ! {finding}")

@@ -1,0 +1,70 @@
+"""E12 / §3.5 — requirement-imposed communication constraints.
+
+The paper's example: "a requirement for a distributed system could be
+'Clients need to communicate through a central server.' This constraint
+can be violated if the architecture allows two clients to communicate
+directly, bypassing the central server." Here the constraint is stated
+over CRASH — organizations must communicate through the
+inter-organization network — and checked against a compliant architecture
+and a variant with a covert direct link.
+"""
+
+from __future__ import annotations
+
+from repro.core.constraints import (
+    ForbidsDirectLink,
+    MustRouteVia,
+    check_constraints,
+)
+from repro.systems.crash import (
+    FIRE_CC,
+    INTER_ORG_NETWORK,
+    POLICE_CC,
+    build_crash_architecture,
+)
+
+
+def run_constraints():
+    constraints = [
+        MustRouteVia(
+            FIRE_CC,
+            POLICE_CC,
+            INTER_ORG_NETWORK,
+            description="Organizations communicate through the "
+            "inter-organization network",
+        ),
+        ForbidsDirectLink(FIRE_CC, POLICE_CC),
+    ]
+    compliant = build_crash_architecture()
+    compliant_findings = check_constraints(compliant, constraints)
+
+    bypassed = build_crash_architecture()
+    bypassed.name = "crash-with-backdoor"
+    bypassed.link((FIRE_CC, "backdoor"), (POLICE_CC, "backdoor"))
+    bypassed_findings = check_constraints(bypassed, constraints)
+
+    return constraints, compliant_findings, bypassed_findings
+
+
+def test_bench_constraints(benchmark):
+    constraints, compliant_findings, bypassed_findings = benchmark(
+        run_constraints
+    )
+
+    # The shipped architecture satisfies both constraints.
+    assert compliant_findings == []
+
+    # The backdoor variant violates both: a path avoiding the network and
+    # a direct component-to-component link.
+    assert len(bypassed_findings) == 2
+    messages = " | ".join(finding.message for finding in bypassed_findings)
+    assert "without passing through" in messages
+    assert "direct link" in messages
+
+    print()
+    print("=== E12 / §3.5: communication constraints ===")
+    print(f"constraints checked: {len(constraints)}")
+    print(f"compliant architecture: {len(compliant_findings)} violations")
+    print(f"backdoor architecture:  {len(bypassed_findings)} violations")
+    for finding in bypassed_findings:
+        print(f"  ! {finding}")

@@ -1,0 +1,64 @@
+"""E1 / Fig. 2 — PIMS ontology event types and the two focus scenarios.
+
+The paper's Fig. 2 shows PIMS event types (actions of the actors "User"
+and "System", generalized and parameterized) and the "Create portfolio"
+and "Get the current prices of shares" scenarios written as typed events
+over them. This benchmark regenerates the ontology, both scenarios, and
+their ScenarioML XML serialization, and checks the figure's content.
+"""
+
+from __future__ import annotations
+
+from repro.scenarioml.xml_io import parse_scenarioml, to_scenarioml_xml
+from repro.systems.pims import (
+    CREATE_PORTFOLIO,
+    GET_SHARE_PRICES,
+    build_pims_ontology,
+    build_pims_scenarios,
+)
+
+
+def build_fig2():
+    ontology = build_pims_ontology()
+    scenarios = build_pims_scenarios(ontology)
+    document = to_scenarioml_xml(scenarios)
+    return ontology, scenarios, document
+
+
+def test_bench_fig2_pims_scenarios(benchmark):
+    ontology, scenarios, document = benchmark(build_fig2)
+
+    # Fig. 2: event types with actors "User" and "System".
+    user_actions = [e.name for e in ontology.event_types if e.actor == "User"]
+    system_actions = [
+        e.name for e in ontology.event_types if e.actor == "System"
+    ]
+    assert "initiateFunction" in user_actions
+    assert "enterInformation" in user_actions
+    assert "downloadSharePrices" in system_actions
+
+    # The "Create portfolio" main scenario has the paper's four steps.
+    create = scenarios.get(CREATE_PORTFOLIO)
+    rendered = create.render(ontology)
+    assert "The user initiates the create portfolio functionality" in rendered
+    assert "The user enters the portfolio name" in rendered
+
+    # The "Get the current prices of shares" main scenario, likewise.
+    prices = scenarios.get(GET_SHARE_PRICES)
+    steps = [event.render(ontology) for event in prices.events]
+    assert steps[1].startswith("The system downloads the current share prices")
+    assert steps[3] == "The system saves the current share prices"
+
+    # The ScenarioML document parses back losslessly.
+    parsed = parse_scenarioml(document)
+    assert parsed.get(CREATE_PORTFOLIO).events == create.events
+
+    print()
+    print("=== E1 / Fig. 2: PIMS ScenarioML scenarios ===")
+    print(create.render(ontology))
+    print(prices.render(ontology))
+    print(
+        f"ontology: {len(ontology.event_types)} event types, "
+        f"{len(scenarios)} scenarios, "
+        f"{len(document)} bytes of ScenarioML XML"
+    )

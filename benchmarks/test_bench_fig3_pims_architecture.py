@@ -1,0 +1,67 @@
+"""E2 / Fig. 3 — the PIMS layered architecture described in xADL.
+
+Fig. 3 shows the PIMS structure: the Master Controller presentation layer
+over the business-logic modules, the data-access layer separating business
+logic from the data repository, and the remote share price database. The
+benchmark regenerates the architecture, emits its xADL document, parses it
+back, and verifies layering conformance.
+"""
+
+from __future__ import annotations
+
+from repro.adl.diff import diff_architectures
+from repro.adl.styles import check_style
+from repro.adl.xadl import parse_xadl, to_xadl_xml
+from repro.systems.pims import (
+    DATA_ACCESS,
+    DATA_REPOSITORY,
+    LOADER,
+    MASTER_CONTROLLER,
+    REMOTE_SHARE_DB,
+    build_pims_architecture,
+)
+
+
+def build_fig3():
+    architecture = build_pims_architecture()
+    document = to_xadl_xml(architecture)
+    parsed = parse_xadl(document)
+    return architecture, document, parsed
+
+
+def test_bench_fig3_pims_architecture(benchmark):
+    architecture, document, parsed = benchmark(build_fig3)
+
+    # Layered style with the paper's four-layer arrangement.
+    assert architecture.style == "layered"
+    assert check_style(architecture) == []
+    assert architecture.component(MASTER_CONTROLLER).layer == 4
+    assert architecture.component(LOADER).layer == 3
+    assert architecture.component(DATA_ACCESS).layer == 2
+    assert architecture.component(DATA_REPOSITORY).layer == 1
+
+    # "Data retrieval and modification is done via this data access layer":
+    # the repository's only neighbors lead to Data Access.
+    repository_neighbors = architecture.neighbors(DATA_REPOSITORY)
+    assert repository_neighbors == ("repository-link",)
+
+    # The Loader reaches the remote share price database over the Internet.
+    assert architecture.links_between(LOADER, "internet")
+    assert architecture.links_between("internet", REMOTE_SHARE_DB)
+
+    # xADL round trip is lossless.
+    assert diff_architectures(architecture, parsed).is_empty
+
+    print()
+    print("=== E2 / Fig. 3: PIMS architecture (xADL) ===")
+    for component in architecture.components:
+        print(
+            f"  layer {component.layer}: {component.name} — "
+            f"{'; '.join(component.responsibilities)}"
+        )
+    print(
+        f"{len(architecture.components)} components, "
+        f"{len(architecture.connectors)} connectors, "
+        f"{len(architecture.links)} links, "
+        f"{len(document)} bytes of xADL"
+    )

@@ -1,0 +1,73 @@
+"""E4 / Fig. 4 + §4.1 — the PIMS walkthroughs, intact and fault-seeded.
+
+The paper's headline experiment: the intact PIMS architecture "is
+consistent with all the scenarios describing the system functional
+requirements"; after excising the link between "Data Access" and "Loader",
+"the walkthrough of the 'Create portfolio' scenario would succeed while
+the 'Get the current prices of shares' scenario would fail" — failing at
+the fourth event, because "the current prices of shares cannot be sent to
+the 'Data Repository' to be saved."
+"""
+
+from __future__ import annotations
+
+from repro.core.walkthrough import WalkthroughEngine
+from repro.systems.pims import (
+    CREATE_PORTFOLIO,
+    DATA_ACCESS,
+    GET_SHARE_PRICES,
+    LOADER,
+    build_pims,
+)
+
+
+def run_fig4():
+    pims = build_pims()
+    intact_engine = WalkthroughEngine(
+        pims.architecture, pims.mapping, pims.options
+    )
+    intact = {
+        verdict.scenario: verdict
+        for verdict in intact_engine.walk_all(pims.scenarios)
+    }
+    excised_engine = WalkthroughEngine(
+        pims.excised_architecture(), pims.mapping, pims.options
+    )
+    excised = {
+        verdict.scenario: verdict
+        for verdict in excised_engine.walk_all(pims.scenarios)
+    }
+    return pims, intact, excised
+
+
+def test_bench_fig4_walkthrough(benchmark):
+    pims, intact, excised = benchmark(run_fig4)
+
+    # Intact: every scenario passes (the architecture came from a book).
+    assert all(verdict.passed for verdict in intact.values())
+
+    # Excised: create-portfolio passes, get-share-prices fails, nothing
+    # else is affected.
+    assert excised[CREATE_PORTFOLIO].passed
+    assert not excised[GET_SHARE_PRICES].passed
+    failed = sorted(
+        name for name, verdict in excised.items() if not verdict.passed
+    )
+    assert failed == [GET_SHARE_PRICES]
+
+    # The failure is the paper's: step 4, Loader cannot reach Data Access.
+    (finding,) = excised[GET_SHARE_PRICES].all_inconsistencies()
+    assert finding.event_label == "4"
+    assert LOADER in finding.elements
+    assert DATA_ACCESS in finding.elements
+
+    print()
+    print("=== E4 / Fig. 4: walkthrough verdicts ===")
+    print(f"{'scenario':32} {'intact':8} {'excised':8}")
+    for name in intact:
+        intact_mark = "pass" if intact[name].passed else "FAIL"
+        excised_mark = "pass" if excised[name].passed else "FAIL"
+        print(f"{name:32} {intact_mark:8} {excised_mark:8}")
+    print()
+    print("failed walkthrough detail (paper Fig. 4):")
+    print(excised[GET_SHARE_PRICES].render())

@@ -1,0 +1,86 @@
+"""E5 / Fig. 5 — the CRASH high-level multi-peer architecture.
+
+Fig. 5 illustrates CRASH "with two peers": each organization has Display,
+Information Gathering Sources, and Command and Control subsystems joined
+by an internal ad hoc network, with Command and Control centers connected
+to each other through the inter-organization network. The full system has
+seven decision-making organizations.
+"""
+
+from __future__ import annotations
+
+from repro.adl.graph import can_communicate, is_fully_connected
+from repro.adl.xadl import parse_xadl, to_xadl_xml
+from repro.adl.diff import diff_architectures
+from repro.systems.crash import (
+    FIRE_CC,
+    INTER_ORG_NETWORK,
+    ORGANIZATIONS,
+    POLICE_CC,
+    build_crash_architecture,
+    command_and_control,
+    display,
+    info_gathering,
+    internal_network,
+)
+
+
+def build_fig5():
+    architecture = build_crash_architecture(failure_detection=True)
+    document = to_xadl_xml(architecture)
+    parsed = parse_xadl(document)
+    return architecture, document, parsed
+
+
+def test_bench_fig5_crash_highlevel(benchmark):
+    architecture, document, parsed = benchmark(build_fig5)
+
+    # Seven organizations, each with the three subsystem classes.
+    assert len(ORGANIZATIONS) == 7
+    for organization in ORGANIZATIONS:
+        assert architecture.is_component(command_and_control(organization))
+        assert architecture.is_component(display(organization))
+        assert architecture.is_component(info_gathering(organization))
+        # Internal subsystems join the internal ad hoc network...
+        assert architecture.links_between(
+            display(organization), internal_network(organization)
+        )
+        # ...and only the Command and Control joins the inter-org network.
+        assert architecture.links_between(
+            command_and_control(organization), INTER_ORG_NETWORK
+        )
+        assert not architecture.links_between(
+            display(organization), INTER_ORG_NETWORK
+        )
+
+    # Peers can communicate center-to-center across the network.
+    assert can_communicate(architecture, FIRE_CC, POLICE_CC)
+    # A Display cannot reach another organization except through its own
+    # Command and Control.
+    assert can_communicate(
+        architecture,
+        display("Fire Department"),
+        POLICE_CC,
+        via=[FIRE_CC],
+    )
+    assert not can_communicate(
+        architecture,
+        display("Fire Department"),
+        POLICE_CC,
+        avoiding=[FIRE_CC],
+    )
+
+    assert is_fully_connected(architecture)
+    assert diff_architectures(architecture, parsed).is_empty
+
+    print()
+    print("=== E5 / Fig. 5: CRASH high-level architecture ===")
+    print(
+        f"{len(ORGANIZATIONS)} organizations, "
+        f"{len(architecture.components)} components, "
+        f"{len(architecture.connectors)} connectors, "
+        f"{len(architecture.links)} links, "
+        f"{len(document)} bytes of xADL"
+    )
+    for organization in ORGANIZATIONS:
+        print(f"  peer: {organization}")

@@ -1,0 +1,60 @@
+"""E6 / Fig. 6 — the "Entity Availability" scenario in ScenarioML.
+
+Fig. 6 shows the availability scenario: the Police Department shuts down
+its Command and Control entity; the Fire Department's center sends it a
+request; the Network sends a failure message back; the Fire Department
+receives it. The scenario operationalizes the availability requirement.
+"""
+
+from __future__ import annotations
+
+from repro.scenarioml.scenario import QualityAttribute
+from repro.scenarioml.xml_io import parse_scenarioml, to_scenarioml_xml
+from repro.systems.crash import (
+    ENTITY_AVAILABILITY,
+    FIRE_CC,
+    POLICE_CC,
+    build_crash_ontology,
+    build_crash_scenarios,
+)
+
+
+def build_fig6():
+    ontology = build_crash_ontology()
+    scenarios = build_crash_scenarios(ontology)
+    document = to_scenarioml_xml(scenarios)
+    parsed = parse_scenarioml(document)
+    return ontology, scenarios, document, parsed
+
+
+def test_bench_fig6_availability_scenario(benchmark):
+    ontology, scenarios, document, parsed = benchmark(build_fig6)
+
+    scenario = scenarios.get(ENTITY_AVAILABILITY)
+    assert QualityAttribute.AVAILABILITY in scenario.quality_attributes
+
+    # The paper's four events, in order, with their arguments.
+    events = list(scenario.events)
+    assert [event.type_name for event in events] == [
+        "shutdownEntity",
+        "sendMessage",
+        "sendFailureMessage",
+        "receiveFailureMessage",
+    ]
+    assert events[0].arguments["entity"] == POLICE_CC
+    assert events[1].arguments["sender"] == FIRE_CC
+    assert events[1].arguments["receiver"] == POLICE_CC
+    assert events[3].arguments["receiver"] == FIRE_CC
+
+    # Scenario arguments are ontology individuals (unambiguous references).
+    assert ontology.has_instance(POLICE_CC)
+    assert ontology.is_subclass_of(
+        ontology.instance(POLICE_CC).type_name, "Entity"
+    )
+
+    # The ScenarioML document round-trips.
+    assert parsed.get(ENTITY_AVAILABILITY).events == scenario.events
+
+    print()
+    print("=== E6 / Fig. 6: Entity Availability scenario ===")
+    print(scenario.render(ontology))

@@ -1,0 +1,64 @@
+"""E7 / Fig. 7 — the C2 internal architecture of a Command and Control
+center.
+
+Fig. 7 shows the Police Department's Command and Control internals in the
+C2 style: "components and connectors that are organized into layers.
+Components in a layer are only aware of components in the layers above...
+Request messages travel up the architecture while notification messages
+move down."
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.adl.c2 import above_graph
+from repro.adl.styles import check_style
+from repro.systems.crash import (
+    COMMUNICATION_MANAGER,
+    SHARING_INFO_MANAGER,
+    SITUATION_MODEL,
+    USER_INTERFACE,
+    build_command_and_control_architecture,
+)
+
+
+def build_fig7():
+    architecture = build_command_and_control_architecture()
+    violations = check_style(architecture)
+    ordering = above_graph(architecture)
+    return architecture, violations, ordering
+
+
+def test_bench_fig7_crash_entity_arch(benchmark):
+    architecture, violations, ordering = benchmark(build_fig7)
+
+    # Declared and conformant C2.
+    assert architecture.style == "c2"
+    assert violations == []
+
+    # The Fig. 8 components exist inside the entity.
+    for name in (USER_INTERFACE, SHARING_INFO_MANAGER, COMMUNICATION_MANAGER):
+        assert architecture.is_component(name)
+
+    # Layering: the User Interface sits below the Sharing Info Manager,
+    # which sits below the Situation Model (strict above-ordering).
+    assert nx.has_path(ordering, USER_INTERFACE, SHARING_INFO_MANAGER)
+    assert nx.has_path(ordering, SHARING_INFO_MANAGER, SITUATION_MODEL)
+    assert nx.is_directed_acyclic_graph(ordering)
+
+    # Components only attach to connectors (no direct component links).
+    for link in architecture.links:
+        kinds = {
+            architecture.is_connector(link.first.element),
+            architecture.is_connector(link.second.element),
+        }
+        assert True in kinds
+
+    print()
+    print("=== E7 / Fig. 7: Command and Control internal C2 architecture ===")
+    order = list(nx.topological_sort(ordering))
+    for element in reversed(order):  # print top of the architecture first
+        kind = "connector" if architecture.is_connector(element) else "component"
+        print(f"  {kind:9} {element}")
+    print(f"C2 style violations: {len(violations)}")

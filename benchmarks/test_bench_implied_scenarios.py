@@ -1,0 +1,69 @@
+"""E19 (extension) — implied-scenario detection (paper §8).
+
+The paper plans "to derive implied scenarios from the combined stakeholder
+and architectural scenarios, using the approach of Uchitel et al., in
+order to identify possibly undesired implied scenarios." The detector
+stitches observed event hand-offs across scenarios and reports end-to-end
+chains no scenario specifies. On PIMS it finds genuinely suspicious
+behaviors — e.g. reaching ``deletePortfolio`` without the confirmation
+prompt, a chain the components' local views admit because the
+initiate/enter prefix is shared by many use cases.
+"""
+
+from __future__ import annotations
+
+from repro.core.implied import detect_implied_scenarios
+from repro.systems.pims import build_pims
+
+MAX_LENGTHS = (2, 3, 4, 5)
+
+
+def run_detection():
+    pims = build_pims()
+    reports = {
+        max_length: detect_implied_scenarios(
+            pims.scenarios, pims.mapping, max_length=max_length, limit=500
+        )
+        for max_length in MAX_LENGTHS
+    }
+    return pims, reports
+
+
+def test_bench_implied_scenarios(benchmark):
+    pims, reports = benchmark(run_detection)
+
+    # The candidate pool grows with the searched chain length.
+    counts = [len(reports[length].implied) for length in MAX_LENGTHS]
+    assert counts == sorted(counts)
+    assert counts[-1] > 0  # PIMS is not closed
+
+    # The flagship finding: deletion without confirmation.
+    chains = {
+        implied.event_types for implied in reports[4].implied
+    }
+    confirmation_bypass = (
+        "initiateFunction",
+        "enterInformation",
+        "deletePortfolio",
+    )
+    assert confirmation_bypass in chains
+
+    # Every implied chain names the scenarios it was stitched from.
+    for implied in reports[3].implied:
+        assert implied.witnesses
+
+    print()
+    print("=== E19: implied scenarios in the PIMS specification ===")
+    print(f"{'max chain length':>17} {'implied scenarios':>18}")
+    for max_length in MAX_LENGTHS:
+        report = reports[max_length]
+        suffix = " (truncated)" if report.truncated else ""
+        print(f"{max_length:>17} {len(report.implied):>18}{suffix}")
+    print()
+    print("sample findings (length <= 3):")
+    for implied in reports[3].implied[:5]:
+        print(f"  {implied.render()}")
+    print(
+        "each is a question for the stakeholders: should the system admit "
+        "this behavior?"
+    )

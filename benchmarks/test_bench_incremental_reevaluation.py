@@ -1,0 +1,82 @@
+"""E16 (ablation) — incremental vs full re-evaluation after evolution.
+
+The paper's maintenance argument (§5): traceability links localize what
+must be revisited when artifacts evolve. This benchmark quantifies the
+payoff: after the Fig. 4 excision, re-walking only the scenarios whose
+trace links reach reachability-changed components reproduces the full
+evaluation's verdicts while skipping most of the work.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.evaluator import Sosae
+from repro.core.incremental import reevaluate
+from repro.core.mapping import Mapping
+from repro.core.walkthrough import WalkthroughEngine
+from repro.systems.pims import GET_SHARE_PRICES, build_pims
+
+
+def run_incremental():
+    pims = build_pims()
+    previous = Sosae(
+        pims.scenarios,
+        pims.architecture,
+        pims.mapping,
+        walkthrough_options=pims.options,
+    ).evaluate()
+    evolved = pims.excised_architecture()
+
+    start = time.perf_counter()
+    incremental = reevaluate(
+        previous,
+        pims.scenarios,
+        pims.architecture,
+        evolved,
+        pims.mapping,
+        options=pims.options,
+    )
+    incremental_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    full_mapping = Mapping.from_dict(
+        pims.mapping.to_dict(), pims.ontology, evolved
+    )
+    engine = WalkthroughEngine(evolved, full_mapping, pims.options)
+    full = {v.scenario: v.passed for v in engine.walk_all(pims.scenarios)}
+    full_seconds = time.perf_counter() - start
+
+    return pims, incremental, incremental_seconds, full, full_seconds
+
+
+def test_bench_incremental_reevaluation(benchmark):
+    pims, incremental, incremental_seconds, full, full_seconds = benchmark(
+        run_incremental
+    )
+
+    # Same verdicts as the from-scratch evaluation.
+    by_name = {
+        verdict.scenario: verdict.passed
+        for verdict in incremental.report.scenario_verdicts
+    }
+    assert by_name == full
+    assert not incremental.report.consistent
+    assert GET_SHARE_PRICES in incremental.rewalked
+
+    # Only a small fraction of scenarios is re-walked.
+    assert incremental.savings >= 0.5
+    assert len(incremental.rewalked) < len(pims.scenarios) / 2
+
+    print()
+    print("=== E16: incremental vs full re-evaluation (PIMS excision) ===")
+    print(
+        f"re-walked {len(incremental.rewalked)}/{len(pims.scenarios)} "
+        f"scenarios ({incremental.savings:.0%} carried over): "
+        f"{', '.join(incremental.rewalked)}"
+    )
+    print(
+        f"incremental: {incremental_seconds * 1000:.1f} ms, "
+        f"full: {full_seconds * 1000:.1f} ms "
+        f"(walkthrough work only; diff+impact included in incremental)"
+    )

@@ -1,0 +1,77 @@
+"""E13 / §3.5 — negative-scenario security evaluation.
+
+"For security reasons a requirement for a distributed system could be
+'Users need to be authorized to access the network.' A scenario could
+describe a user with inadequate authentication information accessing the
+system. The successful execution of such a scenario implies the system is
+not secure."
+
+The CRASH negative scenario "Unauthorized entity accesses the network" is
+walked on the shipped (secure) architecture — where it is blocked — and on
+the insecure variant that links a rogue entity straight into the
+inter-organization network — where it succeeds and is flagged.
+"""
+
+from __future__ import annotations
+
+from repro.core.consistency import InconsistencyKind
+from repro.core.negative import evaluate_negative_scenario
+from repro.core.walkthrough import WalkthroughEngine
+from repro.systems.crash import (
+    UNAUTHORIZED_ACCESS,
+    build_crash,
+    build_crash_mapping,
+    insecure_crash_architecture,
+)
+
+
+def run_negative_security():
+    crash = build_crash()
+    scenario = crash.scenarios.get(UNAUTHORIZED_ACCESS)
+
+    secure_engine = WalkthroughEngine(
+        crash.architecture, crash.mapping, crash.options
+    )
+    secure_verdict = evaluate_negative_scenario(
+        secure_engine, scenario, crash.scenarios
+    )
+
+    insecure = insecure_crash_architecture()
+    insecure_engine = WalkthroughEngine(
+        insecure, build_crash_mapping(crash.ontology, insecure), crash.options
+    )
+    insecure_verdict = evaluate_negative_scenario(
+        insecure_engine, scenario, crash.scenarios
+    )
+    return scenario, secure_verdict, insecure_verdict
+
+
+def test_bench_negative_security(benchmark):
+    scenario, secure_verdict, insecure_verdict = benchmark(
+        run_negative_security
+    )
+
+    # Secure architecture: the undesirable behavior has no structural
+    # support, so the negative scenario passes (system is secure).
+    assert secure_verdict.passed
+
+    # Insecure variant: the scenario executes successfully, which is the
+    # inconsistency.
+    assert not insecure_verdict.passed
+    assert any(
+        finding.kind is InconsistencyKind.NEGATIVE_SCENARIO_SUCCEEDED
+        for finding in insecure_verdict.all_inconsistencies()
+    )
+
+    print()
+    print("=== E13 / §3.5: negative security scenario ===")
+    print(f"scenario: {scenario.title}")
+    print(
+        f"secure architecture:   "
+        f"{'blocked -> PASS' if secure_verdict.passed else 'admitted -> FAIL'}"
+    )
+    print(
+        f"insecure architecture: "
+        f"{'blocked -> PASS' if insecure_verdict.passed else 'admitted -> FAIL'}"
+    )
+    print(insecure_verdict.render())

@@ -1,0 +1,90 @@
+"""E11 / §1, §5 — the ontology's mapping-complexity reduction.
+
+"Without the ontology, each appearance of a scenario element is linked
+individually to all relevant architecture elements; with the ontology, the
+appearances are linked to its definition in the ontology, and only that
+definition is linked to the architecture elements. The more extensive the
+reuse of the ontology definitions in the scenarios, the greater is the
+reduction in complexity."
+
+This benchmark sweeps the reuse skew of synthetic systems and measures the
+number of requirement-to-architecture links with and without the ontology;
+it also reports the figures for the two case studies.
+"""
+
+from __future__ import annotations
+
+from repro.scenarioml.query import reuse_factor
+from repro.systems.crash import build_crash
+from repro.systems.generators import SyntheticSpec, build_synthetic
+from repro.systems.pims import build_pims
+
+REUSE_LEVELS = (0.0, 0.5, 1.0, 2.0, 3.0)
+
+
+def sweep_complexity():
+    rows = []
+    for reuse in REUSE_LEVELS:
+        spec = SyntheticSpec(
+            event_types=30,
+            components=12,
+            scenarios=40,
+            events_per_scenario=10,
+            reuse=reuse,
+            components_per_event_type=2,
+            seed=7,
+        )
+        system = build_synthetic(spec)
+        used = set()
+        for scenario in system.scenarios:
+            used.update(scenario.event_type_names())
+        mediated = sum(
+            len(system.mapping.components_for(name)) for name in used
+        )
+        direct = system.mapping.direct_link_count(system.scenarios)
+        rows.append(
+            {
+                "reuse_skew": reuse,
+                "reuse_factor": reuse_factor(system.scenarios.scenarios),
+                "mediated_links": mediated,
+                "direct_links": direct,
+                "reduction": direct / mediated if mediated else 1.0,
+            }
+        )
+    return rows
+
+
+def test_bench_ontology_complexity(benchmark):
+    rows = benchmark(sweep_complexity)
+
+    # The ontology never loses, and the reduction grows with reuse.
+    for row in rows:
+        assert row["mediated_links"] <= row["direct_links"]
+    reductions = [row["reduction"] for row in rows]
+    assert reductions[-1] > reductions[0]
+    # Reduction tracks the reuse factor (they are the same quantity up to
+    # fan-out weighting).
+    factors = [row["reuse_factor"] for row in rows]
+    assert factors == sorted(factors)
+
+    pims = build_pims()
+    crash = build_crash()
+    pims_reduction = pims.mapping.complexity_reduction(pims.scenarios)
+    crash_reduction = crash.mapping.complexity_reduction(crash.scenarios)
+    assert pims_reduction > 1.0
+    assert crash_reduction > 1.0
+
+    print()
+    print("=== E11: ontology-mediated vs direct mapping links ===")
+    print(
+        f"{'reuse skew':>10} {'reuse factor':>13} {'mediated':>9} "
+        f"{'direct':>7} {'reduction':>10}"
+    )
+    for row in rows:
+        print(
+            f"{row['reuse_skew']:>10.1f} {row['reuse_factor']:>13.2f} "
+            f"{row['mediated_links']:>9} {row['direct_links']:>7} "
+            f"{row['reduction']:>9.1f}x"
+        )
+    print(f"PIMS  case study reduction: {pims_reduction:.1f}x")
+    print(f"CRASH case study reduction: {crash_reduction:.1f}x")

@@ -1,0 +1,82 @@
+"""E21 (extension) — PIMS performance requirement under network latency.
+
+PIMS "contains only few non-functional requirements, which pertain to
+performance, security, and fault tolerance" (§4.1). The paper evaluates
+only functional scenarios on PIMS; this benchmark extends the dynamic
+engine to its performance requirement: the downloaded share prices must
+be displayed within a deadline of the user's request. A latency sweep
+shows where the architecture stops meeting the requirement — and the
+fault-seeded architecture fails the same scenario dynamically at the save
+step (the run-time counterpart of Fig. 4).
+"""
+
+from __future__ import annotations
+
+from repro.core.dynamic import DynamicEvaluator
+from repro.sim.network import ChannelPolicy
+from repro.sim.runtime import RuntimeConfig
+from repro.systems.pims import GET_SHARE_PRICES, build_pims
+
+LATENCIES = (0.5, 1.0, 2.0, 4.0, 8.0)
+DEADLINE = 30.0
+
+
+def run_sweep():
+    pims = build_pims()
+    scenario = pims.scenarios.get(GET_SHARE_PRICES)
+    series = []
+    for latency in LATENCIES:
+        evaluator = DynamicEvaluator(
+            pims.architecture,
+            pims.bindings,
+            config=RuntimeConfig(policy=ChannelPolicy(latency=latency)),
+        )
+        verdict = evaluator.evaluate(scenario, pims.scenarios)
+        series.append((latency, verdict))
+    excised_evaluator = DynamicEvaluator(
+        pims.excised_architecture(),
+        pims.bindings,
+        config=RuntimeConfig(policy=ChannelPolicy(latency=1.0)),
+    )
+    excised = excised_evaluator.evaluate(scenario, pims.scenarios)
+    return pims, series, excised
+
+
+def test_bench_pims_performance(benchmark):
+    pims, series, excised = benchmark(run_sweep)
+
+    # Fast networks meet the requirement; slow ones break it, and the
+    # transition is monotone: once broken, it stays broken.
+    passed_flags = [verdict.passed for _latency, verdict in series]
+    assert passed_flags[0] is True
+    assert passed_flags[-1] is False
+    assert passed_flags == sorted(passed_flags, reverse=True)
+
+    # The slow failures are performance findings, not functional ones.
+    slow_findings = [
+        finding
+        for _latency, verdict in series
+        if not verdict.passed
+        for finding in verdict.findings
+    ]
+    assert all(
+        "performance requirement" in finding.message
+        for finding in slow_findings
+    )
+
+    # Dynamic Fig. 4: the excised architecture fails at the save step.
+    assert not excised.passed
+    (finding,) = excised.findings
+    assert finding.event_label == "4"
+    assert "never persisted" in finding.message
+
+    print()
+    print("=== E21: PIMS share-price flow under network latency ===")
+    print(f"deadline: display within {DEADLINE:g} time units of the request")
+    print(f"{'per-hop latency':>16} {'verdict':>8}")
+    for latency, verdict in series:
+        print(f"{latency:>16.1f} {'pass' if verdict.passed else 'FAIL':>8}")
+    print(
+        "excised architecture at latency 1.0: FAIL (prices displayed but "
+        "never persisted — the run-time face of Fig. 4)"
+    )

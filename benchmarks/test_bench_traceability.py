@@ -1,0 +1,80 @@
+"""E14 / §5, §7 — traceability and impact localization.
+
+"By explicitly mapping event types in the ontology to components in the
+architectural description, requirements changes in the scenarios can be
+traced to the architecture and vice versa." The benchmark builds the trace
+matrix for PIMS, diffs the intact architecture against the fault-seeded
+variant, and shows the mapping localizes exactly the scenarios that need
+re-evaluation (and, in the other direction, the components a scenario
+change touches).
+"""
+
+from __future__ import annotations
+
+from repro.adl.diff import diff_architectures
+from repro.core.traceability import TraceabilityMatrix
+from repro.core.walkthrough import WalkthroughEngine
+from repro.systems.pims import (
+    GET_SHARE_PRICES,
+    LOADER,
+    build_pims,
+)
+
+
+def run_traceability():
+    pims = build_pims()
+    matrix = TraceabilityMatrix(pims.scenarios, pims.mapping)
+    variant = pims.excised_architecture()
+    diff = diff_architectures(pims.architecture, variant)
+    impacted = matrix.impacted_scenarios(diff)
+    components_of_prices = matrix.impacted_components(GET_SHARE_PRICES)
+    return pims, matrix, diff, impacted, components_of_prices
+
+
+def test_bench_traceability(benchmark):
+    pims, matrix, diff, impacted, components_of_prices = benchmark(
+        run_traceability
+    )
+
+    # The diff names exactly the excised link's endpoints.
+    assert diff.touched_elements() == {LOADER, "data-bus"}
+
+    # Forward impact: the scenarios tracing to the Loader — a strict
+    # subset of all scenarios, containing the one that will actually fail.
+    assert GET_SHARE_PRICES in impacted
+    assert len(impacted) < len(pims.scenarios)
+    assert "create-portfolio" not in impacted
+
+    # Sanity: re-walking the impacted set reproduces the E4 verdicts.
+    engine = WalkthroughEngine(
+        pims.excised_architecture(), pims.mapping, pims.options
+    )
+    failing = [
+        name
+        for name in impacted
+        if not engine.walk_scenario(
+            pims.scenarios.get(name), pims.scenarios
+        ).passed
+    ]
+    assert failing == [GET_SHARE_PRICES]
+
+    # Backward impact: a change to the share-price scenario touches the
+    # Loader but not Authentication.
+    assert LOADER in components_of_prices
+    assert "Authentication" not in components_of_prices
+
+    # No requirement is orphaned.
+    assert matrix.orphan_scenarios() == ()
+
+    print()
+    print("=== E14 / §5: traceability and impact analysis ===")
+    print(f"architecture change: {diff.summary()}")
+    print(
+        f"impacted scenarios ({len(impacted)}/{len(pims.scenarios)}): "
+        + ", ".join(impacted)
+    )
+    print(
+        f"components traced from {GET_SHARE_PRICES!r}: "
+        + ", ".join(components_of_prices)
+    )
+    print(f"trace links total: {len(matrix.links)}")

@@ -1,0 +1,90 @@
+"""E20 (ablation) — walkthrough option sensitivity on the Fig. 4 fault.
+
+DESIGN.md calls out the intra-event direction choice for ablation: within
+an event, the mapped components form a *data-flow chain* that must follow
+service-invocation directions; between events, replies flow back along
+request links, so the undirected view applies. This benchmark evaluates
+the excised PIMS architecture under four option sets and shows that only
+the shipped asymmetric configuration reproduces the paper's Fig. 4
+verdicts exactly:
+
+* fully undirected checks miss the fault (data can "route" up through the
+  presentation layer and back down, which the layered style forbids);
+* fully directed checks flag *intact* scenarios too (replies would be
+  impossible), drowning the real fault in false positives.
+"""
+
+from __future__ import annotations
+
+from repro.core.walkthrough import WalkthroughEngine, WalkthroughOptions
+from repro.systems.pims import GET_SHARE_PRICES, build_pims
+
+OPTION_SETS = {
+    "undirected (naive)": WalkthroughOptions(respect_directions=False),
+    "directed (strict)": WalkthroughOptions(respect_directions=True),
+    "directed intra only (shipped)": WalkthroughOptions(
+        respect_directions=False, intra_event_respect_directions=True
+    ),
+    "no intra-event chains": WalkthroughOptions(
+        respect_directions=False,
+        intra_event_respect_directions=True,
+        check_intra_event_chain=False,
+    ),
+}
+
+
+def run_ablation():
+    pims = build_pims()
+    results = {}
+    for label, options in OPTION_SETS.items():
+        intact_engine = WalkthroughEngine(
+            pims.architecture, pims.mapping, options
+        )
+        intact_failures = [
+            verdict.scenario
+            for verdict in intact_engine.walk_all(pims.scenarios)
+            if not verdict.passed
+        ]
+        excised_engine = WalkthroughEngine(
+            pims.excised_architecture(), pims.mapping, options
+        )
+        excised_failures = [
+            verdict.scenario
+            for verdict in excised_engine.walk_all(pims.scenarios)
+            if not verdict.passed
+        ]
+        results[label] = (intact_failures, excised_failures)
+    return pims, results
+
+
+def test_bench_walkthrough_options(benchmark):
+    pims, results = benchmark(run_ablation)
+
+    # Shipped configuration: clean on intact, exactly Fig. 4 on excised.
+    intact, excised = results["directed intra only (shipped)"]
+    assert intact == []
+    assert excised == [GET_SHARE_PRICES]
+
+    # Naive undirected checks miss the seeded fault entirely.
+    intact, excised = results["undirected (naive)"]
+    assert intact == []
+    assert excised == []
+
+    # Fully directed checks reject even the intact architecture.
+    intact, _excised = results["directed (strict)"]
+    assert intact != []
+
+    # Without intra-event chains the fault is invisible too.
+    _intact, excised = results["no intra-event chains"]
+    assert excised == []
+
+    print()
+    print("=== E20: walkthrough option ablation (PIMS, Fig. 4 fault) ===")
+    print(f"{'configuration':32} {'intact failures':>16} {'excised failures':>17}")
+    for label, (intact, excised) in results.items():
+        print(f"{label:32} {len(intact):>16} {len(excised):>17}")
+    print(
+        "only the shipped asymmetric configuration (directed data-flow "
+        "chains inside events, undirected focus moves between events) "
+        "reproduces the paper's verdicts"
+    )

@@ -1,0 +1,98 @@
+"""Evolution with traceability: localize what to re-evaluate.
+
+The paper argues (§5) that the ontology-mediated mapping yields
+traceability links that "assist developers in locating other artifacts
+that also need modifications" when requirements or architecture evolve.
+
+This script plays out one maintenance episode on PIMS:
+
+1. the architecture evolves (the Data Access <-> Loader link disappears);
+2. the structural diff names the touched elements;
+3. the traceability matrix maps them back to the affected scenarios;
+4. only those scenarios are re-walked — and the re-evaluation finds the
+   same failure a full evaluation would, at a fraction of the work.
+
+It then goes the other direction: a requirements change (a new scenario
+reusing existing event types) needs *zero* new mapping links.
+
+Run with::
+
+    python examples/evolution_traceability.py
+"""
+
+from __future__ import annotations
+
+from repro import Scenario, TypedEvent, WalkthroughEngine, diff_architectures
+from repro.core.mapping import Mapping
+from repro.core.traceability import TraceabilityMatrix
+from repro.systems.pims import build_pims
+
+
+def main() -> None:
+    pims = build_pims()
+    matrix = TraceabilityMatrix(pims.scenarios, pims.mapping)
+
+    print("Trace links (scenario x component):")
+    print(matrix.render())
+    print()
+
+    # --- architecture evolved ------------------------------------------
+    evolved = pims.excised_architecture()
+    diff = diff_architectures(pims.architecture, evolved)
+    print(f"architecture change: {diff.summary()}")
+    impacted = matrix.impacted_scenarios(diff)
+    print(
+        f"impacted scenarios ({len(impacted)} of {len(pims.scenarios)}): "
+        + ", ".join(impacted)
+    )
+
+    mapping = Mapping.from_dict(pims.mapping.to_dict(), pims.ontology, evolved)
+    engine = WalkthroughEngine(evolved, mapping, pims.options)
+    print("re-evaluating only the impacted scenarios:")
+    for name in impacted:
+        verdict = engine.walk_scenario(pims.scenarios.get(name), pims.scenarios)
+        print(f"  {'PASS' if verdict.passed else 'FAIL'} {name}")
+    print()
+
+    # --- requirements evolved ------------------------------------------
+    print("requirements change: a new scenario reusing existing event types")
+    new_scenario = Scenario(
+        name="re-download-prices",
+        title="Refresh share prices after a stale session",
+        events=(
+            TypedEvent(
+                type_name="initiateFunction",
+                arguments={"function": "refresh prices"},
+                label="1",
+            ),
+            TypedEvent(type_name="downloadSharePrices", label="2"),
+            TypedEvent(
+                type_name="saveData",
+                arguments={"data": "refreshed share prices"},
+                label="3",
+            ),
+        ),
+    )
+    pims.scenarios.add(new_scenario)
+    links_before = pims.mapping.link_count()
+    # No mapping work needed: the event types are already mapped.
+    assert pims.mapping.unmapped_event_types(pims.scenarios) == ()
+    print(
+        f"  mapping links before: {links_before}, after: "
+        f"{pims.mapping.link_count()} (unchanged — the ontology absorbed "
+        "the change)"
+    )
+    engine = WalkthroughEngine(pims.architecture, pims.mapping, pims.options)
+    verdict = engine.walk_scenario(new_scenario, pims.scenarios)
+    print(
+        f"  new scenario on the intact architecture: "
+        f"{'PASS' if verdict.passed else 'FAIL'}"
+    )
+    components = TraceabilityMatrix(
+        pims.scenarios, pims.mapping
+    ).impacted_components("re-download-prices")
+    print(f"  components it traces to: {', '.join(components)}")
+
+
+if __name__ == "__main__":
+    main()

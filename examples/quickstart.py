@@ -1,0 +1,166 @@
+"""Quickstart: evaluate a small architecture against two scenarios.
+
+Walks through all four steps of the approach on a toy order-processing
+system:
+
+1. define an ontology and requirements-level scenarios (ScenarioML);
+2. describe the architecture (components, connectors, links);
+3. map ontology event types to components;
+4. walk the scenarios through the architecture and read the report.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    Architecture,
+    Mapping,
+    Ontology,
+    Scenario,
+    ScenarioSet,
+    Sosae,
+    TypedEvent,
+    render_report,
+)
+
+
+def build_ontology() -> Ontology:
+    """Step 1a: domain concepts and generalized, parameterized actions."""
+    ontology = Ontology("shop-ontology")
+    ontology.define_term("order", "A customer's request for goods.")
+    ontology.define_instance_type("Actor")
+    ontology.define_instance("Customer", "Actor")
+    ontology.define_event_type(
+        "submitOrder",
+        "The customer submits an order for [item]",
+        actor="Customer",
+        parameters=["item"],
+    )
+    ontology.define_event_type(
+        "chargeCard",
+        "The system charges the customer's card",
+        actor="System",
+    )
+    ontology.define_event_type(
+        "persistOrder",
+        "The system stores the order",
+        actor="System",
+    )
+    ontology.define_event_type(
+        "confirmOrder",
+        "The system shows the order confirmation",
+        actor="System",
+    )
+    ontology.validate()
+    return ontology
+
+
+def build_scenarios(ontology: Ontology) -> ScenarioSet:
+    """Step 1b: scenarios written by instantiating the event types."""
+    scenarios = ScenarioSet(ontology, name="shop")
+    scenarios.add(
+        Scenario(
+            name="place-order",
+            title="Place an order",
+            events=(
+                TypedEvent(
+                    type_name="submitOrder",
+                    arguments={"item": "a book"},
+                    label="1",
+                ),
+                TypedEvent(type_name="chargeCard", label="2"),
+                TypedEvent(type_name="persistOrder", label="3"),
+                TypedEvent(type_name="confirmOrder", label="4"),
+            ),
+        )
+    )
+    scenarios.add(
+        Scenario(
+            name="browse-and-order",
+            title="Browse, then order",
+            events=(
+                TypedEvent(
+                    type_name="submitOrder",
+                    arguments={"item": "a lamp"},
+                    label="1",
+                ),
+                TypedEvent(type_name="persistOrder", label="2"),
+                TypedEvent(type_name="confirmOrder", label="3"),
+            ),
+        )
+    )
+    return scenarios
+
+
+def build_architecture() -> Architecture:
+    """Step 2: a three-tier structure with explicit links."""
+    architecture = Architecture("shop-arch")
+    architecture.add_component(
+        "web-ui", responsibilities=("Interact with the customer",)
+    )
+    architecture.add_component(
+        "order-service",
+        responsibilities=("Validate and process orders",),
+    )
+    architecture.add_component(
+        "payment-gateway", responsibilities=("Charge cards",)
+    )
+    architecture.add_component(
+        "order-db", responsibilities=("Persist orders",)
+    )
+    architecture.add_connector("http")
+    architecture.add_connector("backend-bus")
+    architecture.link(("web-ui", "calls"), ("http", "in"))
+    architecture.link(("http", "out"), ("order-service", "api"))
+    architecture.link(("order-service", "calls"), ("backend-bus", "svc"))
+    architecture.link(("backend-bus", "pay"), ("payment-gateway", "api"))
+    architecture.link(("backend-bus", "db"), ("order-db", "api"))
+    architecture.validate()
+    return architecture
+
+
+def build_mapping(ontology: Ontology, architecture: Architecture) -> Mapping:
+    """Step 3: the many-to-many event-type -> component mapping."""
+    mapping = Mapping(ontology, architecture)
+    mapping.update(
+        {
+            "submitOrder": ["web-ui"],
+            "chargeCard": ["order-service", "payment-gateway"],
+            "persistOrder": ["order-service", "order-db"],
+            "confirmOrder": ["web-ui"],
+        }
+    )
+    return mapping
+
+
+def main() -> None:
+    ontology = build_ontology()
+    scenarios = build_scenarios(ontology)
+    architecture = build_architecture()
+    mapping = build_mapping(ontology, architecture)
+
+    print("The mapping table (paper Table 1 style):")
+    print(mapping.table(scenarios).render())
+    print()
+
+    # Step 4: evaluate.
+    report = Sosae(scenarios, architecture, mapping).evaluate()
+    print(render_report(report))
+
+    # Now seed a fault: cut the order service off from the database.
+    faulty = architecture.clone("shop-arch-faulty")
+    faulty.excise_links_between("backend-bus", "order-db")
+    faulty_mapping = Mapping.from_dict(
+        mapping.to_dict(), ontology, faulty
+    )
+    report = Sosae(scenarios, faulty, faulty_mapping).evaluate()
+    print(render_report(report))
+    assert not report.consistent
+    print("The excised link broke both order scenarios, as expected.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""``python -m repro`` runs the sosae CLI."""
+
+import sys
+
+from repro.cli import main
+
+sys.exit(main())

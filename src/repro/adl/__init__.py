@@ -1,0 +1,102 @@
+"""Architecture description: structure, behavior, styles, and I/O.
+
+This package reproduces the slice of xADL (Dashofy et al. 2001) plus the
+statechart behavioral extension (Naslavsky et al. 2004) that the paper's
+approach consumes, and adds the Acme interchange format the paper names as
+future work. The approach itself is ADL-agnostic; it requires components
+with precisely defined responsibilities and services provided through
+interfaces, links constraining communication, and optional behavioral
+specifications.
+
+Public API::
+
+    from repro.adl import (
+        Architecture, Component, Connector, Interface, Direction, Link,
+        Statechart, State, Transition, Action, ActionKind,
+        LayeredStyle, C2Style, check_style,
+        parse_xadl, to_xadl_xml, parse_acme, to_acme,
+        can_communicate, communication_path, diff_architectures,
+    )
+"""
+
+from repro.adl.structure import (
+    Architecture,
+    Component,
+    Connector,
+    Direction,
+    Interface,
+    Link,
+)
+from repro.adl.behavior import (
+    Action,
+    ActionKind,
+    State,
+    Statechart,
+    StatechartInstance,
+    Transition,
+)
+from repro.adl.graph import (
+    articulation_components,
+    can_communicate,
+    communication_graph,
+    communication_path,
+    directed_communication_graph,
+    is_fully_connected,
+    reachable_elements,
+)
+from repro.adl.styles import Style, StyleViolation, check_style, register_style
+from repro.adl.layered import LayeredStyle
+from repro.adl.c2 import C2Style, MessageKind
+from repro.adl.xadl import parse_xadl, to_xadl_xml
+from repro.adl.acme import parse_acme, to_acme
+from repro.adl.diff import ArchitectureDiff, diff_architectures
+from repro.adl.dot import architecture_to_dot, mapping_to_dot
+from repro.adl.types import (
+    ComponentType,
+    ConformanceViolation,
+    ConnectorType,
+    Signature,
+    TypeRegistry,
+)
+
+__all__ = [
+    "Action",
+    "ActionKind",
+    "Architecture",
+    "ArchitectureDiff",
+    "C2Style",
+    "Component",
+    "ComponentType",
+    "ConformanceViolation",
+    "Connector",
+    "ConnectorType",
+    "Signature",
+    "TypeRegistry",
+    "Direction",
+    "Interface",
+    "LayeredStyle",
+    "Link",
+    "MessageKind",
+    "State",
+    "Statechart",
+    "StatechartInstance",
+    "Style",
+    "StyleViolation",
+    "Transition",
+    "architecture_to_dot",
+    "articulation_components",
+    "can_communicate",
+    "mapping_to_dot",
+    "check_style",
+    "communication_graph",
+    "communication_path",
+    "diff_architectures",
+    "directed_communication_graph",
+    "is_fully_connected",
+    "parse_acme",
+    "parse_xadl",
+    "reachable_elements",
+    "register_style",
+    "to_acme",
+    "to_xadl_xml",
+]

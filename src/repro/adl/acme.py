@@ -1,0 +1,327 @@
+"""Acme-lite: a textual interchange format for architecture structure.
+
+The paper's future work (§8) plans support for Acme, "a simple ADL that
+can be used as a common interchange format for architecture design tools."
+This module implements a faithful subset: systems with components
+(ports), connectors (roles), properties, and attachments::
+
+    System pims : layered = {
+      Component "master-controller" = {
+        Property layer = "4";
+        Property "responsibility.1" = "Interact with the user";
+        Port calls : out;
+      };
+      Connector "mc-bus" = {
+        Role r0 : inout;
+      };
+      Attachment "master-controller".calls to "mc-bus".r0;
+    };
+
+Acme-lite is structure-only: statechart behavior stays in xADL. Because
+the walkthrough engine consumes structure (mapping + links), an
+architecture imported from Acme is fully evaluable — which is exactly the
+ADL-independence claim the paper makes.
+
+Identifiers match ``[A-Za-z0-9_.-]+``; anything else is written as a
+quoted string. :func:`to_acme` and :func:`parse_acme` round-trip
+structure, descriptions, responsibilities, and properties.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterator, Optional
+
+from repro.adl.structure import Architecture, Direction
+from repro.errors import SerializationError
+
+_BARE_IDENTIFIER = re.compile(r"^[A-Za-z0-9_-]+$")
+_TOKEN = re.compile(
+    r"""
+    \s*(?:
+        (?P<string>"(?:[^"\\]|\\.)*")   # quoted string
+      | (?P<word>[A-Za-z0-9_.-]+)       # bare identifier / keyword
+      | (?P<punct>[{}=:;])              # punctuation
+    )
+    """,
+    re.VERBOSE,
+)
+
+_RESPONSIBILITY_PREFIX = "responsibility."
+_DESCRIPTION_KEY = "description"
+
+
+# ----------------------------------------------------------------------
+# Emission
+# ----------------------------------------------------------------------
+
+def to_acme(architecture: Architecture) -> str:
+    """Emit an architecture as Acme-lite text."""
+    lines: list[str] = []
+    style = f" : {_quote(architecture.style)}" if architecture.style else ""
+    lines.append(f"System {_quote(architecture.name)}{style} = {{")
+    if architecture.description:
+        lines.append(
+            f"  Property {_quote(_DESCRIPTION_KEY)} = "
+            f"{_string(architecture.description)};"
+        )
+    for component in architecture.components:
+        lines.append(f"  Component {_quote(component.name)} = {{")
+        if component.description:
+            lines.append(
+                f"    Property {_quote(_DESCRIPTION_KEY)} = "
+                f"{_string(component.description)};"
+            )
+        for key, value in component.properties.items():
+            lines.append(f"    Property {_quote(key)} = {_string(value)};")
+        for index, responsibility in enumerate(component.responsibilities, start=1):
+            lines.append(
+                f"    Property {_quote(f'{_RESPONSIBILITY_PREFIX}{index}')} = "
+                f"{_string(responsibility)};"
+            )
+        for interface in component.interfaces.values():
+            lines.append(
+                f"    Port {_quote(interface.name)} : {interface.direction.value};"
+            )
+        lines.append("  };")
+    for connector in architecture.connectors:
+        lines.append(f"  Connector {_quote(connector.name)} = {{")
+        if connector.description:
+            lines.append(
+                f"    Property {_quote(_DESCRIPTION_KEY)} = "
+                f"{_string(connector.description)};"
+            )
+        for key, value in connector.properties.items():
+            lines.append(f"    Property {_quote(key)} = {_string(value)};")
+        for interface in connector.interfaces.values():
+            lines.append(
+                f"    Role {_quote(interface.name)} : {interface.direction.value};"
+            )
+        lines.append("  };")
+    for link in architecture.links:
+        lines.append(
+            f"  Attachment {_quote(link.first.element)}.{_quote(link.first.interface)}"
+            f" to {_quote(link.second.element)}.{_quote(link.second.interface)};"
+            f"  // {link.name}"
+        )
+    lines.append("};")
+    return "\n".join(lines)
+
+
+def _quote(name: Optional[str]) -> str:
+    if name is None:
+        return '""'
+    if _BARE_IDENTIFIER.match(name):
+        return name
+    return _string(name)
+
+
+def _string(value: str) -> str:
+    escaped = value.replace("\\", "\\\\").replace('"', '\\"')
+    return f'"{escaped}"'
+
+
+# ----------------------------------------------------------------------
+# Parsing
+# ----------------------------------------------------------------------
+
+class _Tokens:
+    """A peekable token stream over Acme-lite text (comments stripped)."""
+
+    def __init__(self, text: str) -> None:
+        text = re.sub(r"//[^\n]*", "", text)
+        self._tokens: list[str] = []
+        position = 0
+        while position < len(text):
+            match = _TOKEN.match(text, position)
+            if match is None:
+                remainder = text[position:].strip()
+                if not remainder:
+                    break
+                raise SerializationError(
+                    f"unexpected Acme input at: {remainder[:40]!r}"
+                )
+            position = match.end()
+            token = match.group("string") or match.group("word") or match.group(
+                "punct"
+            )
+            if token is not None and token.strip():
+                self._tokens.append(token)
+        self._index = 0
+
+    def peek(self) -> Optional[str]:
+        if self._index < len(self._tokens):
+            return self._tokens[self._index]
+        return None
+
+    def next(self) -> str:
+        token = self.peek()
+        if token is None:
+            raise SerializationError("unexpected end of Acme input")
+        self._index += 1
+        return token
+
+    def expect(self, expected: str) -> str:
+        token = self.next()
+        if token != expected:
+            raise SerializationError(
+                f"expected {expected!r} in Acme input, found {token!r}"
+            )
+        return token
+
+    def name(self) -> str:
+        """Consume a bare identifier or quoted string as a name."""
+        token = self.next()
+        if token.startswith('"'):
+            return _unescape(token)
+        return token
+
+
+def _unescape(token: str) -> str:
+    body = token[1:-1]
+    return re.sub(r"\\(.)", r"\1", body)
+
+
+def parse_acme(text: str) -> Architecture:
+    """Parse Acme-lite text into an :class:`Architecture`."""
+    tokens = _Tokens(text)
+    tokens.expect("System")
+    name = tokens.name()
+    style = None
+    if tokens.peek() == ":":
+        tokens.next()
+        style = tokens.name()
+    tokens.expect("=")
+    tokens.expect("{")
+    architecture = Architecture(name=name, style=style)
+    pending_links: list[tuple[str, str, str, str]] = []
+    while tokens.peek() != "}":
+        keyword = tokens.next()
+        if keyword == "Component":
+            _parse_acme_element(tokens, architecture, is_component=True)
+        elif keyword == "Connector":
+            _parse_acme_element(tokens, architecture, is_component=False)
+        elif keyword == "Attachment":
+            pending_links.append(_parse_attachment(tokens))
+        elif keyword == "Property":
+            key, value = _parse_property(tokens)
+            if key == _DESCRIPTION_KEY:
+                architecture.description = value
+        else:
+            raise SerializationError(
+                f"unexpected keyword {keyword!r} in Acme system body"
+            )
+    tokens.expect("}")
+    if tokens.peek() == ";":
+        tokens.next()
+    for source_element, source_port, target_element, target_port in pending_links:
+        architecture.link(
+            (source_element, source_port), (target_element, target_port)
+        )
+    architecture.validate()
+    return architecture
+
+
+def _parse_acme_element(
+    tokens: _Tokens, architecture: Architecture, is_component: bool
+) -> None:
+    name = tokens.name()
+    tokens.expect("=")
+    tokens.expect("{")
+    description = ""
+    properties: dict[str, str] = {}
+    responsibilities: dict[int, str] = {}
+    interfaces: list[tuple[str, Direction]] = []
+    port_keyword = "Port" if is_component else "Role"
+    while tokens.peek() != "}":
+        keyword = tokens.next()
+        if keyword == "Property":
+            key, value = _parse_property(tokens)
+            if key == _DESCRIPTION_KEY:
+                description = value
+            elif key.startswith(_RESPONSIBILITY_PREFIX):
+                index = int(key[len(_RESPONSIBILITY_PREFIX):])
+                responsibilities[index] = value
+            else:
+                properties[key] = value
+        elif keyword == port_keyword:
+            port_name = tokens.name()
+            direction = Direction.INOUT
+            if tokens.peek() == ":":
+                tokens.next()
+                direction = _parse_acme_direction(tokens.name())
+            tokens.expect(";")
+            interfaces.append((port_name, direction))
+        else:
+            raise SerializationError(
+                f"unexpected keyword {keyword!r} inside "
+                f"{'Component' if is_component else 'Connector'} {name!r}"
+            )
+    tokens.expect("}")
+    if tokens.peek() == ";":
+        tokens.next()
+    if is_component:
+        element = architecture.add_component(
+            name=name,
+            description=description,
+            responsibilities=tuple(
+                responsibilities[index] for index in sorted(responsibilities)
+            ),
+        )
+    else:
+        element = architecture.add_connector(name=name, description=description)
+    element.properties.update(properties)
+    for port_name, direction in interfaces:
+        element.add_interface(port_name, direction)
+
+
+def _parse_property(tokens: _Tokens) -> tuple[str, str]:
+    key = tokens.name()
+    tokens.expect("=")
+    value = tokens.name()
+    tokens.expect(";")
+    return key, value
+
+
+def _parse_attachment(tokens: _Tokens) -> tuple[str, str, str, str]:
+    source_element, source_port = _parse_endpoint(tokens)
+    tokens.expect("to")
+    target_element, target_port = _parse_endpoint(tokens)
+    tokens.expect(";")
+    return source_element, source_port, target_element, target_port
+
+
+def _parse_endpoint(tokens: _Tokens) -> tuple[str, str]:
+    """An attachment endpoint is ``element.port``.
+
+    A quoted element name keeps its dot outside the quotes (``"a b".p``);
+    bare names fuse ``element.port`` into one token. The raw token must be
+    inspected before unquoting, because quoted names may themselves
+    contain dots.
+    """
+    token = tokens.next()
+    if token.startswith('"'):
+        element = _unescape(token)
+        follower = tokens.next()
+        if follower == ".":
+            return element, tokens.name()  # quoted port after a lone dot
+        if follower.startswith("."):
+            return element, follower[1:]
+        raise SerializationError(
+            f"malformed attachment endpoint near {element!r} {follower!r}"
+        )
+    element, _, port = token.rpartition(".")
+    if element and port:
+        return element, port
+    raise SerializationError(
+        f"malformed attachment endpoint {token!r} (expected element.port)"
+    )
+
+
+def _parse_acme_direction(value: str) -> Direction:
+    try:
+        return Direction(value)
+    except ValueError:
+        raise SerializationError(
+            f"unknown port/role direction {value!r}"
+        ) from None

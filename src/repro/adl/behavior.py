@@ -1,0 +1,364 @@
+"""Statechart behavioral descriptions for architecture elements.
+
+This module reproduces the xADL behavioral extension of Naslavsky et al.
+(2004): each component or connector may carry a statechart describing how
+it reacts to incoming messages. The dynamic evaluation engine
+(:mod:`repro.core.dynamic`) drives these statecharts inside the simulator.
+
+A :class:`Statechart` is a set of (optionally hierarchical) states and
+trigger-labelled transitions whose :class:`Action`\\ s describe the
+element's visible reactions — chiefly sending messages through named
+interfaces. :class:`StatechartInstance` is the run-time interpreter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Callable, Iterable, Mapping, Optional, Sequence
+
+from repro.errors import ArchitectureError
+
+
+class ActionKind(Enum):
+    """What a transition action does."""
+
+    SEND = "send"        # emit a message through an interface
+    REPLY = "reply"      # respond to the message that triggered the transition
+    INTERNAL = "internal"  # local computation, no visible communication
+    LOG = "log"          # record a diagnostic observation
+
+
+@dataclass(frozen=True)
+class Action:
+    """One visible reaction of a transition.
+
+    For ``SEND``/``REPLY``, ``message`` is the message name emitted and
+    ``via`` names the interface it leaves through (``None`` means any
+    suitable interface — resolved by the runtime). ``message_kind``
+    optionally fixes the emitted message's kind (``"request"`` or
+    ``"notification"``); when unset the runtime infers it from the
+    interface (C2 top/bottom) or the triggering message."""
+
+    kind: ActionKind
+    message: str = ""
+    via: Optional[str] = None
+    message_kind: Optional[str] = None
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind in (ActionKind.SEND, ActionKind.REPLY) and not self.message:
+            raise ArchitectureError(
+                f"a {self.kind.value} action must name the message it emits"
+            )
+
+
+@dataclass(frozen=True)
+class State:
+    """A statechart state; ``parent`` makes it a substate.
+
+    ``entry_actions``/``exit_actions`` run when the state is entered or
+    left by a transition (outermost-exited first on exit, outermost-entered
+    first on entry, per standard statechart semantics)."""
+
+    name: str
+    initial: bool = False
+    parent: Optional[str] = None
+    description: str = ""
+    entry_actions: tuple[Action, ...] = ()
+    exit_actions: tuple[Action, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ArchitectureError("a state must have a non-empty name")
+        if self.parent == self.name:
+            raise ArchitectureError(f"state {self.name!r} cannot be its own parent")
+        object.__setattr__(self, "entry_actions", tuple(self.entry_actions))
+        object.__setattr__(self, "exit_actions", tuple(self.exit_actions))
+
+
+@dataclass(frozen=True)
+class Transition:
+    """A trigger-labelled edge between states.
+
+    ``trigger`` is the incoming message (or internal event) name; ``guard``
+    optionally names a boolean condition resolved against a guard context
+    at run time; ``actions`` are performed when the transition fires.
+    """
+
+    source: str
+    target: str
+    trigger: str
+    guard: Optional[str] = None
+    actions: tuple[Action, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.trigger:
+            raise ArchitectureError(
+                f"transition {self.source!r}->{self.target!r} needs a trigger"
+            )
+        object.__setattr__(self, "actions", tuple(self.actions))
+
+
+class Statechart:
+    """A statechart: states, transitions, and a unique top-level initial
+    state."""
+
+    def __init__(self, name: str, description: str = "") -> None:
+        if not name:
+            raise ArchitectureError("a statechart must have a non-empty name")
+        self.name = name
+        self.description = description
+        self._states: dict[str, State] = {}
+        self._transitions: list[Transition] = []
+
+    def add_state(
+        self,
+        name: str,
+        initial: bool = False,
+        parent: Optional[str] = None,
+        description: str = "",
+        entry_actions: Sequence[Action] = (),
+        exit_actions: Sequence[Action] = (),
+    ) -> State:
+        """Register a state; names are unique per chart."""
+        if name in self._states:
+            raise ArchitectureError(
+                f"statechart {self.name!r} already has a state {name!r}"
+            )
+        state = State(
+            name,
+            initial,
+            parent,
+            description,
+            tuple(entry_actions),
+            tuple(exit_actions),
+        )
+        self._states[name] = state
+        return state
+
+    def add_transition(
+        self,
+        source: str,
+        target: str,
+        trigger: str,
+        guard: Optional[str] = None,
+        actions: Sequence[Action] = (),
+    ) -> Transition:
+        """Register a transition between existing states."""
+        for endpoint in (source, target):
+            if endpoint not in self._states:
+                raise ArchitectureError(
+                    f"statechart {self.name!r} has no state {endpoint!r}"
+                )
+        transition = Transition(source, target, trigger, guard, tuple(actions))
+        self._transitions.append(transition)
+        return transition
+
+    @property
+    def states(self) -> tuple[State, ...]:
+        """All states, in registration order."""
+        return tuple(self._states.values())
+
+    @property
+    def transitions(self) -> tuple[Transition, ...]:
+        """All transitions, in registration order."""
+        return tuple(self._transitions)
+
+    def state(self, name: str) -> State:
+        """Resolve a state by name."""
+        try:
+            return self._states[name]
+        except KeyError:
+            raise ArchitectureError(
+                f"statechart {self.name!r} has no state {name!r}"
+            ) from None
+
+    def initial_state(self) -> State:
+        """The unique top-level initial state."""
+        initials = [
+            state
+            for state in self._states.values()
+            if state.initial and state.parent is None
+        ]
+        if len(initials) != 1:
+            raise ArchitectureError(
+                f"statechart {self.name!r} must have exactly one top-level "
+                f"initial state, found {len(initials)}"
+            )
+        return initials[0]
+
+    def initial_substate(self, parent: str) -> Optional[State]:
+        """The initial substate of a composite state, if it has substates."""
+        substates = [s for s in self._states.values() if s.parent == parent]
+        if not substates:
+            return None
+        initials = [s for s in substates if s.initial]
+        if len(initials) != 1:
+            raise ArchitectureError(
+                f"composite state {parent!r} in {self.name!r} must have "
+                f"exactly one initial substate, found {len(initials)}"
+            )
+        return initials[0]
+
+    def ancestors(self, name: str) -> tuple[str, ...]:
+        """Parent chain of a state, nearest first."""
+        chain: list[str] = []
+        seen = {name}
+        current = self.state(name).parent
+        while current is not None:
+            if current in seen:
+                raise ArchitectureError(
+                    f"state parent cycle through {current!r} in {self.name!r}"
+                )
+            chain.append(current)
+            seen.add(current)
+            current = self.state(current).parent
+        return tuple(chain)
+
+    def enter(self, name: str) -> str:
+        """Descend from a (possibly composite) state to the leaf reached by
+        following initial substates."""
+        current = name
+        while True:
+            substate = self.initial_substate(current)
+            if substate is None:
+                return current
+            current = substate.name
+
+    def triggers(self) -> frozenset[str]:
+        """All trigger names used by any transition."""
+        return frozenset(t.trigger for t in self._transitions)
+
+    def validate(self) -> None:
+        """Check the chart is well-formed: a unique top-level initial
+        state, resolvable parents without cycles, and transitions between
+        existing states (enforced at construction, re-checked here)."""
+        self.initial_state()
+        for state in self._states.values():
+            if state.parent is not None:
+                self.state(state.parent)
+            self.ancestors(state.name)
+        for transition in self._transitions:
+            self.state(transition.source)
+            self.state(transition.target)
+
+    def __repr__(self) -> str:
+        return (
+            f"Statechart({self.name!r}: {len(self._states)} states, "
+            f"{len(self._transitions)} transitions)"
+        )
+
+
+GuardContext = Mapping[str, bool] | Callable[[str], bool]
+
+
+class StatechartInstance:
+    """A running statechart.
+
+    The instance tracks the current leaf state; :meth:`fire` consumes a
+    trigger, takes the innermost enabled transition (current state first,
+    then ancestors, in registration order within each level), and returns
+    the transition's actions. Unknown triggers are ignored and return no
+    actions — message-discarding is the conventional statechart semantics
+    the runtime relies on.
+    """
+
+    def __init__(self, chart: Statechart) -> None:
+        chart.validate()
+        self.chart = chart
+        self.current = chart.enter(chart.initial_state().name)
+        self.fired: list[Transition] = []
+
+    def configuration(self) -> tuple[str, ...]:
+        """The active state names: current leaf plus its ancestors."""
+        return (self.current, *self.chart.ancestors(self.current))
+
+    def enabled(
+        self, trigger: str, guard_context: Optional[GuardContext] = None
+    ) -> Optional[Transition]:
+        """The transition :meth:`fire` would take for this trigger, if any."""
+        for state_name in self.configuration():
+            for transition in self.chart.transitions:
+                if transition.source != state_name:
+                    continue
+                if transition.trigger != trigger:
+                    continue
+                if not _guard_holds(transition.guard, guard_context):
+                    continue
+                return transition
+        return None
+
+    def fire(
+        self, trigger: str, guard_context: Optional[GuardContext] = None
+    ) -> tuple[Action, ...]:
+        """Consume a trigger; move state and return the actions performed.
+
+        The returned actions are, in order: exit actions of the states
+        left (innermost first), the transition's own actions, and entry
+        actions of the states entered (outermost first). Returns ``()``
+        when no transition is enabled (the trigger is discarded).
+        """
+        transition = self.enabled(trigger, guard_context)
+        if transition is None:
+            return ()
+        exited = self._exit_chain(transition.source)
+        self.current = self.chart.enter(transition.target)
+        entered = self._entry_chain(transition.target)
+        self.fired.append(transition)
+        actions: list[Action] = []
+        for state in exited:
+            actions.extend(state.exit_actions)
+        actions.extend(transition.actions)
+        for state in entered:
+            actions.extend(state.entry_actions)
+        return tuple(actions)
+
+    def _exit_chain(self, source: str) -> tuple[State, ...]:
+        """States left when a transition at ``source`` fires: the current
+        leaf up to and including ``source``, innermost first."""
+        chain: list[State] = []
+        for name in self.configuration():
+            chain.append(self.chart.state(name))
+            if name == source:
+                break
+        return tuple(chain)
+
+    def _entry_chain(self, target: str) -> tuple[State, ...]:
+        """States entered when the transition targets ``target``: the
+        target and every initial substate descended into, outermost
+        first."""
+        chain: list[State] = [self.chart.state(target)]
+        current = target
+        while current != self.current:
+            substate = self.chart.initial_substate(current)
+            if substate is None:
+                break
+            chain.append(substate)
+            current = substate.name
+        return tuple(chain)
+
+    def can_fire(
+        self, trigger: str, guard_context: Optional[GuardContext] = None
+    ) -> bool:
+        """Whether the trigger would cause a transition right now."""
+        return self.enabled(trigger, guard_context) is not None
+
+    def reset(self) -> None:
+        """Return to the initial configuration and clear history."""
+        self.current = self.chart.enter(self.chart.initial_state().name)
+        self.fired.clear()
+
+
+def _guard_holds(
+    guard: Optional[str], guard_context: Optional[GuardContext]
+) -> bool:
+    """Evaluate a guard name against the context; a missing guard is true,
+    an unresolvable named guard is false (fail closed)."""
+    if guard is None:
+        return True
+    if guard_context is None:
+        return False
+    if callable(guard_context):
+        return bool(guard_context(guard))
+    return bool(guard_context.get(guard, False))

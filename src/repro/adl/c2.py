@@ -1,0 +1,176 @@
+"""The C2 architectural style (used by CRASH).
+
+C2 (Taylor et al. 1995) organizes components and connectors into layers.
+"Components in a layer are only aware of components in the layers above and
+have no knowledge about components in layers below. Components communicate
+with each other using two types of asynchronous event-based messages,
+requests and notifications. Request messages travel up the architecture
+while notification messages move down" (paper §4.2).
+
+Modeling convention: every element exposes a ``top`` and/or ``bottom``
+interface; a link joins one element's ``top`` to another element's
+``bottom``, making the latter the *upper* neighbor. The style rules:
+
+* ``components-attach-to-connectors`` — no direct component-to-component
+  links; communication is always mediated by a connector.
+* ``top-bottom-pairing`` — every link joins a ``top`` interface to a
+  ``bottom`` interface.
+* ``component-port-cardinality`` — a component's top (bottom) side attaches
+  to at most one connector.
+* ``acyclic-above`` — the induced above/below relation is acyclic (the
+  architecture really is layered).
+
+:func:`above_graph` exposes the induced ordering for the simulator's
+request/notification routing, and :class:`MessageKind` names the two C2
+message types.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+import networkx as nx
+
+from repro.adl.structure import Architecture, Link
+from repro.adl.styles import Style, StyleViolation, register_style
+
+TOP = "top"
+BOTTOM = "bottom"
+
+
+class MessageKind(Enum):
+    """The two asynchronous C2 message types."""
+
+    REQUEST = "request"        # travels up the architecture
+    NOTIFICATION = "notification"  # travels down the architecture
+
+
+def upper_element(architecture: Architecture, link: Link) -> str | None:
+    """The element on the *upper* side of a link under the top/bottom
+    convention, or ``None`` when the link is not top-to-bottom."""
+    first_name = link.first.interface
+    second_name = link.second.interface
+    if first_name == TOP and second_name == BOTTOM:
+        return link.second.element
+    if first_name == BOTTOM and second_name == TOP:
+        return link.first.element
+    return None
+
+
+def above_graph(architecture: Architecture) -> nx.DiGraph:
+    """The directed above/below relation: an edge ``a -> b`` means ``b``
+    is directly above ``a`` (``a.top`` links to ``b.bottom``)."""
+    graph = nx.DiGraph()
+    for component in architecture.components:
+        graph.add_node(component.name, kind="component")
+    for connector in architecture.connectors:
+        graph.add_node(connector.name, kind="connector")
+    for link in architecture.links:
+        upper = upper_element(architecture, link)
+        if upper is None:
+            continue
+        lower = link.other(upper).element
+        graph.add_edge(lower, upper, link=link.name)
+    return graph
+
+
+class C2Style(Style):
+    """Conformance rules for C2 architectures."""
+
+    name = "c2"
+    description = (
+        "C2: connector-mediated, top/bottom-linked, acyclically layered "
+        "components with request/notification messaging."
+    )
+
+    def _register_rules(self) -> None:
+        self.rule(
+            "components-attach-to-connectors", self._check_connector_mediation
+        )
+        self.rule("top-bottom-pairing", self._check_top_bottom)
+        self.rule("component-port-cardinality", self._check_port_cardinality)
+        self.rule("acyclic-above", self._check_acyclic)
+
+    def _check_connector_mediation(
+        self, architecture: Architecture
+    ) -> list[StyleViolation]:
+        return [
+            self.violation(
+                "components-attach-to-connectors",
+                f"link {link.name!r} directly joins two components",
+                link.first.element,
+                link.second.element,
+            )
+            for link in architecture.links
+            if architecture.is_component(link.first.element)
+            and architecture.is_component(link.second.element)
+        ]
+
+    def _check_top_bottom(
+        self, architecture: Architecture
+    ) -> list[StyleViolation]:
+        violations = []
+        for link in architecture.links:
+            interfaces = {link.first.interface, link.second.interface}
+            if interfaces != {TOP, BOTTOM}:
+                violations.append(
+                    self.violation(
+                        "top-bottom-pairing",
+                        f"link {link.name!r} joins interfaces "
+                        f"{sorted(interfaces)} (expected one 'top' and one "
+                        f"'bottom')",
+                        link.first.element,
+                        link.second.element,
+                    )
+                )
+        return violations
+
+    def _check_port_cardinality(
+        self, architecture: Architecture
+    ) -> list[StyleViolation]:
+        violations = []
+        for component in architecture.components:
+            for side in (TOP, BOTTOM):
+                attachments = [
+                    link
+                    for link in architecture.links_of(component.name)
+                    if _endpoint_interface(link, component.name) == side
+                ]
+                if len(attachments) > 1:
+                    violations.append(
+                        self.violation(
+                            "component-port-cardinality",
+                            f"component {component.name!r} attaches its "
+                            f"{side} side to {len(attachments)} links",
+                            component.name,
+                        )
+                    )
+        return violations
+
+    def _check_acyclic(self, architecture: Architecture) -> list[StyleViolation]:
+        graph = above_graph(architecture)
+        try:
+            cycle = nx.find_cycle(graph)
+        except nx.NetworkXNoCycle:
+            return []
+        members = tuple(edge[0] for edge in cycle)
+        return [
+            self.violation(
+                "acyclic-above",
+                "the above/below relation contains a cycle: "
+                + " -> ".join((*members, members[0])),
+                *members,
+            )
+        ]
+
+
+def _endpoint_interface(link: Link, element: str) -> str | None:
+    """The interface name ``link`` uses on ``element``."""
+    if link.first.element == element:
+        return link.first.interface
+    if link.second.element == element:
+        return link.second.interface
+    return None
+
+
+C2_STYLE = register_style(C2Style())

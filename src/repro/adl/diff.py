@@ -1,0 +1,174 @@
+"""Structural diff between two versions of an architecture.
+
+The paper argues (§5) that the requirements↔architecture mapping eases
+maintenance: when the architecture evolves, changed elements localize the
+requirements that must be re-evaluated. :func:`diff_architectures`
+computes what changed between two versions; the traceability module
+(:mod:`repro.core.traceability`) turns the diff into the set of impacted
+scenarios.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.adl.structure import Architecture, Component, Connector
+
+
+@dataclass(frozen=True)
+class PropertyChange:
+    """One changed attribute of an element that exists in both versions."""
+
+    element: str
+    attribute: str
+    old_value: str
+    new_value: str
+
+    def __str__(self) -> str:
+        return (
+            f"{self.element}.{self.attribute}: "
+            f"{self.old_value!r} -> {self.new_value!r}"
+        )
+
+
+@dataclass(frozen=True)
+class ArchitectureDiff:
+    """What changed from ``old`` to ``new``.
+
+    Links are compared by the unordered pair of ``element.interface``
+    endpoints, not by link name, so renaming a link is not a change.
+    """
+
+    added_components: tuple[str, ...] = ()
+    removed_components: tuple[str, ...] = ()
+    added_connectors: tuple[str, ...] = ()
+    removed_connectors: tuple[str, ...] = ()
+    added_links: tuple[tuple[str, str], ...] = ()
+    removed_links: tuple[tuple[str, str], ...] = ()
+    changed_elements: tuple[PropertyChange, ...] = ()
+
+    @property
+    def is_empty(self) -> bool:
+        """Whether the two versions are structurally identical."""
+        return not (
+            self.added_components
+            or self.removed_components
+            or self.added_connectors
+            or self.removed_connectors
+            or self.added_links
+            or self.removed_links
+            or self.changed_elements
+        )
+
+    def touched_elements(self) -> frozenset[str]:
+        """Every element name involved in any change — the impact surface
+        handed to traceability analysis."""
+        touched: set[str] = set()
+        touched.update(self.added_components)
+        touched.update(self.removed_components)
+        touched.update(self.added_connectors)
+        touched.update(self.removed_connectors)
+        for first, second in (*self.added_links, *self.removed_links):
+            touched.add(first.split(".", 1)[0])
+            touched.add(second.split(".", 1)[0])
+        touched.update(change.element for change in self.changed_elements)
+        return frozenset(touched)
+
+    def summary(self) -> str:
+        """A human-readable change listing."""
+        lines: list[str] = []
+        for title, names in (
+            ("components added", self.added_components),
+            ("components removed", self.removed_components),
+            ("connectors added", self.added_connectors),
+            ("connectors removed", self.removed_connectors),
+        ):
+            if names:
+                lines.append(f"{title}: {', '.join(names)}")
+        for title, pairs in (
+            ("links added", self.added_links),
+            ("links removed", self.removed_links),
+        ):
+            if pairs:
+                rendered = ", ".join(f"{a} <-> {b}" for a, b in pairs)
+                lines.append(f"{title}: {rendered}")
+        if self.changed_elements:
+            lines.append(
+                "changed: " + "; ".join(str(c) for c in self.changed_elements)
+            )
+        return "\n".join(lines) if lines else "no structural changes"
+
+
+def diff_architectures(
+    old: Architecture, new: Architecture
+) -> ArchitectureDiff:
+    """Compute the structural diff from ``old`` to ``new``."""
+    old_components = {c.name for c in old.components}
+    new_components = {c.name for c in new.components}
+    old_connectors = {c.name for c in old.connectors}
+    new_connectors = {c.name for c in new.connectors}
+    old_links = {_link_key(link) for link in old.links}
+    new_links = {_link_key(link) for link in new.links}
+
+    changed: list[PropertyChange] = []
+    for name in sorted(old_components & new_components):
+        changed.extend(_component_changes(old.component(name), new.component(name)))
+    for name in sorted(old_connectors & new_connectors):
+        changed.extend(_element_changes(old.connector(name), new.connector(name)))
+
+    return ArchitectureDiff(
+        added_components=tuple(sorted(new_components - old_components)),
+        removed_components=tuple(sorted(old_components - new_components)),
+        added_connectors=tuple(sorted(new_connectors - old_connectors)),
+        removed_connectors=tuple(sorted(old_connectors - new_connectors)),
+        added_links=tuple(sorted(new_links - old_links)),
+        removed_links=tuple(sorted(old_links - new_links)),
+        changed_elements=tuple(changed),
+    )
+
+
+def _link_key(link) -> tuple[str, str]:
+    endpoints = sorted(str(endpoint) for endpoint in link.endpoints)
+    return (endpoints[0], endpoints[1])
+
+
+def _element_changes(
+    old: Component | Connector, new: Component | Connector
+) -> list[PropertyChange]:
+    changes: list[PropertyChange] = []
+    if old.description != new.description:
+        changes.append(
+            PropertyChange(old.name, "description", old.description, new.description)
+        )
+    keys = set(old.properties) | set(new.properties)
+    for key in sorted(keys):
+        old_value = old.properties.get(key, "")
+        new_value = new.properties.get(key, "")
+        if old_value != new_value:
+            changes.append(PropertyChange(old.name, key, old_value, new_value))
+    old_interfaces = set(old.interfaces)
+    new_interfaces = set(new.interfaces)
+    if old_interfaces != new_interfaces:
+        changes.append(
+            PropertyChange(
+                old.name,
+                "interfaces",
+                ",".join(sorted(old_interfaces)),
+                ",".join(sorted(new_interfaces)),
+            )
+        )
+    return changes
+
+
+def _component_changes(old: Component, new: Component) -> list[PropertyChange]:
+    changes = _element_changes(old, new)
+    if old.responsibilities != new.responsibilities:
+        changes.append(
+            PropertyChange(
+                old.name,
+                "responsibilities",
+                " | ".join(old.responsibilities),
+                " | ".join(new.responsibilities),
+            )
+        )
+    return changes

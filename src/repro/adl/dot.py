@@ -1,0 +1,122 @@
+"""Graphviz DOT export of architectures and mappings.
+
+The paper communicates its artifacts as diagrams (Figs. 3, 5, 7 are
+architecture drawings; Fig. 8 overlays the mapping). This module renders
+the same pictures textually: :func:`architecture_to_dot` draws components
+(boxes), connectors (ellipses), and links; :func:`mapping_to_dot` draws
+the bipartite event-type-to-component graph of a mapping. The output is
+plain DOT — render with ``dot -Tsvg`` where Graphviz is available.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.adl.structure import Architecture
+from repro.core.mapping import Mapping
+from repro.scenarioml.scenario import ScenarioSet
+
+
+def _quote(name: str) -> str:
+    escaped = name.replace("\\", "\\\\").replace('"', '\\"')
+    return f'"{escaped}"'
+
+
+def architecture_to_dot(
+    architecture: Architecture,
+    include_interfaces: bool = False,
+    rankdir: str = "TB",
+) -> str:
+    """Render an architecture's structure as a DOT graph.
+
+    Components are boxes (labelled with their layer, when present),
+    connectors are ellipses, links are edges (labelled with the joined
+    interfaces when ``include_interfaces`` is set). Sub-architectures
+    become clusters inside their owning component's box.
+    """
+    lines = [f"graph {_quote(architecture.name)} {{"]
+    lines.append(f"  rankdir={rankdir};")
+    lines.append('  node [fontname="Helvetica"];')
+    for component in architecture.components:
+        label = component.name
+        if component.layer is not None:
+            label += f"\\n(layer {component.layer})"
+        if component.subarchitecture is not None:
+            label += "\\n[decomposed]"
+        lines.append(
+            f"  {_quote(component.name)} [shape=box, label={_quote(label)}];"
+        )
+    for connector in architecture.connectors:
+        lines.append(
+            f"  {_quote(connector.name)} [shape=ellipse, style=dashed];"
+        )
+    for link in architecture.links:
+        attributes = ""
+        if include_interfaces:
+            label = f"{link.first.interface} -- {link.second.interface}"
+            attributes = f" [label={_quote(label)}]"
+        lines.append(
+            f"  {_quote(link.first.element)} -- "
+            f"{_quote(link.second.element)}{attributes};"
+        )
+    for component in architecture.components:
+        if component.subarchitecture is not None:
+            lines.append(
+                _subarchitecture_cluster(component.name, component.subarchitecture)
+            )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def _subarchitecture_cluster(owner: str, architecture: Architecture) -> str:
+    lines = [f"  subgraph {_quote('cluster_' + owner)} {{"]
+    lines.append(f"    label={_quote(owner + ' internals')};")
+    for component in architecture.components:
+        lines.append(f"    {_quote(component.name)} [shape=box];")
+    for connector in architecture.connectors:
+        lines.append(f"    {_quote(connector.name)} [shape=ellipse, style=dashed];")
+    for link in architecture.links:
+        lines.append(
+            f"    {_quote(link.first.element)} -- {_quote(link.second.element)};"
+        )
+    lines.append("  }")
+    return "\n".join(lines)
+
+
+def mapping_to_dot(
+    mapping: Mapping,
+    scenario_set: Optional[ScenarioSet] = None,
+) -> str:
+    """Render a mapping as a bipartite DOT graph (the Fig. 8 overlay).
+
+    Event types appear on the left (rounded boxes), components on the
+    right (boxes); each mapping link is an edge. With a scenario set, only
+    event types the scenarios use are drawn.
+    """
+    table = mapping.table(scenario_set)
+    lines = [f"digraph {_quote(mapping.name)} {{"]
+    lines.append("  rankdir=LR;")
+    lines.append('  node [fontname="Helvetica"];')
+    lines.append("  subgraph cluster_events {")
+    lines.append('    label="ontology event types";')
+    for row in table.rows:
+        lines.append(
+            f"    {_quote('et:' + row)} [shape=box, style=rounded, "
+            f"label={_quote(row)}];"
+        )
+    lines.append("  }")
+    lines.append("  subgraph cluster_components {")
+    lines.append('    label="architecture components";')
+    for column in table.columns:
+        lines.append(
+            f"    {_quote('c:' + column)} [shape=box, label={_quote(column)}];"
+        )
+    lines.append("  }")
+    for row in table.rows:
+        for column in table.columns:
+            if table.is_marked(row, column):
+                lines.append(
+                    f"  {_quote('et:' + row)} -> {_quote('c:' + column)};"
+                )
+    lines.append("}")
+    return "\n".join(lines)

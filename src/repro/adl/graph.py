@@ -1,0 +1,190 @@
+"""Graph analyses over architecture structure.
+
+The walkthrough engine reduces "can these two components interact as the
+scenario requires?" to connectivity questions over the link graph. Two
+views are provided:
+
+* the *undirected* communication graph — elements are nodes, links are
+  edges; used for "is there any path at all";
+* the *directed* communication graph — an edge ``a -> b`` exists when a
+  link joins an initiating interface on ``a`` to an accepting interface on
+  ``b``; used when interface directions matter.
+
+Paths run through connectors; component-to-component queries report the
+full element path including intervening connectors.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+import networkx as nx
+
+from repro.adl.structure import Architecture
+from repro.errors import ArchitectureError
+
+
+def communication_graph(architecture: Architecture) -> nx.MultiGraph:
+    """The undirected element-level link graph.
+
+    Nodes are element names with a ``kind`` attribute (``"component"`` or
+    ``"connector"``); each link contributes one edge keyed by link name.
+    """
+    graph = nx.MultiGraph()
+    for component in architecture.components:
+        graph.add_node(component.name, kind="component")
+    for connector in architecture.connectors:
+        graph.add_node(connector.name, kind="connector")
+    for link in architecture.links:
+        graph.add_edge(
+            link.first.element, link.second.element, key=link.name, link=link
+        )
+    return graph
+
+
+def directed_communication_graph(architecture: Architecture) -> nx.MultiDiGraph:
+    """The directed element-level graph induced by interface directions.
+
+    For each link, an edge ``a -> b`` is added when ``a``'s endpoint
+    interface can initiate and ``b``'s can accept (and symmetrically)."""
+    graph = nx.MultiDiGraph()
+    for component in architecture.components:
+        graph.add_node(component.name, kind="component")
+    for connector in architecture.connectors:
+        graph.add_node(connector.name, kind="connector")
+    for link in architecture.links:
+        first = architecture.element(link.first.element).interface(
+            link.first.interface
+        )
+        second = architecture.element(link.second.element).interface(
+            link.second.interface
+        )
+        if first.direction.initiates() and second.direction.accepts():
+            graph.add_edge(
+                link.first.element, link.second.element, key=link.name, link=link
+            )
+        if second.direction.initiates() and first.direction.accepts():
+            graph.add_edge(
+                link.second.element, link.first.element, key=link.name, link=link
+            )
+    return graph
+
+
+def can_communicate(
+    architecture: Architecture,
+    source: str,
+    target: str,
+    respect_directions: bool = False,
+    via: Optional[Iterable[str]] = None,
+    avoiding: Optional[Iterable[str]] = None,
+) -> bool:
+    """Whether a communication path exists from ``source`` to ``target``.
+
+    ``via`` restricts to paths passing through all the named elements;
+    ``avoiding`` removes the named elements from the graph first (used to
+    model failed or excised elements). An element trivially communicates
+    with itself.
+    """
+    return (
+        communication_path(
+            architecture,
+            source,
+            target,
+            respect_directions=respect_directions,
+            via=via,
+            avoiding=avoiding,
+        )
+        is not None
+    )
+
+
+def communication_path(
+    architecture: Architecture,
+    source: str,
+    target: str,
+    respect_directions: bool = False,
+    via: Optional[Iterable[str]] = None,
+    avoiding: Optional[Iterable[str]] = None,
+) -> Optional[tuple[str, ...]]:
+    """A shortest element path from ``source`` to ``target``, or ``None``.
+
+    The path includes intervening connectors. With ``via``, the path is a
+    concatenation of shortest hops visiting the waypoints in order.
+    """
+    if not architecture.has_element(source):
+        raise ArchitectureError(
+            f"architecture {architecture.name!r} has no element {source!r}"
+        )
+    if not architecture.has_element(target):
+        raise ArchitectureError(
+            f"architecture {architecture.name!r} has no element {target!r}"
+        )
+    graph: nx.Graph = (
+        directed_communication_graph(architecture)
+        if respect_directions
+        else communication_graph(architecture)
+    )
+    if avoiding:
+        removable = [name for name in avoiding if name not in (source, target)]
+        graph.remove_nodes_from(removable)
+        if source not in graph or target not in graph:
+            return None
+    waypoints = [source, *(via or ()), target]
+    full_path: list[str] = [source]
+    for hop_source, hop_target in zip(waypoints, waypoints[1:]):
+        if hop_source not in graph or hop_target not in graph:
+            return None
+        try:
+            hop = nx.shortest_path(graph, hop_source, hop_target)
+        except nx.NetworkXNoPath:
+            return None
+        full_path.extend(hop[1:])
+    return tuple(full_path)
+
+
+def reachable_elements(
+    architecture: Architecture,
+    source: str,
+    respect_directions: bool = False,
+) -> frozenset[str]:
+    """Every element reachable from ``source`` (excluding itself)."""
+    graph: nx.Graph = (
+        directed_communication_graph(architecture)
+        if respect_directions
+        else communication_graph(architecture)
+    )
+    if source not in graph:
+        raise ArchitectureError(
+            f"architecture {architecture.name!r} has no element {source!r}"
+        )
+    if respect_directions:
+        reached = nx.descendants(graph, source)
+    else:
+        reached = set(nx.node_connected_component(graph, source)) - {source}
+    return frozenset(reached)
+
+
+def is_fully_connected(architecture: Architecture) -> bool:
+    """Whether every element can (undirectedly) reach every other.
+
+    A disconnected architecture usually indicates a modeling error or a
+    deliberately excised link.
+    """
+    graph = communication_graph(architecture)
+    if graph.number_of_nodes() <= 1:
+        return True
+    return nx.is_connected(nx.Graph(graph))
+
+
+def articulation_components(architecture: Architecture) -> frozenset[str]:
+    """Components whose removal disconnects the communication graph.
+
+    These are single points of failure at the structural level — relevant
+    to availability analyses like CRASH's Entity Availability scenario.
+    """
+    graph = nx.Graph(communication_graph(architecture))
+    return frozenset(
+        name
+        for name in nx.articulation_points(graph)
+        if architecture.is_component(name)
+    )

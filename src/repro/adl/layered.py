@@ -1,0 +1,107 @@
+"""The Layered architectural style (used by PIMS).
+
+PIMS (paper §4.1) is "designed using the Layered Architectural Style": a
+presentation layer ("Master Controller") above a business-logic layer,
+above a data-access layer, above the data repository. The style's rules:
+
+* ``layers-assigned`` — every component declares a ``layer`` number
+  (higher = closer to the user).
+* ``adjacent-layers-only`` — communication only occurs within a layer or
+  between adjacent layers; a link (or a connector bridging components)
+  joining components whose layers differ by more than one is a violation.
+* ``no-layer-skipping-connectors`` — a connector may not span components
+  more than one layer apart.
+
+Connectors take the layer context of the components they attach to.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+from repro.adl.structure import Architecture
+from repro.adl.styles import Style, StyleViolation, register_style
+
+
+class LayeredStyle(Style):
+    """Conformance rules for layered architectures."""
+
+    name = "layered"
+    description = "Strict layering: communication within or between adjacent layers only."
+
+    def _register_rules(self) -> None:
+        self.rule("layers-assigned", self._check_layers_assigned)
+        self.rule("adjacent-layers-only", self._check_adjacent_layers)
+        self.rule("no-layer-skipping-connectors", self._check_connector_span)
+
+    def _check_layers_assigned(
+        self, architecture: Architecture
+    ) -> list[StyleViolation]:
+        return [
+            self.violation(
+                "layers-assigned",
+                f"component {component.name!r} has no layer assignment",
+                component.name,
+            )
+            for component in architecture.components
+            if component.layer is None
+        ]
+
+    def _check_adjacent_layers(
+        self, architecture: Architecture
+    ) -> list[StyleViolation]:
+        violations = []
+        for link in architecture.links:
+            first = link.first.element
+            second = link.second.element
+            if not (
+                architecture.is_component(first)
+                and architecture.is_component(second)
+            ):
+                continue
+            first_layer = architecture.component(first).layer
+            second_layer = architecture.component(second).layer
+            if first_layer is None or second_layer is None:
+                continue  # reported by layers-assigned
+            if abs(first_layer - second_layer) > 1:
+                violations.append(
+                    self.violation(
+                        "adjacent-layers-only",
+                        f"link {link.name!r} joins layer {first_layer} to "
+                        f"layer {second_layer}",
+                        first,
+                        second,
+                    )
+                )
+        return violations
+
+    def _check_connector_span(
+        self, architecture: Architecture
+    ) -> list[StyleViolation]:
+        violations = []
+        for connector in architecture.connectors:
+            attached_layers = {}
+            for neighbor in architecture.neighbors(connector.name):
+                if architecture.is_component(neighbor):
+                    layer = architecture.component(neighbor).layer
+                    if layer is not None:
+                        attached_layers[neighbor] = layer
+            for (name_a, layer_a), (name_b, layer_b) in combinations(
+                attached_layers.items(), 2
+            ):
+                if abs(layer_a - layer_b) > 1:
+                    violations.append(
+                        self.violation(
+                            "no-layer-skipping-connectors",
+                            f"connector {connector.name!r} bridges layer "
+                            f"{layer_a} ({name_a!r}) and layer {layer_b} "
+                            f"({name_b!r})",
+                            connector.name,
+                            name_a,
+                            name_b,
+                        )
+                    )
+        return violations
+
+
+LAYERED_STYLE = register_style(LayeredStyle())

@@ -1,0 +1,366 @@
+"""The ``sosae`` command-line interface.
+
+Subcommands:
+
+* ``evaluate`` — load ScenarioML, xADL (or Acme), and a JSON mapping from
+  files; run the full evaluation pipeline; print the report.
+* ``demo`` — run a built-in case study (``pims`` or ``crash``), optionally
+  on its fault-seeded variant, and print the report.
+* ``table`` — print the event-type × component mapping table.
+* ``export`` — print a case study's artifacts (ScenarioML XML, xADL XML,
+  Acme text, or mapping JSON) for use as file inputs elsewhere.
+
+Exit status is 0 when the evaluated architecture is consistent with its
+scenarios, 1 when inconsistencies were found, 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.adl.acme import parse_acme, to_acme
+from repro.adl.dot import architecture_to_dot, mapping_to_dot
+from repro.adl.xadl import parse_xadl, to_xadl_xml
+from repro.core.evaluator import Sosae
+from repro.core.implied import detect_implied_scenarios
+from repro.core.mapping import Mapping
+from repro.core.ranking import rank_scenarios
+from repro.core.report import render_report
+from repro.core.report_io import (
+    compare_reports,
+    report_from_json,
+    report_to_json,
+)
+from repro.errors import ReproError
+from repro.scenarioml.lint import lint_scenario_set
+from repro.scenarioml.owl import to_owl_xml
+from repro.scenarioml.xml_io import parse_scenarioml, to_scenarioml_xml
+from repro.sim.network import ChannelPolicy
+from repro.sim.runtime import RuntimeConfig
+from repro.systems.crash import build_crash, build_crash_mapping
+from repro.systems.pims import build_pims
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="sosae",
+        description="Scenario and Ontology-based Software Architecture "
+        "Evaluation",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    evaluate = subparsers.add_parser(
+        "evaluate", help="evaluate an architecture against scenarios"
+    )
+    evaluate.add_argument(
+        "--scenarios", required=True, type=Path, help="ScenarioML XML file"
+    )
+    evaluate.add_argument(
+        "--architecture", required=True, type=Path,
+        help="architecture file (xADL XML, or Acme with --acme)",
+    )
+    evaluate.add_argument(
+        "--mapping", required=True, type=Path, help="mapping JSON file"
+    )
+    evaluate.add_argument(
+        "--acme", action="store_true",
+        help="parse the architecture file as Acme instead of xADL",
+    )
+    evaluate.add_argument(
+        "--markdown", action="store_true", help="emit a markdown report"
+    )
+    evaluate.add_argument(
+        "--save-report", type=Path, default=None,
+        help="write the evaluation report as JSON to this path",
+    )
+    evaluate.add_argument(
+        "--baseline", type=Path, default=None,
+        help="compare against a previously saved report; exit 1 on "
+        "regressions even if the current report is otherwise consistent",
+    )
+
+    demo = subparsers.add_parser("demo", help="run a built-in case study")
+    demo.add_argument("system", choices=("pims", "crash"))
+    demo.add_argument(
+        "--variant",
+        choices=("intact", "excised", "insecure"),
+        default="intact",
+        help="architecture variant (excised: PIMS fault seeding; "
+        "insecure: CRASH rogue entity)",
+    )
+    demo.add_argument(
+        "--markdown", action="store_true", help="emit a markdown report"
+    )
+    demo.add_argument(
+        "--dynamic", action="store_true",
+        help="also execute scenarios on the simulated architecture "
+        "(crash: all quality scenarios; pims: the share-price flow)",
+    )
+
+    table = subparsers.add_parser(
+        "table", help="print the mapping table of a case study"
+    )
+    table.add_argument("system", choices=("pims", "crash"))
+    table.add_argument(
+        "--markdown", action="store_true", help="emit a markdown table"
+    )
+
+    export = subparsers.add_parser(
+        "export", help="print a case study artifact"
+    )
+    export.add_argument("system", choices=("pims", "crash"))
+    export.add_argument(
+        "artifact", choices=("scenarioml", "xadl", "acme", "mapping", "owl")
+    )
+
+    rank = subparsers.add_parser(
+        "rank", help="rank a case study's scenarios by importance"
+    )
+    rank.add_argument("system", choices=("pims", "crash"))
+    rank.add_argument(
+        "--top", type=int, default=None, help="show only the N best"
+    )
+
+    implied = subparsers.add_parser(
+        "implied", help="detect implied scenarios in a case study"
+    )
+    implied.add_argument("system", choices=("pims", "crash"))
+    implied.add_argument(
+        "--max-length", type=int, default=4, help="chain length bound"
+    )
+    implied.add_argument(
+        "--limit", type=int, default=20, help="candidate cap"
+    )
+
+    dot = subparsers.add_parser(
+        "dot", help="emit Graphviz DOT for a case study"
+    )
+    dot.add_argument("system", choices=("pims", "crash"))
+    dot.add_argument(
+        "--what",
+        choices=("architecture", "mapping"),
+        default="architecture",
+    )
+
+    lint = subparsers.add_parser(
+        "lint", help="run scenario clarity lints over a case study"
+    )
+    lint.add_argument("system", choices=("pims", "crash"))
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit status."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "evaluate":
+            return _run_evaluate(args)
+        if args.command == "demo":
+            return _run_demo(args)
+        if args.command == "table":
+            return _run_table(args)
+        if args.command == "export":
+            return _run_export(args)
+        if args.command == "rank":
+            return _run_rank(args)
+        if args.command == "implied":
+            return _run_implied(args)
+        if args.command == "dot":
+            return _run_dot(args)
+        if args.command == "lint":
+            return _run_lint(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        # Output was piped into a consumer that stopped reading (head,
+        # less, ...); that is not an error of ours.
+        return 0
+    except OSError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    parser.error(f"unknown command {args.command!r}")
+    return 2
+
+
+def _run_evaluate(args: argparse.Namespace) -> int:
+    scenario_set = parse_scenarioml(args.scenarios.read_text())
+    architecture_text = args.architecture.read_text()
+    architecture = (
+        parse_acme(architecture_text)
+        if args.acme
+        else parse_xadl(architecture_text)
+    )
+    mapping = Mapping.from_json(
+        args.mapping.read_text(), scenario_set.ontology, architecture
+    )
+    report = Sosae(scenario_set, architecture, mapping).evaluate()
+    print(render_report(report, markdown=args.markdown))
+    if args.save_report is not None:
+        args.save_report.write_text(report_to_json(report))
+    status = 0 if report.consistent else 1
+    if args.baseline is not None:
+        baseline = report_from_json(args.baseline.read_text())
+        comparison = compare_reports(baseline, report)
+        print(f"baseline comparison: {comparison.summary()}")
+        if not comparison.clean:
+            status = 1
+    return status
+
+
+class _Demo:
+    """Everything a demo subcommand needs, bundled."""
+
+    def __init__(
+        self,
+        scenarios,
+        architecture,
+        mapping,
+        options,
+        bindings,
+        runtime_config,
+        dynamic_scenarios=None,
+    ) -> None:
+        self.scenarios = scenarios
+        self.architecture = architecture
+        self.mapping = mapping
+        self.options = options
+        self.bindings = bindings
+        self.runtime_config = runtime_config
+        self.dynamic_scenarios = dynamic_scenarios
+
+
+def _build_demo(system: str, variant: str) -> _Demo:
+    if system == "pims":
+        pims = build_pims()
+        if variant == "insecure":
+            raise ReproError("the insecure variant belongs to the crash demo")
+        architecture = (
+            pims.excised_architecture() if variant == "excised" else pims.architecture
+        )
+        mapping = Mapping.from_dict(
+            pims.mapping.to_dict(), pims.ontology, architecture
+        )
+        return _Demo(
+            pims.scenarios,
+            architecture,
+            mapping,
+            pims.options,
+            pims.bindings,
+            RuntimeConfig(policy=ChannelPolicy(latency=1.0)),
+            dynamic_scenarios=("get-share-prices",),
+        )
+    crash = build_crash()
+    if variant == "excised":
+        raise ReproError("the excised variant belongs to the pims demo")
+    architecture = (
+        crash.insecure_architecture() if variant == "insecure" else crash.architecture
+    )
+    mapping = build_crash_mapping(crash.ontology, architecture)
+    return _Demo(
+        crash.scenarios,
+        architecture,
+        mapping,
+        crash.options,
+        crash.bindings,
+        RuntimeConfig(policy=ChannelPolicy(latency=1.0, failure_detection=True)),
+    )
+
+
+def _run_demo(args: argparse.Namespace) -> int:
+    demo = _build_demo(args.system, args.variant)
+    sosae = Sosae(
+        demo.scenarios,
+        demo.architecture,
+        demo.mapping,
+        bindings=demo.bindings,
+        walkthrough_options=demo.options,
+        runtime_config=demo.runtime_config,
+    )
+    include_dynamic = args.dynamic and demo.bindings is not None
+    report = sosae.evaluate(
+        include_dynamic=include_dynamic,
+        dynamic_scenarios=demo.dynamic_scenarios if include_dynamic else None,
+    )
+    print(render_report(report, markdown=args.markdown))
+    return 0 if report.consistent else 1
+
+
+def _run_table(args: argparse.Namespace) -> int:
+    demo = _build_demo(args.system, "intact")
+    table = demo.mapping.table(demo.scenarios)
+    print(table.render_markdown() if args.markdown else table.render())
+    return 0
+
+
+def _run_export(args: argparse.Namespace) -> int:
+    demo = _build_demo(args.system, "intact")
+    if args.artifact == "scenarioml":
+        print(to_scenarioml_xml(demo.scenarios))
+    elif args.artifact == "xadl":
+        print(to_xadl_xml(demo.architecture))
+    elif args.artifact == "acme":
+        print(to_acme(demo.architecture))
+    elif args.artifact == "owl":
+        print(to_owl_xml(demo.scenarios.ontology))
+    else:
+        print(demo.mapping.to_json())
+    return 0
+
+
+def _run_rank(args: argparse.Namespace) -> int:
+    demo = _build_demo(args.system, "intact")
+    ranked = rank_scenarios(demo.scenarios, demo.mapping)
+    if args.top is not None:
+        ranked = ranked[: args.top]
+    for position, score in enumerate(ranked, start=1):
+        print(f"{position:>3}. {score}")
+    return 0
+
+
+def _run_implied(args: argparse.Namespace) -> int:
+    demo = _build_demo(args.system, "intact")
+    report = detect_implied_scenarios(
+        demo.scenarios,
+        demo.mapping,
+        max_length=args.max_length,
+        limit=args.limit,
+    )
+    if report.closed:
+        print("the specification is closed: no implied scenarios found")
+        return 0
+    suffix = " (truncated)" if report.truncated else ""
+    print(f"{len(report.implied)} implied scenario(s){suffix}:")
+    for implied in report.implied:
+        print(f"  {implied.render()}")
+    return 0
+
+
+def _run_lint(args: argparse.Namespace) -> int:
+    demo = _build_demo(args.system, "intact")
+    findings = lint_scenario_set(demo.scenarios)
+    if not findings:
+        print("no lint findings")
+        return 0
+    for finding in findings:
+        print(f"  {finding}")
+    print(f"{len(findings)} finding(s) (advisory)")
+    return 0
+
+
+def _run_dot(args: argparse.Namespace) -> int:
+    demo = _build_demo(args.system, "intact")
+    if args.what == "architecture":
+        print(architecture_to_dot(demo.architecture))
+    else:
+        print(mapping_to_dot(demo.mapping, demo.scenarios))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,159 @@
+"""Requirement-imposed communication constraints (paper §3.5).
+
+"Another possible inconsistency occurs when the structural description of
+the architecture violates constraints imposed by the requirements. For
+instance, a requirement for a distributed system could be 'Clients need to
+communicate through a central server.' This constraint can be violated if
+the architecture allows two clients to communicate directly, bypassing the
+central server."
+
+Constraints are checked against the architecture's structure and yield
+:class:`~repro.core.consistency.Inconsistency` findings of kind
+``CONSTRAINT_VIOLATION``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.adl.graph import can_communicate, communication_path
+from repro.adl.structure import Architecture
+from repro.core.consistency import Inconsistency, InconsistencyKind
+
+
+class Constraint:
+    """Base class: a named requirement on architecture structure."""
+
+    description: str = ""
+
+    def check(self, architecture: Architecture) -> list[Inconsistency]:
+        """Violations of this constraint by the architecture."""
+        raise NotImplementedError
+
+    def _violation(self, message: str, *elements: str) -> Inconsistency:
+        return Inconsistency(
+            kind=InconsistencyKind.CONSTRAINT_VIOLATION,
+            message=f"{self.description or type(self).__name__}: {message}",
+            elements=tuple(elements),
+        )
+
+
+@dataclass
+class MustRouteVia(Constraint):
+    """All communication between two components must pass through a
+    mediator — the paper's central-server example.
+
+    Violated when a path exists between the endpoints that avoids the
+    mediator (checked by removing the mediator and re-testing
+    reachability)."""
+
+    source: str
+    target: str
+    via: str
+    description: str = ""
+
+    def check(self, architecture: Architecture) -> list[Inconsistency]:
+        for name in (self.source, self.target, self.via):
+            architecture.element(name)
+        bypass = communication_path(
+            architecture, self.source, self.target, avoiding=(self.via,)
+        )
+        if bypass is None:
+            return []
+        return [
+            self._violation(
+                f"{self.source!r} can reach {self.target!r} without passing "
+                f"through {self.via!r} (path: {' - '.join(bypass)})",
+                self.source,
+                self.target,
+                self.via,
+            )
+        ]
+
+
+@dataclass
+class MustNotCommunicate(Constraint):
+    """Two components must have no communication path at all
+    (e.g. an isolation requirement between security domains)."""
+
+    first: str
+    second: str
+    description: str = ""
+
+    def check(self, architecture: Architecture) -> list[Inconsistency]:
+        for name in (self.first, self.second):
+            architecture.element(name)
+        path = communication_path(architecture, self.first, self.second)
+        if path is None:
+            return []
+        return [
+            self._violation(
+                f"{self.first!r} and {self.second!r} can communicate "
+                f"(path: {' - '.join(path)})",
+                self.first,
+                self.second,
+            )
+        ]
+
+
+@dataclass
+class RequiresPath(Constraint):
+    """Two components must be able to communicate (the structural
+    precondition of any scenario step flowing between them)."""
+
+    source: str
+    target: str
+    respect_directions: bool = False
+    description: str = ""
+
+    def check(self, architecture: Architecture) -> list[Inconsistency]:
+        for name in (self.source, self.target):
+            architecture.element(name)
+        if can_communicate(
+            architecture,
+            self.source,
+            self.target,
+            respect_directions=self.respect_directions,
+        ):
+            return []
+        return [
+            self._violation(
+                f"no communication path from {self.source!r} to {self.target!r}",
+                self.source,
+                self.target,
+            )
+        ]
+
+
+@dataclass
+class ForbidsDirectLink(Constraint):
+    """Two components must not be directly linked (communication, if any,
+    must be mediated by at least a connector)."""
+
+    first: str
+    second: str
+    description: str = ""
+
+    def check(self, architecture: Architecture) -> list[Inconsistency]:
+        for name in (self.first, self.second):
+            architecture.element(name)
+        links = architecture.links_between(self.first, self.second)
+        return [
+            self._violation(
+                f"direct link {link.name!r} joins {self.first!r} and "
+                f"{self.second!r}",
+                self.first,
+                self.second,
+            )
+            for link in links
+        ]
+
+
+def check_constraints(
+    architecture: Architecture, constraints: list[Constraint]
+) -> list[Inconsistency]:
+    """Check every constraint; return all violations."""
+    findings: list[Inconsistency] = []
+    for constraint in constraints:
+        findings.extend(constraint.check(architecture))
+    return findings

@@ -1,0 +1,131 @@
+"""Coverage analysis of an evaluation run.
+
+The paper notes (§3.2) that requirements scenarios "are often quite
+numerous" and evaluation time limited; knowing what a chosen subset of
+scenarios actually exercises tells the evaluator whether the subset is
+representative. :func:`compute_coverage` reports, for a scenario set and
+mapping:
+
+* which components are exercised (mapped to by a used event type) and
+  which are never touched;
+* which ontology event types are used, and how often (reuse);
+* per-scenario mapped/unmapped event counts.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.core.mapping import Mapping
+from repro.scenarioml.events import SimpleEvent, TypedEvent
+from repro.scenarioml.query import event_type_usage
+from repro.scenarioml.scenario import ScenarioSet
+
+
+@dataclass(frozen=True)
+class ScenarioCoverage:
+    """How well one scenario is grounded in the ontology and mapping."""
+
+    scenario: str
+    typed_events: int
+    simple_events: int
+    mapped_events: int
+
+    @property
+    def mappable_ratio(self) -> float:
+        """Mapped typed events over all leaf events (0.0 when empty)."""
+        total = self.typed_events + self.simple_events
+        return self.mapped_events / total if total else 0.0
+
+
+@dataclass(frozen=True)
+class CoverageReport:
+    """Aggregate coverage of a scenario set against an architecture."""
+
+    exercised_components: tuple[str, ...]
+    untouched_components: tuple[str, ...]
+    used_event_types: tuple[tuple[str, int], ...]  # (name, occurrences)
+    unused_event_types: tuple[str, ...]
+    scenarios: tuple[ScenarioCoverage, ...]
+
+    @property
+    def component_coverage(self) -> float:
+        """Fraction of top-level components exercised by the scenarios."""
+        total = len(self.exercised_components) + len(self.untouched_components)
+        return len(self.exercised_components) / total if total else 0.0
+
+    def render(self) -> str:
+        """A human-readable coverage summary."""
+        lines = [
+            f"component coverage: {len(self.exercised_components)}/"
+            f"{len(self.exercised_components) + len(self.untouched_components)}"
+            f" ({self.component_coverage:.0%})"
+        ]
+        if self.untouched_components:
+            lines.append(
+                "untouched components: " + ", ".join(self.untouched_components)
+            )
+        lines.append(
+            "event types used: "
+            + ", ".join(f"{name}x{count}" for name, count in self.used_event_types)
+        )
+        if self.unused_event_types:
+            lines.append(
+                "event types never used: " + ", ".join(self.unused_event_types)
+            )
+        for scenario in self.scenarios:
+            lines.append(
+                f"  {scenario.scenario}: {scenario.mapped_events}/"
+                f"{scenario.typed_events} typed events mapped, "
+                f"{scenario.simple_events} natural-language events"
+            )
+        return "\n".join(lines)
+
+
+def compute_coverage(
+    scenario_set: ScenarioSet, mapping: Mapping
+) -> CoverageReport:
+    """Compute what the scenario set exercises under the mapping."""
+    usage = event_type_usage(scenario_set.scenarios)
+    exercised: dict[str, None] = {}
+    for event_type_name in usage:
+        for component in mapping.components_for(event_type_name):
+            exercised.setdefault(mapping.top_level_component(component))
+    untouched = tuple(
+        component.name
+        for component in mapping.architecture.components
+        if component.name not in exercised
+    )
+    unused = tuple(
+        event_type.name
+        for event_type in scenario_set.ontology.event_types
+        if event_type.name not in usage and not event_type.abstract
+    )
+    per_scenario = []
+    for scenario in scenario_set:
+        typed = 0
+        simple = 0
+        mapped = 0
+        for event in scenario.all_events():
+            if isinstance(event, TypedEvent):
+                typed += 1
+                if mapping.is_mapped(event.type_name):
+                    mapped += 1
+            elif isinstance(event, SimpleEvent):
+                simple += 1
+        per_scenario.append(
+            ScenarioCoverage(
+                scenario=scenario.name,
+                typed_events=typed,
+                simple_events=simple,
+                mapped_events=mapped,
+            )
+        )
+    return CoverageReport(
+        exercised_components=tuple(exercised),
+        untouched_components=untouched,
+        used_event_types=tuple(sorted(usage.items(), key=lambda kv: (-kv[1], kv[0]))),
+        unused_event_types=unused,
+        scenarios=tuple(per_scenario),
+    )

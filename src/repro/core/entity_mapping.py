@@ -1,0 +1,150 @@
+"""Entity-based mapping (the paper's §8 future-work hypothesis).
+
+Instead of mapping each *event type* to components by the action it
+describes, map *domain entities* (classes and individuals) to the
+components responsible for them, and let each event's mapping be derived
+from the entities that appear in it: "the events that map to a specific
+component can be determined by the domain entities that appear in those
+events, rather than the actions the events describe."
+
+The paper hypothesizes this finer-grained mapping "can adapt under
+evolution more naturally": when a new event type is introduced that talks
+about already-known entities, it needs no new mapping work. The
+traceability benchmark exercises exactly that.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.adl.structure import Architecture
+from repro.core.mapping import Mapping
+from repro.errors import MappingError
+from repro.scenarioml.events import TypedEvent
+from repro.scenarioml.ontology import Ontology
+from repro.scenarioml.scenario import Scenario, ScenarioSet
+
+
+class EntityMapping:
+    """A map from domain entities (classes or individuals) to components.
+
+    Entity names may reference :class:`~repro.scenarioml.ontology.Instance`
+    or :class:`~repro.scenarioml.ontology.InstanceType` definitions. When
+    an event argument names an individual, both the individual's own
+    mapping and its class's mapping (transitively through superclasses)
+    contribute components.
+    """
+
+    def __init__(
+        self,
+        ontology: Ontology,
+        architecture: Architecture,
+        name: str = "entity-mapping",
+    ) -> None:
+        self.ontology = ontology
+        self.architecture = architecture
+        self.name = name
+        self._entity_to_components: dict[str, tuple[str, ...]] = {}
+
+    def map_entity(self, entity_name: str, *component_names: str) -> None:
+        """Map a domain class or individual to components."""
+        if not (
+            self.ontology.has_instance(entity_name)
+            or self.ontology.has_instance_type(entity_name)
+        ):
+            raise MappingError(
+                f"cannot map unknown domain entity {entity_name!r}"
+            )
+        if not component_names:
+            raise MappingError(
+                f"entity {entity_name!r} must map to at least one component"
+            )
+        for component_name in component_names:
+            if not _component_exists(self.architecture, component_name):
+                raise MappingError(
+                    f"cannot map entity {entity_name!r} to unknown component "
+                    f"{component_name!r}"
+                )
+        existing = list(self._entity_to_components.get(entity_name, ()))
+        for component_name in component_names:
+            if component_name not in existing:
+                existing.append(component_name)
+        self._entity_to_components[entity_name] = tuple(existing)
+
+    @property
+    def entries(self) -> dict[str, tuple[str, ...]]:
+        """A copy of the entity mapping entries."""
+        return dict(self._entity_to_components)
+
+    def components_for_entity(self, entity_name: str) -> tuple[str, ...]:
+        """Components responsible for an entity, following the class
+        hierarchy: an individual inherits its class's (and superclasses')
+        mapping."""
+        collected: list[str] = []
+        for candidate in self._entity_chain(entity_name):
+            for component in self._entity_to_components.get(candidate, ()):
+                if component not in collected:
+                    collected.append(component)
+        return tuple(collected)
+
+    def _entity_chain(self, entity_name: str) -> tuple[str, ...]:
+        chain = [entity_name]
+        if self.ontology.has_instance(entity_name):
+            type_name = self.ontology.instance(entity_name).type_name
+            chain.append(type_name)
+            if self.ontology.has_instance_type(type_name):
+                chain.extend(self.ontology.class_ancestors(type_name))
+        elif self.ontology.has_instance_type(entity_name):
+            chain.extend(self.ontology.class_ancestors(entity_name))
+        return tuple(chain)
+
+    def components_for_event(self, event: TypedEvent) -> tuple[str, ...]:
+        """Components derived from the entities referenced by a typed
+        event's arguments."""
+        collected: list[str] = []
+        for value in event.arguments.values():
+            if not (
+                self.ontology.has_instance(value)
+                or self.ontology.has_instance_type(value)
+            ):
+                continue
+            for component in self.components_for_entity(value):
+                if component not in collected:
+                    collected.append(component)
+        return tuple(collected)
+
+    def derive_event_mapping(
+        self,
+        scenario_set: ScenarioSet,
+        base: Optional[Mapping] = None,
+        name: str = "derived-mapping",
+    ) -> Mapping:
+        """Build an event-type :class:`Mapping` by deriving each used event
+        type's components from the entities appearing in its occurrences.
+
+        ``base`` optionally seeds the result (action-based entries), with
+        entity-derived components merged on top — the combined mode the
+        paper suggests.
+        """
+        mapping = Mapping(self.ontology, self.architecture, name=name)
+        if base is not None:
+            mapping.update(base.entries)
+        for scenario in scenario_set:
+            for event in scenario.typed_events():
+                components = self.components_for_event(event)
+                if components:
+                    mapping.map_event(event.type_name, *components)
+        return mapping
+
+    def __repr__(self) -> str:
+        return (
+            f"EntityMapping({self.name!r}: "
+            f"{len(self._entity_to_components)} entities)"
+        )
+
+
+def _component_exists(architecture: Architecture, name: str) -> bool:
+    return any(
+        component.name == name
+        for component in architecture.all_components(recursive=True)
+    )

@@ -1,0 +1,229 @@
+"""SOSAE: the evaluation facade (the paper's §8 tool, as a library).
+
+The paper's planned tool, SOSAE (Scenario and Ontology-based Software
+Architecture Evaluation), "facilitates the mapping between the ontology
+elements of the requirements and components of the architecture [and]
+provides the mechanism for automatically 'executing' the scenarios on the
+architecture." :class:`Sosae` is that tool as a library object: it holds
+the four artifacts of the approach (scenarios, architecture, mapping,
+and — optionally — dynamic bindings and constraints) and
+:meth:`Sosae.evaluate` runs the whole pipeline:
+
+1. validate the scenario set against its ontology;
+2. check the architecture against its declared style;
+3. check mapping coverage (unmapped used event types / unmapped
+   components);
+4. check requirement constraints against the structure;
+5. when behavior-check options are given, verify that mapped components'
+   statecharts can consume the scenarios' run-time triggers;
+6. walk every positive scenario statically and every negative scenario
+   with inverted polarity;
+7. when dynamic bindings are present, execute quality-attribute scenarios
+   on the simulated architecture.
+
+The result is one :class:`~repro.core.consistency.EvaluationReport`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from repro.adl.structure import Architecture
+from repro.adl.styles import check_style
+from repro.core.behavior_check import (
+    BehaviorCheckOptions,
+    check_behavioral_support,
+)
+from repro.core.consistency import (
+    EvaluationReport,
+    Inconsistency,
+    InconsistencyKind,
+    ScenarioVerdict,
+    Severity,
+)
+from repro.core.constraints import Constraint, check_constraints
+from repro.core.dynamic import (
+    DynamicEvaluator,
+    DynamicVerdict,
+    ScenarioBindings,
+)
+from repro.core.mapping import Mapping
+from repro.core.negative import evaluate_negative_scenario
+from repro.core.walkthrough import WalkthroughEngine, WalkthroughOptions
+from repro.errors import EvaluationError
+from repro.scenarioml.scenario import Scenario, ScenarioSet
+from repro.scenarioml.validation import IssueSeverity, validate_scenario_set
+from repro.sim.runtime import RuntimeConfig
+
+
+class Sosae:
+    """Scenario and Ontology-based Software Architecture Evaluation."""
+
+    def __init__(
+        self,
+        scenario_set: ScenarioSet,
+        architecture: Architecture,
+        mapping: Mapping,
+        constraints: Sequence[Constraint] = (),
+        bindings: Optional[ScenarioBindings] = None,
+        entity_to_component: Optional[dict[str, str]] = None,
+        walkthrough_options: Optional[WalkthroughOptions] = None,
+        runtime_config: Optional[RuntimeConfig] = None,
+        behavior_options: Optional[BehaviorCheckOptions] = None,
+    ) -> None:
+        self.scenario_set = scenario_set
+        self.architecture = architecture
+        self.mapping = mapping
+        self.constraints = list(constraints)
+        self.bindings = bindings
+        self.entity_to_component = dict(entity_to_component or {})
+        self.walkthrough_options = walkthrough_options or WalkthroughOptions()
+        self.runtime_config = runtime_config
+        self.behavior_options = behavior_options
+        self.engine = WalkthroughEngine(
+            architecture, mapping, self.walkthrough_options
+        )
+
+    # ------------------------------------------------------------------
+    # Pipeline
+    # ------------------------------------------------------------------
+
+    def evaluate(
+        self,
+        scenario_names: Optional[Iterable[str]] = None,
+        include_dynamic: bool = False,
+        dynamic_scenarios: Optional[Iterable[str]] = None,
+    ) -> EvaluationReport:
+        """Run the full evaluation pipeline.
+
+        ``scenario_names`` restricts which scenarios are walked (default:
+        all). ``include_dynamic`` additionally executes scenarios on the
+        simulated architecture — all quality-attribute scenarios by
+        default, or exactly ``dynamic_scenarios`` when given. Dynamic
+        execution requires bindings.
+        """
+        findings: list[Inconsistency] = []
+        findings.extend(self._validation_findings())
+        findings.extend(self._style_findings())
+        findings.extend(self._coverage_findings())
+        findings.extend(check_constraints(self.architecture, self.constraints))
+        if self.behavior_options is not None:
+            findings.extend(
+                check_behavioral_support(
+                    self.scenario_set,
+                    self.architecture,
+                    self.mapping,
+                    self.behavior_options,
+                )
+            )
+
+        verdicts = tuple(
+            self._walk(scenario)
+            for scenario in self._selected_scenarios(scenario_names)
+        )
+
+        dynamic_verdicts: tuple[DynamicVerdict, ...] = ()
+        if include_dynamic:
+            dynamic_verdicts = self._run_dynamic(dynamic_scenarios)
+
+        return EvaluationReport(
+            architecture=self.architecture.name,
+            scenario_verdicts=verdicts,
+            findings=tuple(findings),
+            dynamic_verdicts=dynamic_verdicts,
+        )
+
+    # ------------------------------------------------------------------
+    # Steps
+    # ------------------------------------------------------------------
+
+    def _selected_scenarios(
+        self, scenario_names: Optional[Iterable[str]]
+    ) -> tuple[Scenario, ...]:
+        if scenario_names is None:
+            return self.scenario_set.scenarios
+        return tuple(self.scenario_set.get(name) for name in scenario_names)
+
+    def _walk(self, scenario: Scenario) -> ScenarioVerdict:
+        if scenario.is_negative:
+            return evaluate_negative_scenario(
+                self.engine, scenario, self.scenario_set
+            )
+        return self.engine.walk_scenario(scenario, self.scenario_set)
+
+    def _validation_findings(self) -> list[Inconsistency]:
+        return [
+            Inconsistency(
+                kind=InconsistencyKind.VALIDATION_ERROR,
+                message=issue.message,
+                scenario=issue.scenario_name,
+                event_label=issue.event_label,
+                severity=(
+                    Severity.ERROR
+                    if issue.severity is IssueSeverity.ERROR
+                    else Severity.WARNING
+                ),
+            )
+            for issue in validate_scenario_set(self.scenario_set)
+        ]
+
+    def _style_findings(self) -> list[Inconsistency]:
+        return [
+            Inconsistency(
+                kind=InconsistencyKind.STYLE_VIOLATION,
+                message=str(violation),
+                elements=violation.elements,
+            )
+            for violation in check_style(self.architecture)
+        ]
+
+    def _coverage_findings(self) -> list[Inconsistency]:
+        findings = [
+            Inconsistency(
+                kind=InconsistencyKind.UNMAPPED_EVENT,
+                message=(
+                    f"event type {name!r} is used by the scenarios but maps "
+                    "to no component"
+                ),
+                severity=Severity.WARNING,
+            )
+            for name in self.mapping.unmapped_event_types(self.scenario_set)
+        ]
+        findings.extend(
+            Inconsistency(
+                kind=InconsistencyKind.UNMAPPED_COMPONENT,
+                message=(
+                    f"component {name!r} is mapped to by no event type; the "
+                    "scenarios cannot exercise it"
+                ),
+                elements=(name,),
+                severity=Severity.WARNING,
+            )
+            for name in self.mapping.unmapped_components()
+        )
+        return findings
+
+    def _run_dynamic(
+        self, dynamic_scenarios: Optional[Iterable[str]]
+    ) -> tuple[DynamicVerdict, ...]:
+        if self.bindings is None:
+            raise EvaluationError(
+                "dynamic evaluation requested but no scenario bindings given"
+            )
+        evaluator = DynamicEvaluator(
+            self.architecture,
+            self.bindings,
+            mapping=self.mapping,
+            config=self.runtime_config,
+            entity_to_component=self.entity_to_component,
+        )
+        if dynamic_scenarios is None:
+            selected = self.scenario_set.quality_scenarios()
+        else:
+            selected = tuple(
+                self.scenario_set.get(name) for name in dynamic_scenarios
+            )
+        return tuple(
+            evaluator.evaluate(scenario, self.scenario_set)
+            for scenario in selected
+        )

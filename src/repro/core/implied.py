@@ -1,0 +1,162 @@
+"""Implied-scenario detection (paper §8, after Uchitel et al. 2001).
+
+The paper's future work: "These in turn could be used to derive implied
+scenarios from the combined stakeholder and architectural scenarios, using
+the approach of Uchitel et al., in order to identify possibly undesired
+implied scenarios."
+
+An *implied scenario* arises because components only have local views:
+each component knows which event hand-offs it participates in, but not the
+global scenario those hand-offs came from. When local views from different
+scenarios chain together, the system can exhibit an end-to-end behavior no
+stakeholder scenario specifies. This module implements the detection over
+the approach's own artifacts:
+
+1. every scenario trace is reduced to its sequence of typed events;
+2. the observed *hand-offs* (consecutive event-type pairs, with the
+   components that realize them under the mapping) form a step graph,
+   with the first and last event types of each trace as entry/exit steps;
+3. every path from an entry to an exit step through observed hand-offs is
+   a behavior the components' combined local views admit;
+4. paths whose event-type sequence equals no specified trace are reported
+   as :class:`ImpliedScenario` candidates, each carrying the *witness*
+   scenarios whose hand-offs it stitches together.
+
+A specification is *closed* when no candidates exist. Candidates are not
+necessarily bugs — the stakeholder decides (which is exactly Uchitel's
+point) — but each is a concrete question to take back to requirements
+elicitation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from repro.core.mapping import Mapping
+from repro.scenarioml.events import TypedEvent
+from repro.scenarioml.scenario import ScenarioSet, TraceOptions
+
+
+@dataclass(frozen=True)
+class ImpliedScenario:
+    """One behavior admitted by local views but specified by no scenario."""
+
+    event_types: tuple[str, ...]
+    components: tuple[tuple[str, ...], ...]
+    witnesses: tuple[str, ...]
+
+    def render(self, mapping: Optional[Mapping] = None) -> str:
+        """A one-line rendering of the implied event chain."""
+        steps = " -> ".join(self.event_types)
+        return (
+            f"implied: {steps} (stitched from: {', '.join(self.witnesses)})"
+        )
+
+
+@dataclass(frozen=True)
+class ImpliedScenarioReport:
+    """The outcome of an implied-scenario analysis."""
+
+    implied: tuple[ImpliedScenario, ...]
+    specified_sequences: tuple[tuple[str, ...], ...]
+    truncated: bool
+
+    @property
+    def closed(self) -> bool:
+        """Whether the specification admits no implied scenarios (within
+        the search bounds)."""
+        return not self.implied and not self.truncated
+
+
+def detect_implied_scenarios(
+    scenario_set: ScenarioSet,
+    mapping: Mapping,
+    max_length: int = 8,
+    limit: int = 100,
+    trace_options: Optional[TraceOptions] = None,
+) -> ImpliedScenarioReport:
+    """Find event-type chains the local views admit but no scenario
+    specifies.
+
+    ``max_length`` bounds the chain length searched; ``limit`` caps the
+    number of candidates returned (``truncated`` is set when the cap or
+    the length bound cut the search short).
+    """
+    sequences: list[tuple[str, ...]] = []
+    edge_witnesses: dict[tuple[str, str], set[str]] = {}
+    entries: dict[str, set[str]] = {}
+    exits: dict[str, set[str]] = {}
+
+    for scenario in scenario_set:
+        for trace in scenario_set.traces(scenario.name, trace_options):
+            typed = [
+                event.type_name
+                for event in trace
+                if isinstance(event, TypedEvent)
+            ]
+            if not typed:
+                continue
+            sequences.append(tuple(typed))
+            entries.setdefault(typed[0], set()).add(scenario.name)
+            exits.setdefault(typed[-1], set()).add(scenario.name)
+            for source, target in zip(typed, typed[1:]):
+                edge_witnesses.setdefault((source, target), set()).add(
+                    scenario.name
+                )
+
+    specified = set(sequences)
+    successors: dict[str, list[str]] = {}
+    for (source, target) in edge_witnesses:
+        successors.setdefault(source, []).append(target)
+
+    implied: list[ImpliedScenario] = []
+    truncated = False
+    for chain in _enumerate_chains(entries, exits, successors, max_length):
+        if chain in specified:
+            continue
+        witnesses: set[str] = set()
+        for source, target in zip(chain, chain[1:]):
+            witnesses.update(edge_witnesses[(source, target)])
+        if len(chain) == 1:
+            witnesses.update(entries.get(chain[0], set()))
+        implied.append(
+            ImpliedScenario(
+                event_types=chain,
+                components=tuple(
+                    mapping.components_for(event_type) for event_type in chain
+                ),
+                witnesses=tuple(sorted(witnesses)),
+            )
+        )
+        if len(implied) >= limit:
+            truncated = True
+            break
+    return ImpliedScenarioReport(
+        implied=tuple(implied),
+        specified_sequences=tuple(sorted(specified)),
+        truncated=truncated,
+    )
+
+
+def _enumerate_chains(
+    entries: dict[str, set[str]],
+    exits: dict[str, set[str]],
+    successors: dict[str, list[str]],
+    max_length: int,
+) -> Iterator[tuple[str, ...]]:
+    """All entry-to-exit paths through observed hand-offs, shortest first,
+    without revisiting an event type within one chain (loop-free)."""
+    frontier: list[tuple[str, ...]] = [(entry,) for entry in sorted(entries)]
+    while frontier:
+        next_frontier: list[tuple[str, ...]] = []
+        for chain in frontier:
+            if chain[-1] in exits and len(chain) > 0:
+                yield chain
+            if len(chain) >= max_length:
+                continue
+            for target in sorted(successors.get(chain[-1], ())):
+                if target in chain:
+                    continue  # loop-free search
+                next_frontier.append((*chain, target))
+        frontier = next_frontier

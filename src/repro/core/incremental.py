@@ -1,0 +1,185 @@
+"""Incremental re-evaluation after architecture evolution.
+
+The paper's maintenance story (§5): when artifacts evolve, the
+requirements↔architecture trace links "assist developers in locating other
+artifacts that also need modifications." This module operationalizes that
+into an evaluation-time saving: given the previous
+:class:`~repro.core.consistency.EvaluationReport` and the architecture
+diff, only scenarios whose trace links touch changed elements are
+re-walked; every other verdict is carried over unchanged.
+
+This is sound for the static walkthrough because a scenario's verdict
+depends only on (a) the mapping entries of its event types and (b) the
+pairwise reachability of the mapped components. The impact set therefore
+combines two signals:
+
+* components whose *reachability set* (undirected and directed) differs
+  between the old and new architectures — this captures every possible
+  connectivity change, including ones whose changed link touches only
+  connectors far from the mapped components;
+* components directly touched by the diff (description/property changes,
+  additions, removals) — these cannot flip a static verdict today, but
+  re-walking them is cheap insurance against policy extensions.
+
+Scenarios tracing to neither kind of component provably keep their
+verdicts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.adl.diff import ArchitectureDiff, diff_architectures
+from repro.adl.structure import Architecture
+from repro.core.consistency import EvaluationReport, ScenarioVerdict
+from repro.core.mapping import Mapping
+from repro.core.negative import evaluate_negative_scenario
+from repro.core.traceability import TraceabilityMatrix
+from repro.core.walkthrough import WalkthroughEngine, WalkthroughOptions
+from repro.scenarioml.scenario import ScenarioSet
+
+
+@dataclass(frozen=True)
+class IncrementalResult:
+    """The updated report plus bookkeeping about what was re-walked."""
+
+    report: EvaluationReport
+    rewalked: tuple[str, ...]
+    carried_over: tuple[str, ...]
+
+    @property
+    def savings(self) -> float:
+        """Fraction of scenario walkthroughs avoided."""
+        total = len(self.rewalked) + len(self.carried_over)
+        return len(self.carried_over) / total if total else 0.0
+
+
+def impacted_scenario_names(
+    scenario_set: ScenarioSet,
+    mapping: Mapping,
+    diff: ArchitectureDiff,
+    old_architecture: Architecture,
+    new_architecture: Architecture | None = None,
+) -> frozenset[str]:
+    """Scenarios whose verdicts may change under ``diff``.
+
+    With both architectures available, impact is computed exactly from
+    per-component reachability deltas (plus directly touched components).
+    Without ``new_architecture``, the older conservative widening is used:
+    every changed connector pulls in its adjacent components.
+    """
+    touched = set(diff.touched_elements())
+    if new_architecture is not None:
+        changed = set(
+            _reachability_changed_components(old_architecture, new_architecture)
+        )
+        changed.update(
+            element for element in touched if _is_component(old_architecture, element)
+        )
+        changed.update(diff.added_components)
+        relevant = changed
+    else:
+        relevant = set(touched)
+        for element in touched:
+            if old_architecture.has_element(element) and (
+                old_architecture.is_connector(element)
+            ):
+                relevant.update(old_architecture.neighbors(element))
+    matrix = TraceabilityMatrix(scenario_set, mapping)
+    return frozenset(matrix.impacted_scenarios(relevant))
+
+
+def _is_component(architecture: Architecture, element: str) -> bool:
+    return architecture.has_element(element) and architecture.is_component(element)
+
+
+def _reachability_changed_components(
+    old: Architecture, new: Architecture
+) -> frozenset[str]:
+    """Components whose reachability set (undirected or directed) differs
+    between the two architecture versions. Components present in only one
+    version count as changed."""
+    import networkx as nx
+
+    from repro.adl.graph import (
+        communication_graph,
+        directed_communication_graph,
+    )
+
+    old_names = {component.name for component in old.components}
+    new_names = {component.name for component in new.components}
+    changed = set(old_names ^ new_names)
+
+    old_undirected = nx.Graph(communication_graph(old))
+    new_undirected = nx.Graph(communication_graph(new))
+    old_directed = directed_communication_graph(old)
+    new_directed = directed_communication_graph(new)
+    for name in old_names & new_names:
+        old_reach = nx.node_connected_component(old_undirected, name)
+        new_reach = nx.node_connected_component(new_undirected, name)
+        if old_reach != new_reach:
+            changed.add(name)
+            continue
+        if nx.descendants(old_directed, name) != nx.descendants(
+            new_directed, name
+        ):
+            changed.add(name)
+    return frozenset(changed)
+
+
+def reevaluate(
+    previous: EvaluationReport,
+    scenario_set: ScenarioSet,
+    old_architecture: Architecture,
+    new_architecture: Architecture,
+    mapping: Mapping,
+    options: WalkthroughOptions | None = None,
+) -> IncrementalResult:
+    """Update ``previous`` for ``new_architecture``, re-walking only
+    impacted scenarios.
+
+    The returned report contains fresh verdicts for impacted scenarios
+    and the previous verdicts for everything else. Non-scenario findings
+    (style, coverage, constraints) are *not* recomputed here — use the
+    full :class:`~repro.core.evaluator.Sosae` pipeline when those matter.
+    """
+    diff = diff_architectures(old_architecture, new_architecture)
+    impacted = impacted_scenario_names(
+        scenario_set, mapping, diff, old_architecture, new_architecture
+    )
+    rebound = Mapping.from_dict(
+        mapping.to_dict(), mapping.ontology, new_architecture
+    )
+    engine = WalkthroughEngine(new_architecture, rebound, options)
+
+    verdicts: list[ScenarioVerdict] = []
+    rewalked: list[str] = []
+    carried: list[str] = []
+    previous_by_name = {
+        verdict.scenario: verdict for verdict in previous.scenario_verdicts
+    }
+    for scenario in scenario_set:
+        if scenario.name in impacted or scenario.name not in previous_by_name:
+            if scenario.is_negative:
+                verdict = evaluate_negative_scenario(
+                    engine, scenario, scenario_set
+                )
+            else:
+                verdict = engine.walk_scenario(scenario, scenario_set)
+            verdicts.append(verdict)
+            rewalked.append(scenario.name)
+        else:
+            verdicts.append(previous_by_name[scenario.name])
+            carried.append(scenario.name)
+
+    report = EvaluationReport(
+        architecture=new_architecture.name,
+        scenario_verdicts=tuple(verdicts),
+        findings=previous.findings,
+        dynamic_verdicts=previous.dynamic_verdicts,
+    )
+    return IncrementalResult(
+        report=report,
+        rewalked=tuple(rewalked),
+        carried_over=tuple(carried),
+    )

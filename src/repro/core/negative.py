@@ -1,0 +1,83 @@
+"""Negative-scenario evaluation (paper §3.5).
+
+"Some quality attributes can be more effectively described using negative
+scenarios. A negative scenario describes an undesirable behavior of a
+system. In this case, the inconsistency is identified by a successful
+execution of the negative scenario."
+
+:func:`evaluate_negative_scenario` walks a negative scenario like any
+other and inverts the polarity: a *clean* walkthrough means the
+architecture structurally admits the undesirable behavior, which is
+reported as a ``NEGATIVE_SCENARIO_SUCCEEDED`` inconsistency. A walkthrough
+that fails (the undesirable flow has no communication path) means the
+architecture blocks the behavior — the desired outcome.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.consistency import (
+    Inconsistency,
+    InconsistencyKind,
+    ScenarioVerdict,
+)
+from repro.core.walkthrough import WalkthroughEngine
+from repro.errors import EvaluationError
+from repro.scenarioml.scenario import Scenario, ScenarioSet
+
+
+def evaluate_negative_scenario(
+    engine: WalkthroughEngine,
+    scenario: Scenario,
+    scenario_set: ScenarioSet,
+) -> ScenarioVerdict:
+    """Walk a negative scenario and invert its polarity.
+
+    Returns a verdict whose ``passed`` is true when the architecture
+    *blocks* the scenario, and which carries a
+    ``NEGATIVE_SCENARIO_SUCCEEDED`` finding when it does not.
+    """
+    if not scenario.is_negative:
+        raise EvaluationError(
+            f"scenario {scenario.name!r} is not negative; use the regular "
+            "walkthrough"
+        )
+    raw = engine.walk_scenario(scenario, scenario_set)
+    if not raw.walkthrough_succeeded or _has_unrealizable_event(raw):
+        # Blocked (or not even realizable): the architecture does not admit
+        # the undesirable behavior. Polarity is handled by the verdict; an
+        # unrealizable typed event must count as blocking here even though
+        # it is only a warning for positive scenarios.
+        return ScenarioVerdict(
+            scenario=raw.scenario,
+            traces=raw.traces,
+            inconsistencies=raw.inconsistencies,
+            negative=True,
+            blocked=True,
+        )
+    finding = Inconsistency(
+        kind=InconsistencyKind.NEGATIVE_SCENARIO_SUCCEEDED,
+        message=(
+            f"negative scenario {scenario.title or scenario.name!r} executes "
+            "successfully: the architecture admits the undesirable behavior"
+        ),
+        scenario=scenario.name,
+    )
+    return ScenarioVerdict(
+        scenario=raw.scenario,
+        traces=raw.traces,
+        inconsistencies=(*raw.inconsistencies, finding),
+        negative=True,
+    )
+
+
+def _has_unrealizable_event(verdict: ScenarioVerdict) -> bool:
+    """Whether any trace contains a typed event that resolved to no
+    component — the architecture cannot even host the behavior, so a
+    negative scenario counts as blocked."""
+    return any(
+        step.event_type is not None and not step.components
+        for trace in verdict.traces
+        for step in trace.steps
+    )

@@ -1,0 +1,78 @@
+"""Rendering evaluation reports as text or markdown."""
+
+from __future__ import annotations
+
+from repro.core.consistency import EvaluationReport, Severity
+
+
+def render_report(report: EvaluationReport, markdown: bool = False) -> str:
+    """A complete human-readable account of an evaluation run."""
+    if markdown:
+        return _render_markdown(report)
+    return _render_text(report)
+
+
+def _render_text(report: EvaluationReport) -> str:
+    lines = [
+        f"Evaluation of architecture {report.architecture!r}",
+        f"overall: {'CONSISTENT' if report.consistent else 'INCONSISTENT'}",
+        f"scenarios: {len(report.passed_scenarios)} passed, "
+        f"{len(report.failed_scenarios)} failed",
+        "",
+    ]
+    for verdict in report.scenario_verdicts:
+        lines.append(verdict.render())
+        lines.append("")
+    if report.dynamic_verdicts:
+        lines.append("dynamic execution:")
+        for verdict in report.dynamic_verdicts:
+            lines.append(verdict.render())
+        lines.append("")
+    if report.findings:
+        lines.append("other findings:")
+        for finding in report.findings:
+            lines.append(f"  ! {finding}")
+    return "\n".join(lines).rstrip() + "\n"
+
+
+def _render_markdown(report: EvaluationReport) -> str:
+    status = "**CONSISTENT**" if report.consistent else "**INCONSISTENT**"
+    lines = [
+        f"# Evaluation of `{report.architecture}`",
+        "",
+        f"Overall: {status} — {len(report.passed_scenarios)} scenario(s) "
+        f"passed, {len(report.failed_scenarios)} failed.",
+        "",
+        "| scenario | kind | verdict | findings |",
+        "|---|---|---|---|",
+    ]
+    for verdict in report.scenario_verdicts:
+        kind = "negative" if verdict.negative else "positive"
+        outcome = "pass" if verdict.passed else "FAIL"
+        errors = sum(
+            1
+            for finding in verdict.all_inconsistencies()
+            if finding.severity is Severity.ERROR
+        )
+        warnings = sum(
+            1
+            for finding in verdict.all_inconsistencies()
+            if finding.severity is Severity.WARNING
+        )
+        lines.append(
+            f"| {verdict.scenario} | {kind} | {outcome} | "
+            f"{errors} error(s), {warnings} warning(s) |"
+        )
+    if report.dynamic_verdicts:
+        lines.extend(["", "## Dynamic execution", ""])
+        lines.append("| scenario | verdict |")
+        lines.append("|---|---|")
+        for verdict in report.dynamic_verdicts:
+            outcome = "pass" if verdict.passed else "FAIL"
+            lines.append(f"| {verdict.scenario} | {outcome} |")
+    findings = report.all_inconsistencies()
+    if findings:
+        lines.extend(["", "## Findings", ""])
+        for finding in findings:
+            lines.append(f"- {finding}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,307 @@
+"""Evaluation-report persistence and baseline comparison.
+
+Evaluation belongs in continuous integration: evaluate on every change,
+persist the report, and compare against the last accepted baseline so a
+requirements/architecture drift shows up as a *regression* rather than a
+wall of findings someone has to eyeball. This module serializes
+:class:`~repro.core.consistency.EvaluationReport` to JSON (dynamic
+verdicts are stored without their message traces — traces are run
+artifacts, not results) and diffs two reports verdict-by-verdict.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.consistency import (
+    EvaluationReport,
+    Inconsistency,
+    InconsistencyKind,
+    ScenarioVerdict,
+    Severity,
+    TraceWalkthrough,
+    WalkthroughStep,
+)
+from repro.errors import SerializationError
+
+_FORMAT_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# Serialization
+# ----------------------------------------------------------------------
+
+def report_to_dict(report: EvaluationReport) -> dict:
+    """A JSON-serializable representation of a report.
+
+    Dynamic verdicts keep their pass/fail outcome and findings; the
+    message traces are intentionally dropped.
+    """
+    return {
+        "format": _FORMAT_VERSION,
+        "architecture": report.architecture,
+        "findings": [_inconsistency_to_dict(f) for f in report.findings],
+        "scenario_verdicts": [
+            _verdict_to_dict(verdict) for verdict in report.scenario_verdicts
+        ],
+        "dynamic_verdicts": [
+            {
+                "scenario": verdict.scenario,
+                "passed": verdict.passed,
+                "negative": verdict.negative,
+                "findings": [
+                    _inconsistency_to_dict(f) for f in verdict.findings
+                ],
+            }
+            for verdict in report.dynamic_verdicts
+        ],
+    }
+
+
+def report_to_json(report: EvaluationReport, indent: int = 2) -> str:
+    """Serialize a report to JSON text."""
+    return json.dumps(report_to_dict(report), indent=indent)
+
+
+def _verdict_to_dict(verdict: ScenarioVerdict) -> dict:
+    return {
+        "scenario": verdict.scenario,
+        "negative": verdict.negative,
+        "blocked": verdict.blocked,
+        "passed": verdict.passed,
+        "inconsistencies": [
+            _inconsistency_to_dict(f) for f in verdict.inconsistencies
+        ],
+        "traces": [
+            {
+                "index": trace.trace_index,
+                "inconsistencies": [
+                    _inconsistency_to_dict(f) for f in trace.inconsistencies
+                ],
+                "steps": [_step_to_dict(step) for step in trace.steps],
+            }
+            for trace in verdict.traces
+        ],
+    }
+
+
+def _step_to_dict(step: WalkthroughStep) -> dict:
+    return {
+        "event": step.event_rendering,
+        "label": step.event_label,
+        "type": step.event_type,
+        "components": list(step.components),
+        "path": list(step.path) if step.path is not None else None,
+        "ok": step.ok,
+        "note": step.note,
+    }
+
+
+def _inconsistency_to_dict(finding: Inconsistency) -> dict:
+    return {
+        "kind": finding.kind.value,
+        "severity": finding.severity.value,
+        "message": finding.message,
+        "scenario": finding.scenario,
+        "label": finding.event_label,
+        "elements": list(finding.elements),
+    }
+
+
+# ----------------------------------------------------------------------
+# Deserialization
+# ----------------------------------------------------------------------
+
+def report_from_dict(data: dict) -> EvaluationReport:
+    """Rebuild a report from :func:`report_to_dict` output.
+
+    Dynamic verdicts come back as :class:`StoredDynamicVerdict` — same
+    outcome surface, no trace.
+    """
+    if data.get("format") != _FORMAT_VERSION:
+        raise SerializationError(
+            f"unsupported report format {data.get('format')!r} "
+            f"(expected {_FORMAT_VERSION})"
+        )
+    return EvaluationReport(
+        architecture=data["architecture"],
+        findings=tuple(
+            _inconsistency_from_dict(item) for item in data.get("findings", ())
+        ),
+        scenario_verdicts=tuple(
+            _verdict_from_dict(item)
+            for item in data.get("scenario_verdicts", ())
+        ),
+        dynamic_verdicts=tuple(
+            StoredDynamicVerdict(
+                scenario=item["scenario"],
+                passed=item["passed"],
+                negative=item.get("negative", False),
+                findings=tuple(
+                    _inconsistency_from_dict(finding)
+                    for finding in item.get("findings", ())
+                ),
+            )
+            for item in data.get("dynamic_verdicts", ())
+        ),
+    )
+
+
+def report_from_json(text: str) -> EvaluationReport:
+    """Rebuild a report from JSON text."""
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise SerializationError(f"malformed report JSON: {error}") from error
+    return report_from_dict(data)
+
+
+@dataclass(frozen=True)
+class StoredDynamicVerdict:
+    """A dynamic verdict restored from persistence (trace omitted)."""
+
+    scenario: str
+    passed: bool
+    negative: bool = False
+    findings: tuple[Inconsistency, ...] = ()
+
+    def render(self) -> str:
+        """Match the live verdict's rendering shape."""
+        status = "PASS" if self.passed else "FAIL"
+        flavor = " (negative)" if self.negative else ""
+        lines = [f"{status} {self.scenario}{flavor}  [stored]"]
+        for finding in self.findings:
+            lines.append(f"  ! {finding}")
+        return "\n".join(lines)
+
+
+def _verdict_from_dict(data: dict) -> ScenarioVerdict:
+    return ScenarioVerdict(
+        scenario=data["scenario"],
+        negative=data.get("negative", False),
+        blocked=data.get("blocked", False),
+        inconsistencies=tuple(
+            _inconsistency_from_dict(item)
+            for item in data.get("inconsistencies", ())
+        ),
+        traces=tuple(
+            TraceWalkthrough(
+                trace_index=trace["index"],
+                inconsistencies=tuple(
+                    _inconsistency_from_dict(item)
+                    for item in trace.get("inconsistencies", ())
+                ),
+                steps=tuple(
+                    _step_from_dict(step) for step in trace.get("steps", ())
+                ),
+            )
+            for trace in data.get("traces", ())
+        ),
+    )
+
+
+def _step_from_dict(data: dict) -> WalkthroughStep:
+    path = data.get("path")
+    return WalkthroughStep(
+        event_rendering=data["event"],
+        event_label=data.get("label"),
+        event_type=data.get("type"),
+        components=tuple(data.get("components", ())),
+        path=tuple(path) if path is not None else None,
+        ok=data["ok"],
+        note=data.get("note", ""),
+    )
+
+
+def _inconsistency_from_dict(data: dict) -> Inconsistency:
+    try:
+        kind = InconsistencyKind(data["kind"])
+        severity = Severity(data.get("severity", "error"))
+    except ValueError as error:
+        raise SerializationError(str(error)) from error
+    return Inconsistency(
+        kind=kind,
+        severity=severity,
+        message=data["message"],
+        scenario=data.get("scenario"),
+        event_label=data.get("label"),
+        elements=tuple(data.get("elements", ())),
+    )
+
+
+# ----------------------------------------------------------------------
+# Baseline comparison
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ReportComparison:
+    """How a report moved relative to a baseline."""
+
+    regressions: tuple[str, ...]      # passed before, fails now
+    fixes: tuple[str, ...]            # failed before, passes now
+    new_scenarios: tuple[str, ...]    # no baseline verdict
+    removed_scenarios: tuple[str, ...]
+
+    @property
+    def clean(self) -> bool:
+        """Whether nothing regressed."""
+        return not self.regressions
+
+    def summary(self) -> str:
+        """A human-readable movement summary."""
+        parts = []
+        for title, names in (
+            ("regressions", self.regressions),
+            ("fixes", self.fixes),
+            ("new scenarios", self.new_scenarios),
+            ("removed scenarios", self.removed_scenarios),
+        ):
+            if names:
+                parts.append(f"{title}: {', '.join(names)}")
+        return "; ".join(parts) if parts else "no verdict changes"
+
+
+def compare_reports(
+    baseline: EvaluationReport, current: EvaluationReport
+) -> ReportComparison:
+    """Diff two reports' scenario verdicts (static and dynamic merged:
+    a scenario regresses when any of its verdicts flipped to failing)."""
+
+    def outcomes(report: EvaluationReport) -> dict[str, bool]:
+        merged: dict[str, bool] = {}
+        for verdict in report.scenario_verdicts:
+            merged[verdict.scenario] = (
+                merged.get(verdict.scenario, True) and verdict.passed
+            )
+        for verdict in report.dynamic_verdicts:
+            merged[verdict.scenario] = (
+                merged.get(verdict.scenario, True) and verdict.passed
+            )
+        return merged
+
+    before = outcomes(baseline)
+    after = outcomes(current)
+    regressions = tuple(
+        sorted(
+            name
+            for name, passed in after.items()
+            if name in before and before[name] and not passed
+        )
+    )
+    fixes = tuple(
+        sorted(
+            name
+            for name, passed in after.items()
+            if name in before and not before[name] and passed
+        )
+    )
+    new_scenarios = tuple(sorted(set(after) - set(before)))
+    removed_scenarios = tuple(sorted(set(before) - set(after)))
+    return ReportComparison(
+        regressions=regressions,
+        fixes=fixes,
+        new_scenarios=new_scenarios,
+        removed_scenarios=removed_scenarios,
+    )

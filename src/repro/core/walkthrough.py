@@ -1,0 +1,366 @@
+"""The static walkthrough engine (paper §3.5).
+
+"The task of evaluating an architecture against a set of scenarios
+consists of going through the sequence of the events in the scenarios,
+using the established mapping to match events to components, while
+simulating the behavior of the matched components."
+
+For each expanded trace of a scenario the engine steps through the leaf
+events:
+
+* a *typed* event resolves through the mapping to its components (with
+  supertype fallback); an unmappable event is reported per policy;
+* *within* an event that maps to several components, the components must
+  form a connected chain in mapping order — the event's high-level action
+  decomposes into low-level actions flowing through them (this is what
+  fails in the paper's Fig. 4: the save event needs Loader → Data Access →
+  Data Repository, and the excised link breaks the chain);
+* *between* successive events, some component of the earlier event must be
+  able to communicate with some component of the later one ("if two
+  successive events match two components ... the two components may need
+  to be able to communicate");
+* a *simple* (natural-language) event has no ontology backing and is
+  skipped with a warning — it cannot be mapped, which is itself useful
+  feedback about scenario quality.
+
+A missing communication path is a :class:`~repro.core.consistency.Inconsistency`
+of kind ``MISSING_LINK``. Negative scenarios are walked identically; their
+polarity is inverted by the verdict (a negative scenario that walks
+cleanly is the inconsistency).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.adl.graph import communication_path
+from repro.adl.structure import Architecture
+from repro.core.consistency import (
+    Inconsistency,
+    InconsistencyKind,
+    ScenarioVerdict,
+    Severity,
+    TraceWalkthrough,
+    WalkthroughStep,
+)
+from repro.core.mapping import Mapping
+from repro.errors import EvaluationError
+from repro.scenarioml.events import Event, SimpleEvent, TypedEvent
+from repro.scenarioml.scenario import Scenario, ScenarioSet, TraceOptions
+
+
+@dataclass(frozen=True)
+class WalkthroughOptions:
+    """Tunable policies of the walkthrough engine.
+
+    ``respect_directions`` — honour interface directions when searching
+    communication paths (stricter, catches one-way layering violations).
+    ``intra_event_respect_directions`` / ``inter_event_respect_directions``
+    — per-check overrides of ``respect_directions``. The useful asymmetry
+    (used by the PIMS case study): *within* an event the components form a
+    data-flow chain that must follow service-invocation directions, while
+    *between* events the scenario's focus merely moves, and replies flow
+    back along request links, so the undirected view is appropriate.
+    ``unmapped_event_policy`` / ``simple_event_policy`` — ``"error"``,
+    ``"warn"``, or ``"ignore"`` for events that resolve to no component.
+    ``check_intra_event_chain`` — require the components of a single event
+    to form a connected chain in mapping order.
+    ``check_inter_event`` — require successive events' components to be
+    able to communicate.
+    ``trace_options`` — bounds for scenario trace expansion.
+    """
+
+    respect_directions: bool = False
+    intra_event_respect_directions: Optional[bool] = None
+    inter_event_respect_directions: Optional[bool] = None
+    unmapped_event_policy: str = "warn"
+    simple_event_policy: str = "warn"
+    check_intra_event_chain: bool = True
+    check_inter_event: bool = True
+    trace_options: TraceOptions = field(default_factory=TraceOptions)
+
+    _POLICIES = ("error", "warn", "ignore")
+
+    def __post_init__(self) -> None:
+        for policy in (self.unmapped_event_policy, self.simple_event_policy):
+            if policy not in self._POLICIES:
+                raise EvaluationError(
+                    f"unknown policy {policy!r}; expected one of {self._POLICIES}"
+                )
+
+    @property
+    def intra_event_directed(self) -> bool:
+        """Effective direction-sensitivity of intra-event chain checks."""
+        if self.intra_event_respect_directions is None:
+            return self.respect_directions
+        return self.intra_event_respect_directions
+
+    @property
+    def inter_event_directed(self) -> bool:
+        """Effective direction-sensitivity of inter-event checks."""
+        if self.inter_event_respect_directions is None:
+            return self.respect_directions
+        return self.inter_event_respect_directions
+
+
+class WalkthroughEngine:
+    """Walks scenarios over an architecture through a mapping."""
+
+    def __init__(
+        self,
+        architecture: Architecture,
+        mapping: Mapping,
+        options: Optional[WalkthroughOptions] = None,
+    ) -> None:
+        if mapping.architecture is not architecture:
+            # A mapping built against a different (e.g. pre-evolution)
+            # architecture object is fine as long as the entries resolve.
+            mapping = Mapping.from_dict(
+                mapping.to_dict(), mapping.ontology, architecture
+            )
+        self.architecture = architecture
+        self.mapping = mapping
+        self.options = options or WalkthroughOptions()
+
+    # ------------------------------------------------------------------
+    # Entry points
+    # ------------------------------------------------------------------
+
+    def walk_all(self, scenario_set: ScenarioSet) -> tuple[ScenarioVerdict, ...]:
+        """Walk every scenario in the set."""
+        return tuple(
+            self.walk_scenario(scenario, scenario_set) for scenario in scenario_set
+        )
+
+    def walk_scenario(
+        self, scenario: Scenario, scenario_set: ScenarioSet
+    ) -> ScenarioVerdict:
+        """Walk every bounded trace of one scenario."""
+        traces = scenario_set.traces(scenario.name, self.options.trace_options)
+        walked = tuple(
+            self._walk_trace(scenario, index, trace)
+            for index, trace in enumerate(traces)
+        )
+        return ScenarioVerdict(
+            scenario=scenario.name,
+            traces=walked,
+            negative=scenario.is_negative,
+        )
+
+    # ------------------------------------------------------------------
+    # Trace walkthrough
+    # ------------------------------------------------------------------
+
+    def _walk_trace(
+        self, scenario: Scenario, index: int, trace: tuple[Event, ...]
+    ) -> TraceWalkthrough:
+        steps: list[WalkthroughStep] = []
+        findings: list[Inconsistency] = []
+        previous_components: Optional[tuple[str, ...]] = None
+        for event in trace:
+            if isinstance(event, TypedEvent):
+                step, step_findings, components = self._walk_typed_event(
+                    scenario, event, previous_components
+                )
+                steps.append(step)
+                findings.extend(step_findings)
+                if components:
+                    previous_components = components
+            elif isinstance(event, SimpleEvent):
+                step, step_findings = self._walk_simple_event(scenario, event)
+                steps.append(step)
+                findings.extend(step_findings)
+            else:
+                raise EvaluationError(
+                    f"trace of {scenario.name!r} contains unexpanded "
+                    f"{type(event).__name__}"
+                )
+        return TraceWalkthrough(
+            trace_index=index, steps=tuple(steps), inconsistencies=tuple(findings)
+        )
+
+    def _walk_typed_event(
+        self,
+        scenario: Scenario,
+        event: TypedEvent,
+        previous_components: Optional[tuple[str, ...]],
+    ) -> tuple[WalkthroughStep, list[Inconsistency], tuple[str, ...]]:
+        rendering = event.render(self.mapping.ontology)
+        components = self.mapping.components_for(event.type_name)
+        if not components:
+            findings = self._policy_findings(
+                self.options.unmapped_event_policy,
+                InconsistencyKind.UNMAPPED_EVENT,
+                f"event type {event.type_name!r} maps to no component",
+                scenario,
+                event,
+            )
+            step = WalkthroughStep(
+                event_rendering=rendering,
+                event_label=event.label,
+                event_type=event.type_name,
+                components=(),
+                path=None,
+                ok=self.options.unmapped_event_policy != "error",
+                note="unmapped event type",
+            )
+            return step, findings, ()
+
+        tops = _unique(
+            self.mapping.top_level_component(component) for component in components
+        )
+        findings: list[Inconsistency] = []
+        path: Optional[tuple[str, ...]] = None
+        ok = True
+        note = ""
+
+        if self.options.check_inter_event and previous_components:
+            path = self._best_inter_event_path(previous_components, tops)
+            if path is None and not _share_component(previous_components, tops):
+                ok = False
+                note = "no communication path from previous event's components"
+                findings.append(
+                    Inconsistency(
+                        kind=InconsistencyKind.MISSING_LINK,
+                        message=(
+                            f"components of event {event.type_name!r} "
+                            f"({', '.join(tops)}) are unreachable from the "
+                            f"previous event's components "
+                            f"({', '.join(previous_components)})"
+                        ),
+                        scenario=scenario.name,
+                        event_label=event.label,
+                        elements=(*previous_components, *tops),
+                    )
+                )
+
+        if ok and self.options.check_intra_event_chain and len(tops) > 1:
+            chain_break = self._intra_event_chain_break(tops)
+            if chain_break is not None:
+                source, target = chain_break
+                ok = False
+                note = f"no path within event from {source!r} to {target!r}"
+                findings.append(
+                    Inconsistency(
+                        kind=InconsistencyKind.MISSING_LINK,
+                        message=(
+                            f"event {event.type_name!r} requires data to flow "
+                            f"{' -> '.join(tops)}, but {source!r} cannot reach "
+                            f"{target!r}"
+                        ),
+                        scenario=scenario.name,
+                        event_label=event.label,
+                        elements=(source, target),
+                    )
+                )
+
+        step = WalkthroughStep(
+            event_rendering=rendering,
+            event_label=event.label,
+            event_type=event.type_name,
+            components=tops,
+            path=path,
+            ok=ok,
+            note=note,
+        )
+        return step, findings, tops
+
+    def _walk_simple_event(
+        self, scenario: Scenario, event: SimpleEvent
+    ) -> tuple[WalkthroughStep, list[Inconsistency]]:
+        findings = self._policy_findings(
+            self.options.simple_event_policy,
+            InconsistencyKind.UNMAPPED_EVENT,
+            f"natural-language event {event.text!r} cannot be mapped "
+            "(no ontology event type)",
+            scenario,
+            event,
+        )
+        step = WalkthroughStep(
+            event_rendering=event.text,
+            event_label=event.label,
+            event_type=None,
+            components=(),
+            path=None,
+            ok=self.options.simple_event_policy != "error",
+            note="natural-language event; skipped",
+        )
+        return step, findings
+
+    # ------------------------------------------------------------------
+    # Connectivity helpers
+    # ------------------------------------------------------------------
+
+    def _best_inter_event_path(
+        self, previous: tuple[str, ...], current: tuple[str, ...]
+    ) -> Optional[tuple[str, ...]]:
+        """The shortest communication path from any previous-event
+        component to any current-event component; ``None`` if none
+        exists. A shared component yields a trivial one-element path."""
+        best: Optional[tuple[str, ...]] = None
+        for source in previous:
+            for target in current:
+                if source == target:
+                    return (source,)
+                path = communication_path(
+                    self.architecture,
+                    source,
+                    target,
+                    respect_directions=self.options.inter_event_directed,
+                )
+                if path is not None and (best is None or len(path) < len(best)):
+                    best = path
+        return best
+
+    def _intra_event_chain_break(
+        self, components: tuple[str, ...]
+    ) -> Optional[tuple[str, str]]:
+        """The first consecutive pair in the event's component chain with
+        no communication path, or ``None`` when the chain holds."""
+        for source, target in zip(components, components[1:]):
+            if source == target:
+                continue
+            path = communication_path(
+                self.architecture,
+                source,
+                target,
+                respect_directions=self.options.intra_event_directed,
+            )
+            if path is None:
+                return (source, target)
+        return None
+
+    def _policy_findings(
+        self,
+        policy: str,
+        kind: InconsistencyKind,
+        message: str,
+        scenario: Scenario,
+        event: Event,
+    ) -> list[Inconsistency]:
+        if policy == "ignore":
+            return []
+        severity = Severity.ERROR if policy == "error" else Severity.WARNING
+        return [
+            Inconsistency(
+                kind=kind,
+                message=message,
+                scenario=scenario.name,
+                event_label=event.label,
+                severity=severity,
+            )
+        ]
+
+
+def _unique(names) -> tuple[str, ...]:
+    seen: dict[str, None] = {}
+    for name in names:
+        seen.setdefault(name)
+    return tuple(seen)
+
+
+def _share_component(
+    previous: tuple[str, ...], current: tuple[str, ...]
+) -> bool:
+    return bool(set(previous) & set(current))

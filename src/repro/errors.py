@@ -1,0 +1,88 @@
+"""Exception hierarchy for the repro library.
+
+All library errors derive from :class:`ReproError` so callers can catch one
+base class. Subsystems raise more specific subclasses:
+
+* ontology / scenario modeling errors (:class:`OntologyError`,
+  :class:`ScenarioError`),
+* architecture modeling errors (:class:`ArchitectureError`,
+  :class:`StyleViolationError`),
+* mapping and evaluation errors (:class:`MappingError`,
+  :class:`EvaluationError`),
+* simulation errors (:class:`SimulationError`),
+* serialization errors (:class:`SerializationError`).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class OntologyError(ReproError):
+    """A ScenarioML ontology is malformed or used inconsistently.
+
+    Raised for duplicate definitions, unknown references, subsumption
+    cycles, and parameter/argument arity or type mismatches.
+    """
+
+
+class DuplicateDefinitionError(OntologyError):
+    """Two ontology definitions share the same identifier."""
+
+
+class UnknownDefinitionError(OntologyError):
+    """A reference names an ontology definition that does not exist."""
+
+
+class SubsumptionCycleError(OntologyError):
+    """The subclass/supertype graph of an ontology contains a cycle."""
+
+
+class ArityError(OntologyError):
+    """A typed event's arguments do not match its event type's parameters."""
+
+
+class ScenarioError(ReproError):
+    """A scenario is structurally invalid (empty, unresolvable, cyclic)."""
+
+
+class EpisodeCycleError(ScenarioError):
+    """Episode references among scenarios form a cycle."""
+
+
+class ArchitectureError(ReproError):
+    """An architecture description is malformed.
+
+    Raised for duplicate element identifiers, links to unknown interfaces,
+    and direction-incompatible links.
+    """
+
+
+class StyleViolationError(ArchitectureError):
+    """An architecture violates the rules of its declared style."""
+
+
+class MappingError(ReproError):
+    """An ontology-to-architecture mapping is invalid.
+
+    Raised when a mapping references event types or components that are not
+    part of the ontology/architecture it claims to connect.
+    """
+
+
+class EvaluationError(ReproError):
+    """An evaluation run cannot proceed (not a finding of inconsistency).
+
+    Inconsistencies found *by* an evaluation are reported as data, not
+    exceptions; this error means the evaluation inputs were unusable.
+    """
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation reached an invalid internal state."""
+
+
+class SerializationError(ReproError):
+    """A document (ScenarioML, xADL, Acme) cannot be parsed or emitted."""

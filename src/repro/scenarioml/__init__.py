@@ -1,0 +1,87 @@
+"""ScenarioML: a scenario language with a domain-ontology sublanguage.
+
+This package reproduces the portion of ScenarioML (Alspaugh 2006) used by
+the paper: an ontology of domain terms, classes (``instanceType``),
+individuals (``instance``), and parameterized, subtypable event types
+(``eventType``); and scenarios built from simple events, typed events that
+instantiate event types, compound events, event schemas (alternation,
+iteration, optional), and episodes that reuse whole scenarios as events.
+
+Public API::
+
+    from repro.scenarioml import (
+        Ontology, Term, InstanceType, Instance, EventType, Parameter,
+        Scenario, ScenarioSet, SimpleEvent, TypedEvent, CompoundEvent,
+        Alternation, Iteration, Optional_, Episode, QualityAttribute,
+        parse_scenarioml, to_scenarioml_xml,
+    )
+"""
+
+from repro.scenarioml.ontology import (
+    EventType,
+    Instance,
+    InstanceType,
+    Ontology,
+    Parameter,
+    Term,
+)
+from repro.scenarioml.events import (
+    Alternation,
+    CompoundEvent,
+    Episode,
+    Event,
+    Iteration,
+    Optional_,
+    SimpleEvent,
+    TypedEvent,
+)
+from repro.scenarioml.scenario import (
+    QualityAttribute,
+    Scenario,
+    ScenarioKind,
+    ScenarioSet,
+)
+from repro.scenarioml.xml_io import parse_scenarioml, to_scenarioml_xml
+from repro.scenarioml.owl import parse_owl_xml, to_owl_xml
+from repro.scenarioml.lint import LintFinding, LintOptions, lint_scenario_set
+from repro.scenarioml.validation import validate_scenario, validate_scenario_set
+from repro.scenarioml.query import (
+    entities_referenced,
+    event_type_usage,
+    events_of_type,
+    reuse_factor,
+)
+
+__all__ = [
+    "Alternation",
+    "CompoundEvent",
+    "Episode",
+    "Event",
+    "EventType",
+    "Instance",
+    "InstanceType",
+    "Iteration",
+    "LintFinding",
+    "LintOptions",
+    "Ontology",
+    "Optional_",
+    "Parameter",
+    "QualityAttribute",
+    "Scenario",
+    "ScenarioKind",
+    "ScenarioSet",
+    "SimpleEvent",
+    "Term",
+    "TypedEvent",
+    "entities_referenced",
+    "event_type_usage",
+    "events_of_type",
+    "lint_scenario_set",
+    "parse_owl_xml",
+    "parse_scenarioml",
+    "reuse_factor",
+    "to_owl_xml",
+    "to_scenarioml_xml",
+    "validate_scenario",
+    "validate_scenario_set",
+]

@@ -1,0 +1,259 @@
+"""Event structures of ScenarioML scenarios.
+
+A scenario's body is a tree of events:
+
+* :class:`SimpleEvent` — a natural-language sentence whose meaning is
+  understood by humans.
+* :class:`TypedEvent` — an occurrence of an ontology :class:`EventType`,
+  optionally binding arguments to the type's parameters. Typed events are
+  the handle through which the approach maps requirements to architecture.
+* :class:`CompoundEvent` — subevents in a temporal pattern (sequence or
+  parallel).
+* Event schemas — :class:`Alternation` (exactly one branch occurs),
+  :class:`Iteration` (the body occurs repeatedly), :class:`Optional_`
+  (the body may or may not occur).
+* :class:`Episode` — reuse of an entire scenario as a single event of
+  another scenario.
+
+Events are immutable. Tree traversal helpers (:func:`walk`,
+:func:`leaf_events`) live here; trace expansion, which needs episode
+resolution against a :class:`~repro.scenarioml.scenario.ScenarioSet`, lives
+in :mod:`repro.scenarioml.scenario`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from types import MappingProxyType
+from typing import Iterator, Mapping, Optional, Sequence
+
+from repro.errors import ScenarioError
+from repro.scenarioml.ontology import Ontology
+
+
+@dataclass(frozen=True)
+class Event:
+    """Base class of all scenario events.
+
+    ``label`` is an optional human-readable step identifier, such as the
+    use-case step numbers in the paper's PIMS scenarios ("1", "4.a.2").
+    """
+
+    label: Optional[str] = field(default=None, kw_only=True)
+
+    def render(self, ontology: Optional[Ontology] = None) -> str:
+        """A one-line human-readable rendering of the event."""
+        raise NotImplementedError
+
+    @property
+    def children(self) -> tuple["Event", ...]:
+        """Direct subevents, in order; empty for leaf events."""
+        return ()
+
+
+@dataclass(frozen=True)
+class SimpleEvent(Event):
+    """A natural-language event with no ontology backing."""
+
+    text: str = ""
+    actor: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not self.text:
+            raise ScenarioError("a simple event must have non-empty text")
+
+    def render(self, ontology: Optional[Ontology] = None) -> str:
+        return self.text
+
+
+@dataclass(frozen=True)
+class TypedEvent(Event):
+    """An occurrence of an ontology event type (ScenarioML ``typedEvent``).
+
+    ``type_name`` references an :class:`~repro.scenarioml.ontology.EventType`
+    in the governing ontology; ``arguments`` bind the type's parameters.
+    Two typed events of the same type are *equivalent events* in the
+    paper's sense — they share the type's single mapping to architecture
+    components.
+    """
+
+    type_name: str = ""
+    arguments: Mapping[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.type_name:
+            raise ScenarioError("a typed event must name its event type")
+        # Freeze the argument mapping so the event is hashable and safe to share.
+        object.__setattr__(
+            self, "arguments", MappingProxyType(dict(self.arguments))
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.type_name, tuple(sorted(self.arguments.items()))))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TypedEvent):
+            return NotImplemented
+        return (
+            self.type_name == other.type_name
+            and dict(self.arguments) == dict(other.arguments)
+            and self.label == other.label
+        )
+
+    def render(self, ontology: Optional[Ontology] = None) -> str:
+        if ontology is not None and ontology.has_event_type(self.type_name):
+            return ontology.event_type(self.type_name).render(self.arguments)
+        if self.arguments:
+            bound = ", ".join(f"{k}={v}" for k, v in self.arguments.items())
+            return f"{self.type_name}({bound})"
+        return self.type_name
+
+    def entities(self, ontology: Ontology) -> tuple[str, ...]:
+        """Names of ontology individuals referenced by this event's
+        arguments (arguments that are scenario-local literals are skipped)."""
+        return tuple(
+            value for value in self.arguments.values() if ontology.has_instance(value)
+        )
+
+
+@dataclass(frozen=True)
+class CompoundEvent(Event):
+    """Subevents in a temporal pattern.
+
+    ``pattern`` is ``"sequence"`` (subevents occur in order) or
+    ``"parallel"`` (subevents occur in any interleaving).
+    """
+
+    subevents: tuple[Event, ...] = ()
+    pattern: str = "sequence"
+
+    _PATTERNS = ("sequence", "parallel")
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "subevents", tuple(self.subevents))
+        if not self.subevents:
+            raise ScenarioError("a compound event must have subevents")
+        if self.pattern not in self._PATTERNS:
+            raise ScenarioError(
+                f"unknown compound pattern {self.pattern!r}; "
+                f"expected one of {self._PATTERNS}"
+            )
+
+    @property
+    def children(self) -> tuple[Event, ...]:
+        return self.subevents
+
+    def render(self, ontology: Optional[Ontology] = None) -> str:
+        joiner = "; " if self.pattern == "sequence" else " || "
+        return "(" + joiner.join(e.render(ontology) for e in self.subevents) + ")"
+
+
+@dataclass(frozen=True)
+class Alternation(Event):
+    """An event schema: exactly one of the branches occurs."""
+
+    branches: tuple[Event, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "branches", tuple(self.branches))
+        if len(self.branches) < 2:
+            raise ScenarioError("an alternation needs at least two branches")
+
+    @property
+    def children(self) -> tuple[Event, ...]:
+        return self.branches
+
+    def render(self, ontology: Optional[Ontology] = None) -> str:
+        return "(" + " | ".join(e.render(ontology) for e in self.branches) + ")"
+
+
+@dataclass(frozen=True)
+class Iteration(Event):
+    """An event schema: the body occurs ``min_count`` or more times
+    (up to ``max_count`` when given)."""
+
+    body: Optional[Event] = None
+    min_count: int = 1
+    max_count: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.body is None:
+            raise ScenarioError("an iteration must have a body event")
+        if self.min_count < 0:
+            raise ScenarioError("iteration min_count cannot be negative")
+        if self.max_count is not None and self.max_count < self.min_count:
+            raise ScenarioError(
+                f"iteration max_count {self.max_count} is below "
+                f"min_count {self.min_count}"
+            )
+
+    @property
+    def children(self) -> tuple[Event, ...]:
+        return (self.body,)
+
+    def render(self, ontology: Optional[Ontology] = None) -> str:
+        bound = "" if self.max_count is None else str(self.max_count)
+        return f"({self.body.render(ontology)}){{{self.min_count},{bound}}}"
+
+
+@dataclass(frozen=True)
+class Optional_(Event):
+    """An event schema: the body may or may not occur."""
+
+    body: Optional[Event] = None
+
+    def __post_init__(self) -> None:
+        if self.body is None:
+            raise ScenarioError("an optional schema must have a body event")
+
+    @property
+    def children(self) -> tuple[Event, ...]:
+        return (self.body,)
+
+    def render(self, ontology: Optional[Ontology] = None) -> str:
+        return f"({self.body.render(ontology)})?"
+
+
+@dataclass(frozen=True)
+class Episode(Event):
+    """Reuse of an entire scenario as a single event of another scenario.
+
+    ``scenario_name`` is resolved against the owning
+    :class:`~repro.scenarioml.scenario.ScenarioSet` when traces are
+    expanded or the scenario is validated.
+    """
+
+    scenario_name: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.scenario_name:
+            raise ScenarioError("an episode must name the scenario it reuses")
+
+    def render(self, ontology: Optional[Ontology] = None) -> str:
+        return f"episode <{self.scenario_name}>"
+
+
+def walk(event: Event) -> Iterator[Event]:
+    """Depth-first pre-order traversal of an event tree."""
+    yield event
+    for child in event.children:
+        yield from walk(child)
+
+
+def leaf_events(event: Event) -> Iterator[Event]:
+    """The leaf (simple, typed, episode) events of a tree, in order."""
+    if event.children:
+        for child in event.children:
+            yield from leaf_events(child)
+    else:
+        yield event
+
+
+def sequence(*events: Event, label: Optional[str] = None) -> CompoundEvent:
+    """Convenience constructor for a sequence compound event."""
+    return CompoundEvent(subevents=tuple(events), pattern="sequence", label=label)
+
+
+def parallel(*events: Event, label: Optional[str] = None) -> CompoundEvent:
+    """Convenience constructor for a parallel compound event."""
+    return CompoundEvent(subevents=tuple(events), pattern="parallel", label=label)

@@ -1,0 +1,215 @@
+"""Scenario quality lints.
+
+The approach works best when scenarios are written in the disciplined
+style the paper's step 1 prescribes (identify actors, generalize actions,
+reuse event types). The companion CERE'07 study (Alspaugh et al., "The
+importance of clarity in usable requirements specification formats")
+motivates checking for *clarity* problems that are not validity errors.
+:func:`lint_scenario_set` reports style findings:
+
+* ``prefer-typed-events`` — a scenario written mostly in prose cannot be
+  mapped or evaluated; typed events should dominate;
+* ``generalize-similar-types`` — several event types with near-identical
+  text suggest a missed generalization (the paper's §5 save/update/delete
+  example);
+* ``long-scenario`` — scenarios beyond a step budget are hard to review
+  in walkthrough meetings;
+* ``stale-parameter`` — a declared parameter never referenced by the
+  type's text (and never varying across its occurrences) is dead weight;
+* ``single-use-type`` — an event type used exactly once contributes no
+  reuse; inlining or generalizing may simplify the ontology;
+* ``undefined-term-reference`` — scenario prose mentions a defined term's
+  name nowhere; the ontology's vocabulary is not anchoring the scenarios.
+
+Lints are advisory; none affects evaluation verdicts.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from difflib import SequenceMatcher
+from typing import Iterable, Optional
+
+from repro.scenarioml.events import SimpleEvent, TypedEvent
+from repro.scenarioml.ontology import Ontology
+from repro.scenarioml.query import event_type_usage
+from repro.scenarioml.scenario import Scenario, ScenarioSet
+
+
+@dataclass(frozen=True)
+class LintFinding:
+    """One advisory style finding."""
+
+    rule: str
+    message: str
+    scenario: Optional[str] = None
+    event_type: Optional[str] = None
+
+    def __str__(self) -> str:
+        where = ""
+        if self.scenario:
+            where = f" [{self.scenario}]"
+        elif self.event_type:
+            where = f" [{self.event_type}]"
+        return f"{self.rule}{where}: {self.message}"
+
+
+@dataclass(frozen=True)
+class LintOptions:
+    """Thresholds for the lint rules."""
+
+    max_steps: int = 9
+    min_typed_ratio: float = 0.5
+    similarity_threshold: float = 0.85
+
+
+def lint_scenario_set(
+    scenario_set: ScenarioSet,
+    options: Optional[LintOptions] = None,
+) -> list[LintFinding]:
+    """Run every lint rule over the set."""
+    options = options or LintOptions()
+    findings: list[LintFinding] = []
+    for scenario in scenario_set:
+        findings.extend(_lint_scenario(scenario, options))
+    findings.extend(_lint_similar_types(scenario_set.ontology, options))
+    findings.extend(_lint_stale_parameters(scenario_set))
+    findings.extend(_lint_single_use_types(scenario_set))
+    findings.extend(_lint_term_anchoring(scenario_set))
+    return findings
+
+
+def _lint_scenario(
+    scenario: Scenario, options: LintOptions
+) -> list[LintFinding]:
+    findings: list[LintFinding] = []
+    leaves = list(scenario.all_events())
+    typed = sum(1 for event in leaves if isinstance(event, TypedEvent))
+    simple = sum(1 for event in leaves if isinstance(event, SimpleEvent))
+    total = typed + simple
+    if total and typed / total < options.min_typed_ratio:
+        findings.append(
+            LintFinding(
+                rule="prefer-typed-events",
+                message=(
+                    f"only {typed}/{total} leaf events are typed; prose "
+                    "events cannot be mapped to the architecture"
+                ),
+                scenario=scenario.name,
+            )
+        )
+    steps = len(scenario.events)
+    if steps > options.max_steps:
+        findings.append(
+            LintFinding(
+                rule="long-scenario",
+                message=(
+                    f"{steps} top-level steps (budget {options.max_steps}); "
+                    "consider factoring an episode out"
+                ),
+                scenario=scenario.name,
+            )
+        )
+    return findings
+
+
+def _lint_similar_types(
+    ontology: Ontology, options: LintOptions
+) -> list[LintFinding]:
+    findings: list[LintFinding] = []
+    event_types = [
+        event_type
+        for event_type in ontology.event_types
+        if event_type.text and not event_type.abstract
+    ]
+    for index, first in enumerate(event_types):
+        for second in event_types[index + 1:]:
+            if first.super_name and first.super_name == second.super_name:
+                continue  # already generalized under a shared supertype
+            ratio = SequenceMatcher(
+                a=first.text.lower(), b=second.text.lower()
+            ).ratio()
+            if ratio >= options.similarity_threshold:
+                findings.append(
+                    LintFinding(
+                        rule="generalize-similar-types",
+                        message=(
+                            f"{first.name!r} and {second.name!r} have "
+                            f"{ratio:.0%}-similar text; consider one "
+                            "parameterized or super-typed event type"
+                        ),
+                        event_type=first.name,
+                    )
+                )
+    return findings
+
+
+def _lint_stale_parameters(scenario_set: ScenarioSet) -> list[LintFinding]:
+    findings: list[LintFinding] = []
+    ontology = scenario_set.ontology
+    argument_values: dict[tuple[str, str], set[str]] = {}
+    for scenario in scenario_set:
+        for event in scenario.typed_events():
+            for name, value in event.arguments.items():
+                argument_values.setdefault(
+                    (event.type_name, name), set()
+                ).add(value)
+    for event_type in ontology.event_types:
+        for parameter in event_type.parameters:
+            referenced = f"[{parameter.name}]" in (event_type.text or "")
+            values = argument_values.get((event_type.name, parameter.name))
+            varies = values is not None and len(values) > 1
+            if not referenced and not varies:
+                findings.append(
+                    LintFinding(
+                        rule="stale-parameter",
+                        message=(
+                            f"parameter {parameter.name!r} is never "
+                            "referenced by the type's text and never varies "
+                            "across occurrences"
+                        ),
+                        event_type=event_type.name,
+                    )
+                )
+    return findings
+
+
+def _lint_single_use_types(scenario_set: ScenarioSet) -> list[LintFinding]:
+    usage = event_type_usage(scenario_set.scenarios)
+    return [
+        LintFinding(
+            rule="single-use-type",
+            message="used exactly once; no reuse benefit",
+            event_type=name,
+        )
+        for name, count in sorted(usage.items())
+        if count == 1
+    ]
+
+
+def _lint_term_anchoring(scenario_set: ScenarioSet) -> list[LintFinding]:
+    ontology = scenario_set.ontology
+    if not ontology.terms:
+        return []
+    corpus_parts: list[str] = []
+    for event_type in ontology.event_types:
+        corpus_parts.append(event_type.text or "")
+    for scenario in scenario_set:
+        for event in scenario.all_events():
+            if isinstance(event, SimpleEvent):
+                corpus_parts.append(event.text)
+            elif isinstance(event, TypedEvent):
+                corpus_parts.extend(event.arguments.values())
+    corpus = " ".join(corpus_parts).lower()
+    return [
+        LintFinding(
+            rule="undefined-term-reference",
+            message=(
+                f"defined term {term.name!r} appears nowhere in the "
+                "scenarios or event-type texts"
+            ),
+        )
+        for term in ontology.terms
+        if term.name.lower() not in corpus
+    ]

@@ -1,0 +1,99 @@
+"""Queries over scenarios and scenario sets.
+
+These queries support the approach's mapping and complexity analyses:
+which event types a scenario uses and how often (*reuse* is what makes the
+ontology-mediated mapping compact), which domain entities appear in events
+(the basis of entity-based mapping, paper §8), and which events instantiate
+a given type or any of its subtypes.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable, Optional
+
+from repro.scenarioml.events import TypedEvent
+from repro.scenarioml.ontology import Ontology
+from repro.scenarioml.scenario import Scenario, ScenarioSet
+
+
+def event_type_usage(scenarios: Iterable[Scenario]) -> Counter:
+    """How many typed-event occurrences each event type has across
+    ``scenarios``. Keys are event-type names."""
+    usage: Counter = Counter()
+    for scenario in scenarios:
+        for event in scenario.typed_events():
+            usage[event.type_name] += 1
+    return usage
+
+
+def events_of_type(
+    scenarios: Iterable[Scenario],
+    type_name: str,
+    ontology: Optional[Ontology] = None,
+    include_subtypes: bool = False,
+) -> tuple[tuple[Scenario, TypedEvent], ...]:
+    """Every (scenario, typed event) pair whose event instantiates
+    ``type_name`` — or, with ``include_subtypes`` and an ontology, any of
+    its subtypes."""
+    matches: list[tuple[Scenario, TypedEvent]] = []
+    for scenario in scenarios:
+        for event in scenario.typed_events():
+            if event.type_name == type_name:
+                matches.append((scenario, event))
+            elif (
+                include_subtypes
+                and ontology is not None
+                and ontology.has_event_type(event.type_name)
+                and ontology.is_event_subtype_of(event.type_name, type_name)
+            ):
+                matches.append((scenario, event))
+    return tuple(matches)
+
+
+def entities_referenced(
+    scenario: Scenario, ontology: Ontology
+) -> tuple[str, ...]:
+    """Distinct ontology individuals referenced by the scenario's typed
+    events, in first-reference order."""
+    seen: dict[str, None] = {}
+    for event in scenario.typed_events():
+        for entity in event.entities(ontology):
+            seen.setdefault(entity)
+    return tuple(seen)
+
+
+def actors_in_use(scenario_set: ScenarioSet) -> tuple[str, ...]:
+    """Distinct actors named by event types used in the set, in order of
+    first use."""
+    seen: dict[str, None] = {}
+    ontology = scenario_set.ontology
+    for scenario in scenario_set:
+        for event in scenario.typed_events():
+            if ontology.has_event_type(event.type_name):
+                actor = ontology.event_type(event.type_name).actor
+                if actor:
+                    seen.setdefault(actor)
+    return tuple(seen)
+
+
+def reuse_factor(scenarios: Iterable[Scenario]) -> float:
+    """Average occurrences per used event type — the paper's lever for
+    mapping-complexity reduction ("the more extensive the reuse ... the
+    greater is the reduction"). 1.0 means no reuse; higher is more reuse.
+    Returns 0.0 when no typed events exist."""
+    usage = event_type_usage(scenarios)
+    if not usage:
+        return 0.0
+    return sum(usage.values()) / len(usage)
+
+
+def unused_event_types(scenario_set: ScenarioSet) -> tuple[str, ...]:
+    """Event types defined in the ontology but never instantiated by any
+    scenario in the set (candidates for pruning, or coverage gaps)."""
+    used = set(event_type_usage(scenario_set.scenarios))
+    return tuple(
+        event_type.name
+        for event_type in scenario_set.ontology.event_types
+        if event_type.name not in used and not event_type.abstract
+    )

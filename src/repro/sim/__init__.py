@@ -1,0 +1,43 @@
+"""Discrete-event simulation substrate.
+
+The paper evaluates quality-attribute scenarios by "simulating the behavior
+of the matched components" (§3.5) and notes that availability and
+reliability "can be determined effectively only at run-time" (§4.2). Its
+tool for doing so was unimplemented; this package is that substrate: a
+deterministic discrete-event simulator with message channels (FIFO,
+reordering, lossy), failure injection (shutdown/crash/partition), a message
+trace with ordering analysis, and a runtime that instantiates an ADL
+architecture into simulated nodes driven by their statecharts.
+
+Public API::
+
+    from repro.sim import (
+        Simulator, Message, Node, NetworkChannel, ChannelPolicy,
+        FailureInjector, MessageTrace, TraceEventKind,
+        ArchitectureRuntime, RuntimeConfig,
+    )
+"""
+
+from repro.sim.engine import Simulator
+from repro.sim.network import ChannelPolicy, NetworkChannel
+from repro.sim.node import Message, Node
+from repro.sim.failures import FailureInjector
+from repro.sim.trace import MessageTrace, TraceEvent, TraceEventKind
+from repro.sim.runtime import ArchitectureRuntime, RuntimeConfig
+from repro.sim.msc import message_journey, render_msc
+
+__all__ = [
+    "ArchitectureRuntime",
+    "ChannelPolicy",
+    "FailureInjector",
+    "Message",
+    "MessageTrace",
+    "NetworkChannel",
+    "Node",
+    "RuntimeConfig",
+    "Simulator",
+    "TraceEvent",
+    "TraceEventKind",
+    "message_journey",
+    "render_msc",
+]

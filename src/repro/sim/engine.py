@@ -1,0 +1,147 @@
+"""A deterministic discrete-event simulation engine.
+
+:class:`Simulator` maintains virtual time and a priority queue of scheduled
+callbacks. Determinism matters for reproducible walkthroughs: ties in time
+are broken by scheduling order (a monotone sequence number), and all
+randomness in the layers above is driven by explicitly seeded generators.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.errors import SimulationError
+
+
+@dataclass(order=True)
+class _ScheduledEvent:
+    time: float
+    sequence: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class EventHandle:
+    """A handle to a scheduled callback, usable to cancel it."""
+
+    def __init__(self, event: _ScheduledEvent) -> None:
+        self._event = event
+
+    def cancel(self) -> None:
+        """Prevent the callback from running (no-op if already run)."""
+        self._event.cancelled = True
+
+    @property
+    def time(self) -> float:
+        """The virtual time the callback is scheduled for."""
+        return self._event.time
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether the callback has been cancelled."""
+        return self._event.cancelled
+
+
+class Simulator:
+    """Virtual time plus a deterministic callback queue."""
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._queue: list[_ScheduledEvent] = []
+        self._sequence = itertools.count()
+        self._running = False
+        self._processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+        return self._now
+
+    @property
+    def processed_events(self) -> int:
+        """How many callbacks have run so far."""
+        return self._processed
+
+    @property
+    def pending_events(self) -> int:
+        """How many callbacks are scheduled and not cancelled."""
+        return sum(1 for event in self._queue if not event.cancelled)
+
+    def schedule(
+        self, delay: float, callback: Callable[[], None]
+    ) -> EventHandle:
+        """Run ``callback`` after ``delay`` units of virtual time.
+
+        ``delay`` must be non-negative; a zero delay runs after all
+        callbacks already scheduled for the current instant.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        event = _ScheduledEvent(self._now + delay, next(self._sequence), callback)
+        heapq.heappush(self._queue, event)
+        return EventHandle(event)
+
+    def schedule_at(
+        self, time: float, callback: Callable[[], None]
+    ) -> EventHandle:
+        """Run ``callback`` at absolute virtual time ``time``."""
+        return self.schedule(time - self._now, callback)
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: int = 1_000_000,
+    ) -> float:
+        """Process scheduled callbacks in time order.
+
+        Stops when the queue drains, when virtual time would pass
+        ``until``, or after ``max_events`` callbacks (guarding against
+        runaway models). Returns the final virtual time.
+        """
+        if self._running:
+            raise SimulationError("simulator is already running (reentrant run)")
+        self._running = True
+        try:
+            processed_this_run = 0
+            while self._queue:
+                event = self._queue[0]
+                if until is not None and event.time > until:
+                    break
+                heapq.heappop(self._queue)
+                if event.cancelled:
+                    continue
+                if processed_this_run >= max_events:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events}; "
+                        "the model may be generating events unboundedly"
+                    )
+                self._now = event.time
+                event.callback()
+                self._processed += 1
+                processed_this_run += 1
+            if until is not None and self._now < until:
+                self._now = until
+        finally:
+            self._running = False
+        return self._now
+
+    def step(self) -> bool:
+        """Process exactly one callback; return ``False`` when none remain."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            event.callback()
+            self._processed += 1
+            return True
+        return False
+
+    def __repr__(self) -> str:
+        return (
+            f"Simulator(now={self._now}, pending={self.pending_events}, "
+            f"processed={self._processed})"
+        )

@@ -1,0 +1,93 @@
+"""Message-sequence-chart rendering of simulation traces.
+
+Dynamic walkthroughs produce a :class:`~repro.sim.trace.MessageTrace`;
+reading raw trace lines is tedious when diagnosing why an expectation
+failed. :func:`render_msc` draws the trace as a plain-text message
+sequence chart: one column per participating node (lifeline), one row per
+send/delivery/failure observation, in virtual-time order — the textual
+equivalent of the sequence diagrams an architect would sketch.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.sim.trace import MessageTrace, TraceEvent, TraceEventKind
+
+_ROW_KINDS = (
+    TraceEventKind.SEND,
+    TraceEventKind.DELIVER,
+    TraceEventKind.REJECT,
+    TraceEventKind.DROP,
+    TraceEventKind.FAILURE_NOTICE,
+    TraceEventKind.NODE_DOWN,
+    TraceEventKind.NODE_UP,
+)
+
+_KIND_GLYPHS = {
+    TraceEventKind.SEND: "o-->",
+    TraceEventKind.DELIVER: "-->o",
+    TraceEventKind.REJECT: "--x ",
+    TraceEventKind.DROP: "~~x ",
+    TraceEventKind.FAILURE_NOTICE: "!-> ",
+    TraceEventKind.NODE_DOWN: "DOWN",
+    TraceEventKind.NODE_UP: "UP  ",
+}
+
+
+def render_msc(
+    trace: MessageTrace,
+    nodes: Optional[Iterable[str]] = None,
+    limit: Optional[int] = None,
+) -> str:
+    """Render a trace as a plain-text message sequence chart.
+
+    ``nodes`` fixes and orders the lifelines (default: first-appearance
+    order); events at other nodes are skipped. ``limit`` caps the number
+    of rows.
+    """
+    events = [event for event in trace if event.kind in _ROW_KINDS]
+    if nodes is None:
+        ordered: dict[str, None] = {}
+        for event in events:
+            ordered.setdefault(event.node)
+        lifelines = list(ordered)
+    else:
+        lifelines = list(nodes)
+        events = [event for event in events if event.node in lifelines]
+    if limit is not None:
+        events = events[:limit]
+    if not lifelines:
+        return "(empty trace)"
+
+    column_width = max(12, max(len(name) for name in lifelines) + 2)
+    time_width = 10
+
+    def row(cells: list[str], time_cell: str = "") -> str:
+        padded = [cell.center(column_width) for cell in cells]
+        return time_cell.ljust(time_width) + "".join(padded)
+
+    lines = [row(lifelines, "time")]
+    lines.append(row(["|"] * len(lifelines)))
+    for event in events:
+        cells = ["|"] * len(lifelines)
+        index = lifelines.index(event.node)
+        glyph = _KIND_GLYPHS[event.kind]
+        label = glyph
+        if event.message is not None:
+            label = f"{glyph} {event.message.name}"
+        cells[index] = label
+        lines.append(row(cells, f"t={event.time:g}"))
+    if limit is not None and len([e for e in trace if e.kind in _ROW_KINDS]) > limit:
+        lines.append(row(["..."] * len(lifelines)))
+    return "\n".join(lines)
+
+
+def message_journey(trace: MessageTrace, message_id: int) -> tuple[TraceEvent, ...]:
+    """Every observation of one message (by id) across all forwarding
+    hops, in time order — the full story of a single message."""
+    return tuple(
+        event
+        for event in trace
+        if event.message is not None and event.message.message_id == message_id
+    )

@@ -1,0 +1,113 @@
+"""Simulated nodes and the messages they exchange.
+
+A :class:`Node` is the run-time stand-in for an architecture element. It
+has a liveness flag (failure injection flips it), an inbox handler, and a
+send hook wired up by the owning runtime. :class:`Message` carries the C2
+message kind (request/notification) where relevant, a per-sender sequence
+number (the basis of ordering analysis), and an arbitrary payload.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Optional
+
+from repro.errors import SimulationError
+
+_MESSAGE_IDS = itertools.count(1)
+
+
+def _next_message_id() -> int:
+    return next(_MESSAGE_IDS)
+
+
+@dataclass(frozen=True)
+class Message:
+    """One message in flight between nodes.
+
+    ``sequence`` is assigned per sender by the runtime and increases with
+    send order — receivers can check order preservation against it.
+    ``kind`` is free-form; the C2 runtime uses ``"request"`` and
+    ``"notification"``.
+    """
+
+    name: str
+    source: str
+    destination: Optional[str] = None
+    kind: str = "message"
+    payload: dict[str, Any] = field(default_factory=dict)
+    sequence: int = 0
+    message_id: int = field(default_factory=_next_message_id)
+    via_interface: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SimulationError("a message must have a non-empty name")
+
+    def forwarded(self, **changes: Any) -> "Message":
+        """A copy with selected fields replaced (same ``message_id`` so a
+        forwarded message is traceable end to end)."""
+        return replace(self, **changes)
+
+    def __str__(self) -> str:
+        target = self.destination or "*"
+        return f"{self.name}#{self.message_id} {self.source}->{target}"
+
+
+MessageHandler = Callable[["Node", Message], None]
+
+
+class Node:
+    """A simulated architecture element.
+
+    ``handler`` is invoked for each delivered message while the node is
+    alive; messages delivered to a dead node are not handled (the channel
+    layer decides whether the sender learns about it).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        handler: Optional[MessageHandler] = None,
+        kind: str = "component",
+    ) -> None:
+        if not name:
+            raise SimulationError("a node must have a non-empty name")
+        self.name = name
+        self.kind = kind
+        self.handler = handler
+        self.alive = True
+        self.delivered: list[Message] = []
+        self.sent: list[Message] = []
+        self._send_sequence = itertools.count(1)
+
+    def next_sequence(self) -> int:
+        """The next per-sender send sequence number."""
+        return next(self._send_sequence)
+
+    def deliver(self, message: Message) -> bool:
+        """Hand a message to the node; returns whether it was accepted
+        (a dead node accepts nothing)."""
+        if not self.alive:
+            return False
+        self.delivered.append(message)
+        if self.handler is not None:
+            self.handler(self, message)
+        return True
+
+    def shut_down(self) -> None:
+        """Stop accepting messages (a software failure, paper §4.2)."""
+        self.alive = False
+
+    def restore(self) -> None:
+        """Return to service."""
+        self.alive = True
+
+    def delivered_names(self) -> tuple[str, ...]:
+        """Names of delivered messages, in delivery order."""
+        return tuple(message.name for message in self.delivered)
+
+    def __repr__(self) -> str:
+        status = "up" if self.alive else "down"
+        return f"Node({self.name!r}, {status}, {len(self.delivered)} delivered)"

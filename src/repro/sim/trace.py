@@ -1,0 +1,178 @@
+"""Message traces and ordering analysis.
+
+Every send, delivery, drop, and failure notification in a simulation run
+is recorded as a :class:`TraceEvent`. The reliability walkthrough (paper
+§4.2, "Message Sequence") reduces to a trace query: were the messages a
+peer sent delivered to the receiver in their send order?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Callable, Iterable, Optional
+
+from repro.sim.node import Message
+
+
+class TraceEventKind(Enum):
+    """What happened to a message (or node) at a point in virtual time."""
+
+    SEND = "send"
+    DELIVER = "deliver"
+    DROP = "drop"                     # lost by a lossy channel
+    REJECT = "reject"                 # delivered to a dead node
+    FAILURE_NOTICE = "failure-notice"  # network told the sender about a failure
+    NODE_DOWN = "node-down"
+    NODE_UP = "node-up"
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One observation in the simulation trace."""
+
+    time: float
+    kind: TraceEventKind
+    node: str
+    message: Optional[Message] = None
+    detail: str = ""
+
+    def __str__(self) -> str:
+        message_part = f" {self.message}" if self.message else ""
+        detail_part = f" ({self.detail})" if self.detail else ""
+        return f"[t={self.time:g}] {self.kind.value} @{self.node}{message_part}{detail_part}"
+
+
+class MessageTrace:
+    """An append-only record of simulation observations with queries."""
+
+    def __init__(self) -> None:
+        self._events: list[TraceEvent] = []
+
+    def record(
+        self,
+        time: float,
+        kind: TraceEventKind,
+        node: str,
+        message: Optional[Message] = None,
+        detail: str = "",
+    ) -> TraceEvent:
+        """Append one observation."""
+        event = TraceEvent(time, kind, node, message, detail)
+        self._events.append(event)
+        return event
+
+    @property
+    def events(self) -> tuple[TraceEvent, ...]:
+        """All observations, in recording (and therefore time) order."""
+        return tuple(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self):
+        return iter(self._events)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def filter(
+        self,
+        kind: Optional[TraceEventKind] = None,
+        node: Optional[str] = None,
+        message_name: Optional[str] = None,
+        predicate: Optional[Callable[[TraceEvent], bool]] = None,
+    ) -> tuple[TraceEvent, ...]:
+        """Observations matching every given criterion."""
+        matches = []
+        for event in self._events:
+            if kind is not None and event.kind is not kind:
+                continue
+            if node is not None and event.node != node:
+                continue
+            if message_name is not None and (
+                event.message is None or event.message.name != message_name
+            ):
+                continue
+            if predicate is not None and not predicate(event):
+                continue
+            matches.append(event)
+        return tuple(matches)
+
+    def deliveries_to(self, node: str) -> tuple[TraceEvent, ...]:
+        """Deliveries at a node, in delivery order."""
+        return self.filter(kind=TraceEventKind.DELIVER, node=node)
+
+    def sends_from(self, node: str) -> tuple[TraceEvent, ...]:
+        """Sends originated by a node, in send order."""
+        return self.filter(kind=TraceEventKind.SEND, node=node)
+
+    def was_delivered(self, message_name: str, node: Optional[str] = None) -> bool:
+        """Whether a message with this name was delivered (to the node)."""
+        return bool(
+            self.filter(
+                kind=TraceEventKind.DELIVER, node=node, message_name=message_name
+            )
+        )
+
+    def failure_notices_to(self, node: str) -> tuple[TraceEvent, ...]:
+        """Failure notifications the network delivered to a node."""
+        return self.filter(kind=TraceEventKind.FAILURE_NOTICE, node=node)
+
+    def order_preserved(
+        self, sender: str, receiver: str
+    ) -> bool:
+        """Whether messages from ``sender`` arrived at ``receiver`` in
+        their send order (by per-sender sequence number).
+
+        Messages never delivered do not break order; what is checked is
+        that the delivered subsequence is monotone in send sequence. This
+        is the "Message Sequence" scenario's verdict (paper §4.2).
+        """
+        sequences = [
+            event.message.sequence
+            for event in self.deliveries_to(receiver)
+            if event.message is not None and _originates_from(event.message, sender)
+        ]
+        return all(a < b for a, b in zip(sequences, sequences[1:]))
+
+    def delivery_order(self, receiver: str, sender: Optional[str] = None) -> tuple[str, ...]:
+        """Names of messages delivered to a node, in arrival order,
+        optionally filtered to one originating sender."""
+        return tuple(
+            event.message.name
+            for event in self.deliveries_to(receiver)
+            if event.message is not None
+            and (sender is None or _originates_from(event.message, sender))
+        )
+
+    def dropped_messages(self) -> tuple[Message, ...]:
+        """Every message lost by a channel."""
+        return tuple(
+            event.message
+            for event in self.filter(kind=TraceEventKind.DROP)
+            if event.message is not None
+        )
+
+    def summary(self) -> str:
+        """Counts per observation kind."""
+        counts: dict[str, int] = {}
+        for event in self._events:
+            counts[event.kind.value] = counts.get(event.kind.value, 0) + 1
+        parts = [f"{kind}={count}" for kind, count in sorted(counts.items())]
+        return f"MessageTrace({len(self._events)} events: {', '.join(parts)})"
+
+    def render(self, limit: Optional[int] = None) -> str:
+        """A human-readable listing of (the first ``limit``) observations."""
+        events = self._events if limit is None else self._events[:limit]
+        lines = [str(event) for event in events]
+        if limit is not None and len(self._events) > limit:
+            lines.append(f"... and {len(self._events) - limit} more")
+        return "\n".join(lines)
+
+
+def _originates_from(message: Message, sender: str) -> bool:
+    """Whether a (possibly forwarded) message originated at ``sender``."""
+    origin = message.payload.get("origin", message.source)
+    return origin == sender

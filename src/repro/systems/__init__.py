@@ -1,0 +1,23 @@
+"""The paper's case-study systems and synthetic system generators.
+
+* :mod:`repro.systems.pims` — PIMS (Personal Investment Management
+  System), the single-process layered textbook system of paper §4.1.
+* :mod:`repro.systems.crash` — CRASH (Crisis Response and Situation
+  Handling), the decentralized C2-style system of paper §4.2.
+* :mod:`repro.systems.generators` — parameterized synthetic
+  ontologies/scenarios/architectures for scaling and complexity
+  benchmarks.
+"""
+
+from repro.systems.pims import PimsSystem, build_pims
+from repro.systems.crash import CrashSystem, build_crash
+from repro.systems.generators import SyntheticSpec, build_synthetic
+
+__all__ = [
+    "CrashSystem",
+    "PimsSystem",
+    "SyntheticSpec",
+    "build_crash",
+    "build_pims",
+    "build_synthetic",
+]

@@ -1,0 +1,1017 @@
+"""CRASH — the Crisis Response and Situation Handling case study (§4.2).
+
+CRASH "models a collection of governmental and non-governmental
+organizations cooperating in response to emerging situations": Police
+Department, Fire Department, Search and Rescue, Red Cross, St. Elsewhere
+Hospital, a Charitable Organization, and the Department of Public Works.
+Each peer divides into Display, Information Gathering Sources, and Command
+and Control subsystems; Command and Control centers of different
+organizations connect through ad hoc networks (Fig. 5), and each center's
+internal architecture follows the C2 style (Fig. 7).
+
+This module provides:
+
+* :func:`build_crash_ontology` — actors, entity classes/individuals, and
+  the dependability event types (``shutdownEntity``, ``sendMessage``,
+  ``receiveMessage``, ``sendFailureMessage``, ``receiveFailureMessage``,
+  ...);
+* :func:`build_crash_scenarios` — the paper's "Entity Availability"
+  (availability) and "Message Sequence" (reliability) scenarios plus
+  functional sharing/reporting scenarios and a *negative* security
+  scenario;
+* :func:`build_crash_architecture` — the Fig. 5 multi-peer architecture,
+  with the Fig. 7 C2 internal architecture attached to the Police
+  Department's Command and Control, and statechart behavior on every
+  Command and Control component (react to requests; propagate failure
+  alerts to the organization's Display);
+* :func:`build_crash_mapping` — the Fig. 8 mapping (``sendMessage`` ↦
+  {User Interface, Sharing Info Manager, Communication Manager}, ...);
+* :func:`build_crash_bindings` — dynamic stimulus/expectation bindings so
+  the two dependability scenarios really execute on the simulated
+  architecture;
+* :func:`build_crash` — everything bundled as a :class:`CrashSystem`.
+
+Architecture variants for the experiments:
+
+* ``failure_detection`` (constructor flag) adds the "Network Failure
+  Detector" component — the structural trace of "a mechanism for
+  detecting the availability of the entities"; the matching run-time
+  mechanism is the channel policy's ``failure_detection`` flag;
+* :func:`insecure_crash_architecture` links a "Malicious Entity" straight
+  into the inter-organization network (the negative security scenario
+  then *succeeds*, flagging the inconsistency);
+  the default architecture leaves malicious parties unconnected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.adl.behavior import Action, ActionKind, Statechart
+from repro.adl.structure import Architecture, Interface
+from repro.adl.types import ComponentType, ConnectorType, Signature, TypeRegistry
+from repro.core.dynamic import DynamicContext, ScenarioBindings
+from repro.core.mapping import Mapping
+from repro.core.walkthrough import WalkthroughOptions
+from repro.scenarioml.events import TypedEvent
+from repro.scenarioml.ontology import Ontology, Parameter
+from repro.scenarioml.scenario import (
+    QualityAttribute,
+    Scenario,
+    ScenarioKind,
+    ScenarioSet,
+)
+from repro.sim.network import FAILURE_MESSAGE
+from repro.sim.trace import TraceEventKind
+
+ORGANIZATIONS = (
+    "Police Department",
+    "Fire Department",
+    "Search and Rescue",
+    "Red Cross",
+    "St. Elsewhere Hospital",
+    "Charitable Organization",
+    "Department of Public Works",
+)
+
+INTER_ORG_NETWORK = "Inter-organization Network"
+FAILURE_DETECTOR = "Network Failure Detector"
+MALICIOUS_ENTITY = "Malicious Entity"
+
+# Fig. 7 internal components of a Command and Control center.
+SITUATION_MODEL = "Situation Model"
+INFO_AGGREGATOR = "Info Aggregator"
+DECISION_SUPPORT = "Decision Support"
+SHARING_INFO_MANAGER = "Sharing Info Manager"
+RESOURCE_MANAGER = "Resource Manager"
+USER_INTERFACE = "User Interface"
+COMMUNICATION_MANAGER = "Communication Manager"
+
+# Scenario names.
+ENTITY_AVAILABILITY = "entity-availability"
+MESSAGE_SEQUENCE = "message-sequence"
+SHARE_SITUATION_INFO = "share-situation-info"
+PUBLIC_REPORT = "public-report"
+UNAUTHORIZED_ACCESS = "unauthorized-network-access"
+PARTITION_RECOVERY = "partition-recovery"
+
+AVAILABILITY_ALERT = "availability-alert"
+
+
+def command_and_control(organization: str) -> str:
+    """The Command and Control component name of an organization."""
+    return f"{organization} Command and Control"
+
+
+def display(organization: str) -> str:
+    """The Display component name of an organization."""
+    return f"{organization} Display"
+
+
+def info_gathering(organization: str) -> str:
+    """The Information Gathering component name of an organization."""
+    return f"{organization} Information Gathering"
+
+
+def internal_network(organization: str) -> str:
+    """The internal ad hoc network connector name of an organization."""
+    return f"{organization} Internal Network"
+
+
+POLICE_CC = command_and_control("Police Department")
+FIRE_CC = command_and_control("Fire Department")
+
+
+# ----------------------------------------------------------------------
+# Ontology
+# ----------------------------------------------------------------------
+
+def build_crash_ontology(
+    organizations: Sequence[str] = ORGANIZATIONS,
+) -> Ontology:
+    """The CRASH ScenarioML ontology.
+
+    The principal actors are "User", "System", "Entity", and "Network"
+    (paper §4.2); entities are modeled as a class hierarchy with one
+    individual per organization's Command and Control center, so scenario
+    arguments reference unambiguous domain individuals.
+    """
+    ontology = Ontology(
+        "crash-ontology",
+        description="Entities and dependability event types of CRASH",
+    )
+    ontology.define_term(
+        "peer", "One organization's autonomous CRASH installation."
+    )
+    ontology.define_term(
+        "request message", "An asynchronous C2 message traveling up."
+    )
+    ontology.define_term(
+        "notification message", "An asynchronous C2 message traveling down."
+    )
+    ontology.define_instance_type("Actor", "A party acting in scenarios.")
+    ontology.define_instance_type(
+        "Entity", "A CRASH subsystem participating in the network.",
+        super_name="Actor",
+    )
+    ontology.define_instance_type(
+        "CommandAndControl",
+        "An organization's decision-making center.",
+        super_name="Entity",
+    )
+    ontology.define_instance_type(
+        "NetworkInfrastructure",
+        "The ad hoc network fabric connecting entities.",
+        super_name="Actor",
+    )
+    ontology.define_instance_type("Organization", "A cooperating organization.")
+    ontology.define_instance("User", "Actor", "An operator of a CRASH peer.")
+    ontology.define_instance("System", "Actor", "The CRASH system itself.")
+    ontology.define_instance(
+        "Network", "NetworkInfrastructure", "The inter-organization network."
+    )
+    for organization in organizations:
+        ontology.define_instance(organization, "Organization")
+        ontology.define_instance(
+            command_and_control(organization),
+            "CommandAndControl",
+            f"The {organization}'s Command and Control center.",
+        )
+    ontology.define_instance(
+        MALICIOUS_ENTITY, "Entity", "A party not authorized to join."
+    )
+
+    ontology.define_event_type(
+        "shutdownEntity",
+        "[entity] is shut down",
+        actor="Entity",
+        parameters=[Parameter("entity", "Entity")],
+    )
+    ontology.define_event_type(
+        "sendMessage",
+        "[sender] sends a [message] message to [receiver]",
+        actor="Entity",
+        parameters=[
+            Parameter("sender", "Entity"),
+            Parameter("receiver", "Entity"),
+            Parameter("message"),
+        ],
+    )
+    ontology.define_event_type(
+        "receiveMessage",
+        "[receiver] receives the [message] message",
+        actor="Entity",
+        parameters=[Parameter("receiver", "Entity"), Parameter("message")],
+    )
+    ontology.define_event_type(
+        "sendFailureMessage",
+        "The Network sends a failure message to [receiver]",
+        actor="Network",
+        parameters=[Parameter("receiver", "Entity")],
+    )
+    ontology.define_event_type(
+        "receiveFailureMessage",
+        "[receiver] receives the failure message",
+        actor="Entity",
+        parameters=[Parameter("receiver", "Entity")],
+    )
+    ontology.define_event_type(
+        "partitionEntity",
+        "The network partitions, isolating [entity]",
+        actor="Network",
+        parameters=[Parameter("entity", "Entity")],
+    )
+    ontology.define_event_type(
+        "healNetwork",
+        "The network partition heals",
+        actor="Network",
+    )
+    ontology.define_event_type(
+        "messageNotReceived",
+        "[receiver] does not receive the [message] message",
+        actor="Entity",
+        parameters=[Parameter("receiver", "Entity"), Parameter("message")],
+    )
+    ontology.define_event_type(
+        "accessNetwork",
+        "[entity] accesses the inter-organization network",
+        actor="Entity",
+        parameters=[Parameter("entity", "Entity")],
+    )
+    ontology.define_event_type(
+        "displaySituation",
+        "The [organization]'s Display visualizes the [information]",
+        actor="System",
+        parameters=[
+            Parameter("organization", "Organization"),
+            Parameter("information"),
+        ],
+    )
+    ontology.define_event_type(
+        "reportFromPublic",
+        "The [organization]'s information sources relay a report from "
+        "the public",
+        actor="System",
+        parameters=[Parameter("organization", "Organization")],
+    )
+    ontology.validate()
+    return ontology
+
+
+# ----------------------------------------------------------------------
+# Scenarios
+# ----------------------------------------------------------------------
+
+def build_crash_scenarios(ontology: Ontology) -> ScenarioSet:
+    """The CRASH dependability and functional scenarios.
+
+    The two focus scenarios are verbatim from the paper; the others widen
+    coverage and include a negative security scenario ("Users need to be
+    authorized to access the network", §3.5).
+    """
+    scenarios = ScenarioSet(ontology, name="crash")
+    scenarios.add(
+        Scenario(
+            name=ENTITY_AVAILABILITY,
+            title="Entity Availability",
+            description=(
+                "Operationalizes the availability requirement by showing "
+                "how the system handles the failure of a component."
+            ),
+            quality_attributes=(QualityAttribute.AVAILABILITY,),
+            actors=("Entity", "Network"),
+            events=(
+                TypedEvent(
+                    type_name="shutdownEntity",
+                    arguments={"entity": POLICE_CC},
+                    label="1",
+                ),
+                TypedEvent(
+                    type_name="sendMessage",
+                    arguments={
+                        "sender": FIRE_CC,
+                        "receiver": POLICE_CC,
+                        "message": "request",
+                    },
+                    label="2",
+                ),
+                TypedEvent(
+                    type_name="sendFailureMessage",
+                    arguments={"receiver": FIRE_CC},
+                    label="3",
+                ),
+                TypedEvent(
+                    type_name="receiveFailureMessage",
+                    arguments={"receiver": FIRE_CC},
+                    label="4",
+                ),
+            ),
+        )
+    )
+    scenarios.add(
+        Scenario(
+            name=MESSAGE_SEQUENCE,
+            title="Message Sequence",
+            description=(
+                "Verifies the reliability requirement by testing whether "
+                "messages sent by a peer are received by other peers in "
+                "the same sequence they are sent."
+            ),
+            quality_attributes=(QualityAttribute.RELIABILITY,),
+            actors=("Entity",),
+            events=(
+                TypedEvent(
+                    type_name="sendMessage",
+                    arguments={
+                        "sender": FIRE_CC,
+                        "receiver": POLICE_CC,
+                        "message": "request-1",
+                    },
+                    label="1",
+                ),
+                TypedEvent(
+                    type_name="sendMessage",
+                    arguments={
+                        "sender": FIRE_CC,
+                        "receiver": POLICE_CC,
+                        "message": "request-2",
+                    },
+                    label="2",
+                ),
+                TypedEvent(
+                    type_name="receiveMessage",
+                    arguments={"receiver": POLICE_CC, "message": "request-1"},
+                    label="3",
+                ),
+                TypedEvent(
+                    type_name="receiveMessage",
+                    arguments={"receiver": POLICE_CC, "message": "request-2"},
+                    label="4",
+                ),
+            ),
+        )
+    )
+    scenarios.add(
+        Scenario(
+            name=SHARE_SITUATION_INFO,
+            title="Share situation information between organizations",
+            actors=("Entity", "System"),
+            events=(
+                TypedEvent(
+                    type_name="sendMessage",
+                    arguments={
+                        "sender": FIRE_CC,
+                        "receiver": POLICE_CC,
+                        "message": "situation-update",
+                    },
+                    label="1",
+                ),
+                TypedEvent(
+                    type_name="receiveMessage",
+                    arguments={
+                        "receiver": POLICE_CC,
+                        "message": "situation-update",
+                    },
+                    label="2",
+                ),
+                TypedEvent(
+                    type_name="displaySituation",
+                    arguments={
+                        "organization": "Police Department",
+                        "information": "situation update",
+                    },
+                    label="3",
+                ),
+            ),
+        )
+    )
+    scenarios.add(
+        Scenario(
+            name=PUBLIC_REPORT,
+            title="Relay a report from the public",
+            actors=("System",),
+            events=(
+                TypedEvent(
+                    type_name="reportFromPublic",
+                    arguments={"organization": "Fire Department"},
+                    label="1",
+                ),
+                TypedEvent(
+                    type_name="receiveMessage",
+                    arguments={"receiver": FIRE_CC, "message": "public-report"},
+                    label="2",
+                ),
+                TypedEvent(
+                    type_name="displaySituation",
+                    arguments={
+                        "organization": "Fire Department",
+                        "information": "public report",
+                    },
+                    label="3",
+                ),
+            ),
+        )
+    )
+    scenarios.add(
+        Scenario(
+            name=PARTITION_RECOVERY,
+            title="Recover communication after a network partition",
+            description=(
+                "Operationalizes fault tolerance: while the network "
+                "isolates the Police Department's center, messages to it "
+                "are lost; after the partition heals, communication "
+                "resumes."
+            ),
+            quality_attributes=(QualityAttribute.FAULT_TOLERANCE,),
+            actors=("Entity", "Network"),
+            events=(
+                TypedEvent(
+                    type_name="partitionEntity",
+                    arguments={"entity": POLICE_CC},
+                    label="1",
+                ),
+                TypedEvent(
+                    type_name="sendMessage",
+                    arguments={
+                        "sender": FIRE_CC,
+                        "receiver": POLICE_CC,
+                        "message": "status-during-partition",
+                    },
+                    label="2",
+                ),
+                TypedEvent(
+                    type_name="messageNotReceived",
+                    arguments={
+                        "receiver": POLICE_CC,
+                        "message": "status-during-partition",
+                    },
+                    label="3",
+                ),
+                TypedEvent(type_name="healNetwork", label="4"),
+                TypedEvent(
+                    type_name="sendMessage",
+                    arguments={
+                        "sender": FIRE_CC,
+                        "receiver": POLICE_CC,
+                        "message": "status-after-heal",
+                    },
+                    label="5",
+                ),
+                TypedEvent(
+                    type_name="receiveMessage",
+                    arguments={
+                        "receiver": POLICE_CC,
+                        "message": "status-after-heal",
+                    },
+                    label="6",
+                ),
+            ),
+        )
+    )
+    scenarios.add(
+        Scenario(
+            name=UNAUTHORIZED_ACCESS,
+            title="Unauthorized entity accesses the network",
+            description=(
+                "A negative scenario: an entity with inadequate "
+                "authentication information accesses the system. Its "
+                "successful execution implies the system is not secure."
+            ),
+            kind=ScenarioKind.NEGATIVE,
+            quality_attributes=(QualityAttribute.SECURITY,),
+            actors=("Entity",),
+            events=(
+                TypedEvent(
+                    type_name="accessNetwork",
+                    arguments={"entity": MALICIOUS_ENTITY},
+                    label="1",
+                ),
+                TypedEvent(
+                    type_name="sendMessage",
+                    arguments={
+                        "sender": MALICIOUS_ENTITY,
+                        "receiver": POLICE_CC,
+                        "message": "malicious-instruction",
+                    },
+                    label="2",
+                ),
+                TypedEvent(
+                    type_name="receiveMessage",
+                    arguments={
+                        "receiver": POLICE_CC,
+                        "message": "malicious-instruction",
+                    },
+                    label="3",
+                ),
+            ),
+        )
+    )
+    return scenarios
+
+
+# ----------------------------------------------------------------------
+# Architecture
+# ----------------------------------------------------------------------
+
+def build_crash_types() -> TypeRegistry:
+    """The CRASH peer family as xADL types.
+
+    Every organization's peer instantiates the same three component types
+    and one connector type — the xADL types layer makes the seven-peer
+    family a matter of instantiation, and conformance checking keeps the
+    instances honest as the model evolves.
+    """
+    registry = TypeRegistry("crash-types")
+    registry.add(
+        ComponentType(
+            name="command-and-control",
+            signatures=(
+                Signature("external", description="to other organizations"),
+                Signature("internal", description="to the peer's subsystems"),
+            ),
+            responsibilities=(
+                "Aggregate data from information sources and other organizations",
+                "Make decisions on behalf of the entity",
+                "Convey information and instructions to affiliated resources",
+            ),
+            description="An organization's decision-making center",
+        )
+    )
+    registry.add(
+        ComponentType(
+            name="display",
+            signatures=(Signature("internal"),),
+            responsibilities=(
+                "Visualize the information currently known to the organization",
+            ),
+            description="An organization's situation display",
+        )
+    )
+    registry.add(
+        ComponentType(
+            name="information-gathering",
+            signatures=(Signature("internal"),),
+            responsibilities=(
+                "Provide feedback and information to the Command and Control",
+                "Relay reports from the public",
+            ),
+            description="An organization's information gathering sources",
+        )
+    )
+    registry.add(
+        ConnectorType(
+            name="ad-hoc-network",
+            description="An ad hoc network fabric",
+        )
+    )
+    return registry
+
+def build_command_and_control_architecture(
+    name: str = "command-and-control",
+) -> Architecture:
+    """The Fig. 7 internal C2 architecture of a Command and Control
+    center.
+
+    Layers, top to bottom: the Situation Model; the aggregation and
+    decision components; the User Interface and Communication Manager.
+    Requests travel up toward the situation model; notifications travel
+    down toward the interface and the network.
+    """
+    architecture = Architecture(
+        name,
+        style="c2",
+        description="Internal C2 architecture of a Command and Control center",
+    )
+    architecture.add_component(
+        SITUATION_MODEL,
+        description="Holds the information currently known to the organization",
+        responsibilities=("Maintain the shared situation picture",),
+        interfaces=[Interface("bottom")],
+    )
+    middle = (
+        (INFO_AGGREGATOR, "Aggregate data received from information sources"),
+        (DECISION_SUPPORT, "Support decisions on behalf of the entity"),
+        (SHARING_INFO_MANAGER, "Manage information shared with other organizations"),
+        (RESOURCE_MANAGER, "Track deployment of the organization's resources"),
+    )
+    for component_name, responsibility in middle:
+        architecture.add_component(
+            component_name,
+            responsibilities=(responsibility,),
+            interfaces=[Interface("top"), Interface("bottom")],
+        )
+    architecture.add_component(
+        USER_INTERFACE,
+        description="Visualizes information and accepts operator commands",
+        responsibilities=("Interact with the operator",),
+        interfaces=[Interface("top")],
+    )
+    architecture.add_component(
+        COMMUNICATION_MANAGER,
+        description="Exchanges messages with other organizations",
+        responsibilities=("Send and receive inter-organization messages",),
+        interfaces=[Interface("top")],
+    )
+    architecture.add_connector(
+        "situation-bus", interfaces=[Interface("top"), Interface("bottom")]
+    )
+    architecture.add_connector(
+        "control-bus", interfaces=[Interface("top"), Interface("bottom")]
+    )
+    # situation-bus sits below the Situation Model and above the middle layer.
+    architecture.link(("situation-bus", "top"), (SITUATION_MODEL, "bottom"))
+    for component_name, _responsibility in middle:
+        architecture.link((component_name, "top"), ("situation-bus", "bottom"))
+        architecture.link(("control-bus", "top"), (component_name, "bottom"))
+    architecture.link((USER_INTERFACE, "top"), ("control-bus", "bottom"))
+    architecture.link((COMMUNICATION_MANAGER, "top"), ("control-bus", "bottom"))
+    architecture.validate()
+    return architecture
+
+
+def _command_and_control_statechart(organization: str) -> Statechart:
+    """Behavior of a Command and Control component: acknowledge requests;
+    when told about a peer failure, alert the organization's Display."""
+    chart = Statechart(
+        f"{organization} C&C behavior",
+        description="Acknowledge requests; raise availability alerts",
+    )
+    chart.add_state("operational", initial=True)
+    chart.add_transition(
+        "operational",
+        "operational",
+        "request",
+        actions=[Action(ActionKind.REPLY, "acknowledgement")],
+    )
+    chart.add_transition(
+        "operational",
+        "operational",
+        FAILURE_MESSAGE,
+        actions=[
+            Action(
+                ActionKind.SEND,
+                AVAILABILITY_ALERT,
+                via="internal",
+                description="Alert the operator that a peer is unavailable",
+            )
+        ],
+    )
+    # Incoming situation information and relayed public reports are pushed
+    # to the organization's Display over the internal ad hoc network.
+    for trigger in ("situation-update", "public-report"):
+        chart.add_transition(
+            "operational",
+            "operational",
+            trigger,
+            actions=[
+                Action(
+                    ActionKind.SEND,
+                    "display-update",
+                    via="internal",
+                    description="Visualize newly known information",
+                )
+            ],
+        )
+    return chart
+
+
+def build_crash_architecture(
+    organizations: Sequence[str] = ORGANIZATIONS,
+    failure_detection: bool = False,
+    with_entity_subarchitecture: bool = True,
+) -> Architecture:
+    """The Fig. 5 high-level CRASH architecture.
+
+    Each organization contributes a Command and Control center, a Display,
+    and Information Gathering sources joined by an internal ad hoc network
+    connector; all centers join the inter-organization network.
+    ``failure_detection`` adds the Network Failure Detector component (the
+    structural counterpart of the availability mechanism);
+    ``with_entity_subarchitecture`` attaches the Fig. 7 C2 architecture to
+    the Police Department's center.
+    """
+    architecture = Architecture(
+        "crash",
+        description="Decentralized multi-organization crisis response system",
+    )
+    registry = build_crash_types()
+    inter_org = registry.instantiate_connector(
+        architecture,
+        "ad-hoc-network",
+        INTER_ORG_NETWORK,
+        description="Ad hoc network joining the Command and Control centers",
+    )
+    for organization in organizations:
+        center = registry.instantiate_component(
+            architecture,
+            "command-and-control",
+            command_and_control(organization),
+            description=f"{organization} decision-making center",
+        )
+        if with_entity_subarchitecture and organization == "Police Department":
+            center.subarchitecture = build_command_and_control_architecture(
+                "police-command-and-control"
+            )
+        registry.instantiate_component(
+            architecture,
+            "display",
+            display(organization),
+            description=f"{organization} situation display",
+        )
+        registry.instantiate_component(
+            architecture,
+            "information-gathering",
+            info_gathering(organization),
+            description=f"{organization} information gathering sources",
+        )
+        registry.instantiate_connector(
+            architecture,
+            "ad-hoc-network",
+            internal_network(organization),
+            description=f"{organization} internal ad hoc network",
+        )
+        architecture.link(
+            (command_and_control(organization), "internal"),
+            (internal_network(organization), "cc"),
+        )
+        architecture.link(
+            (display(organization), "internal"),
+            (internal_network(organization), "display"),
+        )
+        architecture.link(
+            (info_gathering(organization), "internal"),
+            (internal_network(organization), "sources"),
+        )
+        architecture.link(
+            (command_and_control(organization), "external"),
+            (INTER_ORG_NETWORK, organization.lower().replace(" ", "-")),
+        )
+        architecture.attach_behavior(
+            command_and_control(organization),
+            _command_and_control_statechart(organization),
+        )
+    if failure_detection:
+        architecture.add_component(
+            FAILURE_DETECTOR,
+            description="Detects unavailable entities and notifies senders",
+            responsibilities=(
+                "Monitor entity liveness",
+                "Send failure messages to requesters of unavailable entities",
+            ),
+            interfaces=[Interface("probe")],
+        )
+        architecture.link((FAILURE_DETECTOR, "probe"), (INTER_ORG_NETWORK, "detector"))
+    architecture.validate()
+    return architecture
+
+
+def insecure_crash_architecture(
+    organizations: Sequence[str] = ORGANIZATIONS,
+    failure_detection: bool = False,
+) -> Architecture:
+    """A CRASH variant whose inter-organization network accepts a direct
+    link from an unauthenticated party — the configuration the negative
+    security scenario exposes."""
+    architecture = build_crash_architecture(
+        organizations, failure_detection=failure_detection
+    )
+    architecture.name = "crash-insecure"
+    architecture.add_component(
+        MALICIOUS_ENTITY,
+        description="A party that has not been authorized to join",
+        responsibilities=("Attempt to interact with the network",),
+        interfaces=[Interface("external")],
+    )
+    architecture.link((MALICIOUS_ENTITY, "external"), (INTER_ORG_NETWORK, "rogue"))
+    architecture.validate()
+    return architecture
+
+
+# ----------------------------------------------------------------------
+# Mapping (Fig. 8)
+# ----------------------------------------------------------------------
+
+def build_crash_mapping(
+    ontology: Ontology,
+    architecture: Architecture,
+    organizations: Sequence[str] = ORGANIZATIONS,
+) -> Mapping:
+    """The CRASH ontology-to-architecture mapping (Fig. 8).
+
+    Per the paper, "the event type 'sendMessage' is mapped to three
+    components: 'User Interface', 'Sharing Info Manager', and
+    'Communication Manager'" — subcomponents of the Police center's
+    Fig. 7 architecture when it is attached, with the centers themselves
+    as additional targets at the entity level. Entries referencing
+    variant-only components (failure detector, malicious entity) are
+    added only when those components exist.
+    """
+    mapping = Mapping(ontology, architecture, name="crash-fig8")
+    centers = tuple(
+        command_and_control(organization) for organization in organizations
+    )
+    has_entity_internals = any(
+        component.name == USER_INTERFACE
+        for component in architecture.all_components(recursive=True)
+    )
+    if has_entity_internals:
+        mapping.map_event(
+            "sendMessage",
+            USER_INTERFACE,
+            SHARING_INFO_MANAGER,
+            COMMUNICATION_MANAGER,
+        )
+        mapping.map_event(
+            "receiveMessage", COMMUNICATION_MANAGER, SHARING_INFO_MANAGER
+        )
+    else:
+        mapping.map_event("sendMessage", *centers)
+        mapping.map_event("receiveMessage", *centers)
+    mapping.map_event("shutdownEntity", *centers)
+    mapping.map_event("receiveFailureMessage", *centers)
+    mapping.map_event("partitionEntity", *centers)
+    mapping.map_event("messageNotReceived", *centers)
+    mapping.map_event(
+        "displaySituation",
+        *(display(organization) for organization in organizations),
+    )
+    mapping.map_event(
+        "reportFromPublic",
+        *(info_gathering(organization) for organization in organizations),
+    )
+    if architecture.has_element(FAILURE_DETECTOR):
+        mapping.map_event("sendFailureMessage", FAILURE_DETECTOR)
+        mapping.map_event("healNetwork", FAILURE_DETECTOR)
+    if architecture.has_element(MALICIOUS_ENTITY):
+        mapping.map_event("accessNetwork", MALICIOUS_ENTITY)
+    mapping.validate()
+    return mapping
+
+
+def crash_walkthrough_options() -> WalkthroughOptions:
+    """CRASH walkthroughs use the undirected view: C2 messaging is
+    bidirectional (requests up, notifications down) over the same links."""
+    return WalkthroughOptions(respect_directions=False)
+
+
+# ----------------------------------------------------------------------
+# Dynamic bindings
+# ----------------------------------------------------------------------
+
+def build_crash_bindings() -> ScenarioBindings:
+    """Stimulus/expectation bindings for executing CRASH scenarios on the
+    simulated architecture."""
+    bindings = ScenarioBindings()
+
+    def stimulate_shutdown(context: DynamicContext, event: TypedEvent) -> None:
+        context.shutdown(event.arguments["entity"])
+
+    def stimulate_send(context: DynamicContext, event: TypedEvent) -> None:
+        context.send(
+            event.arguments["sender"],
+            event.arguments["message"],
+            destination_entity=event.arguments["receiver"],
+            kind="request",
+        )
+
+    def expect_receive(context: DynamicContext, event: TypedEvent) -> Optional[str]:
+        receiver = context.component_for(event.arguments["receiver"])
+        message = event.arguments["message"]
+        deliveries = [
+            trace_event
+            for trace_event in context.trace.deliveries_to(receiver)
+            if trace_event.message is not None
+            and trace_event.message.name == message
+        ]
+        if not deliveries:
+            return f"message {message!r} was never delivered to {receiver!r}"
+        arrival = deliveries[0].time
+        order_key = ("last-arrival", receiver)
+        previous_arrival = context.scratch.get(order_key)
+        context.scratch[order_key] = arrival
+        if previous_arrival is not None and arrival < previous_arrival:
+            return (
+                f"message {message!r} arrived at {receiver!r} out of order "
+                f"(t={arrival:g} before the previously expected message at "
+                f"t={previous_arrival:g})"
+            )
+        return None
+
+    def expect_network_failure_message(
+        context: DynamicContext, event: TypedEvent
+    ) -> Optional[str]:
+        receiver = context.component_for(event.arguments["receiver"])
+        notices = context.trace.filter(kind=TraceEventKind.FAILURE_NOTICE)
+        if not notices:
+            return (
+                "the network never sent a failure message (no availability "
+                "detection mechanism)"
+            )
+        return None
+
+    def expect_failure_received(
+        context: DynamicContext, event: TypedEvent
+    ) -> Optional[str]:
+        receiver = context.component_for(event.arguments["receiver"])
+        if context.trace.was_delivered(FAILURE_MESSAGE, receiver):
+            return None
+        if context.trace.failure_notices_to(receiver):
+            return None
+        return (
+            f"{receiver!r} never received the failure message; it cannot "
+            "tell that the peer is unavailable"
+        )
+
+    def stimulate_public_report(
+        context: DynamicContext, event: TypedEvent
+    ) -> None:
+        organization = event.arguments["organization"]
+        context.send(
+            info_gathering(organization),
+            "public-report",
+            destination_entity=command_and_control(organization),
+            kind="request",
+        )
+
+    def expect_display(context: DynamicContext, event: TypedEvent) -> Optional[str]:
+        organization = event.arguments["organization"]
+        display_component = display(organization)
+        deliveries = context.trace.deliveries_to(display_component)
+        if deliveries:
+            return None
+        return (
+            f"nothing was delivered to {display_component!r}; the situation "
+            "was not visualized"
+        )
+
+    def stimulate_partition(context: DynamicContext, event: TypedEvent) -> None:
+        context.isolate(event.arguments["entity"])
+
+    def stimulate_heal(context: DynamicContext, event: TypedEvent) -> None:
+        context.heal_network()
+
+    def expect_not_received(
+        context: DynamicContext, event: TypedEvent
+    ) -> Optional[str]:
+        receiver = context.component_for(event.arguments["receiver"])
+        message = event.arguments["message"]
+        if context.trace.was_delivered(message, receiver):
+            return (
+                f"message {message!r} reached {receiver!r} although the "
+                "network was partitioned"
+            )
+        return None
+
+    bindings.on("shutdownEntity", stimulate_shutdown)
+    bindings.on("sendMessage", stimulate_send)
+    bindings.on("reportFromPublic", stimulate_public_report)
+    bindings.on("partitionEntity", stimulate_partition)
+    bindings.on("healNetwork", stimulate_heal)
+    bindings.expect("receiveMessage", expect_receive)
+    bindings.expect("sendFailureMessage", expect_network_failure_message)
+    bindings.expect("receiveFailureMessage", expect_failure_received)
+    bindings.expect("displaySituation", expect_display)
+    bindings.expect("messageNotReceived", expect_not_received)
+    return bindings
+
+
+# ----------------------------------------------------------------------
+# Bundle
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class CrashSystem:
+    """Everything needed to reproduce the CRASH evaluation."""
+
+    ontology: Ontology
+    scenarios: ScenarioSet
+    architecture: Architecture
+    mapping: Mapping
+    options: WalkthroughOptions
+    bindings: ScenarioBindings
+
+    def insecure_architecture(self) -> Architecture:
+        """The variant admitting the negative security scenario."""
+        return insecure_crash_architecture()
+
+
+def build_crash(
+    organizations: Sequence[str] = ORGANIZATIONS,
+    failure_detection: bool = True,
+) -> CrashSystem:
+    """Build the complete CRASH case study."""
+    ontology = build_crash_ontology(organizations)
+    scenarios = build_crash_scenarios(ontology)
+    architecture = build_crash_architecture(
+        organizations, failure_detection=failure_detection
+    )
+    mapping = build_crash_mapping(ontology, architecture, organizations)
+    return CrashSystem(
+        ontology=ontology,
+        scenarios=scenarios,
+        architecture=architecture,
+        mapping=mapping,
+        options=crash_walkthrough_options(),
+        bindings=build_crash_bindings(),
+    )

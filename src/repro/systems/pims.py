@@ -1,0 +1,1092 @@
+"""PIMS — the Personal Investment Management System case study (paper §4.1).
+
+PIMS is the extended case study of Jalote's *An Integrated Approach to
+Software Engineering*: a single-process system customers use "to keep
+track of their invested money in institutions such as banks and in the
+stock market." Its requirements are 22 use cases; its architecture is
+layered — a presentation layer ("Master Controller"), a business-logic
+layer, a data-access layer, and the data repository, plus the remote share
+price database reached over the Internet.
+
+This module provides:
+
+* :func:`build_pims_ontology` — the Fig. 2 ontology: actors, domain
+  classes, and generalized/parameterized event types;
+* :func:`build_pims_scenarios` — a scenario set containing the paper's two
+  focus use cases ("Create portfolio" and "Get the current prices of
+  shares", each with its alternative scenario) plus ten further scenarios
+  drawn from the PIMS use-case catalogue;
+* :func:`build_pims_architecture` — the Fig. 3 layered architecture in the
+  structural ADL, with service-invocation interface directions;
+* :func:`build_pims_mapping` — the Table 1 event-type → component mapping;
+* :func:`excise_data_access_loader_link` — the paper's fault seeding: "we
+  artificially introduced an error in the PIMS architecture by excising
+  the link between the 'Data Access' and 'Loader' components";
+* :func:`build_pims` — everything bundled as a :class:`PimsSystem`.
+
+The walkthrough options returned by :func:`pims_walkthrough_options`
+check intra-event data-flow chains *with* interface directions (data
+cannot be smuggled up through the presentation layer and back down),
+which is what makes the excised architecture fail exactly the
+"Get the current prices of shares" scenario (Fig. 4) while "Create
+portfolio" still passes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from typing import Optional
+
+from repro.adl.behavior import Action, ActionKind, Statechart
+from repro.adl.structure import Architecture, Direction, Interface
+from repro.core.dynamic import DynamicContext, ScenarioBindings
+from repro.core.mapping import Mapping
+from repro.core.walkthrough import WalkthroughOptions
+from repro.scenarioml.events import Iteration, TypedEvent, sequence
+from repro.scenarioml.ontology import Ontology, Parameter
+from repro.scenarioml.scenario import Scenario, ScenarioSet
+
+# Run-time message vocabulary of the share-price flow.
+DOWNLOAD_REQUEST = "download-request"
+PRICE_QUERY = "price-query"
+PRICE_DATA = "price-data"
+CURRENT_SHARE_PRICES = "current-share-prices"
+SAVE_SHARE_PRICES = "save-share-prices"
+STORE_RECORD = "store-record"
+
+# Component names (paper Fig. 3 / Fig. 4 vocabulary).
+MASTER_CONTROLLER = "Master Controller"
+AUTHENTICATION = "Authentication"
+PORTFOLIO_MANAGER = "Portfolio Manager"
+INVESTMENT_MANAGER = "Investment Manager"
+NET_WORTH_MANAGER = "Net Worth Manager"
+RATE_OF_RETURN_MANAGER = "Rate of Return Manager"
+ALERT_MANAGER = "Alert Manager"
+CURRENT_VALUE_MANAGER = "Current Value Manager"
+LOADER = "Loader"
+DATA_ACCESS = "Data Access"
+DATA_REPOSITORY = "Data Repository"
+REMOTE_SHARE_DB = "Remote Share Price Database"
+
+UI_BUS = "ui-bus"
+DATA_BUS = "data-bus"
+REPOSITORY_LINK = "repository-link"
+INTERNET = "internet"
+
+# The paper's two focus scenarios.
+CREATE_PORTFOLIO = "create-portfolio"
+CREATE_PORTFOLIO_ALT = "create-portfolio-alt"
+GET_SHARE_PRICES = "get-share-prices"
+GET_SHARE_PRICES_ALT = "get-share-prices-alt"
+
+
+def build_pims_ontology() -> Ontology:
+    """The PIMS ScenarioML ontology (paper Fig. 2).
+
+    Actions are generalized and parameterized "for simplicity and clarity"
+    — e.g. one ``enterInformation`` event type covers entering a portfolio
+    name, a different name, credentials, and investment details.
+    """
+    ontology = Ontology(
+        "pims-ontology",
+        description="Domain concepts and event types of PIMS",
+    )
+    # Terms — general concepts of the system captured with `term`.
+    ontology.define_term(
+        "portfolio", "A named collection of a customer's investments."
+    )
+    ontology.define_term(
+        "investment", "Money placed in a security or institution."
+    )
+    ontology.define_term(
+        "share price", "The current market price of a share, obtained from "
+        "a web site over the Internet."
+    )
+    ontology.define_term("net worth", "Total current value of all portfolios.")
+    ontology.define_term(
+        "rate of return", "Relative gain or loss of an investment over time."
+    )
+    # Domain classes and individuals.
+    ontology.define_instance_type("Actor", "A party interacting in scenarios.")
+    ontology.define_instance_type(
+        "Human", "A human actor.", super_name="Actor"
+    )
+    ontology.define_instance_type("Portfolio", "A customer portfolio.")
+    ontology.define_instance_type("Investment", "An investment in a portfolio.")
+    ontology.define_instance("User", "Human", "The PIMS customer.")
+    ontology.define_instance("System", "Actor", "The PIMS system itself.")
+
+    # Event types performed by the actor "User".
+    ontology.define_event_type(
+        "initiateFunction",
+        "The user initiates the [function] functionality",
+        actor="User",
+        parameters=["function"],
+    )
+    ontology.define_event_type(
+        "enterInformation",
+        "The user enters the [information]",
+        actor="User",
+        parameters=["information"],
+    )
+    # Event types performed by the actor "System".
+    ontology.define_event_type(
+        "promptUser",
+        "The system asks the user for the [information]",
+        actor="System",
+        parameters=["information"],
+    )
+    ontology.define_event_type(
+        "authenticateUser",
+        "The system authenticates the user",
+        actor="System",
+    )
+    ontology.define_event_type(
+        "displayInformation",
+        "The system displays the [information]",
+        actor="System",
+        parameters=["information"],
+    )
+    # An abstract generalization: portfolio management actions (paper §5's
+    # save/update/delete generalization mechanism).
+    ontology.define_event_type(
+        "managePortfolio",
+        "The system performs a portfolio management action",
+        actor="System",
+        abstract=True,
+    )
+    ontology.define_event_type(
+        "createPortfolio",
+        "An empty portfolio named [name] is created",
+        actor="System",
+        parameters=["name"],
+        super_name="managePortfolio",
+    )
+    ontology.define_event_type(
+        "renamePortfolio",
+        "The portfolio is renamed to [name]",
+        actor="System",
+        parameters=["name"],
+        super_name="managePortfolio",
+    )
+    ontology.define_event_type(
+        "deletePortfolio",
+        "The system deletes the portfolio and its stored data",
+        actor="System",
+        super_name="managePortfolio",
+    )
+    # Investment management, sharing one parameterized type per action.
+    ontology.define_event_type(
+        "manageInvestment",
+        "The system performs an investment management action",
+        actor="System",
+        abstract=True,
+    )
+    ontology.define_event_type(
+        "addInvestment",
+        "The system adds the investment [name] to the portfolio",
+        actor="System",
+        parameters=["name"],
+        super_name="manageInvestment",
+    )
+    ontology.define_event_type(
+        "editInvestment",
+        "The system updates the investment [name]",
+        actor="System",
+        parameters=["name"],
+        super_name="manageInvestment",
+    )
+    ontology.define_event_type(
+        "deleteInvestment",
+        "The system removes the investment [name]",
+        actor="System",
+        parameters=["name"],
+        super_name="manageInvestment",
+    )
+    # Share-price handling (the "Get the current prices of shares" events).
+    ontology.define_event_type(
+        "downloadSharePrices",
+        "The system downloads the current share prices from a particular "
+        "web site",
+        actor="System",
+    )
+    ontology.define_event_type(
+        "saveData",
+        "The system saves the [data]",
+        actor="System",
+        parameters=["data"],
+    )
+    ontology.define_event_type(
+        "retrieveSavedData",
+        "The system gets the [data] saved from before",
+        actor="System",
+        parameters=["data"],
+    )
+    # Computations.
+    ontology.define_event_type(
+        "computeNetWorth",
+        "The system computes the total net worth",
+        actor="System",
+    )
+    ontology.define_event_type(
+        "computeRateOfReturn",
+        "The system computes the rate of return",
+        actor="System",
+    )
+    ontology.define_event_type(
+        "setAlert",
+        "The system installs an alert at threshold [threshold]",
+        actor="System",
+        parameters=[Parameter("threshold")],
+    )
+    ontology.define_event_type(
+        "getCurrentValue",
+        "The system determines the current value of [subject]",
+        actor="System",
+        parameters=["subject"],
+    )
+    ontology.define_event_type(
+        "saveSession",
+        "The system saves the session data",
+        actor="System",
+    )
+    ontology.validate()
+    return ontology
+
+
+def build_pims_scenarios(ontology: Ontology) -> ScenarioSet:
+    """The PIMS requirements-level scenarios.
+
+    Contains the paper's two focus use cases, each with its alternative
+    scenario, plus further scenarios from the PIMS use-case catalogue so
+    the mapping and coverage analyses have realistic breadth.
+    """
+    scenarios = ScenarioSet(ontology, name="pims")
+
+    scenarios.add(
+        Scenario(
+            name=CREATE_PORTFOLIO,
+            title="Create portfolio",
+            description="The steps required to create a new portfolio.",
+            actors=("User", "System"),
+            events=(
+                TypedEvent(
+                    type_name="initiateFunction",
+                    arguments={"function": "create portfolio"},
+                    label="1",
+                ),
+                TypedEvent(
+                    type_name="promptUser",
+                    arguments={"information": "portfolio name"},
+                    label="2",
+                ),
+                TypedEvent(
+                    type_name="enterInformation",
+                    arguments={"information": "portfolio name"},
+                    label="3",
+                ),
+                TypedEvent(
+                    type_name="createPortfolio",
+                    arguments={"name": "portfolio name"},
+                    label="4",
+                ),
+            ),
+        )
+    )
+    scenarios.add(
+        Scenario(
+            name=CREATE_PORTFOLIO_ALT,
+            title="Create portfolio (name already exists)",
+            description=(
+                "Alternative: a portfolio with the same name exists; the "
+                "system asks for a different name."
+            ),
+            actors=("User", "System"),
+            alternative_of=CREATE_PORTFOLIO,
+            events=(
+                TypedEvent(
+                    type_name="initiateFunction",
+                    arguments={"function": "create portfolio"},
+                    label="1",
+                ),
+                TypedEvent(
+                    type_name="promptUser",
+                    arguments={"information": "portfolio name"},
+                    label="2",
+                ),
+                TypedEvent(
+                    type_name="enterInformation",
+                    arguments={"information": "portfolio name"},
+                    label="3",
+                ),
+                TypedEvent(
+                    type_name="promptUser",
+                    arguments={"information": "different name"},
+                    label="4.a.1",
+                ),
+                TypedEvent(
+                    type_name="enterInformation",
+                    arguments={"information": "different name"},
+                    label="4.a.2",
+                ),
+                TypedEvent(
+                    type_name="createPortfolio",
+                    arguments={"name": "different name"},
+                    label="4.a.3",
+                ),
+            ),
+        )
+    )
+    scenarios.add(
+        Scenario(
+            name=GET_SHARE_PRICES,
+            title="Get the current prices of shares",
+            description=(
+                "The steps performed to get the current prices of shares "
+                "from the Internet."
+            ),
+            actors=("User", "System"),
+            events=(
+                TypedEvent(
+                    type_name="initiateFunction",
+                    arguments={"function": "download current share prices"},
+                    label="1",
+                ),
+                TypedEvent(type_name="downloadSharePrices", label="2"),
+                TypedEvent(
+                    type_name="displayInformation",
+                    arguments={"information": "current share prices"},
+                    label="3",
+                ),
+                TypedEvent(
+                    type_name="saveData",
+                    arguments={"data": "current share prices"},
+                    label="4",
+                ),
+            ),
+        )
+    )
+    scenarios.add(
+        Scenario(
+            name=GET_SHARE_PRICES_ALT,
+            title="Get the current prices of shares (download fails)",
+            description=(
+                "Alternative: the system is not able to download (network "
+                "failure, site down, ...); it falls back to the value saved "
+                "from before."
+            ),
+            actors=("User", "System"),
+            alternative_of=GET_SHARE_PRICES,
+            events=(
+                TypedEvent(
+                    type_name="initiateFunction",
+                    arguments={"function": "download current share prices"},
+                    label="1",
+                ),
+                TypedEvent(
+                    type_name="retrieveSavedData",
+                    arguments={"data": "current share prices"},
+                    label="2.a.2",
+                ),
+                TypedEvent(
+                    type_name="displayInformation",
+                    arguments={"information": "saved share prices"},
+                    label="2.a.3",
+                ),
+                TypedEvent(
+                    type_name="promptUser",
+                    arguments={"information": "whether to change the saved value"},
+                    label="2.a.4",
+                ),
+            ),
+        )
+    )
+    scenarios.add(
+        Scenario(
+            name="login",
+            title="Log into PIMS",
+            actors=("User", "System"),
+            events=(
+                TypedEvent(
+                    type_name="initiateFunction",
+                    arguments={"function": "login"},
+                    label="1",
+                ),
+                TypedEvent(
+                    type_name="promptUser",
+                    arguments={"information": "credentials"},
+                    label="2",
+                ),
+                TypedEvent(
+                    type_name="enterInformation",
+                    arguments={"information": "credentials"},
+                    label="3",
+                ),
+                TypedEvent(type_name="authenticateUser", label="4"),
+                TypedEvent(
+                    type_name="displayInformation",
+                    arguments={"information": "main menu"},
+                    label="5",
+                ),
+            ),
+        )
+    )
+    scenarios.add(
+        Scenario(
+            name="rename-portfolio",
+            title="Rename portfolio",
+            actors=("User", "System"),
+            events=(
+                TypedEvent(
+                    type_name="initiateFunction",
+                    arguments={"function": "rename portfolio"},
+                    label="1",
+                ),
+                TypedEvent(
+                    type_name="promptUser",
+                    arguments={"information": "new portfolio name"},
+                    label="2",
+                ),
+                TypedEvent(
+                    type_name="enterInformation",
+                    arguments={"information": "new portfolio name"},
+                    label="3",
+                ),
+                TypedEvent(
+                    type_name="renamePortfolio",
+                    arguments={"name": "new portfolio name"},
+                    label="4",
+                ),
+            ),
+        )
+    )
+    scenarios.add(
+        Scenario(
+            name="delete-portfolio",
+            title="Delete portfolio",
+            actors=("User", "System"),
+            events=(
+                TypedEvent(
+                    type_name="initiateFunction",
+                    arguments={"function": "delete portfolio"},
+                    label="1",
+                ),
+                TypedEvent(
+                    type_name="promptUser",
+                    arguments={"information": "confirmation"},
+                    label="2",
+                ),
+                TypedEvent(
+                    type_name="enterInformation",
+                    arguments={"information": "confirmation"},
+                    label="3",
+                ),
+                TypedEvent(type_name="deletePortfolio", label="4"),
+            ),
+        )
+    )
+    scenarios.add(
+        Scenario(
+            name="add-investment",
+            title="Add an investment",
+            actors=("User", "System"),
+            events=(
+                TypedEvent(
+                    type_name="initiateFunction",
+                    arguments={"function": "add investment"},
+                    label="1",
+                ),
+                TypedEvent(
+                    type_name="promptUser",
+                    arguments={"information": "investment details"},
+                    label="2",
+                ),
+                TypedEvent(
+                    type_name="enterInformation",
+                    arguments={"information": "investment details"},
+                    label="3",
+                ),
+                TypedEvent(
+                    type_name="addInvestment",
+                    arguments={"name": "the investment"},
+                    label="4",
+                ),
+                TypedEvent(
+                    type_name="displayInformation",
+                    arguments={"information": "updated portfolio"},
+                    label="5",
+                ),
+            ),
+        )
+    )
+    scenarios.add(
+        Scenario(
+            name="edit-investment",
+            title="Edit an investment",
+            actors=("User", "System"),
+            events=(
+                TypedEvent(
+                    type_name="initiateFunction",
+                    arguments={"function": "edit investment"},
+                    label="1",
+                ),
+                TypedEvent(
+                    type_name="promptUser",
+                    arguments={"information": "updated investment details"},
+                    label="2",
+                ),
+                TypedEvent(
+                    type_name="enterInformation",
+                    arguments={"information": "updated investment details"},
+                    label="3",
+                ),
+                TypedEvent(
+                    type_name="editInvestment",
+                    arguments={"name": "the investment"},
+                    label="4",
+                ),
+            ),
+        )
+    )
+    scenarios.add(
+        Scenario(
+            name="delete-investment",
+            title="Delete an investment",
+            actors=("User", "System"),
+            events=(
+                TypedEvent(
+                    type_name="initiateFunction",
+                    arguments={"function": "delete investment"},
+                    label="1",
+                ),
+                TypedEvent(
+                    type_name="promptUser",
+                    arguments={"information": "confirmation"},
+                    label="2",
+                ),
+                TypedEvent(
+                    type_name="enterInformation",
+                    arguments={"information": "confirmation"},
+                    label="3",
+                ),
+                TypedEvent(
+                    type_name="deleteInvestment",
+                    arguments={"name": "the investment"},
+                    label="4",
+                ),
+            ),
+        )
+    )
+    scenarios.add(
+        Scenario(
+            name="compute-net-worth",
+            title="Compute net worth",
+            actors=("User", "System"),
+            events=(
+                TypedEvent(
+                    type_name="initiateFunction",
+                    arguments={"function": "compute net worth"},
+                    label="1",
+                ),
+                TypedEvent(type_name="computeNetWorth", label="2"),
+                TypedEvent(
+                    type_name="displayInformation",
+                    arguments={"information": "net worth"},
+                    label="3",
+                ),
+            ),
+        )
+    )
+    scenarios.add(
+        Scenario(
+            name="compute-rate-of-return",
+            title="Compute rate of return",
+            actors=("User", "System"),
+            events=(
+                TypedEvent(
+                    type_name="initiateFunction",
+                    arguments={"function": "compute rate of return"},
+                    label="1",
+                ),
+                TypedEvent(type_name="computeRateOfReturn", label="2"),
+                TypedEvent(
+                    type_name="displayInformation",
+                    arguments={"information": "rate of return"},
+                    label="3",
+                ),
+            ),
+        )
+    )
+    scenarios.add(
+        Scenario(
+            name="set-alert",
+            title="Install a share price alert",
+            actors=("User", "System"),
+            events=(
+                TypedEvent(
+                    type_name="initiateFunction",
+                    arguments={"function": "set alert"},
+                    label="1",
+                ),
+                TypedEvent(
+                    type_name="promptUser",
+                    arguments={"information": "alert threshold"},
+                    label="2",
+                ),
+                TypedEvent(
+                    type_name="enterInformation",
+                    arguments={"information": "alert threshold"},
+                    label="3",
+                ),
+                TypedEvent(
+                    type_name="setAlert",
+                    arguments={"threshold": "alert threshold"},
+                    label="4",
+                ),
+            ),
+        )
+    )
+    scenarios.add(
+        Scenario(
+            name="review-portfolios",
+            title="Review portfolios one after another",
+            description=(
+                "The user repeatedly selects a portfolio and reviews its "
+                "details (an iteration event schema)."
+            ),
+            actors=("User", "System"),
+            events=(
+                TypedEvent(
+                    type_name="initiateFunction",
+                    arguments={"function": "review portfolios"},
+                    label="1",
+                ),
+                Iteration(
+                    body=sequence(
+                        TypedEvent(
+                            type_name="enterInformation",
+                            arguments={"information": "portfolio selection"},
+                        ),
+                        TypedEvent(
+                            type_name="displayInformation",
+                            arguments={"information": "portfolio details"},
+                        ),
+                    ),
+                    min_count=1,
+                    max_count=2,
+                    label="2",
+                ),
+            ),
+        )
+    )
+    scenarios.add(
+        Scenario(
+            name="view-investment-value",
+            title="View the current value of an investment",
+            actors=("User", "System"),
+            events=(
+                TypedEvent(
+                    type_name="initiateFunction",
+                    arguments={"function": "view current value"},
+                    label="1",
+                ),
+                TypedEvent(
+                    type_name="enterInformation",
+                    arguments={"information": "investment selection"},
+                    label="2",
+                ),
+                TypedEvent(
+                    type_name="getCurrentValue",
+                    arguments={"subject": "the investment"},
+                    label="3",
+                ),
+                TypedEvent(
+                    type_name="displayInformation",
+                    arguments={"information": "current value"},
+                    label="4",
+                ),
+            ),
+        )
+    )
+    scenarios.add(
+        Scenario(
+            name="exit-and-save",
+            title="Exit PIMS saving the session",
+            actors=("User", "System"),
+            events=(
+                TypedEvent(
+                    type_name="initiateFunction",
+                    arguments={"function": "exit"},
+                    label="1",
+                ),
+                TypedEvent(type_name="saveSession", label="2"),
+                TypedEvent(
+                    type_name="displayInformation",
+                    arguments={"information": "goodbye message"},
+                    label="3",
+                ),
+            ),
+        )
+    )
+    return scenarios
+
+
+def build_pims_architecture() -> Architecture:
+    """The PIMS layered architecture (paper Fig. 3).
+
+    Presentation (layer 4) → business logic (layer 3) → data access
+    (layer 2) → data repository (layer 1). "Data retrieval and
+    modification is done via this data access layer, while all the
+    processing of data or implementation of the business logic [is] done
+    in the business logic layer." The remote share price database is an
+    external component reached by the Loader over the Internet.
+
+    Interfaces carry service-invocation directions: a module's ``calls``
+    interface initiates, its ``services`` interface accepts.
+    """
+    architecture = Architecture(
+        "pims",
+        style="layered",
+        description="Layered architecture of the Personal Investment "
+        "Management System",
+    )
+    architecture.add_component(
+        MASTER_CONTROLLER,
+        description="Presentation layer",
+        responsibilities=(
+            "Interact with the user",
+            "Invoke modules of the business logic layer",
+        ),
+        interfaces=[Interface("calls", Direction.OUT)],
+        layer=4,
+    )
+    business_modules = (
+        (AUTHENTICATION, "Authenticate the user's credentials"),
+        (PORTFOLIO_MANAGER, "Create, rename, and delete portfolios"),
+        (INVESTMENT_MANAGER, "Add, edit, and remove investments"),
+        (NET_WORTH_MANAGER, "Compute the total net worth"),
+        (RATE_OF_RETURN_MANAGER, "Compute rates of return"),
+        (ALERT_MANAGER, "Install and check share price alerts"),
+        (CURRENT_VALUE_MANAGER, "Track current values of investments"),
+        (LOADER, "Download current share prices from the Internet"),
+    )
+    for name, responsibility in business_modules:
+        architecture.add_component(
+            name,
+            description="Business logic layer",
+            responsibilities=(responsibility,),
+            interfaces=[
+                Interface("services", Direction.IN),
+                Interface("calls", Direction.OUT),
+            ],
+            layer=3,
+        )
+    architecture.component(LOADER).add_interface("internet", Direction.OUT)
+    architecture.add_component(
+        DATA_ACCESS,
+        description="Data access layer",
+        responsibilities=(
+            "Mediate all data retrieval and modification",
+            "Shield business logic from the repository format",
+        ),
+        interfaces=[
+            Interface("services", Direction.IN),
+            Interface("store", Direction.OUT),
+        ],
+        layer=2,
+    )
+    architecture.add_component(
+        DATA_REPOSITORY,
+        description="Persistent storage",
+        responsibilities=("Persist portfolios, investments, and session data",),
+        interfaces=[Interface("services", Direction.IN)],
+        layer=1,
+    )
+    architecture.add_component(
+        REMOTE_SHARE_DB,
+        description="External web site providing current share prices",
+        responsibilities=("Serve current share prices on request",),
+        interfaces=[Interface("services", Direction.IN)],
+        layer=2,
+    )
+
+    architecture.add_connector(
+        UI_BUS, description="Presentation-to-business invocation"
+    )
+    architecture.link((MASTER_CONTROLLER, "calls"), (UI_BUS, "ui"))
+    for name, _responsibility in business_modules:
+        architecture.link((UI_BUS, name.lower().replace(" ", "-")), (name, "services"))
+
+    architecture.add_connector(
+        DATA_BUS, description="Business-to-data-access invocation"
+    )
+    for name, _responsibility in business_modules:
+        architecture.link((name, "calls"), (DATA_BUS, name.lower().replace(" ", "-")))
+    architecture.link((DATA_BUS, "data-access"), (DATA_ACCESS, "services"))
+
+    architecture.add_connector(
+        REPOSITORY_LINK, description="Data access to repository"
+    )
+    architecture.link((DATA_ACCESS, "store"), (REPOSITORY_LINK, "in"))
+    architecture.link((REPOSITORY_LINK, "out"), (DATA_REPOSITORY, "services"))
+
+    architecture.add_connector(
+        INTERNET, description="Internet connection to the share price web site"
+    )
+    architecture.link((LOADER, "internet"), (INTERNET, "request"))
+    architecture.link((INTERNET, "response"), (REMOTE_SHARE_DB, "services"))
+
+    _attach_pims_behavior(architecture)
+    architecture.validate()
+    return architecture
+
+
+def _attach_pims_behavior(architecture: Architecture) -> None:
+    """Statecharts for the share-price flow (the xADL behavioral
+    extension): the Loader fetches from the remote database and publishes
+    the prices upward while pushing them down the save chain; the Data
+    Access layer persists them; the remote database answers queries."""
+    loader = Statechart(
+        "loader-behavior",
+        description="Fetch current share prices and distribute them",
+    )
+    loader.add_state("idle", initial=True)
+    loader.add_state("fetching")
+    loader.add_transition(
+        "idle",
+        "fetching",
+        DOWNLOAD_REQUEST,
+        actions=[Action(ActionKind.SEND, PRICE_QUERY, via="internet")],
+    )
+    loader.add_transition(
+        "fetching",
+        "idle",
+        PRICE_DATA,
+        actions=[
+            Action(
+                ActionKind.SEND,
+                CURRENT_SHARE_PRICES,
+                message_kind="notification",
+                description="Publish the prices toward the presentation layer",
+            ),
+            Action(
+                ActionKind.SEND,
+                SAVE_SHARE_PRICES,
+                via="calls",
+                description="Push the prices down the save chain",
+            ),
+        ],
+    )
+    architecture.attach_behavior(LOADER, loader)
+
+    remote = Statechart(
+        "remote-db-behavior", description="Serve current share prices"
+    )
+    remote.add_state("serving", initial=True)
+    remote.add_transition(
+        "serving",
+        "serving",
+        PRICE_QUERY,
+        actions=[Action(ActionKind.REPLY, PRICE_DATA)],
+    )
+    architecture.attach_behavior(REMOTE_SHARE_DB, remote)
+
+    data_access = Statechart(
+        "data-access-behavior", description="Persist incoming records"
+    )
+    data_access.add_state("ready", initial=True)
+    data_access.add_transition(
+        "ready",
+        "ready",
+        SAVE_SHARE_PRICES,
+        actions=[Action(ActionKind.SEND, STORE_RECORD, via="store")],
+    )
+    architecture.attach_behavior(DATA_ACCESS, data_access)
+
+    master = Statechart(
+        "master-controller-behavior",
+        description="Track what has been shown to the user",
+    )
+    master.add_state("interacting", initial=True)
+    master.add_transition(
+        "interacting",
+        "interacting",
+        CURRENT_SHARE_PRICES,
+        actions=[
+            Action(
+                ActionKind.INTERNAL,
+                description="Render the prices on screen",
+            )
+        ],
+    )
+    architecture.attach_behavior(MASTER_CONTROLLER, master)
+
+
+def build_pims_mapping(
+    ontology: Ontology, architecture: Architecture
+) -> Mapping:
+    """The Table 1 mapping from PIMS event types to components.
+
+    Each row follows the rationale of §3.4: "the event 'The user enters
+    the portfolio's name' is matched to the component 'Master Controller',
+    which manages the user interface; the event 'The system authenticates
+    the user' is matched to the component 'Authentication'." Event types
+    whose action moves data through several components map to the ordered
+    chain of those components.
+    """
+    mapping = Mapping(ontology, architecture, name="pims-table1")
+    mapping.update(
+        {
+            "initiateFunction": (MASTER_CONTROLLER,),
+            "enterInformation": (MASTER_CONTROLLER,),
+            "promptUser": (MASTER_CONTROLLER,),
+            "displayInformation": (MASTER_CONTROLLER,),
+            "authenticateUser": (AUTHENTICATION,),
+            "createPortfolio": (PORTFOLIO_MANAGER,),
+            "renamePortfolio": (PORTFOLIO_MANAGER,),
+            "deletePortfolio": (PORTFOLIO_MANAGER, DATA_ACCESS, DATA_REPOSITORY),
+            "addInvestment": (INVESTMENT_MANAGER, DATA_ACCESS, DATA_REPOSITORY),
+            "editInvestment": (INVESTMENT_MANAGER, DATA_ACCESS, DATA_REPOSITORY),
+            "deleteInvestment": (INVESTMENT_MANAGER, DATA_ACCESS, DATA_REPOSITORY),
+            "downloadSharePrices": (LOADER, REMOTE_SHARE_DB),
+            "saveData": (LOADER, DATA_ACCESS, DATA_REPOSITORY),
+            "retrieveSavedData": (DATA_ACCESS, DATA_REPOSITORY),
+            "getCurrentValue": (CURRENT_VALUE_MANAGER, DATA_ACCESS),
+            "computeNetWorth": (NET_WORTH_MANAGER, DATA_ACCESS),
+            "computeRateOfReturn": (RATE_OF_RETURN_MANAGER, DATA_ACCESS),
+            "setAlert": (ALERT_MANAGER, DATA_ACCESS, DATA_REPOSITORY),
+            "saveSession": (DATA_ACCESS, DATA_REPOSITORY),
+        }
+    )
+    mapping.validate()
+    return mapping
+
+
+def pims_walkthrough_options() -> WalkthroughOptions:
+    """Walkthrough options for PIMS: undirected between events (replies
+    flow back along request links), directed within an event's data-flow
+    chain (data cannot route up through the presentation layer)."""
+    return WalkthroughOptions(
+        respect_directions=False,
+        intra_event_respect_directions=True,
+    )
+
+
+def excise_data_access_loader_link(
+    architecture: Architecture, name: str = "pims-excised"
+) -> Architecture:
+    """The paper's seeded fault: a copy of the architecture without the
+    link between the Loader and the data-access path ("we artificially
+    introduced an error in the PIMS architecture by excising the link
+    between the 'Data Access' and 'Loader' components")."""
+    variant = architecture.clone(name)
+    removed = variant.excise_links_between(LOADER, DATA_BUS)
+    assert removed, "expected a Loader <-> data-bus link to excise"
+    return variant
+
+
+def build_pims_bindings(display_deadline: float = 30.0) -> ScenarioBindings:
+    """Dynamic stimulus/expectation bindings for the share-price flow.
+
+    ``display_deadline`` is the performance requirement: the current
+    prices must reach the Master Controller within this much virtual time
+    of the user's request (PIMS's non-functional requirements "pertain to
+    performance, security, and fault tolerance", §4.1).
+    """
+    bindings = ScenarioBindings()
+
+    def stimulate_initiate(context: DynamicContext, event: TypedEvent) -> None:
+        if event.arguments.get("function") == "download current share prices":
+            context.send(
+                MASTER_CONTROLLER,
+                DOWNLOAD_REQUEST,
+                destination_entity=LOADER,
+                kind="request",
+            )
+
+    def expect_download(
+        context: DynamicContext, event: TypedEvent
+    ) -> Optional[str]:
+        if not context.trace.was_delivered(PRICE_QUERY, REMOTE_SHARE_DB):
+            return (
+                f"the remote share price database never received "
+                f"{PRICE_QUERY!r}"
+            )
+        if not context.trace.was_delivered(PRICE_DATA, LOADER):
+            return f"the Loader never received {PRICE_DATA!r}"
+        return None
+
+    def expect_display(
+        context: DynamicContext, event: TypedEvent
+    ) -> Optional[str]:
+        if "share prices" not in event.arguments.get("information", ""):
+            return None  # only the share-price display is bound
+        deliveries = [
+            trace_event
+            for trace_event in context.trace.deliveries_to(MASTER_CONTROLLER)
+            if trace_event.message is not None
+            and trace_event.message.name == CURRENT_SHARE_PRICES
+        ]
+        if not deliveries:
+            return (
+                "the current share prices never reached the Master "
+                "Controller for display"
+            )
+        requests = context.trace.filter(message_name=DOWNLOAD_REQUEST)
+        start = requests[0].time if requests else 0.0
+        elapsed = deliveries[0].time - start
+        if elapsed > display_deadline:
+            return (
+                f"prices displayed after {elapsed:g} time units, above the "
+                f"{display_deadline:g}-unit performance requirement"
+            )
+        return None
+
+    def expect_save(context: DynamicContext, event: TypedEvent) -> Optional[str]:
+        if "share prices" not in event.arguments.get("data", ""):
+            return None
+        if context.trace.was_delivered(STORE_RECORD, DATA_REPOSITORY):
+            return None
+        return (
+            "the downloaded prices were never persisted: no record reached "
+            "the Data Repository"
+        )
+
+    bindings.on("initiateFunction", stimulate_initiate)
+    bindings.expect("downloadSharePrices", expect_download)
+    bindings.expect("displayInformation", expect_display)
+    bindings.expect("saveData", expect_save)
+    return bindings
+
+
+@dataclass(frozen=True)
+class PimsSystem:
+    """Everything needed to reproduce the PIMS evaluation."""
+
+    ontology: Ontology
+    scenarios: ScenarioSet
+    architecture: Architecture
+    mapping: Mapping
+    options: WalkthroughOptions
+    bindings: ScenarioBindings
+
+    def excised_architecture(self) -> Architecture:
+        """The fault-seeded architecture variant of §4.1."""
+        return excise_data_access_loader_link(self.architecture)
+
+
+def build_pims() -> PimsSystem:
+    """Build the complete PIMS case study."""
+    ontology = build_pims_ontology()
+    scenarios = build_pims_scenarios(ontology)
+    architecture = build_pims_architecture()
+    mapping = build_pims_mapping(ontology, architecture)
+    return PimsSystem(
+        ontology=ontology,
+        scenarios=scenarios,
+        architecture=architecture,
+        mapping=mapping,
+        options=pims_walkthrough_options(),
+        bindings=build_pims_bindings(),
+    )

@@ -1,0 +1,129 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adl.structure import Architecture, Direction, Interface
+from repro.core.mapping import Mapping
+from repro.scenarioml.events import SimpleEvent, TypedEvent
+from repro.scenarioml.ontology import Ontology, Parameter
+from repro.scenarioml.scenario import Scenario, ScenarioSet
+from repro.systems.crash import build_crash
+from repro.systems.pims import build_pims
+
+
+@pytest.fixture
+def small_ontology() -> Ontology:
+    """A compact ontology with classes, individuals, and event types,
+    including a subtype hierarchy and parameterized types."""
+    ontology = Ontology("small")
+    ontology.define_term("widget", "A thing the system manages.")
+    ontology.define_instance_type("Actor")
+    ontology.define_instance_type("Human", super_name="Actor")
+    ontology.define_instance_type("Service", super_name="Actor")
+    ontology.define_instance("alice", "Human")
+    ontology.define_instance("backend", "Service")
+    ontology.define_event_type(
+        "act", "An actor acts on the [subject]", abstract=True,
+        parameters=["subject"],
+    )
+    ontology.define_event_type(
+        "create", "The system creates the [subject]", actor="System",
+        parameters=["subject"], super_name="act",
+    )
+    ontology.define_event_type(
+        "destroy", "The system destroys the [subject]", actor="System",
+        parameters=["subject"], super_name="act",
+    )
+    ontology.define_event_type(
+        "notify", "The system notifies [who]", actor="System",
+        parameters=[Parameter("who", "Actor")],
+    )
+    ontology.validate()
+    return ontology
+
+
+@pytest.fixture
+def small_scenarios(small_ontology: Ontology) -> ScenarioSet:
+    """Two small scenarios over the small ontology."""
+    scenarios = ScenarioSet(small_ontology, name="small-set")
+    scenarios.add(
+        Scenario(
+            name="make-widget",
+            events=(
+                TypedEvent(
+                    type_name="create", arguments={"subject": "widget"},
+                    label="1",
+                ),
+                TypedEvent(
+                    type_name="notify", arguments={"who": "alice"}, label="2"
+                ),
+            ),
+        )
+    )
+    scenarios.add(
+        Scenario(
+            name="drop-widget",
+            events=(
+                TypedEvent(
+                    type_name="destroy", arguments={"subject": "widget"},
+                    label="1",
+                ),
+                SimpleEvent(text="The widget is gone.", label="2"),
+            ),
+        )
+    )
+    return scenarios
+
+
+@pytest.fixture
+def chain_architecture() -> Architecture:
+    """A directed chain: ui -> logic -> store, each hop via a connector."""
+    architecture = Architecture("chain")
+    architecture.add_component(
+        "ui", interfaces=[Interface("calls", Direction.OUT)], layer=3
+    )
+    architecture.add_component(
+        "logic",
+        interfaces=[
+            Interface("services", Direction.IN),
+            Interface("calls", Direction.OUT),
+        ],
+        layer=2,
+    )
+    architecture.add_component(
+        "store", interfaces=[Interface("services", Direction.IN)], layer=1
+    )
+    architecture.add_connector("ui-logic")
+    architecture.add_connector("logic-store")
+    architecture.link(("ui", "calls"), ("ui-logic", "a"))
+    architecture.link(("ui-logic", "b"), ("logic", "services"))
+    architecture.link(("logic", "calls"), ("logic-store", "a"))
+    architecture.link(("logic-store", "b"), ("store", "services"))
+    architecture.validate()
+    return architecture
+
+
+@pytest.fixture
+def chain_mapping(
+    small_ontology: Ontology, chain_architecture: Architecture
+) -> Mapping:
+    """Event types of the small ontology mapped onto the chain."""
+    mapping = Mapping(small_ontology, chain_architecture)
+    mapping.map_event("create", "logic", "store")
+    mapping.map_event("destroy", "logic", "store")
+    mapping.map_event("notify", "ui")
+    return mapping
+
+
+@pytest.fixture(scope="session")
+def pims():
+    """The full PIMS case study (session-scoped; treat as read-only)."""
+    return build_pims()
+
+
+@pytest.fixture(scope="session")
+def crash():
+    """The full CRASH case study (session-scoped; treat as read-only)."""
+    return build_crash()

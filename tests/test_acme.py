@@ -1,0 +1,133 @@
+"""Unit tests for the Acme-lite interchange format."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adl.acme import parse_acme, to_acme
+from repro.adl.diff import diff_architectures
+from repro.adl.structure import Architecture, Direction, Interface
+from repro.errors import SerializationError
+
+
+def demo_architecture() -> Architecture:
+    architecture = Architecture("demo sys", style="layered", description="d")
+    architecture.add_component(
+        "master controller",
+        description="the UI",
+        responsibilities=("Interact with the user", "Invoke services"),
+        interfaces=[Interface("calls", Direction.OUT)],
+        layer=2,
+    )
+    architecture.add_component(
+        "store", interfaces=[Interface("services", Direction.IN)], layer=1
+    )
+    architecture.add_connector("bus", description="shared bus")
+    architecture.link(("master controller", "calls"), ("bus", "a"))
+    architecture.link(("bus", "b"), ("store", "services"))
+    return architecture
+
+
+class TestRoundtrip:
+    def test_structure_preserved(self):
+        original = demo_architecture()
+        parsed = parse_acme(to_acme(original))
+        assert parsed.name == "demo sys"
+        assert parsed.style == "layered"
+        assert diff_architectures(original, parsed).is_empty
+
+    def test_description_preserved(self):
+        parsed = parse_acme(to_acme(demo_architecture()))
+        assert parsed.description == "d"
+        assert parsed.component("master controller").description == "the UI"
+        assert parsed.connector("bus").description == "shared bus"
+
+    def test_responsibilities_preserved_in_order(self):
+        parsed = parse_acme(to_acme(demo_architecture()))
+        assert parsed.component("master controller").responsibilities == (
+            "Interact with the user",
+            "Invoke services",
+        )
+
+    def test_port_directions_preserved(self):
+        parsed = parse_acme(to_acme(demo_architecture()))
+        assert (
+            parsed.component("master controller").interface("calls").direction
+            is Direction.OUT
+        )
+        assert (
+            parsed.component("store").interface("services").direction
+            is Direction.IN
+        )
+
+    def test_properties_preserved(self):
+        original = demo_architecture()
+        original.component("store").properties["replication"] = "3"
+        parsed = parse_acme(to_acme(original))
+        assert parsed.component("store").properties["replication"] == "3"
+
+    def test_quoted_names_with_special_characters(self):
+        architecture = Architecture('tricky "quoted" name')
+        architecture.add_component("a b\\c")
+        architecture.add_component("plain")
+        architecture.link(("a b\\c", "port one"), ("plain", "p"))
+        parsed = parse_acme(to_acme(architecture))
+        assert parsed.name == 'tricky "quoted" name'
+        assert parsed.has_element("a b\\c")
+        assert parsed.links_between("a b\\c", "plain")
+
+    def test_dotted_component_name_quoted_and_roundtripped(self):
+        architecture = Architecture("dots")
+        architecture.add_component("v1.service")
+        architecture.add_component("plain")
+        architecture.link(("v1.service", "p"), ("plain", "q"))
+        parsed = parse_acme(to_acme(architecture))
+        assert parsed.has_element("v1.service")
+        assert parsed.links_between("v1.service", "plain")
+
+    def test_pims_roundtrip(self, pims):
+        parsed = parse_acme(to_acme(pims.architecture))
+        diff = diff_architectures(pims.architecture, parsed)
+        assert diff.is_empty, diff.summary()
+
+    def test_comments_ignored(self):
+        text = to_acme(demo_architecture())
+        commented = "// header comment\n" + text
+        parsed = parse_acme(commented)
+        assert parsed.name == "demo sys"
+
+
+class TestParsingErrors:
+    def test_requires_system_keyword(self):
+        with pytest.raises(SerializationError):
+            parse_acme("Component x = { };")
+
+    def test_unbalanced_braces(self):
+        with pytest.raises(SerializationError):
+            parse_acme("System s = { Component c = { ")
+
+    def test_unknown_keyword_in_body(self):
+        with pytest.raises(SerializationError):
+            parse_acme("System s = { Widget w = { }; };")
+
+    def test_unknown_keyword_in_component(self):
+        with pytest.raises(SerializationError):
+            parse_acme("System s = { Component c = { Role r; }; };")
+
+    def test_unknown_direction(self):
+        with pytest.raises(SerializationError):
+            parse_acme(
+                "System s = { Component c = { Port p : diagonal; }; };"
+            )
+
+    def test_garbage_input(self):
+        with pytest.raises(SerializationError):
+            parse_acme("System s = @@@")
+
+    def test_attachment_to_unknown_element(self):
+        text = (
+            "System s = { Component a = { Port p; }; "
+            "Attachment a.p to ghost.q; };"
+        )
+        with pytest.raises(Exception):
+            parse_acme(text)

@@ -1,0 +1,122 @@
+"""Unit tests for architecture diffing."""
+
+from __future__ import annotations
+
+from repro.adl.diff import ArchitectureDiff, diff_architectures
+from repro.adl.structure import Architecture
+
+
+def base() -> Architecture:
+    architecture = Architecture("base")
+    architecture.add_component("a", description="first")
+    architecture.add_component("b")
+    architecture.add_connector("c")
+    architecture.link(("a", "p"), ("c", "x"))
+    architecture.link(("c", "y"), ("b", "q"))
+    return architecture
+
+
+class TestDiff:
+    def test_identical_architectures_empty_diff(self):
+        diff = diff_architectures(base(), base())
+        assert diff.is_empty
+        assert diff.summary() == "no structural changes"
+
+    def test_clone_is_identical(self):
+        original = base()
+        assert diff_architectures(original, original.clone("copy")).is_empty
+
+    def test_added_and_removed_components(self):
+        old = base()
+        new = base()
+        new.add_component("extra")
+        diff = diff_architectures(old, new)
+        assert diff.added_components == ("extra",)
+        reverse = diff_architectures(new, old)
+        assert reverse.removed_components == ("extra",)
+
+    def test_added_and_removed_connectors(self):
+        old = base()
+        new = base()
+        new.add_connector("extra-conn")
+        diff = diff_architectures(old, new)
+        assert diff.added_connectors == ("extra-conn",)
+
+    def test_link_changes_by_endpoints_not_names(self):
+        old = base()
+        new = base()
+        # Remove and re-add the same link under a different name: no change.
+        link = new.links_between("a", "c")[0]
+        new.remove_link(link.name)
+        new.link(("a", "p"), ("c", "x"), name="renamed")
+        assert diff_architectures(old, new).is_empty
+
+    def test_removed_link_detected(self):
+        old = base()
+        new = base()
+        new.excise_links_between("a", "c")
+        diff = diff_architectures(old, new)
+        assert diff.removed_links == (("a.p", "c.x"),)
+        assert not diff.added_links
+
+    def test_description_change_detected(self):
+        old = base()
+        new = base()
+        new.component("a").description = "changed"
+        diff = diff_architectures(old, new)
+        assert len(diff.changed_elements) == 1
+        change = diff.changed_elements[0]
+        assert change.attribute == "description"
+        assert change.old_value == "first"
+        assert change.new_value == "changed"
+
+    def test_property_change_detected(self):
+        old = base()
+        new = base()
+        new.component("a").properties["layer"] = "9"
+        diff = diff_architectures(old, new)
+        assert any(c.attribute == "layer" for c in diff.changed_elements)
+
+    def test_interface_change_detected(self):
+        old = base()
+        new = base()
+        new.component("b").add_interface("extra")
+        diff = diff_architectures(old, new)
+        assert any(c.attribute == "interfaces" for c in diff.changed_elements)
+
+    def test_responsibility_change_detected(self):
+        old = base()
+        new = base()
+        object.__setattr__  # no-op hint: responsibilities are plain attrs
+        new.component("a").responsibilities = ("new duty",)
+        diff = diff_architectures(old, new)
+        assert any(
+            c.attribute == "responsibilities" for c in diff.changed_elements
+        )
+
+    def test_touched_elements_cover_links_and_changes(self):
+        old = base()
+        new = base()
+        new.excise_links_between("a", "c")
+        new.component("b").description = "changed"
+        new.add_component("fresh")
+        touched = diff_architectures(old, new).touched_elements()
+        assert touched == {"a", "b", "c", "fresh"}
+
+    def test_summary_mentions_everything(self):
+        old = base()
+        new = base()
+        new.add_component("fresh")
+        new.excise_links_between("a", "c")
+        summary = diff_architectures(old, new).summary()
+        assert "components added: fresh" in summary
+        assert "links removed" in summary
+
+    def test_excised_pims_differs_only_by_one_link(self, pims):
+        variant = pims.excised_architecture()
+        diff = diff_architectures(pims.architecture, variant)
+        assert not diff.added_components
+        assert not diff.removed_components
+        assert not diff.changed_elements
+        assert len(diff.removed_links) == 1
+        assert diff.touched_elements() == {"Loader", "data-bus"}

@@ -1,0 +1,150 @@
+"""Unit tests for architecture graph analyses."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adl.graph import (
+    articulation_components,
+    can_communicate,
+    communication_graph,
+    communication_path,
+    directed_communication_graph,
+    is_fully_connected,
+    reachable_elements,
+)
+from repro.adl.structure import Architecture, Direction, Interface
+from repro.errors import ArchitectureError
+
+
+class TestGraphs:
+    def test_communication_graph_nodes_and_edges(self, chain_architecture):
+        graph = communication_graph(chain_architecture)
+        assert graph.number_of_nodes() == 5
+        assert graph.number_of_edges() == 4
+        assert graph.nodes["ui"]["kind"] == "component"
+        assert graph.nodes["ui-logic"]["kind"] == "connector"
+
+    def test_directed_graph_honours_directions(self, chain_architecture):
+        graph = directed_communication_graph(chain_architecture)
+        assert graph.has_edge("ui", "ui-logic")
+        assert not graph.has_edge("ui-logic", "ui")
+        assert graph.has_edge("ui-logic", "logic")
+
+    def test_inout_links_are_bidirectional(self):
+        architecture = Architecture("bi")
+        architecture.add_component("a")
+        architecture.add_component("b")
+        architecture.link(("a", "p"), ("b", "q"))
+        graph = directed_communication_graph(architecture)
+        assert graph.has_edge("a", "b")
+        assert graph.has_edge("b", "a")
+
+
+class TestPaths:
+    def test_path_through_connectors(self, chain_architecture):
+        path = communication_path(chain_architecture, "ui", "store")
+        assert path == ("ui", "ui-logic", "logic", "logic-store", "store")
+
+    def test_trivial_self_path(self, chain_architecture):
+        assert communication_path(chain_architecture, "ui", "ui") == ("ui",)
+
+    def test_no_path_after_excision(self, chain_architecture):
+        chain_architecture.excise_links_between("logic", "logic-store")
+        assert communication_path(chain_architecture, "ui", "store") is None
+        assert not can_communicate(chain_architecture, "ui", "store")
+
+    def test_directed_path_respects_one_way_links(self, chain_architecture):
+        assert can_communicate(
+            chain_architecture, "ui", "store", respect_directions=True
+        )
+        assert not can_communicate(
+            chain_architecture, "store", "ui", respect_directions=True
+        )
+
+    def test_unknown_elements_raise(self, chain_architecture):
+        with pytest.raises(ArchitectureError):
+            communication_path(chain_architecture, "ghost", "store")
+        with pytest.raises(ArchitectureError):
+            communication_path(chain_architecture, "ui", "ghost")
+
+    def test_via_waypoints(self, chain_architecture):
+        path = communication_path(
+            chain_architecture, "ui", "store", via=["logic"]
+        )
+        assert path is not None
+        assert "logic" in path
+
+    def test_via_unreachable_waypoint(self, chain_architecture):
+        chain_architecture.add_component("island")
+        assert (
+            communication_path(
+                chain_architecture, "ui", "store", via=["island"]
+            )
+            is None
+        )
+
+    def test_avoiding_blocks_paths(self, chain_architecture):
+        assert (
+            communication_path(
+                chain_architecture, "ui", "store", avoiding=["logic"]
+            )
+            is None
+        )
+
+    def test_avoiding_ignores_endpoints(self, chain_architecture):
+        path = communication_path(
+            chain_architecture, "ui", "store", avoiding=["ui", "store"]
+        )
+        assert path is not None
+
+    def test_avoiding_with_alternative_route(self):
+        architecture = Architecture("diamond")
+        for name in ("src", "left", "right", "dst"):
+            architecture.add_component(name)
+        architecture.link(("src", "l"), ("left", "a"))
+        architecture.link(("left", "b"), ("dst", "l"))
+        architecture.link(("src", "r"), ("right", "a"))
+        architecture.link(("right", "b"), ("dst", "r"))
+        path = communication_path(
+            architecture, "src", "dst", avoiding=["left"]
+        )
+        assert path == ("src", "right", "dst")
+
+
+class TestReachabilityAndCuts:
+    def test_reachable_elements_undirected(self, chain_architecture):
+        reached = reachable_elements(chain_architecture, "ui")
+        assert reached == {"ui-logic", "logic", "logic-store", "store"}
+
+    def test_reachable_elements_directed(self, chain_architecture):
+        assert reachable_elements(
+            chain_architecture, "store", respect_directions=True
+        ) == frozenset()
+
+    def test_reachable_unknown_raises(self, chain_architecture):
+        with pytest.raises(ArchitectureError):
+            reachable_elements(chain_architecture, "ghost")
+
+    def test_is_fully_connected(self, chain_architecture):
+        assert is_fully_connected(chain_architecture)
+        chain_architecture.add_component("island")
+        assert not is_fully_connected(chain_architecture)
+
+    def test_single_element_is_connected(self):
+        architecture = Architecture("solo")
+        architecture.add_component("only")
+        assert is_fully_connected(architecture)
+
+    def test_articulation_components(self, chain_architecture):
+        assert articulation_components(chain_architecture) == {"logic"}
+
+    def test_no_articulation_in_ring(self):
+        architecture = Architecture("ring")
+        names = ["a", "b", "c"]
+        for name in names:
+            architecture.add_component(name)
+        architecture.link(("a", "x"), ("b", "x"))
+        architecture.link(("b", "y"), ("c", "y"))
+        architecture.link(("c", "z"), ("a", "z"))
+        assert articulation_components(architecture) == frozenset()

@@ -1,0 +1,187 @@
+"""Unit tests for the xADL types layer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adl.structure import Architecture, Direction, Interface
+from repro.adl.types import (
+    ComponentType,
+    ConnectorType,
+    Signature,
+    TypeRegistry,
+)
+from repro.errors import ArchitectureError
+
+
+@pytest.fixture
+def registry() -> TypeRegistry:
+    registry = TypeRegistry("crash-family")
+    registry.add(
+        ComponentType(
+            name="command-and-control",
+            signatures=(
+                Signature("external"),
+                Signature("internal"),
+            ),
+            responsibilities=("Aggregate data", "Make decisions"),
+            description="An organization's decision-making center",
+        )
+    )
+    registry.add(
+        ConnectorType(
+            name="ad-hoc-network",
+            signatures=(Signature("fabric"),),
+        )
+    )
+    return registry
+
+
+class TestTypes:
+    def test_signature_requires_name(self):
+        with pytest.raises(ArchitectureError):
+            Signature("")
+
+    def test_type_requires_name(self):
+        with pytest.raises(ArchitectureError):
+            ComponentType(name="")
+
+    def test_duplicate_signatures_rejected(self):
+        with pytest.raises(ArchitectureError):
+            ComponentType(
+                name="t", signatures=(Signature("a"), Signature("a"))
+            )
+
+    def test_signature_lookup(self, registry):
+        component_type = registry.component_type("command-and-control")
+        assert component_type.signature("external").name == "external"
+        with pytest.raises(ArchitectureError):
+            component_type.signature("ghost")
+
+
+class TestRegistry:
+    def test_duplicate_type_names_rejected(self, registry):
+        with pytest.raises(ArchitectureError):
+            registry.add(ComponentType(name="command-and-control"))
+
+    def test_same_name_allowed_across_kinds(self, registry):
+        registry.add(ConnectorType(name="command-and-control"))
+        assert registry.connector_type("command-and-control")
+
+    def test_unknown_lookup_raises(self, registry):
+        with pytest.raises(ArchitectureError):
+            registry.component_type("ghost")
+        with pytest.raises(ArchitectureError):
+            registry.connector_type("ghost")
+
+    def test_rejects_non_type(self, registry):
+        with pytest.raises(ArchitectureError):
+            registry.add("not a type")  # type: ignore[arg-type]
+
+
+class TestInstantiation:
+    def test_component_instance_carries_type_shape(self, registry):
+        architecture = Architecture("family")
+        component = registry.instantiate_component(
+            architecture, "command-and-control", "Police CC", layer=2
+        )
+        assert component.properties["type"] == "command-and-control"
+        assert set(component.interfaces) == {"external", "internal"}
+        assert component.responsibilities == (
+            "Aggregate data",
+            "Make decisions",
+        )
+        assert component.layer == 2
+        assert component.description.startswith("An organization's")
+
+    def test_extra_responsibilities_appended(self, registry):
+        architecture = Architecture("family")
+        component = registry.instantiate_component(
+            architecture,
+            "command-and-control",
+            "Fire CC",
+            extra_responsibilities=("Dispatch fire engines",),
+        )
+        assert "Dispatch fire engines" in component.responsibilities
+
+    def test_connector_instance(self, registry):
+        architecture = Architecture("family")
+        connector = registry.instantiate_connector(
+            architecture, "ad-hoc-network", "mesh-1"
+        )
+        assert connector.properties["type"] == "ad-hoc-network"
+        assert "fabric" in connector.interfaces
+
+    def test_family_of_instances(self, registry):
+        architecture = Architecture("family")
+        for name in ("Police CC", "Fire CC", "Red Cross CC"):
+            registry.instantiate_component(
+                architecture, "command-and-control", name
+            )
+        assert registry.instances_of(architecture, "command-and-control") == (
+            "Police CC",
+            "Fire CC",
+            "Red Cross CC",
+        )
+
+
+class TestConformance:
+    def test_fresh_instances_conform(self, registry):
+        architecture = Architecture("family")
+        registry.instantiate_component(
+            architecture, "command-and-control", "Police CC"
+        )
+        registry.instantiate_connector(
+            architecture, "ad-hoc-network", "mesh"
+        )
+        assert registry.check_conformance(architecture) == []
+
+    def test_untyped_elements_skipped(self, registry):
+        architecture = Architecture("family")
+        architecture.add_component("free-spirit")
+        assert registry.check_conformance(architecture) == []
+
+    def test_missing_interface_reported(self, registry):
+        architecture = Architecture("family")
+        component = registry.instantiate_component(
+            architecture, "command-and-control", "Police CC"
+        )
+        del component.interfaces["internal"]
+        (violation,) = registry.check_conformance(architecture)
+        assert "missing interface 'internal'" in violation.message
+
+    def test_wrong_direction_reported(self, registry):
+        registry.add(
+            ComponentType(
+                name="sink",
+                signatures=(Signature("input", Direction.IN),),
+            )
+        )
+        architecture = Architecture("family")
+        component = architecture.add_component(
+            "drain", interfaces=[Interface("input", Direction.OUT)]
+        )
+        component.properties["type"] = "sink"
+        (violation,) = registry.check_conformance(architecture)
+        assert "direction" in violation.message
+
+    def test_unknown_type_reported(self, registry):
+        architecture = Architecture("family")
+        component = architecture.add_component("odd")
+        component.properties["type"] = "nonexistent"
+        (violation,) = registry.check_conformance(architecture)
+        assert "unknown" in violation.message
+
+    def test_extra_interfaces_allowed(self, registry):
+        architecture = Architecture("family")
+        component = registry.instantiate_component(
+            architecture, "command-and-control", "Police CC"
+        )
+        component.add_interface("debug")
+        assert registry.check_conformance(architecture) == []
+
+    def test_violation_str(self):
+        from repro.adl.types import ConformanceViolation
+
+        violation = ConformanceViolation("e", "t", "broken")
+        assert str(violation) == "e (: t): broken"

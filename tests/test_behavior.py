@@ -1,0 +1,322 @@
+"""Unit tests for statechart behavioral descriptions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adl.behavior import (
+    Action,
+    ActionKind,
+    State,
+    Statechart,
+    StatechartInstance,
+    Transition,
+)
+from repro.errors import ArchitectureError
+
+
+def simple_chart() -> Statechart:
+    chart = Statechart("simple")
+    chart.add_state("idle", initial=True)
+    chart.add_state("busy")
+    chart.add_transition(
+        "idle", "busy", "start",
+        actions=[Action(ActionKind.SEND, "started", via="out")],
+    )
+    chart.add_transition("busy", "idle", "stop")
+    return chart
+
+
+class TestConstruction:
+    def test_chart_requires_name(self):
+        with pytest.raises(ArchitectureError):
+            Statechart("")
+
+    def test_state_requires_name(self):
+        with pytest.raises(ArchitectureError):
+            State("")
+
+    def test_state_cannot_parent_itself(self):
+        with pytest.raises(ArchitectureError):
+            State("s", parent="s")
+
+    def test_transition_requires_trigger(self):
+        with pytest.raises(ArchitectureError):
+            Transition("a", "b", "")
+
+    def test_send_action_requires_message(self):
+        with pytest.raises(ArchitectureError):
+            Action(ActionKind.SEND, "")
+        with pytest.raises(ArchitectureError):
+            Action(ActionKind.REPLY, "")
+
+    def test_internal_action_needs_no_message(self):
+        Action(ActionKind.INTERNAL)
+
+    def test_duplicate_states_rejected(self):
+        chart = Statechart("c")
+        chart.add_state("s")
+        with pytest.raises(ArchitectureError):
+            chart.add_state("s")
+
+    def test_transition_endpoints_must_exist(self):
+        chart = Statechart("c")
+        chart.add_state("a", initial=True)
+        with pytest.raises(ArchitectureError):
+            chart.add_transition("a", "ghost", "go")
+        with pytest.raises(ArchitectureError):
+            chart.add_transition("ghost", "a", "go")
+
+    def test_initial_state_must_be_unique(self):
+        chart = Statechart("c")
+        chart.add_state("a", initial=True)
+        chart.add_state("b", initial=True)
+        with pytest.raises(ArchitectureError):
+            chart.initial_state()
+
+    def test_initial_state_must_exist(self):
+        chart = Statechart("c")
+        chart.add_state("a")
+        with pytest.raises(ArchitectureError):
+            chart.initial_state()
+
+    def test_triggers_collected(self):
+        chart = simple_chart()
+        assert chart.triggers() == {"start", "stop"}
+
+    def test_validate_passes_simple_chart(self):
+        simple_chart().validate()
+
+
+class TestHierarchy:
+    def make_hierarchical(self) -> Statechart:
+        chart = Statechart("h")
+        chart.add_state("running", initial=True)
+        chart.add_state("inner-a", parent="running", initial=True)
+        chart.add_state("inner-b", parent="running")
+        chart.add_state("stopped")
+        chart.add_transition("inner-a", "inner-b", "swap")
+        chart.add_transition("running", "stopped", "kill")
+        return chart
+
+    def test_enter_descends_to_leaf(self):
+        chart = self.make_hierarchical()
+        assert chart.enter("running") == "inner-a"
+
+    def test_ancestors(self):
+        chart = self.make_hierarchical()
+        assert chart.ancestors("inner-a") == ("running",)
+        assert chart.ancestors("stopped") == ()
+
+    def test_composite_requires_unique_initial_substate(self):
+        chart = Statechart("bad")
+        chart.add_state("outer", initial=True)
+        chart.add_state("x", parent="outer")
+        chart.add_state("y", parent="outer")
+        with pytest.raises(ArchitectureError):
+            chart.enter("outer")
+
+    def test_parent_cycle_detected(self):
+        chart = Statechart("cycle")
+        chart.add_state("a", parent="b", initial=True)
+        chart.add_state("b", parent="a")
+        with pytest.raises(ArchitectureError):
+            chart.ancestors("a")
+
+    def test_instance_starts_at_nested_leaf(self):
+        instance = StatechartInstance(self.make_hierarchical())
+        assert instance.current == "inner-a"
+        assert instance.configuration() == ("inner-a", "running")
+
+    def test_parent_transition_fires_from_child(self):
+        instance = StatechartInstance(self.make_hierarchical())
+        instance.fire("kill")
+        assert instance.current == "stopped"
+
+    def test_child_transition_takes_priority(self):
+        chart = self.make_hierarchical()
+        chart.add_transition("running", "stopped", "swap")  # outer duplicate
+        instance = StatechartInstance(chart)
+        instance.fire("swap")
+        assert instance.current == "inner-b"
+
+
+class TestExecution:
+    def test_fire_returns_actions_and_moves(self):
+        instance = StatechartInstance(simple_chart())
+        actions = instance.fire("start")
+        assert instance.current == "busy"
+        assert actions == (Action(ActionKind.SEND, "started", via="out"),)
+
+    def test_unknown_trigger_discarded(self):
+        instance = StatechartInstance(simple_chart())
+        assert instance.fire("nonsense") == ()
+        assert instance.current == "idle"
+
+    def test_can_fire(self):
+        instance = StatechartInstance(simple_chart())
+        assert instance.can_fire("start")
+        assert not instance.can_fire("stop")
+
+    def test_fired_history(self):
+        instance = StatechartInstance(simple_chart())
+        instance.fire("start")
+        instance.fire("stop")
+        assert [t.trigger for t in instance.fired] == ["start", "stop"]
+
+    def test_reset(self):
+        instance = StatechartInstance(simple_chart())
+        instance.fire("start")
+        instance.reset()
+        assert instance.current == "idle"
+        assert instance.fired == []
+
+    def test_guard_blocks_without_context(self):
+        chart = Statechart("guarded")
+        chart.add_state("a", initial=True)
+        chart.add_state("b")
+        chart.add_transition("a", "b", "go", guard="ready")
+        instance = StatechartInstance(chart)
+        assert instance.fire("go") == ()
+        assert instance.current == "a"
+
+    def test_guard_true_in_mapping_context(self):
+        chart = Statechart("guarded")
+        chart.add_state("a", initial=True)
+        chart.add_state("b")
+        chart.add_transition("a", "b", "go", guard="ready")
+        instance = StatechartInstance(chart)
+        instance.fire("go", {"ready": True})
+        assert instance.current == "b"
+
+    def test_guard_false_in_mapping_context(self):
+        chart = Statechart("guarded")
+        chart.add_state("a", initial=True)
+        chart.add_state("b")
+        chart.add_transition("a", "b", "go", guard="ready")
+        instance = StatechartInstance(chart)
+        instance.fire("go", {"ready": False})
+        assert instance.current == "a"
+
+    def test_guard_callable_context(self):
+        chart = Statechart("guarded")
+        chart.add_state("a", initial=True)
+        chart.add_state("b")
+        chart.add_transition("a", "b", "go", guard="ready")
+        instance = StatechartInstance(chart)
+        instance.fire("go", lambda guard: guard == "ready")
+        assert instance.current == "b"
+
+    def test_first_matching_transition_wins(self):
+        chart = Statechart("order")
+        chart.add_state("a", initial=True)
+        chart.add_state("b")
+        chart.add_state("c")
+        chart.add_transition("a", "b", "go")
+        chart.add_transition("a", "c", "go")
+        instance = StatechartInstance(chart)
+        instance.fire("go")
+        assert instance.current == "b"
+
+    def test_transition_into_composite_enters_initial_substate(self):
+        chart = Statechart("entering")
+        chart.add_state("start", initial=True)
+        chart.add_state("outer")
+        chart.add_state("inner", parent="outer", initial=True)
+        chart.add_transition("start", "outer", "go")
+        instance = StatechartInstance(chart)
+        instance.fire("go")
+        assert instance.current == "inner"
+
+
+class TestEntryExitActions:
+    def make_chart(self) -> Statechart:
+        chart = Statechart("doors")
+        chart.add_state(
+            "closed",
+            initial=True,
+            exit_actions=[Action(ActionKind.SEND, "unlatching")],
+        )
+        chart.add_state(
+            "open",
+            entry_actions=[Action(ActionKind.SEND, "opened")],
+        )
+        chart.add_transition(
+            "closed",
+            "open",
+            "push",
+            actions=[Action(ActionKind.SEND, "pushing")],
+        )
+        return chart
+
+    def test_exit_transition_entry_order(self):
+        instance = StatechartInstance(self.make_chart())
+        actions = instance.fire("push")
+        assert [action.message for action in actions] == [
+            "unlatching",
+            "pushing",
+            "opened",
+        ]
+
+    def test_entering_composite_runs_substate_entries(self):
+        chart = Statechart("nested")
+        chart.add_state("off", initial=True)
+        chart.add_state(
+            "running", entry_actions=[Action(ActionKind.SEND, "spin-up")]
+        )
+        chart.add_state(
+            "warmup",
+            parent="running",
+            initial=True,
+            entry_actions=[Action(ActionKind.SEND, "warming")],
+        )
+        chart.add_transition("off", "running", "start")
+        instance = StatechartInstance(chart)
+        actions = instance.fire("start")
+        assert [action.message for action in actions] == [
+            "spin-up",
+            "warming",
+        ]
+        assert instance.current == "warmup"
+
+    def test_parent_transition_exits_children_innermost_first(self):
+        chart = Statechart("shutdown")
+        chart.add_state(
+            "running", initial=True,
+            exit_actions=[Action(ActionKind.SEND, "outer-exit")],
+        )
+        chart.add_state(
+            "busy",
+            parent="running",
+            initial=True,
+            exit_actions=[Action(ActionKind.SEND, "inner-exit")],
+        )
+        chart.add_state("stopped")
+        chart.add_transition("running", "stopped", "kill")
+        instance = StatechartInstance(chart)
+        actions = instance.fire("kill")
+        assert [action.message for action in actions] == [
+            "inner-exit",
+            "outer-exit",
+        ]
+
+    def test_no_entry_exit_actions_is_the_old_behavior(self):
+        instance = StatechartInstance(simple_chart())
+        actions = instance.fire("start")
+        assert actions == (Action(ActionKind.SEND, "started", via="out"),)
+
+    def test_entry_exit_roundtrip_through_xadl(self):
+        from repro.adl.structure import Architecture
+        from repro.adl.xadl import parse_xadl, to_xadl_xml
+
+        architecture = Architecture("with-doors")
+        architecture.add_component("door")
+        architecture.attach_behavior("door", self.make_chart())
+        parsed = parse_xadl(to_xadl_xml(architecture))
+        chart = parsed.behavior("door")
+        assert chart.state("closed").exit_actions == (
+            Action(ActionKind.SEND, "unlatching"),
+        )
+        assert chart.state("open").entry_actions == (
+            Action(ActionKind.SEND, "opened"),
+        )

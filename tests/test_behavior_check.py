@@ -1,0 +1,123 @@
+"""Unit tests for behavioral completeness checking."""
+
+from __future__ import annotations
+
+from repro.adl.behavior import Action, ActionKind, Statechart
+from repro.core.behavior_check import (
+    BehaviorCheckOptions,
+    check_behavioral_support,
+)
+from repro.core.consistency import InconsistencyKind, Severity
+
+
+def attach_reactor(architecture, element, trigger):
+    chart = Statechart(f"{element}-chart")
+    chart.add_state("idle", initial=True)
+    chart.add_transition(
+        "idle", "idle", trigger,
+        actions=[Action(ActionKind.INTERNAL)],
+    )
+    architecture.attach_behavior(element, chart)
+
+
+class TestBehaviorCheck:
+    def test_supported_trigger_passes(
+        self, small_scenarios, chain_architecture, chain_mapping
+    ):
+        attach_reactor(chain_architecture, "logic", "create-msg")
+        findings = check_behavioral_support(
+            small_scenarios,
+            chain_architecture,
+            chain_mapping,
+            BehaviorCheckOptions(trigger_of={"create": "create-msg"}),
+        )
+        assert findings == []
+
+    def test_missing_trigger_reported(
+        self, small_scenarios, chain_architecture, chain_mapping
+    ):
+        attach_reactor(chain_architecture, "logic", "some-other-msg")
+        findings = check_behavioral_support(
+            small_scenarios,
+            chain_architecture,
+            chain_mapping,
+            BehaviorCheckOptions(trigger_of={"create": "create-msg"}),
+        )
+        (finding,) = findings
+        assert finding.kind is InconsistencyKind.BEHAVIORAL_DIVERGENCE
+        assert "silently discarded" in finding.message
+        assert finding.scenario == "make-widget"
+
+    def test_unbound_event_types_skipped(
+        self, small_scenarios, chain_architecture, chain_mapping
+    ):
+        findings = check_behavioral_support(
+            small_scenarios, chain_architecture, chain_mapping
+        )
+        assert findings == []
+
+    def test_chartless_components_skipped_by_default(
+        self, small_scenarios, chain_architecture, chain_mapping
+    ):
+        findings = check_behavioral_support(
+            small_scenarios,
+            chain_architecture,
+            chain_mapping,
+            BehaviorCheckOptions(trigger_of={"create": "create-msg"}),
+        )
+        assert findings == []
+
+    def test_require_charts_warns(
+        self, small_scenarios, chain_architecture, chain_mapping
+    ):
+        findings = check_behavioral_support(
+            small_scenarios,
+            chain_architecture,
+            chain_mapping,
+            BehaviorCheckOptions(
+                trigger_of={"create": "create-msg"}, require_charts=True
+            ),
+        )
+        assert findings
+        assert all(f.severity is Severity.WARNING for f in findings)
+
+    def test_any_mapped_component_supporting_suffices(
+        self, small_scenarios, chain_architecture, chain_mapping
+    ):
+        # create maps to (logic, store); only store reacts — still fine.
+        attach_reactor(chain_architecture, "store", "create-msg")
+        attach_reactor(chain_architecture, "logic", "unrelated")
+        findings = check_behavioral_support(
+            small_scenarios,
+            chain_architecture,
+            chain_mapping,
+            BehaviorCheckOptions(trigger_of={"create": "create-msg"}),
+        )
+        assert findings == []
+
+    def test_crash_charts_support_message_triggers(self, crash):
+        findings = check_behavioral_support(
+            crash.scenarios,
+            crash.architecture,
+            crash.mapping,
+            BehaviorCheckOptions(
+                trigger_of={
+                    # Entity-level messaging: centers must consume requests
+                    # and failure notices.
+                    "sendMessage": "request",
+                    "receiveFailureMessage": "failure",
+                }
+            ),
+        )
+        assert findings == []
+
+    def test_crash_detects_unconsumed_trigger(self, crash):
+        findings = check_behavioral_support(
+            crash.scenarios,
+            crash.architecture,
+            crash.mapping,
+            BehaviorCheckOptions(
+                trigger_of={"shutdownEntity": "graceful-shutdown-command"}
+            ),
+        )
+        assert findings  # no chart consumes that message anywhere

@@ -1,0 +1,212 @@
+"""Tests for the sosae command-line interface."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+
+
+class TestDemo:
+    def test_pims_intact_exits_zero(self, capsys):
+        assert main(["demo", "pims"]) == 0
+        out = capsys.readouterr().out
+        assert "overall: CONSISTENT" in out
+
+    def test_pims_excised_exits_nonzero(self, capsys):
+        assert main(["demo", "pims", "--variant", "excised"]) == 1
+        out = capsys.readouterr().out
+        assert "FAIL get-share-prices" in out
+
+    def test_crash_intact(self, capsys):
+        assert main(["demo", "crash"]) == 0
+
+    def test_crash_insecure_flags_negative_scenario(self, capsys):
+        assert main(["demo", "crash", "--variant", "insecure"]) == 1
+        out = capsys.readouterr().out
+        assert "unauthorized-network-access" in out
+
+    def test_crash_dynamic(self, capsys):
+        assert main(["demo", "crash", "--dynamic"]) == 0
+        out = capsys.readouterr().out
+        assert "PASS entity-availability" in out
+        assert "PASS message-sequence" in out
+
+    def test_markdown_output(self, capsys):
+        assert main(["demo", "pims", "--markdown"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("# Evaluation of `pims`")
+
+    def test_wrong_variant_for_system_errors(self, capsys):
+        assert main(["demo", "pims", "--variant", "insecure"]) == 2
+        assert main(["demo", "crash", "--variant", "excised"]) == 2
+
+
+class TestTableAndExport:
+    def test_table_pims(self, capsys):
+        assert main(["table", "pims"]) == 0
+        out = capsys.readouterr().out
+        assert "authenticateUser" in out
+        assert "Master Controller" in out
+
+    def test_table_markdown(self, capsys):
+        assert main(["table", "crash", "--markdown"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("| event type")
+
+    def test_export_scenarioml(self, capsys):
+        assert main(["export", "pims", "scenarioml"]) == 0
+        out = capsys.readouterr().out
+        assert out.lstrip().startswith("<scenarioml")
+
+    def test_export_xadl(self, capsys):
+        assert main(["export", "crash", "xadl"]) == 0
+        out = capsys.readouterr().out
+        assert out.lstrip().startswith("<xArch")
+
+    def test_export_acme(self, capsys):
+        assert main(["export", "pims", "acme"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("System pims")
+
+    def test_export_mapping(self, capsys):
+        assert main(["export", "pims", "mapping"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert "entries" in data
+
+    def test_export_owl(self, capsys):
+        assert main(["export", "crash", "owl"]) == 0
+        out = capsys.readouterr().out
+        assert out.lstrip().startswith("<rdf:RDF")
+        assert "owl:Class" in out
+
+
+class TestAnalysisCommands:
+    def test_rank(self, capsys):
+        assert main(["rank", "pims", "--top", "3"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 3
+        assert lines[0].lstrip().startswith("1.")
+
+    def test_rank_crash_puts_dependability_first(self, capsys):
+        assert main(["rank", "crash", "--top", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "entity-availability" in out or "message-sequence" in out
+
+    def test_implied(self, capsys):
+        assert main(["implied", "pims", "--max-length", "3", "--limit", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "implied scenario" in out
+        assert "stitched from" in out
+
+    def test_implied_closed_specification(self, capsys):
+        # CRASH's scenarios share no stitchable hand-offs at length 2.
+        assert main(["implied", "crash", "--max-length", "2"]) == 0
+        out = capsys.readouterr().out
+        assert out  # either closed or candidates; command succeeds
+
+    def test_dot_architecture(self, capsys):
+        assert main(["dot", "pims"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith('graph "pims"')
+
+    def test_dot_mapping(self, capsys):
+        assert main(["dot", "crash", "--what", "mapping"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith('digraph "crash-fig8"')
+
+    def test_lint(self, capsys):
+        assert main(["lint", "pims"]) == 0
+        out = capsys.readouterr().out
+        assert "finding(s) (advisory)" in out or "no lint findings" in out
+
+
+class TestEvaluateFromFiles:
+    @pytest.fixture
+    def artifact_files(self, tmp_path: Path, capsys) -> dict[str, Path]:
+        paths = {}
+        for artifact, filename in (
+            ("scenarioml", "scenarios.xml"),
+            ("xadl", "architecture.xml"),
+            ("acme", "architecture.acme"),
+            ("mapping", "mapping.json"),
+        ):
+            assert main(["export", "pims", artifact]) == 0
+            content = capsys.readouterr().out
+            path = tmp_path / filename
+            path.write_text(content)
+            paths[artifact] = path
+        return paths
+
+    def test_evaluate_xadl_inputs(self, artifact_files, capsys):
+        status = main(
+            [
+                "evaluate",
+                "--scenarios", str(artifact_files["scenarioml"]),
+                "--architecture", str(artifact_files["xadl"]),
+                "--mapping", str(artifact_files["mapping"]),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert status == 0, out
+        assert "overall: CONSISTENT" in out
+
+    def test_evaluate_acme_inputs(self, artifact_files, capsys):
+        status = main(
+            [
+                "evaluate",
+                "--scenarios", str(artifact_files["scenarioml"]),
+                "--architecture", str(artifact_files["acme"]),
+                "--mapping", str(artifact_files["mapping"]),
+                "--acme",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert status == 0, out
+
+    def test_evaluate_missing_file_is_usage_error(self, tmp_path, capsys):
+        status = main(
+            [
+                "evaluate",
+                "--scenarios", str(tmp_path / "missing.xml"),
+                "--architecture", str(tmp_path / "missing2.xml"),
+                "--mapping", str(tmp_path / "missing.json"),
+            ]
+        )
+        assert status == 2
+
+    def test_evaluate_malformed_scenarioml_is_usage_error(
+        self, tmp_path, artifact_files, capsys
+    ):
+        bad = tmp_path / "bad.xml"
+        bad.write_text("<not-scenarioml/>")
+        status = main(
+            [
+                "evaluate",
+                "--scenarios", str(bad),
+                "--architecture", str(artifact_files["xadl"]),
+                "--mapping", str(artifact_files["mapping"]),
+            ]
+        )
+        assert status == 2
+
+    def test_evaluate_save_and_baseline_roundtrip(
+        self, tmp_path, artifact_files, capsys
+    ):
+        saved = tmp_path / "report.json"
+        base_args = [
+            "evaluate",
+            "--scenarios", str(artifact_files["scenarioml"]),
+            "--architecture", str(artifact_files["xadl"]),
+            "--mapping", str(artifact_files["mapping"]),
+        ]
+        assert main([*base_args, "--save-report", str(saved)]) == 0
+        assert saved.exists()
+        capsys.readouterr()
+        # Comparing the same inputs against the saved baseline: clean.
+        assert main([*base_args, "--baseline", str(saved)]) == 0
+        out = capsys.readouterr().out
+        assert "no verdict changes" in out

@@ -1,0 +1,137 @@
+"""Unit tests for requirement-imposed communication constraints."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adl.structure import Architecture
+from repro.core.constraints import (
+    ForbidsDirectLink,
+    MustNotCommunicate,
+    MustRouteVia,
+    RequiresPath,
+    check_constraints,
+)
+from repro.core.consistency import InconsistencyKind
+from repro.errors import ArchitectureError
+
+
+def client_server() -> Architecture:
+    """Two clients joined through a central server."""
+    architecture = Architecture("cs")
+    architecture.add_component("client-1")
+    architecture.add_component("client-2")
+    architecture.add_component("server")
+    architecture.add_connector("link-1")
+    architecture.add_connector("link-2")
+    architecture.link(("client-1", "net"), ("link-1", "a"))
+    architecture.link(("link-1", "b"), ("server", "c1"))
+    architecture.link(("client-2", "net"), ("link-2", "a"))
+    architecture.link(("link-2", "b"), ("server", "c2"))
+    return architecture
+
+
+class TestMustRouteVia:
+    def test_satisfied_by_mediated_topology(self):
+        constraint = MustRouteVia("client-1", "client-2", "server")
+        assert constraint.check(client_server()) == []
+
+    def test_violated_by_bypass(self):
+        architecture = client_server()
+        architecture.link(("client-1", "direct"), ("client-2", "direct"))
+        constraint = MustRouteVia("client-1", "client-2", "server")
+        (finding,) = constraint.check(architecture)
+        assert finding.kind is InconsistencyKind.CONSTRAINT_VIOLATION
+        assert "without passing through" in finding.message
+
+    def test_description_used_in_message(self):
+        architecture = client_server()
+        architecture.link(("client-1", "direct"), ("client-2", "direct"))
+        constraint = MustRouteVia(
+            "client-1",
+            "client-2",
+            "server",
+            description="Clients need to communicate through a central server",
+        )
+        (finding,) = constraint.check(architecture)
+        assert "central server" in finding.message
+
+    def test_unknown_element_raises(self):
+        constraint = MustRouteVia("client-1", "ghost", "server")
+        with pytest.raises(ArchitectureError):
+            constraint.check(client_server())
+
+    def test_disconnected_endpoints_satisfy_vacuously(self):
+        architecture = client_server()
+        architecture.excise_links_between("client-2", "link-2")
+        constraint = MustRouteVia("client-1", "client-2", "server")
+        assert constraint.check(architecture) == []
+
+
+class TestMustNotCommunicate:
+    def test_violated_when_any_path_exists(self):
+        constraint = MustNotCommunicate("client-1", "client-2")
+        (finding,) = constraint.check(client_server())
+        assert "can communicate" in finding.message
+
+    def test_satisfied_when_isolated(self):
+        architecture = client_server()
+        architecture.excise_links_between("client-2", "link-2")
+        constraint = MustNotCommunicate("client-1", "client-2")
+        assert constraint.check(architecture) == []
+
+
+class TestRequiresPath:
+    def test_satisfied(self):
+        assert RequiresPath("client-1", "server").check(client_server()) == []
+
+    def test_violated(self):
+        architecture = client_server()
+        architecture.excise_links_between("client-1", "link-1")
+        (finding,) = RequiresPath("client-1", "server").check(architecture)
+        assert "no communication path" in finding.message
+
+    def test_directed_variant(self, chain_architecture):
+        assert (
+            RequiresPath("ui", "store", respect_directions=True).check(
+                chain_architecture
+            )
+            == []
+        )
+        (finding,) = RequiresPath(
+            "store", "ui", respect_directions=True
+        ).check(chain_architecture)
+        assert finding.kind is InconsistencyKind.CONSTRAINT_VIOLATION
+
+
+class TestForbidsDirectLink:
+    def test_satisfied_with_mediated_links(self):
+        constraint = ForbidsDirectLink("client-1", "server")
+        assert constraint.check(client_server()) == []
+
+    def test_violated_per_direct_link(self):
+        architecture = client_server()
+        architecture.link(("client-1", "d1"), ("client-2", "d1"))
+        architecture.link(("client-1", "d2"), ("client-2", "d2"))
+        findings = ForbidsDirectLink("client-1", "client-2").check(
+            architecture
+        )
+        assert len(findings) == 2
+
+
+class TestCheckConstraints:
+    def test_aggregates_all_violations(self):
+        architecture = client_server()
+        architecture.link(("client-1", "direct"), ("client-2", "direct"))
+        findings = check_constraints(
+            architecture,
+            [
+                MustRouteVia("client-1", "client-2", "server"),
+                ForbidsDirectLink("client-1", "client-2"),
+                RequiresPath("client-1", "server"),
+            ],
+        )
+        assert len(findings) == 2
+
+    def test_empty_constraint_list(self):
+        assert check_constraints(client_server(), []) == []

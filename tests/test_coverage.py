@@ -1,0 +1,70 @@
+"""Unit tests for coverage analysis."""
+
+from __future__ import annotations
+
+from repro.core.coverage import compute_coverage
+from repro.core.mapping import Mapping
+
+
+class TestCoverage:
+    def test_exercised_and_untouched_components(
+        self, small_scenarios, chain_mapping
+    ):
+        report = compute_coverage(small_scenarios, chain_mapping)
+        assert set(report.exercised_components) == {"ui", "logic", "store"}
+        assert report.untouched_components == ()
+        assert report.component_coverage == 1.0
+
+    def test_untouched_component_reported(
+        self, small_scenarios, chain_mapping, chain_architecture
+    ):
+        chain_architecture.add_component("spare")
+        mapping = Mapping(
+            chain_mapping.ontology, chain_architecture
+        )
+        mapping.update(chain_mapping.entries)
+        report = compute_coverage(small_scenarios, mapping)
+        assert "spare" in report.untouched_components
+        assert report.component_coverage < 1.0
+
+    def test_used_event_types_sorted_by_count(
+        self, small_scenarios, chain_mapping
+    ):
+        report = compute_coverage(small_scenarios, chain_mapping)
+        names = [name for name, _count in report.used_event_types]
+        assert set(names) == {"create", "destroy", "notify"}
+
+    def test_unused_event_types(self, small_scenarios, chain_mapping):
+        chain_mapping.ontology.define_event_type("idle-type")
+        report = compute_coverage(small_scenarios, chain_mapping)
+        assert "idle-type" in report.unused_event_types
+        assert "act" not in report.unused_event_types  # abstract
+
+    def test_per_scenario_counts(self, small_scenarios, chain_mapping):
+        report = compute_coverage(small_scenarios, chain_mapping)
+        by_name = {s.scenario: s for s in report.scenarios}
+        make = by_name["make-widget"]
+        assert make.typed_events == 2
+        assert make.simple_events == 0
+        assert make.mapped_events == 2
+        assert make.mappable_ratio == 1.0
+        drop = by_name["drop-widget"]
+        assert drop.simple_events == 1
+        assert drop.mappable_ratio == 0.5
+
+    def test_render_mentions_key_facts(self, small_scenarios, chain_mapping):
+        rendered = compute_coverage(small_scenarios, chain_mapping).render()
+        assert "component coverage: 3/3" in rendered
+        assert "make-widget" in rendered
+
+    def test_nested_component_coverage_counts_top_level(self, crash):
+        from repro.core.coverage import compute_coverage as cover
+
+        report = cover(crash.scenarios, crash.mapping)
+        assert "Police Department Command and Control" in (
+            report.exercised_components
+        )
+
+    def test_pims_full_component_coverage(self, pims):
+        report = compute_coverage(pims.scenarios, pims.mapping)
+        assert report.untouched_components == ()

@@ -1,0 +1,309 @@
+"""Case-study tests: CRASH (paper §4.2, Figs. 5-8)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adl.styles import check_style
+from repro.core.dynamic import DynamicEvaluator
+from repro.core.evaluator import Sosae
+from repro.core.negative import evaluate_negative_scenario
+from repro.core.walkthrough import WalkthroughEngine
+from repro.scenarioml.scenario import QualityAttribute
+from repro.scenarioml.validation import IssueSeverity, validate_scenario_set
+from repro.sim.network import ChannelPolicy
+from repro.sim.runtime import RuntimeConfig
+from repro.systems.crash import (
+    COMMUNICATION_MANAGER,
+    ENTITY_AVAILABILITY,
+    FIRE_CC,
+    INTER_ORG_NETWORK,
+    MESSAGE_SEQUENCE,
+    ORGANIZATIONS,
+    POLICE_CC,
+    SHARING_INFO_MANAGER,
+    UNAUTHORIZED_ACCESS,
+    USER_INTERFACE,
+    build_crash,
+    build_crash_architecture,
+    build_crash_mapping,
+    build_command_and_control_architecture,
+    display,
+    insecure_crash_architecture,
+)
+
+
+def detection_config(enabled: bool, seed: int = 0, **policy) -> RuntimeConfig:
+    policy.setdefault("latency", 1.0)
+    return RuntimeConfig(
+        policy=ChannelPolicy(failure_detection=enabled, **policy), seed=seed
+    )
+
+
+class TestArtifacts:
+    def test_scenarios_validate_cleanly(self, crash):
+        issues = validate_scenario_set(crash.scenarios)
+        assert [i for i in issues if i.severity is IssueSeverity.ERROR] == []
+
+    def test_all_seven_organizations_present(self, crash):
+        assert len(ORGANIZATIONS) == 7
+        for organization in ORGANIZATIONS:
+            assert crash.architecture.is_component(
+                f"{organization} Command and Control"
+            )
+            assert crash.architecture.is_component(f"{organization} Display")
+            assert crash.architecture.is_component(
+                f"{organization} Information Gathering"
+            )
+
+    def test_centers_join_the_inter_org_network(self, crash):
+        for organization in ORGANIZATIONS:
+            assert crash.architecture.links_between(
+                f"{organization} Command and Control", INTER_ORG_NETWORK
+            )
+
+    def test_quality_attribute_annotations(self, crash):
+        availability = crash.scenarios.get(ENTITY_AVAILABILITY)
+        assert QualityAttribute.AVAILABILITY in availability.quality_attributes
+        sequence = crash.scenarios.get(MESSAGE_SEQUENCE)
+        assert QualityAttribute.RELIABILITY in sequence.quality_attributes
+
+    def test_availability_scenario_matches_paper_events(self, crash):
+        scenario = crash.scenarios.get(ENTITY_AVAILABILITY)
+        assert [event.type_name for event in scenario.events] == [
+            "shutdownEntity",
+            "sendMessage",
+            "sendFailureMessage",
+            "receiveFailureMessage",
+        ]
+
+    def test_message_sequence_scenario_matches_paper_events(self, crash):
+        scenario = crash.scenarios.get(MESSAGE_SEQUENCE)
+        assert [event.type_name for event in scenario.events] == [
+            "sendMessage",
+            "sendMessage",
+            "receiveMessage",
+            "receiveMessage",
+        ]
+
+
+class TestTypeFamily:
+    def test_all_peers_conform_to_their_types(self, crash):
+        from repro.systems.crash import build_crash_types
+
+        registry = build_crash_types()
+        assert registry.check_conformance(crash.architecture) == []
+
+    def test_seven_command_and_control_instances(self, crash):
+        from repro.systems.crash import build_crash_types
+
+        registry = build_crash_types()
+        instances = registry.instances_of(
+            crash.architecture, "command-and-control"
+        )
+        assert len(instances) == 7
+
+    def test_type_property_survives_xadl_roundtrip(self, crash):
+        from repro.adl.xadl import parse_xadl, to_xadl_xml
+        from repro.systems.crash import build_crash_types
+
+        parsed = parse_xadl(to_xadl_xml(crash.architecture))
+        registry = build_crash_types()
+        assert registry.check_conformance(parsed) == []
+        assert (
+            parsed.component(POLICE_CC).properties["type"]
+            == "command-and-control"
+        )
+
+
+class TestFig7EntityArchitecture:
+    def test_conforms_to_c2(self):
+        architecture = build_command_and_control_architecture()
+        assert architecture.style == "c2"
+        assert check_style(architecture) == []
+
+    def test_fig8_components_present(self):
+        architecture = build_command_and_control_architecture()
+        for name in (
+            USER_INTERFACE,
+            SHARING_INFO_MANAGER,
+            COMMUNICATION_MANAGER,
+        ):
+            assert architecture.is_component(name)
+
+    def test_attached_to_police_center(self, crash):
+        police = crash.architecture.component(POLICE_CC)
+        assert police.subarchitecture is not None
+        assert police.subarchitecture.is_component(USER_INTERFACE)
+
+
+class TestFig8Mapping:
+    def test_send_message_maps_to_three_fig8_components(self, crash):
+        assert crash.mapping.components_for("sendMessage") == (
+            USER_INTERFACE,
+            SHARING_INFO_MANAGER,
+            COMMUNICATION_MANAGER,
+        )
+
+    def test_nested_components_resolve_to_police_center(self, crash):
+        assert (
+            crash.mapping.top_level_component(USER_INTERFACE) == POLICE_CC
+        )
+
+    def test_fallback_mapping_without_entity_internals(self, crash):
+        flat = build_crash_architecture(with_entity_subarchitecture=False)
+        mapping = build_crash_mapping(crash.ontology, flat)
+        assert POLICE_CC in mapping.components_for("sendMessage")
+
+    def test_failure_detector_entry_depends_on_variant(self, crash):
+        assert crash.mapping.components_for("sendFailureMessage") == (
+            "Network Failure Detector",
+        )
+        without = build_crash_architecture(failure_detection=False)
+        mapping = build_crash_mapping(crash.ontology, without)
+        assert mapping.components_for("sendFailureMessage") == ()
+
+
+class TestStaticWalkthroughs:
+    def test_positive_scenarios_pass(self, crash):
+        engine = WalkthroughEngine(
+            crash.architecture, crash.mapping, crash.options
+        )
+        for scenario in crash.scenarios:
+            if scenario.is_negative:
+                continue
+            verdict = engine.walk_scenario(scenario, crash.scenarios)
+            assert verdict.passed, verdict.render()
+
+    def test_static_walkthrough_cannot_distinguish_availability_variants(
+        self, crash
+    ):
+        """The paper's point: static walkthroughs have limited
+        effectiveness for run-time qualities — both variants look fine
+        statically."""
+        scenario = crash.scenarios.get(ENTITY_AVAILABILITY)
+        with_detection = WalkthroughEngine(
+            crash.architecture, crash.mapping, crash.options
+        ).walk_scenario(scenario, crash.scenarios)
+        without_arch = build_crash_architecture(failure_detection=False)
+        without_detection = WalkthroughEngine(
+            without_arch,
+            build_crash_mapping(crash.ontology, without_arch),
+            crash.options,
+        ).walk_scenario(scenario, crash.scenarios)
+        assert with_detection.passed
+        assert without_detection.passed  # statically indistinguishable
+
+    def test_negative_scenario_blocked_on_secure_architecture(self, crash):
+        engine = WalkthroughEngine(
+            crash.architecture, crash.mapping, crash.options
+        )
+        verdict = evaluate_negative_scenario(
+            engine, crash.scenarios.get(UNAUTHORIZED_ACCESS), crash.scenarios
+        )
+        assert verdict.passed
+
+    def test_negative_scenario_flagged_on_insecure_architecture(self, crash):
+        insecure = insecure_crash_architecture()
+        engine = WalkthroughEngine(
+            insecure,
+            build_crash_mapping(crash.ontology, insecure),
+            crash.options,
+        )
+        verdict = evaluate_negative_scenario(
+            engine, crash.scenarios.get(UNAUTHORIZED_ACCESS), crash.scenarios
+        )
+        assert not verdict.passed
+
+
+class TestDynamicExecution:
+    def test_availability_passes_with_failure_detection(self, crash):
+        evaluator = DynamicEvaluator(
+            crash.architecture, crash.bindings, config=detection_config(True)
+        )
+        verdict = evaluator.evaluate(
+            crash.scenarios.get(ENTITY_AVAILABILITY), crash.scenarios
+        )
+        assert verdict.passed, verdict.render()
+
+    def test_availability_fails_without_failure_detection(self, crash):
+        evaluator = DynamicEvaluator(
+            crash.architecture, crash.bindings, config=detection_config(False)
+        )
+        verdict = evaluator.evaluate(
+            crash.scenarios.get(ENTITY_AVAILABILITY), crash.scenarios
+        )
+        assert not verdict.passed
+        labels = {f.event_label for f in verdict.findings}
+        assert labels == {"3", "4"}
+
+    def test_availability_alert_reaches_fire_display(self, crash):
+        evaluator = DynamicEvaluator(
+            crash.architecture, crash.bindings, config=detection_config(True)
+        )
+        verdict = evaluator.evaluate(
+            crash.scenarios.get(ENTITY_AVAILABILITY), crash.scenarios
+        )
+        assert verdict.trace.was_delivered(
+            "availability-alert", display("Fire Department")
+        )
+
+    def test_message_sequence_passes_on_fifo_channels(self, crash):
+        evaluator = DynamicEvaluator(
+            crash.architecture,
+            crash.bindings,
+            config=detection_config(True, fifo=True),
+        )
+        verdict = evaluator.evaluate(
+            crash.scenarios.get(MESSAGE_SEQUENCE), crash.scenarios
+        )
+        assert verdict.passed
+
+    def test_message_sequence_can_fail_on_reordering_channels(self, crash):
+        for seed in range(40):
+            evaluator = DynamicEvaluator(
+                crash.architecture,
+                crash.bindings,
+                config=detection_config(
+                    True, seed=seed, fifo=False, jitter=40.0
+                ),
+            )
+            verdict = evaluator.evaluate(
+                crash.scenarios.get(MESSAGE_SEQUENCE), crash.scenarios
+            )
+            if not verdict.passed:
+                assert any(
+                    "out of order" in f.message for f in verdict.findings
+                )
+                return
+        pytest.fail("no seed reordered the two requests")
+
+    def test_share_situation_info_dynamic(self, crash):
+        evaluator = DynamicEvaluator(
+            crash.architecture, crash.bindings, config=detection_config(True)
+        )
+        verdict = evaluator.evaluate(
+            crash.scenarios.get("share-situation-info"), crash.scenarios
+        )
+        assert verdict.passed, verdict.render()
+
+    def test_public_report_dynamic(self, crash):
+        evaluator = DynamicEvaluator(
+            crash.architecture, crash.bindings, config=detection_config(True)
+        )
+        verdict = evaluator.evaluate(
+            crash.scenarios.get("public-report"), crash.scenarios
+        )
+        assert verdict.passed, verdict.render()
+
+    def test_full_sosae_dynamic_pipeline(self, crash):
+        report = Sosae(
+            crash.scenarios,
+            crash.architecture,
+            crash.mapping,
+            bindings=crash.bindings,
+            walkthrough_options=crash.options,
+            runtime_config=detection_config(True),
+        ).evaluate(include_dynamic=True)
+        assert report.consistent
+        assert len(report.dynamic_verdicts) == 4  # all QA scenarios

@@ -1,0 +1,117 @@
+"""Tests for the partition-recovery fault-tolerance scenario and the
+Sosae behavioral-check integration."""
+
+from __future__ import annotations
+
+from repro.core.behavior_check import BehaviorCheckOptions
+from repro.core.consistency import InconsistencyKind
+from repro.core.dynamic import DynamicEvaluator
+from repro.core.evaluator import Sosae
+from repro.scenarioml.scenario import QualityAttribute
+from repro.sim.network import ChannelPolicy
+from repro.sim.runtime import RuntimeConfig
+from repro.systems.crash import (
+    FIRE_CC,
+    PARTITION_RECOVERY,
+    POLICE_CC,
+    build_crash,
+)
+
+
+def config(**policy) -> RuntimeConfig:
+    policy.setdefault("latency", 1.0)
+    return RuntimeConfig(policy=ChannelPolicy(**policy))
+
+
+class TestPartitionRecovery:
+    def test_scenario_annotated_fault_tolerance(self, crash):
+        scenario = crash.scenarios.get(PARTITION_RECOVERY)
+        assert QualityAttribute.FAULT_TOLERANCE in scenario.quality_attributes
+
+    def test_partition_then_heal_passes(self, crash):
+        evaluator = DynamicEvaluator(
+            crash.architecture, crash.bindings, config=config()
+        )
+        verdict = evaluator.evaluate(
+            crash.scenarios.get(PARTITION_RECOVERY), crash.scenarios
+        )
+        assert verdict.passed, verdict.render()
+
+    def test_message_during_partition_is_dropped(self, crash):
+        evaluator = DynamicEvaluator(
+            crash.architecture, crash.bindings, config=config()
+        )
+        verdict = evaluator.evaluate(
+            crash.scenarios.get(PARTITION_RECOVERY), crash.scenarios
+        )
+        assert not verdict.trace.was_delivered(
+            "status-during-partition", POLICE_CC
+        )
+        assert verdict.trace.was_delivered("status-after-heal", POLICE_CC)
+
+    def test_static_walkthrough_also_passes(self, crash):
+        from repro.core.walkthrough import WalkthroughEngine
+
+        engine = WalkthroughEngine(
+            crash.architecture, crash.mapping, crash.options
+        )
+        verdict = engine.walk_scenario(
+            crash.scenarios.get(PARTITION_RECOVERY), crash.scenarios
+        )
+        assert verdict.passed
+
+    def test_fire_center_unaffected_by_police_isolation(self, crash):
+        """While Police is isolated, Fire can still reach other peers."""
+        evaluator = DynamicEvaluator(
+            crash.architecture, crash.bindings, config=config()
+        )
+        verdict = evaluator.evaluate(
+            crash.scenarios.get(PARTITION_RECOVERY), crash.scenarios
+        )
+        # Fire's sends were recorded; only the partitioned hop dropped.
+        assert verdict.trace.sends_from(FIRE_CC)
+
+
+class TestSosaeBehaviorCheck:
+    def test_behavior_check_integrated_into_pipeline(self, crash):
+        report = Sosae(
+            crash.scenarios,
+            crash.architecture,
+            crash.mapping,
+            walkthrough_options=crash.options,
+            behavior_options=BehaviorCheckOptions(
+                trigger_of={"sendMessage": "request"}
+            ),
+        ).evaluate()
+        assert not any(
+            finding.kind is InconsistencyKind.BEHAVIORAL_DIVERGENCE
+            for finding in report.findings
+        )
+
+    def test_behavior_check_finds_unconsumed_trigger(self, crash):
+        report = Sosae(
+            crash.scenarios,
+            crash.architecture,
+            crash.mapping,
+            walkthrough_options=crash.options,
+            behavior_options=BehaviorCheckOptions(
+                trigger_of={"shutdownEntity": "never-handled"}
+            ),
+        ).evaluate()
+        assert any(
+            finding.kind is InconsistencyKind.BEHAVIORAL_DIVERGENCE
+            for finding in report.findings
+        )
+        assert not report.consistent
+
+    def test_without_options_no_behavior_findings(self, crash):
+        report = Sosae(
+            crash.scenarios,
+            crash.architecture,
+            crash.mapping,
+            walkthrough_options=crash.options,
+        ).evaluate()
+        assert not any(
+            finding.kind is InconsistencyKind.BEHAVIORAL_DIVERGENCE
+            for finding in report.findings
+        )

@@ -1,0 +1,120 @@
+"""Unit tests for DOT export and MSC trace rendering."""
+
+from __future__ import annotations
+
+from repro.adl.dot import architecture_to_dot, mapping_to_dot
+from repro.adl.structure import Architecture, Interface
+from repro.adl.behavior import Action, ActionKind, Statechart
+from repro.sim.msc import message_journey, render_msc
+from repro.sim.network import ChannelPolicy
+from repro.sim.runtime import ArchitectureRuntime, RuntimeConfig
+from repro.sim.trace import MessageTrace
+
+
+class TestArchitectureDot:
+    def test_contains_all_elements(self, chain_architecture):
+        dot = architecture_to_dot(chain_architecture)
+        assert dot.startswith('graph "chain" {')
+        for name in ("ui", "logic", "store", "ui-logic", "logic-store"):
+            assert f'"{name}"' in dot
+
+    def test_layers_in_labels(self, chain_architecture):
+        dot = architecture_to_dot(chain_architecture)
+        assert "(layer 3)" in dot
+
+    def test_edges_per_link(self, chain_architecture):
+        dot = architecture_to_dot(chain_architecture)
+        assert dot.count(" -- ") == len(chain_architecture.links)
+
+    def test_interface_labels_optional(self, chain_architecture):
+        plain = architecture_to_dot(chain_architecture)
+        labelled = architecture_to_dot(
+            chain_architecture, include_interfaces=True
+        )
+        assert "calls" not in plain
+        assert "calls -- a" in labelled
+
+    def test_subarchitecture_cluster(self, crash):
+        dot = architecture_to_dot(crash.architecture)
+        assert "cluster_Police Department Command and Control" in dot
+        assert '"User Interface"' in dot
+
+    def test_names_with_quotes_escaped(self):
+        architecture = Architecture('arch "v2"')
+        architecture.add_component('part "one"')
+        dot = architecture_to_dot(architecture)
+        assert '\\"' in dot
+
+
+class TestMappingDot:
+    def test_bipartite_structure(self, chain_mapping, small_scenarios):
+        dot = mapping_to_dot(chain_mapping, small_scenarios)
+        assert "cluster_events" in dot
+        assert "cluster_components" in dot
+        assert '"et:create" -> "c:logic";' in dot
+        assert '"et:notify" -> "c:ui";' in dot
+
+    def test_edge_count_matches_table(self, chain_mapping, small_scenarios):
+        table = chain_mapping.table(small_scenarios)
+        marks = sum(
+            1
+            for row in table.rows
+            for column in table.columns
+            if table.is_marked(row, column)
+        )
+        dot = mapping_to_dot(chain_mapping, small_scenarios)
+        assert dot.count(" -> ") == marks
+
+
+def ping_runtime() -> ArchitectureRuntime:
+    architecture = Architecture("msc-demo")
+    architecture.add_component("A", interfaces=[Interface("port")])
+    architecture.add_connector("wire")
+    architecture.add_component("B", interfaces=[Interface("port")])
+    architecture.link(("A", "port"), ("wire", "a"))
+    architecture.link(("wire", "b"), ("B", "port"))
+    chart = Statechart("b")
+    chart.add_state("idle", initial=True)
+    chart.add_transition(
+        "idle", "idle", "ping", actions=[Action(ActionKind.REPLY, "pong")]
+    )
+    architecture.attach_behavior("B", chart)
+    runtime = ArchitectureRuntime(
+        architecture, RuntimeConfig(policy=ChannelPolicy(latency=1.0))
+    )
+    runtime.inject("A", "ping", destination="B")
+    runtime.run()
+    return runtime
+
+
+class TestMsc:
+    def test_lifelines_and_rows(self):
+        runtime = ping_runtime()
+        msc = render_msc(runtime.trace)
+        lines = msc.splitlines()
+        assert "A" in lines[0] and "wire" in lines[0] and "B" in lines[0]
+        assert any("ping" in line for line in lines)
+        assert any("pong" in line for line in lines)
+        assert any(line.startswith("t=") for line in lines)
+
+    def test_node_filter(self):
+        runtime = ping_runtime()
+        msc = render_msc(runtime.trace, nodes=["A", "B"])
+        assert "wire" not in msc.splitlines()[0]
+
+    def test_limit_adds_ellipsis(self):
+        runtime = ping_runtime()
+        msc = render_msc(runtime.trace, limit=2)
+        assert "..." in msc
+
+    def test_empty_trace(self):
+        assert render_msc(MessageTrace()) == "(empty trace)"
+
+    def test_message_journey_follows_forwarded_copies(self):
+        runtime = ping_runtime()
+        send = runtime.trace.sends_from("A")[0]
+        journey = message_journey(runtime.trace, send.message.message_id)
+        assert len(journey) >= 2  # send at A, delivery at wire, at B...
+        nodes = [event.node for event in journey]
+        assert nodes[0] == "A"
+        assert "B" in nodes

@@ -1,0 +1,273 @@
+"""Unit tests for dynamic scenario execution."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adl.behavior import Action, ActionKind, Statechart
+from repro.adl.structure import Architecture, Interface
+from repro.core.consistency import InconsistencyKind
+from repro.core.dynamic import (
+    DynamicContext,
+    DynamicEvaluator,
+    ScenarioBindings,
+)
+from repro.errors import EvaluationError
+from repro.scenarioml.events import TypedEvent
+from repro.scenarioml.ontology import Ontology
+from repro.scenarioml.scenario import Scenario, ScenarioKind, ScenarioSet
+from repro.sim.network import ChannelPolicy
+from repro.sim.runtime import RuntimeConfig
+
+
+@pytest.fixture
+def ping_world():
+    """Ontology + scenarios + architecture + bindings for a ping system."""
+    ontology = Ontology("ping")
+    ontology.define_event_type(
+        "sendPing", "[sender] pings [receiver]",
+        parameters=["sender", "receiver"],
+    )
+    ontology.define_event_type(
+        "receivePong", "[receiver] gets a pong", parameters=["receiver"]
+    )
+    scenarios = ScenarioSet(ontology)
+    scenarios.add(
+        Scenario(
+            name="round-trip",
+            events=(
+                TypedEvent(
+                    type_name="sendPing",
+                    arguments={"sender": "A", "receiver": "B"},
+                    label="1",
+                ),
+                TypedEvent(
+                    type_name="receivePong",
+                    arguments={"receiver": "A"},
+                    label="2",
+                ),
+            ),
+        )
+    )
+    scenarios.add(
+        Scenario(
+            name="no-pong-wanted",
+            kind=ScenarioKind.NEGATIVE,
+            events=(
+                TypedEvent(
+                    type_name="sendPing",
+                    arguments={"sender": "A", "receiver": "B"},
+                    label="1",
+                ),
+                TypedEvent(
+                    type_name="receivePong",
+                    arguments={"receiver": "A"},
+                    label="2",
+                ),
+            ),
+        )
+    )
+
+    architecture = Architecture("ping-arch")
+    architecture.add_component("A", interfaces=[Interface("port")])
+    architecture.add_connector("wire")
+    architecture.add_component("B", interfaces=[Interface("port")])
+    architecture.link(("A", "port"), ("wire", "a"))
+    architecture.link(("wire", "b"), ("B", "port"))
+    chart = Statechart("b-chart")
+    chart.add_state("idle", initial=True)
+    chart.add_transition(
+        "idle", "idle", "ping", actions=[Action(ActionKind.REPLY, "pong")]
+    )
+    architecture.attach_behavior("B", chart)
+
+    bindings = ScenarioBindings()
+    bindings.on(
+        "sendPing",
+        lambda context, event: context.send(
+            event.arguments["sender"], "ping",
+            destination_entity=event.arguments["receiver"],
+        ),
+    )
+    bindings.expect(
+        "receivePong",
+        lambda context, event: (
+            None
+            if context.trace.was_delivered(
+                "pong", context.component_for(event.arguments["receiver"])
+            )
+            else "pong never arrived"
+        ),
+    )
+    return ontology, scenarios, architecture, bindings
+
+
+class TestBindings:
+    def test_duplicate_stimulus_rejected(self):
+        bindings = ScenarioBindings()
+        bindings.on("e", lambda c, ev: None)
+        with pytest.raises(EvaluationError):
+            bindings.on("e", lambda c, ev: None)
+
+    def test_duplicate_expectation_rejected(self):
+        bindings = ScenarioBindings()
+        bindings.expect("e", lambda c, ev: None)
+        with pytest.raises(EvaluationError):
+            bindings.expect("e", lambda c, ev: None)
+
+    def test_bound_event_types(self):
+        bindings = ScenarioBindings()
+        bindings.on("a", lambda c, ev: None)
+        bindings.expect("b", lambda c, ev: None)
+        assert bindings.bound_event_types() == {"a", "b"}
+
+    def test_lookup_missing_returns_none(self):
+        bindings = ScenarioBindings()
+        assert bindings.stimulus_for("x") is None
+        assert bindings.expectation_for("x") is None
+
+
+class TestEvaluation:
+    def test_positive_scenario_passes_on_working_architecture(
+        self, ping_world
+    ):
+        _ontology, scenarios, architecture, bindings = ping_world
+        evaluator = DynamicEvaluator(architecture, bindings)
+        verdict = evaluator.evaluate(scenarios.get("round-trip"), scenarios)
+        assert verdict.passed
+        assert verdict.findings == ()
+        assert verdict.trace.was_delivered("pong", "A")
+
+    def test_positive_scenario_fails_when_behavior_removed(self, ping_world):
+        _ontology, scenarios, architecture, bindings = ping_world
+        broken = architecture.clone("broken")
+        broken._behaviors.clear()
+        evaluator = DynamicEvaluator(broken, bindings)
+        verdict = evaluator.evaluate(scenarios.get("round-trip"), scenarios)
+        assert not verdict.passed
+        (finding,) = verdict.findings
+        assert finding.kind is InconsistencyKind.BEHAVIORAL_DIVERGENCE
+        assert finding.event_label == "2"
+
+    def test_negative_scenario_polarity(self, ping_world):
+        _ontology, scenarios, architecture, bindings = ping_world
+        evaluator = DynamicEvaluator(architecture, bindings)
+        verdict = evaluator.evaluate(
+            scenarios.get("no-pong-wanted"), scenarios
+        )
+        # The pong DOES arrive, so the negative scenario succeeded: fail.
+        assert not verdict.passed
+        assert any(
+            f.kind is InconsistencyKind.NEGATIVE_SCENARIO_SUCCEEDED
+            for f in verdict.findings
+        )
+
+    def test_negative_scenario_blocked_passes(self, ping_world):
+        _ontology, scenarios, architecture, bindings = ping_world
+        broken = architecture.clone("broken")
+        broken._behaviors.clear()
+        evaluator = DynamicEvaluator(broken, bindings)
+        verdict = evaluator.evaluate(
+            scenarios.get("no-pong-wanted"), scenarios
+        )
+        assert verdict.passed
+
+    def test_unresolvable_entity_makes_positive_scenario_fail(
+        self, ping_world
+    ):
+        ontology, _scenarios, architecture, bindings = ping_world
+        scenarios = ScenarioSet(ontology)
+        scenarios.add(
+            Scenario(
+                name="ghostly",
+                events=(
+                    TypedEvent(
+                        type_name="sendPing",
+                        arguments={"sender": "Ghost", "receiver": "B"},
+                    ),
+                ),
+            )
+        )
+        evaluator = DynamicEvaluator(architecture, bindings)
+        verdict = evaluator.evaluate(scenarios.get("ghostly"), scenarios)
+        assert not verdict.passed
+        assert any(
+            f.kind is InconsistencyKind.UNMAPPED_EVENT for f in verdict.findings
+        )
+
+    def test_entity_to_component_table_used(self, ping_world):
+        ontology, _scenarios, architecture, bindings = ping_world
+        scenarios = ScenarioSet(ontology)
+        scenarios.add(
+            Scenario(
+                name="aliased",
+                events=(
+                    TypedEvent(
+                        type_name="sendPing",
+                        arguments={
+                            "sender": "the first peer",
+                            "receiver": "the second peer",
+                        },
+                    ),
+                    TypedEvent(
+                        type_name="receivePong",
+                        arguments={"receiver": "the first peer"},
+                    ),
+                ),
+            )
+        )
+        evaluator = DynamicEvaluator(
+            architecture,
+            bindings,
+            entity_to_component={
+                "the first peer": "A",
+                "the second peer": "B",
+            },
+        )
+        verdict = evaluator.evaluate(scenarios.get("aliased"), scenarios)
+        assert verdict.passed
+
+    def test_runtime_config_controls_channel(self, ping_world):
+        _ontology, scenarios, architecture, bindings = ping_world
+        evaluator = DynamicEvaluator(
+            architecture,
+            bindings,
+            config=RuntimeConfig(policy=ChannelPolicy(drop_rate=1.0)),
+        )
+        verdict = evaluator.evaluate(scenarios.get("round-trip"), scenarios)
+        assert not verdict.passed
+
+    def test_verdict_render(self, ping_world):
+        _ontology, scenarios, architecture, bindings = ping_world
+        evaluator = DynamicEvaluator(architecture, bindings)
+        verdict = evaluator.evaluate(scenarios.get("round-trip"), scenarios)
+        assert verdict.render().startswith("PASS round-trip")
+
+
+class TestContext:
+    def test_component_for_prefers_table(self, ping_world):
+        _ontology, _scenarios, architecture, bindings = ping_world
+        evaluator = DynamicEvaluator(
+            architecture, bindings, entity_to_component={"B": "A"}
+        )
+        # Build a context the way the evaluator does.
+        from repro.sim.runtime import ArchitectureRuntime
+
+        context = DynamicContext(
+            ArchitectureRuntime(architecture),
+            None,
+            {"B": "A"},
+            step=10.0,
+        )
+        assert context.component_for("B") == "A"
+
+    def test_component_for_falls_back_to_element_names(self, ping_world):
+        _ontology, _scenarios, architecture, _bindings = ping_world
+        from repro.sim.runtime import ArchitectureRuntime
+
+        context = DynamicContext(
+            ArchitectureRuntime(architecture), None, {}, step=10.0
+        )
+        assert context.component_for("A") == "A"
+        with pytest.raises(EvaluationError):
+            context.component_for("Ghost")

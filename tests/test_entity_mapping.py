@@ -1,0 +1,142 @@
+"""Unit tests for entity-based mapping (paper §8 future work)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.entity_mapping import EntityMapping
+from repro.core.mapping import Mapping
+from repro.errors import MappingError
+from repro.scenarioml.events import TypedEvent
+from repro.scenarioml.scenario import Scenario, ScenarioSet
+
+
+class TestEntityMapping:
+    def test_map_entity_requires_known_entity(
+        self, small_ontology, chain_architecture
+    ):
+        mapping = EntityMapping(small_ontology, chain_architecture)
+        with pytest.raises(MappingError):
+            mapping.map_entity("ghost", "ui")
+
+    def test_map_entity_requires_known_component(
+        self, small_ontology, chain_architecture
+    ):
+        mapping = EntityMapping(small_ontology, chain_architecture)
+        with pytest.raises(MappingError):
+            mapping.map_entity("alice", "ghost")
+
+    def test_map_entity_requires_components(
+        self, small_ontology, chain_architecture
+    ):
+        mapping = EntityMapping(small_ontology, chain_architecture)
+        with pytest.raises(MappingError):
+            mapping.map_entity("alice")
+
+    def test_individual_mapping(self, small_ontology, chain_architecture):
+        mapping = EntityMapping(small_ontology, chain_architecture)
+        mapping.map_entity("alice", "ui")
+        assert mapping.components_for_entity("alice") == ("ui",)
+
+    def test_individual_inherits_class_mapping(
+        self, small_ontology, chain_architecture
+    ):
+        mapping = EntityMapping(small_ontology, chain_architecture)
+        mapping.map_entity("Human", "ui")
+        assert mapping.components_for_entity("alice") == ("ui",)
+
+    def test_individual_inherits_superclass_mapping(
+        self, small_ontology, chain_architecture
+    ):
+        mapping = EntityMapping(small_ontology, chain_architecture)
+        mapping.map_entity("Actor", "logic")
+        assert mapping.components_for_entity("alice") == ("logic",)
+        assert mapping.components_for_entity("backend") == ("logic",)
+
+    def test_own_mapping_combines_with_inherited(
+        self, small_ontology, chain_architecture
+    ):
+        mapping = EntityMapping(small_ontology, chain_architecture)
+        mapping.map_entity("alice", "ui")
+        mapping.map_entity("Actor", "logic")
+        assert mapping.components_for_entity("alice") == ("ui", "logic")
+
+    def test_components_for_event(self, small_ontology, chain_architecture):
+        mapping = EntityMapping(small_ontology, chain_architecture)
+        mapping.map_entity("alice", "ui")
+        event = TypedEvent(type_name="notify", arguments={"who": "alice"})
+        assert mapping.components_for_event(event) == ("ui",)
+
+    def test_components_for_event_ignores_literals(
+        self, small_ontology, chain_architecture
+    ):
+        mapping = EntityMapping(small_ontology, chain_architecture)
+        mapping.map_entity("alice", "ui")
+        event = TypedEvent(
+            type_name="notify", arguments={"who": "unmodeled person"}
+        )
+        assert mapping.components_for_event(event) == ()
+
+    def test_derive_event_mapping(self, small_ontology, chain_architecture):
+        entity_mapping = EntityMapping(small_ontology, chain_architecture)
+        entity_mapping.map_entity("alice", "ui")
+        scenarios = ScenarioSet(small_ontology)
+        scenarios.add(
+            Scenario(
+                name="s",
+                events=(
+                    TypedEvent(type_name="notify", arguments={"who": "alice"}),
+                ),
+            )
+        )
+        derived = entity_mapping.derive_event_mapping(scenarios)
+        assert derived.components_for("notify") == ("ui",)
+
+    def test_derive_with_base_mapping_merges(
+        self, small_ontology, chain_architecture
+    ):
+        base = Mapping(small_ontology, chain_architecture)
+        base.map_event("notify", "logic")
+        entity_mapping = EntityMapping(small_ontology, chain_architecture)
+        entity_mapping.map_entity("alice", "ui")
+        scenarios = ScenarioSet(small_ontology)
+        scenarios.add(
+            Scenario(
+                name="s",
+                events=(
+                    TypedEvent(type_name="notify", arguments={"who": "alice"}),
+                ),
+            )
+        )
+        derived = entity_mapping.derive_event_mapping(scenarios, base=base)
+        assert derived.components_for("notify") == ("logic", "ui")
+
+    def test_new_event_type_over_known_entities_needs_no_new_links(
+        self, small_ontology, chain_architecture
+    ):
+        """The paper's evolution hypothesis: introducing a new event type
+        that talks about already-mapped entities requires no mapping
+        work."""
+        small_ontology.define_event_type(
+            "escort", "The system escorts [who]", parameters=["who"]
+        )
+        entity_mapping = EntityMapping(small_ontology, chain_architecture)
+        entity_mapping.map_entity("alice", "ui")
+        scenarios = ScenarioSet(small_ontology)
+        scenarios.add(
+            Scenario(
+                name="s",
+                events=(
+                    TypedEvent(type_name="escort", arguments={"who": "alice"}),
+                ),
+            )
+        )
+        derived = entity_mapping.derive_event_mapping(scenarios)
+        assert derived.components_for("escort") == ("ui",)
+
+    def test_entries_copy(self, small_ontology, chain_architecture):
+        mapping = EntityMapping(small_ontology, chain_architecture)
+        mapping.map_entity("alice", "ui")
+        entries = mapping.entries
+        entries["alice"] = ("hacked",)
+        assert mapping.components_for_entity("alice") == ("ui",)

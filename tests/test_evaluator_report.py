@@ -1,0 +1,232 @@
+"""Unit tests for the SOSAE facade and report rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.consistency import (
+    EvaluationReport,
+    Inconsistency,
+    InconsistencyKind,
+    Severity,
+)
+from repro.core.constraints import MustRouteVia
+from repro.core.evaluator import Sosae
+from repro.core.report import render_report
+from repro.errors import EvaluationError
+from repro.scenarioml.events import TypedEvent
+from repro.scenarioml.scenario import Scenario, ScenarioKind, ScenarioSet
+
+
+class TestSosaePipeline:
+    def test_consistent_system(
+        self, small_scenarios, chain_architecture, chain_mapping
+    ):
+        report = Sosae(
+            small_scenarios, chain_architecture, chain_mapping
+        ).evaluate()
+        assert report.consistent
+        assert len(report.scenario_verdicts) == 2
+        assert report.failed_scenarios == ()
+
+    def test_scenario_selection(
+        self, small_scenarios, chain_architecture, chain_mapping
+    ):
+        report = Sosae(
+            small_scenarios, chain_architecture, chain_mapping
+        ).evaluate(scenario_names=["make-widget"])
+        assert [v.scenario for v in report.scenario_verdicts] == [
+            "make-widget"
+        ]
+
+    def test_missing_link_makes_report_inconsistent(
+        self, small_scenarios, chain_architecture, chain_mapping
+    ):
+        chain_architecture.excise_links_between("logic", "logic-store")
+        report = Sosae(
+            small_scenarios, chain_architecture, chain_mapping
+        ).evaluate()
+        assert not report.consistent
+        assert "make-widget" in report.failed_scenarios
+
+    def test_style_violations_reported(
+        self, small_scenarios, chain_architecture, chain_mapping
+    ):
+        chain_architecture.style = "layered"
+        chain_architecture.add_component("floating")  # no layer
+        report = Sosae(
+            small_scenarios, chain_architecture, chain_mapping
+        ).evaluate()
+        assert any(
+            f.kind is InconsistencyKind.STYLE_VIOLATION for f in report.findings
+        )
+
+    def test_validation_issues_reported(
+        self, small_ontology, chain_architecture, chain_mapping
+    ):
+        scenarios = ScenarioSet(small_ontology)
+        scenarios.add(
+            Scenario(name="bad", events=(TypedEvent(type_name="ghost"),))
+        )
+        report = Sosae(
+            scenarios, chain_architecture, chain_mapping
+        ).evaluate()
+        assert any(
+            f.kind is InconsistencyKind.VALIDATION_ERROR
+            and f.severity is Severity.ERROR
+            for f in report.findings
+        )
+        assert not report.consistent
+
+    def test_coverage_warnings_reported(
+        self, small_scenarios, chain_architecture, chain_mapping
+    ):
+        chain_mapping.unmap_event("destroy")
+        report = Sosae(
+            small_scenarios, chain_architecture, chain_mapping
+        ).evaluate()
+        assert any(
+            f.kind is InconsistencyKind.UNMAPPED_EVENT for f in report.findings
+        )
+
+    def test_unmapped_component_warning(
+        self, small_scenarios, chain_architecture, chain_mapping
+    ):
+        chain_architecture.add_component("spare")
+        report = Sosae(
+            small_scenarios, chain_architecture, chain_mapping
+        ).evaluate()
+        assert any(
+            f.kind is InconsistencyKind.UNMAPPED_COMPONENT
+            for f in report.findings
+        )
+        # Warnings alone never make the report inconsistent.
+        assert report.consistent
+
+    def test_constraints_checked(
+        self, small_scenarios, chain_architecture, chain_mapping
+    ):
+        chain_architecture.link(("ui", "shortcut"), ("store", "shortcut"))
+        report = Sosae(
+            small_scenarios,
+            chain_architecture,
+            chain_mapping,
+            constraints=[MustRouteVia("ui", "store", "logic")],
+        ).evaluate()
+        assert any(
+            f.kind is InconsistencyKind.CONSTRAINT_VIOLATION
+            for f in report.findings
+        )
+        assert not report.consistent
+
+    def test_negative_scenarios_evaluated_with_polarity(
+        self, small_ontology, chain_architecture, chain_mapping
+    ):
+        scenarios = ScenarioSet(small_ontology)
+        scenarios.add(
+            Scenario(
+                name="forbidden",
+                kind=ScenarioKind.NEGATIVE,
+                events=(
+                    TypedEvent(
+                        type_name="create", arguments={"subject": "w"}
+                    ),
+                ),
+            )
+        )
+        report = Sosae(
+            scenarios, chain_architecture, chain_mapping
+        ).evaluate()
+        verdict = report.verdict("forbidden")
+        assert verdict.negative
+        assert not verdict.passed
+
+    def test_dynamic_requires_bindings(
+        self, small_scenarios, chain_architecture, chain_mapping
+    ):
+        sosae = Sosae(small_scenarios, chain_architecture, chain_mapping)
+        with pytest.raises(EvaluationError):
+            sosae.evaluate(include_dynamic=True)
+
+    def test_verdict_lookup_unknown_raises(
+        self, small_scenarios, chain_architecture, chain_mapping
+    ):
+        report = Sosae(
+            small_scenarios, chain_architecture, chain_mapping
+        ).evaluate()
+        with pytest.raises(KeyError):
+            report.verdict("ghost")
+
+
+class TestReportRendering:
+    def make_report(self, small_scenarios, chain_architecture, chain_mapping):
+        return Sosae(
+            small_scenarios, chain_architecture, chain_mapping
+        ).evaluate()
+
+    def test_text_report(
+        self, small_scenarios, chain_architecture, chain_mapping
+    ):
+        report = self.make_report(
+            small_scenarios, chain_architecture, chain_mapping
+        )
+        text = render_report(report)
+        assert "overall: CONSISTENT" in text
+        assert "PASS make-widget" in text
+
+    def test_markdown_report(
+        self, small_scenarios, chain_architecture, chain_mapping
+    ):
+        report = self.make_report(
+            small_scenarios, chain_architecture, chain_mapping
+        )
+        text = render_report(report, markdown=True)
+        assert text.startswith("# Evaluation of `chain`")
+        assert "| make-widget | positive | pass |" in text
+
+    def test_inconsistent_markdown_report_lists_findings(
+        self, small_scenarios, chain_architecture, chain_mapping
+    ):
+        chain_architecture.excise_links_between("logic", "logic-store")
+        report = self.make_report(
+            small_scenarios, chain_architecture, chain_mapping
+        )
+        text = render_report(report, markdown=True)
+        assert "**INCONSISTENT**" in text
+        assert "## Findings" in text
+
+    def test_inconsistency_str_formats(self):
+        finding = Inconsistency(
+            kind=InconsistencyKind.MISSING_LINK,
+            message="no path",
+            scenario="s",
+            event_label="4",
+            elements=("a", "b"),
+        )
+        assert str(finding) == "error/missing-link [s step 4]: no path (a, b)"
+
+    def test_empty_report_is_consistent(self):
+        report = EvaluationReport(architecture="empty")
+        assert report.consistent
+        assert report.all_inconsistencies() == ()
+
+    def test_dynamic_verdicts_rendered_in_text_report(self, crash):
+        from repro.sim.network import ChannelPolicy
+        from repro.sim.runtime import RuntimeConfig
+
+        report = Sosae(
+            crash.scenarios,
+            crash.architecture,
+            crash.mapping,
+            bindings=crash.bindings,
+            walkthrough_options=crash.options,
+            runtime_config=RuntimeConfig(
+                policy=ChannelPolicy(latency=1.0, failure_detection=True)
+            ),
+        ).evaluate(include_dynamic=True)
+        text = render_report(report)
+        assert "dynamic execution:" in text
+        assert "PASS entity-availability" in text
+        markdown = render_report(report, markdown=True)
+        assert "## Dynamic execution" in markdown
+        assert "| entity-availability | pass |" in markdown

@@ -1,0 +1,181 @@
+"""Unit tests for ScenarioML event structures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ScenarioError
+from repro.scenarioml.events import (
+    Alternation,
+    CompoundEvent,
+    Episode,
+    Iteration,
+    Optional_,
+    SimpleEvent,
+    TypedEvent,
+    leaf_events,
+    parallel,
+    sequence,
+    walk,
+)
+from repro.scenarioml.ontology import Ontology
+
+
+class TestSimpleEvent:
+    def test_requires_text(self):
+        with pytest.raises(ScenarioError):
+            SimpleEvent(text="")
+
+    def test_render_is_text(self):
+        assert SimpleEvent(text="hello").render() == "hello"
+
+    def test_has_no_children(self):
+        assert SimpleEvent(text="x").children == ()
+
+    def test_carries_label_and_actor(self):
+        event = SimpleEvent(text="x", actor="User", label="2.a")
+        assert event.actor == "User"
+        assert event.label == "2.a"
+
+
+class TestTypedEvent:
+    def test_requires_type_name(self):
+        with pytest.raises(ScenarioError):
+            TypedEvent(type_name="")
+
+    def test_renders_via_ontology(self, small_ontology: Ontology):
+        event = TypedEvent(type_name="create", arguments={"subject": "it"})
+        assert event.render(small_ontology) == "The system creates the it"
+
+    def test_renders_without_ontology(self):
+        event = TypedEvent(type_name="create", arguments={"subject": "it"})
+        assert event.render() == "create(subject=it)"
+
+    def test_renders_bare_name_without_arguments(self):
+        assert TypedEvent(type_name="ping").render() == "ping"
+
+    def test_arguments_are_immutable(self):
+        event = TypedEvent(type_name="e", arguments={"a": "1"})
+        with pytest.raises(TypeError):
+            event.arguments["a"] = "2"  # type: ignore[index]
+
+    def test_equality_ignores_argument_dict_identity(self):
+        first = TypedEvent(type_name="e", arguments={"a": "1"})
+        second = TypedEvent(type_name="e", arguments={"a": "1"})
+        assert first == second
+        assert hash(first) == hash(second)
+
+    def test_inequality_on_arguments(self):
+        first = TypedEvent(type_name="e", arguments={"a": "1"})
+        second = TypedEvent(type_name="e", arguments={"a": "2"})
+        assert first != second
+
+    def test_inequality_on_label(self):
+        first = TypedEvent(type_name="e", label="1")
+        second = TypedEvent(type_name="e", label="2")
+        assert first != second
+
+    def test_entities_resolves_known_individuals(
+        self, small_ontology: Ontology
+    ):
+        event = TypedEvent(
+            type_name="notify", arguments={"who": "alice"}
+        )
+        assert event.entities(small_ontology) == ("alice",)
+
+    def test_entities_skips_literals(self, small_ontology: Ontology):
+        event = TypedEvent(
+            type_name="notify", arguments={"who": "someone new"}
+        )
+        assert event.entities(small_ontology) == ()
+
+
+class TestCompoundAndSchemas:
+    def test_compound_requires_subevents(self):
+        with pytest.raises(ScenarioError):
+            CompoundEvent(subevents=())
+
+    def test_compound_rejects_unknown_pattern(self):
+        with pytest.raises(ScenarioError):
+            CompoundEvent(subevents=(SimpleEvent(text="x"),), pattern="zigzag")
+
+    def test_sequence_helper(self):
+        event = sequence(SimpleEvent(text="a"), SimpleEvent(text="b"))
+        assert event.pattern == "sequence"
+        assert len(event.children) == 2
+
+    def test_parallel_helper(self):
+        event = parallel(SimpleEvent(text="a"), SimpleEvent(text="b"))
+        assert event.pattern == "parallel"
+
+    def test_sequence_render(self):
+        event = sequence(SimpleEvent(text="a"), SimpleEvent(text="b"))
+        assert event.render() == "(a; b)"
+
+    def test_parallel_render(self):
+        event = parallel(SimpleEvent(text="a"), SimpleEvent(text="b"))
+        assert event.render() == "(a || b)"
+
+    def test_alternation_needs_two_branches(self):
+        with pytest.raises(ScenarioError):
+            Alternation(branches=(SimpleEvent(text="only"),))
+
+    def test_alternation_render(self):
+        event = Alternation(
+            branches=(SimpleEvent(text="a"), SimpleEvent(text="b"))
+        )
+        assert event.render() == "(a | b)"
+
+    def test_iteration_requires_body(self):
+        with pytest.raises(ScenarioError):
+            Iteration()
+
+    def test_iteration_rejects_negative_min(self):
+        with pytest.raises(ScenarioError):
+            Iteration(body=SimpleEvent(text="x"), min_count=-1)
+
+    def test_iteration_rejects_max_below_min(self):
+        with pytest.raises(ScenarioError):
+            Iteration(body=SimpleEvent(text="x"), min_count=3, max_count=2)
+
+    def test_iteration_render(self):
+        event = Iteration(body=SimpleEvent(text="x"), min_count=1, max_count=3)
+        assert event.render() == "(x){1,3}"
+
+    def test_optional_requires_body(self):
+        with pytest.raises(ScenarioError):
+            Optional_()
+
+    def test_optional_render(self):
+        assert Optional_(body=SimpleEvent(text="x")).render() == "(x)?"
+
+    def test_episode_requires_scenario_name(self):
+        with pytest.raises(ScenarioError):
+            Episode(scenario_name="")
+
+    def test_episode_render(self):
+        assert Episode(scenario_name="other").render() == "episode <other>"
+
+
+class TestTraversal:
+    def test_walk_is_preorder(self):
+        a = SimpleEvent(text="a")
+        b = SimpleEvent(text="b")
+        tree = sequence(a, sequence(b))
+        rendered = [e.render() for e in walk(tree)]
+        assert rendered == ["(a; (b))", "a", "(b)", "b"]
+
+    def test_leaf_events_flatten_nested_structures(self):
+        tree = sequence(
+            SimpleEvent(text="a"),
+            Alternation(
+                branches=(SimpleEvent(text="b"), SimpleEvent(text="c"))
+            ),
+            Iteration(body=SimpleEvent(text="d")),
+        )
+        leaves = [e.render() for e in leaf_events(tree)]
+        assert leaves == ["a", "b", "c", "d"]
+
+    def test_leaf_of_leaf_is_itself(self):
+        event = SimpleEvent(text="x")
+        assert list(leaf_events(event)) == [event]

@@ -1,0 +1,106 @@
+"""Unit tests for the synthetic system generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.walkthrough import WalkthroughEngine
+from repro.scenarioml.query import reuse_factor
+from repro.scenarioml.validation import IssueSeverity, validate_scenario_set
+from repro.systems.generators import SyntheticSpec, build_synthetic
+
+
+class TestSpec:
+    def test_rejects_zero_sizes(self):
+        with pytest.raises(ValueError):
+            SyntheticSpec(event_types=0)
+        with pytest.raises(ValueError):
+            SyntheticSpec(components=0)
+        with pytest.raises(ValueError):
+            SyntheticSpec(scenarios=0)
+        with pytest.raises(ValueError):
+            SyntheticSpec(events_per_scenario=0)
+
+    def test_rejects_negative_reuse(self):
+        with pytest.raises(ValueError):
+            SyntheticSpec(reuse=-1.0)
+
+
+class TestGeneration:
+    def test_sizes_match_spec(self):
+        spec = SyntheticSpec(
+            event_types=12, components=7, scenarios=5, events_per_scenario=6
+        )
+        system = build_synthetic(spec)
+        assert len(system.ontology.event_types) == 12
+        assert len(system.architecture.components) == 7
+        assert len(system.scenarios) == 5
+        for scenario in system.scenarios:
+            assert len(scenario.events) == 6
+
+    def test_deterministic_for_same_seed(self):
+        spec = SyntheticSpec(seed=42)
+        first = build_synthetic(spec)
+        second = build_synthetic(spec)
+        assert first.mapping.entries == second.mapping.entries
+        first_types = [
+            e.type_name
+            for s in first.scenarios
+            for e in s.typed_events()
+        ]
+        second_types = [
+            e.type_name
+            for s in second.scenarios
+            for e in s.typed_events()
+        ]
+        assert first_types == second_types
+
+    def test_different_seeds_differ(self):
+        first = build_synthetic(SyntheticSpec(seed=1))
+        second = build_synthetic(SyntheticSpec(seed=2))
+        first_types = [
+            e.type_name for s in first.scenarios for e in s.typed_events()
+        ]
+        second_types = [
+            e.type_name for s in second.scenarios for e in s.typed_events()
+        ]
+        assert first_types != second_types
+
+    def test_scenarios_validate(self):
+        system = build_synthetic(SyntheticSpec())
+        issues = validate_scenario_set(system.scenarios)
+        assert [i for i in issues if i.severity is IssueSeverity.ERROR] == []
+
+    def test_architecture_fully_connected(self):
+        system = build_synthetic(SyntheticSpec(components=9))
+        from repro.adl.graph import is_fully_connected
+
+        assert is_fully_connected(system.architecture)
+
+    def test_every_event_type_mapped(self):
+        system = build_synthetic(SyntheticSpec())
+        assert system.mapping.unmapped_event_types() == ()
+
+    def test_higher_reuse_skew_increases_reuse_factor(self):
+        flat = build_synthetic(
+            SyntheticSpec(reuse=0.0, scenarios=20, events_per_scenario=10)
+        )
+        skewed = build_synthetic(
+            SyntheticSpec(reuse=2.0, scenarios=20, events_per_scenario=10)
+        )
+        assert reuse_factor(skewed.scenarios.scenarios) > reuse_factor(
+            flat.scenarios.scenarios
+        )
+
+    def test_walkthrough_passes_on_generated_system(self):
+        system = build_synthetic(SyntheticSpec(scenarios=5))
+        engine = WalkthroughEngine(system.architecture, system.mapping)
+        verdicts = engine.walk_all(system.scenarios)
+        assert all(v.passed for v in verdicts)
+
+    def test_fan_out_capped_by_component_count(self):
+        system = build_synthetic(
+            SyntheticSpec(components=2, components_per_event_type=5)
+        )
+        for components in system.mapping.entries.values():
+            assert len(components) <= 2

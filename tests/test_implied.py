@@ -1,0 +1,136 @@
+"""Unit tests for implied-scenario detection."""
+
+from __future__ import annotations
+
+from repro.core.implied import detect_implied_scenarios
+from repro.core.mapping import Mapping
+from repro.scenarioml.events import TypedEvent
+from repro.scenarioml.ontology import Ontology
+from repro.scenarioml.scenario import Scenario, ScenarioSet
+
+
+def make_world(*sequences: tuple[str, ...]):
+    """An ontology/scenarios/mapping bundle from bare event-type
+    sequences."""
+    ontology = Ontology("implied-world")
+    seen: set[str] = set()
+    for sequence in sequences:
+        for name in sequence:
+            if name not in seen:
+                ontology.define_event_type(name)
+                seen.add(name)
+    from repro.adl.structure import Architecture
+
+    architecture = Architecture("implied-arch")
+    architecture.add_connector("bus")
+    for index, name in enumerate(sorted(seen)):
+        architecture.add_component(f"c-{name}")
+        architecture.link((f"c-{name}", "p"), ("bus", f"s{index}"))
+    mapping = Mapping(ontology, architecture)
+    for name in seen:
+        mapping.map_event(name, f"c-{name}")
+    scenarios = ScenarioSet(ontology)
+    for index, sequence in enumerate(sequences):
+        scenarios.add(
+            Scenario(
+                name=f"s{index}",
+                events=tuple(
+                    TypedEvent(type_name=name) for name in sequence
+                ),
+            )
+        )
+    return scenarios, mapping
+
+
+class TestDetection:
+    def test_single_scenario_is_closed(self):
+        scenarios, mapping = make_world(("a", "b", "c"))
+        report = detect_implied_scenarios(scenarios, mapping)
+        assert report.implied == ()
+        assert report.closed
+
+    def test_disjoint_scenarios_are_closed(self):
+        scenarios, mapping = make_world(("a", "b"), ("c", "d"))
+        report = detect_implied_scenarios(scenarios, mapping)
+        assert report.closed
+
+    def test_shared_middle_step_implies_crossover(self):
+        # s0: a -> x -> b ; s1: c -> x -> d.
+        # Local views admit a -> x -> d and c -> x -> b: implied.
+        scenarios, mapping = make_world(("a", "x", "b"), ("c", "x", "d"))
+        report = detect_implied_scenarios(scenarios, mapping)
+        chains = {implied.event_types for implied in report.implied}
+        assert ("a", "x", "d") in chains
+        assert ("c", "x", "b") in chains
+
+    def test_witnesses_name_contributing_scenarios(self):
+        scenarios, mapping = make_world(("a", "x", "b"), ("c", "x", "d"))
+        report = detect_implied_scenarios(scenarios, mapping)
+        crossover = next(
+            implied
+            for implied in report.implied
+            if implied.event_types == ("a", "x", "d")
+        )
+        assert set(crossover.witnesses) == {"s0", "s1"}
+
+    def test_components_annotated_from_mapping(self):
+        scenarios, mapping = make_world(("a", "x", "b"), ("c", "x", "d"))
+        report = detect_implied_scenarios(scenarios, mapping)
+        crossover = next(
+            implied
+            for implied in report.implied
+            if implied.event_types == ("a", "x", "d")
+        )
+        assert crossover.components[0] == ("c-a",)
+
+    def test_prefix_truncation_is_implied(self):
+        # s0: a -> b; s1: a (stops early). The one-step chain 'a' is
+        # specified by s1, so the only behaviors are specified: closed.
+        scenarios, mapping = make_world(("a", "b"), ("a",))
+        report = detect_implied_scenarios(scenarios, mapping)
+        assert report.closed
+
+    def test_early_exit_implied_when_some_trace_ends_there(self):
+        # s0: a -> b -> c ; s1: d -> b. 'b' is an exit (s1 ends there),
+        # so a -> b (stopping before c) is implied.
+        scenarios, mapping = make_world(("a", "b", "c"), ("d", "b"))
+        report = detect_implied_scenarios(scenarios, mapping)
+        chains = {implied.event_types for implied in report.implied}
+        assert ("a", "b") in chains
+
+    def test_limit_truncates(self):
+        scenarios, mapping = make_world(
+            ("a", "x", "b"), ("c", "x", "d"), ("e", "x", "f")
+        )
+        report = detect_implied_scenarios(scenarios, mapping, limit=1)
+        assert len(report.implied) == 1
+        assert report.truncated
+        assert not report.closed
+
+    def test_loops_do_not_hang(self):
+        # a -> b and b -> a edges exist; loop-free search terminates.
+        scenarios, mapping = make_world(("a", "b"), ("b", "a"))
+        report = detect_implied_scenarios(scenarios, mapping, max_length=6)
+        for implied in report.implied:
+            assert len(set(implied.event_types)) == len(implied.event_types)
+
+    def test_render_mentions_chain_and_witnesses(self):
+        scenarios, mapping = make_world(("a", "x", "b"), ("c", "x", "d"))
+        report = detect_implied_scenarios(scenarios, mapping)
+        text = report.implied[0].render()
+        assert "->" in text
+        assert "stitched from" in text
+
+    def test_pims_has_implied_scenarios(self, pims):
+        """PIMS scenarios share the initiate/prompt/enter prefix, so local
+        views admit recombinations — e.g. reaching deletePortfolio without
+        the confirmation prompt."""
+        report = detect_implied_scenarios(
+            pims.scenarios, pims.mapping, max_length=4, limit=200
+        )
+        chains = {implied.event_types for implied in report.implied}
+        assert (
+            "initiateFunction",
+            "enterInformation",
+            "deletePortfolio",
+        ) in chains

@@ -1,0 +1,180 @@
+"""Unit tests for incremental re-evaluation after evolution."""
+
+from __future__ import annotations
+
+from repro.adl.diff import diff_architectures
+from repro.core.evaluator import Sosae
+from repro.core.incremental import (
+    impacted_scenario_names,
+    reevaluate,
+)
+from repro.core.mapping import Mapping
+from repro.core.walkthrough import WalkthroughEngine
+from repro.systems.pims import GET_SHARE_PRICES
+
+
+class TestImpactSet:
+    def test_component_change_impacts_its_scenarios(
+        self, small_scenarios, chain_mapping, chain_architecture
+    ):
+        variant = chain_architecture.clone("v2")
+        variant.component("ui").description = "redesigned"
+        diff = diff_architectures(chain_architecture, variant)
+        impacted = impacted_scenario_names(
+            small_scenarios, chain_mapping, diff, chain_architecture
+        )
+        assert impacted == {"make-widget"}
+
+    def test_connector_change_widens_to_adjacent_components(
+        self, small_scenarios, chain_mapping, chain_architecture
+    ):
+        variant = chain_architecture.clone("v2")
+        variant.excise_links_between("logic", "logic-store")
+        diff = diff_architectures(chain_architecture, variant)
+        impacted = impacted_scenario_names(
+            small_scenarios, chain_mapping, diff, chain_architecture
+        )
+        # The excised link touches logic and the logic-store connector;
+        # widening reaches 'store', so both scenarios are impacted.
+        assert impacted == {"make-widget", "drop-widget"}
+
+    def test_no_change_impacts_nothing(
+        self, small_scenarios, chain_mapping, chain_architecture
+    ):
+        diff = diff_architectures(
+            chain_architecture, chain_architecture.clone("same")
+        )
+        assert (
+            impacted_scenario_names(
+                small_scenarios, chain_mapping, diff, chain_architecture
+            )
+            == frozenset()
+        )
+
+
+class TestReevaluate:
+    def test_unchanged_architecture_carries_everything_over(
+        self, small_scenarios, chain_architecture, chain_mapping
+    ):
+        previous = Sosae(
+            small_scenarios, chain_architecture, chain_mapping
+        ).evaluate()
+        result = reevaluate(
+            previous,
+            small_scenarios,
+            chain_architecture,
+            chain_architecture.clone("same"),
+            chain_mapping,
+        )
+        assert result.rewalked == ()
+        assert set(result.carried_over) == {"make-widget", "drop-widget"}
+        assert result.savings == 1.0
+        assert result.report.consistent == previous.consistent
+
+    def test_incremental_matches_full_reevaluation(self, pims):
+        previous = Sosae(
+            pims.scenarios,
+            pims.architecture,
+            pims.mapping,
+            walkthrough_options=pims.options,
+        ).evaluate()
+        evolved = pims.excised_architecture()
+        result = reevaluate(
+            previous,
+            pims.scenarios,
+            pims.architecture,
+            evolved,
+            pims.mapping,
+            options=pims.options,
+        )
+        # Incremental verdicts agree with a from-scratch evaluation.
+        full_mapping = Mapping.from_dict(
+            pims.mapping.to_dict(), pims.ontology, evolved
+        )
+        engine = WalkthroughEngine(evolved, full_mapping, pims.options)
+        full = {v.scenario: v.passed for v in engine.walk_all(pims.scenarios)}
+        incremental = {
+            v.scenario: v.passed for v in result.report.scenario_verdicts
+        }
+        assert incremental == full
+        assert not result.report.consistent
+        assert GET_SHARE_PRICES in result.rewalked
+
+    def test_savings_are_substantial_for_local_changes(self, pims):
+        previous = Sosae(
+            pims.scenarios,
+            pims.architecture,
+            pims.mapping,
+            walkthrough_options=pims.options,
+        ).evaluate()
+        result = reevaluate(
+            previous,
+            pims.scenarios,
+            pims.architecture,
+            pims.excised_architecture(),
+            pims.mapping,
+            options=pims.options,
+        )
+        assert result.savings > 0.5  # most scenarios were not re-walked
+
+    def test_new_scenarios_are_walked_even_without_impact(
+        self, small_scenarios, chain_architecture, chain_mapping
+    ):
+        from repro.scenarioml.events import TypedEvent
+        from repro.scenarioml.scenario import Scenario
+
+        previous = Sosae(
+            small_scenarios, chain_architecture, chain_mapping
+        ).evaluate()
+        small_scenarios.add(
+            Scenario(
+                name="fresh",
+                events=(
+                    TypedEvent(
+                        type_name="create", arguments={"subject": "x"}
+                    ),
+                ),
+            )
+        )
+        result = reevaluate(
+            previous,
+            small_scenarios,
+            chain_architecture,
+            chain_architecture.clone("same"),
+            chain_mapping,
+        )
+        assert "fresh" in result.rewalked
+        assert result.report.verdict("fresh").passed
+
+    def test_negative_scenarios_keep_polarity_when_rewalked(
+        self, small_ontology, chain_architecture, chain_mapping
+    ):
+        from repro.scenarioml.events import TypedEvent
+        from repro.scenarioml.scenario import (
+            Scenario,
+            ScenarioKind,
+            ScenarioSet,
+        )
+
+        scenarios = ScenarioSet(small_ontology)
+        scenarios.add(
+            Scenario(
+                name="forbidden",
+                kind=ScenarioKind.NEGATIVE,
+                events=(
+                    TypedEvent(type_name="create", arguments={"subject": "x"}),
+                ),
+            )
+        )
+        previous = Sosae(
+            scenarios, chain_architecture, chain_mapping
+        ).evaluate()
+        evolved = chain_architecture.clone("evolved")
+        evolved.component("logic").description = "changed"
+        result = reevaluate(
+            previous, scenarios, chain_architecture, evolved, chain_mapping
+        )
+        assert "forbidden" in result.rewalked
+        verdict = result.report.verdict("forbidden")
+        assert verdict.negative
+        assert not verdict.passed  # still admitted -> still flagged

@@ -1,0 +1,157 @@
+"""Cross-module integration tests.
+
+These exercise whole-pipeline flows the paper motivates: exporting and
+re-importing all artifacts, evaluating an Acme-imported architecture
+(ADL independence), evolution with traceability-driven re-evaluation, and
+entity-derived mappings agreeing with hand-built ones.
+"""
+
+from __future__ import annotations
+
+from repro.adl.acme import parse_acme, to_acme
+from repro.adl.diff import diff_architectures
+from repro.adl.xadl import parse_xadl, to_xadl_xml
+from repro.core.entity_mapping import EntityMapping
+from repro.core.evaluator import Sosae
+from repro.core.mapping import Mapping
+from repro.core.traceability import TraceabilityMatrix
+from repro.core.walkthrough import WalkthroughEngine
+from repro.scenarioml.xml_io import parse_scenarioml, to_scenarioml_xml
+from repro.systems.crash import (
+    FIRE_CC,
+    POLICE_CC,
+    build_crash_mapping,
+)
+from repro.systems.pims import GET_SHARE_PRICES, LOADER
+
+
+class TestArtifactRoundtripEvaluation:
+    def test_pims_evaluation_identical_after_full_roundtrip(self, pims):
+        """Serialize scenarios (ScenarioML), architecture (xADL), and
+        mapping (JSON); re-import everything; the evaluation verdicts must
+        be unchanged."""
+        scenarios = parse_scenarioml(to_scenarioml_xml(pims.scenarios))
+        architecture = parse_xadl(to_xadl_xml(pims.architecture))
+        mapping = Mapping.from_json(
+            pims.mapping.to_json(), scenarios.ontology, architecture
+        )
+        original = Sosae(
+            pims.scenarios,
+            pims.architecture,
+            pims.mapping,
+            walkthrough_options=pims.options,
+        ).evaluate()
+        reimported = Sosae(
+            scenarios, architecture, mapping, walkthrough_options=pims.options
+        ).evaluate()
+        assert original.consistent == reimported.consistent
+        assert original.passed_scenarios == reimported.passed_scenarios
+
+    def test_acme_imported_architecture_evaluates_identically(self, pims):
+        """ADL independence: the walkthrough only needs structure, so an
+        architecture that made a round trip through Acme yields the same
+        verdicts — including the seeded-fault failure."""
+        acme_architecture = parse_acme(to_acme(pims.excised_architecture()))
+        mapping = Mapping.from_dict(
+            pims.mapping.to_dict(), pims.ontology, acme_architecture
+        )
+        engine = WalkthroughEngine(acme_architecture, mapping, pims.options)
+        verdicts = engine.walk_all(pims.scenarios)
+        failed = [v.scenario for v in verdicts if not v.passed]
+        assert failed == [GET_SHARE_PRICES]
+
+
+class TestEvolutionWorkflow:
+    def test_diff_traceability_localizes_reevaluation(self, pims):
+        """The maintenance loop: architecture evolves -> diff -> impacted
+        scenarios -> re-evaluate only those -> same verdicts as a full
+        re-evaluation."""
+        variant = pims.excised_architecture()
+        diff = diff_architectures(pims.architecture, variant)
+        matrix = TraceabilityMatrix(pims.scenarios, pims.mapping)
+        impacted = matrix.impacted_scenarios(diff)
+        assert GET_SHARE_PRICES in impacted
+
+        mapping = Mapping.from_dict(
+            pims.mapping.to_dict(), pims.ontology, variant
+        )
+        engine = WalkthroughEngine(variant, mapping, pims.options)
+        targeted = {
+            name: engine.walk_scenario(
+                pims.scenarios.get(name), pims.scenarios
+            ).passed
+            for name in impacted
+        }
+        full = {
+            verdict.scenario: verdict.passed
+            for verdict in engine.walk_all(pims.scenarios)
+        }
+        for name, passed in targeted.items():
+            assert full[name] == passed
+        # Scenarios outside the impact set were unaffected by the change.
+        for name, passed in full.items():
+            if name not in impacted:
+                assert passed
+
+    def test_scenario_change_impact_points_at_components(self, pims):
+        matrix = TraceabilityMatrix(pims.scenarios, pims.mapping)
+        impacted = matrix.impacted_components(GET_SHARE_PRICES)
+        assert LOADER in impacted
+        assert "Authentication" not in impacted
+
+
+class TestEntityDerivedMapping:
+    def test_crash_entity_mapping_agrees_with_manual_for_shutdown(
+        self, crash
+    ):
+        """Deriving the shutdownEntity mapping from the entities appearing
+        in its occurrences reproduces the hand-built entries for the
+        centers the scenarios actually mention."""
+        entity_mapping = EntityMapping(crash.ontology, crash.architecture)
+        entity_mapping.map_entity("CommandAndControl", POLICE_CC)
+        for organization_cc in (POLICE_CC, FIRE_CC):
+            entity_mapping.map_entity(organization_cc, organization_cc)
+        derived = entity_mapping.derive_event_mapping(crash.scenarios)
+        assert POLICE_CC in derived.components_for("shutdownEntity")
+        # sendMessage occurrences mention both centers.
+        send_targets = set(derived.components_for("sendMessage"))
+        assert {POLICE_CC, FIRE_CC} <= send_targets
+
+    def test_derived_mapping_walkthrough_passes(self, crash):
+        entity_mapping = EntityMapping(crash.ontology, crash.architecture)
+        for organization_cc in (POLICE_CC, FIRE_CC):
+            entity_mapping.map_entity(organization_cc, organization_cc)
+        derived = entity_mapping.derive_event_mapping(
+            crash.scenarios, base=crash.mapping
+        )
+        engine = WalkthroughEngine(
+            crash.architecture, derived, crash.options
+        )
+        verdict = engine.walk_scenario(
+            crash.scenarios.get("message-sequence"), crash.scenarios
+        )
+        assert verdict.passed
+
+
+class TestCrossSystemOntologyMerge:
+    def test_conflicting_shared_concepts_are_detected(self, pims, crash):
+        """Both case studies define an 'Actor' class with different prose;
+        merging must flag the conflict rather than silently pick one."""
+        import pytest
+
+        from repro.errors import DuplicateDefinitionError
+
+        with pytest.raises(DuplicateDefinitionError):
+            pims.ontology.merge(crash.ontology)
+
+    def test_disjoint_subsets_merge_cleanly(self, pims):
+        from repro.scenarioml.ontology import Ontology
+
+        extension = Ontology("pims-extension")
+        extension.define_event_type(
+            "exportReport", "The system exports a report"
+        )
+        merged = pims.ontology.merge(extension)
+        assert merged.has_event_type("createPortfolio")
+        assert merged.has_event_type("exportReport")
+        merged.validate()

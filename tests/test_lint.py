@@ -1,0 +1,208 @@
+"""Unit tests for scenario lints."""
+
+from __future__ import annotations
+
+from repro.scenarioml.events import SimpleEvent, TypedEvent
+from repro.scenarioml.lint import LintOptions, lint_scenario_set
+from repro.scenarioml.ontology import Ontology
+from repro.scenarioml.scenario import Scenario, ScenarioSet
+
+
+def rules(findings):
+    return {finding.rule for finding in findings}
+
+
+def minimal_world(*scenarios: Scenario, ontology=None) -> ScenarioSet:
+    if ontology is None:
+        ontology = Ontology("lint-world")
+        ontology.define_event_type("do", "The system does the [thing]",
+                                   parameters=["thing"])
+    scenario_set = ScenarioSet(ontology)
+    scenario_set.extend(scenarios)
+    return scenario_set
+
+
+class TestProseAndLength:
+    def test_mostly_prose_flagged(self):
+        scenario = Scenario(
+            name="prosey",
+            events=(
+                SimpleEvent(text="a"),
+                SimpleEvent(text="b"),
+                TypedEvent(type_name="do", arguments={"thing": "x"}),
+            ),
+        )
+        findings = lint_scenario_set(minimal_world(scenario))
+        assert "prefer-typed-events" in rules(findings)
+
+    def test_mostly_typed_not_flagged(self):
+        scenario = Scenario(
+            name="typed",
+            events=(
+                TypedEvent(type_name="do", arguments={"thing": "x"}),
+                TypedEvent(type_name="do", arguments={"thing": "y"}),
+                SimpleEvent(text="a"),
+            ),
+        )
+        findings = lint_scenario_set(minimal_world(scenario))
+        assert "prefer-typed-events" not in rules(findings)
+
+    def test_long_scenario_flagged(self):
+        scenario = Scenario(
+            name="long",
+            events=tuple(
+                TypedEvent(type_name="do", arguments={"thing": str(i)})
+                for i in range(12)
+            ),
+        )
+        findings = lint_scenario_set(minimal_world(scenario))
+        assert "long-scenario" in rules(findings)
+
+    def test_step_budget_configurable(self):
+        scenario = Scenario(
+            name="longish",
+            events=tuple(
+                TypedEvent(type_name="do", arguments={"thing": str(i)})
+                for i in range(5)
+            ),
+        )
+        findings = lint_scenario_set(
+            minimal_world(scenario), LintOptions(max_steps=3)
+        )
+        assert "long-scenario" in rules(findings)
+
+
+class TestOntologyLints:
+    def test_similar_texts_flagged(self):
+        ontology = Ontology("similar")
+        ontology.define_event_type("saveRecord", "The system saves the record")
+        ontology.define_event_type(
+            "savesRecord", "The system saves the records"
+        )
+        scenario = Scenario(
+            name="s",
+            events=(
+                TypedEvent(type_name="saveRecord"),
+                TypedEvent(type_name="savesRecord"),
+            ),
+        )
+        findings = lint_scenario_set(minimal_world(scenario, ontology=ontology))
+        assert "generalize-similar-types" in rules(findings)
+
+    def test_shared_supertype_suppresses_similarity(self):
+        ontology = Ontology("generalized")
+        ontology.define_event_type("change", abstract=True)
+        ontology.define_event_type(
+            "saveRecord", "The system saves the record", super_name="change"
+        )
+        ontology.define_event_type(
+            "savesRecord", "The system saves the records", super_name="change"
+        )
+        scenario = Scenario(
+            name="s",
+            events=(
+                TypedEvent(type_name="saveRecord"),
+                TypedEvent(type_name="savesRecord"),
+            ),
+        )
+        findings = lint_scenario_set(minimal_world(scenario, ontology=ontology))
+        assert "generalize-similar-types" not in rules(findings)
+
+    def test_stale_parameter_flagged(self):
+        ontology = Ontology("stale")
+        ontology.define_event_type(
+            "ping", "The system pings", parameters=["unused"]
+        )
+        scenario = Scenario(
+            name="s",
+            events=(
+                TypedEvent(type_name="ping", arguments={"unused": "x"}),
+                TypedEvent(type_name="ping", arguments={"unused": "x"}),
+            ),
+        )
+        findings = lint_scenario_set(minimal_world(scenario, ontology=ontology))
+        assert "stale-parameter" in rules(findings)
+
+    def test_varying_parameter_not_stale(self):
+        ontology = Ontology("varying")
+        ontology.define_event_type(
+            "ping", "The system pings", parameters=["target"]
+        )
+        scenario = Scenario(
+            name="s",
+            events=(
+                TypedEvent(type_name="ping", arguments={"target": "x"}),
+                TypedEvent(type_name="ping", arguments={"target": "y"}),
+            ),
+        )
+        findings = lint_scenario_set(minimal_world(scenario, ontology=ontology))
+        assert "stale-parameter" not in rules(findings)
+
+    def test_referenced_parameter_not_stale(self):
+        ontology = Ontology("referenced")
+        ontology.define_event_type(
+            "ping", "The system pings [target]", parameters=["target"]
+        )
+        scenario = Scenario(
+            name="s",
+            events=(TypedEvent(type_name="ping", arguments={"target": "x"}),),
+        )
+        findings = lint_scenario_set(minimal_world(scenario, ontology=ontology))
+        assert "stale-parameter" not in rules(findings)
+
+    def test_single_use_type_flagged(self):
+        scenario = Scenario(
+            name="s",
+            events=(TypedEvent(type_name="do", arguments={"thing": "x"}),),
+        )
+        findings = lint_scenario_set(minimal_world(scenario))
+        assert "single-use-type" in rules(findings)
+
+    def test_reused_type_not_flagged(self):
+        scenario = Scenario(
+            name="s",
+            events=(
+                TypedEvent(type_name="do", arguments={"thing": "x"}),
+                TypedEvent(type_name="do", arguments={"thing": "y"}),
+            ),
+        )
+        findings = lint_scenario_set(minimal_world(scenario))
+        assert "single-use-type" not in rules(findings)
+
+    def test_unanchored_term_flagged(self):
+        ontology = Ontology("terms")
+        ontology.define_term("flux capacitor", "Makes time travel possible.")
+        ontology.define_event_type("do", "The system does the [thing]",
+                                   parameters=["thing"])
+        scenario = Scenario(
+            name="s",
+            events=(TypedEvent(type_name="do", arguments={"thing": "x"}),),
+        )
+        findings = lint_scenario_set(minimal_world(scenario, ontology=ontology))
+        assert "undefined-term-reference" in rules(findings)
+
+    def test_anchored_term_not_flagged(self):
+        ontology = Ontology("terms")
+        ontology.define_term("portfolio", "A collection of investments.")
+        ontology.define_event_type(
+            "do", "The system updates the portfolio"
+        )
+        scenario = Scenario(
+            name="s", events=(TypedEvent(type_name="do"),)
+        )
+        findings = lint_scenario_set(minimal_world(scenario, ontology=ontology))
+        assert "undefined-term-reference" not in rules(findings)
+
+
+class TestCaseStudies:
+    def test_pims_lints_are_modest(self, pims):
+        findings = lint_scenario_set(pims.scenarios)
+        # The disciplined PIMS set has no prose-heavy or over-long scenarios.
+        assert "prefer-typed-events" not in rules(findings)
+        assert "long-scenario" not in rules(findings)
+
+    def test_finding_str(self):
+        from repro.scenarioml.lint import LintFinding
+
+        finding = LintFinding(rule="r", message="m", scenario="s")
+        assert str(finding) == "r [s]: m"

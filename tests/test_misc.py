@@ -1,0 +1,87 @@
+"""Miscellaneous surface tests: error hierarchy, versioning, module entry
+point, and runtime execution of entry/exit actions."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+
+import pytest
+
+import repro
+from repro import errors
+
+
+class TestErrorHierarchy:
+    def test_every_error_is_a_repro_error(self):
+        for name in dir(errors):
+            candidate = getattr(errors, name)
+            if (
+                isinstance(candidate, type)
+                and issubclass(candidate, Exception)
+                and candidate is not errors.ReproError
+            ):
+                assert issubclass(candidate, errors.ReproError), name
+
+    def test_specializations(self):
+        assert issubclass(errors.DuplicateDefinitionError, errors.OntologyError)
+        assert issubclass(errors.UnknownDefinitionError, errors.OntologyError)
+        assert issubclass(errors.SubsumptionCycleError, errors.OntologyError)
+        assert issubclass(errors.ArityError, errors.OntologyError)
+        assert issubclass(errors.EpisodeCycleError, errors.ScenarioError)
+        assert issubclass(
+            errors.StyleViolationError, errors.ArchitectureError
+        )
+
+    def test_catching_the_base_class_works(self):
+        from repro import Ontology
+
+        with pytest.raises(errors.ReproError):
+            Ontology("")
+
+
+class TestPackageSurface:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_module_entry_point(self):
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro", "table", "pims"],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert completed.returncode == 0
+        assert "Master Controller" in completed.stdout
+
+
+class TestRuntimeEntryExitActions:
+    def test_entry_send_actions_are_executed_by_the_runtime(self):
+        from repro.adl.behavior import Action, ActionKind, Statechart
+        from repro.adl.structure import Architecture, Interface
+        from repro.sim.network import ChannelPolicy
+        from repro.sim.runtime import ArchitectureRuntime, RuntimeConfig
+
+        architecture = Architecture("doors")
+        architecture.add_component("door", interfaces=[Interface("port")])
+        architecture.add_component("bell", interfaces=[Interface("port")])
+        architecture.link(("door", "port"), ("bell", "port"))
+        chart = Statechart("door-chart")
+        chart.add_state("closed", initial=True)
+        chart.add_state(
+            "open",
+            entry_actions=[Action(ActionKind.SEND, "ding", via="port")],
+        )
+        chart.add_transition("closed", "open", "push")
+        architecture.attach_behavior("door", chart)
+        runtime = ArchitectureRuntime(
+            architecture, RuntimeConfig(policy=ChannelPolicy(latency=1.0))
+        )
+        runtime.inject("bell", "push", destination="door")
+        runtime.run()
+        assert runtime.trace.was_delivered("ding", "bell")
+        assert runtime.statechart("door").current == "open"

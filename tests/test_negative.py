@@ -1,0 +1,83 @@
+"""Unit tests for negative-scenario evaluation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.consistency import InconsistencyKind
+from repro.core.negative import evaluate_negative_scenario
+from repro.core.walkthrough import WalkthroughEngine
+from repro.errors import EvaluationError
+from repro.scenarioml.events import TypedEvent
+from repro.scenarioml.scenario import Scenario, ScenarioKind, ScenarioSet
+
+
+def negative(*events, name="bad") -> Scenario:
+    return Scenario(name=name, events=tuple(events), kind=ScenarioKind.NEGATIVE)
+
+
+def typed(type_name, **arguments) -> TypedEvent:
+    return TypedEvent(type_name=type_name, arguments=arguments)
+
+
+class TestNegativeEvaluation:
+    def test_rejects_positive_scenario(
+        self, small_scenarios, chain_architecture, chain_mapping
+    ):
+        engine = WalkthroughEngine(chain_architecture, chain_mapping)
+        with pytest.raises(EvaluationError):
+            evaluate_negative_scenario(
+                engine, small_scenarios.get("make-widget"), small_scenarios
+            )
+
+    def test_admitted_behavior_is_flagged(
+        self, small_ontology, chain_architecture, chain_mapping
+    ):
+        scenarios = ScenarioSet(small_ontology)
+        scenario = scenarios.add(
+            negative(typed("notify", who="alice"), typed("create", subject="w"))
+        )
+        engine = WalkthroughEngine(chain_architecture, chain_mapping)
+        verdict = evaluate_negative_scenario(engine, scenario, scenarios)
+        assert not verdict.passed
+        assert any(
+            f.kind is InconsistencyKind.NEGATIVE_SCENARIO_SUCCEEDED
+            for f in verdict.all_inconsistencies()
+        )
+
+    def test_blocked_behavior_passes(
+        self, small_ontology, chain_architecture, chain_mapping
+    ):
+        chain_architecture.excise_links_between("ui", "ui-logic")
+        scenarios = ScenarioSet(small_ontology)
+        scenario = scenarios.add(
+            negative(typed("notify", who="alice"), typed("create", subject="w"))
+        )
+        engine = WalkthroughEngine(chain_architecture, chain_mapping)
+        verdict = evaluate_negative_scenario(engine, scenario, scenarios)
+        assert verdict.passed
+        assert not any(
+            f.kind is InconsistencyKind.NEGATIVE_SCENARIO_SUCCEEDED
+            for f in verdict.all_inconsistencies()
+        )
+
+    def test_unrealizable_event_counts_as_blocked(
+        self, small_ontology, chain_architecture, chain_mapping
+    ):
+        chain_mapping.unmap_event("destroy")
+        scenarios = ScenarioSet(small_ontology)
+        scenario = scenarios.add(negative(typed("destroy", subject="w")))
+        engine = WalkthroughEngine(chain_architecture, chain_mapping)
+        verdict = evaluate_negative_scenario(engine, scenario, scenarios)
+        assert verdict.passed
+        assert verdict.blocked
+
+    def test_verdict_is_marked_negative(
+        self, small_ontology, chain_architecture, chain_mapping
+    ):
+        scenarios = ScenarioSet(small_ontology)
+        scenario = scenarios.add(negative(typed("create", subject="w")))
+        engine = WalkthroughEngine(chain_architecture, chain_mapping)
+        verdict = evaluate_negative_scenario(engine, scenario, scenarios)
+        assert verdict.negative
+        assert "(negative)" in verdict.render()

@@ -1,0 +1,321 @@
+"""Unit tests for the ScenarioML ontology sublanguage."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import (
+    ArityError,
+    DuplicateDefinitionError,
+    OntologyError,
+    SubsumptionCycleError,
+    UnknownDefinitionError,
+)
+from repro.scenarioml.ontology import (
+    EventType,
+    Instance,
+    InstanceType,
+    Ontology,
+    Parameter,
+    Term,
+)
+
+
+class TestDefinitions:
+    def test_term_requires_name(self):
+        with pytest.raises(OntologyError):
+            Term("")
+
+    def test_instance_type_requires_name(self):
+        with pytest.raises(OntologyError):
+            InstanceType("")
+
+    def test_instance_requires_type(self):
+        with pytest.raises(OntologyError):
+            Instance("x", "")
+
+    def test_event_type_requires_name(self):
+        with pytest.raises(OntologyError):
+            EventType("")
+
+    def test_parameter_requires_name(self):
+        with pytest.raises(OntologyError):
+            Parameter("")
+
+    def test_instance_type_cannot_be_its_own_super(self):
+        with pytest.raises(SubsumptionCycleError):
+            InstanceType("a", super_name="a")
+
+    def test_event_type_cannot_be_its_own_super(self):
+        with pytest.raises(SubsumptionCycleError):
+            EventType("e", super_name="e")
+
+    def test_event_type_rejects_duplicate_parameters(self):
+        with pytest.raises(OntologyError):
+            EventType("e", parameters=(Parameter("p"), Parameter("p")))
+
+    def test_parameter_names_in_order(self):
+        event_type = EventType(
+            "e", parameters=(Parameter("a"), Parameter("b"))
+        )
+        assert event_type.parameter_names == ("a", "b")
+
+    def test_render_substitutes_arguments(self):
+        event_type = EventType(
+            "e", text="do [x] and [y]", parameters=(Parameter("x"), Parameter("y"))
+        )
+        assert event_type.render({"x": "this", "y": "that"}) == "do this and that"
+
+    def test_render_keeps_placeholder_for_missing_argument(self):
+        event_type = EventType("e", text="do [x]", parameters=(Parameter("x"),))
+        assert event_type.render({}) == "do [x]"
+
+    def test_render_without_text_uses_name(self):
+        assert EventType("e").render({}) == "e"
+
+
+class TestOntologyContainer:
+    def test_requires_name(self):
+        with pytest.raises(OntologyError):
+            Ontology("")
+
+    def test_define_and_lookup(self, small_ontology: Ontology):
+        assert small_ontology.term("widget").definition
+        assert small_ontology.instance_type("Human").super_name == "Actor"
+        assert small_ontology.instance("alice").type_name == "Human"
+        assert small_ontology.event_type("create").actor == "System"
+
+    def test_duplicate_term_rejected(self, small_ontology: Ontology):
+        with pytest.raises(DuplicateDefinitionError):
+            small_ontology.define_term("widget")
+
+    def test_duplicate_instance_type_rejected(self, small_ontology: Ontology):
+        with pytest.raises(DuplicateDefinitionError):
+            small_ontology.define_instance_type("Actor")
+
+    def test_duplicate_instance_rejected(self, small_ontology: Ontology):
+        with pytest.raises(DuplicateDefinitionError):
+            small_ontology.define_instance("alice", "Human")
+
+    def test_duplicate_event_type_rejected(self, small_ontology: Ontology):
+        with pytest.raises(DuplicateDefinitionError):
+            small_ontology.define_event_type("create")
+
+    def test_unknown_lookups_raise(self, small_ontology: Ontology):
+        with pytest.raises(UnknownDefinitionError):
+            small_ontology.term("nope")
+        with pytest.raises(UnknownDefinitionError):
+            small_ontology.instance_type("nope")
+        with pytest.raises(UnknownDefinitionError):
+            small_ontology.instance("nope")
+        with pytest.raises(UnknownDefinitionError):
+            small_ontology.event_type("nope")
+
+    def test_has_checks(self, small_ontology: Ontology):
+        assert small_ontology.has_term("widget")
+        assert small_ontology.has_instance_type("Actor")
+        assert small_ontology.has_instance("backend")
+        assert small_ontology.has_event_type("notify")
+        assert not small_ontology.has_event_type("widget")
+
+    def test_contains_spans_all_kinds(self, small_ontology: Ontology):
+        assert "widget" in small_ontology
+        assert "Actor" in small_ontology
+        assert "alice" in small_ontology
+        assert "create" in small_ontology
+        assert "missing" not in small_ontology
+
+    def test_collections_preserve_definition_order(self):
+        ontology = Ontology("ordered")
+        ontology.define_event_type("b")
+        ontology.define_event_type("a")
+        assert [e.name for e in ontology.event_types] == ["b", "a"]
+
+    def test_repr_mentions_counts(self, small_ontology: Ontology):
+        text = repr(small_ontology)
+        assert "4 event types" in text
+        assert "2 individuals" in text
+
+    def test_define_event_type_accepts_bare_parameter_names(self):
+        ontology = Ontology("bare")
+        event_type = ontology.define_event_type("e", parameters=["x", "y"])
+        assert event_type.parameters == (Parameter("x"), Parameter("y"))
+
+
+class TestSubsumption:
+    def test_class_ancestors(self, small_ontology: Ontology):
+        assert small_ontology.class_ancestors("Human") == ("Actor",)
+        assert small_ontology.class_ancestors("Actor") == ()
+
+    def test_event_type_ancestors(self, small_ontology: Ontology):
+        assert small_ontology.event_type_ancestors("create") == ("act",)
+
+    def test_is_subclass_of(self, small_ontology: Ontology):
+        assert small_ontology.is_subclass_of("Human", "Actor")
+        assert small_ontology.is_subclass_of("Actor", "Actor")
+        assert not small_ontology.is_subclass_of("Actor", "Human")
+
+    def test_is_event_subtype_of(self, small_ontology: Ontology):
+        assert small_ontology.is_event_subtype_of("create", "act")
+        assert not small_ontology.is_event_subtype_of("act", "create")
+
+    def test_class_descendants(self, small_ontology: Ontology):
+        assert set(small_ontology.class_descendants("Actor")) == {
+            "Human",
+            "Service",
+        }
+
+    def test_event_type_descendants(self, small_ontology: Ontology):
+        assert set(small_ontology.event_type_descendants("act")) == {
+            "create",
+            "destroy",
+        }
+
+    def test_ancestors_of_unknown_raise(self, small_ontology: Ontology):
+        with pytest.raises(UnknownDefinitionError):
+            small_ontology.class_ancestors("nope")
+        with pytest.raises(UnknownDefinitionError):
+            small_ontology.event_type_ancestors("nope")
+
+    def test_cycle_detection(self):
+        ontology = Ontology("cyclic")
+        ontology.add_instance_type(InstanceType("a", super_name="b"))
+        ontology.add_instance_type(InstanceType("b", super_name="a"))
+        with pytest.raises(SubsumptionCycleError):
+            ontology.class_ancestors("a")
+
+    def test_dangling_super_detected(self):
+        ontology = Ontology("dangling")
+        ontology.add_instance_type(InstanceType("a", super_name="ghost"))
+        with pytest.raises(UnknownDefinitionError):
+            ontology.class_ancestors("a")
+
+    def test_least_common_event_supertype(self, small_ontology: Ontology):
+        assert (
+            small_ontology.least_common_event_supertype("create", "destroy")
+            == "act"
+        )
+        assert (
+            small_ontology.least_common_event_supertype("create", "create")
+            == "create"
+        )
+        assert (
+            small_ontology.least_common_event_supertype("create", "notify")
+            is None
+        )
+
+    def test_instances_of_transitive(self, small_ontology: Ontology):
+        names = [i.name for i in small_ontology.instances_of("Actor")]
+        assert names == ["alice", "backend"]
+
+    def test_instances_of_direct_only(self, small_ontology: Ontology):
+        assert small_ontology.instances_of("Actor", transitive=False) == ()
+
+    def test_effective_parameters_inherit(self):
+        ontology = Ontology("params")
+        ontology.define_event_type("base", parameters=["a"])
+        ontology.define_event_type("sub", parameters=["b"], super_name="base")
+        names = [p.name for p in ontology.effective_parameters("sub")]
+        assert sorted(names) == ["a", "b"]
+
+    def test_effective_parameters_override(self):
+        ontology = Ontology("override")
+        ontology.define_instance_type("T")
+        ontology.define_event_type(
+            "base", parameters=[Parameter("a", "T")]
+        )
+        ontology.define_event_type(
+            "sub", parameters=[Parameter("a")], super_name="base"
+        )
+        (parameter,) = ontology.effective_parameters("sub")
+        assert parameter.type_name is None
+
+
+class TestArgumentChecking:
+    def test_exact_arguments_accepted(self, small_ontology: Ontology):
+        small_ontology.check_arguments("create", {"subject": "widget"})
+
+    def test_missing_argument_rejected(self, small_ontology: Ontology):
+        with pytest.raises(ArityError):
+            small_ontology.check_arguments("create", {})
+
+    def test_extra_argument_rejected(self, small_ontology: Ontology):
+        with pytest.raises(ArityError):
+            small_ontology.check_arguments(
+                "create", {"subject": "widget", "bogus": "1"}
+            )
+
+    def test_abstract_type_rejected(self, small_ontology: Ontology):
+        with pytest.raises(OntologyError):
+            small_ontology.check_arguments("act", {"subject": "widget"})
+
+    def test_typed_parameter_accepts_conforming_individual(
+        self, small_ontology: Ontology
+    ):
+        small_ontology.check_arguments("notify", {"who": "alice"})
+
+    def test_typed_parameter_accepts_scenario_local_literal(
+        self, small_ontology: Ontology
+    ):
+        small_ontology.check_arguments("notify", {"who": "a new operator"})
+
+    def test_typed_parameter_rejects_wrong_class(self):
+        ontology = Ontology("strict")
+        ontology.define_instance_type("Person")
+        ontology.define_instance_type("Machine")
+        ontology.define_instance("robot", "Machine")
+        ontology.define_event_type(
+            "greet", parameters=[Parameter("who", "Person")]
+        )
+        with pytest.raises(ArityError):
+            ontology.check_arguments("greet", {"who": "robot"})
+
+    def test_inherited_parameters_checked(self):
+        ontology = Ontology("inherit")
+        ontology.define_event_type("base", parameters=["a"])
+        ontology.define_event_type("sub", super_name="base")
+        with pytest.raises(ArityError):
+            ontology.check_arguments("sub", {})
+        ontology.check_arguments("sub", {"a": "value"})
+
+
+class TestValidateAndMerge:
+    def test_validate_passes_on_consistent_ontology(
+        self, small_ontology: Ontology
+    ):
+        small_ontology.validate()
+
+    def test_validate_rejects_dangling_parameter_type(self):
+        ontology = Ontology("bad-param")
+        ontology.define_event_type("e", parameters=[Parameter("p", "Ghost")])
+        with pytest.raises(UnknownDefinitionError):
+            ontology.validate()
+
+    def test_validate_rejects_dangling_instance_type(self):
+        ontology = Ontology("bad-instance")
+        ontology.add_instance(Instance("x", "Ghost"))
+        with pytest.raises(UnknownDefinitionError):
+            ontology.validate()
+
+    def test_merge_disjoint(self, small_ontology: Ontology):
+        other = Ontology("other")
+        other.define_event_type("extra")
+        merged = small_ontology.merge(other)
+        assert merged.has_event_type("extra")
+        assert merged.has_event_type("create")
+
+    def test_merge_tolerates_identical_duplicates(
+        self, small_ontology: Ontology
+    ):
+        merged = small_ontology.merge(small_ontology)
+        assert len(merged.event_types) == len(small_ontology.event_types)
+
+    def test_merge_rejects_conflicts(self, small_ontology: Ontology):
+        other = Ontology("conflict")
+        other.define_event_type("create", text="something different")
+        with pytest.raises(DuplicateDefinitionError):
+            small_ontology.merge(other)
+
+    def test_merge_name_combines_sources(self, small_ontology: Ontology):
+        other = Ontology("other")
+        assert small_ontology.merge(other).name == "small+other"

@@ -1,0 +1,193 @@
+"""Case-study tests: PIMS (paper §4.1, Figs. 2-4, Table 1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adl.styles import check_style
+from repro.core.evaluator import Sosae
+from repro.core.mapping import Mapping
+from repro.core.walkthrough import WalkthroughEngine
+from repro.scenarioml.query import reuse_factor
+from repro.scenarioml.validation import IssueSeverity, validate_scenario_set
+from repro.systems.pims import (
+    CREATE_PORTFOLIO,
+    DATA_ACCESS,
+    DATA_BUS,
+    DATA_REPOSITORY,
+    GET_SHARE_PRICES,
+    LOADER,
+    MASTER_CONTROLLER,
+    REMOTE_SHARE_DB,
+    build_pims,
+    excise_data_access_loader_link,
+)
+
+
+class TestArtifacts:
+    def test_scenarios_validate_cleanly(self, pims):
+        issues = validate_scenario_set(pims.scenarios)
+        assert [i for i in issues if i.severity is IssueSeverity.ERROR] == []
+
+    def test_contains_the_papers_two_use_cases_with_alternatives(self, pims):
+        assert CREATE_PORTFOLIO in pims.scenarios
+        assert GET_SHARE_PRICES in pims.scenarios
+        assert (
+            pims.scenarios.get("create-portfolio-alt").alternative_of
+            == CREATE_PORTFOLIO
+        )
+        assert (
+            pims.scenarios.get("get-share-prices-alt").alternative_of
+            == GET_SHARE_PRICES
+        )
+
+    def test_create_portfolio_has_four_events(self, pims):
+        scenario = pims.scenarios.get(CREATE_PORTFOLIO)
+        assert len(scenario.events) == 4
+        assert [event.label for event in scenario.events] == [
+            "1",
+            "2",
+            "3",
+            "4",
+        ]
+
+    def test_event_types_are_reused_across_scenarios(self, pims):
+        assert reuse_factor(pims.scenarios.scenarios) > 2.0
+
+    def test_architecture_is_layered_and_conformant(self, pims):
+        assert pims.architecture.style == "layered"
+        assert check_style(pims.architecture) == []
+
+    def test_papers_components_present(self, pims):
+        for name in (
+            MASTER_CONTROLLER,
+            "Authentication",
+            LOADER,
+            DATA_ACCESS,
+            DATA_REPOSITORY,
+            REMOTE_SHARE_DB,
+        ):
+            assert pims.architecture.is_component(name)
+
+    def test_layer_assignment_matches_paper(self, pims):
+        assert pims.architecture.component(MASTER_CONTROLLER).layer == 4
+        assert pims.architecture.component(LOADER).layer == 3
+        assert pims.architecture.component(DATA_ACCESS).layer == 2
+        assert pims.architecture.component(DATA_REPOSITORY).layer == 1
+
+    def test_components_have_responsibilities(self, pims):
+        for component in pims.architecture.components:
+            assert component.responsibilities
+
+
+class TestTable1:
+    def test_every_used_event_type_maps_to_a_component(self, pims):
+        assert pims.mapping.unmapped_event_types(pims.scenarios) == ()
+
+    def test_every_component_is_mapped_to(self, pims):
+        assert pims.mapping.unmapped_components() == ()
+
+    def test_papers_example_rows(self, pims):
+        # "The user enters the portfolio's name" -> Master Controller
+        assert pims.mapping.components_for("enterInformation") == (
+            MASTER_CONTROLLER,
+        )
+        # "The system authenticates the user" -> Authentication
+        assert pims.mapping.components_for("authenticateUser") == (
+            "Authentication",
+        )
+
+    def test_save_data_chain_matches_fig4(self, pims):
+        assert pims.mapping.components_for("saveData") == (
+            LOADER,
+            DATA_ACCESS,
+            DATA_REPOSITORY,
+        )
+
+    def test_table_renders_with_marks(self, pims):
+        table = pims.mapping.table(pims.scenarios)
+        assert table.is_marked("authenticateUser", "Authentication")
+        assert not table.is_marked("authenticateUser", LOADER)
+        assert "authenticateUser" in table.render()
+
+
+class TestWalkthroughs:
+    def test_intact_architecture_consistent_with_all_scenarios(self, pims):
+        engine = WalkthroughEngine(
+            pims.architecture, pims.mapping, pims.options
+        )
+        verdicts = engine.walk_all(pims.scenarios)
+        assert all(v.passed for v in verdicts), [
+            v.scenario for v in verdicts if not v.passed
+        ]
+
+    def test_excision_removes_only_loader_data_bus_link(self, pims):
+        variant = pims.excised_architecture()
+        assert variant.links_between(LOADER, DATA_BUS) == ()
+        assert pims.architecture.links_between(LOADER, DATA_BUS)
+
+    def test_excised_create_portfolio_still_passes(self, pims):
+        engine = WalkthroughEngine(
+            pims.excised_architecture(), pims.mapping, pims.options
+        )
+        verdict = engine.walk_scenario(
+            pims.scenarios.get(CREATE_PORTFOLIO), pims.scenarios
+        )
+        assert verdict.passed
+
+    def test_excised_get_share_prices_fails_at_step_4(self, pims):
+        engine = WalkthroughEngine(
+            pims.excised_architecture(), pims.mapping, pims.options
+        )
+        verdict = engine.walk_scenario(
+            pims.scenarios.get(GET_SHARE_PRICES), pims.scenarios
+        )
+        assert not verdict.passed
+        (finding,) = verdict.all_inconsistencies()
+        assert finding.event_label == "4"
+        assert LOADER in finding.message
+        assert DATA_ACCESS in finding.message
+
+    def test_excised_architecture_fails_only_that_scenario(self, pims):
+        engine = WalkthroughEngine(
+            pims.excised_architecture(), pims.mapping, pims.options
+        )
+        verdicts = engine.walk_all(pims.scenarios)
+        failed = [v.scenario for v in verdicts if not v.passed]
+        assert failed == [GET_SHARE_PRICES]
+
+    def test_sosae_full_pipeline_on_intact_pims(self, pims):
+        report = Sosae(
+            pims.scenarios,
+            pims.architecture,
+            pims.mapping,
+            walkthrough_options=pims.options,
+        ).evaluate()
+        assert report.consistent
+
+    def test_sosae_full_pipeline_on_excised_pims(self, pims):
+        variant = pims.excised_architecture()
+        mapping = Mapping.from_dict(
+            pims.mapping.to_dict(), pims.ontology, variant
+        )
+        report = Sosae(
+            pims.scenarios,
+            variant,
+            mapping,
+            walkthrough_options=pims.options,
+        ).evaluate()
+        assert not report.consistent
+        assert report.failed_scenarios == (GET_SHARE_PRICES,)
+
+    def test_excision_helper_asserts_on_missing_link(self, pims):
+        variant = pims.excised_architecture()
+        with pytest.raises(AssertionError):
+            excise_data_access_loader_link(variant)
+
+    def test_build_is_deterministic(self):
+        first = build_pims()
+        second = build_pims()
+        assert first.mapping.entries == second.mapping.entries
+        assert [c.name for c in first.architecture.components] == [
+            c.name for c in second.architecture.components
+        ]

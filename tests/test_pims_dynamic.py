@@ -1,0 +1,126 @@
+"""Tests for the PIMS behavioral model and dynamic execution."""
+
+from __future__ import annotations
+
+from repro.adl.behavior import Statechart
+from repro.core.dynamic import DynamicEvaluator
+from repro.sim.network import ChannelPolicy
+from repro.sim.runtime import RuntimeConfig
+from repro.systems.pims import (
+    CURRENT_SHARE_PRICES,
+    DATA_ACCESS,
+    DATA_REPOSITORY,
+    GET_SHARE_PRICES,
+    LOADER,
+    MASTER_CONTROLLER,
+    PRICE_QUERY,
+    REMOTE_SHARE_DB,
+    STORE_RECORD,
+    build_pims,
+    build_pims_bindings,
+)
+
+
+def evaluator_for(pims, latency: float = 1.0, bindings=None):
+    return DynamicEvaluator(
+        pims.architecture,
+        bindings or pims.bindings,
+        config=RuntimeConfig(policy=ChannelPolicy(latency=latency)),
+    )
+
+
+class TestBehavioralModel:
+    def test_charts_attached(self, pims):
+        for element in (LOADER, REMOTE_SHARE_DB, DATA_ACCESS, MASTER_CONTROLLER):
+            assert isinstance(pims.architecture.behavior(element), Statechart)
+
+    def test_loader_chart_round_trips_through_xadl(self, pims):
+        from repro.adl.xadl import parse_xadl, to_xadl_xml
+
+        parsed = parse_xadl(to_xadl_xml(pims.architecture))
+        chart = parsed.behavior(LOADER)
+        assert isinstance(chart, Statechart)
+        publish = next(
+            action
+            for transition in chart.transitions
+            for action in transition.actions
+            if action.message == CURRENT_SHARE_PRICES
+        )
+        assert publish.message_kind == "notification"
+
+
+class TestDynamicShareFlow:
+    def test_full_flow_passes_on_fast_network(self, pims):
+        verdict = evaluator_for(pims).evaluate(
+            pims.scenarios.get(GET_SHARE_PRICES), pims.scenarios
+        )
+        assert verdict.passed, verdict.render()
+
+    def test_messages_reach_all_stations(self, pims):
+        verdict = evaluator_for(pims).evaluate(
+            pims.scenarios.get(GET_SHARE_PRICES), pims.scenarios
+        )
+        trace = verdict.trace
+        assert trace.was_delivered(PRICE_QUERY, REMOTE_SHARE_DB)
+        assert trace.was_delivered(CURRENT_SHARE_PRICES, MASTER_CONTROLLER)
+        assert trace.was_delivered(STORE_RECORD, DATA_REPOSITORY)
+
+    def test_performance_requirement_fails_on_slow_network(self, pims):
+        verdict = evaluator_for(pims, latency=6.0).evaluate(
+            pims.scenarios.get(GET_SHARE_PRICES), pims.scenarios
+        )
+        assert not verdict.passed
+        assert any(
+            "performance requirement" in finding.message
+            for finding in verdict.findings
+        )
+
+    def test_deadline_is_configurable(self, pims):
+        generous = build_pims_bindings(display_deadline=1000.0)
+        verdict = evaluator_for(pims, latency=6.0, bindings=generous).evaluate(
+            pims.scenarios.get(GET_SHARE_PRICES), pims.scenarios
+        )
+        assert verdict.passed
+
+    def test_excised_architecture_fails_dynamically_at_save(self, pims):
+        """The dynamic counterpart of Fig. 4: on the fault-seeded
+        architecture the prices are downloaded and displayed but never
+        persisted."""
+        evaluator = DynamicEvaluator(
+            pims.excised_architecture(),
+            pims.bindings,
+            config=RuntimeConfig(policy=ChannelPolicy(latency=1.0)),
+        )
+        verdict = evaluator.evaluate(
+            pims.scenarios.get(GET_SHARE_PRICES), pims.scenarios
+        )
+        assert not verdict.passed
+        (finding,) = verdict.findings
+        assert finding.event_label == "4"
+        assert "never persisted" in finding.message
+        # The earlier steps still succeeded at run time.
+        assert verdict.trace.was_delivered(
+            CURRENT_SHARE_PRICES, MASTER_CONTROLLER
+        )
+
+    def test_other_scenarios_unaffected_by_bindings(self, pims):
+        """Scenarios without bound share-price events trivially pass the
+        dynamic check (their display/save expectations are guarded)."""
+        verdict = evaluator_for(pims).evaluate(
+            pims.scenarios.get("login"), pims.scenarios
+        )
+        assert verdict.passed
+
+    def test_replies_do_not_traverse_forbidden_forward_links(self, pims):
+        """Direction fidelity: the published notification reaches the
+        Master Controller by flowing back along invocation links, but no
+        request ever flows from a lower layer up into the controller."""
+        verdict = evaluator_for(pims).evaluate(
+            pims.scenarios.get(GET_SHARE_PRICES), pims.scenarios
+        )
+        upward_requests = [
+            event
+            for event in verdict.trace.deliveries_to(MASTER_CONTROLLER)
+            if event.message is not None and event.message.kind == "request"
+        ]
+        assert upward_requests == []

@@ -1,0 +1,265 @@
+"""Property-based tests (hypothesis) for core invariants."""
+
+from __future__ import annotations
+
+import string
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.adl.acme import parse_acme, to_acme
+from repro.adl.diff import diff_architectures
+from repro.adl.structure import Architecture
+from repro.adl.xadl import parse_xadl, to_xadl_xml
+from repro.core.mapping import Mapping
+from repro.scenarioml.events import (
+    Alternation,
+    Iteration,
+    Optional_,
+    SimpleEvent,
+    TypedEvent,
+)
+from repro.scenarioml.ontology import Ontology
+from repro.scenarioml.scenario import Scenario, ScenarioSet, TraceOptions
+from repro.scenarioml.xml_io import parse_scenarioml, to_scenarioml_xml
+from repro.sim.engine import Simulator
+from repro.sim.network import ChannelPolicy, NetworkChannel
+from repro.sim.node import Message, Node
+from repro.sim.trace import MessageTrace
+from repro.systems.generators import SyntheticSpec, build_synthetic
+
+# Identifier-ish names: printable, no XML-hostile control characters.
+names = st.text(
+    alphabet=string.ascii_letters + string.digits + " _.-",
+    min_size=1,
+    max_size=20,
+).map(str.strip).filter(bool)
+
+texts = st.text(
+    alphabet=string.ascii_letters + string.digits + " _.,;:'!?()-",
+    min_size=1,
+    max_size=40,
+).map(str.strip).filter(bool)
+
+
+# ----------------------------------------------------------------------
+# Ontology invariants
+# ----------------------------------------------------------------------
+
+@given(names_list=st.lists(names, min_size=1, max_size=8, unique=True))
+def test_subsumption_chain_is_acyclic_and_complete(names_list):
+    """A linear subclass chain yields exactly its suffix as ancestors."""
+    ontology = Ontology("chain")
+    previous = None
+    for name in names_list:
+        ontology.define_instance_type(name, super_name=previous)
+        previous = name
+    for index, name in enumerate(names_list):
+        ancestors = ontology.class_ancestors(name)
+        assert list(ancestors) == list(reversed(names_list[:index]))
+        assert ontology.is_subclass_of(name, names_list[0])
+    ontology.validate()
+
+
+@given(
+    event_names=st.lists(names, min_size=2, max_size=6, unique=True),
+)
+def test_descendants_inverse_of_ancestors(event_names):
+    ontology = Ontology("tree")
+    root = event_names[0]
+    ontology.define_event_type(root)
+    for name in event_names[1:]:
+        ontology.define_event_type(name, super_name=root)
+    descendants = set(ontology.event_type_descendants(root))
+    assert descendants == set(event_names[1:])
+    for name in event_names[1:]:
+        assert root in ontology.event_type_ancestors(name)
+
+
+# ----------------------------------------------------------------------
+# Scenario trace expansion invariants
+# ----------------------------------------------------------------------
+
+simple_events = texts.map(lambda t: SimpleEvent(text=t))
+
+
+def schema_events(children):
+    return st.one_of(
+        st.tuples(children, children).map(
+            lambda pair: Alternation(branches=pair)
+        ),
+        children.map(lambda c: Optional_(body=c)),
+        st.tuples(children, st.integers(0, 2), st.integers(0, 2)).map(
+            lambda triple: Iteration(
+                body=triple[0],
+                min_count=triple[1],
+                max_count=triple[1] + triple[2],
+            )
+        ),
+    )
+
+
+event_trees = st.recursive(simple_events, schema_events, max_leaves=6)
+
+
+@settings(max_examples=60, suppress_health_check=[HealthCheck.too_slow])
+@given(events=st.lists(event_trees, min_size=1, max_size=4))
+def test_trace_expansion_bounded_and_leaf_only(events):
+    ontology = Ontology("o")
+    scenarios = ScenarioSet(ontology)
+    scenarios.add(Scenario(name="s", events=tuple(events)))
+    options = TraceOptions(max_traces=64)
+    traces = scenarios.traces("s", options)
+    assert 1 <= len(traces) <= 64
+    for trace in traces:
+        for event in trace:
+            assert isinstance(event, (SimpleEvent, TypedEvent))
+
+
+@settings(max_examples=30)
+@given(
+    branch_count=st.integers(2, 5),
+    tail_count=st.integers(0, 3),
+)
+def test_alternation_trace_count_is_branch_count(branch_count, tail_count):
+    ontology = Ontology("o")
+    scenarios = ScenarioSet(ontology)
+    branches = tuple(
+        SimpleEvent(text=f"branch-{i}") for i in range(branch_count)
+    )
+    tail = tuple(SimpleEvent(text=f"tail-{i}") for i in range(tail_count))
+    scenarios.add(
+        Scenario(name="s", events=(Alternation(branches=branches), *tail))
+    )
+    traces = scenarios.traces("s")
+    assert len(traces) == branch_count
+    for trace in traces:
+        assert len(trace) == 1 + tail_count
+
+
+# ----------------------------------------------------------------------
+# Serialization roundtrips
+# ----------------------------------------------------------------------
+
+@settings(max_examples=40, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    scenario_names=st.lists(names, min_size=1, max_size=4, unique=True),
+    event_texts=st.lists(texts, min_size=1, max_size=4),
+)
+def test_scenarioml_roundtrip_preserves_events(scenario_names, event_texts):
+    ontology = Ontology("o")
+    ontology.define_event_type("e", "does [x]", parameters=["x"])
+    scenarios = ScenarioSet(ontology)
+    for name in scenario_names:
+        scenarios.add(
+            Scenario(
+                name=name,
+                events=tuple(
+                    SimpleEvent(text=text) for text in event_texts
+                )
+                + (TypedEvent(type_name="e", arguments={"x": name}),),
+            )
+        )
+    parsed = parse_scenarioml(to_scenarioml_xml(scenarios))
+    assert len(parsed) == len(scenarios)
+    for name in scenario_names:
+        assert parsed.get(name).events == scenarios.get(name).events
+
+
+@settings(max_examples=40, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    component_names=st.lists(names, min_size=2, max_size=6, unique=True),
+    description=texts,
+)
+def test_adl_roundtrips_are_structure_preserving(component_names, description):
+    architecture = Architecture("generated", description=description)
+    for name in component_names:
+        architecture.add_component(name, description=description)
+    hub = architecture.add_connector("the-hub")
+    for index, name in enumerate(component_names):
+        architecture.link((name, "port"), ("the-hub", f"slot{index}"))
+    via_xadl = parse_xadl(to_xadl_xml(architecture))
+    assert diff_architectures(architecture, via_xadl).is_empty
+    via_acme = parse_acme(to_acme(architecture))
+    assert diff_architectures(architecture, via_acme).is_empty
+
+
+# ----------------------------------------------------------------------
+# Mapping complexity invariant
+# ----------------------------------------------------------------------
+
+@settings(max_examples=25, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    spec=st.builds(
+        SyntheticSpec,
+        event_types=st.integers(1, 10),
+        components=st.integers(1, 6),
+        scenarios=st.integers(1, 8),
+        events_per_scenario=st.integers(1, 8),
+        reuse=st.floats(0.0, 3.0),
+        seed=st.integers(0, 1000),
+    )
+)
+def test_ontology_mediated_links_never_exceed_direct_links(spec):
+    """The paper's complexity claim as an invariant: the ontology-mediated
+    mapping is never larger than per-occurrence direct linking, and the
+    reduction factor equals at least 1."""
+    system = build_synthetic(spec)
+    direct = system.mapping.direct_link_count(system.scenarios)
+    used = set()
+    for scenario in system.scenarios:
+        used.update(scenario.event_type_names())
+    mediated = sum(
+        len(system.mapping.components_for(name)) for name in used
+    )
+    assert mediated <= direct
+    assert system.mapping.complexity_reduction(system.scenarios) >= 1.0
+
+
+# ----------------------------------------------------------------------
+# Simulation invariants
+# ----------------------------------------------------------------------
+
+@settings(max_examples=30)
+@given(
+    delays=st.lists(
+        st.floats(0.0, 100.0, allow_nan=False), min_size=1, max_size=20
+    )
+)
+def test_simulator_processes_events_in_nondecreasing_time(delays):
+    simulator = Simulator()
+    observed: list[float] = []
+    for delay in delays:
+        simulator.schedule(delay, lambda: observed.append(simulator.now))
+    simulator.run()
+    assert observed == sorted(observed)
+    assert len(observed) == len(delays)
+
+
+@settings(max_examples=25)
+@given(
+    seed=st.integers(0, 10_000),
+    jitter=st.floats(0.0, 100.0, allow_nan=False),
+    count=st.integers(1, 15),
+)
+def test_fifo_channel_always_preserves_order(seed, jitter, count):
+    simulator = Simulator()
+    trace = MessageTrace()
+    channel = NetworkChannel(
+        simulator,
+        trace,
+        policy=ChannelPolicy(latency=1.0, jitter=jitter, fifo=True),
+        seed=seed,
+    )
+    channel.register(Node("a"))
+    channel.register(Node("b"))
+    for index in range(count):
+        channel.send(
+            Message(
+                name=f"m{index}", source="a", destination="b",
+                sequence=index + 1,
+            )
+        )
+    simulator.run()
+    assert trace.order_preserved("a", "b")
+    assert len(trace.deliveries_to("b")) == count

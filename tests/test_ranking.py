@@ -1,0 +1,155 @@
+"""Unit tests for scenario ranking."""
+
+from __future__ import annotations
+
+from repro.core.ranking import (
+    RankingWeights,
+    rank_scenarios,
+    top_scenarios,
+)
+from repro.scenarioml.events import TypedEvent
+from repro.scenarioml.scenario import (
+    QualityAttribute,
+    Scenario,
+    ScenarioKind,
+    ScenarioSet,
+)
+
+
+def typed(type_name, **arguments):
+    return TypedEvent(type_name=type_name, arguments=arguments)
+
+
+class TestRanking:
+    def test_scores_are_normalized(self, small_scenarios, chain_mapping):
+        ranked = rank_scenarios(small_scenarios, chain_mapping)
+        for score in ranked:
+            assert 0.0 <= score.score <= 1.0
+            assert 0.0 <= score.criticality <= 1.0
+            assert 0.0 <= score.breadth <= 1.0
+
+    def test_sorted_descending(self, small_scenarios, chain_mapping):
+        ranked = rank_scenarios(small_scenarios, chain_mapping)
+        scores = [score.score for score in ranked]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_quality_scenarios_outrank_functional_peers(
+        self, small_ontology, chain_mapping
+    ):
+        scenarios = ScenarioSet(small_ontology)
+        scenarios.add(
+            Scenario(name="plain", events=(typed("create", subject="w"),))
+        )
+        scenarios.add(
+            Scenario(
+                name="critical",
+                events=(typed("create", subject="w"),),
+                quality_attributes=(QualityAttribute.AVAILABILITY,),
+            )
+        )
+        ranked = rank_scenarios(scenarios, chain_mapping)
+        assert ranked[0].scenario == "critical"
+
+    def test_negative_scenarios_weighted_like_dependability(
+        self, small_ontology, chain_mapping
+    ):
+        scenarios = ScenarioSet(small_ontology)
+        scenarios.add(
+            Scenario(name="plain", events=(typed("create", subject="w"),))
+        )
+        scenarios.add(
+            Scenario(
+                name="forbidden",
+                events=(typed("create", subject="w"),),
+                kind=ScenarioKind.NEGATIVE,
+            )
+        )
+        ranked = rank_scenarios(scenarios, chain_mapping)
+        assert ranked[0].scenario == "forbidden"
+
+    def test_breadth_rewards_wide_scenarios(
+        self, small_ontology, chain_mapping
+    ):
+        scenarios = ScenarioSet(small_ontology)
+        scenarios.add(
+            Scenario(name="narrow", events=(typed("notify", who="alice"),))
+        )
+        scenarios.add(
+            Scenario(
+                name="wide",
+                events=(
+                    typed("notify", who="alice"),
+                    typed("create", subject="w"),
+                ),
+            )
+        )
+        by_name = {
+            score.scenario: score
+            for score in rank_scenarios(scenarios, chain_mapping)
+        }
+        assert by_name["wide"].breadth > by_name["narrow"].breadth
+
+    def test_criticality_tracks_articulation_components(
+        self, small_ontology, chain_mapping
+    ):
+        # 'logic' is the chain's articulation component.
+        scenarios = ScenarioSet(small_ontology)
+        scenarios.add(
+            Scenario(name="through-logic", events=(typed("create", subject="w"),))
+        )
+        scenarios.add(
+            Scenario(name="ui-only", events=(typed("notify", who="a"),))
+        )
+        by_name = {
+            score.scenario: score
+            for score in rank_scenarios(scenarios, chain_mapping)
+        }
+        assert by_name["through-logic"].criticality > by_name["ui-only"].criticality
+
+    def test_weights_change_the_order(self, small_ontology, chain_mapping):
+        scenarios = ScenarioSet(small_ontology)
+        scenarios.add(
+            Scenario(
+                name="qa-narrow",
+                events=(typed("notify", who="a"),),
+                quality_attributes=(QualityAttribute.SECURITY,),
+            )
+        )
+        scenarios.add(
+            Scenario(
+                name="functional-wide",
+                events=(
+                    typed("notify", who="a"),
+                    typed("create", subject="w"),
+                    typed("destroy", subject="w"),
+                ),
+            )
+        )
+        quality_first = rank_scenarios(
+            scenarios,
+            chain_mapping,
+            RankingWeights(criticality=0, breadth=0, quality=1, representativeness=0),
+        )
+        breadth_first = rank_scenarios(
+            scenarios,
+            chain_mapping,
+            RankingWeights(criticality=0, breadth=1, quality=0, representativeness=0),
+        )
+        assert quality_first[0].scenario == "qa-narrow"
+        assert breadth_first[0].scenario == "functional-wide"
+
+    def test_top_scenarios_helper(self, small_scenarios, chain_mapping):
+        top = top_scenarios(small_scenarios, chain_mapping, 1)
+        assert len(top) == 1
+        assert top[0] in ("make-widget", "drop-widget")
+
+    def test_score_str(self, small_scenarios, chain_mapping):
+        (first, *_rest) = rank_scenarios(small_scenarios, chain_mapping)
+        assert first.scenario in str(first)
+        assert "crit=" in str(first)
+
+    def test_crash_ranks_dependability_scenarios_first(self, crash):
+        ranked = rank_scenarios(crash.scenarios, crash.mapping)
+        top_three = [score.scenario for score in ranked[:3]]
+        assert "entity-availability" in top_three
+        assert "message-sequence" in top_three

@@ -1,0 +1,321 @@
+"""Unit tests for scenarios, scenario sets, and trace expansion."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import EpisodeCycleError, ScenarioError, UnknownDefinitionError
+from repro.scenarioml.events import (
+    Alternation,
+    Episode,
+    Iteration,
+    Optional_,
+    SimpleEvent,
+    TypedEvent,
+    parallel,
+    sequence,
+)
+from repro.scenarioml.ontology import Ontology
+from repro.scenarioml.scenario import (
+    QualityAttribute,
+    Scenario,
+    ScenarioKind,
+    ScenarioSet,
+    TraceOptions,
+)
+
+
+def simple(name: str = "s", *texts: str) -> Scenario:
+    events = tuple(SimpleEvent(text=t) for t in (texts or ("one",)))
+    return Scenario(name=name, events=events)
+
+
+class TestScenario:
+    def test_requires_name(self):
+        with pytest.raises(ScenarioError):
+            Scenario(name="", events=(SimpleEvent(text="x"),))
+
+    def test_requires_events(self):
+        with pytest.raises(ScenarioError):
+            Scenario(name="empty", events=())
+
+    def test_kind_flags(self):
+        positive = simple()
+        negative = Scenario(
+            name="n", events=(SimpleEvent(text="x"),),
+            kind=ScenarioKind.NEGATIVE,
+        )
+        assert not positive.is_negative
+        assert negative.is_negative
+
+    def test_functional_flag(self):
+        functional = simple()
+        quality = Scenario(
+            name="q",
+            events=(SimpleEvent(text="x"),),
+            quality_attributes=(QualityAttribute.AVAILABILITY,),
+        )
+        assert functional.is_functional
+        assert not quality.is_functional
+
+    def test_typed_events_traverses_nested_structure(self):
+        scenario = Scenario(
+            name="nested",
+            events=(
+                sequence(
+                    TypedEvent(type_name="a"),
+                    Alternation(
+                        branches=(
+                            TypedEvent(type_name="b"),
+                            SimpleEvent(text="c"),
+                        )
+                    ),
+                ),
+            ),
+        )
+        assert [e.type_name for e in scenario.typed_events()] == ["a", "b"]
+
+    def test_event_type_names_deduplicate_in_order(self):
+        scenario = Scenario(
+            name="dups",
+            events=(
+                TypedEvent(type_name="b"),
+                TypedEvent(type_name="a"),
+                TypedEvent(type_name="b"),
+            ),
+        )
+        assert scenario.event_type_names() == ("b", "a")
+
+    def test_episodes_found(self):
+        scenario = Scenario(
+            name="with-episode",
+            events=(Episode(scenario_name="other"),),
+        )
+        assert [e.scenario_name for e in scenario.episodes()] == ["other"]
+
+    def test_render_numbers_steps(self, small_ontology: Ontology):
+        scenario = Scenario(
+            name="r",
+            title="Rendered",
+            events=(
+                SimpleEvent(text="first"),
+                SimpleEvent(text="second", label="2.a"),
+            ),
+        )
+        text = scenario.render(small_ontology)
+        assert "Scenario: Rendered" in text
+        assert "(1) first" in text
+        assert "(2.a) second" in text
+
+    def test_render_marks_negative(self):
+        scenario = Scenario(
+            name="n", events=(SimpleEvent(text="x"),),
+            kind=ScenarioKind.NEGATIVE,
+        )
+        assert "[negative]" in scenario.render()
+
+
+class TestScenarioSet:
+    def test_add_and_get(self, small_ontology: Ontology):
+        scenarios = ScenarioSet(small_ontology)
+        scenario = scenarios.add(simple("one"))
+        assert scenarios.get("one") is scenario
+        assert "one" in scenarios
+        assert len(scenarios) == 1
+
+    def test_duplicate_names_rejected(self, small_ontology: Ontology):
+        scenarios = ScenarioSet(small_ontology)
+        scenarios.add(simple("one"))
+        with pytest.raises(ScenarioError):
+            scenarios.add(simple("one"))
+
+    def test_get_unknown_raises(self, small_ontology: Ontology):
+        scenarios = ScenarioSet(small_ontology)
+        with pytest.raises(UnknownDefinitionError):
+            scenarios.get("ghost")
+
+    def test_extend(self, small_ontology: Ontology):
+        scenarios = ScenarioSet(small_ontology)
+        scenarios.extend([simple("a"), simple("b")])
+        assert [s.name for s in scenarios] == ["a", "b"]
+
+    def test_quality_filters(self, small_ontology: Ontology):
+        scenarios = ScenarioSet(small_ontology)
+        scenarios.add(simple("f"))
+        scenarios.add(
+            Scenario(
+                name="q",
+                events=(SimpleEvent(text="x"),),
+                quality_attributes=(QualityAttribute.RELIABILITY,),
+            )
+        )
+        assert [s.name for s in scenarios.functional_scenarios()] == ["f"]
+        assert [s.name for s in scenarios.quality_scenarios()] == ["q"]
+        assert scenarios.quality_scenarios(QualityAttribute.RELIABILITY)
+        assert not scenarios.quality_scenarios(QualityAttribute.SECURITY)
+
+    def test_event_type_names_across_set(self, small_scenarios: ScenarioSet):
+        assert small_scenarios.event_type_names() == (
+            "create",
+            "notify",
+            "destroy",
+        )
+
+
+class TestTraceExpansion:
+    def make_set(self, ontology: Ontology, *scenarios: Scenario) -> ScenarioSet:
+        scenario_set = ScenarioSet(ontology)
+        scenario_set.extend(scenarios)
+        return scenario_set
+
+    def test_flat_scenario_has_one_trace(self, small_ontology: Ontology):
+        scenario_set = self.make_set(
+            small_ontology, simple("flat", "a", "b", "c")
+        )
+        traces = scenario_set.traces("flat")
+        assert len(traces) == 1
+        assert [e.render() for e in traces[0]] == ["a", "b", "c"]
+
+    def test_alternation_multiplies_traces(self, small_ontology: Ontology):
+        scenario = Scenario(
+            name="alt",
+            events=(
+                Alternation(
+                    branches=(SimpleEvent(text="a"), SimpleEvent(text="b"))
+                ),
+                SimpleEvent(text="tail"),
+            ),
+        )
+        traces = self.make_set(small_ontology, scenario).traces("alt")
+        rendered = {tuple(e.render() for e in t) for t in traces}
+        assert rendered == {("a", "tail"), ("b", "tail")}
+
+    def test_optional_yields_present_and_absent(
+        self, small_ontology: Ontology
+    ):
+        scenario = Scenario(
+            name="opt",
+            events=(Optional_(body=SimpleEvent(text="x")),),
+        )
+        traces = self.make_set(small_ontology, scenario).traces("opt")
+        rendered = {tuple(e.render() for e in t) for t in traces}
+        assert rendered == {(), ("x",)}
+
+    def test_bounded_iteration_unrolls_within_bounds(
+        self, small_ontology: Ontology
+    ):
+        scenario = Scenario(
+            name="it",
+            events=(
+                Iteration(body=SimpleEvent(text="x"), min_count=1, max_count=3),
+            ),
+        )
+        traces = self.make_set(small_ontology, scenario).traces("it")
+        lengths = sorted(len(t) for t in traces)
+        assert lengths == [1, 2, 3]
+
+    def test_unbounded_iteration_uses_extra_budget(
+        self, small_ontology: Ontology
+    ):
+        scenario = Scenario(
+            name="it",
+            events=(Iteration(body=SimpleEvent(text="x"), min_count=2),),
+        )
+        traces = self.make_set(small_ontology, scenario).traces(
+            "it", TraceOptions(iteration_extra=2)
+        )
+        lengths = sorted(len(t) for t in traces)
+        assert lengths == [2, 3, 4]
+
+    def test_zero_min_iteration_includes_empty_trace(
+        self, small_ontology: Ontology
+    ):
+        scenario = Scenario(
+            name="it0",
+            events=(
+                Iteration(body=SimpleEvent(text="x"), min_count=0, max_count=1),
+            ),
+        )
+        traces = self.make_set(small_ontology, scenario).traces("it0")
+        assert {len(t) for t in traces} == {0, 1}
+
+    def test_parallel_interleavings(self, small_ontology: Ontology):
+        scenario = Scenario(
+            name="par",
+            events=(parallel(SimpleEvent(text="a"), SimpleEvent(text="b")),),
+        )
+        traces = self.make_set(small_ontology, scenario).traces("par")
+        rendered = {tuple(e.render() for e in t) for t in traces}
+        assert rendered == {("a", "b"), ("b", "a")}
+
+    def test_parallel_permutation_bound(self, small_ontology: Ontology):
+        scenario = Scenario(
+            name="par3",
+            events=(
+                parallel(
+                    SimpleEvent(text="a"),
+                    SimpleEvent(text="b"),
+                    SimpleEvent(text="c"),
+                ),
+            ),
+        )
+        traces = self.make_set(small_ontology, scenario).traces(
+            "par3", TraceOptions(max_parallel_permutations=2)
+        )
+        assert len(traces) == 2
+
+    def test_episode_inlines_reused_scenario(self, small_ontology: Ontology):
+        inner = simple("inner", "i1", "i2")
+        outer = Scenario(
+            name="outer",
+            events=(
+                SimpleEvent(text="before"),
+                Episode(scenario_name="inner"),
+                SimpleEvent(text="after"),
+            ),
+        )
+        scenario_set = self.make_set(small_ontology, inner, outer)
+        (trace,) = scenario_set.traces("outer")
+        assert [e.render() for e in trace] == ["before", "i1", "i2", "after"]
+
+    def test_episode_cycle_detected(self, small_ontology: Ontology):
+        first = Scenario(name="a", events=(Episode(scenario_name="b"),))
+        second = Scenario(name="b", events=(Episode(scenario_name="a"),))
+        scenario_set = self.make_set(small_ontology, first, second)
+        with pytest.raises(EpisodeCycleError):
+            scenario_set.traces("a")
+
+    def test_self_episode_cycle_detected(self, small_ontology: Ontology):
+        loop = Scenario(name="loop", events=(Episode(scenario_name="loop"),))
+        scenario_set = self.make_set(small_ontology, loop)
+        with pytest.raises(EpisodeCycleError):
+            scenario_set.traces("loop")
+
+    def test_max_traces_cap_respected(self, small_ontology: Ontology):
+        branches = tuple(SimpleEvent(text=f"b{i}") for i in range(4))
+        scenario = Scenario(
+            name="explode",
+            events=(
+                Alternation(branches=branches),
+                Alternation(branches=branches),
+                Alternation(branches=branches),
+            ),
+        )
+        traces = self.make_set(small_ontology, scenario).traces(
+            "explode", TraceOptions(max_traces=10)
+        )
+        assert len(traces) == 10
+
+    def test_resolve_episodes_transitively(self, small_ontology: Ontology):
+        leafy = simple("leafy")
+        middle = Scenario(name="middle", events=(Episode(scenario_name="leafy"),))
+        top = Scenario(name="top", events=(Episode(scenario_name="middle"),))
+        scenario_set = self.make_set(small_ontology, leafy, middle, top)
+        assert set(scenario_set.resolve_episodes("top")) == {"middle", "leafy"}
+
+    def test_resolve_episodes_detects_cycles(self, small_ontology: Ontology):
+        first = Scenario(name="a", events=(Episode(scenario_name="b"),))
+        second = Scenario(name="b", events=(Episode(scenario_name="a"),))
+        scenario_set = self.make_set(small_ontology, first, second)
+        with pytest.raises(EpisodeCycleError):
+            scenario_set.resolve_episodes("a")

@@ -1,0 +1,131 @@
+"""Unit tests for scenario/ontology queries."""
+
+from __future__ import annotations
+
+from repro.scenarioml.events import TypedEvent
+from repro.scenarioml.ontology import Ontology
+from repro.scenarioml.query import (
+    actors_in_use,
+    entities_referenced,
+    event_type_usage,
+    events_of_type,
+    reuse_factor,
+    unused_event_types,
+)
+from repro.scenarioml.scenario import Scenario, ScenarioSet
+
+
+class TestUsage:
+    def test_counts_occurrences_across_scenarios(self, small_scenarios):
+        usage = event_type_usage(small_scenarios.scenarios)
+        assert usage["create"] == 1
+        assert usage["destroy"] == 1
+        assert usage["notify"] == 1
+
+    def test_counts_repeats_within_one_scenario(self, small_ontology):
+        scenario = Scenario(
+            name="rep",
+            events=(
+                TypedEvent(type_name="create", arguments={"subject": "a"}),
+                TypedEvent(type_name="create", arguments={"subject": "b"}),
+            ),
+        )
+        usage = event_type_usage([scenario])
+        assert usage["create"] == 2
+
+    def test_empty_scenarios_have_empty_usage(self):
+        assert event_type_usage([]) == {}
+
+
+class TestEventsOfType:
+    def test_exact_match(self, small_scenarios):
+        matches = events_of_type(small_scenarios.scenarios, "create")
+        assert len(matches) == 1
+        scenario, event = matches[0]
+        assert scenario.name == "make-widget"
+        assert event.type_name == "create"
+
+    def test_subtype_matching(self, small_ontology, small_scenarios):
+        matches = events_of_type(
+            small_scenarios.scenarios,
+            "act",
+            ontology=small_ontology,
+            include_subtypes=True,
+        )
+        found = {event.type_name for _scenario, event in matches}
+        assert found == {"create", "destroy"}
+
+    def test_without_subtypes_abstract_type_matches_nothing(
+        self, small_scenarios
+    ):
+        assert events_of_type(small_scenarios.scenarios, "act") == ()
+
+
+class TestEntitiesAndActors:
+    def test_entities_referenced(self, small_ontology, small_scenarios):
+        scenario = small_scenarios.get("make-widget")
+        assert entities_referenced(scenario, small_ontology) == ("alice",)
+
+    def test_entities_deduplicated(self, small_ontology):
+        scenario = Scenario(
+            name="double",
+            events=(
+                TypedEvent(type_name="notify", arguments={"who": "alice"}),
+                TypedEvent(type_name="notify", arguments={"who": "alice"}),
+            ),
+        )
+        assert entities_referenced(scenario, small_ontology) == ("alice",)
+
+    def test_actors_in_use(self, small_scenarios):
+        assert actors_in_use(small_scenarios) == ("System",)
+
+
+class TestReuse:
+    def test_reuse_factor_no_events(self):
+        assert reuse_factor([]) == 0.0
+
+    def test_reuse_factor_one_each(self, small_scenarios):
+        assert reuse_factor(small_scenarios.scenarios) == 1.0
+
+    def test_reuse_factor_counts_repetition(self, small_ontology):
+        scenario = Scenario(
+            name="r",
+            events=tuple(
+                TypedEvent(type_name="create", arguments={"subject": str(i)})
+                for i in range(4)
+            ),
+        )
+        assert reuse_factor([scenario]) == 4.0
+
+    def test_pims_reuses_event_types(self, pims):
+        assert reuse_factor(pims.scenarios.scenarios) > 2.0
+
+
+class TestUnusedEventTypes:
+    def test_all_concrete_types_used(self, small_scenarios):
+        assert unused_event_types(small_scenarios) == ()
+
+    def test_unused_type_reported(self, small_ontology):
+        small_ontology.define_event_type("lonely")
+        scenarios = ScenarioSet(small_ontology)
+        scenarios.add(
+            Scenario(
+                name="s",
+                events=(
+                    TypedEvent(type_name="create", arguments={"subject": "x"}),
+                ),
+            )
+        )
+        assert "lonely" in unused_event_types(scenarios)
+
+    def test_abstract_types_not_reported(self, small_ontology):
+        scenarios = ScenarioSet(small_ontology)
+        scenarios.add(
+            Scenario(
+                name="s",
+                events=(
+                    TypedEvent(type_name="create", arguments={"subject": "x"}),
+                ),
+            )
+        )
+        assert "act" not in unused_event_types(scenarios)

@@ -1,0 +1,233 @@
+"""Unit tests for ScenarioML XML serialization and parsing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SerializationError
+from repro.scenarioml.events import (
+    Alternation,
+    CompoundEvent,
+    Episode,
+    Iteration,
+    Optional_,
+    SimpleEvent,
+    TypedEvent,
+)
+from repro.scenarioml.ontology import Ontology, Parameter
+from repro.scenarioml.scenario import (
+    QualityAttribute,
+    Scenario,
+    ScenarioKind,
+    ScenarioSet,
+)
+from repro.scenarioml.xml_io import parse_scenarioml, to_scenarioml_xml
+
+
+def roundtrip(scenario_set: ScenarioSet) -> ScenarioSet:
+    return parse_scenarioml(to_scenarioml_xml(scenario_set))
+
+
+class TestRoundtrip:
+    def test_small_set(self, small_scenarios: ScenarioSet):
+        parsed = roundtrip(small_scenarios)
+        assert len(parsed) == len(small_scenarios)
+        for original in small_scenarios:
+            assert parsed.get(original.name).events == original.events
+
+    def test_ontology_definitions_preserved(
+        self, small_scenarios: ScenarioSet
+    ):
+        parsed = roundtrip(small_scenarios)
+        ontology = parsed.ontology
+        assert ontology.term("widget").definition
+        assert ontology.instance_type("Human").super_name == "Actor"
+        assert ontology.instance("alice").type_name == "Human"
+        create = ontology.event_type("create")
+        assert create.super_name == "act"
+        assert create.actor == "System"
+        assert create.parameters == (Parameter("subject"),)
+        assert ontology.event_type("act").abstract
+
+    def test_typed_parameter_preserved(self, small_scenarios: ScenarioSet):
+        parsed = roundtrip(small_scenarios)
+        (parameter,) = parsed.ontology.event_type("notify").parameters
+        assert parameter.type_name == "Actor"
+
+    def test_scenario_metadata_preserved(self, small_ontology: Ontology):
+        scenario_set = ScenarioSet(small_ontology, name="meta")
+        scenario_set.add(
+            Scenario(
+                name="rich",
+                title="A rich scenario",
+                description="Why this matters.",
+                kind=ScenarioKind.NEGATIVE,
+                quality_attributes=(
+                    QualityAttribute.AVAILABILITY,
+                    QualityAttribute.SECURITY,
+                ),
+                actors=("alice", "backend"),
+                alternative_of="main",
+                events=(SimpleEvent(text="x", actor="alice", label="1"),),
+            )
+        )
+        scenario_set.add(
+            Scenario(name="main", events=(SimpleEvent(text="y"),))
+        )
+        parsed = roundtrip(scenario_set)
+        rich = parsed.get("rich")
+        assert rich.title == "A rich scenario"
+        assert rich.description == "Why this matters."
+        assert rich.kind is ScenarioKind.NEGATIVE
+        assert rich.quality_attributes == (
+            QualityAttribute.AVAILABILITY,
+            QualityAttribute.SECURITY,
+        )
+        assert rich.actors == ("alice", "backend")
+        assert rich.alternative_of == "main"
+        assert parsed.name == "meta"
+
+    def test_all_event_structures(self, small_ontology: Ontology):
+        scenario_set = ScenarioSet(small_ontology)
+        scenario_set.add(
+            Scenario(name="target", events=(SimpleEvent(text="t"),))
+        )
+        scenario_set.add(
+            Scenario(
+                name="structures",
+                events=(
+                    TypedEvent(
+                        type_name="create",
+                        arguments={"subject": "thing"},
+                        label="1",
+                    ),
+                    CompoundEvent(
+                        subevents=(
+                            SimpleEvent(text="a"),
+                            SimpleEvent(text="b"),
+                        ),
+                        pattern="parallel",
+                        label="2",
+                    ),
+                    Alternation(
+                        branches=(
+                            SimpleEvent(text="c"),
+                            SimpleEvent(text="d"),
+                        ),
+                        label="3",
+                    ),
+                    Iteration(
+                        body=SimpleEvent(text="e"),
+                        min_count=0,
+                        max_count=2,
+                        label="4",
+                    ),
+                    Optional_(body=SimpleEvent(text="f"), label="5"),
+                    Episode(scenario_name="target", label="6"),
+                ),
+            )
+        )
+        parsed = roundtrip(scenario_set)
+        assert parsed.get("structures").events == scenario_set.get(
+            "structures"
+        ).events
+
+    def test_iteration_without_max(self, small_ontology: Ontology):
+        scenario_set = ScenarioSet(small_ontology)
+        scenario_set.add(
+            Scenario(
+                name="it",
+                events=(Iteration(body=SimpleEvent(text="x"), min_count=2),),
+            )
+        )
+        parsed = roundtrip(scenario_set)
+        (event,) = parsed.get("it").events
+        assert isinstance(event, Iteration)
+        assert event.min_count == 2
+        assert event.max_count is None
+
+    def test_multi_child_schema_bodies_wrap_in_sequence(
+        self, small_ontology: Ontology
+    ):
+        document = """
+        <scenarioml name="w">
+          <ontology name="o"/>
+          <scenario name="s">
+            <iteration min="1">
+              <event>a</event>
+              <event>b</event>
+            </iteration>
+          </scenario>
+        </scenarioml>
+        """
+        parsed = parse_scenarioml(document)
+        (iteration,) = parsed.get("s").events
+        assert isinstance(iteration, Iteration)
+        assert isinstance(iteration.body, CompoundEvent)
+        assert len(iteration.body.subevents) == 2
+
+    def test_pims_roundtrip(self, pims):
+        parsed = roundtrip(pims.scenarios)
+        assert len(parsed) == len(pims.scenarios)
+        for scenario in pims.scenarios:
+            assert parsed.get(scenario.name).events == scenario.events
+
+    def test_crash_roundtrip(self, crash):
+        parsed = roundtrip(crash.scenarios)
+        for scenario in crash.scenarios:
+            reparsed = parsed.get(scenario.name)
+            assert reparsed.events == scenario.events
+            assert reparsed.quality_attributes == scenario.quality_attributes
+
+
+class TestParsingErrors:
+    def test_malformed_xml(self):
+        with pytest.raises(SerializationError):
+            parse_scenarioml("<scenarioml><broken")
+
+    def test_wrong_root(self):
+        with pytest.raises(SerializationError):
+            parse_scenarioml("<wrong/>")
+
+    def test_missing_ontology(self):
+        with pytest.raises(SerializationError):
+            parse_scenarioml("<scenarioml name='x'/>")
+
+    def test_unknown_ontology_child(self):
+        with pytest.raises(SerializationError):
+            parse_scenarioml(
+                "<scenarioml><ontology name='o'><bogus/></ontology></scenarioml>"
+            )
+
+    def test_unknown_event_element(self):
+        document = (
+            "<scenarioml><ontology name='o'/>"
+            "<scenario name='s'><bogus/></scenario></scenarioml>"
+        )
+        with pytest.raises(SerializationError):
+            parse_scenarioml(document)
+
+    def test_missing_required_attribute(self):
+        document = (
+            "<scenarioml><ontology name='o'><term>def</term></ontology>"
+            "</scenarioml>"
+        )
+        with pytest.raises(SerializationError):
+            parse_scenarioml(document)
+
+    def test_unknown_quality_attribute(self):
+        document = (
+            "<scenarioml><ontology name='o'/>"
+            "<scenario name='s' qualities='sparkle'>"
+            "<event>x</event></scenario></scenarioml>"
+        )
+        with pytest.raises(SerializationError):
+            parse_scenarioml(document)
+
+    def test_empty_iteration_body_rejected(self):
+        document = (
+            "<scenarioml><ontology name='o'/>"
+            "<scenario name='s'><iteration min='1'/></scenario></scenarioml>"
+        )
+        with pytest.raises(SerializationError):
+            parse_scenarioml(document)

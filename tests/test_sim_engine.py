@@ -1,0 +1,157 @@
+"""Unit tests for the discrete-event simulation engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Simulator
+
+
+class TestScheduling:
+    def test_starts_at_time_zero(self):
+        assert Simulator().now == 0.0
+
+    def test_negative_delay_rejected(self):
+        simulator = Simulator()
+        with pytest.raises(SimulationError):
+            simulator.schedule(-1.0, lambda: None)
+
+    def test_callbacks_run_in_time_order(self):
+        simulator = Simulator()
+        order: list[str] = []
+        simulator.schedule(2.0, lambda: order.append("late"))
+        simulator.schedule(1.0, lambda: order.append("early"))
+        simulator.run()
+        assert order == ["early", "late"]
+
+    def test_ties_broken_by_scheduling_order(self):
+        simulator = Simulator()
+        order: list[int] = []
+        for index in range(5):
+            simulator.schedule(1.0, lambda i=index: order.append(i))
+        simulator.run()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_time_advances_to_callback_time(self):
+        simulator = Simulator()
+        seen: list[float] = []
+        simulator.schedule(3.5, lambda: seen.append(simulator.now))
+        simulator.run()
+        assert seen == [3.5]
+        assert simulator.now == 3.5
+
+    def test_schedule_at_absolute_time(self):
+        simulator = Simulator()
+        simulator.schedule(1.0, lambda: None)
+        simulator.run()
+        seen: list[float] = []
+        simulator.schedule_at(5.0, lambda: seen.append(simulator.now))
+        simulator.run()
+        assert seen == [5.0]
+
+    def test_callbacks_can_schedule_more(self):
+        simulator = Simulator()
+        order: list[str] = []
+
+        def first() -> None:
+            order.append("first")
+            simulator.schedule(1.0, lambda: order.append("second"))
+
+        simulator.schedule(1.0, first)
+        simulator.run()
+        assert order == ["first", "second"]
+        assert simulator.now == 2.0
+
+    def test_zero_delay_runs_after_current_instant_batch(self):
+        simulator = Simulator()
+        order: list[str] = []
+
+        def first() -> None:
+            order.append("a")
+            simulator.schedule(0.0, lambda: order.append("c"))
+
+        simulator.schedule(1.0, first)
+        simulator.schedule(1.0, lambda: order.append("b"))
+        simulator.run()
+        assert order == ["a", "b", "c"]
+
+
+class TestRun:
+    def test_run_until_stops_early(self):
+        simulator = Simulator()
+        fired: list[float] = []
+        simulator.schedule(1.0, lambda: fired.append(1.0))
+        simulator.schedule(10.0, lambda: fired.append(10.0))
+        simulator.run(until=5.0)
+        assert fired == [1.0]
+        assert simulator.now == 5.0
+        assert simulator.pending_events == 1
+
+    def test_run_resumes_after_until(self):
+        simulator = Simulator()
+        fired: list[float] = []
+        simulator.schedule(10.0, lambda: fired.append(10.0))
+        simulator.run(until=5.0)
+        simulator.run()
+        assert fired == [10.0]
+
+    def test_max_events_guard(self):
+        simulator = Simulator()
+
+        def forever() -> None:
+            simulator.schedule(1.0, forever)
+
+        simulator.schedule(1.0, forever)
+        with pytest.raises(SimulationError):
+            simulator.run(max_events=100)
+
+    def test_processed_counter(self):
+        simulator = Simulator()
+        for _ in range(3):
+            simulator.schedule(1.0, lambda: None)
+        simulator.run()
+        assert simulator.processed_events == 3
+
+    def test_step_processes_one(self):
+        simulator = Simulator()
+        order: list[int] = []
+        simulator.schedule(1.0, lambda: order.append(1))
+        simulator.schedule(2.0, lambda: order.append(2))
+        assert simulator.step()
+        assert order == [1]
+        assert simulator.step()
+        assert not simulator.step()
+
+    def test_reentrant_run_rejected(self):
+        simulator = Simulator()
+
+        def nested() -> None:
+            simulator.run()
+
+        simulator.schedule(1.0, nested)
+        with pytest.raises(SimulationError):
+            simulator.run()
+
+
+class TestCancellation:
+    def test_cancelled_callback_does_not_run(self):
+        simulator = Simulator()
+        fired: list[str] = []
+        handle = simulator.schedule(1.0, lambda: fired.append("x"))
+        handle.cancel()
+        simulator.run()
+        assert fired == []
+        assert handle.cancelled
+
+    def test_cancelled_events_not_counted_pending(self):
+        simulator = Simulator()
+        handle = simulator.schedule(1.0, lambda: None)
+        assert simulator.pending_events == 1
+        handle.cancel()
+        assert simulator.pending_events == 0
+
+    def test_handle_reports_time(self):
+        simulator = Simulator()
+        handle = simulator.schedule(4.0, lambda: None)
+        assert handle.time == 4.0

@@ -1,0 +1,300 @@
+"""Unit tests for simulated channels, nodes, failures, and traces."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Simulator
+from repro.sim.failures import FailureInjector
+from repro.sim.network import FAILURE_MESSAGE, ChannelPolicy, NetworkChannel
+from repro.sim.node import Message, Node
+from repro.sim.trace import MessageTrace, TraceEventKind
+
+
+def make_channel(policy: ChannelPolicy | None = None, seed: int = 0):
+    simulator = Simulator()
+    trace = MessageTrace()
+    channel = NetworkChannel(simulator, trace, policy=policy, seed=seed)
+    return simulator, trace, channel
+
+
+class TestPolicy:
+    def test_rejects_negative_latency(self):
+        with pytest.raises(SimulationError):
+            ChannelPolicy(latency=-1)
+
+    def test_rejects_negative_jitter(self):
+        with pytest.raises(SimulationError):
+            ChannelPolicy(jitter=-0.1)
+
+    def test_rejects_bad_drop_rate(self):
+        with pytest.raises(SimulationError):
+            ChannelPolicy(drop_rate=1.5)
+
+    def test_rejects_negative_detection_delay(self):
+        with pytest.raises(SimulationError):
+            ChannelPolicy(detection_delay=-1)
+
+
+class TestNode:
+    def test_requires_name(self):
+        with pytest.raises(SimulationError):
+            Node("")
+
+    def test_message_requires_name(self):
+        with pytest.raises(SimulationError):
+            Message(name="", source="a")
+
+    def test_dead_node_rejects_delivery(self):
+        node = Node("n")
+        node.shut_down()
+        assert not node.deliver(Message(name="m", source="x"))
+        node.restore()
+        assert node.deliver(Message(name="m", source="x"))
+
+    def test_handler_invoked_on_delivery(self):
+        seen = []
+        node = Node("n", handler=lambda n, m: seen.append(m.name))
+        node.deliver(Message(name="hello", source="x"))
+        assert seen == ["hello"]
+        assert node.delivered_names() == ("hello",)
+
+    def test_sequence_numbers_increase(self):
+        node = Node("n")
+        assert node.next_sequence() < node.next_sequence()
+
+    def test_forwarded_keeps_message_id(self):
+        message = Message(name="m", source="a", destination="b")
+        hop = message.forwarded(source="relay")
+        assert hop.message_id == message.message_id
+        assert hop.source == "relay"
+
+
+class TestChannel:
+    def test_register_rejects_duplicates(self):
+        _, _, channel = make_channel()
+        channel.register(Node("n"))
+        with pytest.raises(SimulationError):
+            channel.register(Node("n"))
+
+    def test_unknown_node_lookup(self):
+        _, _, channel = make_channel()
+        with pytest.raises(SimulationError):
+            channel.node("ghost")
+
+    def test_send_requires_receiver(self):
+        _, _, channel = make_channel()
+        channel.register(Node("a"))
+        with pytest.raises(SimulationError):
+            channel.send(Message(name="m", source="a"))
+
+    def test_delivery_after_latency(self):
+        simulator, trace, channel = make_channel(ChannelPolicy(latency=2.0))
+        channel.register(Node("a"))
+        channel.register(Node("b"))
+        channel.send(Message(name="m", source="a", destination="b"))
+        simulator.run()
+        (delivery,) = trace.deliveries_to("b")
+        assert delivery.time == 2.0
+        assert channel.node("b").delivered_names() == ("m",)
+
+    def test_fifo_preserves_order_despite_jitter(self):
+        simulator, trace, channel = make_channel(
+            ChannelPolicy(latency=1.0, jitter=50.0, fifo=True), seed=1
+        )
+        channel.register(Node("a"))
+        channel.register(Node("b"))
+        for index in range(10):
+            channel.send(
+                Message(
+                    name=f"m{index}", source="a", destination="b",
+                    sequence=index + 1,
+                )
+            )
+        simulator.run()
+        assert trace.delivery_order("b") == tuple(f"m{i}" for i in range(10))
+        assert trace.order_preserved("a", "b")
+
+    def test_reordering_channel_can_break_order(self):
+        for seed in range(30):
+            simulator, trace, channel = make_channel(
+                ChannelPolicy(latency=1.0, jitter=50.0, fifo=False), seed=seed
+            )
+            channel.register(Node("a"))
+            channel.register(Node("b"))
+            for index in range(10):
+                channel.send(
+                    Message(
+                        name=f"m{index}", source="a", destination="b",
+                        sequence=index + 1,
+                    )
+                )
+            simulator.run()
+            if not trace.order_preserved("a", "b"):
+                return
+        pytest.fail("no seed produced a reordering with 50x jitter")
+
+    def test_lossy_channel_drops(self):
+        simulator, trace, channel = make_channel(
+            ChannelPolicy(latency=1.0, drop_rate=1.0)
+        )
+        channel.register(Node("a"))
+        channel.register(Node("b"))
+        channel.send(Message(name="m", source="a", destination="b"))
+        simulator.run()
+        assert not trace.deliveries_to("b")
+        assert len(trace.dropped_messages()) == 1
+
+    def test_dead_destination_rejected_silently_without_detection(self):
+        simulator, trace, channel = make_channel(ChannelPolicy(latency=1.0))
+        channel.register(Node("a"))
+        channel.register(Node("b"))
+        channel.mark_down("b")
+        channel.send(Message(name="m", source="a", destination="b"))
+        simulator.run()
+        assert trace.filter(kind=TraceEventKind.REJECT)
+        assert not trace.failure_notices_to("a")
+
+    def test_failure_detection_notifies_sender(self):
+        simulator, trace, channel = make_channel(
+            ChannelPolicy(latency=1.0, failure_detection=True, detection_delay=2.0)
+        )
+        channel.register(Node("a"))
+        channel.register(Node("b"))
+        channel.mark_down("b")
+        channel.send(Message(name="m", source="a", destination="b"))
+        simulator.run()
+        (notice,) = trace.failure_notices_to("a")
+        assert notice.message is not None
+        assert notice.message.name == FAILURE_MESSAGE
+        assert notice.message.payload["failed_node"] == "b"
+        assert notice.time == 3.0  # latency + detection delay
+        assert channel.node("a").delivered_names() == (FAILURE_MESSAGE,)
+
+    def test_pair_policy_overrides_default(self):
+        simulator, trace, channel = make_channel(ChannelPolicy(latency=1.0))
+        channel.register(Node("a"))
+        channel.register(Node("b"))
+        channel.set_pair_policy("a", "b", ChannelPolicy(drop_rate=1.0))
+        channel.send(Message(name="m", source="a", destination="b"))
+        simulator.run()
+        assert not trace.deliveries_to("b")
+
+    def test_send_to_explicit_hop_receiver(self):
+        simulator, trace, channel = make_channel(ChannelPolicy(latency=1.0))
+        channel.register(Node("a"))
+        channel.register(Node("relay"))
+        channel.send(
+            Message(name="m", source="a", destination="far-away"),
+            to="relay",
+        )
+        simulator.run()
+        assert channel.node("relay").delivered_names() == ("m",)
+
+
+class TestFailureInjector:
+    def make(self):
+        simulator, trace, channel = make_channel(ChannelPolicy(latency=1.0))
+        channel.register(Node("a"))
+        channel.register(Node("b"))
+        injector = FailureInjector(simulator, channel)
+        return simulator, trace, channel, injector
+
+    def test_shutdown_at_time(self):
+        simulator, trace, channel, injector = self.make()
+        injector.shutdown("b", at=5.0)
+        simulator.run()
+        assert not channel.node("b").alive
+        (down,) = trace.filter(kind=TraceEventKind.NODE_DOWN)
+        assert down.time == 5.0
+
+    def test_restore(self):
+        simulator, trace, channel, injector = self.make()
+        injector.shutdown("b", at=1.0)
+        injector.restore("b", at=2.0)
+        simulator.run()
+        assert channel.node("b").alive
+        assert trace.filter(kind=TraceEventKind.NODE_UP)
+
+    def test_unknown_node_rejected(self):
+        _, _, _, injector = self.make()
+        with pytest.raises(SimulationError):
+            injector.shutdown("ghost")
+
+    def test_partition_blocks_both_directions(self):
+        simulator, trace, channel, injector = self.make()
+        injector.partition(["a"], ["b"], at=0.0)
+        simulator.run()
+        channel.send(Message(name="m", source="a", destination="b"))
+        channel.send(Message(name="r", source="b", destination="a"))
+        simulator.run()
+        assert not trace.deliveries_to("b")
+        assert not trace.deliveries_to("a")
+
+    def test_heal_restores_traffic(self):
+        simulator, trace, channel, injector = self.make()
+        injector.partition(["a"], ["b"], at=0.0)
+        injector.heal(at=10.0)
+        simulator.run()
+        channel.send(Message(name="m", source="a", destination="b"))
+        simulator.run()
+        assert trace.deliveries_to("b")
+
+    def test_overlapping_partition_groups_rejected(self):
+        _, _, _, injector = self.make()
+        with pytest.raises(SimulationError):
+            injector.partition(["a"], ["a", "b"])
+
+
+class TestTraceQueries:
+    def test_summary_counts(self):
+        trace = MessageTrace()
+        trace.record(0.0, TraceEventKind.SEND, "a")
+        trace.record(1.0, TraceEventKind.DELIVER, "b")
+        trace.record(2.0, TraceEventKind.DELIVER, "b")
+        assert "deliver=2" in trace.summary()
+        assert "send=1" in trace.summary()
+        assert len(trace) == 3
+
+    def test_filter_by_predicate(self):
+        trace = MessageTrace()
+        trace.record(0.0, TraceEventKind.SEND, "a")
+        trace.record(5.0, TraceEventKind.SEND, "a")
+        late = trace.filter(predicate=lambda e: e.time > 1.0)
+        assert len(late) == 1
+
+    def test_was_delivered(self):
+        trace = MessageTrace()
+        message = Message(name="m", source="a", destination="b")
+        trace.record(1.0, TraceEventKind.DELIVER, "b", message)
+        assert trace.was_delivered("m")
+        assert trace.was_delivered("m", "b")
+        assert not trace.was_delivered("m", "c")
+        assert not trace.was_delivered("other")
+
+    def test_render_with_limit(self):
+        trace = MessageTrace()
+        for index in range(5):
+            trace.record(float(index), TraceEventKind.SEND, "a")
+        rendered = trace.render(limit=2)
+        assert "and 3 more" in rendered
+
+    def test_order_preserved_vacuously_true(self):
+        trace = MessageTrace()
+        assert trace.order_preserved("a", "b")
+
+    def test_order_uses_origin_payload_for_forwarded_messages(self):
+        trace = MessageTrace()
+        first = Message(
+            name="m1", source="relay", destination="b",
+            payload={"origin": "a"}, sequence=2,
+        )
+        second = Message(
+            name="m2", source="relay", destination="b",
+            payload={"origin": "a"}, sequence=1,
+        )
+        trace.record(1.0, TraceEventKind.DELIVER, "b", first)
+        trace.record(2.0, TraceEventKind.DELIVER, "b", second)
+        assert not trace.order_preserved("a", "b")
+        assert trace.delivery_order("b", sender="a") == ("m1", "m2")

@@ -1,0 +1,285 @@
+"""Unit tests for the architecture runtime (simulated execution)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adl.behavior import Action, ActionKind, Statechart
+from repro.adl.structure import Architecture, Interface
+from repro.sim.network import FAILURE_MESSAGE, ChannelPolicy
+from repro.sim.runtime import ArchitectureRuntime, RuntimeConfig
+from repro.sim.trace import TraceEventKind
+
+
+def linear_architecture() -> Architecture:
+    """A - conn - B, with B replying 'pong' to 'ping'."""
+    architecture = Architecture("linear")
+    architecture.add_component("A", interfaces=[Interface("port")])
+    architecture.add_connector("conn")
+    architecture.add_component("B", interfaces=[Interface("port")])
+    architecture.link(("A", "port"), ("conn", "a"))
+    architecture.link(("conn", "b"), ("B", "port"))
+    chart = Statechart("b-chart")
+    chart.add_state("idle", initial=True)
+    chart.add_transition(
+        "idle", "idle", "ping",
+        actions=[Action(ActionKind.REPLY, "pong")],
+    )
+    architecture.attach_behavior("B", chart)
+    return architecture
+
+
+def runtime_for(
+    architecture: Architecture, **config_kwargs
+) -> ArchitectureRuntime:
+    config_kwargs.setdefault("policy", ChannelPolicy(latency=1.0))
+    return ArchitectureRuntime(architecture, RuntimeConfig(**config_kwargs))
+
+
+class TestBasicRouting:
+    def test_addressed_message_reaches_destination(self):
+        runtime = runtime_for(linear_architecture())
+        runtime.inject("A", "ping", destination="B")
+        runtime.run()
+        assert runtime.trace.was_delivered("ping", "B")
+
+    def test_statechart_reply_returns_to_origin(self):
+        runtime = runtime_for(linear_architecture())
+        runtime.inject("A", "ping", destination="B")
+        runtime.run()
+        assert runtime.trace.was_delivered("pong", "A")
+
+    def test_unaddressed_message_floods(self):
+        architecture = Architecture("fan")
+        architecture.add_component("src", interfaces=[Interface("port")])
+        architecture.add_connector("hub")
+        architecture.link(("src", "port"), ("hub", "s"))
+        for name in ("x", "y"):
+            architecture.add_component(name, interfaces=[Interface("port")])
+            architecture.link((name, "port"), ("hub", name))
+        runtime = runtime_for(architecture)
+        runtime.inject("src", "broadcast")
+        runtime.run()
+        assert runtime.trace.was_delivered("broadcast", "x")
+        assert runtime.trace.was_delivered("broadcast", "y")
+
+    def test_component_ignores_messages_for_others(self):
+        architecture = Architecture("three")
+        architecture.add_component("src", interfaces=[Interface("port")])
+        architecture.add_connector("hub")
+        architecture.link(("src", "port"), ("hub", "s"))
+        for name in ("right", "wrong"):
+            architecture.add_component(name, interfaces=[Interface("port")])
+            architecture.link((name, "port"), ("hub", name))
+        chart = Statechart("reactor")
+        chart.add_state("idle", initial=True)
+        chart.add_transition(
+            "idle", "idle", "hail",
+            actions=[Action(ActionKind.REPLY, "answer")],
+        )
+        architecture.attach_behavior("wrong", chart)
+        runtime = runtime_for(architecture)
+        runtime.inject("src", "hail", destination="right")
+        runtime.run()
+        # "wrong" has a reaction for the trigger but is not the addressee.
+        assert not runtime.trace.was_delivered("answer", "src")
+
+    def test_connector_short_circuits_to_destination(self):
+        runtime = runtime_for(linear_architecture())
+        runtime.inject("A", "ping", destination="B")
+        runtime.run()
+        # Exactly one delivery at B; the connector did not duplicate it.
+        assert len(runtime.trace.deliveries_to("B")) == 1
+
+    def test_injection_at_future_time(self):
+        runtime = runtime_for(linear_architecture())
+        runtime.inject("A", "ping", destination="B", at=10.0)
+        runtime.run()
+        (delivery,) = runtime.trace.deliveries_to("B")
+        assert delivery.time > 10.0
+
+    def test_emission_via_specific_interface(self):
+        architecture = Architecture("split")
+        architecture.add_component(
+            "src", interfaces=[Interface("left"), Interface("right")]
+        )
+        architecture.add_component("L", interfaces=[Interface("port")])
+        architecture.add_component("R", interfaces=[Interface("port")])
+        architecture.link(("src", "left"), ("L", "port"))
+        architecture.link(("src", "right"), ("R", "port"))
+        runtime = runtime_for(architecture)
+        runtime.inject("src", "note", via="left")
+        runtime.run()
+        assert runtime.trace.was_delivered("note", "L")
+        assert not runtime.trace.was_delivered("note", "R")
+
+    def test_no_outgoing_link_recorded_as_drop(self):
+        architecture = Architecture("island")
+        architecture.add_component("alone", interfaces=[Interface("port")])
+        runtime = runtime_for(architecture)
+        runtime.inject("alone", "shout")
+        runtime.run()
+        drops = runtime.trace.filter(kind=TraceEventKind.DROP)
+        assert drops and "no outgoing link" in drops[0].detail
+
+
+class TestLoopsAndTtl:
+    def ring(self) -> Architecture:
+        architecture = Architecture("ring")
+        for name in ("n1", "n2", "n3"):
+            architecture.add_component(name, interfaces=[Interface("port")])
+        for name in ("c1", "c2", "c3"):
+            architecture.add_connector(name)
+        architecture.link(("n1", "port"), ("c1", "a"))
+        architecture.link(("c1", "b"), ("n2", "port"))
+        architecture.link(("n2", "port"), ("c2", "a"))
+        architecture.link(("c2", "b"), ("n3", "port"))
+        architecture.link(("n3", "port"), ("c3", "a"))
+        architecture.link(("c3", "b"), ("n1", "port"))
+        return architecture
+
+    def test_cyclic_topology_terminates(self):
+        runtime = runtime_for(self.ring())
+        runtime.inject("n1", "round")
+        runtime.run()
+        # Flooding with visited-tracking terminates; everyone saw it once.
+        assert runtime.trace.was_delivered("round", "n2")
+        assert runtime.trace.was_delivered("round", "n3")
+
+    def test_ttl_exhaustion_recorded(self):
+        runtime = runtime_for(self.ring(), ttl=0)
+        runtime.inject("n1", "round")
+        runtime.run()
+        drops = runtime.trace.filter(kind=TraceEventKind.DROP)
+        assert any("ttl exhausted" in event.detail for event in drops)
+
+
+class TestFailuresInRuntime:
+    def test_failure_notice_travels_back_to_origin(self):
+        runtime = runtime_for(
+            linear_architecture(),
+            policy=ChannelPolicy(latency=1.0, failure_detection=True),
+        )
+        runtime.injector.shutdown("B", at=0.0)
+        runtime.inject("A", "ping", destination="B", at=1.0)
+        runtime.run()
+        assert runtime.trace.was_delivered(FAILURE_MESSAGE, "A")
+
+    def test_no_detection_no_notice(self):
+        runtime = runtime_for(linear_architecture())
+        runtime.injector.shutdown("B", at=0.0)
+        runtime.inject("A", "ping", destination="B", at=1.0)
+        runtime.run()
+        assert not runtime.trace.was_delivered(FAILURE_MESSAGE, "A")
+
+    def test_statechart_reacts_to_failure_notice(self):
+        # Mirror the CRASH pattern: the alert leaves through a dedicated
+        # side interface toward a local display, not back into the network.
+        architecture = linear_architecture()
+        architecture.component("A").add_interface("side")
+        architecture.add_component("display", interfaces=[Interface("port")])
+        architecture.link(("A", "side"), ("display", "port"))
+        chart = Statechart("a-chart")
+        chart.add_state("idle", initial=True)
+        chart.add_transition(
+            "idle", "idle", FAILURE_MESSAGE,
+            actions=[Action(ActionKind.SEND, "alert", via="side")],
+        )
+        architecture.attach_behavior("A", chart)
+        runtime = runtime_for(
+            architecture,
+            policy=ChannelPolicy(latency=1.0, failure_detection=True),
+        )
+        runtime.injector.shutdown("B", at=0.0)
+        runtime.inject("A", "ping", destination="B", at=1.0)
+        runtime.run()
+        assert runtime.trace.was_delivered("alert", "display")
+
+
+class TestC2Routing:
+    def c2_architecture(self) -> Architecture:
+        """upper above bus above lower; request up, notification down."""
+        architecture = Architecture("c2rt", style="c2")
+        architecture.add_component("upper", interfaces=[Interface("bottom")])
+        architecture.add_connector(
+            "bus", interfaces=[Interface("top"), Interface("bottom")]
+        )
+        architecture.add_component("lower", interfaces=[Interface("top")])
+        architecture.add_component("peer", interfaces=[Interface("top")])
+        architecture.link(("bus", "top"), ("upper", "bottom"))
+        architecture.link(("lower", "top"), ("bus", "bottom"))
+        architecture.link(("peer", "top"), ("bus", "bottom"))
+        return architecture
+
+    def test_requests_travel_up_only(self):
+        runtime = runtime_for(self.c2_architecture(), c2_routing=True)
+        runtime.inject("lower", "ask", kind="request", via="top")
+        runtime.run()
+        assert runtime.trace.was_delivered("ask", "upper")
+        # The sibling below the bus must not see the request.
+        assert not runtime.trace.was_delivered("ask", "peer")
+
+    def test_notifications_travel_down_only(self):
+        runtime = runtime_for(self.c2_architecture(), c2_routing=True)
+        runtime.inject("upper", "news", kind="notification", via="bottom")
+        runtime.run()
+        assert runtime.trace.was_delivered("news", "lower")
+        assert runtime.trace.was_delivered("news", "peer")
+
+    def test_send_action_via_top_becomes_request(self):
+        architecture = self.c2_architecture()
+        chart = Statechart("lower-chart")
+        chart.add_state("idle", initial=True)
+        chart.add_transition(
+            "idle", "idle", "go",
+            actions=[Action(ActionKind.SEND, "upward", via="top")],
+        )
+        architecture.attach_behavior("lower", chart)
+        runtime = runtime_for(architecture, c2_routing=True)
+        runtime.inject("upper", "go", kind="notification", via="bottom")
+        runtime.run()
+        assert runtime.trace.was_delivered("upward", "upper")
+        assert not runtime.trace.was_delivered("upward", "peer")
+
+
+class TestGuards:
+    def test_runtime_guard_context_passed_to_statecharts(self):
+        architecture = linear_architecture()
+        chart = Statechart("guarded")
+        chart.add_state("idle", initial=True)
+        chart.add_transition(
+            "idle", "idle", "ping",
+            guard="enabled",
+            actions=[Action(ActionKind.REPLY, "pong")],
+        )
+        architecture._behaviors["B"] = chart  # replace the default chart
+        enabled = runtime_for(architecture, guards={"enabled": True})
+        enabled.inject("A", "ping", destination="B")
+        enabled.run()
+        assert enabled.trace.was_delivered("pong", "A")
+        disabled = runtime_for(architecture, guards={"enabled": False})
+        disabled.inject("A", "ping", destination="B")
+        disabled.run()
+        assert not disabled.trace.was_delivered("pong", "A")
+
+
+class TestInjectionValidation:
+    def test_unknown_source_rejected(self):
+        runtime = runtime_for(linear_architecture())
+        with pytest.raises(Exception):
+            runtime.inject("ghost", "m")
+
+    def test_unknown_destination_rejected(self):
+        runtime = runtime_for(linear_architecture())
+        with pytest.raises(Exception):
+            runtime.inject("A", "m", destination="ghost")
+
+    def test_unknown_interface_rejected(self):
+        runtime = runtime_for(linear_architecture())
+        with pytest.raises(Exception):
+            runtime.inject("A", "m", via="ghost-port")
+
+    def test_statechart_instances_exposed(self):
+        runtime = runtime_for(linear_architecture())
+        assert runtime.statechart("B") is not None
+        assert runtime.statechart("A") is None

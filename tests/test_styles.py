@@ -1,0 +1,189 @@
+"""Unit tests for architectural styles (framework, Layered, C2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adl.c2 import BOTTOM, TOP, C2Style, above_graph, upper_element
+from repro.adl.layered import LayeredStyle
+from repro.adl.structure import Architecture, Interface
+from repro.adl.styles import (
+    Style,
+    StyleViolation,
+    check_style,
+    get_style,
+    register_style,
+    registered_styles,
+)
+from repro.errors import ArchitectureError, StyleViolationError
+
+
+class TestStyleFramework:
+    def test_builtin_styles_registered(self):
+        assert "layered" in registered_styles()
+        assert "c2" in registered_styles()
+
+    def test_get_style_unknown_raises(self):
+        with pytest.raises(ArchitectureError):
+            get_style("baroque")
+
+    def test_register_conflicting_instance_rejected(self):
+        with pytest.raises(ArchitectureError):
+            register_style(LayeredStyle())
+
+    def test_architecture_without_style_conforms(self):
+        architecture = Architecture("free")
+        architecture.add_component("x")
+        assert check_style(architecture) == []
+
+    def test_violation_str(self):
+        violation = StyleViolation("s", "r", "message", ("a", "b"))
+        assert str(violation) == "s/r: message [a, b]"
+
+    def test_assert_conforms_raises_with_summary(self):
+        architecture = Architecture("bad", style="layered")
+        architecture.add_component("unlayered")
+        with pytest.raises(StyleViolationError) as excinfo:
+            get_style("layered").assert_conforms(architecture)
+        assert "layers-assigned" in str(excinfo.value)
+
+    def test_duplicate_rule_names_rejected(self):
+        class Dodgy(Style):
+            name = "dodgy"
+
+            def _register_rules(self):
+                self.rule("r", lambda a: [])
+                self.rule("r", lambda a: [])
+
+        with pytest.raises(ArchitectureError):
+            Dodgy()
+
+
+class TestLayeredStyle:
+    def test_conforming_chain(self, chain_architecture):
+        chain_architecture.style = "layered"
+        assert check_style(chain_architecture) == []
+
+    def test_missing_layer_reported(self):
+        architecture = Architecture("a", style="layered")
+        architecture.add_component("floating")
+        violations = check_style(architecture)
+        assert [v.rule for v in violations] == ["layers-assigned"]
+
+    def test_direct_link_across_two_layers_reported(self):
+        architecture = Architecture("skip", style="layered")
+        architecture.add_component("top", layer=3)
+        architecture.add_component("bottom", layer=1)
+        architecture.link(("top", "p"), ("bottom", "q"))
+        violations = check_style(architecture)
+        assert any(v.rule == "adjacent-layers-only" for v in violations)
+
+    def test_adjacent_direct_link_allowed(self):
+        architecture = Architecture("adj", style="layered")
+        architecture.add_component("top", layer=2)
+        architecture.add_component("bottom", layer=1)
+        architecture.link(("top", "p"), ("bottom", "q"))
+        assert check_style(architecture) == []
+
+    def test_same_layer_link_allowed(self):
+        architecture = Architecture("same", style="layered")
+        architecture.add_component("a", layer=2)
+        architecture.add_component("b", layer=2)
+        architecture.link(("a", "p"), ("b", "q"))
+        assert check_style(architecture) == []
+
+    def test_connector_spanning_layers_reported(self):
+        architecture = Architecture("span", style="layered")
+        architecture.add_component("top", layer=3)
+        architecture.add_component("bottom", layer=1)
+        architecture.add_connector("bridge")
+        architecture.link(("top", "p"), ("bridge", "a"))
+        architecture.link(("bridge", "b"), ("bottom", "q"))
+        violations = check_style(architecture)
+        assert any(
+            v.rule == "no-layer-skipping-connectors" for v in violations
+        )
+
+    def test_pims_architecture_conforms(self, pims):
+        assert check_style(pims.architecture) == []
+
+
+class TestC2Style:
+    def make_valid(self) -> Architecture:
+        architecture = Architecture("c2-ok", style="c2")
+        architecture.add_component("upper", interfaces=[Interface(BOTTOM)])
+        architecture.add_connector(
+            "bus", interfaces=[Interface(TOP), Interface(BOTTOM)]
+        )
+        architecture.add_component("lower", interfaces=[Interface(TOP)])
+        architecture.link(("bus", TOP), ("upper", BOTTOM))
+        architecture.link(("lower", TOP), ("bus", BOTTOM))
+        return architecture
+
+    def test_valid_architecture_conforms(self):
+        assert check_style(self.make_valid()) == []
+
+    def test_direct_component_link_reported(self):
+        architecture = self.make_valid()
+        architecture.link(("upper", TOP), ("lower", BOTTOM))
+        violations = check_style(architecture)
+        assert any(
+            v.rule == "components-attach-to-connectors" for v in violations
+        )
+
+    def test_non_top_bottom_interface_reported(self):
+        architecture = Architecture("bad-iface", style="c2")
+        architecture.add_component("a", interfaces=[Interface("side")])
+        architecture.add_connector("bus", interfaces=[Interface(TOP)])
+        architecture.link(("a", "side"), ("bus", TOP))
+        violations = check_style(architecture)
+        assert any(v.rule == "top-bottom-pairing" for v in violations)
+
+    def test_port_cardinality_reported(self):
+        architecture = self.make_valid()
+        architecture.add_connector(
+            "bus2", interfaces=[Interface(TOP), Interface(BOTTOM)]
+        )
+        architecture.link(("lower", TOP), ("bus2", BOTTOM))
+        violations = check_style(architecture)
+        assert any(
+            v.rule == "component-port-cardinality" for v in violations
+        )
+
+    def test_cycle_reported(self):
+        architecture = Architecture("cycle", style="c2")
+        architecture.add_connector(
+            "c1", interfaces=[Interface(TOP), Interface(BOTTOM)]
+        )
+        architecture.add_connector(
+            "c2", interfaces=[Interface(TOP), Interface(BOTTOM)]
+        )
+        architecture.link(("c1", TOP), ("c2", BOTTOM))
+        architecture.link(("c2", TOP), ("c1", BOTTOM))
+        violations = check_style(architecture)
+        assert any(v.rule == "acyclic-above" for v in violations)
+
+    def test_upper_element_resolution(self):
+        architecture = self.make_valid()
+        link = architecture.links_between("bus", "upper")[0]
+        assert upper_element(architecture, link) == "upper"
+
+    def test_upper_element_none_for_non_c2_link(self):
+        architecture = Architecture("plain")
+        architecture.add_component("a")
+        architecture.add_component("b")
+        link = architecture.link(("a", "x"), ("b", "y"))
+        assert upper_element(architecture, link) is None
+
+    def test_above_graph_edges(self):
+        architecture = self.make_valid()
+        graph = above_graph(architecture)
+        assert graph.has_edge("bus", "upper")
+        assert graph.has_edge("lower", "bus")
+
+    def test_crash_entity_architecture_conforms(self, crash):
+        police = crash.architecture.component(
+            "Police Department Command and Control"
+        )
+        assert police.subarchitecture is not None
+        assert check_style(police.subarchitecture) == []

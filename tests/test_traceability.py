@@ -1,0 +1,120 @@
+"""Unit tests for requirements-architecture traceability."""
+
+from __future__ import annotations
+
+from repro.adl.diff import diff_architectures
+from repro.core.traceability import TraceabilityMatrix
+
+
+class TestTraceLinks:
+    def test_links_built_from_mapping(
+        self, small_scenarios, chain_mapping
+    ):
+        matrix = TraceabilityMatrix(small_scenarios, chain_mapping)
+        assert set(matrix.components_of("make-widget")) == {
+            "logic",
+            "store",
+            "ui",
+        }
+        assert set(matrix.components_of("drop-widget")) == {"logic", "store"}
+
+    def test_scenarios_of_component(self, small_scenarios, chain_mapping):
+        matrix = TraceabilityMatrix(small_scenarios, chain_mapping)
+        assert set(matrix.scenarios_of("logic")) == {
+            "make-widget",
+            "drop-widget",
+        }
+        assert matrix.scenarios_of("ui") == ("make-widget",)
+
+    def test_links_carry_inducing_event_types(
+        self, small_scenarios, chain_mapping
+    ):
+        matrix = TraceabilityMatrix(small_scenarios, chain_mapping)
+        link = next(
+            l
+            for l in matrix.links
+            if l.scenario == "make-widget" and l.component == "ui"
+        )
+        assert link.event_types == ("notify",)
+        assert "notify" in str(link)
+
+    def test_orphan_scenarios(self, small_scenarios, chain_mapping):
+        chain_mapping.unmap_event("destroy")
+        matrix = TraceabilityMatrix(small_scenarios, chain_mapping)
+        assert matrix.orphan_scenarios() == ("drop-widget",)
+
+    def test_no_orphans_with_full_mapping(
+        self, small_scenarios, chain_mapping
+    ):
+        matrix = TraceabilityMatrix(small_scenarios, chain_mapping)
+        assert matrix.orphan_scenarios() == ()
+
+
+class TestImpactAnalysis:
+    def test_impacted_scenarios_by_names(
+        self, small_scenarios, chain_mapping
+    ):
+        matrix = TraceabilityMatrix(small_scenarios, chain_mapping)
+        assert matrix.impacted_scenarios(["ui"]) == ("make-widget",)
+        assert set(matrix.impacted_scenarios(["store"])) == {
+            "make-widget",
+            "drop-widget",
+        }
+
+    def test_impacted_scenarios_from_diff(
+        self, small_scenarios, chain_mapping, chain_architecture
+    ):
+        variant = chain_architecture.clone("variant")
+        variant.excise_links_between("ui", "ui-logic")
+        diff = diff_architectures(chain_architecture, variant)
+        matrix = TraceabilityMatrix(small_scenarios, chain_mapping)
+        assert matrix.impacted_scenarios(diff) == ("make-widget",)
+
+    def test_unrelated_change_impacts_nothing(
+        self, small_scenarios, chain_mapping, chain_architecture
+    ):
+        variant = chain_architecture.clone("variant")
+        variant.add_component("bystander")
+        diff = diff_architectures(chain_architecture, variant)
+        matrix = TraceabilityMatrix(small_scenarios, chain_mapping)
+        assert matrix.impacted_scenarios(diff) == ()
+
+    def test_impacted_components_by_scenario_name(
+        self, small_scenarios, chain_mapping
+    ):
+        matrix = TraceabilityMatrix(small_scenarios, chain_mapping)
+        assert set(matrix.impacted_components("drop-widget")) == {
+            "logic",
+            "store",
+        }
+
+    def test_impacted_components_by_scenario_object(
+        self, small_scenarios, chain_mapping
+    ):
+        matrix = TraceabilityMatrix(small_scenarios, chain_mapping)
+        scenario = small_scenarios.get("make-widget")
+        assert "ui" in matrix.impacted_components(scenario)
+
+    def test_impacted_components_by_iterable(
+        self, small_scenarios, chain_mapping
+    ):
+        matrix = TraceabilityMatrix(small_scenarios, chain_mapping)
+        impacted = matrix.impacted_components(
+            ["make-widget", "drop-widget"]
+        )
+        assert set(impacted) == {"ui", "logic", "store"}
+
+    def test_render_grid(self, small_scenarios, chain_mapping):
+        matrix = TraceabilityMatrix(small_scenarios, chain_mapping)
+        rendered = matrix.render()
+        assert "make-widget" in rendered
+        assert "X" in rendered
+
+    def test_pims_excision_impacts_only_share_price_scenarios(self, pims):
+        matrix = TraceabilityMatrix(pims.scenarios, pims.mapping)
+        diff = diff_architectures(
+            pims.architecture, pims.excised_architecture()
+        )
+        impacted = matrix.impacted_scenarios(diff)
+        assert "get-share-prices" in impacted
+        assert "create-portfolio" not in impacted

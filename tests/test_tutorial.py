@@ -1,0 +1,194 @@
+"""Keeps docs/TUTORIAL.md honest: its snippets, as one integration test."""
+
+from __future__ import annotations
+
+from repro import (
+    Architecture,
+    Direction,
+    DynamicEvaluator,
+    Interface,
+    Mapping,
+    MustRouteVia,
+    Ontology,
+    Parameter,
+    Scenario,
+    ScenarioBindings,
+    ScenarioSet,
+    Sosae,
+    Statechart,
+    TypedEvent,
+)
+from repro.adl.behavior import Action, ActionKind
+from repro.scenarioml import validate_scenario_set
+
+
+def build_tutorial_world():
+    ontology = Ontology("ride-hailing")
+    ontology.define_term("trip", "One ride from pickup to drop-off.")
+    ontology.define_instance_type("Actor")
+    ontology.define_instance_type("Person", super_name="Actor")
+    ontology.define_instance("Rider", "Person")
+    ontology.define_instance("Driver", "Person")
+    ontology.define_event_type(
+        "requestRide",
+        "The rider requests a ride to [destination]",
+        actor="Rider",
+        parameters=["destination"],
+    )
+    ontology.define_event_type(
+        "matchDriver",
+        "The system matches the request to an available driver",
+        actor="System",
+    )
+    ontology.define_event_type(
+        "notifyPerson",
+        "The system notifies [who]",
+        actor="System",
+        parameters=[Parameter("who", "Person")],
+    )
+    ontology.define_event_type(
+        "recordTrip",
+        "The system records the [trip] for billing",
+        actor="System",
+        parameters=["trip"],
+    )
+    ontology.validate()
+
+    scenarios = ScenarioSet(ontology, name="ride-hailing")
+    scenarios.add(
+        Scenario(
+            name="hail-a-ride",
+            title="Hail a ride",
+            events=(
+                TypedEvent(
+                    type_name="requestRide",
+                    arguments={"destination": "the airport"},
+                    label="1",
+                ),
+                TypedEvent(type_name="matchDriver", label="2"),
+                TypedEvent(
+                    type_name="notifyPerson",
+                    arguments={"who": "Driver"},
+                    label="3",
+                ),
+                TypedEvent(
+                    type_name="notifyPerson",
+                    arguments={"who": "Rider"},
+                    label="4",
+                ),
+                TypedEvent(
+                    type_name="recordTrip",
+                    arguments={"trip": "the trip"},
+                    label="5",
+                ),
+            ),
+        )
+    )
+
+    arch = Architecture("ride-arch")
+    arch.add_component(
+        "mobile-app",
+        responsibilities=("Interact with riders and drivers",),
+        interfaces=[Interface("calls", Direction.OUT)],
+    )
+    arch.add_component(
+        "dispatch-service",
+        responsibilities=("Match requests to drivers",),
+        interfaces=[
+            Interface("api", Direction.IN),
+            Interface("calls", Direction.OUT),
+        ],
+    )
+    arch.add_component(
+        "trip-store",
+        responsibilities=("Persist trip records",),
+        interfaces=[Interface("api", Direction.IN)],
+    )
+    arch.add_connector("mobile-link")
+    arch.add_connector("backend-link")
+    arch.link(("mobile-app", "calls"), ("mobile-link", "a"))
+    arch.link(("mobile-link", "b"), ("dispatch-service", "api"))
+    arch.link(("dispatch-service", "calls"), ("backend-link", "a"))
+    arch.link(("backend-link", "b"), ("trip-store", "api"))
+    arch.validate()
+
+    mapping = Mapping(ontology, arch)
+    mapping.update(
+        {
+            "requestRide": ["mobile-app"],
+            "matchDriver": ["dispatch-service"],
+            "notifyPerson": ["dispatch-service", "mobile-app"],
+            "recordTrip": ["dispatch-service", "trip-store"],
+        }
+    )
+    return ontology, scenarios, arch, mapping
+
+
+class TestTutorial:
+    def test_validation_is_clean(self):
+        _ontology, scenarios, _arch, _mapping = build_tutorial_world()
+        assert validate_scenario_set(scenarios) == []
+
+    def test_mapping_reuse_pays_off(self):
+        _ontology, scenarios, _arch, mapping = build_tutorial_world()
+        assert mapping.complexity_reduction(scenarios) > 1.0
+
+    def test_intact_architecture_is_consistent(self):
+        _ontology, scenarios, arch, mapping = build_tutorial_world()
+        assert Sosae(scenarios, arch, mapping).evaluate().consistent
+
+    def test_excised_store_link_is_found(self):
+        ontology, scenarios, arch, mapping = build_tutorial_world()
+        faulty = arch.clone("ride-arch-faulty")
+        faulty.excise_links_between("backend-link", "trip-store")
+        faulty_mapping = Mapping.from_dict(
+            mapping.to_dict(), ontology, faulty
+        )
+        report = Sosae(scenarios, faulty, faulty_mapping).evaluate()
+        assert not report.consistent
+        assert report.failed_scenarios == ("hail-a-ride",)
+
+    def test_routing_constraint_holds(self):
+        _ontology, scenarios, arch, mapping = build_tutorial_world()
+        report = Sosae(
+            scenarios,
+            arch,
+            mapping,
+            constraints=[
+                MustRouteVia("mobile-app", "trip-store", "dispatch-service")
+            ],
+        ).evaluate()
+        assert report.consistent
+
+    def test_dynamic_round_trip(self):
+        _ontology, scenarios, arch, _mapping = build_tutorial_world()
+        chart = Statechart("dispatch-behavior")
+        chart.add_state("ready", initial=True)
+        chart.add_transition(
+            "ready",
+            "ready",
+            "ride-request",
+            actions=[Action(ActionKind.REPLY, "driver-assigned")],
+        )
+        arch.attach_behavior("dispatch-service", chart)
+        bindings = ScenarioBindings()
+        bindings.on(
+            "requestRide",
+            lambda ctx, ev: ctx.send(
+                "mobile-app",
+                "ride-request",
+                destination_entity="dispatch-service",
+            ),
+        )
+        bindings.expect(
+            "matchDriver",
+            lambda ctx, ev: (
+                None
+                if ctx.trace.was_delivered("driver-assigned", "mobile-app")
+                else "no driver was ever assigned"
+            ),
+        )
+        verdict = DynamicEvaluator(arch, bindings).evaluate(
+            scenarios.get("hail-a-ride"), scenarios
+        )
+        assert verdict.passed

@@ -1,0 +1,172 @@
+"""Unit tests for xADL XML serialization and parsing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adl.behavior import Action, ActionKind, Statechart
+from repro.adl.diff import diff_architectures
+from repro.adl.structure import Architecture, Direction, Interface
+from repro.adl.xadl import parse_xadl, to_xadl_xml
+from repro.errors import SerializationError
+
+
+def rich_architecture() -> Architecture:
+    architecture = Architecture("rich", style="layered", description="A demo")
+    inner = Architecture("inner")
+    inner.add_component("nested", responsibilities=("Hold inner state",))
+    architecture.add_component(
+        "outer",
+        description="Hosts the nested part",
+        responsibilities=("Coordinate", "Delegate"),
+        interfaces=[
+            Interface("calls", Direction.OUT, "outgoing invocations"),
+            Interface("services", Direction.IN),
+        ],
+        layer=2,
+        subarchitecture=inner,
+    )
+    architecture.add_component(
+        "peer", interfaces=[Interface("services", Direction.IN)], layer=1
+    )
+    architecture.add_connector("wire", description="A wire")
+    architecture.link(("outer", "calls"), ("wire", "a"))
+    architecture.link(("wire", "b"), ("peer", "services"))
+    chart = Statechart("outer-behavior", description="reacts to pings")
+    chart.add_state("idle", initial=True)
+    chart.add_state("active")
+    chart.add_state("active-sub", parent="active", initial=True)
+    chart.add_transition(
+        "idle",
+        "active",
+        "ping",
+        guard="enabled",
+        actions=[
+            Action(ActionKind.SEND, "pong", via="calls", description="answer"),
+            Action(ActionKind.INTERNAL),
+        ],
+    )
+    architecture.attach_behavior("outer", chart)
+    return architecture
+
+
+class TestRoundtrip:
+    def test_structure_preserved(self):
+        original = rich_architecture()
+        parsed = parse_xadl(to_xadl_xml(original))
+        assert parsed.name == "rich"
+        assert parsed.style == "layered"
+        assert parsed.description == "A demo"
+        assert diff_architectures(original, parsed).is_empty
+
+    def test_interfaces_preserved(self):
+        parsed = parse_xadl(to_xadl_xml(rich_architecture()))
+        calls = parsed.component("outer").interface("calls")
+        assert calls.direction is Direction.OUT
+        assert calls.description == "outgoing invocations"
+
+    def test_responsibilities_and_layer_preserved(self):
+        parsed = parse_xadl(to_xadl_xml(rich_architecture()))
+        outer = parsed.component("outer")
+        assert outer.responsibilities == ("Coordinate", "Delegate")
+        assert outer.layer == 2
+
+    def test_subarchitecture_preserved(self):
+        parsed = parse_xadl(to_xadl_xml(rich_architecture()))
+        inner = parsed.component("outer").subarchitecture
+        assert inner is not None
+        assert [c.name for c in inner.components] == ["nested"]
+        assert inner.component("nested").responsibilities == (
+            "Hold inner state",
+        )
+
+    def test_statechart_preserved(self):
+        parsed = parse_xadl(to_xadl_xml(rich_architecture()))
+        chart = parsed.behavior("outer")
+        assert isinstance(chart, Statechart)
+        assert chart.name == "outer-behavior"
+        assert chart.state("active-sub").parent == "active"
+        (transition,) = chart.transitions
+        assert transition.guard == "enabled"
+        assert transition.actions[0] == Action(
+            ActionKind.SEND, "pong", via="calls", description="answer"
+        )
+        assert transition.actions[1].kind is ActionKind.INTERNAL
+
+    def test_links_preserved(self):
+        parsed = parse_xadl(to_xadl_xml(rich_architecture()))
+        assert len(parsed.links) == 2
+        assert parsed.links_between("outer", "wire")
+
+    def test_pims_roundtrip(self, pims):
+        parsed = parse_xadl(to_xadl_xml(pims.architecture))
+        assert diff_architectures(pims.architecture, parsed).is_empty
+
+    def test_crash_roundtrip(self, crash):
+        parsed = parse_xadl(to_xadl_xml(crash.architecture))
+        assert diff_architectures(crash.architecture, parsed).is_empty
+        police = parsed.component("Police Department Command and Control")
+        assert police.subarchitecture is not None
+        chart = parsed.behavior("Fire Department Command and Control")
+        assert isinstance(chart, Statechart)
+
+
+class TestParsingErrors:
+    def test_malformed_xml(self):
+        with pytest.raises(SerializationError):
+            parse_xadl("<xArch")
+
+    def test_wrong_root(self):
+        with pytest.raises(SerializationError):
+            parse_xadl("<architecture/>")
+
+    def test_missing_name(self):
+        with pytest.raises(SerializationError):
+            parse_xadl("<xArch/>")
+
+    def test_link_needs_two_points(self):
+        document = (
+            "<xArch name='x'><component id='a'/>"
+            "<link id='l'><point element='a' interface='p'/></link></xArch>"
+        )
+        with pytest.raises(SerializationError):
+            parse_xadl(document)
+
+    def test_unknown_direction(self):
+        document = (
+            "<xArch name='x'>"
+            "<component id='a'><interface id='p' direction='sideways'/>"
+            "</component></xArch>"
+        )
+        with pytest.raises(SerializationError):
+            parse_xadl(document)
+
+    def test_unknown_action_kind(self):
+        document = (
+            "<xArch name='x'><component id='a'>"
+            "<statechart><state id='s' initial='true'/>"
+            "<transition from='s' to='s' trigger='t'>"
+            "<action kind='explode' message='m'/></transition>"
+            "</statechart></component></xArch>"
+        )
+        with pytest.raises(SerializationError):
+            parse_xadl(document)
+
+    def test_unexpected_element(self):
+        with pytest.raises(SerializationError):
+            parse_xadl("<xArch name='x'><widget/></xArch>")
+
+    def test_empty_subarchitecture_rejected(self):
+        document = (
+            "<xArch name='x'><component id='a'>"
+            "<subArchitecture/></component></xArch>"
+        )
+        with pytest.raises(SerializationError):
+            parse_xadl(document)
+
+    def test_reserved_property_key_rejected_on_write(self):
+        architecture = Architecture("collides")
+        component = architecture.add_component("c")
+        component.properties["id"] = "sneaky"
+        with pytest.raises(SerializationError):
+            to_xadl_xml(architecture)
