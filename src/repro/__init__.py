@@ -71,6 +71,7 @@ from repro.scenarioml import (
 from repro.adl import (
     Architecture,
     C2Style,
+    CommunicationIndex,
     Component,
     Connector,
     Direction,
@@ -81,6 +82,7 @@ from repro.adl import (
     StatechartInstance,
     can_communicate,
     check_style,
+    communication_index,
     communication_path,
     diff_architectures,
     parse_acme,
@@ -128,6 +130,7 @@ __all__ = [
     "ArityError",
     "C2Style",
     "ChannelPolicy",
+    "CommunicationIndex",
     "Component",
     "CompoundEvent",
     "Connector",
@@ -186,6 +189,7 @@ __all__ = [
     "WalkthroughOptions",
     "can_communicate",
     "check_style",
+    "communication_index",
     "communication_path",
     "compute_coverage",
     "diff_architectures",

@@ -44,6 +44,11 @@ from repro.adl.graph import (
     is_fully_connected,
     reachable_elements,
 )
+from repro.adl.index import (
+    CommunicationIndex,
+    communication_index,
+    structural_fingerprint,
+)
 from repro.adl.styles import Style, StyleViolation, check_style, register_style
 from repro.adl.layered import LayeredStyle
 from repro.adl.c2 import C2Style, MessageKind
@@ -65,6 +70,7 @@ __all__ = [
     "Architecture",
     "ArchitectureDiff",
     "C2Style",
+    "CommunicationIndex",
     "Component",
     "ComponentType",
     "ConformanceViolation",
@@ -89,7 +95,9 @@ __all__ = [
     "mapping_to_dot",
     "check_style",
     "communication_graph",
+    "communication_index",
     "communication_path",
+    "structural_fingerprint",
     "diff_architectures",
     "directed_communication_graph",
     "is_fully_connected",

@@ -12,6 +12,15 @@ views are provided:
 
 Paths run through connectors; component-to-component queries report the
 full element path including intervening connectors.
+
+Every query function here delegates to a per-architecture
+:class:`~repro.adl.index.CommunicationIndex`, shared through a weak
+per-object cache — repeated queries against the same architecture reuse
+one graph build and memoized BFS trees instead of rebuilding from scratch.
+The index invalidates itself on structural mutation, so the public
+contract is unchanged: answers always reflect the architecture's current
+structure. Queries never mutate any graph (``avoiding`` is modeled with
+:func:`networkx.restricted_view`, not node removal).
 """
 
 from __future__ import annotations
@@ -20,8 +29,12 @@ from typing import Iterable, Optional
 
 import networkx as nx
 
+from repro.adl.index import (
+    build_communication_graph,
+    build_directed_communication_graph,
+    communication_index,
+)
 from repro.adl.structure import Architecture
-from repro.errors import ArchitectureError
 
 
 def communication_graph(architecture: Architecture) -> nx.MultiGraph:
@@ -29,45 +42,19 @@ def communication_graph(architecture: Architecture) -> nx.MultiGraph:
 
     Nodes are element names with a ``kind`` attribute (``"component"`` or
     ``"connector"``); each link contributes one edge keyed by link name.
+    Returns a fresh graph the caller owns (and may freely mutate); the
+    cached graphs used by the query functions live inside the index.
     """
-    graph = nx.MultiGraph()
-    for component in architecture.components:
-        graph.add_node(component.name, kind="component")
-    for connector in architecture.connectors:
-        graph.add_node(connector.name, kind="connector")
-    for link in architecture.links:
-        graph.add_edge(
-            link.first.element, link.second.element, key=link.name, link=link
-        )
-    return graph
+    return build_communication_graph(architecture)
 
 
 def directed_communication_graph(architecture: Architecture) -> nx.MultiDiGraph:
     """The directed element-level graph induced by interface directions.
 
     For each link, an edge ``a -> b`` is added when ``a``'s endpoint
-    interface can initiate and ``b``'s can accept (and symmetrically)."""
-    graph = nx.MultiDiGraph()
-    for component in architecture.components:
-        graph.add_node(component.name, kind="component")
-    for connector in architecture.connectors:
-        graph.add_node(connector.name, kind="connector")
-    for link in architecture.links:
-        first = architecture.element(link.first.element).interface(
-            link.first.interface
-        )
-        second = architecture.element(link.second.element).interface(
-            link.second.interface
-        )
-        if first.direction.initiates() and second.direction.accepts():
-            graph.add_edge(
-                link.first.element, link.second.element, key=link.name, link=link
-            )
-        if second.direction.initiates() and first.direction.accepts():
-            graph.add_edge(
-                link.second.element, link.first.element, key=link.name, link=link
-            )
-    return graph
+    interface can initiate and ``b``'s can accept (and symmetrically).
+    Returns a fresh graph the caller owns."""
+    return build_directed_communication_graph(architecture)
 
 
 def can_communicate(
@@ -81,20 +68,16 @@ def can_communicate(
     """Whether a communication path exists from ``source`` to ``target``.
 
     ``via`` restricts to paths passing through all the named elements;
-    ``avoiding`` removes the named elements from the graph first (used to
+    ``avoiding`` hides the named elements from the graph first (used to
     model failed or excised elements). An element trivially communicates
     with itself.
     """
-    return (
-        communication_path(
-            architecture,
-            source,
-            target,
-            respect_directions=respect_directions,
-            via=via,
-            avoiding=avoiding,
-        )
-        is not None
+    return communication_index(architecture).can_communicate(
+        source,
+        target,
+        respect_directions=respect_directions,
+        via=via,
+        avoiding=avoiding,
     )
 
 
@@ -110,36 +93,15 @@ def communication_path(
 
     The path includes intervening connectors. With ``via``, the path is a
     concatenation of shortest hops visiting the waypoints in order.
+    ``avoiding`` names equal to the endpoints are ignored.
     """
-    if not architecture.has_element(source):
-        raise ArchitectureError(
-            f"architecture {architecture.name!r} has no element {source!r}"
-        )
-    if not architecture.has_element(target):
-        raise ArchitectureError(
-            f"architecture {architecture.name!r} has no element {target!r}"
-        )
-    graph: nx.Graph = (
-        directed_communication_graph(architecture)
-        if respect_directions
-        else communication_graph(architecture)
+    return communication_index(architecture).path(
+        source,
+        target,
+        respect_directions=respect_directions,
+        via=via,
+        avoiding=avoiding,
     )
-    if avoiding:
-        removable = [name for name in avoiding if name not in (source, target)]
-        graph.remove_nodes_from(removable)
-        if source not in graph or target not in graph:
-            return None
-    waypoints = [source, *(via or ()), target]
-    full_path: list[str] = [source]
-    for hop_source, hop_target in zip(waypoints, waypoints[1:]):
-        if hop_source not in graph or hop_target not in graph:
-            return None
-        try:
-            hop = nx.shortest_path(graph, hop_source, hop_target)
-        except nx.NetworkXNoPath:
-            return None
-        full_path.extend(hop[1:])
-    return tuple(full_path)
 
 
 def reachable_elements(
@@ -148,20 +110,9 @@ def reachable_elements(
     respect_directions: bool = False,
 ) -> frozenset[str]:
     """Every element reachable from ``source`` (excluding itself)."""
-    graph: nx.Graph = (
-        directed_communication_graph(architecture)
-        if respect_directions
-        else communication_graph(architecture)
+    return communication_index(architecture).reachable(
+        source, respect_directions=respect_directions
     )
-    if source not in graph:
-        raise ArchitectureError(
-            f"architecture {architecture.name!r} has no element {source!r}"
-        )
-    if respect_directions:
-        reached = nx.descendants(graph, source)
-    else:
-        reached = set(nx.node_connected_component(graph, source)) - {source}
-    return frozenset(reached)
 
 
 def is_fully_connected(architecture: Architecture) -> bool:
@@ -170,10 +121,7 @@ def is_fully_connected(architecture: Architecture) -> bool:
     A disconnected architecture usually indicates a modeling error or a
     deliberately excised link.
     """
-    graph = communication_graph(architecture)
-    if graph.number_of_nodes() <= 1:
-        return True
-    return nx.is_connected(nx.Graph(graph))
+    return communication_index(architecture).is_fully_connected()
 
 
 def articulation_components(architecture: Architecture) -> frozenset[str]:
@@ -182,9 +130,4 @@ def articulation_components(architecture: Architecture) -> frozenset[str]:
     These are single points of failure at the structural level — relevant
     to availability analyses like CRASH's Entity Availability scenario.
     """
-    graph = nx.Graph(communication_graph(architecture))
-    return frozenset(
-        name
-        for name in nx.articulation_points(graph)
-        if architecture.is_component(name)
-    )
+    return communication_index(architecture).articulation_components()

@@ -16,9 +16,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.adl.graph import can_communicate, communication_path
+from repro.adl.index import communication_index
 from repro.adl.structure import Architecture
 from repro.core.consistency import Inconsistency, InconsistencyKind
+from repro.errors import EvaluationError
 
 
 class Constraint:
@@ -52,11 +53,23 @@ class MustRouteVia(Constraint):
     via: str
     description: str = ""
 
+    def __post_init__(self) -> None:
+        if self.via in (self.source, self.target):
+            # Path search ignores `avoiding` names equal to the endpoints,
+            # so such a mediator would never be removed and the constraint
+            # could never report a violation. Reject the degenerate
+            # constraint loudly instead of silently passing.
+            raise EvaluationError(
+                f"MustRouteVia mediator {self.via!r} must differ from its "
+                f"endpoints ({self.source!r}, {self.target!r}); the "
+                "constraint would be unfalsifiable"
+            )
+
     def check(self, architecture: Architecture) -> list[Inconsistency]:
         for name in (self.source, self.target, self.via):
             architecture.element(name)
-        bypass = communication_path(
-            architecture, self.source, self.target, avoiding=(self.via,)
+        bypass = communication_index(architecture).path(
+            self.source, self.target, avoiding=(self.via,)
         )
         if bypass is None:
             return []
@@ -83,7 +96,7 @@ class MustNotCommunicate(Constraint):
     def check(self, architecture: Architecture) -> list[Inconsistency]:
         for name in (self.first, self.second):
             architecture.element(name)
-        path = communication_path(architecture, self.first, self.second)
+        path = communication_index(architecture).path(self.first, self.second)
         if path is None:
             return []
         return [
@@ -109,8 +122,7 @@ class RequiresPath(Constraint):
     def check(self, architecture: Architecture) -> list[Inconsistency]:
         for name in (self.source, self.target):
             architecture.element(name)
-        if can_communicate(
-            architecture,
+        if communication_index(architecture).can_communicate(
             self.source,
             self.target,
             respect_directions=self.respect_directions,

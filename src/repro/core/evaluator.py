@@ -83,6 +83,9 @@ class Sosae:
         self.engine = WalkthroughEngine(
             architecture, mapping, self.walkthrough_options
         )
+        # The engine resolves the shared per-architecture communication
+        # index; constraint checks in `evaluate` hit the same warm caches.
+        self.index = self.engine.index
 
     # ------------------------------------------------------------------
     # Pipeline

@@ -98,30 +98,26 @@ def _reachability_changed_components(
 ) -> frozenset[str]:
     """Components whose reachability set (undirected or directed) differs
     between the two architecture versions. Components present in only one
-    version count as changed."""
-    import networkx as nx
+    version count as changed.
 
-    from repro.adl.graph import (
-        communication_graph,
-        directed_communication_graph,
-    )
+    Reads the shared per-architecture
+    :class:`~repro.adl.index.CommunicationIndex` caches, so reachability
+    sets computed here (or earlier, by the walkthrough over either
+    version) are reused rather than recomputed per component."""
+    from repro.adl.index import communication_index
 
     old_names = {component.name for component in old.components}
     new_names = {component.name for component in new.components}
     changed = set(old_names ^ new_names)
 
-    old_undirected = nx.Graph(communication_graph(old))
-    new_undirected = nx.Graph(communication_graph(new))
-    old_directed = directed_communication_graph(old)
-    new_directed = directed_communication_graph(new)
+    old_index = communication_index(old)
+    new_index = communication_index(new)
     for name in old_names & new_names:
-        old_reach = nx.node_connected_component(old_undirected, name)
-        new_reach = nx.node_connected_component(new_undirected, name)
-        if old_reach != new_reach:
+        if old_index.reachable(name) != new_index.reachable(name):
             changed.add(name)
             continue
-        if nx.descendants(old_directed, name) != nx.descendants(
-            new_directed, name
+        if old_index.reachable(name, respect_directions=True) != new_index.reachable(
+            name, respect_directions=True
         ):
             changed.add(name)
     return frozenset(changed)

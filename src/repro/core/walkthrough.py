@@ -34,7 +34,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
-from repro.adl.graph import communication_path
+from repro.adl.index import CommunicationIndex, communication_index
 from repro.adl.structure import Architecture
 from repro.core.consistency import (
     Inconsistency,
@@ -112,6 +112,7 @@ class WalkthroughEngine:
         architecture: Architecture,
         mapping: Mapping,
         options: Optional[WalkthroughOptions] = None,
+        index: Optional[CommunicationIndex] = None,
     ) -> None:
         if mapping.architecture is not architecture:
             # A mapping built against a different (e.g. pre-evolution)
@@ -122,6 +123,10 @@ class WalkthroughEngine:
         self.architecture = architecture
         self.mapping = mapping
         self.options = options or WalkthroughOptions()
+        # One memoized index serves every connectivity query of the walk;
+        # by default it is the shared per-architecture index, so constraint
+        # checks and module-level graph queries reuse the same warm caches.
+        self.index = index or communication_index(architecture)
 
     # ------------------------------------------------------------------
     # Entry points
@@ -129,19 +134,26 @@ class WalkthroughEngine:
 
     def walk_all(self, scenario_set: ScenarioSet) -> tuple[ScenarioVerdict, ...]:
         """Walk every scenario in the set."""
-        return tuple(
-            self.walk_scenario(scenario, scenario_set) for scenario in scenario_set
-        )
+        with self.index.pinned():
+            return tuple(
+                self.walk_scenario(scenario, scenario_set)
+                for scenario in scenario_set
+            )
 
     def walk_scenario(
         self, scenario: Scenario, scenario_set: ScenarioSet
     ) -> ScenarioVerdict:
-        """Walk every bounded trace of one scenario."""
+        """Walk every bounded trace of one scenario.
+
+        The architecture must not be mutated while the walk is in flight
+        (the communication index is pinned for the walk's duration);
+        mutations between walks are picked up automatically."""
         traces = scenario_set.traces(scenario.name, self.options.trace_options)
-        walked = tuple(
-            self._walk_trace(scenario, index, trace)
-            for index, trace in enumerate(traces)
-        )
+        with self.index.pinned():
+            walked = tuple(
+                self._walk_trace(scenario, index, trace)
+                for index, trace in enumerate(traces)
+            )
         return ScenarioVerdict(
             scenario=scenario.name,
             traces=walked,
@@ -216,8 +228,11 @@ class WalkthroughEngine:
         note = ""
 
         if self.options.check_inter_event and previous_components:
+            # A shared component always yields the trivial one-element
+            # path, so path is None exactly when the step is unreachable —
+            # and a passing step always carries the path that justifies it.
             path = self._best_inter_event_path(previous_components, tops)
-            if path is None and not _share_component(previous_components, tops):
+            if path is None:
                 ok = False
                 note = "no communication path from previous event's components"
                 findings.append(
@@ -298,20 +313,11 @@ class WalkthroughEngine:
         """The shortest communication path from any previous-event
         component to any current-event component; ``None`` if none
         exists. A shared component yields a trivial one-element path."""
-        best: Optional[tuple[str, ...]] = None
-        for source in previous:
-            for target in current:
-                if source == target:
-                    return (source,)
-                path = communication_path(
-                    self.architecture,
-                    source,
-                    target,
-                    respect_directions=self.options.inter_event_directed,
-                )
-                if path is not None and (best is None or len(path) < len(best)):
-                    best = path
-        return best
+        return self.index.best_path_between(
+            previous,
+            current,
+            respect_directions=self.options.inter_event_directed,
+        )
 
     def _intra_event_chain_break(
         self, components: tuple[str, ...]
@@ -321,13 +327,11 @@ class WalkthroughEngine:
         for source, target in zip(components, components[1:]):
             if source == target:
                 continue
-            path = communication_path(
-                self.architecture,
+            if not self.index.can_communicate(
                 source,
                 target,
                 respect_directions=self.options.intra_event_directed,
-            )
-            if path is None:
+            ):
                 return (source, target)
         return None
 
@@ -358,9 +362,3 @@ def _unique(names) -> tuple[str, ...]:
     for name in names:
         seen.setdefault(name)
     return tuple(seen)
-
-
-def _share_component(
-    previous: tuple[str, ...], current: tuple[str, ...]
-) -> bool:
-    return bool(set(previous) & set(current))

@@ -112,6 +112,69 @@ class TestPaths:
         assert path == ("src", "right", "dst")
 
 
+class TestCachedGraphImmutability:
+    """Queries must never mutate any graph — neither the index's cached
+    graphs nor graphs handed out through the public API. (Historically,
+    ``avoiding`` removed nodes from the graph it searched; with a shared
+    cached graph that corrupts every later query.)"""
+
+    def test_avoiding_does_not_mutate_cached_graph(self, chain_architecture):
+        from repro.adl.index import communication_index
+
+        index = communication_index(chain_architecture)
+        cached = index.graph()
+        nodes_before = set(cached.nodes)
+        edges_before = cached.number_of_edges()
+
+        assert (
+            communication_path(
+                chain_architecture, "ui", "store", avoiding=["logic"]
+            )
+            is None
+        )
+        assert set(cached.nodes) == nodes_before
+        assert cached.number_of_edges() == edges_before
+
+    def test_reused_graph_answers_correctly_after_avoiding_query(
+        self, chain_architecture
+    ):
+        # The very same architecture (and thus the same cached graph)
+        # must still find the path an earlier `avoiding` query excluded.
+        blocked = communication_path(
+            chain_architecture, "ui", "store", avoiding=["logic"]
+        )
+        assert blocked is None
+        unblocked = communication_path(chain_architecture, "ui", "store")
+        assert unblocked == ("ui", "ui-logic", "logic", "logic-store", "store")
+
+    def test_avoiding_does_not_mutate_directed_cached_graph(
+        self, chain_architecture
+    ):
+        from repro.adl.index import communication_index
+
+        index = communication_index(chain_architecture)
+        cached = index.graph(respect_directions=True)
+        nodes_before = set(cached.nodes)
+        communication_path(
+            chain_architecture,
+            "ui",
+            "store",
+            respect_directions=True,
+            avoiding=["logic"],
+        )
+        assert set(cached.nodes) == nodes_before
+        assert can_communicate(
+            chain_architecture, "ui", "store", respect_directions=True
+        )
+
+    def test_returned_builder_graph_is_callers_own(self, chain_architecture):
+        # communication_graph returns a fresh graph; mutating it must not
+        # poison later queries.
+        graph = communication_graph(chain_architecture)
+        graph.remove_node("logic")
+        assert can_communicate(chain_architecture, "ui", "store")
+
+
 class TestReachabilityAndCuts:
     def test_reachable_elements_undirected(self, chain_architecture):
         reached = reachable_elements(chain_architecture, "ui")

@@ -13,7 +13,7 @@ from repro.core.constraints import (
     check_constraints,
 )
 from repro.core.consistency import InconsistencyKind
-from repro.errors import ArchitectureError
+from repro.errors import ArchitectureError, EvaluationError
 
 
 def client_server() -> Architecture:
@@ -66,6 +66,17 @@ class TestMustRouteVia:
         architecture.excise_links_between("client-2", "link-2")
         constraint = MustRouteVia("client-1", "client-2", "server")
         assert constraint.check(architecture) == []
+
+    def test_mediator_equal_to_source_is_rejected(self):
+        # `avoiding` ignores names equal to the endpoints, so such a
+        # mediator is never removed and the constraint could never
+        # report a violation; it must be rejected at construction.
+        with pytest.raises(EvaluationError):
+            MustRouteVia("server", "client-2", "server")
+
+    def test_mediator_equal_to_target_is_rejected(self):
+        with pytest.raises(EvaluationError):
+            MustRouteVia("client-1", "server", "server")
 
 
 class TestMustNotCommunicate:

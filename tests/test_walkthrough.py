@@ -132,6 +132,30 @@ class TestBasicWalkthrough:
         assert verdict.passed
         assert verdict.traces[0].steps[1].path == ("logic",)
 
+    def test_isolated_shared_component_passes_with_trivial_path(
+        self, small_ontology, chain_architecture, chain_mapping
+    ):
+        """Consecutive events on the same component pass with the trivial
+        one-element path even when that component has no links at all —
+        the report's path must agree with the ok verdict."""
+        chain_architecture.excise_links_between("ui", "ui-logic")
+        chain_mapping.unmap_event("create")
+        chain_mapping.unmap_event("destroy")
+        chain_mapping.map_event("create", "ui")
+        chain_mapping.map_event("destroy", "ui")
+        scenarios = ScenarioSet(small_ontology)
+        scenarios.add(
+            scenario_of(
+                typed("create", subject="w"), typed("destroy", subject="w")
+            )
+        )
+        engine = WalkthroughEngine(chain_architecture, chain_mapping)
+        verdict = engine.walk_scenario(scenarios.get("s"), scenarios)
+        assert verdict.passed
+        step = verdict.traces[0].steps[1]
+        assert step.ok
+        assert step.path == ("ui",)
+
     def test_directed_inter_event_check(
         self, small_ontology, chain_architecture, chain_mapping
     ):
