@@ -18,7 +18,7 @@ warm evaluation must be at least 5x faster than the baseline.
 
 from __future__ import annotations
 
-import time
+from _timing import timed
 
 from repro.adl.index import CommunicationIndex
 from repro.core.walkthrough import WalkthroughEngine
@@ -48,28 +48,25 @@ def test_bench_comm_index_warm_vs_fresh(benchmark):
     system = build_synthetic(SPEC)
 
     def measure():
-        start = time.perf_counter()
-        baseline_verdicts = evaluate(
-            system, CommunicationIndex(system.architecture, memoize=False)
-        )
-        baseline_seconds = time.perf_counter() - start
+        with timed("comm_index.baseline", scenarios=SPEC.scenarios) as baseline:
+            baseline_verdicts = evaluate(
+                system, CommunicationIndex(system.architecture, memoize=False)
+            )
 
         index = CommunicationIndex(system.architecture)
-        start = time.perf_counter()
-        cold_verdicts = evaluate(system, index)
-        cold_seconds = time.perf_counter() - start
+        with timed("comm_index.cold", scenarios=SPEC.scenarios) as cold:
+            cold_verdicts = evaluate(system, index)
 
-        start = time.perf_counter()
-        warm_verdicts = evaluate(system, index)
-        warm_seconds = time.perf_counter() - start
+        with timed("comm_index.warm", scenarios=SPEC.scenarios) as warm:
+            warm_verdicts = evaluate(system, index)
 
         return (
             baseline_verdicts,
             cold_verdicts,
             warm_verdicts,
-            baseline_seconds,
-            cold_seconds,
-            warm_seconds,
+            baseline.seconds,
+            cold.seconds,
+            warm.seconds,
         )
 
     (
@@ -123,16 +120,14 @@ def test_bench_comm_index_shared_across_engines(benchmark):
 
     def measure():
         first = WalkthroughEngine(system.architecture, system.mapping)
-        start = time.perf_counter()
-        first_verdicts = first.walk_all(system.scenarios)
-        first_seconds = time.perf_counter() - start
+        with timed("comm_index.first_engine", scenarios=SPEC.scenarios) as one:
+            first_verdicts = first.walk_all(system.scenarios)
 
         second = WalkthroughEngine(system.architecture, system.mapping)
         assert second.index is first.index
-        start = time.perf_counter()
-        second_verdicts = second.walk_all(system.scenarios)
-        second_seconds = time.perf_counter() - start
-        return first_verdicts, second_verdicts, first_seconds, second_seconds
+        with timed("comm_index.second_engine", scenarios=SPEC.scenarios) as two:
+            second_verdicts = second.walk_all(system.scenarios)
+        return first_verdicts, second_verdicts, one.seconds, two.seconds
 
     first_verdicts, second_verdicts, first_seconds, second_seconds = (
         benchmark.pedantic(measure, rounds=1, iterations=1)

@@ -9,7 +9,7 @@ evaluation's verdicts while skipping most of the work.
 
 from __future__ import annotations
 
-import time
+from _timing import timed
 
 from repro.core.evaluator import Sosae
 from repro.core.incremental import reevaluate
@@ -28,26 +28,30 @@ def run_incremental():
     ).evaluate()
     evolved = pims.excised_architecture()
 
-    start = time.perf_counter()
-    incremental = reevaluate(
-        previous,
-        pims.scenarios,
-        pims.architecture,
-        evolved,
-        pims.mapping,
-        options=pims.options,
-    )
-    incremental_seconds = time.perf_counter() - start
+    with timed("incremental_reevaluation.incremental") as incremental_timing:
+        incremental = reevaluate(
+            previous,
+            pims.scenarios,
+            pims.architecture,
+            evolved,
+            pims.mapping,
+            options=pims.options,
+        )
 
-    start = time.perf_counter()
-    full_mapping = Mapping.from_dict(
-        pims.mapping.to_dict(), pims.ontology, evolved
-    )
-    engine = WalkthroughEngine(evolved, full_mapping, pims.options)
-    full = {v.scenario: v.passed for v in engine.walk_all(pims.scenarios)}
-    full_seconds = time.perf_counter() - start
+    with timed("incremental_reevaluation.full") as full_timing:
+        full_mapping = Mapping.from_dict(
+            pims.mapping.to_dict(), pims.ontology, evolved
+        )
+        engine = WalkthroughEngine(evolved, full_mapping, pims.options)
+        full = {v.scenario: v.passed for v in engine.walk_all(pims.scenarios)}
 
-    return pims, incremental, incremental_seconds, full, full_seconds
+    return (
+        pims,
+        incremental,
+        incremental_timing.seconds,
+        full,
+        full_timing.seconds,
+    )
 
 
 def test_bench_incremental_reevaluation(benchmark):

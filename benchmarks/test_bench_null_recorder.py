@@ -1,0 +1,93 @@
+"""Observability-off overhead guard for the walkthrough hot path.
+
+The walkthrough instrumentation (spans per event step, counters per
+trace) must be free when no recorder is installed. The disabled path
+adds, per trace: one ``current_recorder()`` lookup, one ``enabled``
+check, and one boolean branch per typed event — nothing else (counter
+flushes and span creation are skipped entirely). This benchmark measures
+that added work directly, scaled to the exact trace/step counts of the
+comm-index benchmark's warm evaluation, and asserts it stays under 5% of
+the warm evaluation's wall time.
+"""
+
+from __future__ import annotations
+
+import time
+
+from _timing import timed
+
+from repro.core.walkthrough import WalkthroughEngine
+from repro.obs.recorder import current_recorder
+from repro.systems.generators import SyntheticSpec, build_synthetic
+
+# Same workload as benchmarks/test_bench_comm_index.py so "warm path"
+# means the same thing in both files.
+SPEC = SyntheticSpec(
+    event_types=60,
+    components=120,
+    scenarios=100,
+    events_per_scenario=10,
+    reuse=1.0,
+    components_per_event_type=3,
+    seed=11,
+)
+
+MAX_OVERHEAD_FRACTION = 0.05
+
+
+def _disabled_instrumentation(traces: int, events: int) -> None:
+    """Exactly the operations the instrumented walkthrough performs per
+    trace/event while observability is off."""
+    for _ in range(traces):
+        recorder = current_recorder()
+        enabled = recorder.enabled
+        if enabled:  # pragma: no cover - observability is off here
+            raise AssertionError("recorder unexpectedly enabled")
+    for _ in range(events):
+        if enabled:  # pragma: no cover
+            raise AssertionError("recorder unexpectedly enabled")
+
+
+def test_bench_null_recorder_overhead(benchmark):
+    system = build_synthetic(SPEC)
+    engine = WalkthroughEngine(system.architecture, system.mapping)
+    engine.walk_all(system.scenarios)  # warm every index cache
+
+    def measure():
+        with timed("null_recorder.warm_walk", scenarios=SPEC.scenarios) as warm:
+            verdicts = engine.walk_all(system.scenarios)
+        traces = sum(len(verdict.traces) for verdict in verdicts)
+        events = sum(
+            len(trace.steps)
+            for verdict in verdicts
+            for trace in verdict.traces
+        )
+        # Repeat the instrumentation-only loop enough times to rise above
+        # timer resolution, then scale back down.
+        repeats = 50
+        start = time.perf_counter()
+        for _ in range(repeats):
+            _disabled_instrumentation(traces, events)
+        overhead_seconds = (time.perf_counter() - start) / repeats
+        return warm.seconds, overhead_seconds, traces, events
+
+    warm_seconds, overhead_seconds, traces, events = benchmark.pedantic(
+        measure, rounds=1, iterations=1
+    )
+    fraction = overhead_seconds / warm_seconds
+
+    print()
+    print("=== null-recorder overhead on the warm walkthrough path ===")
+    print(
+        f"warm walk: {warm_seconds * 1e3:.2f} ms for {traces} traces / "
+        f"{events} steps"
+    )
+    print(
+        f"disabled instrumentation: {overhead_seconds * 1e6:.1f} µs "
+        f"({fraction:.2%} of the warm path)"
+    )
+
+    assert fraction < MAX_OVERHEAD_FRACTION, (
+        f"observability-off instrumentation costs {fraction:.2%} of the "
+        f"warm walkthrough (allowed {MAX_OVERHEAD_FRACTION:.0%})"
+    )

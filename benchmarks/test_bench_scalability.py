@@ -10,9 +10,9 @@ grow, confirming near-linear scaling in both dimensions.
 
 from __future__ import annotations
 
-import time
-
 import pytest
+
+from _timing import timed
 
 from repro.core.walkthrough import WalkthroughEngine
 from repro.systems.generators import SyntheticSpec, build_synthetic
@@ -77,9 +77,11 @@ def test_bench_scalability_trend_is_subquadratic(benchmark):
                     seed=5,
                 )
             )
-            start = time.perf_counter()
-            walk_system(system)
-            series.append((scenario_count, time.perf_counter() - start))
+            with timed(
+                "scalability.walkthrough", scenarios=scenario_count
+            ) as timing:
+                walk_system(system)
+            series.append((scenario_count, timing.seconds))
         return series
 
     series = benchmark.pedantic(measure, rounds=1, iterations=1)

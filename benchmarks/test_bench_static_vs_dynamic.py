@@ -11,7 +11,7 @@ availability variants (E9) — price and power, side by side.
 
 from __future__ import annotations
 
-import time
+from _timing import timed
 
 from repro.core.dynamic import DynamicEvaluator
 from repro.core.walkthrough import WalkthroughEngine
@@ -28,30 +28,39 @@ def run_comparison():
         if not scenario.is_negative
     ]
 
-    start = time.perf_counter()
-    engine = WalkthroughEngine(crash.architecture, crash.mapping, crash.options)
-    static_verdicts = {
-        scenario.name: engine.walk_scenario(scenario, crash.scenarios).passed
-        for scenario in quality
-    }
-    static_seconds = time.perf_counter() - start
-
-    start = time.perf_counter()
-    dynamic_verdicts = {}
-    for detection in (True, False):
-        evaluator = DynamicEvaluator(
-            crash.architecture,
-            crash.bindings,
-            config=RuntimeConfig(
-                policy=ChannelPolicy(latency=1.0, failure_detection=detection)
-            ),
+    with timed("static_vs_dynamic.static") as static_timing:
+        engine = WalkthroughEngine(
+            crash.architecture, crash.mapping, crash.options
         )
-        for scenario in quality:
-            verdict = evaluator.evaluate(scenario, crash.scenarios)
-            dynamic_verdicts[(scenario.name, detection)] = verdict.passed
-    dynamic_seconds = time.perf_counter() - start
+        static_verdicts = {
+            scenario.name: engine.walk_scenario(
+                scenario, crash.scenarios
+            ).passed
+            for scenario in quality
+        }
 
-    return static_verdicts, static_seconds, dynamic_verdicts, dynamic_seconds
+    with timed("static_vs_dynamic.dynamic") as dynamic_timing:
+        dynamic_verdicts = {}
+        for detection in (True, False):
+            evaluator = DynamicEvaluator(
+                crash.architecture,
+                crash.bindings,
+                config=RuntimeConfig(
+                    policy=ChannelPolicy(
+                        latency=1.0, failure_detection=detection
+                    )
+                ),
+            )
+            for scenario in quality:
+                verdict = evaluator.evaluate(scenario, crash.scenarios)
+                dynamic_verdicts[(scenario.name, detection)] = verdict.passed
+
+    return (
+        static_verdicts,
+        static_timing.seconds,
+        dynamic_verdicts,
+        dynamic_timing.seconds,
+    )
 
 
 def test_bench_static_vs_dynamic(benchmark):

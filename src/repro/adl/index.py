@@ -37,8 +37,10 @@ code, so their answers are identical tuple-for-tuple.
 
 from __future__ import annotations
 
+import time
 from collections import deque
 from contextlib import contextmanager
+from dataclasses import dataclass
 from typing import Iterable, Iterator, Optional, Sequence
 from weakref import WeakKeyDictionary
 
@@ -49,11 +51,44 @@ from repro.errors import ArchitectureError
 
 __all__ = [
     "CommunicationIndex",
+    "IndexStats",
     "build_communication_graph",
     "build_directed_communication_graph",
     "communication_index",
     "structural_fingerprint",
 ]
+
+
+@dataclass(frozen=True)
+class IndexStats:
+    """A snapshot of one index's cache behavior.
+
+    ``hits``/``misses`` count memoized-answer lookups (graphs, BFS trees,
+    reachability sets, best-path results); ``invalidations`` counts
+    fingerprint changes that dropped the caches; ``build_seconds`` is the
+    cumulative wall time spent constructing communication graphs. An
+    unmemoized index records every lookup as a miss.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    invalidations: int = 0
+    build_seconds: float = 0.0
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits over total lookups (0.0 before any lookup)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "invalidations": self.invalidations,
+            "build_seconds": self.build_seconds,
+            "hit_rate": self.hit_rate,
+        }
 
 
 def build_communication_graph(architecture: Architecture) -> nx.MultiGraph:
@@ -166,6 +201,12 @@ class CommunicationIndex:
         self._articulation: Optional[frozenset[str]] = None
         self._connected: Optional[bool] = None
         self._pins: int = 0
+        # Cache-behavior accounting (snapshotted by `stats()`); plain int
+        # increments so the warm query path stays allocation-free.
+        self._hits: int = 0
+        self._misses: int = 0
+        self._invalidations: int = 0
+        self._build_seconds: float = 0.0
 
     # ------------------------------------------------------------------
     # Cache lifecycle
@@ -184,6 +225,9 @@ class CommunicationIndex:
     def _validate_fingerprint(self) -> None:
         fingerprint = structural_fingerprint(self.architecture)
         if fingerprint != self._fingerprint:
+            if self._fingerprint is not None:
+                # The first fingerprint is cache population, not a drop.
+                self._invalidations += 1
             self._fingerprint = fingerprint
             self._graphs.clear()
             self._trees.clear()
@@ -210,21 +254,26 @@ class CommunicationIndex:
         finally:
             self._pins -= 1
 
+    def _build_graph(self, directed: bool) -> nx.MultiGraph | nx.MultiDiGraph:
+        self._misses += 1
+        start = time.perf_counter()
+        graph = (
+            build_directed_communication_graph(self.architecture)
+            if directed
+            else build_communication_graph(self.architecture)
+        )
+        self._build_seconds += time.perf_counter() - start
+        return graph
+
     def _graph(self, directed: bool) -> nx.MultiGraph | nx.MultiDiGraph:
         if not self.memoize:
-            return (
-                build_directed_communication_graph(self.architecture)
-                if directed
-                else build_communication_graph(self.architecture)
-            )
+            return self._build_graph(directed)
         graph = self._graphs.get(directed)
         if graph is None:
-            graph = (
-                build_directed_communication_graph(self.architecture)
-                if directed
-                else build_communication_graph(self.architecture)
-            )
+            graph = self._build_graph(directed)
             self._graphs[directed] = graph
+        else:
+            self._hits += 1
         return graph
 
     def graph(self, respect_directions: bool = False):
@@ -243,6 +292,8 @@ class CommunicationIndex:
         if tree is None:
             tree = nx.single_source_shortest_path(self._graph(directed), source)
             self._trees[key] = tree
+        else:
+            self._hits += 1
         return tree
 
     # ------------------------------------------------------------------
@@ -332,6 +383,7 @@ class CommunicationIndex:
         if self.memoize:
             cached = self._reachable.get(key)
             if cached is not None:
+                self._hits += 1
                 return cached
         graph = self._graph(directed)
         if directed:
@@ -363,6 +415,7 @@ class CommunicationIndex:
         self._refresh()
         key = (tuple(sources), tuple(targets), respect_directions)
         if self.memoize and key in self._best_paths:
+            self._hits += 1
             return self._best_paths[key]
         result = self._multi_source_bfs(
             self._graph(respect_directions), sources, target_set
@@ -400,6 +453,7 @@ class CommunicationIndex:
         """Components whose removal disconnects the communication graph."""
         self._refresh()
         if self.memoize and self._articulation is not None:
+            self._hits += 1
             return self._articulation
         simple = nx.Graph(self._graph(False))
         result = frozenset(
@@ -415,6 +469,7 @@ class CommunicationIndex:
         """Whether every element can (undirectedly) reach every other."""
         self._refresh()
         if self.memoize and self._connected is not None:
+            self._hits += 1
             return self._connected
         graph = self._graph(False)
         result = graph.number_of_nodes() <= 1 or nx.is_connected(
@@ -423,6 +478,27 @@ class CommunicationIndex:
         if self.memoize:
             self._connected = result
         return result
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+
+    def stats(self) -> IndexStats:
+        """A snapshot of cumulative cache behavior since construction
+        (or the last :meth:`reset_stats`)."""
+        return IndexStats(
+            hits=self._hits,
+            misses=self._misses,
+            invalidations=self._invalidations,
+            build_seconds=self._build_seconds,
+        )
+
+    def reset_stats(self) -> None:
+        """Zero the statistics (caches are untouched)."""
+        self._hits = 0
+        self._misses = 0
+        self._invalidations = 0
+        self._build_seconds = 0.0
 
     # ------------------------------------------------------------------
     # Helpers

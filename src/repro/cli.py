@@ -10,6 +10,12 @@ Subcommands:
 * ``export`` — print a case study's artifacts (ScenarioML XML, xADL XML,
   Acme text, or mapping JSON) for use as file inputs elsewhere.
 
+``evaluate`` and ``demo`` accept observability flags: ``--profile``
+prints a span profile summary tree after the report, ``--trace-out FILE``
+writes a Chrome ``chrome://tracing``-compatible trace, and
+``--metrics-out FILE`` dumps the metrics registry as JSON. The flags
+never change the report or the exit status.
+
 Exit status is 0 when the evaluated architecture is consistent with its
 scenarios, 1 when inconsistencies were found, 2 on usage errors.
 """
@@ -18,8 +24,9 @@ from __future__ import annotations
 
 import argparse
 import sys
+from contextlib import contextmanager
 from pathlib import Path
-from typing import Optional, Sequence
+from typing import Iterator, Optional, Sequence
 
 from repro.adl.acme import parse_acme, to_acme
 from repro.adl.dot import architecture_to_dot, mapping_to_dot
@@ -35,6 +42,13 @@ from repro.core.report_io import (
     report_to_json,
 )
 from repro.errors import ReproError
+from repro.obs import (
+    Recorder,
+    chrome_trace_json,
+    metrics_to_json,
+    render_profile,
+    use,
+)
 from repro.scenarioml.lint import lint_scenario_set
 from repro.scenarioml.owl import to_owl_xml
 from repro.scenarioml.xml_io import parse_scenarioml, to_scenarioml_xml
@@ -82,6 +96,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="compare against a previously saved report; exit 1 on "
         "regressions even if the current report is otherwise consistent",
     )
+    _add_observability_arguments(evaluate)
 
     demo = subparsers.add_parser("demo", help="run a built-in case study")
     demo.add_argument("system", choices=("pims", "crash"))
@@ -100,6 +115,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="also execute scenarios on the simulated architecture "
         "(crash: all quality scenarios; pims: the share-price flow)",
     )
+    _add_observability_arguments(demo)
 
     table = subparsers.add_parser(
         "table", help="print the mapping table of a case study"
@@ -153,6 +169,49 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _add_observability_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="print a span profile summary tree after the report",
+    )
+    parser.add_argument(
+        "--trace-out", type=Path, default=None, metavar="FILE",
+        help="write a Chrome trace-viewer (chrome://tracing) JSON file",
+    )
+    parser.add_argument(
+        "--metrics-out", type=Path, default=None, metavar="FILE",
+        help="write the metrics registry as JSON",
+    )
+
+
+@contextmanager
+def _observed(args: argparse.Namespace) -> Iterator[Optional[Recorder]]:
+    """Install a live recorder for the block when any observability flag
+    was given; yields it (or ``None`` when observability is off)."""
+    if not (args.profile or args.trace_out or args.metrics_out):
+        yield None
+        return
+    recorder = Recorder()
+    with use(recorder):
+        yield recorder
+
+
+def _emit_observability(
+    args: argparse.Namespace, recorder: Optional[Recorder]
+) -> None:
+    """Print/write the observability outputs the flags asked for."""
+    if recorder is None:
+        return
+    if args.profile:
+        print()
+        print("=== profile ===")
+        print(render_profile(recorder.roots, recorder.metrics))
+    if args.trace_out is not None:
+        args.trace_out.write_text(chrome_trace_json(recorder.roots))
+    if args.metrics_out is not None:
+        args.metrics_out.write_text(metrics_to_json(recorder.metrics))
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit status."""
     parser = build_parser()
@@ -199,8 +258,10 @@ def _run_evaluate(args: argparse.Namespace) -> int:
     mapping = Mapping.from_json(
         args.mapping.read_text(), scenario_set.ontology, architecture
     )
-    report = Sosae(scenario_set, architecture, mapping).evaluate()
+    with _observed(args) as recorder:
+        report = Sosae(scenario_set, architecture, mapping).evaluate()
     print(render_report(report, markdown=args.markdown))
+    _emit_observability(args, recorder)
     if args.save_report is not None:
         args.save_report.write_text(report_to_json(report))
     status = 0 if report.consistent else 1
@@ -283,11 +344,15 @@ def _run_demo(args: argparse.Namespace) -> int:
         runtime_config=demo.runtime_config,
     )
     include_dynamic = args.dynamic and demo.bindings is not None
-    report = sosae.evaluate(
-        include_dynamic=include_dynamic,
-        dynamic_scenarios=demo.dynamic_scenarios if include_dynamic else None,
-    )
+    with _observed(args) as recorder:
+        report = sosae.evaluate(
+            include_dynamic=include_dynamic,
+            dynamic_scenarios=(
+                demo.dynamic_scenarios if include_dynamic else None
+            ),
+        )
     print(render_report(report, markdown=args.markdown))
+    _emit_observability(args, recorder)
     return 0 if report.consistent else 1
 
 

@@ -32,6 +32,7 @@ from repro.core.consistency import (
 )
 from repro.core.mapping import Mapping as EventMapping
 from repro.errors import EvaluationError
+from repro.obs.recorder import current_recorder
 from repro.scenarioml.events import Event, SimpleEvent, TypedEvent
 from repro.scenarioml.scenario import Scenario, ScenarioSet, TraceOptions
 from repro.sim.runtime import ArchitectureRuntime, RuntimeConfig
@@ -235,6 +236,24 @@ class DynamicEvaluator:
     ) -> DynamicVerdict:
         """Execute every bounded trace of the scenario; all must meet
         their expectations (polarity inverted for negative scenarios)."""
+        recorder = current_recorder()
+        if recorder.enabled:
+            with recorder.span(
+                "dynamic.scenario",
+                scenario=scenario.name,
+                negative=scenario.is_negative,
+            ) as span:
+                verdict = self._evaluate(scenario, scenario_set, trace_options)
+                span.set_attribute("passed", verdict.passed)
+            return verdict
+        return self._evaluate(scenario, scenario_set, trace_options)
+
+    def _evaluate(
+        self,
+        scenario: Scenario,
+        scenario_set: ScenarioSet,
+        trace_options: Optional[TraceOptions] = None,
+    ) -> DynamicVerdict:
         traces = scenario_set.traces(scenario.name, trace_options)
         findings: list[Inconsistency] = []
         message_trace = MessageTrace()

@@ -51,6 +51,7 @@ from repro.core.mapping import Mapping
 from repro.core.negative import evaluate_negative_scenario
 from repro.core.walkthrough import WalkthroughEngine, WalkthroughOptions
 from repro.errors import EvaluationError
+from repro.obs.recorder import current_recorder
 from repro.scenarioml.scenario import Scenario, ScenarioSet
 from repro.scenarioml.validation import IssueSeverity, validate_scenario_set
 from repro.sim.runtime import RuntimeConfig
@@ -104,36 +105,92 @@ class Sosae:
         simulated architecture — all quality-attribute scenarios by
         default, or exactly ``dynamic_scenarios`` when given. Dynamic
         execution requires bindings.
-        """
-        findings: list[Inconsistency] = []
-        findings.extend(self._validation_findings())
-        findings.extend(self._style_findings())
-        findings.extend(self._coverage_findings())
-        findings.extend(check_constraints(self.architecture, self.constraints))
-        if self.behavior_options is not None:
-            findings.extend(
-                check_behavioral_support(
-                    self.scenario_set,
-                    self.architecture,
-                    self.mapping,
-                    self.behavior_options,
-                )
-            )
 
-        verdicts = tuple(
-            self._walk(scenario)
-            for scenario in self._selected_scenarios(scenario_names)
-        )
+        With a live observability recorder installed
+        (:func:`repro.obs.recorder.use`), each stage runs inside a span
+        and the communication index's cache statistics accrue to the
+        metrics registry; the report itself is identical either way.
+        """
+        recorder = current_recorder()
+        if not recorder.enabled:
+            return self._evaluate(
+                scenario_names, include_dynamic, dynamic_scenarios
+            )
+        index_stats_before = self.index.stats()
+        with recorder.span(
+            "evaluate",
+            architecture=self.architecture.name,
+            scenario_set=self.scenario_set.name,
+            scenarios=len(self.scenario_set.scenarios),
+        ) as span:
+            report = self._evaluate(
+                scenario_names, include_dynamic, dynamic_scenarios
+            )
+            span.set_attribute("consistent", report.consistent)
+            span.set_attribute("findings", len(report.findings))
+        self._record_index_stats(recorder, index_stats_before)
+        return report
+
+    def _evaluate(
+        self,
+        scenario_names: Optional[Iterable[str]],
+        include_dynamic: bool,
+        dynamic_scenarios: Optional[Iterable[str]],
+    ) -> EvaluationReport:
+        recorder = current_recorder()
+        findings: list[Inconsistency] = []
+        with recorder.span("evaluate.validation"):
+            findings.extend(self._validation_findings())
+        with recorder.span("evaluate.style_check"):
+            findings.extend(self._style_findings())
+        with recorder.span("evaluate.coverage"):
+            findings.extend(self._coverage_findings())
+        with recorder.span(
+            "evaluate.constraints", constraints=len(self.constraints)
+        ):
+            findings.extend(
+                check_constraints(self.architecture, self.constraints)
+            )
+        if self.behavior_options is not None:
+            with recorder.span("evaluate.behavior_check"):
+                findings.extend(
+                    check_behavioral_support(
+                        self.scenario_set,
+                        self.architecture,
+                        self.mapping,
+                        self.behavior_options,
+                    )
+                )
+
+        selected = self._selected_scenarios(scenario_names)
+        with recorder.span("evaluate.walkthrough", scenarios=len(selected)):
+            verdicts = tuple(
+                self._walk(scenario) for scenario in selected
+            )
 
         dynamic_verdicts: tuple[DynamicVerdict, ...] = ()
         if include_dynamic:
-            dynamic_verdicts = self._run_dynamic(dynamic_scenarios)
+            with recorder.span("evaluate.dynamic"):
+                dynamic_verdicts = self._run_dynamic(dynamic_scenarios)
 
         return EvaluationReport(
             architecture=self.architecture.name,
             scenario_verdicts=verdicts,
             findings=tuple(findings),
             dynamic_verdicts=dynamic_verdicts,
+        )
+
+    def _record_index_stats(self, recorder, before) -> None:
+        """Accrue this evaluation's index-cache activity to the metrics
+        registry (deltas, so repeated evaluations accumulate)."""
+        after = self.index.stats()
+        recorder.counter("index.hits").inc(after.hits - before.hits)
+        recorder.counter("index.misses").inc(after.misses - before.misses)
+        recorder.counter("index.invalidations").inc(
+            after.invalidations - before.invalidations
+        )
+        recorder.histogram("index.build_seconds").observe(
+            after.build_seconds - before.build_seconds
         )
 
     # ------------------------------------------------------------------

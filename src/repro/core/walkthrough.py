@@ -46,6 +46,7 @@ from repro.core.consistency import (
 )
 from repro.core.mapping import Mapping
 from repro.errors import EvaluationError
+from repro.obs.recorder import current_recorder
 from repro.scenarioml.events import Event, SimpleEvent, TypedEvent
 from repro.scenarioml.scenario import Scenario, ScenarioSet, TraceOptions
 
@@ -149,11 +150,24 @@ class WalkthroughEngine:
         (the communication index is pinned for the walk's duration);
         mutations between walks are picked up automatically."""
         traces = scenario_set.traces(scenario.name, self.options.trace_options)
+        recorder = current_recorder()
         with self.index.pinned():
-            walked = tuple(
-                self._walk_trace(scenario, index, trace)
-                for index, trace in enumerate(traces)
-            )
+            if recorder.enabled:
+                with recorder.span(
+                    "walkthrough.scenario",
+                    scenario=scenario.name,
+                    negative=scenario.is_negative,
+                    traces=len(traces),
+                ):
+                    walked = tuple(
+                        self._walk_trace(scenario, index, trace)
+                        for index, trace in enumerate(traces)
+                    )
+            else:
+                walked = tuple(
+                    self._walk_trace(scenario, index, trace)
+                    for index, trace in enumerate(traces)
+                )
         return ScenarioVerdict(
             scenario=scenario.name,
             traces=walked,
@@ -167,14 +181,43 @@ class WalkthroughEngine:
     def _walk_trace(
         self, scenario: Scenario, index: int, trace: tuple[Event, ...]
     ) -> TraceWalkthrough:
+        # Observability cost discipline: fetch the recorder once per trace
+        # and batch counter updates into one flush, so a disabled recorder
+        # costs a single attribute check per trace, not per event.
+        recorder = current_recorder()
+        enabled = recorder.enabled
         steps: list[WalkthroughStep] = []
         findings: list[Inconsistency] = []
         previous_components: Optional[tuple[str, ...]] = None
+        typed_events = 0
+        resolutions = 0
+        fallbacks = 0
         for event in trace:
             if isinstance(event, TypedEvent):
-                step, step_findings, components = self._walk_typed_event(
-                    scenario, event, previous_components
-                )
+                if enabled:
+                    typed_events += 1
+                    with recorder.span(
+                        "walkthrough.step",
+                        scenario=scenario.name,
+                        event=event.label,
+                        event_type=event.type_name,
+                    ) as step_span:
+                        step, step_findings, components = (
+                            self._walk_typed_event(
+                                scenario, event, previous_components
+                            )
+                        )
+                        step_span.set_attribute("ok", step.ok)
+                    if components:
+                        resolutions += 1
+                        if not self.mapping.has_direct_mapping(
+                            event.type_name
+                        ):
+                            fallbacks += 1
+                else:
+                    step, step_findings, components = self._walk_typed_event(
+                        scenario, event, previous_components
+                    )
                 steps.append(step)
                 findings.extend(step_findings)
                 if components:
@@ -188,6 +231,22 @@ class WalkthroughEngine:
                     f"trace of {scenario.name!r} contains unexpanded "
                     f"{type(event).__name__}"
                 )
+        if enabled:
+            recorder.counter("walkthrough.traces").inc()
+            recorder.counter("walkthrough.steps").inc(len(steps))
+            recorder.counter("walkthrough.mapping_resolutions").inc(
+                resolutions
+            )
+            recorder.counter("walkthrough.supertype_fallbacks").inc(fallbacks)
+            recorder.counter("walkthrough.unmapped_events").inc(
+                typed_events - resolutions
+            )
+            missing = sum(
+                1
+                for finding in findings
+                if finding.kind is InconsistencyKind.MISSING_LINK
+            )
+            recorder.counter("walkthrough.missing_links").inc(missing)
         return TraceWalkthrough(
             trace_index=index, steps=tuple(steps), inconsistencies=tuple(findings)
         )

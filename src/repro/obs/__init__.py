@@ -1,0 +1,65 @@
+"""Observability for the SOSAE evaluation pipeline.
+
+The pipeline (``Sosae.evaluate`` → walkthrough → communication index →
+simulator) is instrumented with nested spans and process-local metrics.
+By default every instrumentation site reports to the zero-overhead
+:class:`~repro.obs.recorder.NullRecorder`; installing a live
+:class:`~repro.obs.recorder.Recorder` (directly or via the CLI's
+``--profile`` / ``--trace-out`` / ``--metrics-out`` flags) captures a
+span tree per evaluation plus counters for mapping resolutions, index
+cache hits, walkthrough steps, and simulator message fates — without
+changing any evaluation result.
+
+Typical use::
+
+    from repro.obs import Recorder, render_profile, use
+
+    recorder = Recorder()
+    with use(recorder):
+        report = sosae.evaluate()
+    print(render_profile(recorder.roots, recorder.metrics))
+"""
+
+from repro.obs.export import (
+    chrome_trace,
+    chrome_trace_json,
+    metrics_to_json,
+    render_profile,
+    spans_from_chrome_trace,
+    spans_from_jsonl,
+    spans_to_jsonl,
+)
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.recorder import (
+    NULL_RECORDER,
+    NullRecorder,
+    Recorder,
+    current_recorder,
+    observability_enabled,
+    set_recorder,
+    use,
+)
+from repro.obs.spans import Span, SpanRecorder
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_RECORDER",
+    "NullRecorder",
+    "Recorder",
+    "Span",
+    "SpanRecorder",
+    "chrome_trace",
+    "chrome_trace_json",
+    "current_recorder",
+    "metrics_to_json",
+    "observability_enabled",
+    "render_profile",
+    "set_recorder",
+    "spans_from_chrome_trace",
+    "spans_from_jsonl",
+    "spans_to_jsonl",
+    "use",
+]

@@ -1,0 +1,297 @@
+"""Exporters for recorded spans and metrics.
+
+Three consumers, three formats:
+
+* **JSON-lines** (:func:`spans_to_jsonl` / :func:`spans_from_jsonl`) —
+  the lossless archival format: one flat record per span with an
+  ``id``/``parent`` pair, full wall and CPU timestamps, and attributes.
+  Round-trips exactly.
+* **Chrome trace** (:func:`chrome_trace` / :func:`spans_from_chrome_trace`)
+  — a ``traceEvents`` JSON loadable by ``chrome://tracing`` and Perfetto:
+  each span becomes one complete (``"ph": "X"``) event with microsecond
+  ``ts``/``dur`` relative to the earliest root. The reverse direction
+  reconstructs the tree from interval containment (what the viewer
+  renders as nesting).
+* **profile summary** (:func:`render_profile`) — a human-readable tree
+  for terminals. Same-named siblings aggregate into one row (×N) so a
+  100-scenario walkthrough summarizes as one line, not a hundred.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, Optional, Sequence
+
+from repro.errors import ReproError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import Span
+
+__all__ = [
+    "chrome_trace",
+    "chrome_trace_json",
+    "metrics_to_json",
+    "render_profile",
+    "spans_from_chrome_trace",
+    "spans_from_jsonl",
+    "spans_to_jsonl",
+]
+
+
+def _json_safe(value):
+    """Attributes may hold arbitrary objects; degrade them to strings."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def _safe_attributes(attributes: dict) -> dict:
+    return {str(key): _json_safe(value) for key, value in attributes.items()}
+
+
+# ----------------------------------------------------------------------
+# JSON-lines (lossless)
+# ----------------------------------------------------------------------
+
+
+def spans_to_jsonl(roots: Sequence[Span]) -> str:
+    """Serialize a span forest as JSON-lines (depth-first preorder)."""
+    lines: list[str] = []
+    next_id = 0
+
+    def emit(span: Span, parent_id: Optional[int]) -> None:
+        nonlocal next_id
+        span_id = next_id
+        next_id += 1
+        lines.append(
+            json.dumps(
+                {
+                    "id": span_id,
+                    "parent": parent_id,
+                    "name": span.name,
+                    "start_wall": span.start_wall,
+                    "end_wall": span.end_wall,
+                    "start_cpu": span.start_cpu,
+                    "end_cpu": span.end_cpu,
+                    "attributes": _safe_attributes(span.attributes),
+                },
+                sort_keys=True,
+            )
+        )
+        for child in span.children:
+            emit(child, span_id)
+
+    for root in roots:
+        emit(root, None)
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def spans_from_jsonl(text: str) -> tuple[Span, ...]:
+    """Rebuild the span forest :func:`spans_to_jsonl` serialized."""
+    by_id: dict[int, Span] = {}
+    roots: list[Span] = []
+    for line_number, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as error:
+            raise ReproError(
+                f"span JSONL line {line_number} is not valid JSON: {error}"
+            ) from None
+        span = Span(record["name"], dict(record.get("attributes", {})))
+        span.start_wall = record["start_wall"]
+        span.end_wall = record["end_wall"]
+        span.start_cpu = record.get("start_cpu", 0.0)
+        span.end_cpu = record.get("end_cpu", 0.0)
+        by_id[record["id"]] = span
+        parent_id = record.get("parent")
+        if parent_id is None:
+            roots.append(span)
+        else:
+            parent = by_id.get(parent_id)
+            if parent is None:
+                raise ReproError(
+                    f"span JSONL line {line_number} references unknown "
+                    f"parent {parent_id}"
+                )
+            parent.add_child(span)
+    return tuple(roots)
+
+
+# ----------------------------------------------------------------------
+# Chrome trace (chrome://tracing / Perfetto)
+# ----------------------------------------------------------------------
+
+
+def chrome_trace(
+    roots: Sequence[Span], process_name: str = "sosae"
+) -> dict:
+    """The span forest as a Chrome trace-viewer document.
+
+    Times are microseconds relative to the earliest root start, so the
+    viewer's timeline starts at zero regardless of ``perf_counter``'s
+    arbitrary epoch.
+    """
+    events: list[dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 1,
+            "tid": 1,
+            "args": {"name": process_name},
+        }
+    ]
+    base = min((root.start_wall for root in roots), default=0.0)
+
+    def emit(span: Span) -> None:
+        events.append(
+            {
+                "name": span.name,
+                "cat": "sosae",
+                "ph": "X",
+                "pid": 1,
+                "tid": 1,
+                "ts": (span.start_wall - base) * 1e6,
+                "dur": span.wall_seconds * 1e6,
+                "args": _safe_attributes(span.attributes),
+            }
+        )
+        for child in span.children:
+            emit(child)
+
+    for root in roots:
+        emit(root)
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def chrome_trace_json(roots: Sequence[Span], process_name: str = "sosae") -> str:
+    """:func:`chrome_trace`, serialized."""
+    return json.dumps(chrome_trace(roots, process_name), indent=1)
+
+
+def spans_from_chrome_trace(document: dict) -> tuple[Span, ...]:
+    """Reconstruct a span forest from a Chrome trace document.
+
+    Nesting is inferred from interval containment, exactly as the trace
+    viewer draws it; only complete (``"X"``) events participate. CPU
+    times are not representable in the format and come back as zero.
+    """
+    try:
+        events = document["traceEvents"]
+    except (TypeError, KeyError):
+        raise ReproError(
+            "not a Chrome trace document: no 'traceEvents' key"
+        ) from None
+    complete = [event for event in events if event.get("ph") == "X"]
+    # Earlier start first; at equal starts the longer (enclosing) span
+    # first, so a parent always precedes its children on the stack.
+    complete.sort(key=lambda event: (event["ts"], -event["dur"]))
+    roots: list[Span] = []
+    stack: list[tuple[Span, float]] = []  # (span, end-ts)
+    for event in complete:
+        span = Span(event["name"], dict(event.get("args", {})))
+        span.start_wall = event["ts"] / 1e6
+        span.end_wall = (event["ts"] + event["dur"]) / 1e6
+        end = event["ts"] + event["dur"]
+        while stack and event["ts"] >= stack[-1][1]:
+            stack.pop()
+        if stack:
+            stack[-1][0].add_child(span)
+        else:
+            roots.append(span)
+        stack.append((span, end))
+    return tuple(roots)
+
+
+# ----------------------------------------------------------------------
+# Human-readable profile summary
+# ----------------------------------------------------------------------
+
+
+def render_profile(
+    roots: Sequence[Span],
+    metrics: Optional[MetricsRegistry] = None,
+    max_depth: Optional[int] = None,
+) -> str:
+    """A terminal profile tree.
+
+    Same-named siblings are aggregated into one ``×N`` row (count, total
+    wall, total CPU, share of the root's wall time); rows keep
+    first-appearance order so the tree reads in pipeline order.
+    """
+    lines: list[str] = []
+    for root in roots:
+        root_wall = root.wall_seconds or 1e-12
+        lines.append(
+            f"{root.name}  "
+            f"wall {_ms(root.wall_seconds)}  cpu {_ms(root.cpu_seconds)}"
+            f"{_render_attributes(root.attributes)}"
+        )
+        _render_children(root.children, 1, root_wall, lines, max_depth)
+    if metrics is not None and len(metrics):
+        lines.append("metrics:")
+        for name, snapshot in metrics.to_dict().items():
+            if snapshot["type"] == "histogram":
+                mean = snapshot["mean"]
+                rendered = (
+                    f"n={snapshot['count']} mean={mean:.6g}"
+                    if mean is not None
+                    else "n=0"
+                )
+            else:
+                rendered = f"{snapshot['value']:g}"
+            lines.append(f"  {name} = {rendered}")
+    return "\n".join(lines)
+
+
+def _render_children(
+    children: Iterable[Span],
+    depth: int,
+    root_wall: float,
+    lines: list[str],
+    max_depth: Optional[int],
+) -> None:
+    if max_depth is not None and depth > max_depth:
+        return
+    groups: dict[str, list[Span]] = {}
+    for child in children:
+        groups.setdefault(child.name, []).append(child)
+    for name, group in groups.items():
+        wall = sum(span.wall_seconds for span in group)
+        cpu = sum(span.cpu_seconds for span in group)
+        count = f" ×{len(group)}" if len(group) > 1 else ""
+        share = 100.0 * wall / root_wall
+        attributes = (
+            _render_attributes(group[0].attributes) if len(group) == 1 else ""
+        )
+        lines.append(
+            f"{'  ' * depth}{name}{count}  "
+            f"wall {_ms(wall)}  cpu {_ms(cpu)}  {share:5.1f}%{attributes}"
+        )
+        merged = [
+            grandchild for span in group for grandchild in span.children
+        ]
+        _render_children(merged, depth + 1, root_wall, lines, max_depth)
+
+
+def _render_attributes(attributes: dict) -> str:
+    if not attributes:
+        return ""
+    rendered = ", ".join(
+        f"{key}={_json_safe(value)}" for key, value in attributes.items()
+    )
+    return f"  [{rendered}]"
+
+
+def _ms(seconds: float) -> str:
+    return f"{seconds * 1e3:.3f}ms"
+
+
+# ----------------------------------------------------------------------
+# Metrics
+# ----------------------------------------------------------------------
+
+
+def metrics_to_json(metrics: MetricsRegistry, indent: int = 2) -> str:
+    """The registry snapshot as JSON text."""
+    return json.dumps(metrics.to_dict(), indent=indent, sort_keys=True)

@@ -1,0 +1,168 @@
+"""Process-local metric instruments.
+
+Three instrument kinds, matching what the evaluation pipeline needs:
+
+* :class:`Counter` — a monotonically increasing count (walkthrough steps,
+  index hits, simulator sends);
+* :class:`Gauge` — a point-in-time value that may go up or down (cached
+  tree count, live node count);
+* :class:`Histogram` — a streaming summary (count/sum/min/max/mean) of an
+  observed distribution (per-scenario walk seconds, message latencies).
+
+Instruments live in a :class:`MetricsRegistry`, keyed by name; asking for
+an existing name returns the same instrument, so instrumentation sites
+never coordinate. ``registry.to_dict()`` snapshots everything for JSON
+export. No locks: the pipeline is synchronous and instruments are
+process-local (use one registry per concurrent evaluation).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import ReproError
+
+
+class Counter:
+    """A monotonically increasing integer metric."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: int = 0
+
+    def inc(self, amount: int = 1) -> None:
+        """Add ``amount`` (must be non-negative) to the counter."""
+        if amount < 0:
+            raise ReproError(
+                f"counter {self.name!r} cannot decrease (inc({amount}))"
+            )
+        self.value += amount
+
+    def to_dict(self) -> dict:
+        return {"type": "counter", "value": self.value}
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name!r}={self.value})"
+
+
+class Gauge:
+    """A point-in-time value."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def add(self, amount: float) -> None:
+        self.value += amount
+
+    def to_dict(self) -> dict:
+        return {"type": "gauge", "value": self.value}
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name!r}={self.value})"
+
+
+class Histogram:
+    """A streaming summary of an observed distribution."""
+
+    __slots__ = ("name", "count", "total", "min", "max")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count: int = 0
+        self.total: float = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> Optional[float]:
+        """Arithmetic mean of the observations, ``None`` before any."""
+        return self.total / self.count if self.count else None
+
+    def to_dict(self) -> dict:
+        return {
+            "type": "histogram",
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+        }
+
+    def __repr__(self) -> str:
+        return f"Histogram({self.name!r}, n={self.count}, mean={self.mean})"
+
+
+class MetricsRegistry:
+    """A name-keyed collection of instruments."""
+
+    def __init__(self) -> None:
+        self._instruments: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _get(self, name: str, kind: type):
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = kind(name)
+            self._instruments[name] = instrument
+        elif type(instrument) is not kind:
+            raise ReproError(
+                f"metric {name!r} already registered as "
+                f"{type(instrument).__name__}, not {kind.__name__}"
+            )
+        return instrument
+
+    def counter(self, name: str) -> Counter:
+        """The counter of that name (created on first use)."""
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge of that name (created on first use)."""
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        """The histogram of that name (created on first use)."""
+        return self._get(name, Histogram)
+
+    def get(self, name: str):
+        """An already-registered instrument, or ``None``."""
+        return self._instruments.get(name)
+
+    def value(self, name: str, default=None):
+        """Shortcut: the scalar value of a counter/gauge, or ``default``."""
+        instrument = self._instruments.get(name)
+        if isinstance(instrument, (Counter, Gauge)):
+            return instrument.value
+        return default
+
+    def names(self) -> tuple[str, ...]:
+        """All registered metric names, sorted."""
+        return tuple(sorted(self._instruments))
+
+    def to_dict(self) -> dict:
+        """A JSON-serializable snapshot of every instrument."""
+        return {
+            name: self._instruments[name].to_dict()
+            for name in sorted(self._instruments)
+        }
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def __repr__(self) -> str:
+        return f"MetricsRegistry({len(self._instruments)} instruments)"

@@ -1,0 +1,166 @@
+"""Nested span recording.
+
+A :class:`Span` is one timed region of the evaluation pipeline — a whole
+``Sosae.evaluate`` call, one stage of it, one scenario walk, one event
+step. Spans nest: the recorder keeps a stack, so a span opened while
+another is in flight becomes its child, and a finished evaluation leaves
+a tree whose shape mirrors the pipeline's call structure.
+
+Each span carries wall-clock *and* CPU time (``time.perf_counter`` /
+``time.process_time``), so waiting (I/O, sleep) and computing are
+distinguishable in the profile, plus a free-form attribute dict for
+scenario names, architecture names, verdict summaries, and the like.
+
+:class:`SpanRecorder` is deliberately not thread-safe: the evaluation
+pipeline is synchronous, and a per-pipeline recorder keeps the hot path
+free of locks. Use one recorder per concurrent evaluation.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from functools import wraps
+from typing import Callable, Iterator, Optional
+
+
+class Span:
+    """One timed, attributed region; finished spans form a tree."""
+
+    __slots__ = (
+        "name",
+        "attributes",
+        "children",
+        "start_wall",
+        "end_wall",
+        "start_cpu",
+        "end_cpu",
+    )
+
+    def __init__(self, name: str, attributes: Optional[dict] = None) -> None:
+        self.name = name
+        self.attributes: dict = attributes or {}
+        self.children: list[Span] = []
+        self.start_wall: float = 0.0
+        self.end_wall: float = 0.0
+        self.start_cpu: float = 0.0
+        self.end_cpu: float = 0.0
+
+    # -- timing ---------------------------------------------------------
+
+    def begin(self) -> None:
+        self.start_wall = time.perf_counter()
+        self.start_cpu = time.process_time()
+
+    def finish(self) -> None:
+        self.end_wall = time.perf_counter()
+        self.end_cpu = time.process_time()
+
+    @property
+    def wall_seconds(self) -> float:
+        """Elapsed wall-clock time of the span."""
+        return self.end_wall - self.start_wall
+
+    @property
+    def cpu_seconds(self) -> float:
+        """CPU time consumed while the span was open (includes children)."""
+        return self.end_cpu - self.start_cpu
+
+    @property
+    def self_wall_seconds(self) -> float:
+        """Wall time not accounted for by any child span."""
+        return self.wall_seconds - sum(c.wall_seconds for c in self.children)
+
+    # -- structure ------------------------------------------------------
+
+    def add_child(self, child: "Span") -> "Span":
+        self.children.append(child)
+        return child
+
+    def set_attribute(self, key: str, value) -> None:
+        """Attach (or overwrite) one attribute."""
+        self.attributes[key] = value
+
+    def iter_spans(self) -> Iterator["Span"]:
+        """This span and every descendant, depth-first, preorder."""
+        yield self
+        for child in self.children:
+            yield from child.iter_spans()
+
+    def count(self) -> int:
+        """Number of spans in this subtree."""
+        return sum(1 for _ in self.iter_spans())
+
+    def __repr__(self) -> str:
+        return (
+            f"Span({self.name!r}, {self.wall_seconds * 1e3:.3f}ms, "
+            f"children={len(self.children)})"
+        )
+
+
+class SpanRecorder:
+    """Collects a forest of spans from one synchronous pipeline run."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.roots: list[Span] = []
+        self._stack: list[Span] = []
+
+    @contextmanager
+    def span(self, name: str, **attributes) -> Iterator[Span]:
+        """Open a span for the duration of the ``with`` block.
+
+        The span nests under the innermost open span; exceptions
+        propagate but still close the span (with an ``error`` attribute
+        naming the exception type).
+        """
+        span = Span(name, attributes or {})
+        if self._stack:
+            self._stack[-1].add_child(span)
+        else:
+            self.roots.append(span)
+        self._stack.append(span)
+        span.begin()
+        try:
+            yield span
+        except BaseException as error:
+            span.set_attribute("error", type(error).__name__)
+            raise
+        finally:
+            span.finish()
+            self._stack.pop()
+
+    def record(self, name: Optional[str] = None) -> Callable:
+        """Decorator form of :meth:`span` (span named after the function
+        unless given)."""
+
+        def decorate(function: Callable) -> Callable:
+            span_name = name or function.__qualname__
+
+            @wraps(function)
+            def wrapper(*args, **kwargs):
+                with self.span(span_name):
+                    return function(*args, **kwargs)
+
+            return wrapper
+
+        return decorate
+
+    def current_span(self) -> Optional[Span]:
+        """The innermost open span, if any."""
+        return self._stack[-1] if self._stack else None
+
+    def annotate(self, key: str, value) -> None:
+        """Attach an attribute to the innermost open span (no-op when no
+        span is open, so callers need not guard)."""
+        if self._stack:
+            self._stack[-1].set_attribute(key, value)
+
+    def clear(self) -> None:
+        """Drop all recorded spans (open spans keep recording)."""
+        self.roots.clear()
+
+    def __repr__(self) -> str:
+        total = sum(root.count() for root in self.roots)
+        return f"SpanRecorder(roots={len(self.roots)}, spans={total})"

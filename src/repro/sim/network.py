@@ -25,6 +25,7 @@ from dataclasses import dataclass
 from typing import Callable, Optional
 
 from repro.errors import SimulationError
+from repro.obs.recorder import current_recorder
 from repro.sim.engine import Simulator
 from repro.sim.node import Message, Node
 from repro.sim.trace import MessageTrace, TraceEventKind
@@ -129,17 +130,12 @@ class NetworkChannel:
         self.trace.record(
             self.simulator.now, TraceEventKind.SEND, source.name, message
         )
+        current_recorder().counter("sim.messages.sent").inc()
         if policy.drop_rate and self._rng.random() < policy.drop_rate:
             drop_delay = policy.latency + self._rng.uniform(0.0, policy.jitter)
             self.simulator.schedule(
                 drop_delay,
-                lambda: self.trace.record(
-                    self.simulator.now,
-                    TraceEventKind.DROP,
-                    destination.name,
-                    message,
-                    detail="lost in transit",
-                ),
+                lambda: self._record_transit_drop(message, destination),
             )
             return
         delay = policy.latency + (
@@ -156,6 +152,16 @@ class NetworkChannel:
             arrival, lambda: self._deliver(message, destination, policy)
         )
 
+    def _record_transit_drop(self, message: Message, destination: Node) -> None:
+        self.trace.record(
+            self.simulator.now,
+            TraceEventKind.DROP,
+            destination.name,
+            message,
+            detail="lost in transit",
+        )
+        current_recorder().counter("sim.messages.dropped").inc()
+
     def _deliver(
         self, message: Message, destination: Node, policy: ChannelPolicy
     ) -> None:
@@ -166,6 +172,7 @@ class NetworkChannel:
                 destination.name,
                 message,
             )
+            current_recorder().counter("sim.messages.delivered").inc()
             destination.deliver(message)
             return
         self.trace.record(
@@ -175,6 +182,7 @@ class NetworkChannel:
             message,
             detail="destination is down",
         )
+        current_recorder().counter("sim.messages.rejected").inc()
         # Never generate failure notices about failure notices (the ICMP
         # rule): error signalling must not feed back into itself.
         is_failure_signal = (
@@ -208,6 +216,7 @@ class NetworkChannel:
                 notice,
                 detail=f"{destination.name} unavailable",
             )
+            current_recorder().counter("sim.failure_notices").inc()
             sender.deliver(notice)
 
         self.simulator.schedule(policy.detection_delay, deliver_notice)

@@ -37,6 +37,7 @@ from repro.adl.behavior import Action, ActionKind, Statechart, StatechartInstanc
 from repro.adl.c2 import above_graph
 from repro.adl.structure import Architecture
 from repro.errors import SimulationError
+from repro.obs.recorder import current_recorder
 from repro.sim.engine import Simulator
 from repro.sim.failures import FailureInjector
 from repro.sim.network import FAILURE_MESSAGE, ChannelPolicy, NetworkChannel
@@ -190,6 +191,7 @@ class ArchitectureRuntime:
                 message,
                 detail="no outgoing link" + (f" on interface {via!r}" if via else ""),
             )
+            current_recorder().counter("sim.messages.dropped").inc()
 
     def _connector_handler(self, node: Node, message: Message) -> None:
         if message.name == FAILURE_MESSAGE and message.source == "network":
@@ -207,6 +209,7 @@ class ArchitectureRuntime:
                 message,
                 detail="ttl exhausted",
             )
+            current_recorder().counter("sim.messages.dropped").inc()
             return
         neighbors = self._forwarding_targets(node.name, message)
         visited = set(message.payload.get("visited", ()))

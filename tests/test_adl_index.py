@@ -324,6 +324,60 @@ class TestInvalidation:
         )
 
 
+class TestIndexStats:
+    def test_warm_requery_is_a_hit(self):
+        architecture = hub_architecture(seed=7, components=6)
+        index = CommunicationIndex(architecture)
+        index.can_communicate("component-0", "component-3")
+        cold = index.stats()
+        assert cold.misses > 0
+        assert cold.build_seconds > 0.0
+
+        index.can_communicate("component-0", "component-3")
+        warm = index.stats()
+        assert warm.hits == cold.hits + 1
+        assert warm.misses == cold.misses
+        assert warm.invalidations == 0
+
+    def test_structural_mutation_records_invalidation(self):
+        architecture = hub_architecture(seed=7, components=6)
+        index = CommunicationIndex(architecture)
+        index.can_communicate("component-0", "component-3")
+        assert index.stats().invalidations == 0
+
+        architecture.excise_links_between("component-3", "bus")
+        index.can_communicate("component-0", "component-1")
+        stats = index.stats()
+        assert stats.invalidations == 1
+        # The rebuild after invalidation is a fresh miss, not a hit.
+        assert stats.misses > 1
+
+    def test_unmemoized_index_only_misses(self):
+        architecture = hub_architecture(seed=7, components=6)
+        index = CommunicationIndex(architecture, memoize=False)
+        index.path("component-0", "component-3")
+        index.path("component-0", "component-3")
+        stats = index.stats()
+        assert stats.hits == 0
+        assert stats.misses >= 2
+
+    def test_stats_snapshot_and_reset(self):
+        architecture = hub_architecture(seed=7, components=4)
+        index = CommunicationIndex(architecture)
+        index.reachable("component-0")
+        snapshot = index.stats()
+        assert snapshot.to_dict()["misses"] == snapshot.misses
+        assert 0.0 <= snapshot.hit_rate <= 1.0
+        index.reset_stats()
+        zeroed = index.stats()
+        assert (zeroed.hits, zeroed.misses, zeroed.invalidations) == (0, 0, 0)
+        assert zeroed.build_seconds == 0.0
+        # Caches survive the reset: the next query is a pure hit.
+        index.reachable("component-0")
+        assert index.stats().hits == 1
+        assert index.stats().misses == 0
+
+
 class TestSharedIndex:
     def test_communication_index_is_cached_per_object(self):
         architecture = hub_architecture(seed=6, components=3)

@@ -210,3 +210,80 @@ class TestEvaluateFromFiles:
         assert main([*base_args, "--baseline", str(saved)]) == 0
         out = capsys.readouterr().out
         assert "no verdict changes" in out
+
+
+class TestObservabilityFlags:
+    def test_profile_prints_summary_after_identical_report(self, capsys):
+        assert main(["demo", "pims"]) == 0
+        plain = capsys.readouterr().out
+        assert main(["demo", "pims", "--profile"]) == 0
+        profiled = capsys.readouterr().out
+        # Observability must not change the report text, only append to it.
+        assert profiled.startswith(plain)
+        extra = profiled[len(plain):]
+        assert "=== profile ===" in extra
+        for stage in (
+            "evaluate.validation",
+            "evaluate.style_check",
+            "evaluate.coverage",
+            "evaluate.constraints",
+            "evaluate.walkthrough",
+        ):
+            assert stage in extra
+        assert "metrics:" in extra
+
+    def test_trace_and_metrics_files(self, tmp_path, capsys):
+        trace = tmp_path / "trace.json"
+        metrics = tmp_path / "metrics.json"
+        status = main(
+            [
+                "demo", "pims",
+                "--trace-out", str(trace),
+                "--metrics-out", str(metrics),
+            ]
+        )
+        assert status == 0
+        document = json.loads(trace.read_text())
+        events = document["traceEvents"]
+        assert {event["ph"] for event in events} == {"M", "X"}
+        assert any(event["name"] == "evaluate" for event in events)
+        snapshot = json.loads(metrics.read_text())
+        assert snapshot["walkthrough.steps"]["value"] > 0
+        assert snapshot["index.hits"]["value"] > 0
+
+    def test_exit_code_unchanged_on_inconsistent_variant(self, capsys):
+        assert main(["demo", "pims", "--variant", "excised"]) == 1
+        plain = capsys.readouterr().out
+        assert main(["demo", "pims", "--variant", "excised", "--profile"]) == 1
+        profiled = capsys.readouterr().out
+        assert profiled.startswith(plain)
+        assert "=== profile ===" in profiled
+
+    def test_evaluate_subcommand_accepts_the_flags(
+        self, tmp_path, capsys
+    ):
+        assert main(["export", "pims", "scenarioml"]) == 0
+        scenarios = tmp_path / "scenarios.xml"
+        scenarios.write_text(capsys.readouterr().out)
+        assert main(["export", "pims", "xadl"]) == 0
+        architecture = tmp_path / "architecture.xml"
+        architecture.write_text(capsys.readouterr().out)
+        assert main(["export", "pims", "mapping"]) == 0
+        mapping = tmp_path / "mapping.json"
+        mapping.write_text(capsys.readouterr().out)
+
+        metrics = tmp_path / "metrics.json"
+        status = main(
+            [
+                "evaluate",
+                "--scenarios", str(scenarios),
+                "--architecture", str(architecture),
+                "--mapping", str(mapping),
+                "--profile",
+                "--metrics-out", str(metrics),
+            ]
+        )
+        assert status == 0
+        out = capsys.readouterr().out
+        assert "=== profile ===" in out
+        assert json.loads(metrics.read_text())["walkthrough.traces"]["value"] > 0

@@ -1,0 +1,195 @@
+"""Tests for the observability primitives: spans, metrics, recorder."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ReproError
+from repro.obs import (
+    NULL_RECORDER,
+    MetricsRegistry,
+    NullRecorder,
+    Recorder,
+    SpanRecorder,
+    current_recorder,
+    observability_enabled,
+    set_recorder,
+    use,
+)
+
+
+class TestSpans:
+    def test_nesting_builds_a_tree(self):
+        recorder = SpanRecorder()
+        with recorder.span("root"):
+            with recorder.span("child-a"):
+                with recorder.span("grandchild"):
+                    pass
+            with recorder.span("child-b"):
+                pass
+        assert len(recorder.roots) == 1
+        root = recorder.roots[0]
+        assert root.name == "root"
+        assert [child.name for child in root.children] == ["child-a", "child-b"]
+        assert root.children[0].children[0].name == "grandchild"
+        assert root.count() == 4
+        assert [span.name for span in root.iter_spans()] == [
+            "root",
+            "child-a",
+            "grandchild",
+            "child-b",
+        ]
+
+    def test_timing_is_monotone_and_contains_children(self):
+        recorder = SpanRecorder()
+        with recorder.span("outer"):
+            with recorder.span("inner"):
+                sum(range(1000))
+        outer = recorder.roots[0]
+        inner = outer.children[0]
+        assert outer.wall_seconds >= inner.wall_seconds >= 0.0
+        assert outer.start_wall <= inner.start_wall
+        assert outer.end_wall >= inner.end_wall
+        assert outer.self_wall_seconds >= 0.0
+
+    def test_attributes_and_annotate(self):
+        recorder = SpanRecorder()
+        with recorder.span("work", phase="warm") as span:
+            span.set_attribute("items", 3)
+            recorder.annotate("note", "from-inside")
+        assert recorder.roots[0].attributes == {
+            "phase": "warm",
+            "items": 3,
+            "note": "from-inside",
+        }
+        # Annotating with no open span must not raise.
+        recorder.annotate("ignored", True)
+
+    def test_exception_closes_span_and_marks_error(self):
+        recorder = SpanRecorder()
+        with pytest.raises(ValueError):
+            with recorder.span("broken"):
+                raise ValueError("boom")
+        span = recorder.roots[0]
+        assert span.attributes["error"] == "ValueError"
+        assert span.end_wall >= span.start_wall
+        assert recorder.current_span() is None
+
+    def test_decorator_records_a_span(self):
+        recorder = SpanRecorder()
+
+        @recorder.record("named")
+        def work(x):
+            return x * 2
+
+        assert work(21) == 42
+        assert recorder.roots[0].name == "named"
+
+    def test_sibling_roots(self):
+        recorder = SpanRecorder()
+        with recorder.span("first"):
+            pass
+        with recorder.span("second"):
+            pass
+        assert [root.name for root in recorder.roots] == ["first", "second"]
+        recorder.clear()
+        assert recorder.roots == []
+
+
+class TestMetrics:
+    def test_counter(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("hits")
+        counter.inc()
+        counter.inc(4)
+        assert registry.counter("hits") is counter
+        assert registry.value("hits") == 5
+        with pytest.raises(ReproError):
+            counter.inc(-1)
+
+    def test_gauge(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("depth")
+        gauge.set(3.5)
+        gauge.add(-1.0)
+        assert registry.value("depth") == 2.5
+
+    def test_histogram(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("latency")
+        assert histogram.mean is None
+        for value in (1.0, 3.0, 2.0):
+            histogram.observe(value)
+        snapshot = histogram.to_dict()
+        assert snapshot["count"] == 3
+        assert snapshot["min"] == 1.0
+        assert snapshot["max"] == 3.0
+        assert snapshot["mean"] == pytest.approx(2.0)
+
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ReproError):
+            registry.gauge("x")
+
+    def test_to_dict_is_sorted_and_json_ready(self):
+        registry = MetricsRegistry()
+        registry.counter("b").inc()
+        registry.gauge("a").set(1.0)
+        snapshot = registry.to_dict()
+        assert list(snapshot) == ["a", "b"]
+        assert snapshot["b"] == {"type": "counter", "value": 1}
+        assert registry.names() == ("a", "b")
+        assert len(registry) == 2
+
+
+class TestRecorderIndirection:
+    def test_default_is_null_and_disabled(self):
+        assert current_recorder() is NULL_RECORDER
+        assert not observability_enabled()
+
+    def test_null_recorder_is_inert(self):
+        null = NullRecorder()
+        with null.span("anything", key="value") as span:
+            span.set_attribute("ignored", 1)
+        null.counter("c").inc(100)
+        null.gauge("g").set(1.0)
+        null.histogram("h").observe(2.0)
+        null.annotate("k", "v")
+        # Shared singletons: no per-call allocation.
+        assert null.span("a") is null.span("b")
+        assert null.counter("a") is null.histogram("b")
+
+    def test_use_scopes_the_recorder(self):
+        recorder = Recorder()
+        assert current_recorder() is NULL_RECORDER
+        with use(recorder) as installed:
+            assert installed is recorder
+            assert current_recorder() is recorder
+            assert observability_enabled()
+        assert current_recorder() is NULL_RECORDER
+
+    def test_use_restores_on_exception(self):
+        recorder = Recorder()
+        with pytest.raises(RuntimeError):
+            with use(recorder):
+                raise RuntimeError("boom")
+        assert current_recorder() is NULL_RECORDER
+
+    def test_set_recorder_returns_previous(self):
+        recorder = Recorder()
+        previous = set_recorder(recorder)
+        try:
+            assert previous is NULL_RECORDER
+            assert current_recorder() is recorder
+        finally:
+            set_recorder(previous)
+
+    def test_recorder_bundles_spans_and_metrics(self):
+        recorder = Recorder()
+        with recorder.span("work", what="test"):
+            recorder.counter("steps").inc(2)
+            recorder.annotate("deep", True)
+        assert recorder.roots[0].name == "work"
+        assert recorder.roots[0].attributes["deep"] is True
+        assert recorder.metrics.value("steps") == 2
