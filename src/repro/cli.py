@@ -9,15 +9,26 @@ Subcommands:
 * ``table`` — print the event-type × component mapping table.
 * ``export`` — print a case study's artifacts (ScenarioML XML, xADL XML,
   Acme text, or mapping JSON) for use as file inputs elsewhere.
+* ``explain`` — show the provenance chain behind one finding (or list
+  all finding ids) from a saved report or a freshly run demo.
+* ``runs`` — inspect the persistent run registry: ``runs list`` shows
+  recorded evaluations, ``runs diff A B`` compares two of them and
+  flags metric regressions.
 
 ``evaluate`` and ``demo`` accept observability flags: ``--profile``
 prints a span profile summary tree after the report, ``--trace-out FILE``
-writes a Chrome ``chrome://tracing``-compatible trace, and
-``--metrics-out FILE`` dumps the metrics registry as JSON. The flags
-never change the report or the exit status.
+writes a Chrome ``chrome://tracing``-compatible trace, ``--metrics-out
+FILE`` dumps the metrics registry as JSON, and ``--record`` snapshots
+the evaluation into the run registry (``--runs-dir``, default
+``.repro-runs/``). The flags never change the report or the exit status.
+
+Diagnostics go to stderr through the ``repro`` logger: ``-v`` / ``-vv``
+raise verbosity, ``--quiet`` shows errors only. Report output on stdout
+is unaffected.
 
 Exit status is 0 when the evaluated architecture is consistent with its
-scenarios, 1 when inconsistencies were found, 2 on usage errors.
+scenarios, 1 when inconsistencies were found (or ``runs diff`` detected
+a regression), 2 on usage errors.
 """
 
 from __future__ import annotations
@@ -35,7 +46,12 @@ from repro.core.evaluator import Sosae
 from repro.core.implied import detect_implied_scenarios
 from repro.core.mapping import Mapping
 from repro.core.ranking import rank_scenarios
-from repro.core.report import render_report
+from repro.core.report import (
+    render_explanation,
+    render_findings_index,
+    render_report,
+    resolve_finding,
+)
 from repro.core.report_io import (
     compare_reports,
     report_from_json,
@@ -43,8 +59,13 @@ from repro.core.report_io import (
 )
 from repro.errors import ReproError
 from repro.obs import (
+    DEFAULT_RUNS_DIR,
     Recorder,
+    RunRegistry,
     chrome_trace_json,
+    configure_logging,
+    diff_runs,
+    get_logger,
     metrics_to_json,
     render_profile,
     use,
@@ -57,6 +78,8 @@ from repro.sim.runtime import RuntimeConfig
 from repro.systems.crash import build_crash, build_crash_mapping
 from repro.systems.pims import build_pims
 
+_LOG = get_logger("cli")
+
 
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser."""
@@ -64,6 +87,14 @@ def build_parser() -> argparse.ArgumentParser:
         prog="sosae",
         description="Scenario and Ontology-based Software Architecture "
         "Evaluation",
+    )
+    parser.add_argument(
+        "-v", "--verbose", action="count", default=0,
+        help="increase diagnostic verbosity (-v info, -vv debug)",
+    )
+    parser.add_argument(
+        "-q", "--quiet", action="store_true",
+        help="suppress warnings; show errors only",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
@@ -166,6 +197,78 @@ def build_parser() -> argparse.ArgumentParser:
         "lint", help="run scenario clarity lints over a case study"
     )
     lint.add_argument("system", choices=("pims", "crash"))
+
+    explain = subparsers.add_parser(
+        "explain",
+        help="show the provenance chain behind a finding",
+        description="Explain why the evaluator reached one finding: the "
+        "scenario event it walked, the mapping resolution (including "
+        "supertype fallback hops), and the communication-index queries "
+        "whose answers produced the conclusion. Findings come from a "
+        "saved JSON report (--report) or from running a built-in demo "
+        "(--system/--variant). Without a finding id, all finding ids "
+        "are listed.",
+    )
+    explain.add_argument(
+        "finding_id", nargs="?", default=None,
+        help="finding id (or unique prefix) to explain; omit to list",
+    )
+    explain.add_argument(
+        "--list", action="store_true", dest="list_findings",
+        help="list every finding with its id",
+    )
+    explain.add_argument(
+        "--report", type=Path, default=None, metavar="FILE",
+        help="load findings from a saved JSON report",
+    )
+    explain.add_argument(
+        "--system", choices=("pims", "crash"), default=None,
+        help="run this built-in case study to obtain the findings",
+    )
+    explain.add_argument(
+        "--variant",
+        choices=("intact", "excised", "insecure"),
+        default="intact",
+        help="architecture variant for --system",
+    )
+
+    runs = subparsers.add_parser(
+        "runs",
+        help="inspect the persistent run registry",
+        description="Work with evaluations recorded via '--record': "
+        "list them, or diff two of them to spot metric and stage-time "
+        "regressions.",
+    )
+    runs_sub = runs.add_subparsers(dest="runs_command", required=True)
+    runs_list = runs_sub.add_parser("list", help="list recorded runs")
+    runs_list.add_argument(
+        "--runs-dir", type=Path, default=Path(DEFAULT_RUNS_DIR),
+        help="registry directory (default: %(default)s)",
+    )
+    runs_diff = runs_sub.add_parser(
+        "diff", help="compare two recorded runs"
+    )
+    runs_diff.add_argument(
+        "before", help="run id, or the alias 'latest' / 'previous'"
+    )
+    runs_diff.add_argument(
+        "after", help="run id, or the alias 'latest' / 'previous'"
+    )
+    runs_diff.add_argument(
+        "--runs-dir", type=Path, default=Path(DEFAULT_RUNS_DIR),
+        help="registry directory (default: %(default)s)",
+    )
+    runs_diff.add_argument(
+        "--threshold", type=float, default=0.1,
+        help="relative metric increase tolerated before flagging a "
+        "regression (default: %(default)s)",
+    )
+    runs_diff.add_argument(
+        "--time-threshold", type=float, default=None,
+        help="also flag stage wall-time (and timing-metric) increases "
+        "beyond this relative threshold; off by default because wall "
+        "times jitter between machines",
+    )
     return parser
 
 
@@ -182,13 +285,21 @@ def _add_observability_arguments(parser: argparse.ArgumentParser) -> None:
         "--metrics-out", type=Path, default=None, metavar="FILE",
         help="write the metrics registry as JSON",
     )
+    parser.add_argument(
+        "--record", action="store_true",
+        help="snapshot this evaluation into the run registry",
+    )
+    parser.add_argument(
+        "--runs-dir", type=Path, default=Path(DEFAULT_RUNS_DIR),
+        help="run registry directory (default: %(default)s)",
+    )
 
 
 @contextmanager
 def _observed(args: argparse.Namespace) -> Iterator[Optional[Recorder]]:
     """Install a live recorder for the block when any observability flag
     was given; yields it (or ``None`` when observability is off)."""
-    if not (args.profile or args.trace_out or args.metrics_out):
+    if not (args.profile or args.trace_out or args.metrics_out or args.record):
         yield None
         return
     recorder = Recorder()
@@ -208,14 +319,31 @@ def _emit_observability(
         print(render_profile(recorder.roots, recorder.metrics))
     if args.trace_out is not None:
         args.trace_out.write_text(chrome_trace_json(recorder.roots))
+        _LOG.info("wrote Chrome trace to %s", args.trace_out)
     if args.metrics_out is not None:
         args.metrics_out.write_text(metrics_to_json(recorder.metrics))
+        _LOG.info("wrote metrics snapshot to %s", args.metrics_out)
+
+
+def _record_run(
+    args: argparse.Namespace, label: str, report, recorder: Optional[Recorder]
+) -> None:
+    """Snapshot the evaluation into the run registry when asked."""
+    if not args.record or recorder is None:
+        return
+    registry = RunRegistry(args.runs_dir)
+    record = registry.record(label, report, recorder)
+    _LOG.info(
+        "recorded run %s (%s) under %s", record.run_id, label, registry.root
+    )
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit status."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    verbosity = -1 if args.quiet else args.verbose
+    configure_logging(verbosity, stream=sys.stderr)
     try:
         if args.command == "evaluate":
             return _run_evaluate(args)
@@ -233,15 +361,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _run_dot(args)
         if args.command == "lint":
             return _run_lint(args)
+        if args.command == "explain":
+            return _run_explain(args)
+        if args.command == "runs":
+            return _run_runs(args)
     except ReproError as error:
-        print(f"error: {error}", file=sys.stderr)
+        _LOG.error("error: %s", error)
         return 2
     except BrokenPipeError:
         # Output was piped into a consumer that stopped reading (head,
         # less, ...); that is not an error of ours.
         return 0
     except OSError as error:
-        print(f"error: {error}", file=sys.stderr)
+        _LOG.error("error: %s", error)
         return 2
     parser.error(f"unknown command {args.command!r}")
     return 2
@@ -262,8 +394,10 @@ def _run_evaluate(args: argparse.Namespace) -> int:
         report = Sosae(scenario_set, architecture, mapping).evaluate()
     print(render_report(report, markdown=args.markdown))
     _emit_observability(args, recorder)
+    _record_run(args, f"evaluate-{args.architecture.stem}", report, recorder)
     if args.save_report is not None:
         args.save_report.write_text(report_to_json(report))
+        _LOG.info("wrote report to %s", args.save_report)
     status = 0 if report.consistent else 1
     if args.baseline is not None:
         baseline = report_from_json(args.baseline.read_text())
@@ -286,6 +420,7 @@ class _Demo:
         bindings,
         runtime_config,
         dynamic_scenarios=None,
+        constraints=(),
     ) -> None:
         self.scenarios = scenarios
         self.architecture = architecture
@@ -294,6 +429,7 @@ class _Demo:
         self.bindings = bindings
         self.runtime_config = runtime_config
         self.dynamic_scenarios = dynamic_scenarios
+        self.constraints = constraints
 
 
 def _build_demo(system: str, variant: str) -> _Demo:
@@ -315,6 +451,7 @@ def _build_demo(system: str, variant: str) -> _Demo:
             pims.bindings,
             RuntimeConfig(policy=ChannelPolicy(latency=1.0)),
             dynamic_scenarios=("get-share-prices",),
+            constraints=pims.constraints,
         )
     crash = build_crash()
     if variant == "excised":
@@ -340,6 +477,7 @@ def _run_demo(args: argparse.Namespace) -> int:
         demo.architecture,
         demo.mapping,
         bindings=demo.bindings,
+        constraints=demo.constraints,
         walkthrough_options=demo.options,
         runtime_config=demo.runtime_config,
     )
@@ -353,6 +491,7 @@ def _run_demo(args: argparse.Namespace) -> int:
         )
     print(render_report(report, markdown=args.markdown))
     _emit_observability(args, recorder)
+    _record_run(args, f"demo-{args.system}-{args.variant}", report, recorder)
     return 0 if report.consistent else 1
 
 
@@ -416,6 +555,56 @@ def _run_lint(args: argparse.Namespace) -> int:
         print(f"  {finding}")
     print(f"{len(findings)} finding(s) (advisory)")
     return 0
+
+
+def _explained_report(args: argparse.Namespace):
+    """The report whose findings ``explain`` works on: a saved JSON
+    report, or a fresh (quiet) run of a built-in demo."""
+    if args.report is not None and args.system is not None:
+        raise ReproError("explain takes --report or --system, not both")
+    if args.report is not None:
+        return report_from_json(args.report.read_text())
+    if args.system is None:
+        raise ReproError(
+            "explain needs a findings source: --report FILE or "
+            "--system pims|crash"
+        )
+    demo = _build_demo(args.system, args.variant)
+    _LOG.info("evaluating %s (%s) for explanation", args.system, args.variant)
+    return Sosae(
+        demo.scenarios,
+        demo.architecture,
+        demo.mapping,
+        bindings=demo.bindings,
+        constraints=demo.constraints,
+        walkthrough_options=demo.options,
+        runtime_config=demo.runtime_config,
+    ).evaluate()
+
+
+def _run_explain(args: argparse.Namespace) -> int:
+    report = _explained_report(args)
+    if args.list_findings or args.finding_id is None:
+        print(render_findings_index(report))
+        return 0
+    finding = resolve_finding(report, args.finding_id)
+    print(render_explanation(finding))
+    return 0
+
+
+def _run_runs(args: argparse.Namespace) -> int:
+    registry = RunRegistry(args.runs_dir)
+    if args.runs_command == "list":
+        print(registry.render_list())
+        return 0
+    diff = diff_runs(
+        registry.get(args.before),
+        registry.get(args.after),
+        threshold=args.threshold,
+        time_threshold=args.time_threshold,
+    )
+    print(diff.render())
+    return 0 if diff.clean else 1
 
 
 def _run_dot(args: argparse.Namespace) -> int:

@@ -19,6 +19,8 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Optional
 
+from repro.obs.provenance import Provenance, finding_id
+
 
 class InconsistencyKind(Enum):
     """The ways an architecture can disagree with its requirements."""
@@ -42,7 +44,13 @@ class Severity(Enum):
 
 @dataclass(frozen=True)
 class Inconsistency:
-    """One finding of disagreement between requirements and architecture."""
+    """One finding of disagreement between requirements and architecture.
+
+    ``provenance`` carries the causal chain that produced the finding
+    (event position, mapping resolution, index queries); it is excluded
+    from equality and hashing so findings compare by what they conclude,
+    not by how the conclusion was reached.
+    """
 
     kind: InconsistencyKind
     message: str
@@ -50,6 +58,14 @@ class Inconsistency:
     event_label: Optional[str] = None
     elements: tuple[str, ...] = ()
     severity: Severity = Severity.ERROR
+    provenance: Optional[Provenance] = field(
+        default=None, compare=False, repr=False
+    )
+
+    @property
+    def finding_id(self) -> str:
+        """The content-derived id ``sosae explain`` looks findings up by."""
+        return finding_id(self)
 
     def __str__(self) -> str:
         location = ""

@@ -15,11 +15,13 @@ Constraints are checked against the architecture's structure and yield
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.adl.index import communication_index
 from repro.adl.structure import Architecture
 from repro.core.consistency import Inconsistency, InconsistencyKind
 from repro.errors import EvaluationError
+from repro.obs.provenance import IndexQuery, Provenance
 
 
 class Constraint:
@@ -31,11 +33,17 @@ class Constraint:
         """Violations of this constraint by the architecture."""
         raise NotImplementedError
 
-    def _violation(self, message: str, *elements: str) -> Inconsistency:
+    def _violation(
+        self,
+        message: str,
+        *elements: str,
+        provenance: Optional[Provenance] = None,
+    ) -> Inconsistency:
         return Inconsistency(
             kind=InconsistencyKind.CONSTRAINT_VIOLATION,
             message=f"{self.description or type(self).__name__}: {message}",
             elements=tuple(elements),
+            provenance=provenance,
         )
 
 
@@ -80,6 +88,23 @@ class MustRouteVia(Constraint):
                 self.source,
                 self.target,
                 self.via,
+                provenance=Provenance(
+                    conclusion=(
+                        f"the architecture admits a path between the "
+                        f"endpoints that bypasses the required mediator "
+                        f"{self.via!r}"
+                    ),
+                    queries=(
+                        IndexQuery(
+                            operation="path",
+                            sources=(self.source,),
+                            targets=(self.target,),
+                            avoiding=(self.via,),
+                            found=True,
+                            path=bypass,
+                        ),
+                    ),
+                ),
             )
         ]
 
@@ -105,6 +130,21 @@ class MustNotCommunicate(Constraint):
                 f"(path: {' - '.join(path)})",
                 self.first,
                 self.second,
+                provenance=Provenance(
+                    conclusion=(
+                        "the isolation requirement is violated: a "
+                        "communication path joins the two components"
+                    ),
+                    queries=(
+                        IndexQuery(
+                            operation="path",
+                            sources=(self.first,),
+                            targets=(self.second,),
+                            found=True,
+                            path=path,
+                        ),
+                    ),
+                ),
             )
         ]
 
@@ -133,6 +173,21 @@ class RequiresPath(Constraint):
                 f"no communication path from {self.source!r} to {self.target!r}",
                 self.source,
                 self.target,
+                provenance=Provenance(
+                    conclusion=(
+                        "the structural precondition of the requirement does "
+                        "not hold: the endpoints cannot communicate at all"
+                    ),
+                    queries=(
+                        IndexQuery(
+                            operation="can_communicate",
+                            sources=(self.source,),
+                            targets=(self.target,),
+                            respect_directions=self.respect_directions,
+                            found=False,
+                        ),
+                    ),
+                ),
             )
         ]
 
@@ -156,6 +211,21 @@ class ForbidsDirectLink(Constraint):
                 f"{self.second!r}",
                 self.first,
                 self.second,
+                provenance=Provenance(
+                    conclusion=(
+                        "communication between the components must be "
+                        "mediated, but the structure links them directly"
+                    ),
+                    queries=(
+                        IndexQuery(
+                            operation="links_between",
+                            sources=(self.first,),
+                            targets=(self.second,),
+                            found=True,
+                            path=(self.first, link.name, self.second),
+                        ),
+                    ),
+                ),
             )
             for link in links
         ]

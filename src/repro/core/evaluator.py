@@ -51,6 +51,7 @@ from repro.core.mapping import Mapping
 from repro.core.negative import evaluate_negative_scenario
 from repro.core.walkthrough import WalkthroughEngine, WalkthroughOptions
 from repro.errors import EvaluationError
+from repro.obs.provenance import MappingResolution, Provenance
 from repro.obs.recorder import current_recorder
 from repro.scenarioml.scenario import Scenario, ScenarioSet
 from repro.scenarioml.validation import IssueSeverity, validate_scenario_set
@@ -238,17 +239,28 @@ class Sosae:
         ]
 
     def _coverage_findings(self) -> list[Inconsistency]:
-        findings = [
-            Inconsistency(
-                kind=InconsistencyKind.UNMAPPED_EVENT,
-                message=(
-                    f"event type {name!r} is used by the scenarios but maps "
-                    "to no component"
-                ),
-                severity=Severity.WARNING,
+        findings = []
+        for name in self.mapping.unmapped_event_types(self.scenario_set):
+            _, hops = self.mapping.resolution_for(name)
+            findings.append(
+                Inconsistency(
+                    kind=InconsistencyKind.UNMAPPED_EVENT,
+                    message=(
+                        f"event type {name!r} is used by the scenarios but "
+                        "maps to no component"
+                    ),
+                    severity=Severity.WARNING,
+                    provenance=Provenance(
+                        conclusion=(
+                            "mapping coverage check: neither the type nor "
+                            "any supertype carries a mapping entry"
+                        ),
+                        resolution=MappingResolution(
+                            event_type=name, hops=hops
+                        ),
+                    ),
+                )
             )
-            for name in self.mapping.unmapped_event_types(self.scenario_set)
-        ]
         findings.extend(
             Inconsistency(
                 kind=InconsistencyKind.UNMAPPED_COMPONENT,
@@ -258,6 +270,13 @@ class Sosae:
                 ),
                 elements=(name,),
                 severity=Severity.WARNING,
+                provenance=Provenance(
+                    conclusion=(
+                        "mapping coverage check: no mapping entry names the "
+                        "component (directly or through a nested "
+                        "subcomponent), so no scenario event can reach it"
+                    ),
+                ),
             )
             for name in self.mapping.unmapped_components()
         )

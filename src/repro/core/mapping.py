@@ -131,6 +131,31 @@ class Mapping:
                     return inherited
         return ()
 
+    def resolution_for(
+        self, event_type_name: str, use_supertypes: bool = True
+    ) -> tuple[tuple[str, ...], tuple[str, ...]]:
+        """Like :meth:`components_for`, but also reports the chain of
+        event types consulted.
+
+        Returns ``(components, hops)``: ``hops`` starts at the type
+        itself and, under supertype fallback, continues through each
+        ancestor consulted; when ``components`` is non-empty the last
+        hop is the type whose mapping entry answered. Used by finding
+        provenance to show the resolution path an analyst would have
+        walked by hand.
+        """
+        direct = self._event_to_components.get(event_type_name)
+        if direct is not None:
+            return direct, (event_type_name,)
+        hops = [event_type_name]
+        if use_supertypes and self.ontology.has_event_type(event_type_name):
+            for ancestor in self.ontology.event_type_ancestors(event_type_name):
+                hops.append(ancestor)
+                inherited = self._event_to_components.get(ancestor)
+                if inherited is not None:
+                    return inherited, tuple(hops)
+        return (), tuple(hops)
+
     def event_types_for(self, component_name: str) -> tuple[str, ...]:
         """The event types mapped to a component."""
         return tuple(

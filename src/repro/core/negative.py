@@ -24,6 +24,7 @@ from repro.core.consistency import (
 )
 from repro.core.walkthrough import WalkthroughEngine
 from repro.errors import EvaluationError
+from repro.obs.provenance import EventContext, IndexQuery, Provenance
 from repro.scenarioml.scenario import Scenario, ScenarioSet
 
 
@@ -63,12 +64,65 @@ def evaluate_negative_scenario(
             "successfully: the architecture admits the undesirable behavior"
         ),
         scenario=scenario.name,
+        provenance=_success_provenance(engine, scenario, raw),
     )
     return ScenarioVerdict(
         scenario=raw.scenario,
         traces=raw.traces,
         inconsistencies=(*raw.inconsistencies, finding),
         negative=True,
+    )
+
+
+def _success_provenance(
+    engine: WalkthroughEngine, scenario: Scenario, raw: ScenarioVerdict
+) -> Provenance:
+    """The causal chain of a negative scenario that walked cleanly.
+
+    The inconsistency is the *success* itself, so the chain replays the
+    communication paths that let the undesirable flow through — each
+    inter-event path the walkthrough found, reconstructed from the
+    recorded steps (no re-query)."""
+    directed = engine.options.inter_event_directed
+    queries: list[IndexQuery] = []
+    first_step = None
+    for trace in raw.traces:
+        previous: tuple[str, ...] = ()
+        for step in trace.steps:
+            if first_step is None and step.event_type is not None:
+                first_step = (trace.trace_index, step)
+            if step.path and previous:
+                queries.append(
+                    IndexQuery(
+                        operation="best_path_between",
+                        sources=previous,
+                        targets=step.components,
+                        respect_directions=directed,
+                        found=True,
+                        path=step.path,
+                    )
+                )
+            if step.components:
+                previous = step.components
+    event = None
+    if first_step is not None:
+        trace_index, step = first_step
+        event = EventContext(
+            scenario=scenario.name,
+            trace_index=trace_index,
+            event_index=0,
+            event_label=step.event_label,
+            event_rendering=step.event_rendering,
+        )
+    return Provenance(
+        conclusion=(
+            f"all {len(raw.traces)} trace(s) of the negative scenario walked "
+            "cleanly — every event resolved to components and every "
+            "inter-event communication path exists, so the architecture "
+            "structurally admits the undesirable behavior"
+        ),
+        event=event,
+        queries=tuple(queries),
     )
 
 

@@ -1,8 +1,17 @@
-"""Rendering evaluation reports as text or markdown."""
+"""Rendering evaluation reports as text or markdown — and *explaining*
+individual findings from their provenance chains.
+
+A finding in the rendered report is a conclusion; ``sosae explain
+<finding-id>`` turns it back into the walkthrough's reasoning. The
+helpers here resolve content-derived finding ids
+(:func:`repro.obs.provenance.finding_id`) against a report and render
+the attached :class:`~repro.obs.provenance.Provenance`.
+"""
 
 from __future__ import annotations
 
-from repro.core.consistency import EvaluationReport, Severity
+from repro.core.consistency import EvaluationReport, Inconsistency, Severity
+from repro.errors import EvaluationError
 
 
 def render_report(report: EvaluationReport, markdown: bool = False) -> str:
@@ -10,6 +19,72 @@ def render_report(report: EvaluationReport, markdown: bool = False) -> str:
     if markdown:
         return _render_markdown(report)
     return _render_text(report)
+
+
+# ----------------------------------------------------------------------
+# Finding explanation
+# ----------------------------------------------------------------------
+
+def findings_with_ids(
+    report: EvaluationReport,
+) -> tuple[tuple[str, Inconsistency], ...]:
+    """Every finding in the report, paired with its content-derived id.
+
+    Textually identical findings share one id (they are one finding
+    observed in several places); only the first occurrence is kept.
+    """
+    seen: dict[str, Inconsistency] = {}
+    for finding in report.all_inconsistencies():
+        seen.setdefault(finding.finding_id, finding)
+    return tuple(seen.items())
+
+
+def resolve_finding(report: EvaluationReport, id_prefix: str) -> Inconsistency:
+    """The unique finding whose id starts with ``id_prefix``.
+
+    Raises :class:`~repro.errors.EvaluationError` when the prefix
+    matches no finding or more than one."""
+    matches = [
+        (finding_id, finding)
+        for finding_id, finding in findings_with_ids(report)
+        if finding_id.startswith(id_prefix)
+    ]
+    if not matches:
+        raise EvaluationError(
+            f"no finding with id {id_prefix!r}; "
+            "use 'explain --list' to see all finding ids"
+        )
+    if len(matches) > 1:
+        ids = ", ".join(finding_id for finding_id, _ in matches)
+        raise EvaluationError(
+            f"finding id prefix {id_prefix!r} is ambiguous ({ids})"
+        )
+    return matches[0][1]
+
+
+def render_findings_index(report: EvaluationReport) -> str:
+    """One line per finding: its id and its conclusion (for
+    ``explain --list``)."""
+    pairs = findings_with_ids(report)
+    if not pairs:
+        return "no findings"
+    return "\n".join(
+        f"{finding_id}  {finding}" for finding_id, finding in pairs
+    )
+
+
+def render_explanation(finding: Inconsistency) -> str:
+    """The finding plus its full provenance chain."""
+    lines = [f"finding {finding.finding_id}: {finding}"]
+    if finding.provenance is None or finding.provenance.empty:
+        lines.append(
+            "  (no provenance recorded — the finding predates provenance "
+            "capture or was deserialized from an older report)"
+        )
+    else:
+        lines.append("causal chain:")
+        lines.append(finding.provenance.render())
+    return "\n".join(lines)
 
 
 def _render_text(report: EvaluationReport) -> str:

@@ -25,6 +25,7 @@ from repro.core.consistency import (
     WalkthroughStep,
 )
 from repro.errors import SerializationError
+from repro.obs.provenance import provenance_from_dict
 
 _FORMAT_VERSION = 1
 
@@ -100,14 +101,18 @@ def _step_to_dict(step: WalkthroughStep) -> dict:
 
 
 def _inconsistency_to_dict(finding: Inconsistency) -> dict:
-    return {
+    data = {
         "kind": finding.kind.value,
         "severity": finding.severity.value,
         "message": finding.message,
         "scenario": finding.scenario,
         "label": finding.event_label,
         "elements": list(finding.elements),
+        "id": finding.finding_id,
     }
+    if finding.provenance is not None:
+        data["provenance"] = finding.provenance.to_dict()
+    return data
 
 
 # ----------------------------------------------------------------------
@@ -221,6 +226,9 @@ def _inconsistency_from_dict(data: dict) -> Inconsistency:
         severity = Severity(data.get("severity", "error"))
     except ValueError as error:
         raise SerializationError(str(error)) from error
+    provenance = None
+    if data.get("provenance") is not None:
+        provenance = provenance_from_dict(data["provenance"])
     return Inconsistency(
         kind=kind,
         severity=severity,
@@ -228,6 +236,7 @@ def _inconsistency_from_dict(data: dict) -> Inconsistency:
         scenario=data.get("scenario"),
         event_label=data.get("label"),
         elements=tuple(data.get("elements", ())),
+        provenance=provenance,
     )
 
 

@@ -46,6 +46,12 @@ from repro.core.consistency import (
 )
 from repro.core.mapping import Mapping
 from repro.errors import EvaluationError
+from repro.obs.provenance import (
+    EventContext,
+    IndexQuery,
+    MappingResolution,
+    Provenance,
+)
 from repro.obs.recorder import current_recorder
 from repro.scenarioml.events import Event, SimpleEvent, TypedEvent
 from repro.scenarioml.scenario import Scenario, ScenarioSet, TraceOptions
@@ -192,7 +198,7 @@ class WalkthroughEngine:
         typed_events = 0
         resolutions = 0
         fallbacks = 0
-        for event in trace:
+        for position, event in enumerate(trace):
             if isinstance(event, TypedEvent):
                 if enabled:
                     typed_events += 1
@@ -204,7 +210,8 @@ class WalkthroughEngine:
                     ) as step_span:
                         step, step_findings, components = (
                             self._walk_typed_event(
-                                scenario, event, previous_components
+                                scenario, event, previous_components,
+                                index, position,
                             )
                         )
                         step_span.set_attribute("ok", step.ok)
@@ -216,14 +223,16 @@ class WalkthroughEngine:
                             fallbacks += 1
                 else:
                     step, step_findings, components = self._walk_typed_event(
-                        scenario, event, previous_components
+                        scenario, event, previous_components, index, position
                     )
                 steps.append(step)
                 findings.extend(step_findings)
                 if components:
                     previous_components = components
             elif isinstance(event, SimpleEvent):
-                step, step_findings = self._walk_simple_event(scenario, event)
+                step, step_findings = self._walk_simple_event(
+                    scenario, event, index, position
+                )
                 steps.append(step)
                 findings.extend(step_findings)
             else:
@@ -256,16 +265,32 @@ class WalkthroughEngine:
         scenario: Scenario,
         event: TypedEvent,
         previous_components: Optional[tuple[str, ...]],
+        trace_index: int,
+        event_index: int,
     ) -> tuple[WalkthroughStep, list[Inconsistency], tuple[str, ...]]:
         rendering = event.render(self.mapping.ontology)
-        components = self.mapping.components_for(event.type_name)
+        components, hops = self.mapping.resolution_for(event.type_name)
         if not components:
+            resolution = MappingResolution(
+                event_type=event.type_name, hops=hops
+            )
             findings = self._policy_findings(
                 self.options.unmapped_event_policy,
                 InconsistencyKind.UNMAPPED_EVENT,
                 f"event type {event.type_name!r} maps to no component",
                 scenario,
                 event,
+                provenance=Provenance(
+                    conclusion=(
+                        "no mapping entry answers for the event type or any "
+                        "of its supertypes; the walkthrough cannot place the "
+                        "event in the architecture"
+                    ),
+                    event=self._event_context(
+                        scenario, event, rendering, trace_index, event_index
+                    ),
+                    resolution=resolution,
+                ),
             )
             step = WalkthroughStep(
                 event_rendering=rendering,
@@ -280,6 +305,12 @@ class WalkthroughEngine:
 
         tops = _unique(
             self.mapping.top_level_component(component) for component in components
+        )
+        resolution = MappingResolution(
+            event_type=event.type_name,
+            hops=hops,
+            entry_components=components,
+            components=tops,
         )
         findings: list[Inconsistency] = []
         path: Optional[tuple[str, ...]] = None
@@ -306,6 +337,29 @@ class WalkthroughEngine:
                         scenario=scenario.name,
                         event_label=event.label,
                         elements=(*previous_components, *tops),
+                        provenance=Provenance(
+                            conclusion=(
+                                "the scenario's focus cannot move from the "
+                                "previous event's components to this event's "
+                                "components: a link the requirements assume "
+                                "is missing from the architecture"
+                            ),
+                            event=self._event_context(
+                                scenario, event, rendering,
+                                trace_index, event_index,
+                            ),
+                            resolution=resolution,
+                            queries=(
+                                IndexQuery(
+                                    operation="best_path_between",
+                                    sources=previous_components,
+                                    targets=tops,
+                                    respect_directions=(
+                                        self.options.inter_event_directed
+                                    ),
+                                ),
+                            ),
+                        ),
                     )
                 )
 
@@ -326,6 +380,20 @@ class WalkthroughEngine:
                         scenario=scenario.name,
                         event_label=event.label,
                         elements=(source, target),
+                        provenance=Provenance(
+                            conclusion=(
+                                "the event's high-level action decomposes "
+                                "into low-level actions flowing through its "
+                                "mapped components in order, and that chain "
+                                "is broken"
+                            ),
+                            event=self._event_context(
+                                scenario, event, rendering,
+                                trace_index, event_index,
+                            ),
+                            resolution=resolution,
+                            queries=self._chain_queries(tops, (source, target)),
+                        ),
                     )
                 )
 
@@ -341,7 +409,11 @@ class WalkthroughEngine:
         return step, findings, tops
 
     def _walk_simple_event(
-        self, scenario: Scenario, event: SimpleEvent
+        self,
+        scenario: Scenario,
+        event: SimpleEvent,
+        trace_index: int,
+        event_index: int,
     ) -> tuple[WalkthroughStep, list[Inconsistency]]:
         findings = self._policy_findings(
             self.options.simple_event_policy,
@@ -350,6 +422,16 @@ class WalkthroughEngine:
             "(no ontology event type)",
             scenario,
             event,
+            provenance=Provenance(
+                conclusion=(
+                    "the event is free text with no ontology event type, so "
+                    "no mapping entry can place it; the step is skipped"
+                ),
+                event=self._event_context(
+                    scenario, event, event.text, trace_index, event_index
+                ),
+                resolution=MappingResolution(event_type=None),
+            ),
         )
         step = WalkthroughStep(
             event_rendering=event.text,
@@ -361,6 +443,47 @@ class WalkthroughEngine:
             note="natural-language event; skipped",
         )
         return step, findings
+
+    @staticmethod
+    def _event_context(
+        scenario: Scenario,
+        event: Event,
+        rendering: str,
+        trace_index: int,
+        event_index: int,
+    ) -> EventContext:
+        return EventContext(
+            scenario=scenario.name,
+            trace_index=trace_index,
+            event_index=event_index,
+            event_label=event.label,
+            event_rendering=rendering,
+        )
+
+    def _chain_queries(
+        self, tops: tuple[str, ...], broken: tuple[str, str]
+    ) -> tuple[IndexQuery, ...]:
+        """Reconstruct the intra-event chain checks up to (and including)
+        the first broken pair, for provenance. The pairs before the break
+        are known to have passed — no re-query needed."""
+        directed = self.options.intra_event_directed
+        queries: list[IndexQuery] = []
+        for source, target in zip(tops, tops[1:]):
+            if source == target:
+                continue
+            failed = (source, target) == broken
+            queries.append(
+                IndexQuery(
+                    operation="can_communicate",
+                    sources=(source,),
+                    targets=(target,),
+                    respect_directions=directed,
+                    found=not failed,
+                )
+            )
+            if failed:
+                break
+        return tuple(queries)
 
     # ------------------------------------------------------------------
     # Connectivity helpers
@@ -401,6 +524,7 @@ class WalkthroughEngine:
         message: str,
         scenario: Scenario,
         event: Event,
+        provenance: Optional[Provenance] = None,
     ) -> list[Inconsistency]:
         if policy == "ignore":
             return []
@@ -412,6 +536,7 @@ class WalkthroughEngine:
                 scenario=scenario.name,
                 event_label=event.label,
                 severity=severity,
+                provenance=provenance,
             )
         ]
 

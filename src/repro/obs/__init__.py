@@ -29,7 +29,17 @@ from repro.obs.export import (
     spans_from_jsonl,
     spans_to_jsonl,
 )
+from repro.obs.log import configure as configure_logging
+from repro.obs.log import get_logger
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.provenance import (
+    EventContext,
+    IndexQuery,
+    MappingResolution,
+    Provenance,
+    finding_id,
+    provenance_from_dict,
+)
 from repro.obs.recorder import (
     NULL_RECORDER,
     NullRecorder,
@@ -39,27 +49,55 @@ from repro.obs.recorder import (
     set_recorder,
     use,
 )
+from repro.obs.runs import (
+    DEFAULT_RUNS_DIR,
+    MetricDelta,
+    RunDiff,
+    RunRecord,
+    RunRegistry,
+    StageDelta,
+    current_git_sha,
+    diff_runs,
+    stage_summary,
+)
 from repro.obs.spans import Span, SpanRecorder
 
 __all__ = [
     "Counter",
+    "DEFAULT_RUNS_DIR",
+    "EventContext",
     "Gauge",
     "Histogram",
+    "IndexQuery",
+    "MappingResolution",
+    "MetricDelta",
     "MetricsRegistry",
     "NULL_RECORDER",
     "NullRecorder",
+    "Provenance",
     "Recorder",
+    "RunDiff",
+    "RunRecord",
+    "RunRegistry",
     "Span",
     "SpanRecorder",
+    "StageDelta",
     "chrome_trace",
     "chrome_trace_json",
+    "configure_logging",
+    "current_git_sha",
     "current_recorder",
+    "diff_runs",
+    "finding_id",
+    "get_logger",
     "metrics_to_json",
     "observability_enabled",
+    "provenance_from_dict",
     "render_profile",
     "set_recorder",
     "spans_from_chrome_trace",
     "spans_from_jsonl",
     "spans_to_jsonl",
+    "stage_summary",
     "use",
 ]

@@ -130,7 +130,10 @@ def chrome_trace(
 
     Times are microseconds relative to the earliest root start, so the
     viewer's timeline starts at zero regardless of ``perf_counter``'s
-    arbitrary epoch.
+    arbitrary epoch. An empty forest yields a valid document with only
+    the process-name metadata event; a span that never finished (or has
+    zero duration) is emitted with ``dur`` clamped to zero rather than a
+    negative value the viewer rejects.
     """
     events: list[dict] = [
         {
@@ -152,7 +155,7 @@ def chrome_trace(
                 "pid": 1,
                 "tid": 1,
                 "ts": (span.start_wall - base) * 1e6,
-                "dur": span.wall_seconds * 1e6,
+                "dur": max(span.wall_seconds, 0.0) * 1e6,
                 "args": _safe_attributes(span.attributes),
             }
         )
@@ -218,10 +221,17 @@ def render_profile(
     Same-named siblings are aggregated into one ``×N`` row (count, total
     wall, total CPU, share of the root's wall time); rows keep
     first-appearance order so the tree reads in pipeline order.
+
+    Degenerate inputs stay sensible: an empty forest renders a
+    placeholder line (plus any metrics) instead of nothing, and a
+    zero-duration root renders its children's share column as ``n/a``
+    rather than dividing by (almost) zero.
     """
     lines: list[str] = []
+    if not roots:
+        lines.append("(no spans recorded)")
     for root in roots:
-        root_wall = root.wall_seconds or 1e-12
+        root_wall = root.wall_seconds if root.wall_seconds > 0 else None
         lines.append(
             f"{root.name}  "
             f"wall {_ms(root.wall_seconds)}  cpu {_ms(root.cpu_seconds)}"
@@ -247,7 +257,7 @@ def render_profile(
 def _render_children(
     children: Iterable[Span],
     depth: int,
-    root_wall: float,
+    root_wall: Optional[float],
     lines: list[str],
     max_depth: Optional[int],
 ) -> None:
@@ -260,13 +270,17 @@ def _render_children(
         wall = sum(span.wall_seconds for span in group)
         cpu = sum(span.cpu_seconds for span in group)
         count = f" ×{len(group)}" if len(group) > 1 else ""
-        share = 100.0 * wall / root_wall
+        share = (
+            f"{100.0 * wall / root_wall:5.1f}%"
+            if root_wall is not None
+            else "  n/a "
+        )
         attributes = (
             _render_attributes(group[0].attributes) if len(group) == 1 else ""
         )
         lines.append(
             f"{'  ' * depth}{name}{count}  "
-            f"wall {_ms(wall)}  cpu {_ms(cpu)}  {share:5.1f}%{attributes}"
+            f"wall {_ms(wall)}  cpu {_ms(cpu)}  {share}{attributes}"
         )
         merged = [
             grandchild for span in group for grandchild in span.children

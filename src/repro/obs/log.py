@@ -1,0 +1,84 @@
+"""``logging``-based diagnostics for the package.
+
+Everything under ``repro`` logs through one package logger hierarchy
+(``repro``, ``repro.cli``, ``repro.obs.runs``, …). Library code only
+ever *emits* — :func:`get_logger` attaches no handlers, so embedding
+applications keep full control. The CLI is the one place a handler is
+installed: :func:`configure` wires a stderr handler whose level follows
+the ``--quiet`` / ``-v`` flags, keeping diagnostics strictly separate
+from report output on stdout.
+
+Verbosity levels (:func:`configure`'s ``verbosity``):
+
+* ``-1`` (``--quiet``) — errors only;
+* ``0`` (default) — warnings and errors;
+* ``1`` (``-v``) — informational progress messages;
+* ``2`` (``-vv``) — debug detail.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import Optional, TextIO
+
+__all__ = ["PACKAGE_LOGGER", "configure", "get_logger"]
+
+PACKAGE_LOGGER = "repro"
+
+_LEVELS = {
+    -1: logging.ERROR,
+    0: logging.WARNING,
+    1: logging.INFO,
+    2: logging.DEBUG,
+}
+
+
+def get_logger(name: Optional[str] = None) -> logging.Logger:
+    """A logger under the package hierarchy.
+
+    ``get_logger()`` is the package logger itself; ``get_logger("cli")``
+    or ``get_logger(__name__)`` yield children (a fully qualified
+    ``repro.*`` name is used as-is)."""
+    if name is None:
+        return logging.getLogger(PACKAGE_LOGGER)
+    if name == PACKAGE_LOGGER or name.startswith(PACKAGE_LOGGER + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{PACKAGE_LOGGER}.{name}")
+
+
+def configure(
+    verbosity: int = 0, stream: Optional[TextIO] = None
+) -> logging.Logger:
+    """Install (or retune) the package's stderr handler.
+
+    Idempotent: repeated calls adjust the existing handler's level and
+    stream instead of stacking handlers, so tests and long-lived
+    processes can reconfigure freely. Returns the package logger.
+    """
+    level = _LEVELS.get(max(-1, min(2, verbosity)), logging.WARNING)
+    logger = logging.getLogger(PACKAGE_LOGGER)
+    logger.setLevel(level)
+    handler = next(
+        (
+            existing
+            for existing in logger.handlers
+            if getattr(existing, "_repro_cli_handler", False)
+        ),
+        None,
+    )
+    if handler is None:
+        handler = logging.StreamHandler(stream or sys.stderr)
+        handler._repro_cli_handler = True  # type: ignore[attr-defined]
+        handler.setFormatter(logging.Formatter("%(message)s"))
+        logger.addHandler(handler)
+    elif stream is not None and stream is not handler.stream:
+        try:
+            handler.setStream(stream)
+        except ValueError:
+            # setStream flushes the old stream first; if that stream was
+            # already closed (test harnesses swap and close stderr),
+            # swap without the flush.
+            handler.stream = stream
+    handler.setLevel(level)
+    return logger

@@ -1,0 +1,294 @@
+"""Finding provenance: the causal chain behind each inconsistency.
+
+The walkthrough is the paper's *explanation* device — an analyst reading
+"missing link A→B" should be able to see *why* the scenario event could
+not traverse the architecture. A :class:`Provenance` record preserves
+that chain for every finding:
+
+* the scenario event and its position in the expanded trace
+  (:class:`EventContext`);
+* how the event type resolved through the mapping, including any
+  supertype-fallback hops and the mapping entry that finally answered
+  (:class:`MappingResolution`);
+* every :class:`~repro.adl.index.CommunicationIndex` query the check
+  issued, with its arguments and outcome (:class:`IndexQuery`);
+* a one-line ``conclusion`` naming the causal step that failed.
+
+Findings are addressed by a *content-derived id*
+(:func:`finding_id`) — a short digest of the finding's observable
+fields — so the same finding keeps the same id across runs, reports,
+and serialization round-trips. The CLI's ``explain`` subcommand looks
+findings up by (a prefix of) that id and renders the chain with
+:meth:`Provenance.render`.
+
+This module deliberately imports nothing from :mod:`repro.core`:
+``core.consistency`` attaches a ``Provenance`` to each finding, so the
+dependency must point core → obs only.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ReproError
+
+__all__ = [
+    "EventContext",
+    "IndexQuery",
+    "MappingResolution",
+    "Provenance",
+    "finding_id",
+    "provenance_from_dict",
+]
+
+
+@dataclass(frozen=True)
+class EventContext:
+    """Where in the scenario the finding originated."""
+
+    scenario: Optional[str] = None
+    trace_index: Optional[int] = None
+    event_index: Optional[int] = None
+    event_label: Optional[str] = None
+    event_rendering: Optional[str] = None
+
+    def render(self) -> str:
+        parts = []
+        if self.scenario:
+            parts.append(f"scenario {self.scenario!r}")
+        if self.trace_index is not None:
+            parts.append(f"trace {self.trace_index}")
+        if self.event_index is not None:
+            parts.append(f"event {self.event_index}")
+        if self.event_label:
+            parts.append(f"({self.event_label})")
+        rendered = " ".join(parts) if parts else "unknown position"
+        if self.event_rendering:
+            rendered += f": {self.event_rendering!r}"
+        return rendered
+
+
+@dataclass(frozen=True)
+class MappingResolution:
+    """How an event type resolved (or failed to resolve) to components.
+
+    ``hops`` is the chain of event types consulted, starting at the
+    event's own type; more than one hop means supertype fallback was
+    used, and the last hop is the type whose mapping entry answered
+    (when ``entry_components`` is non-empty). ``components`` are the
+    resolved *top-level* components used by connectivity checks.
+    """
+
+    event_type: Optional[str]
+    hops: tuple[str, ...] = ()
+    entry_components: tuple[str, ...] = ()
+    components: tuple[str, ...] = ()
+
+    @property
+    def used_fallback(self) -> bool:
+        """Whether supertype fallback supplied the mapping."""
+        return bool(self.entry_components) and len(self.hops) > 1
+
+    def render(self) -> str:
+        if self.event_type is None:
+            return "no ontology event type (natural-language event)"
+        if not self.entry_components:
+            consulted = " -> ".join(self.hops) if self.hops else self.event_type
+            return (
+                f"event type {self.event_type!r} resolved to no component "
+                f"(mapping entries consulted: {consulted})"
+            )
+        lines = []
+        if self.used_fallback:
+            lines.append(
+                f"event type {self.event_type!r} resolved via supertype "
+                f"fallback: {' -> '.join(self.hops)}"
+            )
+        else:
+            lines.append(f"event type {self.event_type!r} mapped directly")
+        lines.append(
+            f"mapping entry: {self.hops[-1] if self.hops else self.event_type}"
+            f" -> {{{', '.join(self.entry_components)}}}"
+        )
+        if self.components and self.components != self.entry_components:
+            lines.append(
+                f"top-level components: {', '.join(self.components)}"
+            )
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class IndexQuery:
+    """One CommunicationIndex query issued by a check, with its outcome."""
+
+    operation: str                      # e.g. "best_path_between"
+    sources: tuple[str, ...] = ()
+    targets: tuple[str, ...] = ()
+    respect_directions: bool = False
+    avoiding: tuple[str, ...] = ()
+    found: bool = False
+    path: Optional[tuple[str, ...]] = None
+
+    def render(self) -> str:
+        view = "directed" if self.respect_directions else "undirected"
+        arguments = (
+            f"{{{', '.join(self.sources)}}} -> {{{', '.join(self.targets)}}}"
+        )
+        avoiding = (
+            f" avoiding {{{', '.join(self.avoiding)}}}" if self.avoiding else ""
+        )
+        if self.path:
+            outcome = f"path {' - '.join(self.path)}"
+        elif self.found:
+            outcome = "reachable"
+        else:
+            outcome = "NO PATH"
+        return f"{self.operation}({arguments}){avoiding} [{view}] -> {outcome}"
+
+
+@dataclass(frozen=True)
+class Provenance:
+    """The complete causal chain behind one finding."""
+
+    conclusion: str
+    event: Optional[EventContext] = None
+    resolution: Optional[MappingResolution] = None
+    queries: tuple[IndexQuery, ...] = ()
+    notes: tuple[str, ...] = ()
+
+    @property
+    def empty(self) -> bool:
+        """Whether the chain carries no information at all."""
+        return not (
+            self.conclusion
+            or self.event
+            or self.resolution
+            or self.queries
+            or self.notes
+        )
+
+    def render(self, indent: str = "  ") -> str:
+        """The chain as a numbered, human-readable list of steps."""
+        steps: list[str] = []
+        if self.event is not None:
+            steps.append(self.event.render())
+        if self.resolution is not None:
+            steps.append(self.resolution.render())
+        for query in self.queries:
+            steps.append(f"index query {query.render()}")
+        steps.extend(self.notes)
+        if self.conclusion:
+            steps.append(f"conclusion: {self.conclusion}")
+        lines: list[str] = []
+        for number, step in enumerate(steps, start=1):
+            first, *rest = step.splitlines()
+            lines.append(f"{indent}{number}. {first}")
+            lines.extend(f"{indent}   {line}" for line in rest)
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    # Serialization (embedded in JSON reports by repro.core.report_io)
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        data: dict = {"conclusion": self.conclusion}
+        if self.event is not None:
+            data["event"] = {
+                "scenario": self.event.scenario,
+                "trace_index": self.event.trace_index,
+                "event_index": self.event.event_index,
+                "event_label": self.event.event_label,
+                "event_rendering": self.event.event_rendering,
+            }
+        if self.resolution is not None:
+            data["resolution"] = {
+                "event_type": self.resolution.event_type,
+                "hops": list(self.resolution.hops),
+                "entry_components": list(self.resolution.entry_components),
+                "components": list(self.resolution.components),
+            }
+        if self.queries:
+            data["queries"] = [
+                {
+                    "operation": query.operation,
+                    "sources": list(query.sources),
+                    "targets": list(query.targets),
+                    "respect_directions": query.respect_directions,
+                    "avoiding": list(query.avoiding),
+                    "found": query.found,
+                    "path": list(query.path) if query.path is not None else None,
+                }
+                for query in self.queries
+            ]
+        if self.notes:
+            data["notes"] = list(self.notes)
+        return data
+
+
+def provenance_from_dict(data: dict) -> Provenance:
+    """Rebuild a :class:`Provenance` from :meth:`Provenance.to_dict`."""
+    if not isinstance(data, dict):
+        raise ReproError(f"provenance must be an object, got {type(data).__name__}")
+    event = None
+    if data.get("event") is not None:
+        raw = data["event"]
+        event = EventContext(
+            scenario=raw.get("scenario"),
+            trace_index=raw.get("trace_index"),
+            event_index=raw.get("event_index"),
+            event_label=raw.get("event_label"),
+            event_rendering=raw.get("event_rendering"),
+        )
+    resolution = None
+    if data.get("resolution") is not None:
+        raw = data["resolution"]
+        resolution = MappingResolution(
+            event_type=raw.get("event_type"),
+            hops=tuple(raw.get("hops", ())),
+            entry_components=tuple(raw.get("entry_components", ())),
+            components=tuple(raw.get("components", ())),
+        )
+    queries = tuple(
+        IndexQuery(
+            operation=raw["operation"],
+            sources=tuple(raw.get("sources", ())),
+            targets=tuple(raw.get("targets", ())),
+            respect_directions=raw.get("respect_directions", False),
+            avoiding=tuple(raw.get("avoiding", ())),
+            found=raw.get("found", False),
+            path=tuple(raw["path"]) if raw.get("path") is not None else None,
+        )
+        for raw in data.get("queries", ())
+    )
+    return Provenance(
+        conclusion=data.get("conclusion", ""),
+        event=event,
+        resolution=resolution,
+        queries=queries,
+        notes=tuple(data.get("notes", ())),
+    )
+
+
+def finding_id(finding) -> str:
+    """A short, stable, content-derived identifier for a finding.
+
+    Derived from the finding's observable fields (kind, severity,
+    location, message, elements) — *not* its provenance — so the id is
+    identical across runs and across serialization round-trips, and two
+    textually identical findings share one id (they are the same
+    finding). Accepts any object with the
+    :class:`~repro.core.consistency.Inconsistency` field surface.
+    """
+    material = "|".join(
+        (
+            finding.kind.value,
+            finding.severity.value,
+            finding.scenario or "",
+            finding.event_label or "",
+            finding.message,
+            *finding.elements,
+        )
+    )
+    return hashlib.sha1(material.encode("utf-8")).hexdigest()[:10]

@@ -1,0 +1,481 @@
+"""A persistent registry of evaluation runs, for cross-run regression
+diffing.
+
+PR 2's spans and metrics vanish with the process; the ROADMAP's
+"measurably faster" mandate needs an in-repo signal that survives it.
+:class:`RunRegistry` appends one JSON line per evaluation to
+``.repro-runs/runs.jsonl``: a :class:`RunRecord` snapshotting the
+metrics registry, a per-stage span summary, the report digest, the git
+SHA, and wall time. ``sosae runs list`` renders the history;
+``sosae runs diff A B`` computes per-metric and per-stage-span deltas
+and flags regressions beyond a configurable threshold.
+
+Layout of ``.repro-runs/`` (documented in ``docs/RUNS.md``):
+
+* ``runs.jsonl`` — append-only, one :meth:`RunRecord.to_dict` JSON
+  object per line. Run ids are ``r0001``, ``r0002``, … in append order;
+  ``latest`` and ``previous`` resolve positionally.
+
+Regressions: a *metric* regresses when its value increased by more than
+``threshold`` (relative; any increase from zero counts). Stage wall
+times jitter between runs, so they are reported but only flagged — and
+only counted against the exit status — when an explicit
+``time_threshold`` is given.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import subprocess
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional, Sequence, Union
+
+from repro.errors import ReproError
+from repro.obs.spans import Span
+
+__all__ = [
+    "DEFAULT_RUNS_DIR",
+    "MetricDelta",
+    "RunDiff",
+    "RunRecord",
+    "RunRegistry",
+    "StageDelta",
+    "current_git_sha",
+    "diff_runs",
+    "stage_summary",
+]
+
+DEFAULT_RUNS_DIR = ".repro-runs"
+_RUNS_FILE = "runs.jsonl"
+_FORMAT_VERSION = 1
+
+
+def current_git_sha(cwd: Optional[Path] = None) -> Optional[str]:
+    """The current git commit SHA, or ``None`` outside a repository (or
+    when git itself is unavailable)."""
+    try:
+        completed = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=cwd,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    if completed.returncode != 0:
+        return None
+    return completed.stdout.strip() or None
+
+
+def stage_summary(roots: Sequence[Span]) -> dict[str, dict]:
+    """Aggregate a span forest by span name: count, total wall seconds,
+    total CPU seconds per name. This is the run registry's durable form
+    of the profile tree — flat, so two runs with differently shaped
+    trees still diff name-by-name."""
+    stages: dict[str, dict] = {}
+    for root in roots:
+        for span in root.iter_spans():
+            entry = stages.setdefault(
+                span.name, {"count": 0, "wall_seconds": 0.0, "cpu_seconds": 0.0}
+            )
+            entry["count"] += 1
+            entry["wall_seconds"] += span.wall_seconds
+            entry["cpu_seconds"] += span.cpu_seconds
+    return stages
+
+
+def _report_digest(report) -> str:
+    """A stable digest of a report's JSON form (ignores key order)."""
+    # Imported lazily: repro.core imports repro.obs, not the reverse.
+    from repro.core.report_io import report_to_dict
+
+    canonical = json.dumps(report_to_dict(report), sort_keys=True)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """One evaluation run, as persisted in ``runs.jsonl``."""
+
+    run_id: str
+    label: str
+    timestamp: float               # seconds since the epoch
+    git_sha: Optional[str]
+    wall_seconds: float
+    consistent: bool
+    scenarios_passed: int
+    scenarios_failed: int
+    findings: int
+    report_digest: str
+    metrics: dict = field(default_factory=dict)   # name -> snapshot dict
+    stages: dict = field(default_factory=dict)    # name -> count/wall/cpu
+
+    def to_dict(self) -> dict:
+        return {
+            "format": _FORMAT_VERSION,
+            "run_id": self.run_id,
+            "label": self.label,
+            "timestamp": self.timestamp,
+            "git_sha": self.git_sha,
+            "wall_seconds": self.wall_seconds,
+            "consistent": self.consistent,
+            "scenarios_passed": self.scenarios_passed,
+            "scenarios_failed": self.scenarios_failed,
+            "findings": self.findings,
+            "report_digest": self.report_digest,
+            "metrics": self.metrics,
+            "stages": self.stages,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunRecord":
+        if data.get("format") != _FORMAT_VERSION:
+            raise ReproError(
+                f"unsupported run record format {data.get('format')!r} "
+                f"(expected {_FORMAT_VERSION})"
+            )
+        return cls(
+            run_id=data["run_id"],
+            label=data.get("label", ""),
+            timestamp=data.get("timestamp", 0.0),
+            git_sha=data.get("git_sha"),
+            wall_seconds=data.get("wall_seconds", 0.0),
+            consistent=data.get("consistent", True),
+            scenarios_passed=data.get("scenarios_passed", 0),
+            scenarios_failed=data.get("scenarios_failed", 0),
+            findings=data.get("findings", 0),
+            report_digest=data.get("report_digest", ""),
+            metrics=data.get("metrics", {}),
+            stages=data.get("stages", {}),
+        )
+
+
+class RunRegistry:
+    """The append-only JSONL store under ``.repro-runs/``."""
+
+    def __init__(self, root: Union[str, Path] = DEFAULT_RUNS_DIR) -> None:
+        self.root = Path(root)
+
+    @property
+    def path(self) -> Path:
+        return self.root / _RUNS_FILE
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+
+    def record(
+        self,
+        label: str,
+        report,
+        recorder,
+        git_sha: Optional[str] = None,
+        timestamp: Optional[float] = None,
+    ) -> RunRecord:
+        """Snapshot one evaluation (its report and its live
+        :class:`~repro.obs.recorder.Recorder`) and append it."""
+        roots = tuple(recorder.roots)
+        record = RunRecord(
+            run_id=f"r{len(self._read_lines()) + 1:04d}",
+            label=label,
+            timestamp=time.time() if timestamp is None else timestamp,
+            git_sha=git_sha if git_sha is not None else current_git_sha(),
+            wall_seconds=sum(root.wall_seconds for root in roots),
+            consistent=report.consistent,
+            scenarios_passed=len(report.passed_scenarios),
+            scenarios_failed=len(report.failed_scenarios),
+            findings=len(report.all_inconsistencies()),
+            report_digest=_report_digest(report),
+            metrics=recorder.metrics.to_dict(),
+            stages=stage_summary(roots),
+        )
+        self.root.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a", encoding="utf-8") as handle:
+            handle.write(json.dumps(record.to_dict(), sort_keys=True) + "\n")
+        return record
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+
+    def _read_lines(self) -> list[str]:
+        if not self.path.exists():
+            return []
+        return [
+            line
+            for line in self.path.read_text(encoding="utf-8").splitlines()
+            if line.strip()
+        ]
+
+    def load(self) -> tuple[RunRecord, ...]:
+        """Every recorded run, oldest first."""
+        records = []
+        for number, line in enumerate(self._read_lines(), start=1):
+            try:
+                records.append(RunRecord.from_dict(json.loads(line)))
+            except (json.JSONDecodeError, KeyError) as error:
+                raise ReproError(
+                    f"{self.path} line {number} is not a valid run record: "
+                    f"{error}"
+                ) from None
+        return tuple(records)
+
+    def get(self, reference: str) -> RunRecord:
+        """A run by id, or by the aliases ``latest`` / ``previous``."""
+        records = self.load()
+        if not records:
+            raise ReproError(
+                f"no runs recorded under {self.root} "
+                "(record one with '--record')"
+            )
+        if reference == "latest":
+            return records[-1]
+        if reference == "previous":
+            if len(records) < 2:
+                raise ReproError(
+                    "only one run recorded; 'previous' needs at least two"
+                )
+            return records[-2]
+        for record in records:
+            if record.run_id == reference:
+                return record
+        raise ReproError(
+            f"no run {reference!r} under {self.root} "
+            f"(have {', '.join(record.run_id for record in records)})"
+        )
+
+    def render_list(self) -> str:
+        """A table of the recorded runs, oldest first."""
+        records = self.load()
+        if not records:
+            return f"no runs recorded under {self.root}"
+        header = (
+            f"{'run':<6} {'label':<24} {'when':<19} {'git':<8} "
+            f"{'wall':>9} {'verdict':<12} {'findings':>8}"
+        )
+        lines = [header, "-" * len(header)]
+        for record in records:
+            when = time.strftime(
+                "%Y-%m-%d %H:%M:%S", time.localtime(record.timestamp)
+            )
+            verdict = "consistent" if record.consistent else "INCONSISTENT"
+            sha = (record.git_sha or "-")[:8]
+            lines.append(
+                f"{record.run_id:<6} {record.label:<24} {when:<19} {sha:<8} "
+                f"{record.wall_seconds * 1e3:>7.1f}ms {verdict:<12} "
+                f"{record.findings:>8}"
+            )
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Diffing
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class MetricDelta:
+    """One metric's movement between two runs."""
+
+    name: str
+    before: Optional[float]
+    after: Optional[float]
+    regressed: bool
+
+    @property
+    def delta(self) -> Optional[float]:
+        if self.before is None or self.after is None:
+            return None
+        return self.after - self.before
+
+    @property
+    def percent(self) -> Optional[float]:
+        if self.delta is None or not self.before:
+            return None
+        return 100.0 * self.delta / self.before
+
+
+@dataclass(frozen=True)
+class StageDelta:
+    """One stage's wall-time movement between two runs."""
+
+    name: str
+    before_wall: Optional[float]
+    after_wall: Optional[float]
+    regressed: bool
+
+    @property
+    def delta(self) -> Optional[float]:
+        if self.before_wall is None or self.after_wall is None:
+            return None
+        return self.after_wall - self.before_wall
+
+
+@dataclass(frozen=True)
+class RunDiff:
+    """Per-metric and per-stage deltas between two recorded runs."""
+
+    before: RunRecord
+    after: RunRecord
+    threshold: float
+    time_threshold: Optional[float]
+    metrics: tuple[MetricDelta, ...]
+    stages: tuple[StageDelta, ...]
+
+    @property
+    def metric_regressions(self) -> tuple[MetricDelta, ...]:
+        return tuple(delta for delta in self.metrics if delta.regressed)
+
+    @property
+    def stage_regressions(self) -> tuple[StageDelta, ...]:
+        return tuple(delta for delta in self.stages if delta.regressed)
+
+    @property
+    def clean(self) -> bool:
+        """Whether no flagged regression exists (stage timings count
+        only when a time threshold was set)."""
+        return not self.metric_regressions and not self.stage_regressions
+
+    def render(self) -> str:
+        """The delta tables, changed rows only (all-zero diffs say so)."""
+        lines = [
+            f"run diff: {self.before.run_id} ({self.before.label}) -> "
+            f"{self.after.run_id} ({self.after.label})",
+            f"report digest: "
+            + (
+                "unchanged"
+                if self.before.report_digest == self.after.report_digest
+                else f"{self.before.report_digest} -> "
+                f"{self.after.report_digest}"
+            ),
+        ]
+        lines.append("")
+        lines.append(
+            f"{'metric':<36} {'before':>12} {'after':>12} "
+            f"{'delta':>12} {'change':>9}"
+        )
+        for delta in self.metrics:
+            flag = "  << regression" if delta.regressed else ""
+            lines.append(
+                f"{delta.name:<36} {_number(delta.before):>12} "
+                f"{_number(delta.after):>12} {_number(delta.delta):>12} "
+                f"{_percent(delta.percent):>9}{flag}"
+            )
+        if self.metrics and all(delta.delta == 0 for delta in self.metrics):
+            lines.append("  (all metrics unchanged)")
+        lines.append("")
+        lines.append(
+            f"{'stage':<36} {'before':>12} {'after':>12} {'delta':>12}"
+        )
+        for delta in self.stages:
+            flag = "  << regression" if delta.regressed else ""
+            lines.append(
+                f"{delta.name:<36} {_seconds(delta.before_wall):>12} "
+                f"{_seconds(delta.after_wall):>12} "
+                f"{_seconds(delta.delta):>12}{flag}"
+            )
+        regressions = len(self.metric_regressions) + len(self.stage_regressions)
+        lines.append("")
+        lines.append(
+            "no regressions"
+            if self.clean
+            else f"{regressions} regression(s) beyond threshold"
+        )
+        return "\n".join(lines)
+
+
+def _number(value: Optional[float]) -> str:
+    if value is None:
+        return "-"
+    return f"{value:g}"
+
+
+def _percent(value: Optional[float]) -> str:
+    if value is None:
+        return "-"
+    return f"{value:+.1f}%"
+
+
+def _seconds(value: Optional[float]) -> str:
+    if value is None:
+        return "-"
+    return f"{value * 1e3:+.3f}ms" if value < 0 else f"{value * 1e3:.3f}ms"
+
+
+def _metric_scalars(snapshot: dict) -> dict[str, tuple[float, bool]]:
+    """Flatten a metrics-registry snapshot to comparable scalars.
+
+    Counters and gauges contribute their value; histograms contribute
+    ``<name>.count`` and ``<name>.mean``. Each scalar carries a
+    ``timing`` marker: histogram means are observed durations (build
+    seconds, latencies) that jitter between runs like stage wall times,
+    so they are gated by ``time_threshold`` rather than ``threshold``."""
+    scalars: dict[str, tuple[float, bool]] = {}
+    for name, data in snapshot.items():
+        if data.get("type") == "histogram":
+            scalars[f"{name}.count"] = (float(data.get("count", 0)), False)
+            mean = data.get("mean")
+            if mean is not None:
+                scalars[f"{name}.mean"] = (float(mean), True)
+        else:
+            scalars[name] = (float(data.get("value", 0.0)), False)
+    return scalars
+
+
+def diff_runs(
+    before: RunRecord,
+    after: RunRecord,
+    threshold: float = 0.1,
+    time_threshold: Optional[float] = None,
+) -> RunDiff:
+    """Compare two recorded runs.
+
+    ``threshold`` is the relative metric increase tolerated before a
+    delta is flagged (0.1 = 10%; any increase from zero is flagged).
+    ``time_threshold`` enables the same flagging for per-stage wall
+    times — off by default, because timings jitter between runs.
+    """
+    if threshold < 0:
+        raise ReproError(f"threshold must be non-negative, got {threshold}")
+    before_metrics = _metric_scalars(before.metrics)
+    after_metrics = _metric_scalars(after.metrics)
+    metric_deltas = []
+    for name in sorted(set(before_metrics) | set(after_metrics)):
+        old, _ = before_metrics.get(name, (None, False))
+        new, timing = after_metrics.get(name, (None, False))
+        limit = time_threshold if timing else threshold
+        regressed = False
+        if limit is not None and old is not None and new is not None and new > old:
+            regressed = old == 0 or (new - old) / old > limit
+        metric_deltas.append(
+            MetricDelta(name=name, before=old, after=new, regressed=regressed)
+        )
+    stage_deltas = []
+    for name in sorted(set(before.stages) | set(after.stages)):
+        old = before.stages.get(name, {}).get("wall_seconds")
+        new = after.stages.get(name, {}).get("wall_seconds")
+        regressed = False
+        if (
+            time_threshold is not None
+            and old is not None
+            and new is not None
+            and new > old
+        ):
+            regressed = old == 0 or (new - old) / old > time_threshold
+        stage_deltas.append(
+            StageDelta(
+                name=name, before_wall=old, after_wall=new, regressed=regressed
+            )
+        )
+    return RunDiff(
+        before=before,
+        after=after,
+        threshold=threshold,
+        time_threshold=time_threshold,
+        metrics=tuple(metric_deltas),
+        stages=tuple(stage_deltas),
+    )

@@ -40,6 +40,7 @@ from typing import Optional
 
 from repro.adl.behavior import Action, ActionKind, Statechart
 from repro.adl.structure import Architecture, Direction, Interface
+from repro.core.constraints import Constraint, MustRouteVia, RequiresPath
 from repro.core.dynamic import DynamicContext, ScenarioBindings
 from repro.core.mapping import Mapping
 from repro.core.walkthrough import WalkthroughOptions
@@ -1060,6 +1061,33 @@ def build_pims_bindings(display_deadline: float = 30.0) -> ScenarioBindings:
     return bindings
 
 
+def build_pims_constraints() -> tuple[Constraint, ...]:
+    """Requirement-imposed communication constraints (paper §3.5's
+    constraint form, instantiated for Fig. 3/4).
+
+    Both hold on the intact architecture. Excising the Loader ↔ data-bus
+    link (the §4.1 fault seeding) severs the Loader's only
+    direction-respecting route to storage, so the ``RequiresPath``
+    constraint is violated on the excised variant — the constraint-level
+    echo of the walkthrough's missing-link finding."""
+    return (
+        RequiresPath(
+            LOADER,
+            DATA_REPOSITORY,
+            respect_directions=True,
+            description="downloaded share prices must reach persistent "
+            "storage",
+        ),
+        MustRouteVia(
+            LOADER,
+            DATA_REPOSITORY,
+            via=DATA_ACCESS,
+            description="all repository access is mediated by the data "
+            "access layer",
+        ),
+    )
+
+
 @dataclass(frozen=True)
 class PimsSystem:
     """Everything needed to reproduce the PIMS evaluation."""
@@ -1070,6 +1098,7 @@ class PimsSystem:
     mapping: Mapping
     options: WalkthroughOptions
     bindings: ScenarioBindings
+    constraints: tuple[Constraint, ...] = ()
 
     def excised_architecture(self) -> Architecture:
         """The fault-seeded architecture variant of §4.1."""
@@ -1089,4 +1118,5 @@ def build_pims() -> PimsSystem:
         mapping=mapping,
         options=pims_walkthrough_options(),
         bindings=build_pims_bindings(),
+        constraints=build_pims_constraints(),
     )

@@ -287,3 +287,150 @@ class TestObservabilityFlags:
         out = capsys.readouterr().out
         assert "=== profile ===" in out
         assert json.loads(metrics.read_text())["walkthrough.traces"]["value"] > 0
+
+
+class TestExplain:
+    def test_list_shows_ids_for_every_finding(self, capsys):
+        assert main(
+            ["explain", "--system", "pims", "--variant", "excised", "--list"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "missing-link" in out
+        assert "constraint-violation" in out
+
+    def test_omitted_id_also_lists(self, capsys):
+        assert main(["explain", "--system", "pims", "--variant", "excised"]) == 0
+        assert "missing-link" in capsys.readouterr().out
+
+    def test_explain_by_id_prefix_renders_the_chain(self, capsys):
+        assert main(
+            ["explain", "--system", "pims", "--variant", "excised", "--list"]
+        ) == 0
+        first_id = capsys.readouterr().out.split()[0]
+        assert main(
+            ["explain", first_id[:6], "--system", "pims",
+             "--variant", "excised"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert f"finding {first_id}" in out
+        assert "causal chain:" in out
+        assert "conclusion:" in out
+
+    def test_unknown_id_is_a_usage_error(self, capsys):
+        assert main(
+            ["explain", "zzzzzzzz", "--system", "pims",
+             "--variant", "excised"]
+        ) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_report_file_source(self, tmp_path, capsys):
+        assert main(
+            ["explain", "--system", "pims", "--variant", "excised", "--list"]
+        ) == 0
+        listed = capsys.readouterr().out
+        # Round-trip through a saved report: same ids, same explanations.
+        from repro.cli import _build_demo
+        from repro.core.evaluator import Sosae
+        from repro.core.report_io import report_to_json
+
+        demo = _build_demo("pims", "excised")
+        report = Sosae(
+            demo.scenarios, demo.architecture, demo.mapping,
+            bindings=demo.bindings, constraints=demo.constraints,
+            walkthrough_options=demo.options,
+            runtime_config=demo.runtime_config,
+        ).evaluate()
+        report_path = tmp_path / "report.json"
+        report_path.write_text(report_to_json(report))
+        assert main(["explain", "--report", str(report_path), "--list"]) == 0
+        assert capsys.readouterr().out == listed
+
+    def test_both_sources_is_an_error(self, tmp_path, capsys):
+        report_path = tmp_path / "r.json"
+        report_path.write_text("{}")
+        assert main(
+            ["explain", "--report", str(report_path), "--system", "pims"]
+        ) == 2
+
+    def test_no_source_is_an_error(self, capsys):
+        assert main(["explain"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestRuns:
+    def _record_demo(self, runs_dir, variant="intact"):
+        return main(
+            ["demo", "pims", "--variant", variant,
+             "--record", "--runs-dir", str(runs_dir)]
+        )
+
+    def test_record_list_diff_roundtrip(self, tmp_path, capsys):
+        runs_dir = tmp_path / "runs"
+        assert self._record_demo(runs_dir) == 0
+        assert self._record_demo(runs_dir) == 0
+        capsys.readouterr()
+        assert main(["runs", "list", "--runs-dir", str(runs_dir)]) == 0
+        listing = capsys.readouterr().out
+        assert "r0001" in listing and "r0002" in listing
+        assert "demo-pims-intact" in listing
+        assert main(
+            ["runs", "diff", "previous", "latest",
+             "--runs-dir", str(runs_dir)]
+        ) == 0
+        diffed = capsys.readouterr().out
+        assert "report digest: unchanged" in diffed
+        assert "no regressions" in diffed
+        assert "index.hits" in diffed
+
+    def test_diff_flags_regression_with_nonzero_exit(self, tmp_path, capsys):
+        runs_dir = tmp_path / "runs"
+        assert self._record_demo(runs_dir) == 0
+        # The excised variant walks into dead ends: misses and
+        # missing-link counters rise, which a diff must flag.
+        assert self._record_demo(runs_dir, variant="excised") == 1
+        capsys.readouterr()
+        assert main(
+            ["runs", "diff", "r0001", "r0002", "--runs-dir", str(runs_dir)]
+        ) == 1
+        out = capsys.readouterr().out
+        assert "<< regression" in out
+
+    def test_diff_missing_run_is_usage_error(self, tmp_path, capsys):
+        runs_dir = tmp_path / "runs"
+        assert self._record_demo(runs_dir) == 0
+        capsys.readouterr()
+        assert main(
+            ["runs", "diff", "r0001", "r0099", "--runs-dir", str(runs_dir)]
+        ) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_list_empty_registry(self, tmp_path, capsys):
+        assert main(["runs", "list", "--runs-dir", str(tmp_path / "no")]) == 0
+        assert "no runs recorded" in capsys.readouterr().out
+
+
+class TestVerbosityFlags:
+    def test_verbose_logs_recording_to_stderr(self, tmp_path, capsys):
+        runs_dir = tmp_path / "runs"
+        assert main(
+            ["-v", "demo", "pims", "--record", "--runs-dir", str(runs_dir)]
+        ) == 0
+        err = capsys.readouterr().err
+        assert "recorded run r0001" in err
+
+    def test_default_is_silent_on_stderr(self, tmp_path, capsys):
+        runs_dir = tmp_path / "runs"
+        assert main(
+            ["demo", "pims", "--record", "--runs-dir", str(runs_dir)]
+        ) == 0
+        assert capsys.readouterr().err == ""
+
+    def test_quiet_still_shows_errors(self, capsys):
+        assert main(["--quiet", "demo", "pims", "--variant", "insecure"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_errors_go_through_the_logger(self, capsys):
+        assert main(["demo", "pims", "--variant", "insecure"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "insecure variant belongs to the crash demo" in err

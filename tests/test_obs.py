@@ -193,3 +193,34 @@ class TestRecorderIndirection:
         assert recorder.roots[0].name == "work"
         assert recorder.roots[0].attributes["deep"] is True
         assert recorder.metrics.value("steps") == 2
+
+
+class TestIndexStatsAccrual:
+    """The evaluator records *deltas* of the communication index's
+    cumulative stats, so repeated ``evaluate()`` calls on one ``Sosae``
+    (whose memoized index keeps accruing) must not double-count."""
+
+    def test_two_evaluations_accrue_exact_stat_deltas(
+        self, small_scenarios, chain_architecture, chain_mapping
+    ):
+        from repro.core.evaluator import Sosae
+
+        sosae = Sosae(small_scenarios, chain_architecture, chain_mapping)
+        recorder = Recorder()
+        with use(recorder):
+            before = sosae.index.stats()
+            sosae.evaluate()
+            sosae.evaluate()
+            after = sosae.index.stats()
+        assert recorder.metrics.value("index.hits") == (
+            after.hits - before.hits
+        )
+        assert recorder.metrics.value("index.misses") == (
+            after.misses - before.misses
+        )
+        assert recorder.metrics.value("index.invalidations") == (
+            after.invalidations - before.invalidations
+        )
+        # The second evaluation hit the memoized index: more hits
+        # accrued, and the counters grew monotonically between calls.
+        assert recorder.metrics.value("index.hits") > 0

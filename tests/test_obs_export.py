@@ -193,6 +193,47 @@ class TestRenderProfile:
         )
 
 
+class TestDegenerateInputs:
+    """Empty span forests and zero-duration roots must not crash (or
+    divide by zero) in any exporter."""
+
+    def test_render_profile_empty_forest_renders_placeholder(self):
+        assert render_profile([]) == "(no spans recorded)"
+
+    def test_render_profile_empty_forest_keeps_metrics(self):
+        registry = MetricsRegistry()
+        registry.counter("steps").inc(3)
+        text = render_profile([], registry)
+        assert "(no spans recorded)" in text
+        assert "steps = 3" in text
+
+    def test_render_profile_zero_duration_root_shares_are_na(self):
+        root = Span("evaluate")
+        root.start_wall = root.end_wall = 5.0
+        child = Span("stage")
+        child.start_wall, child.end_wall = 5.0, 5.0
+        root.add_child(child)
+        text = render_profile([root])
+        assert "n/a" in text
+        assert "%" not in text
+
+    def test_chrome_trace_empty_forest_is_a_valid_document(self):
+        document = chrome_trace([])
+        assert [event["ph"] for event in document["traceEvents"]] == ["M"]
+        json.loads(chrome_trace_json([]))
+
+    def test_chrome_trace_clamps_unfinished_span_duration(self):
+        span = Span("never-finished")
+        span.start_wall = 10.0
+        span.end_wall = 0.0  # never closed: wall_seconds is negative
+        (meta, event) = chrome_trace([span])["traceEvents"]
+        assert event["dur"] == 0.0
+
+    def test_spans_to_jsonl_empty_forest_is_empty_text(self):
+        assert spans_to_jsonl([]) == ""
+        assert spans_from_jsonl("") == ()
+
+
 class TestMetricsJson:
     def test_snapshot_is_valid_json(self):
         metrics = MetricsRegistry()

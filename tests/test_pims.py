@@ -191,3 +191,21 @@ class TestWalkthroughs:
         assert [c.name for c in first.architecture.components] == [
             c.name for c in second.architecture.components
         ]
+
+
+class TestDemoConstraints:
+    def test_intact_architecture_satisfies_them(self, pims):
+        from repro.core.constraints import check_constraints
+
+        assert check_constraints(pims.architecture, pims.constraints) == []
+
+    def test_excision_violates_the_reachability_constraint(self, pims):
+        from repro.core.constraints import check_constraints
+
+        violations = check_constraints(
+            pims.excised_architecture(), pims.constraints
+        )
+        assert violations
+        assert any(
+            "Data Repository" in str(violation) for violation in violations
+        )

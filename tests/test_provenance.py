@@ -1,0 +1,290 @@
+"""Finding provenance: every inconsistency explains itself.
+
+Covers the provenance records themselves (construction, rendering,
+serialization), their attachment across the walkthrough / constraint /
+negative-scenario / coverage paths, the content-derived finding ids,
+and the ``explain``-level report helpers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.constraints import check_constraints
+from repro.core.consistency import (
+    Inconsistency,
+    InconsistencyKind,
+    Severity,
+)
+from repro.core.evaluator import Sosae
+from repro.core.mapping import Mapping
+from repro.core.report import (
+    findings_with_ids,
+    render_explanation,
+    render_findings_index,
+    resolve_finding,
+)
+from repro.core.report_io import report_from_json, report_to_json
+from repro.errors import EvaluationError, ReproError
+from repro.obs.provenance import (
+    EventContext,
+    IndexQuery,
+    MappingResolution,
+    Provenance,
+    finding_id,
+    provenance_from_dict,
+)
+from repro.systems.crash import build_crash_mapping
+from repro.systems.pims import build_pims_constraints
+
+
+def _excised_pims_report(pims):
+    architecture = pims.excised_architecture()
+    mapping = Mapping.from_dict(
+        pims.mapping.to_dict(), pims.ontology, architecture
+    )
+    return Sosae(
+        pims.scenarios,
+        architecture,
+        mapping,
+        constraints=build_pims_constraints(),
+        walkthrough_options=pims.options,
+    ).evaluate()
+
+
+def _insecure_crash_report(crash):
+    architecture = crash.insecure_architecture()
+    mapping = build_crash_mapping(crash.ontology, architecture)
+    return Sosae(
+        crash.scenarios,
+        architecture,
+        mapping,
+        walkthrough_options=crash.options,
+    ).evaluate()
+
+
+class TestProvenanceRecords:
+    def test_render_numbers_the_chain(self):
+        provenance = Provenance(
+            conclusion="it broke",
+            event=EventContext(
+                scenario="s", trace_index=0, event_index=2,
+                event_label="3", event_rendering="something happens",
+            ),
+            queries=(
+                IndexQuery(
+                    operation="can_communicate",
+                    sources=("a",), targets=("b",),
+                    respect_directions=True, found=False,
+                ),
+            ),
+        )
+        text = provenance.render()
+        assert "1." in text and "2." in text and "3." in text
+        assert "scenario 's'" in text
+        assert "NO PATH" in text
+        assert text.strip().endswith("conclusion: it broke")
+
+    def test_empty_provenance_knows_it(self):
+        assert Provenance(conclusion="").empty
+        assert not Provenance(conclusion="x").empty
+        assert not Provenance(
+            conclusion="", queries=(IndexQuery(operation="path"),)
+        ).empty
+
+    def test_mapping_resolution_fallback_detection(self):
+        direct = MappingResolution(
+            event_type="create", hops=("create",),
+            entry_components=("logic",), components=("logic",),
+        )
+        fallback = MappingResolution(
+            event_type="create", hops=("create", "act"),
+            entry_components=("logic",), components=("logic",),
+        )
+        assert not direct.used_fallback
+        assert fallback.used_fallback
+        assert "supertype" in fallback.render()
+
+    def test_dict_round_trip(self):
+        provenance = Provenance(
+            conclusion="done",
+            event=EventContext(
+                scenario="s", trace_index=1, event_index=0,
+                event_label=None, event_rendering="r",
+            ),
+            resolution=MappingResolution(
+                event_type="t", hops=("t", "super"), components=("c",)
+            ),
+            queries=(
+                IndexQuery(
+                    operation="best_path_between",
+                    sources=("a",), targets=("b",),
+                    found=True, path=("a", "conn", "b"),
+                ),
+            ),
+            notes=("note one",),
+        )
+        assert provenance_from_dict(provenance.to_dict()) == provenance
+
+    def test_from_dict_rejects_garbage(self):
+        with pytest.raises(ReproError):
+            provenance_from_dict(["not", "an", "object"])
+
+
+class TestFindingIds:
+    def test_id_is_stable_and_content_derived(self):
+        finding = Inconsistency(
+            kind=InconsistencyKind.MISSING_LINK,
+            message="a cannot reach b",
+            scenario="s",
+            elements=("a", "b"),
+        )
+        twin = Inconsistency(
+            kind=InconsistencyKind.MISSING_LINK,
+            message="a cannot reach b",
+            scenario="s",
+            elements=("a", "b"),
+            provenance=Provenance(conclusion="irrelevant to the id"),
+        )
+        assert finding.finding_id == twin.finding_id == finding_id(finding)
+        assert len(finding.finding_id) == 10
+        int(finding.finding_id, 16)  # hex
+
+    def test_different_content_different_id(self):
+        base = Inconsistency(
+            kind=InconsistencyKind.MISSING_LINK, message="m"
+        )
+        other = Inconsistency(
+            kind=InconsistencyKind.MISSING_LINK, message="m",
+            severity=Severity.WARNING,
+        )
+        assert base.finding_id != other.finding_id
+
+    def test_provenance_does_not_affect_equality(self):
+        bare = Inconsistency(
+            kind=InconsistencyKind.UNMAPPED_EVENT, message="m",
+            severity=Severity.WARNING,
+        )
+        explained = Inconsistency(
+            kind=InconsistencyKind.UNMAPPED_EVENT, message="m",
+            severity=Severity.WARNING,
+            provenance=Provenance(conclusion="because"),
+        )
+        assert bare == explained
+        assert hash(bare) == hash(explained)
+
+
+class TestAttachmentAcrossThePipeline:
+    def test_excised_pims_missing_link_has_a_full_chain(self, pims):
+        report = _excised_pims_report(pims)
+        missing = [
+            finding
+            for finding in report.all_inconsistencies()
+            if finding.kind is InconsistencyKind.MISSING_LINK
+        ]
+        assert missing
+        for finding in missing:
+            provenance = finding.provenance
+            assert provenance is not None and not provenance.empty
+            assert provenance.event is not None
+            assert provenance.event.scenario == finding.scenario
+            assert provenance.resolution is not None
+            assert provenance.queries
+            assert any(not query.found for query in provenance.queries)
+
+    def test_constraint_violation_records_the_index_query(self, pims):
+        architecture = pims.excised_architecture()
+        violations = check_constraints(
+            architecture, build_pims_constraints()
+        )
+        assert violations
+        provenance = violations[0].provenance
+        assert provenance is not None
+        assert provenance.queries
+        assert provenance.queries[0].operation == "can_communicate"
+        assert not provenance.queries[0].found
+
+    def test_negative_scenario_success_replays_the_paths(self, crash):
+        report = _insecure_crash_report(crash)
+        succeeded = [
+            finding
+            for finding in report.all_inconsistencies()
+            if finding.kind is InconsistencyKind.NEGATIVE_SCENARIO_SUCCEEDED
+        ]
+        assert succeeded
+        provenance = succeeded[0].provenance
+        assert provenance is not None and not provenance.empty
+        assert all(query.found for query in provenance.queries)
+        assert any(query.path for query in provenance.queries)
+
+    def test_unmapped_event_coverage_finding_shows_the_hops(self, crash):
+        report = _insecure_crash_report(crash)
+        unmapped = [
+            finding
+            for finding in report.all_inconsistencies()
+            if finding.kind is InconsistencyKind.UNMAPPED_EVENT
+        ]
+        assert unmapped
+        assert any(
+            finding.provenance is not None
+            and finding.provenance.resolution is not None
+            and finding.provenance.resolution.hops
+            for finding in unmapped
+        )
+
+    def test_every_demo_finding_explains_itself(self, pims):
+        """The ISSUE acceptance bar: every finding of the fault-seeded
+        demo exposes a non-empty provenance chain."""
+        report = _excised_pims_report(pims)
+        assert report.all_inconsistencies()
+        for finding in report.all_inconsistencies():
+            assert finding.provenance is not None, str(finding)
+            assert not finding.provenance.empty, str(finding)
+
+
+class TestReportHelpers:
+    def test_findings_with_ids_deduplicates(self, pims):
+        report = _excised_pims_report(pims)
+        pairs = findings_with_ids(report)
+        ids = [pair[0] for pair in pairs]
+        assert len(ids) == len(set(ids))
+        assert render_findings_index(report).count("\n") + 1 == len(pairs)
+
+    def test_resolve_by_unique_prefix(self, pims):
+        report = _excised_pims_report(pims)
+        identifier, finding = findings_with_ids(report)[0]
+        assert resolve_finding(report, identifier[:6]) == finding
+
+    def test_resolve_unknown_prefix_raises(self, pims):
+        report = _excised_pims_report(pims)
+        with pytest.raises(EvaluationError):
+            resolve_finding(report, "zzzzzz")
+
+    def test_resolve_ambiguous_prefix_raises(self, pims):
+        report = _excised_pims_report(pims)
+        if len(findings_with_ids(report)) < 2:
+            pytest.skip("needs at least two findings")
+        with pytest.raises(EvaluationError):
+            resolve_finding(report, "")
+
+    def test_render_explanation_without_provenance_says_so(self):
+        finding = Inconsistency(
+            kind=InconsistencyKind.STYLE_VIOLATION, message="m"
+        )
+        text = render_explanation(finding)
+        assert finding.finding_id in text
+        assert "no provenance" in text
+
+    def test_provenance_round_trips_through_report_json(self, pims):
+        report = _excised_pims_report(pims)
+        restored = report_from_json(report_to_json(report))
+        original = {
+            identifier: finding.provenance
+            for identifier, finding in findings_with_ids(report)
+        }
+        loaded = {
+            identifier: finding.provenance
+            for identifier, finding in findings_with_ids(restored)
+        }
+        assert loaded == original
+        assert any(value is not None for value in loaded.values())

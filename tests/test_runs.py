@@ -1,0 +1,241 @@
+"""The persistent run registry and its cross-run regression diffing."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.evaluator import Sosae
+from repro.errors import ReproError
+from repro.obs import (
+    Recorder,
+    RunRecord,
+    RunRegistry,
+    diff_runs,
+    stage_summary,
+    use,
+)
+from repro.obs.spans import Span
+
+
+def _span(name: str, start: float, end: float) -> Span:
+    span = Span(name)
+    span.start_wall = start
+    span.end_wall = end
+    span.start_cpu = 0.0
+    span.end_cpu = (end - start) / 2
+    return span
+
+
+def _record(run_id="r0001", metrics=None, stages=None, digest="d", label="l"):
+    return RunRecord(
+        run_id=run_id,
+        label=label,
+        timestamp=0.0,
+        git_sha=None,
+        wall_seconds=0.01,
+        consistent=True,
+        scenarios_passed=1,
+        scenarios_failed=0,
+        findings=0,
+        report_digest=digest,
+        metrics=metrics or {},
+        stages=stages or {},
+    )
+
+
+def _counter(value):
+    return {"type": "counter", "value": value}
+
+
+def _histogram(count, mean):
+    return {"type": "histogram", "count": count, "mean": mean}
+
+
+@pytest.fixture
+def recorded_evaluation(small_scenarios, chain_architecture, chain_mapping):
+    """A real evaluation captured by a live recorder."""
+    recorder = Recorder()
+    with use(recorder):
+        report = Sosae(
+            small_scenarios, chain_architecture, chain_mapping
+        ).evaluate()
+    return report, recorder
+
+
+class TestStageSummary:
+    def test_aggregates_by_name_across_the_forest(self):
+        root = _span("evaluate", 0.0, 1.0)
+        first = _span("step", 0.0, 0.25)
+        second = _span("step", 0.25, 0.75)
+        root.add_child(first)
+        root.add_child(second)
+        other_root = _span("evaluate", 1.0, 1.5)
+        stages = stage_summary((root, other_root))
+        assert stages["evaluate"]["count"] == 2
+        assert stages["evaluate"]["wall_seconds"] == pytest.approx(1.5)
+        assert stages["step"]["count"] == 2
+        assert stages["step"]["wall_seconds"] == pytest.approx(0.75)
+
+    def test_empty_forest(self):
+        assert stage_summary(()) == {}
+
+
+class TestRunRegistry:
+    def test_record_assigns_sequential_ids(self, tmp_path, recorded_evaluation):
+        report, recorder = recorded_evaluation
+        registry = RunRegistry(tmp_path / "runs")
+        first = registry.record("demo", report, recorder, git_sha="abc")
+        second = registry.record("demo", report, recorder, git_sha="abc")
+        assert (first.run_id, second.run_id) == ("r0001", "r0002")
+        assert first.report_digest == second.report_digest
+        assert first.metrics == second.metrics
+        assert "evaluate" in first.stages
+        assert first.wall_seconds > 0
+
+    def test_load_round_trips_records(self, tmp_path, recorded_evaluation):
+        report, recorder = recorded_evaluation
+        registry = RunRegistry(tmp_path / "runs")
+        written = registry.record(
+            "demo", report, recorder, git_sha="abc", timestamp=123.0
+        )
+        (loaded,) = registry.load()
+        assert loaded == written
+
+    def test_get_by_id_and_aliases(self, tmp_path, recorded_evaluation):
+        report, recorder = recorded_evaluation
+        registry = RunRegistry(tmp_path / "runs")
+        registry.record("one", report, recorder)
+        registry.record("two", report, recorder)
+        assert registry.get("latest").label == "two"
+        assert registry.get("previous").label == "one"
+        assert registry.get("r0001").label == "one"
+        with pytest.raises(ReproError):
+            registry.get("r0042")
+
+    def test_empty_registry_errors_helpfully(self, tmp_path):
+        registry = RunRegistry(tmp_path / "nothing")
+        with pytest.raises(ReproError, match="--record"):
+            registry.get("latest")
+        assert "no runs recorded" in registry.render_list()
+
+    def test_corrupt_line_is_a_clear_error(self, tmp_path):
+        registry = RunRegistry(tmp_path / "runs")
+        registry.root.mkdir(parents=True)
+        registry.path.write_text("not json\n")
+        with pytest.raises(ReproError, match="line 1"):
+            registry.load()
+
+    def test_render_list_shows_every_run(self, tmp_path, recorded_evaluation):
+        report, recorder = recorded_evaluation
+        registry = RunRegistry(tmp_path / "runs")
+        registry.record("first-label", report, recorder, timestamp=0.0)
+        registry.record("second-label", report, recorder, timestamp=1.0)
+        listing = registry.render_list()
+        assert "r0001" in listing and "r0002" in listing
+        assert "first-label" in listing and "second-label" in listing
+
+    def test_from_dict_rejects_unknown_format(self):
+        data = _record().to_dict()
+        data["format"] = 99
+        with pytest.raises(ReproError, match="format"):
+            RunRecord.from_dict(data)
+
+
+class TestDiffRuns:
+    def test_identical_runs_are_clean_with_zero_deltas(self):
+        metrics = {"index.hits": _counter(42)}
+        before = _record("r0001", metrics=metrics)
+        after = _record("r0002", metrics=metrics)
+        diff = diff_runs(before, after)
+        assert diff.clean
+        assert all(delta.delta == 0 for delta in diff.metrics)
+        rendered = diff.render()
+        assert "r0001" in rendered and "r0002" in rendered
+        assert "index.hits" in rendered
+        assert "no regressions" in rendered
+
+    def test_increase_beyond_threshold_is_flagged(self):
+        before = _record("r0001", metrics={"steps": _counter(10)})
+        after = _record("r0002", metrics={"steps": _counter(12)})
+        diff = diff_runs(before, after, threshold=0.1)
+        assert not diff.clean
+        (delta,) = diff.metric_regressions
+        assert delta.name == "steps"
+        assert "<< regression" in diff.render()
+        assert "regression(s)" in diff.render()
+
+    def test_increase_within_threshold_is_tolerated(self):
+        before = _record("r0001", metrics={"steps": _counter(100)})
+        after = _record("r0002", metrics={"steps": _counter(105)})
+        assert diff_runs(before, after, threshold=0.1).clean
+
+    def test_decrease_is_never_a_regression(self):
+        before = _record("r0001", metrics={"steps": _counter(100)})
+        after = _record("r0002", metrics={"steps": _counter(50)})
+        assert diff_runs(before, after, threshold=0.0).clean
+
+    def test_any_increase_from_zero_is_flagged(self):
+        before = _record("r0001", metrics={"misses": _counter(0)})
+        after = _record("r0002", metrics={"misses": _counter(1)})
+        assert not diff_runs(before, after).clean
+
+    def test_histograms_flatten_to_count_and_mean(self):
+        before = _record(
+            "r0001", metrics={"lat": _histogram(10, 0.5)}
+        )
+        after = _record(
+            "r0002", metrics={"lat": _histogram(10, 0.5)}
+        )
+        names = {delta.name for delta in diff_runs(before, after).metrics}
+        assert names == {"lat.count", "lat.mean"}
+
+    def test_histogram_means_are_timing_gated(self):
+        before = _record("r0001", metrics={"lat": _histogram(10, 0.5)})
+        after = _record("r0002", metrics={"lat": _histogram(10, 1.5)})
+        # Without a time threshold the mean jitter is reported only.
+        assert diff_runs(before, after, threshold=0.1).clean
+        # With one, the tripled mean is a regression.
+        assert not diff_runs(
+            before, after, threshold=0.1, time_threshold=0.5
+        ).clean
+
+    def test_stage_times_flagged_only_with_time_threshold(self):
+        slow = {"evaluate": {"count": 1, "wall_seconds": 2.0, "cpu_seconds": 1.0}}
+        fast = {"evaluate": {"count": 1, "wall_seconds": 1.0, "cpu_seconds": 0.5}}
+        before = _record("r0001", stages=fast)
+        after = _record("r0002", stages=slow)
+        assert diff_runs(before, after).clean
+        diff = diff_runs(before, after, time_threshold=0.5)
+        assert not diff.clean
+        assert diff.stage_regressions
+
+    def test_render_notes_digest_change(self):
+        before = _record("r0001", digest="aaaa")
+        after = _record("r0002", digest="bbbb")
+        rendered = diff_runs(before, after).render()
+        assert "aaaa" in rendered and "bbbb" in rendered
+        same = diff_runs(before, _record("r0002", digest="aaaa")).render()
+        assert "unchanged" in same
+
+    def test_metric_present_on_one_side_only(self):
+        before = _record("r0001", metrics={"old": _counter(1)})
+        after = _record("r0002", metrics={"new": _counter(1)})
+        diff = diff_runs(before, after)
+        by_name = {delta.name: delta for delta in diff.metrics}
+        assert by_name["old"].after is None
+        assert by_name["new"].before is None
+        assert diff.clean  # appearing/disappearing is not an increase
+
+    def test_json_round_trip_preserves_diffability(self, tmp_path):
+        record = _record(
+            "r0001",
+            metrics={"steps": _counter(3)},
+            stages={"evaluate": {"count": 1, "wall_seconds": 0.1,
+                                 "cpu_seconds": 0.05}},
+        )
+        restored = RunRecord.from_dict(
+            json.loads(json.dumps(record.to_dict()))
+        )
+        assert diff_runs(record, restored).clean
