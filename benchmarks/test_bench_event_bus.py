@@ -1,0 +1,90 @@
+"""Events-off overhead guard for the telemetry event bus.
+
+The event-bus instrumentation (evaluation/stage/scenario boundary
+events, per-finding events, simulator message fates) must be free while
+no bus is installed — the default. The disabled path adds, per
+instrumentation site: one ``current_event_bus()`` lookup, one
+``enabled`` attribute load, and one boolean branch — no event object is
+ever constructed. This benchmark measures that added work directly
+against the null-recorder baseline workload (the same warm walkthrough
+as ``test_bench_null_recorder.py``) and asserts it stays under 5% of
+the warm evaluation's wall time.
+"""
+
+from __future__ import annotations
+
+import time
+
+from _timing import timed
+
+from repro.core.walkthrough import WalkthroughEngine
+from repro.obs.events import current_event_bus
+from repro.systems.generators import SyntheticSpec, build_synthetic
+
+# Same workload as benchmarks/test_bench_null_recorder.py so the two
+# disabled-overhead guards talk about the same warm path.
+SPEC = SyntheticSpec(
+    event_types=60,
+    components=120,
+    scenarios=100,
+    events_per_scenario=10,
+    reuse=1.0,
+    components_per_event_type=3,
+    seed=11,
+)
+
+MAX_OVERHEAD_FRACTION = 0.05
+
+
+def _disabled_emission(sites: int) -> None:
+    """Exactly the operations an instrumentation site performs per
+    would-be event while the event stream is off."""
+    for _ in range(sites):
+        bus = current_event_bus()
+        if bus.enabled:  # pragma: no cover - events are off here
+            raise AssertionError("event bus unexpectedly enabled")
+
+
+def test_bench_event_bus_disabled_overhead(benchmark):
+    system = build_synthetic(SPEC)
+    engine = WalkthroughEngine(system.architecture, system.mapping)
+    engine.walk_all(system.scenarios)  # warm every index cache
+
+    def measure():
+        with timed("event_bus.warm_walk", scenarios=SPEC.scenarios) as warm:
+            verdicts = engine.walk_all(system.scenarios)
+        # One emission check per scenario boundary (started + finished)
+        # plus one per finding — the walkthrough's actual event sites.
+        findings = sum(
+            len(verdict.all_inconsistencies()) for verdict in verdicts
+        )
+        sites = 2 * len(verdicts) + findings
+        # Repeat the emission-check-only loop enough times to rise above
+        # timer resolution, then scale back down.
+        repeats = 200
+        start = time.perf_counter()
+        for _ in range(repeats):
+            _disabled_emission(sites)
+        overhead_seconds = (time.perf_counter() - start) / repeats
+        return warm.seconds, overhead_seconds, sites
+
+    warm_seconds, overhead_seconds, sites = benchmark.pedantic(
+        measure, rounds=1, iterations=1
+    )
+    fraction = overhead_seconds / warm_seconds
+
+    print()
+    print("=== events-off emission overhead on the warm walkthrough ===")
+    print(
+        f"warm walk: {warm_seconds * 1e3:.2f} ms; {sites} emission "
+        "site(s) checked"
+    )
+    print(
+        f"disabled emission checks: {overhead_seconds * 1e6:.1f} µs "
+        f"({fraction:.2%} of the warm path)"
+    )
+
+    assert fraction < MAX_OVERHEAD_FRACTION, (
+        f"events-off emission checks cost {fraction:.2%} of the warm "
+        f"walkthrough (allowed {MAX_OVERHEAD_FRACTION:.0%})"
+    )

@@ -14,13 +14,20 @@ Subcommands:
 * ``runs`` — inspect the persistent run registry: ``runs list`` shows
   recorded evaluations, ``runs diff A B`` compares two of them and
   flags metric regressions.
+* ``tail`` — pretty-print a telemetry event stream captured with
+  ``--events`` (severity-colored, one aligned line per event).
+* ``dashboard`` — render traces, run history, a report's findings, and
+  an event stream into one self-contained offline HTML file.
 
 ``evaluate`` and ``demo`` accept observability flags: ``--profile``
 prints a span profile summary tree after the report, ``--trace-out FILE``
 writes a Chrome ``chrome://tracing``-compatible trace, ``--metrics-out
-FILE`` dumps the metrics registry as JSON, and ``--record`` snapshots
+FILE`` dumps the metrics registry as JSON, ``--record`` snapshots
 the evaluation into the run registry (``--runs-dir``, default
-``.repro-runs/``). The flags never change the report or the exit status.
+``.repro-runs/``), and ``--events FILE`` streams typed telemetry events
+as JSON lines while the evaluation runs (``--heartbeat N`` interleaves
+periodic metric-snapshot heartbeats). The flags never change the report
+or the exit status.
 
 Diagnostics go to stderr through the ``repro`` logger: ``-v`` / ``-vv``
 raise verbosity, ``--quiet`` shows errors only. Report output on stdout
@@ -60,16 +67,25 @@ from repro.core.report_io import (
 from repro.errors import ReproError
 from repro.obs import (
     DEFAULT_RUNS_DIR,
+    EventBus,
+    JsonlSink,
     Recorder,
     RunRegistry,
+    build_dashboard,
     chrome_trace_json,
     configure_logging,
     diff_runs,
+    events_from_jsonl,
+    format_event,
     get_logger,
+    load_trace_file,
     metrics_to_json,
+    read_events,
     render_profile,
     use,
+    use_events,
 )
+from repro.obs.events import event_severity
 from repro.scenarioml.lint import lint_scenario_set
 from repro.scenarioml.owl import to_owl_xml
 from repro.scenarioml.xml_io import parse_scenarioml, to_scenarioml_xml
@@ -145,6 +161,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--dynamic", action="store_true",
         help="also execute scenarios on the simulated architecture "
         "(crash: all quality scenarios; pims: the share-price flow)",
+    )
+    demo.add_argument(
+        "--save-report", type=Path, default=None,
+        help="write the evaluation report as JSON to this path",
     )
     _add_observability_arguments(demo)
 
@@ -269,6 +289,58 @@ def build_parser() -> argparse.ArgumentParser:
         "beyond this relative threshold; off by default because wall "
         "times jitter between machines",
     )
+
+    tail = subparsers.add_parser(
+        "tail",
+        help="pretty-print a telemetry event stream",
+        description="Render an events JSONL file (captured with "
+        "'evaluate --events' or 'demo --events') as aligned, "
+        "severity-colored, human-readable lines: offset into the "
+        "stream, sequence number, event kind, and a summary.",
+    )
+    tail.add_argument(
+        "path", help="events JSONL file, or '-' to read stdin"
+    )
+    tail.add_argument(
+        "--no-color", action="store_true",
+        help="disable ANSI severity coloring (also off when stdout is "
+        "not a terminal)",
+    )
+
+    dashboard = subparsers.add_parser(
+        "dashboard",
+        help="render the unified offline HTML observability dashboard",
+        description="Combine whatever observability artifacts exist — "
+        "a trace (--trace), the run registry's history (--runs-dir), a "
+        "saved report's findings with provenance (--report), and a "
+        "telemetry event stream (--events) — into one self-contained "
+        "HTML file with no external references.",
+    )
+    dashboard.add_argument(
+        "--out", type=Path, default=Path("dashboard.html"),
+        help="output HTML path (default: %(default)s)",
+    )
+    dashboard.add_argument(
+        "--trace", type=Path, default=None, metavar="FILE",
+        help="span trace: Chrome trace JSON (--trace-out) or span JSONL",
+    )
+    dashboard.add_argument(
+        "--events", type=Path, default=None, metavar="FILE",
+        help="telemetry events JSONL (from 'evaluate --events')",
+    )
+    dashboard.add_argument(
+        "--report", type=Path, default=None, metavar="FILE",
+        help="saved evaluation report JSON (from --save-report)",
+    )
+    dashboard.add_argument(
+        "--runs-dir", type=Path, default=Path(DEFAULT_RUNS_DIR),
+        help="run registry directory for metric trends "
+        "(default: %(default)s; skipped when absent)",
+    )
+    dashboard.add_argument(
+        "--title", default="SOSAE observability",
+        help="dashboard page title (default: %(default)s)",
+    )
     return parser
 
 
@@ -293,18 +365,50 @@ def _add_observability_arguments(parser: argparse.ArgumentParser) -> None:
         "--runs-dir", type=Path, default=Path(DEFAULT_RUNS_DIR),
         help="run registry directory (default: %(default)s)",
     )
+    parser.add_argument(
+        "--events", type=Path, default=None, metavar="FILE",
+        help="stream typed telemetry events to this JSONL file while "
+        "the evaluation runs",
+    )
+    parser.add_argument(
+        "--heartbeat", type=float, default=None, metavar="SECONDS",
+        help="with --events: interleave heartbeat events (carrying a "
+        "metrics snapshot) at this interval",
+    )
 
 
 @contextmanager
 def _observed(args: argparse.Namespace) -> Iterator[Optional[Recorder]]:
-    """Install a live recorder for the block when any observability flag
-    was given; yields it (or ``None`` when observability is off)."""
-    if not (args.profile or args.trace_out or args.metrics_out or args.record):
+    """Install a live recorder (and, with ``--events``, a live event bus
+    streaming to a JSONL sink) for the block when any observability flag
+    was given; yields the recorder (or ``None`` when observability is
+    off)."""
+    if args.heartbeat is not None and args.events is None:
+        raise ReproError("--heartbeat only makes sense with --events FILE")
+    wanted = (
+        args.profile
+        or args.trace_out
+        or args.metrics_out
+        or args.record
+        or args.events
+    )
+    if not wanted:
         yield None
         return
     recorder = Recorder()
-    with use(recorder):
-        yield recorder
+    if args.events is None:
+        with use(recorder):
+            yield recorder
+        return
+    bus = EventBus(
+        heartbeat_interval=args.heartbeat,
+        metrics_source=recorder.metrics.to_dict,
+    )
+    with JsonlSink(args.events) as sink:
+        bus.subscribe(sink)
+        with use(recorder), use_events(bus):
+            yield recorder
+    _LOG.info("wrote event stream to %s", args.events)
 
 
 def _emit_observability(
@@ -365,6 +469,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _run_explain(args)
         if args.command == "runs":
             return _run_runs(args)
+        if args.command == "tail":
+            return _run_tail(args)
+        if args.command == "dashboard":
+            return _run_dashboard(args)
     except ReproError as error:
         _LOG.error("error: %s", error)
         return 2
@@ -392,9 +500,13 @@ def _run_evaluate(args: argparse.Namespace) -> int:
     )
     with _observed(args) as recorder:
         report = Sosae(scenario_set, architecture, mapping).evaluate()
+        # Recording happens while the event bus (if any) is still live,
+        # so the run-recorded event reaches the stream before it closes.
+        _record_run(
+            args, f"evaluate-{args.architecture.stem}", report, recorder
+        )
     print(render_report(report, markdown=args.markdown))
     _emit_observability(args, recorder)
-    _record_run(args, f"evaluate-{args.architecture.stem}", report, recorder)
     if args.save_report is not None:
         args.save_report.write_text(report_to_json(report))
         _LOG.info("wrote report to %s", args.save_report)
@@ -489,9 +601,14 @@ def _run_demo(args: argparse.Namespace) -> int:
                 demo.dynamic_scenarios if include_dynamic else None
             ),
         )
+        _record_run(
+            args, f"demo-{args.system}-{args.variant}", report, recorder
+        )
     print(render_report(report, markdown=args.markdown))
     _emit_observability(args, recorder)
-    _record_run(args, f"demo-{args.system}-{args.variant}", report, recorder)
+    if args.save_report is not None:
+        args.save_report.write_text(report_to_json(report))
+        _LOG.info("wrote report to %s", args.save_report)
     return 0 if report.consistent else 1
 
 
@@ -605,6 +722,66 @@ def _run_runs(args: argparse.Namespace) -> int:
     )
     print(diff.render())
     return 0 if diff.clean else 1
+
+
+# ANSI severity coloring for `tail`: errors red, warnings yellow,
+# debug dimmed, info plain. Never the only channel — the severity is
+# also implied by the event kind and summary text on every line.
+_TAIL_COLORS = {
+    "error": "\x1b[31m",
+    "warning": "\x1b[33m",
+    "debug": "\x1b[2m",
+}
+_TAIL_RESET = "\x1b[0m"
+
+
+def _run_tail(args: argparse.Namespace) -> int:
+    if args.path == "-":
+        text = sys.stdin.read()
+    else:
+        text = Path(args.path).read_text(encoding="utf-8")
+    events = events_from_jsonl(text)
+    if not events:
+        _LOG.warning("no events in %s", args.path)
+        return 0
+    colored = not args.no_color and sys.stdout.isatty()
+    base = events[0].timestamp
+    for event in events:
+        line = format_event(event, base=base)
+        code = _TAIL_COLORS.get(event_severity(event))
+        if colored and code:
+            line = f"{code}{line}{_TAIL_RESET}"
+        print(line)
+    _LOG.info("rendered %d event(s)", len(events))
+    return 0
+
+
+def _run_dashboard(args: argparse.Namespace) -> int:
+    spans = load_trace_file(args.trace) if args.trace is not None else ()
+    events = read_events(args.events) if args.events is not None else ()
+    report = (
+        report_from_json(args.report.read_text())
+        if args.report is not None
+        else None
+    )
+    registry = RunRegistry(args.runs_dir)
+    runs = registry.load() if registry.path.exists() else ()
+    for name, count in (
+        ("spans", sum(root.count() for root in spans)),
+        ("runs", len(runs)),
+        ("events", len(events)),
+    ):
+        _LOG.info("dashboard input: %d %s", count, name)
+    document = build_dashboard(
+        spans=spans,
+        runs=runs,
+        report=report,
+        events=events,
+        title=args.title,
+    )
+    args.out.write_text(document, encoding="utf-8")
+    print(f"wrote dashboard to {args.out}")
+    return 0
 
 
 def _run_dot(args: argparse.Namespace) -> int:

@@ -26,7 +26,9 @@ The result is one :class:`~repro.core.consistency.EvaluationReport`.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Sequence
+import time
+from contextlib import contextmanager
+from typing import Iterable, Iterator, Optional, Sequence
 
 from repro.adl.structure import Architecture
 from repro.adl.styles import check_style
@@ -51,6 +53,14 @@ from repro.core.mapping import Mapping
 from repro.core.negative import evaluate_negative_scenario
 from repro.core.walkthrough import WalkthroughEngine, WalkthroughOptions
 from repro.errors import EvaluationError
+from repro.obs.events import (
+    EvaluationFinished,
+    EvaluationStarted,
+    FindingEmitted,
+    StageFinished,
+    StageStarted,
+    current_event_bus,
+)
 from repro.obs.provenance import MappingResolution, Provenance
 from repro.obs.recorder import current_recorder
 from repro.scenarioml.scenario import Scenario, ScenarioSet
@@ -110,13 +120,26 @@ class Sosae:
         With a live observability recorder installed
         (:func:`repro.obs.recorder.use`), each stage runs inside a span
         and the communication index's cache statistics accrue to the
-        metrics registry; the report itself is identical either way.
+        metrics registry. With a live event bus installed
+        (:func:`repro.obs.events.use_events`), the pipeline additionally
+        streams progress events — evaluation/stage/scenario boundaries
+        and every finding. The report itself is identical either way.
         """
         recorder = current_recorder()
-        if not recorder.enabled:
+        bus = current_event_bus()
+        if not recorder.enabled and not bus.enabled:
             return self._evaluate(
                 scenario_names, include_dynamic, dynamic_scenarios
             )
+        if bus.enabled:
+            bus.emit(
+                EvaluationStarted(
+                    architecture=self.architecture.name,
+                    scenario_set=self.scenario_set.name,
+                    scenarios=len(self.scenario_set.scenarios),
+                )
+            )
+        started = time.perf_counter()
         index_stats_before = self.index.stats()
         with recorder.span(
             "evaluate",
@@ -129,7 +152,19 @@ class Sosae:
             )
             span.set_attribute("consistent", report.consistent)
             span.set_attribute("findings", len(report.findings))
-        self._record_index_stats(recorder, index_stats_before)
+        if recorder.enabled:
+            self._record_index_stats(recorder, index_stats_before)
+        if bus.enabled:
+            all_findings = report.all_inconsistencies()
+            bus.emit(
+                EvaluationFinished(
+                    consistent=report.consistent,
+                    findings=len(all_findings),
+                    scenarios_passed=len(report.passed_scenarios),
+                    scenarios_failed=len(report.failed_scenarios),
+                    wall_seconds=time.perf_counter() - started,
+                )
+            )
         return report
 
     def _evaluate(
@@ -139,21 +174,23 @@ class Sosae:
         dynamic_scenarios: Optional[Iterable[str]],
     ) -> EvaluationReport:
         recorder = current_recorder()
+        bus = current_event_bus()
         findings: list[Inconsistency] = []
-        with recorder.span("evaluate.validation"):
+        with self._staged(recorder, bus, "validation", findings):
             findings.extend(self._validation_findings())
-        with recorder.span("evaluate.style_check"):
+        with self._staged(recorder, bus, "style_check", findings):
             findings.extend(self._style_findings())
-        with recorder.span("evaluate.coverage"):
+        with self._staged(recorder, bus, "coverage", findings):
             findings.extend(self._coverage_findings())
-        with recorder.span(
-            "evaluate.constraints", constraints=len(self.constraints)
+        with self._staged(
+            recorder, bus, "constraints", findings,
+            constraints=len(self.constraints),
         ):
             findings.extend(
                 check_constraints(self.architecture, self.constraints)
             )
         if self.behavior_options is not None:
-            with recorder.span("evaluate.behavior_check"):
+            with self._staged(recorder, bus, "behavior_check", findings):
                 findings.extend(
                     check_behavioral_support(
                         self.scenario_set,
@@ -164,14 +201,25 @@ class Sosae:
                 )
 
         selected = self._selected_scenarios(scenario_names)
-        with recorder.span("evaluate.walkthrough", scenarios=len(selected)):
-            verdicts = tuple(
-                self._walk(scenario) for scenario in selected
-            )
+        verdict_list: list[ScenarioVerdict] = []
+        walk_findings = 0
+        with self._staged(
+            recorder, bus, "walkthrough", None, scenarios=len(selected)
+        ) as stage_findings:
+            for scenario in selected:
+                verdict = self._walk(scenario)
+                verdict_list.append(verdict)
+                verdict_findings = verdict.all_inconsistencies()
+                walk_findings += len(verdict_findings)
+                if bus.enabled:
+                    for finding in verdict_findings:
+                        self._emit_finding(bus, finding)
+            stage_findings["count"] = walk_findings
+        verdicts = tuple(verdict_list)
 
         dynamic_verdicts: tuple[DynamicVerdict, ...] = ()
         if include_dynamic:
-            with recorder.span("evaluate.dynamic"):
+            with self._staged(recorder, bus, "dynamic", None):
                 dynamic_verdicts = self._run_dynamic(dynamic_scenarios)
 
         return EvaluationReport(
@@ -179,6 +227,59 @@ class Sosae:
             scenario_verdicts=verdicts,
             findings=tuple(findings),
             dynamic_verdicts=dynamic_verdicts,
+        )
+
+    @contextmanager
+    def _staged(
+        self,
+        recorder,
+        bus,
+        stage: str,
+        findings: Optional[list],
+        **attributes,
+    ) -> Iterator[dict]:
+        """Run one pipeline stage inside its span, bracketed by
+        stage-started/finished telemetry events.
+
+        When ``findings`` is the shared findings list, every finding the
+        stage appends is streamed as a :class:`FindingEmitted` event and
+        counted on the :class:`StageFinished` event. Stages that collect
+        findings elsewhere (walkthrough, dynamic) pass ``None`` and may
+        report a count through the yielded dict's ``"count"`` key.
+        """
+        stage_findings: dict = {"count": 0}
+        if bus.enabled:
+            bus.emit(StageStarted(stage=stage))
+        started = time.perf_counter()
+        before = len(findings) if findings is not None else 0
+        with recorder.span(f"evaluate.{stage}", **attributes):
+            yield stage_findings
+        if not bus.enabled:
+            return
+        if findings is not None:
+            emitted = findings[before:]
+            stage_findings["count"] = len(emitted)
+            for finding in emitted:
+                self._emit_finding(bus, finding)
+        bus.emit(
+            StageFinished(
+                stage=stage,
+                wall_seconds=time.perf_counter() - started,
+                findings=stage_findings["count"],
+            )
+        )
+
+    @staticmethod
+    def _emit_finding(bus, finding: Inconsistency) -> None:
+        bus.emit(
+            FindingEmitted(
+                finding_id=finding.finding_id,
+                finding_kind=finding.kind.value,
+                severity=finding.severity.value,
+                scenario=finding.scenario,
+                event_label=finding.event_label,
+                message=finding.message,
+            )
         )
 
     def _record_index_stats(self, recorder, before) -> None:

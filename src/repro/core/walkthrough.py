@@ -31,6 +31,7 @@ cleanly is the inconsistency).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -51,6 +52,11 @@ from repro.obs.provenance import (
     IndexQuery,
     MappingResolution,
     Provenance,
+)
+from repro.obs.events import (
+    ScenarioFinished,
+    ScenarioStarted,
+    current_event_bus,
 )
 from repro.obs.recorder import current_recorder
 from repro.scenarioml.events import Event, SimpleEvent, TypedEvent
@@ -157,6 +163,16 @@ class WalkthroughEngine:
         mutations between walks are picked up automatically."""
         traces = scenario_set.traces(scenario.name, self.options.trace_options)
         recorder = current_recorder()
+        bus = current_event_bus()
+        if bus.enabled:
+            bus.emit(
+                ScenarioStarted(
+                    scenario=scenario.name,
+                    negative=scenario.is_negative,
+                    traces=len(traces),
+                )
+            )
+        started = time.perf_counter()
         with self.index.pinned():
             if recorder.enabled:
                 with recorder.span(
@@ -174,11 +190,24 @@ class WalkthroughEngine:
                     self._walk_trace(scenario, index, trace)
                     for index, trace in enumerate(traces)
                 )
-        return ScenarioVerdict(
+        verdict = ScenarioVerdict(
             scenario=scenario.name,
             traces=walked,
             negative=scenario.is_negative,
         )
+        elapsed = time.perf_counter() - started
+        if recorder.enabled:
+            recorder.histogram("walkthrough.scenario_seconds").observe(elapsed)
+        if bus.enabled:
+            bus.emit(
+                ScenarioFinished(
+                    scenario=scenario.name,
+                    passed=verdict.passed,
+                    findings=len(verdict.all_inconsistencies()),
+                    wall_seconds=elapsed,
+                )
+            )
+        return verdict
 
     # ------------------------------------------------------------------
     # Trace walkthrough

@@ -18,8 +18,40 @@ Typical use::
     with use(recorder):
         report = sosae.evaluate()
     print(render_profile(recorder.roots, recorder.metrics))
+
+For *live* observation, :mod:`repro.obs.events` adds a typed telemetry
+event bus (``sosae evaluate --events out.jsonl`` streams it, ``sosae
+tail`` pretty-prints it) and :mod:`repro.obs.dashboard` renders traces,
+run history, findings, and event streams into one self-contained
+offline HTML page (``sosae dashboard``).
 """
 
+from repro.obs.dashboard import build_dashboard, load_trace_file
+from repro.obs.events import (
+    EVENT_TYPES,
+    NULL_EVENT_BUS,
+    EvaluationFinished,
+    EvaluationStarted,
+    EventBus,
+    FindingEmitted,
+    Heartbeat,
+    JsonlSink,
+    NullEventBus,
+    RunRecorded,
+    ScenarioFinished,
+    ScenarioStarted,
+    SimMessageFate,
+    StageFinished,
+    StageStarted,
+    current_event_bus,
+    event_from_dict,
+    events_enabled,
+    events_from_jsonl,
+    format_event,
+    read_events,
+    set_event_bus,
+    use_events,
+)
 from repro.obs.export import (
     chrome_trace,
     chrome_trace_json,
@@ -65,39 +97,64 @@ from repro.obs.spans import Span, SpanRecorder
 __all__ = [
     "Counter",
     "DEFAULT_RUNS_DIR",
+    "EVENT_TYPES",
+    "EvaluationFinished",
+    "EvaluationStarted",
+    "EventBus",
     "EventContext",
+    "FindingEmitted",
     "Gauge",
+    "Heartbeat",
     "Histogram",
     "IndexQuery",
+    "JsonlSink",
     "MappingResolution",
     "MetricDelta",
     "MetricsRegistry",
+    "NULL_EVENT_BUS",
     "NULL_RECORDER",
+    "NullEventBus",
     "NullRecorder",
     "Provenance",
     "Recorder",
     "RunDiff",
     "RunRecord",
+    "RunRecorded",
     "RunRegistry",
+    "ScenarioFinished",
+    "ScenarioStarted",
+    "SimMessageFate",
     "Span",
     "SpanRecorder",
     "StageDelta",
+    "StageFinished",
+    "StageStarted",
+    "build_dashboard",
     "chrome_trace",
     "chrome_trace_json",
     "configure_logging",
+    "current_event_bus",
     "current_git_sha",
     "current_recorder",
     "diff_runs",
+    "event_from_dict",
+    "events_enabled",
+    "events_from_jsonl",
     "finding_id",
+    "format_event",
     "get_logger",
+    "load_trace_file",
     "metrics_to_json",
     "observability_enabled",
     "provenance_from_dict",
+    "read_events",
     "render_profile",
     "set_recorder",
+    "set_event_bus",
     "spans_from_chrome_trace",
     "spans_from_jsonl",
     "spans_to_jsonl",
     "stage_summary",
     "use",
+    "use_events",
 ]

@@ -1,0 +1,710 @@
+"""The unified offline observability dashboard (``sosae dashboard``).
+
+:func:`build_dashboard` renders everything the observability layer can
+capture — a span trace (flamegraph), the run registry's history (metric
+trend sparklines), an evaluation report (findings with expandable
+provenance chains), and a telemetry event stream (timeline) — into
+**one self-contained HTML file**: inline CSS, inline SVG, a few lines
+of inline JS for expand/collapse, no external references of any kind
+(CI asserts the output contains no ``http://``/``https://``), so the
+artifact opens offline, attaches to a CI run, and survives archiving.
+
+Every chart keeps to the house visual rules: one series color (blue),
+the sequential blue ramp for flamegraph depth, reserved status colors
+with icon + label (never color alone), text in ink tokens (never the
+series color), hairline rules, system sans, dark mode via
+``prefers-color-scheme``, and a table view behind every graphic.
+
+Sections degrade independently: whatever inputs are absent simply
+render as a short note, so a trace-only or events-only dashboard is
+still useful.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from html import escape
+from pathlib import Path
+from typing import Optional, Sequence, Union
+
+from repro.errors import ReproError
+from repro.obs.events import TelemetryEvent, event_severity
+from repro.obs.export import spans_from_chrome_trace, spans_from_jsonl
+from repro.obs.runs import RunRecord, _metric_scalars
+from repro.obs.spans import Span
+
+__all__ = ["build_dashboard", "load_trace_file"]
+
+
+def load_trace_file(path: Union[str, Path]) -> tuple[Span, ...]:
+    """Load a span forest from either export format.
+
+    Accepts the Chrome ``traceEvents`` document (``--trace-out``) or the
+    span-per-line JSONL stream; the format is detected from the content.
+    """
+    text = Path(path).read_text(encoding="utf-8")
+    stripped = text.strip()
+    if not stripped:
+        return ()
+    if stripped.startswith("{"):
+        try:
+            document = json.loads(stripped)
+        except json.JSONDecodeError:
+            document = None
+        if isinstance(document, dict) and "traceEvents" in document:
+            return spans_from_chrome_trace(document)
+    return spans_from_jsonl(text)
+
+
+# ----------------------------------------------------------------------
+# Formatting helpers
+# ----------------------------------------------------------------------
+
+# Sequential blue ramp, steps 400 -> 700: flamegraph depth. All steps
+# are dark enough for white in-mark labels in both color schemes.
+_FLAME_RAMP = (
+    "#3987e5",
+    "#2a78d6",
+    "#256abf",
+    "#1c5cab",
+    "#184f95",
+    "#104281",
+    "#0d366b",
+)
+
+_SEVERITY_BADGES = {
+    "error": ("critical", "✖", "error"),      # ✖
+    "critical": ("critical", "✖", "critical"),
+    "warning": ("warning", "⚠", "warning"),   # ⚠
+    "info": ("info", "•", "info"),            # •
+    "debug": ("debug", "·", "debug"),         # ·
+}
+
+
+def _ms(seconds: Optional[float]) -> str:
+    if seconds is None:
+        return "-"
+    return f"{seconds * 1e3:.2f}ms"
+
+
+def _compact(value: float) -> str:
+    """Stat-tile value formatting: 1,284 / 12.9K / 4.2M."""
+    magnitude = abs(value)
+    if magnitude >= 1e6:
+        return f"{value / 1e6:.1f}M"
+    if magnitude >= 1e4:
+        return f"{value / 1e3:.1f}K"
+    if value == int(value):
+        return f"{int(value):,}"
+    return f"{value:,.3g}" if magnitude < 1 else f"{value:,.1f}"
+
+
+def _badge(severity: str) -> str:
+    cls, icon, label = _SEVERITY_BADGES.get(
+        severity, _SEVERITY_BADGES["info"]
+    )
+    return (
+        f'<span class="badge badge-{cls}">'
+        f'<span class="badge-icon">{icon}</span>{label}</span>'
+    )
+
+
+def _tile(
+    label: str,
+    value: str,
+    note: str = "",
+    delta_html: str = "",
+) -> str:
+    note_html = f'<div class="tile-note">{escape(note)}</div>' if note else ""
+    return (
+        '<div class="tile">'
+        f'<div class="tile-label">{escape(label)}</div>'
+        f'<div class="tile-value">{escape(value)}</div>'
+        f"{delta_html}{note_html}</div>"
+    )
+
+
+# ----------------------------------------------------------------------
+# Flamegraph
+# ----------------------------------------------------------------------
+
+
+def _flame_rows(root: Span) -> list[tuple[Span, int, float, float]]:
+    """(span, depth, left_fraction, width_fraction) for one root."""
+    total = root.wall_seconds
+    rows: list[tuple[Span, int, float, float]] = []
+
+    def visit(span: Span, depth: int) -> None:
+        left = (span.start_wall - root.start_wall) / total
+        width = span.wall_seconds / total
+        rows.append((span, depth, left, width))
+        for child in span.children:
+            visit(child, depth + 1)
+
+    visit(root, 0)
+    return rows
+
+
+def _span_title(span: Span, root: Span) -> str:
+    share = (
+        100.0 * span.wall_seconds / root.wall_seconds
+        if root.wall_seconds
+        else 0.0
+    )
+    parts = [
+        f"{span.name}: {_ms(span.wall_seconds)} wall "
+        f"({share:.1f}% of {root.name}), {_ms(span.self_wall_seconds)} self,"
+        f" {_ms(span.cpu_seconds)} cpu"
+    ]
+    for key, value in span.attributes.items():
+        parts.append(f"{key}={value}")
+    return " | ".join(parts)
+
+
+def _render_flamegraph(spans: Sequence[Span]) -> str:
+    roots = [root for root in spans if root.wall_seconds > 0]
+    if not roots:
+        return '<p class="empty">No trace loaded — pass one with --trace.</p>'
+    blocks = []
+    for root in roots:
+        rows = _flame_rows(root)
+        depth = max(d for _, d, _, _ in rows) + 1
+        cells = []
+        for span, level, left, width in rows:
+            color = _FLAME_RAMP[min(level, len(_FLAME_RAMP) - 1)]
+            width_pct = max(width * 100.0, 0.05)
+            # In-mark labels only where they comfortably fit; narrow
+            # spans keep the tooltip and the table view instead.
+            label = (
+                f'<span class="flame-label">{escape(span.name)}</span>'
+                if width_pct >= 8.0
+                else ""
+            )
+            cells.append(
+                '<div class="flame-span" style="'
+                f"left:{left * 100.0:.3f}%;width:{width_pct:.3f}%;"
+                f'top:{level * 28}px;background:{color};" '
+                f'title="{escape(_span_title(span, root), quote=True)}">'
+                f"{label}</div>"
+            )
+        blocks.append(
+            f'<div class="flame-root">'
+            f'<div class="flame-caption">{escape(root.name)} — '
+            f"{_ms(root.wall_seconds)} wall, {len(rows)} span(s)</div>"
+            f'<div class="flame" style="height:{depth * 28}px">'
+            + "".join(cells)
+            + "</div></div>"
+        )
+    blocks.append(_flame_table(roots))
+    return "".join(blocks)
+
+
+def _flame_table(roots: Sequence[Span]) -> str:
+    """The flamegraph's table view: spans aggregated by name."""
+    totals: dict[str, dict] = {}
+    grand = sum(root.wall_seconds for root in roots) or 1.0
+    for root in roots:
+        for span in root.iter_spans():
+            entry = totals.setdefault(
+                span.name, {"count": 0, "wall": 0.0, "self": 0.0, "cpu": 0.0}
+            )
+            entry["count"] += 1
+            entry["wall"] += span.wall_seconds
+            entry["self"] += span.self_wall_seconds
+            entry["cpu"] += span.cpu_seconds
+    rows = "".join(
+        f"<tr><td>{escape(name)}</td><td>{entry['count']}</td>"
+        f"<td>{_ms(entry['wall'])}</td><td>{_ms(entry['self'])}</td>"
+        f"<td>{_ms(entry['cpu'])}</td>"
+        f"<td>{100.0 * entry['wall'] / grand:.1f}%</td></tr>"
+        for name, entry in sorted(
+            totals.items(), key=lambda item: -item[1]["wall"]
+        )
+    )
+    return (
+        "<details><summary>Table view</summary>"
+        '<table class="data"><thead><tr><th>span</th><th>count</th>'
+        "<th>wall</th><th>self</th><th>cpu</th><th>share</th></tr></thead>"
+        f"<tbody>{rows}</tbody></table></details>"
+    )
+
+
+# ----------------------------------------------------------------------
+# Metric trends
+# ----------------------------------------------------------------------
+
+# The headline trends; every other scalar lands in the collapsed group.
+_HEADLINE_TRENDS = (
+    "wall_seconds",
+    "findings",
+    "walkthrough.scenario_seconds.p50",
+    "walkthrough.scenario_seconds.p95",
+    "walkthrough.steps",
+    "index.hits",
+)
+
+
+def _run_scalars(record: RunRecord) -> dict[str, float]:
+    scalars = {
+        "wall_seconds": record.wall_seconds,
+        "findings": float(record.findings),
+    }
+    for name, (value, _) in _metric_scalars(record.metrics).items():
+        scalars[name] = value
+    return scalars
+
+
+def _sparkline(values: Sequence[float]) -> str:
+    """A 2px single-series sparkline with a surface-ringed end dot."""
+    width, height, pad = 220, 44, 5
+    low, high = min(values), max(values)
+    spread = (high - low) or 1.0
+    step = (width - 2 * pad) / max(len(values) - 1, 1)
+    points = [
+        (
+            pad + index * step,
+            height - pad - (value - low) / spread * (height - 2 * pad),
+        )
+        for index, value in enumerate(values)
+    ]
+    polyline = " ".join(f"{x:.1f},{y:.1f}" for x, y in points)
+    end_x, end_y = points[-1]
+    return (
+        f'<svg class="spark" viewBox="0 0 {width} {height}" '
+        f'width="{width}" height="{height}" role="img">'
+        f'<line x1="{pad}" y1="{height - pad}" x2="{width - pad}" '
+        f'y2="{height - pad}" class="spark-base"/>'
+        f'<polyline points="{polyline}" class="spark-line"/>'
+        f'<circle cx="{end_x:.1f}" cy="{end_y:.1f}" r="4" '
+        'class="spark-dot"/></svg>'
+    )
+
+
+def _is_timing(name: str) -> bool:
+    return name.endswith(
+        (".mean", ".p50", ".p95", ".p99", "_seconds")
+    ) or name.endswith("seconds")
+
+
+def _trend_tile(
+    name: str, values: Sequence[Optional[float]], run_ids: Sequence[str]
+) -> str:
+    present = [(i, v) for i, v in enumerate(values) if v is not None]
+    if len(present) < 2:
+        return ""
+    series = [v for _, v in present]
+    latest, previous = series[-1], series[-2]
+    timing = _is_timing(name)
+    shown = _ms(latest) if timing else _compact(latest)
+    delta = latest - previous
+    if delta:
+        # Lower is better for everything trended here (durations,
+        # findings, cache misses…) except plain activity counters,
+        # where movement is neutral; color only clear good/bad moves.
+        good_down = timing or name in ("findings",) or name.endswith(
+            (".count", "misses", "invalidations")
+        )
+        direction = "▲" if delta > 0 else "▼"
+        cls = (
+            ("delta-bad" if delta > 0 else "delta-good")
+            if good_down
+            else "delta-flat"
+        )
+        rendered = _ms(abs(delta)) if timing else _compact(abs(delta))
+        delta_html = (
+            f'<div class="tile-delta {cls}">{direction} {rendered} '
+            "vs previous run</div>"
+        )
+    else:
+        delta_html = '<div class="tile-delta delta-flat">unchanged</div>'
+    table_rows = "".join(
+        f"<tr><td>{escape(run_ids[i])}</td>"
+        f"<td>{_ms(v) if timing else _compact(v)}</td></tr>"
+        for i, v in present
+    )
+    return (
+        '<div class="tile trend">'
+        f'<div class="tile-label">{escape(name)}</div>'
+        f'<div class="tile-value">{shown}</div>'
+        f"{delta_html}{_sparkline(series)}"
+        "<details><summary>Table view</summary>"
+        '<table class="data"><thead><tr><th>run</th><th>value</th></tr>'
+        f"</thead><tbody>{table_rows}</tbody></table></details></div>"
+    )
+
+
+def _render_trends(runs: Sequence[RunRecord]) -> str:
+    if not runs:
+        return (
+            '<p class="empty">No run history loaded — record runs with '
+            "--record and point --runs-dir at them.</p>"
+        )
+    if len(runs) < 2:
+        return (
+            '<p class="empty">Only one run recorded — trends need at '
+            "least two (run with --record again).</p>"
+        )
+    run_ids = [record.run_id for record in runs]
+    scalars_per_run = [_run_scalars(record) for record in runs]
+    names = sorted({name for scalars in scalars_per_run for name in scalars})
+    tiles: dict[str, str] = {}
+    for name in names:
+        values = [scalars.get(name) for scalars in scalars_per_run]
+        tile = _trend_tile(name, values, run_ids)
+        if tile:
+            tiles[name] = tile
+    if not tiles:
+        return '<p class="empty">No metric appears in two or more runs.</p>'
+    headline = [tiles[name] for name in _HEADLINE_TRENDS if name in tiles]
+    rest = [
+        tiles[name] for name in names
+        if name in tiles and name not in _HEADLINE_TRENDS
+    ]
+    parts = [
+        f'<p class="section-note">{len(runs)} run(s): '
+        f"{escape(run_ids[0])} … {escape(run_ids[-1])}</p>",
+        f'<div class="tiles">{"".join(headline)}</div>',
+    ]
+    if rest:
+        parts.append(
+            f"<details><summary>All metric trends ({len(rest)} more)"
+            f'</summary><div class="tiles">{"".join(rest)}</div></details>'
+        )
+    return "".join(parts)
+
+
+# ----------------------------------------------------------------------
+# Findings
+# ----------------------------------------------------------------------
+
+
+def _findings_with_ids(report) -> tuple:
+    """Deduplicated (finding_id, finding) pairs, first occurrence kept.
+
+    Duck-typed on the report surface so this module needs no import
+    from :mod:`repro.core` (core imports obs, not the reverse).
+    """
+    seen: dict = {}
+    for finding in report.all_inconsistencies():
+        seen.setdefault(finding.finding_id, finding)
+    return tuple(seen.items())
+
+
+def _render_findings(report) -> str:
+    if report is None:
+        return (
+            '<p class="empty">No report loaded — save one with '
+            "--save-report and pass it with --report.</p>"
+        )
+    pairs = _findings_with_ids(report)
+    if not pairs:
+        return '<p class="empty">The report contains no findings.</p>'
+    rows = []
+    for finding_id, finding in pairs:
+        if finding.provenance is not None and not finding.provenance.empty:
+            provenance = (
+                "<details><summary>causal chain</summary>"
+                f"<pre>{escape(finding.provenance.render())}</pre></details>"
+            )
+        else:
+            provenance = '<span class="muted">no provenance recorded</span>'
+        where = finding.scenario or "-"
+        if finding.scenario and finding.event_label:
+            where = f"{finding.scenario} @ {finding.event_label}"
+        rows.append(
+            f"<tr><td><code>{escape(finding_id)}</code></td>"
+            f"<td>{_badge(finding.severity.value)}</td>"
+            f"<td>{escape(finding.kind.value)}</td>"
+            f"<td>{escape(where)}</td>"
+            f"<td>{escape(finding.message)}{provenance}</td></tr>"
+        )
+    return (
+        '<table class="data"><thead><tr><th>id</th><th>severity</th>'
+        "<th>kind</th><th>scenario</th><th>finding</th></tr></thead>"
+        f'<tbody>{"".join(rows)}</tbody></table>'
+    )
+
+
+# ----------------------------------------------------------------------
+# Event timeline
+# ----------------------------------------------------------------------
+
+
+def _render_timeline(events: Sequence[TelemetryEvent]) -> str:
+    if not events:
+        return (
+            '<p class="empty">No event stream loaded — capture one with '
+            "evaluate --events and pass it with --events.</p>"
+        )
+    base = events[0].timestamp
+    rows = []
+    for event in events:
+        severity = event_severity(event)
+        rows.append(
+            f'<tr class="sev-{severity}">'
+            f"<td>+{event.timestamp - base:.4f}s</td>"
+            f"<td>{event.seq}</td>"
+            f"<td><code>{escape(event.kind)}</code></td>"
+            f"<td>{_badge(severity)}</td>"
+            f"<td>{escape(event.summary())}</td></tr>"
+        )
+    return (
+        f'<p class="section-note">{len(events)} event(s)</p>'
+        '<table class="data timeline"><thead><tr><th>t</th><th>seq</th>'
+        "<th>kind</th><th>severity</th><th>event</th></tr></thead>"
+        f'<tbody>{"".join(rows)}</tbody></table>'
+    )
+
+
+# ----------------------------------------------------------------------
+# KPI row
+# ----------------------------------------------------------------------
+
+
+def _render_kpis(
+    spans: Sequence[Span],
+    runs: Sequence[RunRecord],
+    report,
+    events: Sequence[TelemetryEvent],
+) -> str:
+    tiles = []
+    if report is not None:
+        verdict = "consistent" if report.consistent else "inconsistent"
+        icon = "✔" if report.consistent else "✖"
+        cls = "delta-good" if report.consistent else "delta-bad"
+        tiles.append(
+            '<div class="tile"><div class="tile-label">Verdict</div>'
+            f'<div class="tile-value {cls}">{icon} {verdict}</div>'
+            f'<div class="tile-note">{len(report.passed_scenarios)} '
+            f"scenario(s) passed, {len(report.failed_scenarios)} failed"
+            "</div></div>"
+        )
+        tiles.append(
+            _tile("Findings", _compact(len(_findings_with_ids(report))))
+        )
+    elif runs:
+        latest = runs[-1]
+        verdict = "consistent" if latest.consistent else "inconsistent"
+        icon = "✔" if latest.consistent else "✖"
+        cls = "delta-good" if latest.consistent else "delta-bad"
+        tiles.append(
+            '<div class="tile"><div class="tile-label">Latest run</div>'
+            f'<div class="tile-value {cls}">{icon} {verdict}</div>'
+            f'<div class="tile-note">{escape(latest.run_id)} '
+            f"({escape(latest.label)})</div></div>"
+        )
+        tiles.append(_tile("Findings", _compact(latest.findings)))
+    if spans:
+        total = sum(root.wall_seconds for root in spans)
+        count = sum(root.count() for root in spans)
+        tiles.append(_tile("Traced wall time", _ms(total), f"{count} spans"))
+    if runs:
+        tiles.append(_tile("Recorded runs", _compact(len(runs))))
+    if events:
+        findings_streamed = sum(
+            1 for event in events if event.kind == "finding-emitted"
+        )
+        tiles.append(
+            _tile("Events", _compact(len(events)),
+                  f"{findings_streamed} finding(s) streamed")
+        )
+    if not tiles:
+        return ""
+    return f'<div class="tiles kpis">{"".join(tiles)}</div>'
+
+
+# ----------------------------------------------------------------------
+# Assembly
+# ----------------------------------------------------------------------
+
+_STYLE = """
+:root {
+  color-scheme: light;
+  --page: #f9f9f7; --surface: #fcfcfb;
+  --ink: #0b0b0b; --ink-2: #52514e; --muted: #898781;
+  --grid: #e1e0d9; --axis: #c3c2b7;
+  --border: rgba(11, 11, 11, 0.10);
+  --series: #2a78d6;
+  --good: #0ca30c; --warning: #fab219;
+  --serious: #ec835a; --critical: #d03b3b;
+  --delta-good: #006300; --delta-bad: #d03b3b;
+}
+@media (prefers-color-scheme: dark) {
+  :root {
+    color-scheme: dark;
+    --page: #0d0d0d; --surface: #1a1a19;
+    --ink: #ffffff; --ink-2: #c3c2b7; --muted: #898781;
+    --grid: #2c2c2a; --axis: #383835;
+    --border: rgba(255, 255, 255, 0.10);
+    --series: #3987e5;
+    --delta-good: #0ca30c;
+  }
+}
+* { box-sizing: border-box; }
+body {
+  margin: 0; padding: 24px; background: var(--page); color: var(--ink);
+  font-family: system-ui, -apple-system, "Segoe UI", sans-serif;
+  font-size: 14px; line-height: 1.45;
+}
+header h1 { font-size: 20px; margin: 0 0 2px; }
+header .subtitle { color: var(--ink-2); margin: 0 0 18px; }
+section {
+  background: var(--surface); border: 1px solid var(--border);
+  border-radius: 8px; padding: 16px 18px; margin: 0 0 16px;
+}
+section h2 {
+  font-size: 15px; margin: 0 0 10px; color: var(--ink);
+}
+.section-note, .empty, .muted { color: var(--muted); }
+.empty { margin: 4px 0; }
+.toolbar { margin: 0 0 14px; }
+.toolbar button {
+  font: inherit; color: var(--ink-2); background: var(--surface);
+  border: 1px solid var(--border); border-radius: 6px;
+  padding: 4px 10px; cursor: pointer; margin-right: 8px;
+}
+.toolbar button:hover { color: var(--ink); }
+.tiles { display: flex; flex-wrap: wrap; gap: 12px; margin: 8px 0; }
+.tile {
+  background: var(--surface); border: 1px solid var(--border);
+  border-radius: 8px; padding: 10px 14px; min-width: 150px;
+}
+.kpis .tile { background: var(--page); }
+.tile-label { color: var(--ink-2); }
+.tile-value { font-size: 26px; font-weight: 600; }
+.tile-note, .tile-delta { color: var(--muted); font-size: 12px; }
+.delta-good { color: var(--delta-good); }
+.delta-bad { color: var(--delta-bad); }
+.delta-flat { color: var(--muted); }
+.flame-caption { color: var(--ink-2); margin: 6px 0 4px; }
+.flame { position: relative; width: 100%; margin-bottom: 10px; }
+.flame-span {
+  position: absolute; height: 26px; border-radius: 3px;
+  border: 1px solid var(--surface); overflow: hidden;
+  cursor: default;
+}
+.flame-span:hover { filter: brightness(1.15); }
+.flame-label {
+  color: #ffffff; font-size: 12px; line-height: 24px;
+  padding: 0 6px; white-space: nowrap; display: inline-block;
+}
+.spark { display: block; margin-top: 6px; }
+.spark-line {
+  fill: none; stroke: var(--series); stroke-width: 2;
+  stroke-linejoin: round; stroke-linecap: round;
+}
+.spark-base { stroke: var(--grid); stroke-width: 1; }
+.spark-dot { fill: var(--series); stroke: var(--surface); stroke-width: 2; }
+table.data { border-collapse: collapse; width: 100%; margin-top: 6px; }
+table.data th {
+  text-align: left; color: var(--ink-2); font-weight: 600;
+  border-bottom: 1px solid var(--axis); padding: 4px 10px 4px 0;
+}
+table.data td {
+  border-bottom: 1px solid var(--grid); padding: 4px 10px 4px 0;
+  vertical-align: top; font-variant-numeric: tabular-nums;
+}
+.badge { white-space: nowrap; color: var(--ink-2); }
+.badge-icon { margin-right: 4px; }
+.badge-critical .badge-icon, .badge-critical { color: var(--critical); }
+.badge-warning .badge-icon { color: var(--warning); }
+.badge-warning { color: var(--ink-2); }
+.badge-info, .badge-debug { color: var(--muted); }
+details { margin-top: 4px; }
+details summary { cursor: pointer; color: var(--ink-2); }
+pre {
+  background: var(--page); border: 1px solid var(--border);
+  border-radius: 6px; padding: 8px 10px; overflow-x: auto;
+  font-size: 12px;
+}
+code { font-size: 12px; }
+footer { color: var(--muted); margin-top: 10px; }
+"""
+
+_SCRIPT = """
+for (const button of document.querySelectorAll("[data-details]")) {
+  button.addEventListener("click", () => {
+    const open = button.dataset.details === "open";
+    for (const details of document.querySelectorAll("details")) {
+      details.open = open;
+    }
+  });
+}
+"""
+
+
+def build_dashboard(
+    *,
+    spans: Sequence[Span] = (),
+    runs: Sequence[RunRecord] = (),
+    report=None,
+    events: Sequence[TelemetryEvent] = (),
+    title: str = "SOSAE observability",
+    generated_at: Optional[float] = None,
+) -> str:
+    """Render one self-contained HTML dashboard from whatever the
+    observability layer captured.
+
+    All inputs are optional, but at least one must be present. The
+    returned document references nothing external — no fonts, scripts,
+    styles, or images outside the file itself.
+    """
+    if not spans and not runs and report is None and not events:
+        raise ReproError(
+            "nothing to render: give the dashboard a trace, a runs "
+            "directory with recorded runs, a report, or an event stream"
+        )
+    stamp = time.strftime(
+        "%Y-%m-%d %H:%M:%S",
+        time.localtime(generated_at if generated_at is not None else None),
+    )
+    sections = [
+        (
+            "Pipeline flamegraph",
+            "Where the evaluation spent its wall time (depth = nesting; "
+            "hover a span for exact timings; the table view aggregates "
+            "by span name).",
+            _render_flamegraph(spans),
+        ),
+        (
+            "Metric trends",
+            "Each recorded run is one point, oldest to newest "
+            "(sparklines; expand a tile for the exact values).",
+            _render_trends(runs),
+        ),
+        (
+            "Findings",
+            "Every deduplicated finding of the evaluated report, with "
+            "its causal provenance chain where recorded.",
+            _render_findings(report),
+        ),
+        (
+            "Event timeline",
+            "The live telemetry stream, in emission order, with "
+            "offsets from the first event.",
+            _render_timeline(events),
+        ),
+    ]
+    body = "".join(
+        f"<section><h2>{escape(heading)}</h2>"
+        f'<p class="section-note">{escape(note)}</p>{content}</section>'
+        for heading, note, content in sections
+    )
+    return (
+        "<!DOCTYPE html>\n"
+        '<html lang="en"><head><meta charset="utf-8">'
+        '<meta name="viewport" content="width=device-width, initial-scale=1">'
+        f"<title>{escape(title)}</title>"
+        f"<style>{_STYLE}</style></head><body>"
+        f"<header><h1>{escape(title)}</h1>"
+        f'<p class="subtitle">generated {stamp}</p></header>'
+        '<div class="toolbar">'
+        '<button type="button" data-details="open">Expand all</button>'
+        '<button type="button" data-details="close">Collapse all</button>'
+        "</div>"
+        f"{_render_kpis(spans, runs, report, events)}"
+        f"{body}"
+        "<footer>self-contained artifact — no external resources</footer>"
+        f"<script>{_SCRIPT}</script></body></html>"
+    )

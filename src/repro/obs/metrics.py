@@ -6,8 +6,9 @@ Three instrument kinds, matching what the evaluation pipeline needs:
   index hits, simulator sends);
 * :class:`Gauge` — a point-in-time value that may go up or down (cached
   tree count, live node count);
-* :class:`Histogram` — a streaming summary (count/sum/min/max/mean) of an
-  observed distribution (per-scenario walk seconds, message latencies).
+* :class:`Histogram` — a summary (count/sum/min/max/mean and exact
+  p50/p95/p99 percentiles) of an observed distribution (per-scenario
+  walk seconds, message latencies).
 
 Instruments live in a :class:`MetricsRegistry`, keyed by name; asking for
 an existing name returns the same instrument, so instrumentation sites
@@ -70,9 +71,15 @@ class Gauge:
 
 
 class Histogram:
-    """A streaming summary of an observed distribution."""
+    """A summary (count/sum/min/max/mean/percentiles) of a distribution.
 
-    __slots__ = ("name", "count", "total", "min", "max")
+    Observations are retained (the pipeline observes at most a few
+    thousand values per run — one per scenario or trace, not per step)
+    so exact percentiles are available; ``_sorted`` caches the sort
+    between observations.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max", "_samples", "_sorted")
 
     def __init__(self, name: str) -> None:
         self.name = name
@@ -80,6 +87,8 @@ class Histogram:
         self.total: float = 0.0
         self.min: Optional[float] = None
         self.max: Optional[float] = None
+        self._samples: list[float] = []
+        self._sorted: Optional[list[float]] = None
 
     def observe(self, value: float) -> None:
         """Record one observation."""
@@ -89,11 +98,43 @@ class Histogram:
             self.min = value
         if self.max is None or value > self.max:
             self.max = value
+        self._samples.append(value)
+        self._sorted = None
 
     @property
     def mean(self) -> Optional[float]:
         """Arithmetic mean of the observations, ``None`` before any."""
         return self.total / self.count if self.count else None
+
+    def percentile(self, fraction: float) -> Optional[float]:
+        """The exact ``fraction`` quantile (0..1) by linear interpolation
+        between closest ranks, ``None`` before any observation."""
+        if not 0.0 <= fraction <= 1.0:
+            raise ReproError(
+                f"percentile fraction must be in [0, 1], got {fraction}"
+            )
+        if not self._samples:
+            return None
+        if self._sorted is None:
+            self._sorted = sorted(self._samples)
+        ordered = self._sorted
+        rank = fraction * (len(ordered) - 1)
+        low = int(rank)
+        high = min(low + 1, len(ordered) - 1)
+        weight = rank - low
+        return ordered[low] * (1.0 - weight) + ordered[high] * weight
+
+    @property
+    def p50(self) -> Optional[float]:
+        return self.percentile(0.50)
+
+    @property
+    def p95(self) -> Optional[float]:
+        return self.percentile(0.95)
+
+    @property
+    def p99(self) -> Optional[float]:
+        return self.percentile(0.99)
 
     def to_dict(self) -> dict:
         return {
@@ -103,6 +144,9 @@ class Histogram:
             "min": self.min,
             "max": self.max,
             "mean": self.mean,
+            "p50": self.p50,
+            "p95": self.p95,
+            "p99": self.p99,
         }
 
     def __repr__(self) -> str:
@@ -155,7 +199,13 @@ class MetricsRegistry:
         return tuple(sorted(self._instruments))
 
     def to_dict(self) -> dict:
-        """A JSON-serializable snapshot of every instrument."""
+        """A JSON-serializable snapshot of every instrument.
+
+        Deterministically ordered: instruments appear sorted by name
+        regardless of registration order, so serialized snapshots (and
+        anything digested from them — run-record digests, ``runs diff``
+        tables) are byte-stable across Python hash seeds and runs.
+        """
         return {
             name: self._instruments[name].to_dict()
             for name in sorted(self._instruments)

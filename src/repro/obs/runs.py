@@ -34,6 +34,7 @@ from pathlib import Path
 from typing import Optional, Sequence, Union
 
 from repro.errors import ReproError
+from repro.obs.events import RunRecorded, current_event_bus
 from repro.obs.spans import Span
 
 __all__ = [
@@ -196,6 +197,9 @@ class RunRegistry:
         self.root.mkdir(parents=True, exist_ok=True)
         with self.path.open("a", encoding="utf-8") as handle:
             handle.write(json.dumps(record.to_dict(), sort_keys=True) + "\n")
+        bus = current_event_bus()
+        if bus.enabled:
+            bus.emit(RunRecorded(run_id=record.run_id, label=record.label))
         return record
 
     # ------------------------------------------------------------------
@@ -249,13 +253,19 @@ class RunRegistry:
         )
 
     def render_list(self) -> str:
-        """A table of the recorded runs, oldest first."""
+        """A table of the recorded runs, oldest first.
+
+        ``walk p50``/``walk p95`` are the per-scenario walkthrough
+        latency percentiles (from the ``walkthrough.scenario_seconds``
+        histogram); ``-`` for runs recorded before percentiles existed.
+        """
         records = self.load()
         if not records:
             return f"no runs recorded under {self.root}"
         header = (
             f"{'run':<6} {'label':<24} {'when':<19} {'git':<8} "
-            f"{'wall':>9} {'verdict':<12} {'findings':>8}"
+            f"{'wall':>9} {'walk p50':>9} {'walk p95':>9} "
+            f"{'verdict':<12} {'findings':>8}"
         )
         lines = [header, "-" * len(header)]
         for record in records:
@@ -264,10 +274,13 @@ class RunRegistry:
             )
             verdict = "consistent" if record.consistent else "INCONSISTENT"
             sha = (record.git_sha or "-")[:8]
+            walk = record.metrics.get("walkthrough.scenario_seconds", {})
             lines.append(
                 f"{record.run_id:<6} {record.label:<24} {when:<19} {sha:<8} "
-                f"{record.wall_seconds * 1e3:>7.1f}ms {verdict:<12} "
-                f"{record.findings:>8}"
+                f"{record.wall_seconds * 1e3:>7.1f}ms "
+                f"{_latency(walk.get('p50')):>9} "
+                f"{_latency(walk.get('p95')):>9} "
+                f"{verdict:<12} {record.findings:>8}"
             )
         return "\n".join(lines)
 
@@ -406,21 +419,30 @@ def _seconds(value: Optional[float]) -> str:
     return f"{value * 1e3:+.3f}ms" if value < 0 else f"{value * 1e3:.3f}ms"
 
 
+def _latency(value: Optional[float]) -> str:
+    if value is None:
+        return "-"
+    return f"{value * 1e3:.2f}ms"
+
+
 def _metric_scalars(snapshot: dict) -> dict[str, tuple[float, bool]]:
     """Flatten a metrics-registry snapshot to comparable scalars.
 
     Counters and gauges contribute their value; histograms contribute
-    ``<name>.count`` and ``<name>.mean``. Each scalar carries a
-    ``timing`` marker: histogram means are observed durations (build
-    seconds, latencies) that jitter between runs like stage wall times,
-    so they are gated by ``time_threshold`` rather than ``threshold``."""
+    ``<name>.count``, ``<name>.mean``, and (when recorded)
+    ``<name>.p50``/``.p95``/``.p99``. Each scalar carries a ``timing``
+    marker: histogram means and percentiles are observed durations
+    (build seconds, latencies) that jitter between runs like stage wall
+    times, so they are gated by ``time_threshold`` rather than
+    ``threshold``."""
     scalars: dict[str, tuple[float, bool]] = {}
     for name, data in snapshot.items():
         if data.get("type") == "histogram":
             scalars[f"{name}.count"] = (float(data.get("count", 0)), False)
-            mean = data.get("mean")
-            if mean is not None:
-                scalars[f"{name}.mean"] = (float(mean), True)
+            for statistic in ("mean", "p50", "p95", "p99"):
+                value = data.get(statistic)
+                if value is not None:
+                    scalars[f"{name}.{statistic}"] = (float(value), True)
         else:
             scalars[name] = (float(data.get("value", 0.0)), False)
     return scalars

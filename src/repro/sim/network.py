@@ -25,10 +25,27 @@ from dataclasses import dataclass
 from typing import Callable, Optional
 
 from repro.errors import SimulationError
+from repro.obs.events import SimMessageFate, current_event_bus
 from repro.obs.recorder import current_recorder
 from repro.sim.engine import Simulator
 from repro.sim.node import Message, Node
 from repro.sim.trace import MessageTrace, TraceEventKind
+
+
+def _emit_message_fate(
+    fate: str, element: str, message: Message, detail: str = ""
+) -> None:
+    """Stream one message fate to the live event bus (free when off)."""
+    bus = current_event_bus()
+    if bus.enabled:
+        bus.emit(
+            SimMessageFate(
+                fate=fate,
+                element=element,
+                message=message.name,
+                detail=detail,
+            )
+        )
 
 FAILURE_MESSAGE = "failure"
 
@@ -131,6 +148,7 @@ class NetworkChannel:
             self.simulator.now, TraceEventKind.SEND, source.name, message
         )
         current_recorder().counter("sim.messages.sent").inc()
+        _emit_message_fate("sent", source.name, message)
         if policy.drop_rate and self._rng.random() < policy.drop_rate:
             drop_delay = policy.latency + self._rng.uniform(0.0, policy.jitter)
             self.simulator.schedule(
@@ -161,6 +179,9 @@ class NetworkChannel:
             detail="lost in transit",
         )
         current_recorder().counter("sim.messages.dropped").inc()
+        _emit_message_fate(
+            "dropped", destination.name, message, "lost in transit"
+        )
 
     def _deliver(
         self, message: Message, destination: Node, policy: ChannelPolicy
@@ -173,6 +194,7 @@ class NetworkChannel:
                 message,
             )
             current_recorder().counter("sim.messages.delivered").inc()
+            _emit_message_fate("delivered", destination.name, message)
             destination.deliver(message)
             return
         self.trace.record(
@@ -183,6 +205,9 @@ class NetworkChannel:
             detail="destination is down",
         )
         current_recorder().counter("sim.messages.rejected").inc()
+        _emit_message_fate(
+            "rejected", destination.name, message, "destination is down"
+        )
         # Never generate failure notices about failure notices (the ICMP
         # rule): error signalling must not feed back into itself.
         is_failure_signal = (
@@ -217,6 +242,12 @@ class NetworkChannel:
                 detail=f"{destination.name} unavailable",
             )
             current_recorder().counter("sim.failure_notices").inc()
+            _emit_message_fate(
+                "failure-notice",
+                sender.name,
+                notice,
+                f"{destination.name} unavailable",
+            )
             sender.deliver(notice)
 
         self.simulator.schedule(policy.detection_delay, deliver_notice)

@@ -40,7 +40,12 @@ from repro.errors import SimulationError
 from repro.obs.recorder import current_recorder
 from repro.sim.engine import Simulator
 from repro.sim.failures import FailureInjector
-from repro.sim.network import FAILURE_MESSAGE, ChannelPolicy, NetworkChannel
+from repro.sim.network import (
+    FAILURE_MESSAGE,
+    ChannelPolicy,
+    NetworkChannel,
+    _emit_message_fate,
+)
 from repro.sim.node import Message, Node
 from repro.sim.trace import MessageTrace, TraceEventKind
 
@@ -192,6 +197,7 @@ class ArchitectureRuntime:
                 detail="no outgoing link" + (f" on interface {via!r}" if via else ""),
             )
             current_recorder().counter("sim.messages.dropped").inc()
+            _emit_message_fate("dropped", element, message, "no outgoing link")
 
     def _connector_handler(self, node: Node, message: Message) -> None:
         if message.name == FAILURE_MESSAGE and message.source == "network":
@@ -210,6 +216,7 @@ class ArchitectureRuntime:
                 detail="ttl exhausted",
             )
             current_recorder().counter("sim.messages.dropped").inc()
+            _emit_message_fate("dropped", node.name, message, "ttl exhausted")
             return
         neighbors = self._forwarding_targets(node.name, message)
         visited = set(message.payload.get("visited", ()))

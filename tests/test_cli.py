@@ -8,6 +8,7 @@ from pathlib import Path
 import pytest
 
 from repro.cli import main
+from repro.obs import read_events
 
 
 class TestDemo:
@@ -287,6 +288,117 @@ class TestObservabilityFlags:
         out = capsys.readouterr().out
         assert "=== profile ===" in out
         assert json.loads(metrics.read_text())["walkthrough.traces"]["value"] > 0
+
+
+class TestEventStreamFlags:
+    def test_events_file_is_a_parseable_stream(self, tmp_path, capsys):
+        stream = tmp_path / "events.jsonl"
+        assert main(["demo", "pims", "--events", str(stream)]) == 0
+        events = read_events(stream)
+        kinds = [event.kind for event in events]
+        assert kinds[0] == "evaluation-started"
+        assert kinds[-1] == "evaluation-finished"
+        assert "stage-started" in kinds and "scenario-finished" in kinds
+        # Sequence numbers are contiguous from 1.
+        assert [event.seq for event in events] == list(
+            range(1, len(events) + 1)
+        )
+
+    def test_heartbeat_requires_events(self, capsys):
+        assert main(["demo", "pims", "--heartbeat", "5"]) == 2
+        assert "--heartbeat" in capsys.readouterr().err
+
+    def test_heartbeats_carry_metric_snapshots(self, tmp_path, capsys):
+        stream = tmp_path / "events.jsonl"
+        assert main(
+            ["demo", "pims", "--events", str(stream),
+             "--heartbeat", "0.000001"]
+        ) == 0
+        beats = [e for e in read_events(stream) if e.kind == "heartbeat"]
+        assert beats
+        assert beats[-1].metrics.get("walkthrough.steps", {}).get("value")
+
+    def test_exit_code_unchanged_with_event_stream(self, tmp_path, capsys):
+        stream = tmp_path / "events.jsonl"
+        assert main(
+            ["demo", "pims", "--variant", "excised", "--events", str(stream)]
+        ) == 1
+        events = read_events(stream)
+        assert any(event.kind == "finding-emitted" for event in events)
+        finished = events[-1]
+        assert finished.kind == "evaluation-finished"
+        assert not finished.consistent
+
+    def test_record_emits_run_recorded_into_the_stream(
+        self, tmp_path, capsys
+    ):
+        stream = tmp_path / "events.jsonl"
+        assert main(
+            ["demo", "pims", "--events", str(stream),
+             "--record", "--runs-dir", str(tmp_path / "runs")]
+        ) == 0
+        recorded = [
+            event for event in read_events(stream)
+            if event.kind == "run-recorded"
+        ]
+        assert [event.run_id for event in recorded] == ["r0001"]
+
+    def test_save_report_round_trips(self, tmp_path, capsys):
+        saved = tmp_path / "report.json"
+        assert main(["demo", "pims", "--save-report", str(saved)]) == 0
+        data = json.loads(saved.read_text())
+        assert data["architecture"]
+
+
+class TestTailAndDashboard:
+    @pytest.fixture
+    def event_stream(self, tmp_path, capsys) -> Path:
+        stream = tmp_path / "events.jsonl"
+        assert main(["demo", "pims", "--events", str(stream)]) == 0
+        capsys.readouterr()
+        return stream
+
+    def test_tail_pretty_prints_every_event(self, event_stream, capsys):
+        assert main(["tail", str(event_stream), "--no-color"]) == 0
+        out = capsys.readouterr().out
+        lines = out.strip().splitlines()
+        assert len(lines) == len(read_events(event_stream))
+        assert "evaluation-started" in out
+        assert "evaluation-finished" in out
+        assert "\x1b[" not in out
+
+    def test_tail_missing_file_is_usage_error(self, tmp_path, capsys):
+        assert main(["tail", str(tmp_path / "nope.jsonl")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_dashboard_from_stream_and_trace(
+        self, tmp_path, event_stream, capsys
+    ):
+        trace = tmp_path / "trace.json"
+        assert main(["demo", "pims", "--trace-out", str(trace)]) == 0
+        capsys.readouterr()
+        out = tmp_path / "dash.html"
+        status = main(
+            ["dashboard", "--out", str(out),
+             "--events", str(event_stream),
+             "--trace", str(trace),
+             "--runs-dir", str(tmp_path / "no-runs")]
+        )
+        assert status == 0
+        assert str(out) in capsys.readouterr().out
+        html = out.read_text()
+        assert html.startswith("<!DOCTYPE html>")
+        assert "http://" not in html and "https://" not in html
+        assert "evaluation-finished" in html
+        assert "evaluate.walkthrough" in html
+
+    def test_dashboard_with_no_inputs_is_usage_error(self, tmp_path, capsys):
+        status = main(
+            ["dashboard", "--out", str(tmp_path / "d.html"),
+             "--runs-dir", str(tmp_path / "empty")]
+        )
+        assert status == 2
+        assert "nothing to render" in capsys.readouterr().err
 
 
 class TestExplain:

@@ -1,0 +1,178 @@
+"""The unified offline HTML observability dashboard."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.evaluator import Sosae
+from repro.errors import ReproError
+from repro.obs import (
+    EventBus,
+    Recorder,
+    RunRecord,
+    RunRegistry,
+    build_dashboard,
+    chrome_trace_json,
+    load_trace_file,
+    spans_to_jsonl,
+    use,
+    use_events,
+)
+from repro.obs.spans import Span
+
+
+def _span(name: str, start: float, end: float) -> Span:
+    span = Span(name)
+    span.start_wall = start
+    span.end_wall = end
+    span.start_cpu = 0.0
+    span.end_cpu = (end - start) / 2
+    return span
+
+
+def _forest() -> tuple[Span, ...]:
+    root = _span("evaluate", 0.0, 1.0)
+    child = _span("evaluate.walkthrough", 0.1, 0.9)
+    grandchild = _span("walk.scenario", 0.2, 0.5)
+    child.add_child(grandchild)
+    root.add_child(child)
+    return (root,)
+
+
+def _record(run_id="r0001", wall=0.5, findings=0, metrics=None):
+    return RunRecord(
+        run_id=run_id,
+        label="demo",
+        timestamp=0.0,
+        git_sha=None,
+        wall_seconds=wall,
+        consistent=findings == 0,
+        scenarios_passed=2,
+        scenarios_failed=0 if findings == 0 else 1,
+        findings=findings,
+        report_digest="d",
+        metrics=metrics or {},
+        stages={},
+    )
+
+
+@pytest.fixture
+def observed_evaluation(small_scenarios, chain_architecture, chain_mapping):
+    """A real evaluation with the recorder and the event bus both live."""
+    recorder = Recorder()
+    bus = EventBus(capacity=4096)
+    with use(recorder), use_events(bus):
+        report = Sosae(
+            small_scenarios, chain_architecture, chain_mapping
+        ).evaluate()
+    return report, recorder, bus.events()
+
+
+class TestLoadTraceFile:
+    def test_detects_chrome_trace_documents(self, tmp_path):
+        path = tmp_path / "trace.json"
+        path.write_text(chrome_trace_json(_forest()))
+        roots = load_trace_file(path)
+        assert [root.name for root in roots] == ["evaluate"]
+        assert roots[0].count() == 3
+
+    def test_detects_span_jsonl_streams(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        path.write_text(spans_to_jsonl(_forest()))
+        roots = load_trace_file(path)
+        assert [root.name for root in roots] == ["evaluate"]
+        assert roots[0].count() == 3
+
+    def test_empty_file_yields_no_spans(self, tmp_path):
+        path = tmp_path / "empty.json"
+        path.write_text("\n")
+        assert load_trace_file(path) == ()
+
+
+class TestBuildDashboard:
+    def test_refuses_to_render_nothing(self):
+        with pytest.raises(ReproError, match="nothing to render"):
+            build_dashboard()
+
+    def test_spans_alone_render_a_flamegraph(self):
+        html = build_dashboard(spans=_forest(), generated_at=0.0)
+        assert "Pipeline flamegraph" in html
+        assert "evaluate.walkthrough" in html
+        # Sections without input degrade to an empty-state note, not
+        # an error.
+        assert "Metric trends" in html and "Event timeline" in html
+
+    def test_runs_alone_render_sparkline_trends(self):
+        runs = [
+            _record("r0001", wall=0.50),
+            _record("r0002", wall=0.40),
+            _record("r0003", wall=0.45, findings=2),
+        ]
+        html = build_dashboard(runs=runs, generated_at=0.0)
+        assert "Metric trends" in html
+        assert "<svg" in html  # sparklines are inline SVG
+        assert "wall_seconds" in html
+
+    def test_full_dashboard_from_a_real_evaluation(
+        self, observed_evaluation, tmp_path
+    ):
+        report, recorder, events = observed_evaluation
+        registry = RunRegistry(tmp_path / "runs")
+        registry.record("demo", report, recorder)
+        html = build_dashboard(
+            spans=recorder.roots,
+            runs=registry.load(),
+            report=report,
+            events=events,
+            title="full house",
+            generated_at=0.0,
+        )
+        assert "full house" in html
+        assert "evaluation-started" in html
+        assert "evaluation-finished" in html
+        assert "Consistent" in html or "consistent" in html
+
+    def test_findings_table_carries_ids_and_provenance(
+        self, small_scenarios, chain_architecture, chain_mapping
+    ):
+        chain_architecture.excise_links_between("logic", "logic-store")
+        recorder = Recorder()
+        with use(recorder):
+            report = Sosae(
+                small_scenarios, chain_architecture, chain_mapping
+            ).evaluate()
+        assert not report.consistent
+        html = build_dashboard(report=report, generated_at=0.0)
+        for finding in report.all_inconsistencies():
+            assert finding.finding_id in html
+
+    def test_is_self_contained(self, observed_evaluation):
+        report, recorder, events = observed_evaluation
+        html = build_dashboard(
+            spans=recorder.roots,
+            report=report,
+            events=events,
+            generated_at=0.0,
+        )
+        assert "http://" not in html
+        assert "https://" not in html
+        for tag in ("link rel", "src=", "@import", "url("):
+            assert tag not in html
+        assert html.startswith("<!DOCTYPE html>")
+        assert html.rstrip().endswith("</html>")
+
+    def test_dark_mode_and_table_views_present(self):
+        html = build_dashboard(spans=_forest(), generated_at=0.0)
+        assert "prefers-color-scheme: dark" in html
+        assert "<details" in html and "<table" in html
+
+    def test_escapes_hostile_names(self):
+        html = build_dashboard(
+            spans=(_span("<script>alert(1)</script>", 0.0, 1.0),),
+            title="<b>sneaky</b>",
+            generated_at=0.0,
+        )
+        assert "<script>alert(1)</script>" not in html
+        assert "<b>sneaky</b>" not in html

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.errors import ReproError
@@ -126,6 +128,36 @@ class TestMetrics:
         assert snapshot["max"] == 3.0
         assert snapshot["mean"] == pytest.approx(2.0)
 
+    def test_histogram_percentiles(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("latency")
+        assert histogram.p50 is None
+        for value in range(1, 101):  # 1..100
+            histogram.observe(float(value))
+        assert histogram.p50 == pytest.approx(50.5)
+        assert histogram.p95 == pytest.approx(95.05)
+        assert histogram.p99 == pytest.approx(99.01)
+        assert histogram.percentile(0.0) == 1.0
+        assert histogram.percentile(1.0) == 100.0
+        snapshot = histogram.to_dict()
+        assert snapshot["p50"] == pytest.approx(50.5)
+        assert snapshot["p95"] == pytest.approx(95.05)
+        assert snapshot["p99"] == pytest.approx(99.01)
+
+    def test_histogram_percentile_interpolates_small_samples(self):
+        histogram = MetricsRegistry().histogram("x")
+        histogram.observe(10.0)
+        assert histogram.p50 == histogram.p99 == 10.0
+        histogram.observe(20.0)
+        assert histogram.p50 == pytest.approx(15.0)
+
+    def test_histogram_percentile_validates_fraction(self):
+        histogram = MetricsRegistry().histogram("x")
+        histogram.observe(1.0)
+        for bad in (-0.1, 1.5):
+            with pytest.raises(ReproError):
+                histogram.percentile(bad)
+
     def test_kind_conflict_raises(self):
         registry = MetricsRegistry()
         registry.counter("x")
@@ -141,6 +173,19 @@ class TestMetrics:
         assert snapshot["b"] == {"type": "counter", "value": 1}
         assert registry.names() == ("a", "b")
         assert len(registry) == 2
+
+    def test_to_dict_ordering_is_deterministic(self):
+        """Insertion order never leaks: snapshots sort by metric name."""
+        forward = MetricsRegistry()
+        backward = MetricsRegistry()
+        names = ["zulu", "alpha", "mike"]
+        for name in names:
+            forward.counter(name).inc()
+        for name in reversed(names):
+            backward.counter(name).inc()
+        assert list(forward.to_dict()) == sorted(names)
+        assert list(forward.to_dict()) == list(backward.to_dict())
+        assert json.dumps(forward.to_dict()) == json.dumps(backward.to_dict())
 
 
 class TestRecorderIndirection:

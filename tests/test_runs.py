@@ -136,6 +136,27 @@ class TestRunRegistry:
         assert "r0001" in listing and "r0002" in listing
         assert "first-label" in listing and "second-label" in listing
 
+    def test_render_list_shows_walkthrough_percentiles(
+        self, tmp_path, recorded_evaluation
+    ):
+        report, recorder = recorded_evaluation
+        registry = RunRegistry(tmp_path / "runs")
+        registry.record("demo", report, recorder, timestamp=0.0)
+        listing = registry.render_list()
+        assert "walk p50" in listing and "walk p95" in listing
+        walk = registry.load()[-1].metrics["walkthrough.scenario_seconds"]
+        assert walk["p50"] is not None
+        assert f"{walk['p50'] * 1e3:.2f}ms" in listing
+
+    def test_render_list_dashes_for_pre_percentile_records(self, tmp_path):
+        registry = RunRegistry(tmp_path / "runs")
+        registry.root.mkdir(parents=True)
+        record = _record(metrics={"lat": _histogram(3, 0.5)})
+        with registry.path.open("w") as handle:
+            handle.write(json.dumps(record.to_dict()) + "\n")
+        lines = registry.render_list().splitlines()
+        assert lines[-1].count(" - ") >= 2  # both percentile columns
+
     def test_from_dict_rejects_unknown_format(self):
         data = _record().to_dict()
         data["format"] = 99
@@ -200,6 +221,31 @@ class TestDiffRuns:
         assert not diff_runs(
             before, after, threshold=0.1, time_threshold=0.5
         ).clean
+
+    def test_histogram_percentiles_flatten_when_present(self):
+        snapshot = dict(_histogram(10, 0.5), p50=0.4, p95=0.9, p99=1.1)
+        before = _record("r0001", metrics={"lat": snapshot})
+        after = _record("r0002", metrics={"lat": snapshot})
+        names = {delta.name for delta in diff_runs(before, after).metrics}
+        assert names == {
+            "lat.count", "lat.mean", "lat.p50", "lat.p95", "lat.p99",
+        }
+
+    def test_histogram_percentiles_are_timing_gated(self):
+        before = _record(
+            "r0001",
+            metrics={"lat": dict(_histogram(10, 0.5), p95=0.5)},
+        )
+        after = _record(
+            "r0002",
+            metrics={"lat": dict(_histogram(10, 0.5), p95=2.0)},
+        )
+        # A quadrupled p95 is invisible to the count threshold...
+        assert diff_runs(before, after, threshold=0.0).clean
+        # ...but a regression once timing comparisons are requested.
+        diff = diff_runs(before, after, threshold=0.0, time_threshold=0.5)
+        assert not diff.clean
+        assert [d.name for d in diff.metric_regressions] == ["lat.p95"]
 
     def test_stage_times_flagged_only_with_time_threshold(self):
         slow = {"evaluate": {"count": 1, "wall_seconds": 2.0, "cpu_seconds": 1.0}}
