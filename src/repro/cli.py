@@ -15,9 +15,18 @@ Subcommands:
   recorded evaluations, ``runs diff A B`` compares two of them and
   flags metric regressions.
 * ``tail`` — pretty-print a telemetry event stream captured with
-  ``--events`` (severity-colored, one aligned line per event).
+  ``--events`` (severity-colored, one aligned line per event);
+  ``--follow`` keeps polling the file for appended events.
 * ``dashboard`` — render traces, run history, a report's findings, and
-  an event stream into one self-contained offline HTML file.
+  an event stream into one self-contained offline HTML file;
+  ``--live URL`` consumes a running daemon's ``/events`` SSE stream
+  instead of a file.
+* ``serve`` — the continuous evaluation daemon: watch spec files (or
+  re-run on ``--interval``), expose ``/metrics`` (Prometheus),
+  ``/healthz``, ``/readyz``, ``/report``, ``/alerts``, and ``/events``
+  (SSE), and evaluate declarative alert/SLO rules (``--rules FILE``)
+  after every run. ``--once --check`` runs a single evaluation and
+  exits 1 when any alert fires — the CI gate.
 
 ``evaluate`` and ``demo`` accept observability flags: ``--profile``
 prints a span profile summary tree after the report, ``--trace-out FILE``
@@ -41,7 +50,9 @@ a regression), 2 on usage errors.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+import time
 from contextlib import contextmanager
 from pathlib import Path
 from typing import Iterator, Optional, Sequence
@@ -71,6 +82,7 @@ from repro.obs import (
     JsonlSink,
     Recorder,
     RunRegistry,
+    ServeDaemon,
     build_dashboard,
     chrome_trace_json,
     configure_logging,
@@ -78,14 +90,16 @@ from repro.obs import (
     events_from_jsonl,
     format_event,
     get_logger,
+    load_rules,
     load_trace_file,
     metrics_to_json,
     read_events,
+    read_sse_events,
     render_profile,
     use,
     use_events,
 )
-from repro.obs.events import event_severity
+from repro.obs.events import event_from_dict, event_severity
 from repro.scenarioml.lint import lint_scenario_set
 from repro.scenarioml.owl import to_owl_xml
 from repro.scenarioml.xml_io import parse_scenarioml, to_scenarioml_xml
@@ -306,6 +320,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable ANSI severity coloring (also off when stdout is "
         "not a terminal)",
     )
+    tail.add_argument(
+        "-f", "--follow", action="store_true",
+        help="keep polling the file and print events as they are "
+        "appended (a live stream written with --events and a flushing "
+        "sink, e.g. by 'sosae serve'); stop with Ctrl-C",
+    )
+    tail.add_argument(
+        "--poll", type=float, default=0.5, metavar="SECONDS",
+        help="polling period for --follow (default: %(default)s)",
+    )
+    tail.add_argument(
+        "--max-events", type=int, default=None, metavar="N",
+        help="with --follow: stop after printing N events (for "
+        "scripting)",
+    )
 
     dashboard = subparsers.add_parser(
         "dashboard",
@@ -340,6 +369,119 @@ def build_parser() -> argparse.ArgumentParser:
     dashboard.add_argument(
         "--title", default="SOSAE observability",
         help="dashboard page title (default: %(default)s)",
+    )
+    dashboard.add_argument(
+        "--live", default=None, metavar="URL",
+        help="consume a running 'sosae serve' daemon's /events SSE "
+        "stream as the event source (base URL or full /events URL); "
+        "mutually exclusive with --events",
+    )
+    dashboard.add_argument(
+        "--live-duration", type=float, default=10.0, metavar="SECONDS",
+        help="with --live: collect for at most this long "
+        "(default: %(default)s)",
+    )
+    dashboard.add_argument(
+        "--live-limit", type=int, default=None, metavar="N",
+        help="with --live: stop after N events",
+    )
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the continuous evaluation daemon",
+        description="Evaluate continuously and expose the results over "
+        "HTTP: re-run when a watched spec file changes (mtime polling) "
+        "or on a fixed --interval, record each run to the run registry "
+        "(--record), evaluate declarative alert/SLO rules after every "
+        "run, and answer /metrics (Prometheus text exposition), "
+        "/healthz, /readyz, /report, /alerts, and /events (SSE). The "
+        "spec is either three files (--scenarios/--architecture/"
+        "--mapping, watched for changes) or a built-in case study "
+        "(--system, re-run on --interval). '--once --check' performs "
+        "one evaluation and exits 1 when any alert fires, for CI "
+        "gating.",
+    )
+    serve.add_argument(
+        "--scenarios", type=Path, default=None, help="ScenarioML XML file"
+    )
+    serve.add_argument(
+        "--architecture", type=Path, default=None,
+        help="architecture file (xADL XML, or Acme with --acme)",
+    )
+    serve.add_argument(
+        "--mapping", type=Path, default=None, help="mapping JSON file"
+    )
+    serve.add_argument(
+        "--acme", action="store_true",
+        help="parse the architecture file as Acme instead of xADL",
+    )
+    serve.add_argument(
+        "--system", choices=("pims", "crash"), default=None,
+        help="serve a built-in case study instead of spec files",
+    )
+    serve.add_argument(
+        "--variant",
+        choices=("intact", "excised", "insecure"),
+        default="intact",
+        help="architecture variant for --system",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port", type=int, default=8787,
+        help="bind port, 0 picks a free one (default: %(default)s)",
+    )
+    serve.add_argument(
+        "--interval", type=float, default=None, metavar="SECONDS",
+        help="also re-evaluate on this fixed cadence (default: only on "
+        "spec change)",
+    )
+    serve.add_argument(
+        "--poll", type=float, default=1.0, metavar="SECONDS",
+        help="spec-file mtime polling period (default: %(default)s)",
+    )
+    serve.add_argument(
+        "--rules", type=Path, default=None, metavar="FILE",
+        help="alert/SLO rules (TOML or JSON; see docs/SERVE.md)",
+    )
+    serve.add_argument(
+        "--record", action="store_true",
+        help="snapshot every evaluation into the run registry (enables "
+        "runs-window SLO rules)",
+    )
+    serve.add_argument(
+        "--runs-dir", type=Path, default=Path(DEFAULT_RUNS_DIR),
+        help="run registry directory (default: %(default)s)",
+    )
+    serve.add_argument(
+        "--events", type=Path, default=None, metavar="FILE",
+        help="also stream telemetry events to this JSONL file",
+    )
+    serve.add_argument(
+        "--flush-every", type=int, default=16, metavar="N",
+        help="flush the --events sink every N events so it can be "
+        "tailed live (default: %(default)s)",
+    )
+    serve.add_argument(
+        "--heartbeat", type=float, default=None, metavar="SECONDS",
+        help="interleave heartbeat events at this interval",
+    )
+    serve.add_argument(
+        "--label", default=None,
+        help="run-registry label (default: derived from the spec source)",
+    )
+    serve.add_argument(
+        "--once", action="store_true",
+        help="evaluate once, print a summary, and exit without serving "
+        "HTTP",
+    )
+    serve.add_argument(
+        "--check", action="store_true",
+        help="with --once: exit 1 when any alert rule fires",
+    )
+    serve.add_argument(
+        "--max-runs", type=int, default=None, metavar="N",
+        help="stop the serve loop after N evaluations (for CI smoke "
+        "runs)",
     )
     return parser
 
@@ -473,6 +615,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _run_tail(args)
         if args.command == "dashboard":
             return _run_dashboard(args)
+        if args.command == "serve":
+            return _run_serve(args)
     except ReproError as error:
         _LOG.error("error: %s", error)
         return 2
@@ -487,19 +631,31 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     return 2
 
 
-def _run_evaluate(args: argparse.Namespace) -> int:
-    scenario_set = parse_scenarioml(args.scenarios.read_text())
-    architecture_text = args.architecture.read_text()
-    architecture = (
+def _build_spec_sosae(
+    scenarios: Path, architecture: Path, mapping: Path, acme: bool
+) -> Sosae:
+    """A fresh pipeline from the three spec files (the ``evaluate``
+    inputs; ``serve`` re-invokes this whenever a watched file changes)."""
+    scenario_set = parse_scenarioml(scenarios.read_text())
+    architecture_text = architecture.read_text()
+    parsed = (
         parse_acme(architecture_text)
-        if args.acme
+        if acme
         else parse_xadl(architecture_text)
     )
-    mapping = Mapping.from_json(
-        args.mapping.read_text(), scenario_set.ontology, architecture
+    return Sosae(
+        scenario_set,
+        parsed,
+        Mapping.from_json(mapping.read_text(), scenario_set.ontology, parsed),
+    )
+
+
+def _run_evaluate(args: argparse.Namespace) -> int:
+    sosae = _build_spec_sosae(
+        args.scenarios, args.architecture, args.mapping, args.acme
     )
     with _observed(args) as recorder:
-        report = Sosae(scenario_set, architecture, mapping).evaluate()
+        report = sosae.evaluate()
         # Recording happens while the event bus (if any) is still live,
         # so the run-recorded event reaches the stream before it closes.
         _record_run(
@@ -735,7 +891,69 @@ _TAIL_COLORS = {
 _TAIL_RESET = "\x1b[0m"
 
 
+def _print_event(event, base: Optional[float], colored: bool) -> None:
+    line = format_event(event, base=base)
+    code = _TAIL_COLORS.get(event_severity(event))
+    if colored and code:
+        line = f"{code}{line}{_TAIL_RESET}"
+    print(line, flush=True)
+
+
+def _follow_lines(
+    path: Path, poll: float, max_lines: Optional[int] = None
+) -> Iterator[str]:
+    """Complete JSONL lines of ``path`` as they are appended, polling
+    every ``poll`` seconds; a partial final line stays buffered until
+    its newline arrives. Never returns on its own unless ``max_lines``
+    is given — the caller stops it (Ctrl-C)."""
+    while not path.exists():
+        time.sleep(poll)
+    yielded = 0
+    with path.open("r", encoding="utf-8") as handle:
+        buffer = ""
+        while max_lines is None or yielded < max_lines:
+            chunk = handle.read()
+            if not chunk:
+                time.sleep(poll)
+                continue
+            buffer += chunk
+            while "\n" in buffer:
+                line, buffer = buffer.split("\n", 1)
+                if line.strip():
+                    yield line
+                    yielded += 1
+                    if max_lines is not None and yielded >= max_lines:
+                        return
+
+
+def _tail_follow(args: argparse.Namespace, colored: bool) -> int:
+    if args.path == "-":
+        raise ReproError("--follow needs a file path, not stdin")
+    base: Optional[float] = None
+    printed = 0
+    try:
+        for line in _follow_lines(
+            Path(args.path), args.poll, max_lines=args.max_events
+        ):
+            try:
+                event = event_from_dict(json.loads(line))
+            except (ReproError, json.JSONDecodeError) as error:
+                _LOG.warning("skipping malformed event line: %s", error)
+                continue
+            if base is None:
+                base = event.timestamp
+            _print_event(event, base, colored)
+            printed += 1
+    except KeyboardInterrupt:
+        pass
+    _LOG.info("rendered %d event(s)", printed)
+    return 0
+
+
 def _run_tail(args: argparse.Namespace) -> int:
+    colored = not args.no_color and sys.stdout.isatty()
+    if args.follow:
+        return _tail_follow(args, colored)
     if args.path == "-":
         text = sys.stdin.read()
     else:
@@ -744,21 +962,35 @@ def _run_tail(args: argparse.Namespace) -> int:
     if not events:
         _LOG.warning("no events in %s", args.path)
         return 0
-    colored = not args.no_color and sys.stdout.isatty()
     base = events[0].timestamp
     for event in events:
-        line = format_event(event, base=base)
-        code = _TAIL_COLORS.get(event_severity(event))
-        if colored and code:
-            line = f"{code}{line}{_TAIL_RESET}"
-        print(line)
+        _print_event(event, base, colored)
     _LOG.info("rendered %d event(s)", len(events))
     return 0
 
 
 def _run_dashboard(args: argparse.Namespace) -> int:
+    if args.live is not None and args.events is not None:
+        raise ReproError("dashboard takes --events or --live, not both")
     spans = load_trace_file(args.trace) if args.trace is not None else ()
-    events = read_events(args.events) if args.events is not None else ()
+    if args.live is not None:
+        url = args.live.rstrip("/")
+        if not url.split("?")[0].endswith("/events"):
+            url = f"{url}/events"
+        if "?" not in url:
+            # Replay the daemon's buffered history so a dashboard built
+            # off an idle daemon still has the last evaluation's events.
+            url = f"{url}?replay=2048"
+        _LOG.info(
+            "collecting live events from %s (up to %.1fs)",
+            url,
+            args.live_duration,
+        )
+        events = read_sse_events(
+            url, limit=args.live_limit, duration=args.live_duration
+        )
+    else:
+        events = read_events(args.events) if args.events is not None else ()
     report = (
         report_from_json(args.report.read_text())
         if args.report is not None
@@ -782,6 +1014,103 @@ def _run_dashboard(args: argparse.Namespace) -> int:
     args.out.write_text(document, encoding="utf-8")
     print(f"wrote dashboard to {args.out}")
     return 0
+
+
+def _serve_builder(args: argparse.Namespace):
+    """The (re)build callable and watch paths for the serve daemon."""
+    spec_paths = (args.scenarios, args.architecture, args.mapping)
+    if args.system is not None:
+        if any(path is not None for path in spec_paths):
+            raise ReproError(
+                "serve takes --system or spec files, not both"
+            )
+        _build_demo(args.system, args.variant)  # reject bad combos now
+
+        def build():
+            built = _build_demo(args.system, args.variant)
+            return Sosae(
+                built.scenarios,
+                built.architecture,
+                built.mapping,
+                bindings=built.bindings,
+                constraints=built.constraints,
+                walkthrough_options=built.options,
+                runtime_config=built.runtime_config,
+            )
+
+        return build, (), f"serve-{args.system}-{args.variant}"
+    if any(path is None for path in spec_paths):
+        raise ReproError(
+            "serve needs --scenarios, --architecture, and --mapping "
+            "(or --system for a built-in case study)"
+        )
+
+    def build():
+        return _build_spec_sosae(
+            args.scenarios, args.architecture, args.mapping, args.acme
+        )
+
+    return build, spec_paths, f"serve-{args.architecture.stem}"
+
+
+def _run_serve(args: argparse.Namespace) -> int:
+    if args.check and not args.once:
+        raise ReproError("--check only makes sense with --once")
+    build, watch_paths, label = _serve_builder(args)
+    rules = load_rules(args.rules) if args.rules is not None else ()
+    registry = RunRegistry(args.runs_dir) if args.record else None
+    daemon = ServeDaemon(
+        build,
+        rules=rules,
+        watch_paths=watch_paths,
+        interval=args.interval,
+        registry=registry,
+        label=args.label or label,
+        heartbeat=args.heartbeat,
+        host=args.host,
+        port=args.port,
+    )
+    sink = None
+    if args.events is not None:
+        sink = JsonlSink(args.events, flush_every=args.flush_every)
+        daemon.bus.subscribe(sink)
+    try:
+        if args.once:
+            outcome = daemon.run_once()
+            if not outcome.ok:
+                _LOG.error("evaluation failed: %s", outcome.error)
+                return 2
+            verdict = "CONSISTENT" if outcome.consistent else "INCONSISTENT"
+            print(
+                f"serve --once: {verdict}, {outcome.findings} finding(s), "
+                f"{len(outcome.fired)} alert(s) fired"
+            )
+            for event in outcome.fired:
+                print(f"  {event.summary()}")
+            for event in outcome.resolved:
+                print(f"  {event.summary()}")
+            if args.check and outcome.fired:
+                return 1
+            return 0
+        daemon.start_http()
+        print(
+            f"sosae serve: http://{args.host}:{daemon.port} "
+            f"(metrics, healthz, readyz, report, alerts, events)",
+            flush=True,
+        )
+        try:
+            daemon.serve_loop(poll=args.poll, max_runs=args.max_runs)
+            if args.max_runs is not None:
+                _LOG.info("reached --max-runs; shutting down")
+        except KeyboardInterrupt:
+            _LOG.info("interrupted; shutting down")
+        return 0
+    finally:
+        daemon.shutdown()
+        if sink is not None:
+            sink.close()
+        if args.events is not None:
+            _LOG.info("wrote event stream to %s", args.events)
 
 
 def _run_dot(args: argparse.Namespace) -> int:

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
+from functools import cached_property
 from typing import Optional
 
 from repro.obs.provenance import Provenance, finding_id
@@ -117,7 +118,11 @@ class TraceWalkthrough:
     steps: tuple[WalkthroughStep, ...]
     inconsistencies: tuple[Inconsistency, ...]
 
-    @property
+    # Verdict aggregates below are ``cached_property``: the dataclasses
+    # are frozen, so the derived values can never change, and callers
+    # (report rendering, alert scalars, the run registry) re-read them
+    # several times per evaluation.
+    @cached_property
     def passed(self) -> bool:
         """Whether every step of this trace succeeded."""
         return all(
@@ -142,13 +147,13 @@ class ScenarioVerdict:
     negative: bool = False
     blocked: bool = False
 
-    @property
+    @cached_property
     def walkthrough_succeeded(self) -> bool:
         """Whether every trace walked cleanly (the raw outcome, before
         negative-scenario polarity and verdict-level findings)."""
         return all(trace.passed for trace in self.traces)
 
-    @property
+    @cached_property
     def passed(self) -> bool:
         """Whether the architecture is consistent with this scenario.
 
@@ -202,7 +207,7 @@ class EvaluationReport:
     findings: tuple[Inconsistency, ...] = ()  # non-scenario findings
     dynamic_verdicts: tuple = ()
 
-    @property
+    @cached_property
     def consistent(self) -> bool:
         """Whether no error-level finding exists anywhere in the report."""
         if any(
@@ -213,12 +218,12 @@ class EvaluationReport:
             return False
         return all(verdict.passed for verdict in self.scenario_verdicts)
 
-    @property
+    @cached_property
     def passed_scenarios(self) -> tuple[str, ...]:
         """Names of scenarios the architecture is consistent with."""
         return tuple(v.scenario for v in self.scenario_verdicts if v.passed)
 
-    @property
+    @cached_property
     def failed_scenarios(self) -> tuple[str, ...]:
         """Names of scenarios the architecture is inconsistent with."""
         return tuple(v.scenario for v in self.scenario_verdicts if not v.passed)

@@ -154,6 +154,12 @@ class Sosae:
             span.set_attribute("findings", len(report.findings))
         if recorder.enabled:
             self._record_index_stats(recorder, index_stats_before)
+            # Re-entrant accounting: one long-lived registry (the serve
+            # loop's) sees these accumulate across evaluate() calls.
+            recorder.counter("evaluate.runs").inc()
+            recorder.histogram("evaluate.wall_seconds").observe(
+                time.perf_counter() - started
+            )
         if bus.enabled:
             all_findings = report.all_inconsistencies()
             bus.emit(
@@ -254,6 +260,12 @@ class Sosae:
         before = len(findings) if findings is not None else 0
         with recorder.span(f"evaluate.{stage}", **attributes):
             yield stage_findings
+        elapsed = time.perf_counter() - started
+        if recorder.enabled:
+            # Per-stage timing as a metric (not only a span), so a
+            # long-running registry exposes stage p50/p95/p99 and the
+            # Prometheus exposition can render them.
+            recorder.histogram(f"evaluate.{stage}.seconds").observe(elapsed)
         if not bus.enabled:
             return
         if findings is not None:
@@ -264,7 +276,7 @@ class Sosae:
         bus.emit(
             StageFinished(
                 stage=stage,
-                wall_seconds=time.perf_counter() - started,
+                wall_seconds=elapsed,
                 findings=stage_findings["count"],
             )
         )

@@ -26,10 +26,20 @@ run history, findings, and event streams into one self-contained
 offline HTML page (``sosae dashboard``).
 """
 
+from repro.obs.alerts import (
+    AlertEngine,
+    AlertRule,
+    AlertState,
+    load_rules,
+    parse_rules,
+    scalar_values,
+)
 from repro.obs.dashboard import build_dashboard, load_trace_file
 from repro.obs.events import (
     EVENT_TYPES,
     NULL_EVENT_BUS,
+    AlertFired,
+    AlertResolved,
     EvaluationFinished,
     EvaluationStarted,
     EventBus,
@@ -63,7 +73,18 @@ from repro.obs.export import (
 )
 from repro.obs.log import configure as configure_logging
 from repro.obs.log import get_logger
-from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.metrics import (
+    DEFAULT_HISTOGRAM_SAMPLE_CAP,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.promexp import (
+    PromSample,
+    prometheus_metric_name,
+    render_prometheus,
+)
 from repro.obs.provenance import (
     EventContext,
     IndexQuery,
@@ -92,10 +113,22 @@ from repro.obs.runs import (
     diff_runs,
     stage_summary,
 )
+from repro.obs.serve import (
+    RunOutcome,
+    ServeDaemon,
+    SpecWatcher,
+    read_sse_events,
+)
 from repro.obs.spans import Span, SpanRecorder
 
 __all__ = [
+    "AlertEngine",
+    "AlertFired",
+    "AlertResolved",
+    "AlertRule",
+    "AlertState",
     "Counter",
+    "DEFAULT_HISTOGRAM_SAMPLE_CAP",
     "DEFAULT_RUNS_DIR",
     "EVENT_TYPES",
     "EvaluationFinished",
@@ -115,12 +148,16 @@ __all__ = [
     "NULL_RECORDER",
     "NullEventBus",
     "NullRecorder",
+    "PromSample",
     "Provenance",
     "Recorder",
     "RunDiff",
+    "RunOutcome",
     "RunRecord",
     "RunRecorded",
     "RunRegistry",
+    "ServeDaemon",
+    "SpecWatcher",
     "ScenarioFinished",
     "ScenarioStarted",
     "SimMessageFate",
@@ -143,12 +180,18 @@ __all__ = [
     "finding_id",
     "format_event",
     "get_logger",
+    "load_rules",
     "load_trace_file",
     "metrics_to_json",
     "observability_enabled",
+    "parse_rules",
+    "prometheus_metric_name",
     "provenance_from_dict",
     "read_events",
+    "read_sse_events",
     "render_profile",
+    "render_prometheus",
+    "scalar_values",
     "set_recorder",
     "set_event_bus",
     "spans_from_chrome_trace",

@@ -1,0 +1,433 @@
+"""Declarative alert / SLO rules over metrics and the run registry.
+
+``sosae serve`` re-evaluates continuously; this module turns each
+fresh evaluation into machine-readable *alert* signals instead of a
+human re-reading reports. Rules are data, loaded from a TOML or JSON
+file (:func:`load_rules`)::
+
+    [[rules]]
+    name = "no-findings"
+    metric = "report.findings"       # flattened scalar name
+    op = ">"                         # the ALERT condition
+    threshold = 0
+    severity = "critical"
+    for = 2                          # consecutive violating runs to fire
+    cooldown = 300                   # seconds before re-firing
+
+    [[rules]]
+    name = "walk-p95-regression"
+    source = "runs"                  # SLO over the run-registry window
+    metric = "walkthrough.scenario_seconds.p95"
+    mode = "regression-pct"          # or "delta" / "value"
+    window = 5
+    op = ">"
+    threshold = 20                   # percent
+
+A rule *violates* when ``value <op> threshold`` holds. ``metric``-source
+rules read the flattened scalars of the latest evaluation (see
+:func:`scalar_values`: counters/gauges by name, histograms as
+``<name>.count`` / ``.mean`` / ``.p50`` / ``.p95`` / ``.p99``, plus the
+``report.*`` values the serve loop injects). ``runs``-source rules read
+a series over the last ``window`` :class:`~repro.obs.runs.RunRecord`
+entries — record fields (``findings``, ``wall_seconds``, …) or any
+flattened metric scalar — and compare the ``mode``-reduced series:
+``value`` (latest), ``delta`` (latest − oldest), ``regression-pct``
+(percent increase over the oldest; an increase from zero is +Inf).
+
+:class:`AlertEngine` keeps per-rule state across evaluations — firing
+after ``for`` consecutive violations, resolving on recovery, and
+suppressing re-fires inside ``cooldown`` — and emits typed
+:class:`~repro.obs.events.AlertFired` / :class:`AlertResolved` events
+on the current event bus. A rule naming an unknown metric logs one
+warning and is skipped, never crashed on.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import operator
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Mapping, Optional, Sequence, Union
+
+from repro.errors import ReproError
+from repro.obs.events import AlertFired, AlertResolved, current_event_bus
+from repro.obs.log import get_logger
+from repro.obs.runs import RunRecord, _metric_scalars
+
+__all__ = [
+    "AlertEngine",
+    "AlertRule",
+    "AlertState",
+    "load_rules",
+    "parse_rules",
+    "scalar_values",
+]
+
+_LOG = get_logger("obs.alerts")
+
+_OPS = {
+    ">": operator.gt,
+    ">=": operator.ge,
+    "<": operator.lt,
+    "<=": operator.le,
+    "==": operator.eq,
+    "!=": operator.ne,
+}
+_SEVERITIES = ("info", "warning", "critical")
+_SOURCES = ("metric", "runs")
+_MODES = ("value", "delta", "regression-pct")
+
+_RULE_KEYS = {
+    "name", "metric", "op", "threshold", "severity", "for", "cooldown",
+    "source", "mode", "window", "description",
+}
+
+
+@dataclass(frozen=True)
+class AlertRule:
+    """One declarative rule; see the module docstring for semantics."""
+
+    name: str
+    metric: str
+    threshold: float
+    op: str = ">"
+    severity: str = "warning"
+    for_count: int = 1
+    cooldown: float = 0.0
+    source: str = "metric"
+    mode: str = "value"
+    window: int = 1
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ReproError("alert rule needs a non-empty name")
+        if not self.metric:
+            raise ReproError(f"alert rule {self.name!r} needs a metric")
+        if self.op not in _OPS:
+            raise ReproError(
+                f"alert rule {self.name!r} has unknown op {self.op!r} "
+                f"(expected one of {', '.join(_OPS)})"
+            )
+        if self.severity not in _SEVERITIES:
+            raise ReproError(
+                f"alert rule {self.name!r} has unknown severity "
+                f"{self.severity!r} (expected one of {', '.join(_SEVERITIES)})"
+            )
+        if self.source not in _SOURCES:
+            raise ReproError(
+                f"alert rule {self.name!r} has unknown source {self.source!r}"
+            )
+        if self.mode not in _MODES:
+            raise ReproError(
+                f"alert rule {self.name!r} has unknown mode {self.mode!r}"
+            )
+        if self.source == "metric" and self.mode != "value":
+            raise ReproError(
+                f"alert rule {self.name!r}: mode {self.mode!r} needs "
+                "source = 'runs'"
+            )
+        if self.for_count < 1:
+            raise ReproError(
+                f"alert rule {self.name!r}: 'for' must be >= 1"
+            )
+        if self.cooldown < 0:
+            raise ReproError(
+                f"alert rule {self.name!r}: cooldown must be >= 0"
+            )
+        minimum_window = 2 if self.mode in ("delta", "regression-pct") else 1
+        if self.window < minimum_window:
+            raise ReproError(
+                f"alert rule {self.name!r}: window must be >= "
+                f"{minimum_window} for mode {self.mode!r}"
+            )
+
+    def condition(self) -> str:
+        """The human rendering of the alert condition."""
+        reduced = self.metric
+        if self.source == "runs":
+            reduced = f"{self.mode}({self.metric}, window={self.window})"
+        return f"{reduced} {self.op} {self.threshold:g}"
+
+
+def parse_rules(data: object) -> tuple[AlertRule, ...]:
+    """Rules from already-decoded TOML/JSON data: a ``{"rules": [...]}``
+    table or a bare list of rule tables."""
+    if isinstance(data, Mapping):
+        entries = data.get("rules")
+        if entries is None:
+            raise ReproError("rules file has no 'rules' list")
+    else:
+        entries = data
+    if not isinstance(entries, (list, tuple)):
+        raise ReproError("'rules' must be a list of rule tables")
+    rules = []
+    for position, entry in enumerate(entries, start=1):
+        if not isinstance(entry, Mapping):
+            raise ReproError(f"rule #{position} is not a table/object")
+        unknown = set(entry) - _RULE_KEYS
+        if unknown:
+            raise ReproError(
+                f"rule #{position} has unknown key(s): "
+                f"{', '.join(sorted(unknown))}"
+            )
+        missing = {"name", "metric", "threshold"} - set(entry)
+        if missing:
+            raise ReproError(
+                f"rule #{position} is missing required key(s): "
+                f"{', '.join(sorted(missing))}"
+            )
+        threshold = entry["threshold"]
+        if isinstance(threshold, bool) or not isinstance(
+            threshold, (int, float)
+        ):
+            raise ReproError(
+                f"rule #{position}: threshold must be a number, "
+                f"got {threshold!r}"
+            )
+        rules.append(
+            AlertRule(
+                name=str(entry["name"]),
+                metric=str(entry["metric"]),
+                threshold=float(threshold),
+                op=str(entry.get("op", ">")),
+                severity=str(entry.get("severity", "warning")),
+                for_count=int(entry.get("for", 1)),
+                cooldown=float(entry.get("cooldown", 0.0)),
+                source=str(entry.get("source", "metric")),
+                mode=str(entry.get("mode", "value")),
+                window=int(entry.get("window", 1)),
+                description=str(entry.get("description", "")),
+            )
+        )
+    names = [rule.name for rule in rules]
+    duplicates = {name for name in names if names.count(name) > 1}
+    if duplicates:
+        raise ReproError(
+            f"duplicate rule name(s): {', '.join(sorted(duplicates))}"
+        )
+    return tuple(rules)
+
+
+def load_rules(path: Union[str, Path]) -> tuple[AlertRule, ...]:
+    """Rules from a ``.toml`` or ``.json`` file (by suffix; anything
+    else is tried as JSON). TOML needs Python 3.11+ (``tomllib``)."""
+    path = Path(path)
+    text = path.read_text(encoding="utf-8")
+    if path.suffix.lower() == ".toml":
+        try:
+            import tomllib
+        except ImportError:
+            raise ReproError(
+                f"{path}: TOML rule files need Python 3.11+ (tomllib); "
+                "use the JSON form on older interpreters"
+            ) from None
+        try:
+            data = tomllib.loads(text)
+        except tomllib.TOMLDecodeError as error:
+            raise ReproError(f"{path}: invalid TOML: {error}") from None
+    else:
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise ReproError(f"{path}: invalid JSON: {error}") from None
+    try:
+        return parse_rules(data)
+    except ReproError as error:
+        raise ReproError(f"{path}: {error}") from None
+
+
+# ----------------------------------------------------------------------
+# Value resolution
+# ----------------------------------------------------------------------
+
+
+def scalar_values(
+    snapshot: Mapping[str, Mapping],
+    extra: Optional[Mapping[str, float]] = None,
+) -> dict[str, float]:
+    """A metrics snapshot flattened to the scalars rules can reference
+    (the same flattening ``runs diff`` compares by), merged with the
+    caller's ``extra`` values (e.g. ``report.findings``)."""
+    values = {
+        name: value for name, (value, _) in _metric_scalars(snapshot).items()
+    }
+    if extra:
+        values.update({name: float(value) for name, value in extra.items()})
+    return values
+
+
+_RECORD_FIELDS = (
+    "findings",
+    "wall_seconds",
+    "scenarios_passed",
+    "scenarios_failed",
+)
+
+
+def _record_value(record: RunRecord, metric: str) -> Optional[float]:
+    if metric in _RECORD_FIELDS:
+        return float(getattr(record, metric))
+    if metric == "consistent":
+        return 1.0 if record.consistent else 0.0
+    value = _metric_scalars(record.metrics).get(metric)
+    return value[0] if value is not None else None
+
+
+def _reduce_series(series: Sequence[float], mode: str) -> float:
+    if mode == "value":
+        return series[-1]
+    if mode == "delta":
+        return series[-1] - series[0]
+    # regression-pct
+    first, last = series[0], series[-1]
+    if first == 0:
+        if last == 0:
+            return 0.0
+        return math.inf if last > 0 else -math.inf
+    return 100.0 * (last - first) / first
+
+
+# ----------------------------------------------------------------------
+# The engine
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class AlertState:
+    """One rule's mutable evaluation state."""
+
+    rule: AlertRule
+    active: bool = False
+    consecutive: int = 0
+    last_fired: Optional[float] = None
+    last_value: Optional[float] = None
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule.name,
+            "condition": self.rule.condition(),
+            "severity": self.rule.severity,
+            "active": self.active,
+            "consecutive": self.consecutive,
+            "last_value": self.last_value,
+            "last_fired": self.last_fired,
+            "description": self.rule.description,
+        }
+
+
+class AlertEngine:
+    """Evaluates a fixed rule set after every run, tracking state.
+
+    ``evaluate`` takes the flattened scalar values of the evaluation
+    that just finished, the run-registry history (for ``runs``-source
+    rules), and ``now`` (seconds; any monotone clock — cooldowns are
+    measured on it). It returns the transition events it emitted, after
+    publishing each on the current event bus.
+    """
+
+    def __init__(self, rules: Sequence[AlertRule]) -> None:
+        self.states = [AlertState(rule=rule) for rule in rules]
+        self._warned: set[str] = set()
+
+    @property
+    def rules(self) -> tuple[AlertRule, ...]:
+        return tuple(state.rule for state in self.states)
+
+    def active_alerts(self) -> tuple[AlertState, ...]:
+        return tuple(state for state in self.states if state.active)
+
+    def to_dict(self) -> list[dict]:
+        return [state.to_dict() for state in self.states]
+
+    def _resolve(
+        self,
+        rule: AlertRule,
+        values: Mapping[str, float],
+        runs: Sequence[RunRecord],
+    ) -> Optional[float]:
+        """The rule's current value, or ``None`` when unresolvable."""
+        if rule.source == "metric":
+            value = values.get(rule.metric)
+            if value is None and rule.name not in self._warned:
+                self._warned.add(rule.name)
+                _LOG.warning(
+                    "alert rule %r references unknown metric %r; skipping",
+                    rule.name,
+                    rule.metric,
+                )
+            return value
+        window = list(runs)[-rule.window:]
+        series = [
+            value
+            for record in window
+            if (value := _record_value(record, rule.metric)) is not None
+        ]
+        needed = 2 if rule.mode in ("delta", "regression-pct") else 1
+        if len(series) < needed:
+            if not series and window and rule.name not in self._warned:
+                self._warned.add(rule.name)
+                _LOG.warning(
+                    "alert rule %r references metric %r absent from the "
+                    "run registry; skipping",
+                    rule.name,
+                    rule.metric,
+                )
+            return None
+        return _reduce_series(series, rule.mode)
+
+    def evaluate(
+        self,
+        values: Mapping[str, float],
+        runs: Sequence[RunRecord] = (),
+        now: float = 0.0,
+    ) -> list[Union[AlertFired, AlertResolved]]:
+        bus = current_event_bus()
+        transitions: list[Union[AlertFired, AlertResolved]] = []
+        for state in self.states:
+            rule = state.rule
+            value = self._resolve(rule, values, runs)
+            if value is None:
+                # No data is neither a violation nor a recovery.
+                continue
+            state.last_value = value
+            if _OPS[rule.op](value, rule.threshold):
+                state.consecutive += 1
+                cooling = (
+                    state.last_fired is not None
+                    and now - state.last_fired < rule.cooldown
+                )
+                if (
+                    not state.active
+                    and state.consecutive >= rule.for_count
+                    and not cooling
+                ):
+                    state.active = True
+                    state.last_fired = now
+                    fired = AlertFired(
+                        rule=rule.name,
+                        metric=rule.metric,
+                        severity=rule.severity,
+                        value=value,
+                        threshold=rule.threshold,
+                        message=rule.description or rule.condition(),
+                    )
+                    transitions.append(fired)
+                    if bus.enabled:
+                        bus.emit(fired)
+            else:
+                state.consecutive = 0
+                if state.active:
+                    state.active = False
+                    resolved = AlertResolved(
+                        rule=rule.name,
+                        metric=rule.metric,
+                        severity=rule.severity,
+                        value=value,
+                    )
+                    transitions.append(resolved)
+                    if bus.enabled:
+                        bus.emit(resolved)
+        return transitions

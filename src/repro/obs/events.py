@@ -53,6 +53,8 @@ from repro.errors import ReproError
 __all__ = [
     "EVENT_TYPES",
     "NULL_EVENT_BUS",
+    "AlertFired",
+    "AlertResolved",
     "EvaluationFinished",
     "EvaluationStarted",
     "EventBus",
@@ -284,6 +286,52 @@ class RunRecorded(TelemetryEvent):
         return f"recorded run {self.run_id} ({self.label})"
 
 
+@dataclass(frozen=True)
+class AlertFired(TelemetryEvent):
+    """An alert rule's condition held long enough for it to fire."""
+
+    kind: ClassVar[str] = "alert-fired"
+
+    rule: str = ""
+    metric: str = ""
+    severity: str = "warning"
+    value: Optional[float] = None
+    threshold: Optional[float] = None
+    message: str = ""
+
+    def summary(self) -> str:
+        rendered = f"ALERT {self.rule} [{self.severity}]"
+        if self.metric:
+            rendered += f" {self.metric}={_compact(self.value)}"
+            if self.threshold is not None:
+                rendered += f" (threshold {_compact(self.threshold)})"
+        if self.message:
+            rendered += f": {self.message}"
+        return rendered
+
+
+@dataclass(frozen=True)
+class AlertResolved(TelemetryEvent):
+    """A previously firing alert rule's condition recovered."""
+
+    kind: ClassVar[str] = "alert-resolved"
+
+    rule: str = ""
+    metric: str = ""
+    severity: str = "warning"
+    value: Optional[float] = None
+
+    def summary(self) -> str:
+        rendered = f"RESOLVED {self.rule} [{self.severity}]"
+        if self.metric:
+            rendered += f" {self.metric}={_compact(self.value)}"
+        return rendered
+
+
+def _compact(value: Optional[float]) -> str:
+    return "-" if value is None else f"{value:g}"
+
+
 EVENT_TYPES: tuple[type[TelemetryEvent], ...] = (
     EvaluationStarted,
     EvaluationFinished,
@@ -295,6 +343,8 @@ EVENT_TYPES: tuple[type[TelemetryEvent], ...] = (
     SimMessageFate,
     Heartbeat,
     RunRecorded,
+    AlertFired,
+    AlertResolved,
 )
 
 _BY_KIND: dict[str, type[TelemetryEvent]] = {
@@ -480,15 +530,28 @@ class JsonlSink:
     The stream is flushed whenever an :class:`EvaluationFinished` event
     passes through — so a consumer tailing the file sees a complete
     evaluation the moment it completes — and again on ``close()``.
+    ``flush_every=N`` additionally flushes after every N written events,
+    so a live consumer (``sosae tail --follow``) sees progress *during*
+    a long evaluation, not only at its boundaries.
     """
 
-    def __init__(self, target: Union[str, Path, TextIO]) -> None:
+    def __init__(
+        self,
+        target: Union[str, Path, TextIO],
+        flush_every: Optional[int] = None,
+    ) -> None:
+        if flush_every is not None and flush_every < 1:
+            raise ReproError(
+                f"flush_every must be >= 1, got {flush_every}"
+            )
         if isinstance(target, (str, Path)):
             self._handle: TextIO = Path(target).open("w", encoding="utf-8")
             self._owns_handle = True
         else:
             self._handle = target
             self._owns_handle = False
+        self._flush_every = flush_every
+        self._unflushed = 0
         self._closed = False
 
     def __call__(self, event: TelemetryEvent) -> None:
@@ -497,8 +560,13 @@ class JsonlSink:
         self._handle.write(
             json.dumps(event.to_dict(), sort_keys=True) + "\n"
         )
-        if isinstance(event, EvaluationFinished):
+        self._unflushed += 1
+        if isinstance(event, EvaluationFinished) or (
+            self._flush_every is not None
+            and self._unflushed >= self._flush_every
+        ):
             self._handle.flush()
+            self._unflushed = 0
 
     def close(self) -> None:
         """Flush, and close the handle when the sink opened it."""
@@ -573,6 +641,7 @@ _SEVERITY_BY_KIND = {
     SimMessageFate.kind: "debug",
     Heartbeat.kind: "debug",
     RunRecorded.kind: "info",
+    AlertResolved.kind: "info",
 }
 
 
@@ -582,6 +651,8 @@ def event_severity(event: TelemetryEvent) -> str:
     package logger's levels."""
     if isinstance(event, FindingEmitted):
         return "error" if event.severity == "error" else "warning"
+    if isinstance(event, AlertFired):
+        return "error" if event.severity == "critical" else "warning"
     if isinstance(event, EvaluationFinished) and not event.consistent:
         return "warning"
     if isinstance(event, ScenarioFinished) and not event.passed:

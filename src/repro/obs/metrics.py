@@ -6,9 +6,9 @@ Three instrument kinds, matching what the evaluation pipeline needs:
   index hits, simulator sends);
 * :class:`Gauge` — a point-in-time value that may go up or down (cached
   tree count, live node count);
-* :class:`Histogram` — a summary (count/sum/min/max/mean and exact
-  p50/p95/p99 percentiles) of an observed distribution (per-scenario
-  walk seconds, message latencies).
+* :class:`Histogram` — a summary (count/sum/min/max/mean and p50/p95/p99
+  percentiles over a bounded, uniformly-sampled reservoir) of an
+  observed distribution (per-scenario walk seconds, message latencies).
 
 Instruments live in a :class:`MetricsRegistry`, keyed by name; asking for
 an existing name returns the same instrument, so instrumentation sites
@@ -19,9 +19,16 @@ process-local (use one registry per concurrent evaluation).
 
 from __future__ import annotations
 
+import random
 from typing import Optional
 
 from repro.errors import ReproError
+
+#: Default cap on the samples a :class:`Histogram` retains for its
+#: percentile reservoir. Bounds the memory of long-running processes
+#: (``sosae serve`` observes per-scenario latencies forever) while
+#: keeping percentile error negligible for evaluation-sized streams.
+DEFAULT_HISTOGRAM_SAMPLE_CAP = 4096
 
 
 class Counter:
@@ -73,22 +80,39 @@ class Gauge:
 class Histogram:
     """A summary (count/sum/min/max/mean/percentiles) of a distribution.
 
-    Observations are retained (the pipeline observes at most a few
-    thousand values per run — one per scenario or trace, not per step)
-    so exact percentiles are available; ``_sorted`` caches the sort
-    between observations.
+    ``count``/``sum``/``min``/``max``/``mean`` are exact over every
+    observation. For percentiles, at most ``sample_cap`` observations
+    are retained; past the cap each new observation replaces a retained
+    one with the classic reservoir probability (Algorithm R), so the
+    reservoir stays a uniform sample of the whole stream and percentiles
+    remain statistically faithful while memory stays fixed — a
+    long-running ``sosae serve`` loop cannot grow without bound. The
+    replacement choices come from a PRNG seeded with the metric name, so
+    identical observation streams yield identical snapshots.
+    ``_sorted`` caches the sort between observations.
     """
 
-    __slots__ = ("name", "count", "total", "min", "max", "_samples", "_sorted")
+    __slots__ = (
+        "name", "count", "total", "min", "max",
+        "sample_cap", "_samples", "_sorted", "_rng",
+    )
 
-    def __init__(self, name: str) -> None:
+    def __init__(
+        self, name: str, sample_cap: int = DEFAULT_HISTOGRAM_SAMPLE_CAP
+    ) -> None:
+        if sample_cap < 1:
+            raise ReproError(
+                f"histogram {name!r} sample cap must be >= 1, got {sample_cap}"
+            )
         self.name = name
         self.count: int = 0
         self.total: float = 0.0
         self.min: Optional[float] = None
         self.max: Optional[float] = None
+        self.sample_cap = sample_cap
         self._samples: list[float] = []
         self._sorted: Optional[list[float]] = None
+        self._rng = random.Random(name)
 
     def observe(self, value: float) -> None:
         """Record one observation."""
@@ -98,8 +122,19 @@ class Histogram:
             self.min = value
         if self.max is None or value > self.max:
             self.max = value
-        self._samples.append(value)
-        self._sorted = None
+        if len(self._samples) < self.sample_cap:
+            self._samples.append(value)
+            self._sorted = None
+        else:
+            slot = self._rng.randrange(self.count)
+            if slot < self.sample_cap:
+                self._samples[slot] = value
+                self._sorted = None
+
+    @property
+    def sample_count(self) -> int:
+        """How many observations the percentile reservoir holds."""
+        return len(self._samples)
 
     @property
     def mean(self) -> Optional[float]:
@@ -107,8 +142,9 @@ class Histogram:
         return self.total / self.count if self.count else None
 
     def percentile(self, fraction: float) -> Optional[float]:
-        """The exact ``fraction`` quantile (0..1) by linear interpolation
-        between closest ranks, ``None`` before any observation."""
+        """The ``fraction`` quantile (0..1) of the retained reservoir,
+        by linear interpolation between closest ranks; ``None`` before
+        any observation. Exact while the stream fits ``sample_cap``."""
         if not 0.0 <= fraction <= 1.0:
             raise ReproError(
                 f"percentile fraction must be in [0, 1], got {fraction}"

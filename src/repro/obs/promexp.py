@@ -1,0 +1,225 @@
+"""Prometheus text exposition for the metrics registry.
+
+``sosae serve`` answers ``GET /metrics`` with the `Prometheus text
+exposition format`__: one ``# HELP`` / ``# TYPE`` header pair per metric
+family followed by its sample lines. :func:`render_prometheus` renders a
+:meth:`~repro.obs.metrics.MetricsRegistry.to_dict` snapshot:
+
+* counters become ``<name>_total`` counter families;
+* gauges become gauge families;
+* histograms become *summary* families — ``{quantile="0.5"|"0.95"|
+  "0.99"}`` sample lines (from the reservoir percentiles) plus the
+  conventional ``_sum`` and ``_count`` children.
+
+Registry names like ``walkthrough.scenario_seconds`` are sanitized to
+the Prometheus grammar (``[a-zA-Z_:][a-zA-Z0-9_:]*``) and prefixed
+(default ``sosae_``). Callers append process-level samples — run
+counts, per-stage wall times with a ``stage`` label, active alerts with
+a ``severity`` label — as :class:`PromSample` rows. Output is
+deterministic: families sort by rendered name, samples keep caller
+order. Pure string assembly over a snapshot dict, so rendering never
+races the evaluation loop.
+
+__ https://prometheus.io/docs/instrumenting/exposition_formats/
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Mapping, Optional, Sequence
+
+from repro.errors import ReproError
+
+__all__ = [
+    "CONTENT_TYPE",
+    "PromSample",
+    "prometheus_metric_name",
+    "render_prometheus",
+]
+
+#: The content type ``/metrics`` responses declare (text format 0.0.4).
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_NAME_OK = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_NAME_BAD_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+_LABEL_OK = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+_SUMMARY_QUANTILES = (("0.5", "p50"), ("0.95", "p95"), ("0.99", "p99"))
+
+
+@lru_cache(maxsize=4096)
+def prometheus_metric_name(name: str, prefix: str = "sosae_") -> str:
+    """``name`` mapped onto the Prometheus metric-name grammar.
+
+    Dots and every other illegal character collapse to ``_``; the
+    ``prefix`` (already-legal) is prepended; a leading digit after
+    prefixing is guarded with ``_``. Memoized — a scrape re-sanitizes
+    the same registry names on every render.
+    """
+    sanitized = _NAME_BAD_CHARS.sub("_", name)
+    candidate = f"{prefix}{sanitized}"
+    if not _NAME_OK.match(candidate):
+        candidate = f"_{candidate}"
+    if not _NAME_OK.match(candidate):
+        raise ReproError(
+            f"cannot render {name!r} as a Prometheus metric name"
+        )
+    return candidate
+
+
+def _escape_label_value(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _format_value(value: Optional[float]) -> str:
+    if value is None:
+        return "NaN"
+    value = float(value)
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _render_labels(labels: Mapping[str, str]) -> str:
+    if not labels:
+        return ""
+    for key in labels:
+        if not _LABEL_OK.match(key):
+            raise ReproError(f"invalid Prometheus label name {key!r}")
+    body = ",".join(
+        f'{key}="{_escape_label_value(str(labels[key]))}"'
+        for key in labels
+    )
+    return "{" + body + "}"
+
+
+@dataclass(frozen=True)
+class PromSample:
+    """One caller-supplied sample: a family header plus one line.
+
+    ``name`` is the *raw* registry-style name (it goes through the same
+    sanitizer); samples sharing a name form one family and must agree on
+    ``type`` and ``help``.
+    """
+
+    name: str
+    value: float
+    labels: Mapping[str, str] = field(default_factory=dict)
+    type: str = "gauge"
+    help: str = ""
+
+
+class _Family:
+    """One metric family: header pair plus its sample lines."""
+
+    def __init__(self, name: str, type_: str, help_: str) -> None:
+        self.name = name
+        self.type = type_
+        self.help = help_
+        self.lines: list[str] = []
+
+    def add(
+        self,
+        value: Optional[float],
+        labels: Optional[Mapping[str, str]] = None,
+        suffix: str = "",
+    ) -> None:
+        self.lines.append(
+            f"{self.name}{suffix}{_render_labels(labels or {})} "
+            f"{_format_value(value)}"
+        )
+
+    def render(self) -> list[str]:
+        rendered = []
+        if self.help:
+            rendered.append(f"# HELP {self.name} {self.help}")
+        rendered.append(f"# TYPE {self.name} {self.type}")
+        rendered.extend(self.lines)
+        return rendered
+
+
+def _snapshot_family(name: str, data: Mapping, prefix: str) -> _Family:
+    kind = data.get("type")
+    if kind == "counter":
+        family = _Family(
+            prometheus_metric_name(f"{name}_total", prefix),
+            "counter",
+            f"Counter {name!r} from the SOSAE metrics registry.",
+        )
+        family.add(data.get("value", 0))
+        return family
+    if kind == "gauge":
+        family = _Family(
+            prometheus_metric_name(name, prefix),
+            "gauge",
+            f"Gauge {name!r} from the SOSAE metrics registry.",
+        )
+        family.add(data.get("value", 0.0))
+        return family
+    if kind == "histogram":
+        family = _Family(
+            prometheus_metric_name(name, prefix),
+            "summary",
+            f"Histogram {name!r} from the SOSAE metrics registry "
+            "(reservoir quantiles).",
+        )
+        for quantile, statistic in _SUMMARY_QUANTILES:
+            value = data.get(statistic)
+            if value is not None:
+                family.add(value, {"quantile": quantile})
+        family.add(data.get("sum", 0.0), suffix="_sum")
+        family.add(data.get("count", 0), suffix="_count")
+        return family
+    raise ReproError(
+        f"metric {name!r} has unknown snapshot type {kind!r}"
+    )
+
+
+def render_prometheus(
+    snapshot: Mapping[str, Mapping],
+    extra: Sequence[PromSample] = (),
+    prefix: str = "sosae_",
+) -> str:
+    """The text exposition of a metrics snapshot plus extra samples.
+
+    ``snapshot`` is :meth:`MetricsRegistry.to_dict` output (or the
+    ``metrics`` field of a persisted run record — same shape). Extra
+    samples with the same raw name merge into one family, keeping their
+    order; a name colliding across different declared types is an error.
+    """
+    families: dict[str, _Family] = {}
+    for name in sorted(snapshot):
+        family = _snapshot_family(name, snapshot[name], prefix)
+        if family.name in families:
+            raise ReproError(
+                f"metric name collision after sanitizing: {family.name!r}"
+            )
+        families[family.name] = family
+    for sample in extra:
+        raw = (
+            f"{sample.name}_total" if sample.type == "counter" else sample.name
+        )
+        rendered_name = prometheus_metric_name(raw, prefix)
+        family = families.get(rendered_name)
+        if family is None:
+            family = _Family(rendered_name, sample.type, sample.help)
+            families[rendered_name] = family
+        elif family.type != sample.type:
+            raise ReproError(
+                f"metric {rendered_name!r} declared both as "
+                f"{family.type!r} and {sample.type!r}"
+            )
+        family.add(sample.value, sample.labels)
+    lines: list[str] = []
+    for name in sorted(families):
+        lines.extend(families[name].render())
+    return "\n".join(lines) + "\n" if lines else ""

@@ -110,8 +110,11 @@ class Recorder:
         spans: Optional[SpanRecorder] = None,
         metrics: Optional[MetricsRegistry] = None,
     ) -> None:
-        self.spans = spans or SpanRecorder()
-        self.metrics = metrics or MetricsRegistry()
+        # Explicit None checks: an empty MetricsRegistry is falsy (it
+        # has __len__), and a caller sharing one long-lived registry
+        # across recorders (the serve loop) hands it over empty.
+        self.spans = spans if spans is not None else SpanRecorder()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
 
     def span(self, name: str, **attributes):
         """Open a nested span (context manager yielding the

@@ -77,15 +77,24 @@ def stage_summary(roots: Sequence[Span]) -> dict[str, dict]:
     total CPU seconds per name. This is the run registry's durable form
     of the profile tree — flat, so two runs with differently shaped
     trees still diff name-by-name."""
+    # Iterative preorder walk: ``iter_spans`` is a recursive generator,
+    # which bubbles every yield through O(depth) frames — measurable on
+    # the serve loop, which summarizes ~1k spans per run.
     stages: dict[str, dict] = {}
-    for root in roots:
-        for span in root.iter_spans():
-            entry = stages.setdefault(
-                span.name, {"count": 0, "wall_seconds": 0.0, "cpu_seconds": 0.0}
-            )
-            entry["count"] += 1
-            entry["wall_seconds"] += span.wall_seconds
-            entry["cpu_seconds"] += span.cpu_seconds
+    stack = list(reversed(roots))
+    while stack:
+        span = stack.pop()
+        entry = stages.get(span.name)
+        if entry is None:
+            entry = stages[span.name] = {
+                "count": 0,
+                "wall_seconds": 0.0,
+                "cpu_seconds": 0.0,
+            }
+        entry["count"] += 1
+        entry["wall_seconds"] += span.end_wall - span.start_wall
+        entry["cpu_seconds"] += span.end_cpu - span.start_cpu
+        stack.extend(reversed(span.children))
     return stages
 
 
@@ -156,14 +165,30 @@ class RunRecord:
 
 
 class RunRegistry:
-    """The append-only JSONL store under ``.repro-runs/``."""
+    """The append-only JSONL store under ``.repro-runs/``.
+
+    Parsed records are cached against the file's (mtime_ns, size)
+    fingerprint, so the serve loop — which records a run and then reads
+    the window back for SLO rules, every run — stays O(new records)
+    instead of re-parsing the whole history each cycle. Out-of-process
+    appends change the fingerprint and invalidate the cache.
+    """
 
     def __init__(self, root: Union[str, Path] = DEFAULT_RUNS_DIR) -> None:
         self.root = Path(root)
+        self._cache: Optional[tuple[RunRecord, ...]] = None
+        self._cache_stamp: Optional[tuple[int, int]] = None
 
     @property
     def path(self) -> Path:
         return self.root / _RUNS_FILE
+
+    def _fingerprint(self) -> Optional[tuple[int, int]]:
+        try:
+            stat = self.path.stat()
+        except OSError:
+            return None
+        return (stat.st_mtime_ns, stat.st_size)
 
     # ------------------------------------------------------------------
     # Recording
@@ -176,12 +201,27 @@ class RunRegistry:
         recorder,
         git_sha: Optional[str] = None,
         timestamp: Optional[float] = None,
+        report_digest: Optional[str] = None,
     ) -> RunRecord:
         """Snapshot one evaluation (its report and its live
-        :class:`~repro.obs.recorder.Recorder`) and append it."""
+        :class:`~repro.obs.recorder.Recorder`) and append it.
+
+        ``report_digest`` lets a caller that already digested the report
+        (the serve loop caches the digest across runs with identical
+        reports) skip re-canonicalizing it — the digest is O(report) and
+        dominates recording cost on large evaluations.
+        """
         roots = tuple(recorder.roots)
+        if (
+            self._cache is not None
+            and self._fingerprint() == self._cache_stamp
+        ):
+            existing = len(self._cache)
+        else:
+            self._cache = None
+            existing = len(self._read_lines())
         record = RunRecord(
-            run_id=f"r{len(self._read_lines()) + 1:04d}",
+            run_id=f"r{existing + 1:04d}",
             label=label,
             timestamp=time.time() if timestamp is None else timestamp,
             git_sha=git_sha if git_sha is not None else current_git_sha(),
@@ -190,13 +230,20 @@ class RunRegistry:
             scenarios_passed=len(report.passed_scenarios),
             scenarios_failed=len(report.failed_scenarios),
             findings=len(report.all_inconsistencies()),
-            report_digest=_report_digest(report),
+            report_digest=(
+                report_digest
+                if report_digest is not None
+                else _report_digest(report)
+            ),
             metrics=recorder.metrics.to_dict(),
             stages=stage_summary(roots),
         )
         self.root.mkdir(parents=True, exist_ok=True)
         with self.path.open("a", encoding="utf-8") as handle:
             handle.write(json.dumps(record.to_dict(), sort_keys=True) + "\n")
+        if self._cache is not None:
+            self._cache = self._cache + (record,)
+            self._cache_stamp = self._fingerprint()
         bus = current_event_bus()
         if bus.enabled:
             bus.emit(RunRecorded(run_id=record.run_id, label=record.label))
@@ -217,6 +264,9 @@ class RunRegistry:
 
     def load(self) -> tuple[RunRecord, ...]:
         """Every recorded run, oldest first."""
+        stamp = self._fingerprint()
+        if self._cache is not None and stamp == self._cache_stamp:
+            return self._cache
         records = []
         for number, line in enumerate(self._read_lines(), start=1):
             try:
@@ -226,7 +276,9 @@ class RunRegistry:
                     f"{self.path} line {number} is not a valid run record: "
                     f"{error}"
                 ) from None
-        return tuple(records)
+        self._cache = tuple(records)
+        self._cache_stamp = stamp
+        return self._cache
 
     def get(self, reference: str) -> RunRecord:
         """A run by id, or by the aliases ``latest`` / ``previous``."""

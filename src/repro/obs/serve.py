@@ -1,0 +1,664 @@
+"""The continuous-evaluation daemon behind ``sosae serve``.
+
+The offline stack (spans, metrics, run registry, event bus, dashboard)
+describes evaluations after the fact; :class:`ServeDaemon` keeps one
+running *continuously* — re-evaluating when a watched spec file changes
+(mtime polling) or on a fixed interval — and exposes the results over
+plain stdlib HTTP (:class:`~http.server.ThreadingHTTPServer`, no new
+dependencies):
+
+``/metrics``
+    Prometheus text exposition of the shared metrics registry
+    (counters, gauges, histogram quantiles — see
+    :mod:`repro.obs.promexp`) plus serve-level samples: run counts,
+    last-run wall time, per-stage wall seconds (``stage`` label), and
+    active alerts by severity.
+``/healthz``
+    Process liveness: 200 with a small JSON body as long as the daemon
+    runs, even while the latest spec revision fails to parse.
+``/readyz``
+    Readiness: 200 once at least one evaluation completed, 503 before.
+``/report``
+    The latest evaluation report as JSON (503 before the first run).
+``/alerts``
+    Every alert rule's state (active, consecutive violations, last
+    value) as JSON.
+``/events``
+    A Server-Sent-Events bridge off the daemon's live event bus: each
+    telemetry event becomes one ``event:``/``data:`` frame, with
+    ``: keep-alive`` comments while the pipeline is idle.
+    ``?replay=N`` first replays the last N buffered events.
+    :func:`read_sse_events` is the matching stdlib-only consumer
+    (``sosae dashboard --live URL`` and ``sosae tail`` use it).
+
+One :class:`~repro.obs.metrics.MetricsRegistry` spans the daemon's
+lifetime, so counters and histogram reservoirs accumulate across runs
+(that is what makes ``/metrics`` scrapes meaningful); each run gets a
+fresh :class:`~repro.obs.spans.SpanRecorder` so span forests do not
+grow without bound. After every run the :class:`AlertEngine` evaluates
+its rules over the fresh scalars and the run-registry window, emitting
+``AlertFired``/``AlertResolved`` on the bus (and therefore into
+``/events`` and any JSONL sink).
+"""
+
+from __future__ import annotations
+
+import json
+import queue
+import threading
+import time
+from dataclasses import dataclass, field
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Callable, Optional, Sequence, Union
+from urllib.parse import parse_qs, urlsplit
+from urllib.request import urlopen
+
+from repro.errors import ReproError
+from repro.obs.alerts import AlertEngine, AlertRule, scalar_values
+from repro.obs.events import (
+    AlertFired,
+    AlertResolved,
+    EventBus,
+    TelemetryEvent,
+    event_from_dict,
+    use_events,
+)
+from repro.obs.log import get_logger
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.promexp import CONTENT_TYPE, PromSample, render_prometheus
+from repro.obs.recorder import Recorder, use
+from repro.obs.runs import (
+    RunRegistry,
+    _report_digest,
+    current_git_sha,
+    stage_summary,
+)
+from repro.obs.spans import SpanRecorder
+
+__all__ = [
+    "RunOutcome",
+    "ServeDaemon",
+    "SpecWatcher",
+    "read_sse_events",
+]
+
+_LOG = get_logger("obs.serve")
+
+_SEVERITIES = ("info", "warning", "critical")
+
+
+class SpecWatcher:
+    """Detects spec-file changes by polling mtimes and sizes.
+
+    ``changed()`` compares the current fingerprint against the last one
+    it saw and remembers the new one — the first call always reports a
+    change. A missing file fingerprints as absent rather than erroring,
+    so an editor's delete-then-rename save cycle reads as one change.
+    """
+
+    def __init__(self, paths: Sequence[Union[str, Path]]) -> None:
+        self.paths = tuple(Path(path) for path in paths)
+        self._fingerprint: Optional[tuple] = None
+
+    def fingerprint(self) -> tuple:
+        stamps = []
+        for path in self.paths:
+            try:
+                stat = path.stat()
+                stamps.append((str(path), stat.st_mtime_ns, stat.st_size))
+            except OSError:
+                stamps.append((str(path), None, None))
+        return tuple(stamps)
+
+    def changed(self) -> bool:
+        current = self.fingerprint()
+        if current != self._fingerprint:
+            self._fingerprint = current
+            return True
+        return False
+
+
+@dataclass(frozen=True)
+class RunOutcome:
+    """What one serve-loop evaluation produced."""
+
+    ok: bool
+    error: Optional[str] = None
+    consistent: Optional[bool] = None
+    findings: int = 0
+    run_id: Optional[str] = None
+    fired: tuple[AlertFired, ...] = ()
+    resolved: tuple[AlertResolved, ...] = ()
+
+    @property
+    def alerting(self) -> bool:
+        """Whether this run left any alert newly fired."""
+        return bool(self.fired)
+
+
+@dataclass
+class _ServeState:
+    """The snapshot HTTP handlers read (mutated under the state lock)."""
+
+    runs_completed: int = 0
+    runs_failed: int = 0
+    last_error: Optional[str] = None
+    last_run_timestamp: Optional[float] = None
+    last_run_wall_seconds: Optional[float] = None
+    consistent: Optional[bool] = None
+    findings: int = 0
+    report_json: Optional[str] = None
+    metrics_snapshot: dict = field(default_factory=dict)
+    stages: dict = field(default_factory=dict)
+    alerts: list = field(default_factory=list)
+
+
+class ServeDaemon:
+    """The continuous evaluation loop plus its HTTP face.
+
+    ``build_sosae`` constructs a fresh :class:`~repro.core.evaluator.
+    Sosae` from the spec source; it is called once up front and again
+    whenever the watcher reports a change (a parse error keeps the
+    previous pipeline and is surfaced on ``/healthz``). ``interval``
+    re-runs on a cadence even without changes; with neither watch paths
+    nor an interval the daemon evaluates once and then only serves.
+    """
+
+    def __init__(
+        self,
+        build_sosae: Callable[[], object],
+        rules: Sequence[AlertRule] = (),
+        watch_paths: Sequence[Union[str, Path]] = (),
+        interval: Optional[float] = None,
+        registry: Optional[RunRegistry] = None,
+        label: str = "serve",
+        heartbeat: Optional[float] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        sse_keepalive: float = 1.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if interval is not None and interval <= 0:
+            raise ReproError(f"interval must be positive, got {interval}")
+        self.build_sosae = build_sosae
+        self.watcher = SpecWatcher(watch_paths)
+        self.interval = interval
+        self.registry = registry
+        self.label = label
+        self.host = host
+        self._requested_port = port
+        self.sse_keepalive = sse_keepalive
+        self._clock = clock
+        self.metrics = MetricsRegistry()
+        self.bus = EventBus(
+            capacity=2048,
+            heartbeat_interval=heartbeat,
+            metrics_source=self.metrics.to_dict,
+        )
+        self.engine = AlertEngine(tuple(rules))
+        self._sosae = None
+        self._git_sha: Optional[str] = None
+        self._last_report = None
+        self._last_digest: Optional[str] = None
+        self._state = _ServeState()
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._started_at = time.time()
+        self._httpd: Optional[_ServeHTTPServer] = None
+        self._http_thread: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------------
+    # Evaluation loop
+    # ------------------------------------------------------------------
+
+    def run_once(self, rebuild: bool = False) -> RunOutcome:
+        """Run one evaluation, record it, and evaluate the alert rules."""
+        from repro.core.report_io import report_to_json  # core imports obs
+
+        started_wall = time.time()
+        started = time.perf_counter()
+        with use_events(self.bus):
+            try:
+                if self._sosae is None or rebuild:
+                    self._sosae = self.build_sosae()
+                    # One `git rev-parse` per (re)build, not per run: a
+                    # subprocess every interval tick would dwarf a small
+                    # evaluation, and the sha only moves when the user
+                    # commits — which touches the watched specs anyway.
+                    self._git_sha = current_git_sha()
+                recorder = Recorder(
+                    spans=SpanRecorder(), metrics=self.metrics
+                )
+                with use(recorder):
+                    report = self._sosae.evaluate()
+                    # The digest is O(report); between interval runs of
+                    # an unchanged spec the report is identical, so an
+                    # equality check replaces a re-canonicalization.
+                    if (
+                        self._last_digest is None
+                        or report != self._last_report
+                    ):
+                        self._last_digest = _report_digest(report)
+                    self._last_report = report
+                    record = (
+                        self.registry.record(
+                            self.label,
+                            report,
+                            recorder,
+                            git_sha=self._git_sha,
+                            report_digest=self._last_digest,
+                        )
+                        if self.registry is not None
+                        else None
+                    )
+            except ReproError as error:
+                with self._lock:
+                    self._state.runs_failed += 1
+                    self._state.last_error = str(error)
+                _LOG.error("serve evaluation failed: %s", error)
+                return RunOutcome(ok=False, error=str(error))
+            wall = time.perf_counter() - started
+            snapshot = self.metrics.to_dict()
+            findings = len(report.all_inconsistencies())
+            values = scalar_values(
+                snapshot,
+                extra={
+                    "report.findings": float(findings),
+                    "report.consistent": 1.0 if report.consistent else 0.0,
+                    "report.scenarios_passed": float(
+                        len(report.passed_scenarios)
+                    ),
+                    "report.scenarios_failed": float(
+                        len(report.failed_scenarios)
+                    ),
+                    "report.wall_seconds": wall,
+                },
+            )
+            history = self.registry.load() if self.registry is not None else ()
+            transitions = self.engine.evaluate(
+                values, history, now=self._clock()
+            )
+        with self._lock:
+            state = self._state
+            state.runs_completed += 1
+            state.last_error = None
+            state.last_run_timestamp = started_wall
+            state.last_run_wall_seconds = wall
+            state.consistent = report.consistent
+            state.findings = findings
+            state.report_json = report_to_json(report)
+            state.metrics_snapshot = snapshot
+            state.stages = stage_summary(recorder.roots)
+            state.alerts = self.engine.to_dict()
+        fired = tuple(
+            event for event in transitions if isinstance(event, AlertFired)
+        )
+        resolved = tuple(
+            event for event in transitions if isinstance(event, AlertResolved)
+        )
+        for event in fired:
+            _LOG.warning("%s", event.summary())
+        for event in resolved:
+            _LOG.info("%s", event.summary())
+        return RunOutcome(
+            ok=True,
+            consistent=report.consistent,
+            findings=findings,
+            run_id=record.run_id if record is not None else None,
+            fired=fired,
+            resolved=resolved,
+        )
+
+    def serve_loop(
+        self,
+        poll: float = 1.0,
+        max_runs: Optional[int] = None,
+    ) -> None:
+        """Block, re-evaluating on spec change / interval until stopped.
+
+        ``max_runs`` bounds the number of evaluations (useful for CI
+        smoke runs and tests); the HTTP server, if started, keeps
+        serving the final state until :meth:`shutdown`.
+        """
+        last_run: Optional[float] = None
+        runs = 0
+        while not self._stop.is_set():
+            now = self._clock()
+            rebuild = bool(self.watcher.paths) and self.watcher.changed()
+            due = last_run is None or rebuild
+            if (
+                self.interval is not None
+                and last_run is not None
+                and now - last_run >= self.interval
+            ):
+                due = True
+            if due:
+                self.run_once(rebuild=rebuild)
+                last_run = self._clock()
+                runs += 1
+                if max_runs is not None and runs >= max_runs:
+                    return
+            self._stop.wait(poll)
+
+    # ------------------------------------------------------------------
+    # HTTP
+    # ------------------------------------------------------------------
+
+    def start_http(self) -> tuple[str, int]:
+        """Start the HTTP server on a background thread; returns its
+        bound (host, port) — port 0 picks a free one."""
+        if self._httpd is not None:
+            raise ReproError("the HTTP server is already running")
+        self._httpd = _ServeHTTPServer(
+            (self.host, self._requested_port), self
+        )
+        self._http_thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="sosae-serve-http",
+            daemon=True,
+        )
+        self._http_thread.start()
+        address = self._httpd.server_address
+        _LOG.info("serving on http://%s:%d", address[0], address[1])
+        return (str(address[0]), int(address[1]))
+
+    @property
+    def port(self) -> Optional[int]:
+        if self._httpd is None:
+            return None
+        return int(self._httpd.server_address[1])
+
+    @property
+    def stopping(self) -> bool:
+        return self._stop.is_set()
+
+    def stop(self) -> None:
+        """Ask the serve loop to exit (the HTTP server keeps running)."""
+        self._stop.set()
+
+    def shutdown(self) -> None:
+        """Stop the loop and tear the HTTP server down."""
+        self._stop.set()
+        if self._httpd is not None:
+            self._httpd.shutdown()
+            self._httpd.server_close()
+            self._httpd = None
+        if self._http_thread is not None:
+            self._http_thread.join(timeout=5)
+            self._http_thread = None
+
+    # ------------------------------------------------------------------
+    # Endpoint bodies (read by the handler, computed under the lock)
+    # ------------------------------------------------------------------
+
+    def render_metrics(self) -> str:
+        """The Prometheus exposition of the current state."""
+        with self._lock:
+            state = self._state
+            snapshot = state.metrics_snapshot
+            active = [entry for entry in state.alerts if entry["active"]]
+            extras = [
+                PromSample(
+                    "serve.runs",
+                    state.runs_completed,
+                    type="counter",
+                    help="Evaluations the serve loop completed.",
+                ),
+                PromSample(
+                    "serve.run_failures",
+                    state.runs_failed,
+                    type="counter",
+                    help="Evaluations that failed (spec parse/build errors).",
+                ),
+                PromSample(
+                    "serve.up",
+                    1,
+                    help="Always 1 while the daemon answers scrapes.",
+                ),
+            ]
+            if state.last_run_timestamp is not None:
+                extras.append(
+                    PromSample(
+                        "serve.last_run_timestamp_seconds",
+                        state.last_run_timestamp,
+                        help="Wall-clock start of the latest evaluation.",
+                    )
+                )
+            if state.last_run_wall_seconds is not None:
+                extras.append(
+                    PromSample(
+                        "serve.last_run_wall_seconds",
+                        state.last_run_wall_seconds,
+                        help="Wall seconds the latest evaluation took.",
+                    )
+                )
+            if state.consistent is not None:
+                extras.append(
+                    PromSample(
+                        "serve.report_consistent",
+                        1 if state.consistent else 0,
+                        help="1 when the latest report found no "
+                        "inconsistency.",
+                    )
+                )
+                extras.append(
+                    PromSample(
+                        "serve.report_findings",
+                        state.findings,
+                        help="Findings in the latest report.",
+                    )
+                )
+            for severity in _SEVERITIES:
+                extras.append(
+                    PromSample(
+                        "serve.alerts_active",
+                        sum(
+                            1
+                            for entry in active
+                            if entry["severity"] == severity
+                        ),
+                        labels={"severity": severity},
+                        help="Currently firing alert rules by severity.",
+                    )
+                )
+            for stage in sorted(state.stages):
+                extras.append(
+                    PromSample(
+                        "serve.stage_wall_seconds",
+                        state.stages[stage]["wall_seconds"],
+                        labels={"stage": stage},
+                        help="Per-stage wall seconds of the latest "
+                        "evaluation.",
+                    )
+                )
+            return render_prometheus(snapshot, extras)
+
+    def health(self) -> dict:
+        with self._lock:
+            state = self._state
+            return {
+                "status": "ok",
+                "uptime_seconds": time.time() - self._started_at,
+                "runs_completed": state.runs_completed,
+                "runs_failed": state.runs_failed,
+                "last_error": state.last_error,
+            }
+
+    def ready(self) -> bool:
+        with self._lock:
+            return self._state.runs_completed > 0
+
+    def report_json(self) -> Optional[str]:
+        with self._lock:
+            return self._state.report_json
+
+    def alerts_json(self) -> str:
+        with self._lock:
+            return json.dumps({"alerts": self._state.alerts}, sort_keys=True)
+
+
+class _ServeHTTPServer(ThreadingHTTPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address: tuple, daemon: ServeDaemon) -> None:
+        super().__init__(address, _ServeHandler)
+        self.sosae_daemon = daemon
+
+
+class _ServeHandler(BaseHTTPRequestHandler):
+    server: _ServeHTTPServer
+    server_version = "sosae-serve"
+    # HTTP/1.0 responses close the connection when done, which is what
+    # the SSE stream relies on to signal its end.
+    protocol_version = "HTTP/1.0"
+
+    def log_message(self, format: str, *args) -> None:
+        _LOG.debug("http %s %s", self.address_string(), format % args)
+
+    def do_GET(self) -> None:  # noqa: N802 (BaseHTTPRequestHandler API)
+        parts = urlsplit(self.path)
+        daemon = self.server.sosae_daemon
+        try:
+            if parts.path == "/metrics":
+                self._respond(200, CONTENT_TYPE, daemon.render_metrics())
+            elif parts.path == "/healthz":
+                self._respond_json(200, daemon.health())
+            elif parts.path == "/readyz":
+                ready = daemon.ready()
+                self._respond_json(
+                    200 if ready else 503,
+                    {"ready": ready},
+                )
+            elif parts.path == "/report":
+                report = daemon.report_json()
+                if report is None:
+                    self._respond_json(
+                        503, {"error": "no evaluation has completed yet"}
+                    )
+                else:
+                    self._respond(200, "application/json", report)
+            elif parts.path == "/alerts":
+                self._respond(200, "application/json", daemon.alerts_json())
+            elif parts.path == "/events":
+                self._stream_events(daemon, parts.query)
+            elif parts.path == "/":
+                self._respond_json(
+                    200,
+                    {
+                        "service": "sosae serve",
+                        "endpoints": [
+                            "/metrics",
+                            "/healthz",
+                            "/readyz",
+                            "/report",
+                            "/alerts",
+                            "/events",
+                        ],
+                    },
+                )
+            else:
+                self._respond_json(404, {"error": f"no route {parts.path}"})
+        except (BrokenPipeError, ConnectionResetError):
+            pass
+
+    def _respond(self, status: int, content_type: str, body: str) -> None:
+        payload = body.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def _respond_json(self, status: int, data: dict) -> None:
+        self._respond(status, "application/json", json.dumps(data, sort_keys=True))
+
+    def _stream_events(self, daemon: ServeDaemon, query: str) -> None:
+        replay = 0
+        values = parse_qs(query).get("replay")
+        if values:
+            try:
+                replay = max(0, int(values[0]))
+            except ValueError:
+                replay = 0
+        inbox: "queue.Queue[TelemetryEvent]" = queue.Queue()
+        unsubscribe = daemon.bus.subscribe(inbox.put)
+        try:
+            self.send_response(200)
+            self.send_header("Content-Type", "text/event-stream")
+            self.send_header("Cache-Control", "no-cache")
+            self.end_headers()
+            if replay:
+                for event in daemon.bus.events()[-replay:]:
+                    self.wfile.write(_sse_frame(event))
+            self.wfile.flush()
+            while not daemon.stopping:
+                try:
+                    event = inbox.get(timeout=daemon.sse_keepalive)
+                except queue.Empty:
+                    self.wfile.write(b": keep-alive\n\n")
+                    self.wfile.flush()
+                    continue
+                self.wfile.write(_sse_frame(event))
+                self.wfile.flush()
+        except (BrokenPipeError, ConnectionResetError, OSError):
+            pass
+        finally:
+            unsubscribe()
+
+
+def _sse_frame(event: TelemetryEvent) -> bytes:
+    data = json.dumps(event.to_dict(), sort_keys=True)
+    return f"event: {event.kind}\ndata: {data}\n\n".encode("utf-8")
+
+
+def read_sse_events(
+    url: str,
+    limit: Optional[int] = None,
+    duration: Optional[float] = None,
+    connect_timeout: float = 10.0,
+) -> tuple[TelemetryEvent, ...]:
+    """Consume a ``/events`` SSE stream back into telemetry events.
+
+    Collects until ``limit`` events arrived, ``duration`` seconds
+    elapsed, or the server closed the stream — whichever comes first
+    (with neither bound, until close). Keep-alive comments and frames
+    that fail to parse as events are skipped. Stdlib only; this is what
+    ``sosae dashboard --live`` uses.
+    """
+    if not url.startswith(("http://", "https://")):
+        raise ReproError(f"--live needs an http(s) URL, got {url!r}")
+    events: list[TelemetryEvent] = []
+    deadline = (
+        time.monotonic() + duration if duration is not None else None
+    )
+    data_lines: list[str] = []
+    with urlopen(url, timeout=connect_timeout) as response:
+        while True:
+            if limit is not None and len(events) >= limit:
+                break
+            if deadline is not None and time.monotonic() >= deadline:
+                break
+            try:
+                raw = response.readline()
+            except (TimeoutError, OSError):
+                break
+            if not raw:
+                break
+            line = raw.decode("utf-8", errors="replace").rstrip("\r\n")
+            if not line:
+                if data_lines:
+                    try:
+                        events.append(
+                            event_from_dict(json.loads("\n".join(data_lines)))
+                        )
+                    except (ReproError, json.JSONDecodeError):
+                        pass
+                    data_lines = []
+                continue
+            if line.startswith(":"):
+                continue
+            if line.startswith("data:"):
+                data_lines.append(line[5:].lstrip())
+    return tuple(events)

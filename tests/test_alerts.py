@@ -1,0 +1,360 @@
+"""Tests for the declarative alert / SLO rules engine."""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro.errors import ReproError
+from repro.obs import (
+    AlertEngine,
+    AlertFired,
+    AlertResolved,
+    AlertRule,
+    EventBus,
+    load_rules,
+    parse_rules,
+    scalar_values,
+    use_events,
+)
+from repro.obs.runs import RunRecord
+
+
+def _run(index, **overrides):
+    """A minimal run-registry record for runs-source rules."""
+    fields = dict(
+        run_id=f"r{index:04d}",
+        label="demo",
+        timestamp=float(index),
+        git_sha=None,
+        wall_seconds=1.0,
+        consistent=True,
+        scenarios_passed=3,
+        scenarios_failed=0,
+        findings=0,
+        report_digest="d",
+        metrics={},
+        stages={},
+    )
+    fields.update(overrides)
+    return RunRecord(**fields)
+
+
+class TestRuleValidation:
+    def test_defaults_are_sane(self):
+        rule = AlertRule(name="r", metric="findings", threshold=0)
+        assert rule.op == ">"
+        assert rule.severity == "warning"
+        assert rule.for_count == 1
+        assert rule.condition() == "findings > 0"
+
+    def test_runs_rule_condition_shows_the_reduction(self):
+        rule = AlertRule(
+            name="r",
+            metric="wall_seconds",
+            threshold=20,
+            source="runs",
+            mode="regression-pct",
+            window=5,
+        )
+        assert "regression-pct(wall_seconds, window=5)" in rule.condition()
+
+    @pytest.mark.parametrize(
+        "overrides, match",
+        [
+            (dict(name=""), "non-empty name"),
+            (dict(metric=""), "needs a metric"),
+            (dict(op="~"), "unknown op"),
+            (dict(severity="fatal"), "unknown severity"),
+            (dict(source="prometheus"), "unknown source"),
+            (dict(mode="avg"), "unknown mode"),
+            (dict(mode="delta"), "needs source = 'runs'"),
+            (dict(for_count=0), "'for' must be >= 1"),
+            (dict(cooldown=-1.0), "cooldown must be >= 0"),
+            (
+                dict(source="runs", mode="delta", window=1),
+                "window must be >= 2",
+            ),
+        ],
+    )
+    def test_invalid_rules_are_rejected(self, overrides, match):
+        fields = dict(name="r", metric="m", threshold=1.0)
+        fields.update(overrides)
+        with pytest.raises(ReproError, match=match):
+            AlertRule(**fields)
+
+
+class TestParseRules:
+    def test_parses_rules_table_and_bare_list(self):
+        entry = {"name": "r", "metric": "m", "threshold": 2, "for": 3}
+        for data in ({"rules": [entry]}, [entry]):
+            (rule,) = parse_rules(data)
+            assert rule.name == "r"
+            assert rule.threshold == 2.0
+            assert rule.for_count == 3
+
+    def test_missing_rules_list(self):
+        with pytest.raises(ReproError, match="no 'rules' list"):
+            parse_rules({"rule": []})
+        with pytest.raises(ReproError, match="must be a list"):
+            parse_rules({"rules": "nope"})
+
+    def test_unknown_and_missing_keys(self):
+        with pytest.raises(ReproError, match="unknown key"):
+            parse_rules([{"name": "r", "metric": "m", "threshold": 1,
+                          "treshold": 2}])
+        with pytest.raises(ReproError, match="missing required key"):
+            parse_rules([{"name": "r"}])
+
+    def test_boolean_threshold_is_rejected(self):
+        with pytest.raises(ReproError, match="threshold must be a number"):
+            parse_rules([{"name": "r", "metric": "m", "threshold": True}])
+
+    def test_duplicate_names_are_rejected(self):
+        entry = {"name": "dup", "metric": "m", "threshold": 1}
+        with pytest.raises(ReproError, match="duplicate rule name"):
+            parse_rules([entry, dict(entry)])
+
+    def test_load_rules_json(self, tmp_path):
+        path = tmp_path / "rules.json"
+        path.write_text(json.dumps(
+            {"rules": [{"name": "r", "metric": "m", "threshold": 1}]}
+        ))
+        (rule,) = load_rules(path)
+        assert rule.name == "r"
+
+    def test_load_rules_toml(self, tmp_path):
+        tomllib = pytest.importorskip("tomllib")
+        assert tomllib is not None
+        path = tmp_path / "rules.toml"
+        path.write_text(
+            '[[rules]]\nname = "r"\nmetric = "m"\nthreshold = 1\n'
+        )
+        (rule,) = load_rules(path)
+        assert rule.metric == "m"
+
+    def test_load_rules_errors_name_the_file(self, tmp_path):
+        path = tmp_path / "rules.json"
+        path.write_text("not json")
+        with pytest.raises(ReproError, match="rules.json"):
+            load_rules(path)
+        path.write_text(json.dumps([{"name": "r"}]))
+        with pytest.raises(ReproError, match="rules.json.*missing"):
+            load_rules(path)
+
+
+class TestScalarValues:
+    def test_flattens_histograms_and_merges_extras(self):
+        snapshot = {
+            "steps": {"type": "counter", "value": 7},
+            "lat": {
+                "type": "histogram",
+                "count": 2,
+                "mean": 1.5,
+                "p50": 1.0,
+                "p95": 2.0,
+                "p99": 2.0,
+                "min": 1.0,
+                "max": 2.0,
+                "total": 3.0,
+            },
+        }
+        values = scalar_values(snapshot, extra={"report.findings": 4})
+        assert values["steps"] == 7
+        assert values["lat.p95"] == 2.0
+        assert values["report.findings"] == 4.0
+
+
+class TestAlertEngine:
+    def test_fires_on_violation_and_resolves_on_recovery(self):
+        engine = AlertEngine(
+            [AlertRule(name="r", metric="findings", threshold=0)]
+        )
+        fired = engine.evaluate({"findings": 3.0})
+        assert len(fired) == 1 and isinstance(fired[0], AlertFired)
+        assert fired[0].value == 3.0 and fired[0].threshold == 0.0
+        assert len(engine.active_alerts()) == 1
+        # Still violating: no duplicate fire while active.
+        assert engine.evaluate({"findings": 5.0}) == []
+        resolved = engine.evaluate({"findings": 0.0})
+        assert len(resolved) == 1 and isinstance(resolved[0], AlertResolved)
+        assert engine.active_alerts() == ()
+
+    def test_exact_threshold_is_not_a_strict_violation(self):
+        engine = AlertEngine(
+            [AlertRule(name="r", metric="m", threshold=5, op=">")]
+        )
+        assert engine.evaluate({"m": 5.0}) == []
+        assert len(engine.evaluate({"m": 5.0001})) == 1
+
+    def test_exact_threshold_fires_with_ge(self):
+        engine = AlertEngine(
+            [AlertRule(name="r", metric="m", threshold=5, op=">=")]
+        )
+        assert len(engine.evaluate({"m": 5.0})) == 1
+
+    def test_for_count_needs_consecutive_violations(self):
+        engine = AlertEngine(
+            [AlertRule(name="r", metric="m", threshold=0, for_count=3)]
+        )
+        assert engine.evaluate({"m": 1.0}) == []
+        assert engine.evaluate({"m": 1.0}) == []
+        assert len(engine.evaluate({"m": 1.0})) == 1
+
+    def test_recovery_resets_the_consecutive_count(self):
+        engine = AlertEngine(
+            [AlertRule(name="r", metric="m", threshold=0, for_count=2)]
+        )
+        engine.evaluate({"m": 1.0})
+        engine.evaluate({"m": 0.0})  # reset
+        assert engine.evaluate({"m": 1.0}) == []
+        assert len(engine.evaluate({"m": 1.0})) == 1
+
+    def test_cooldown_suppresses_refire_until_elapsed(self):
+        engine = AlertEngine(
+            [AlertRule(name="r", metric="m", threshold=0, cooldown=60.0)]
+        )
+        assert len(engine.evaluate({"m": 1.0}, now=0.0)) == 1
+        assert len(engine.evaluate({"m": 0.0}, now=10.0)) == 1  # resolve
+        # Violates again inside the cooldown window: suppressed.
+        assert engine.evaluate({"m": 1.0}, now=30.0) == []
+        assert engine.active_alerts() == ()
+        # Past the cooldown it fires again.
+        fired = engine.evaluate({"m": 1.0}, now=61.0)
+        assert len(fired) == 1 and isinstance(fired[0], AlertFired)
+
+    def test_unknown_metric_warns_once_and_skips(self, caplog):
+        engine = AlertEngine(
+            [AlertRule(name="r", metric="ghost", threshold=0)]
+        )
+        with caplog.at_level("WARNING", logger="repro.obs.alerts"):
+            assert engine.evaluate({"m": 1.0}) == []
+            assert engine.evaluate({"m": 1.0}) == []
+        warnings = [
+            record for record in caplog.records
+            if "unknown metric" in record.getMessage()
+        ]
+        assert len(warnings) == 1
+        assert engine.active_alerts() == ()
+
+    def test_missing_data_does_not_resolve_an_active_alert(self):
+        engine = AlertEngine(
+            [AlertRule(name="r", metric="m", threshold=0)]
+        )
+        engine.evaluate({"m": 1.0})
+        assert engine.evaluate({}) == []
+        assert len(engine.active_alerts()) == 1
+
+    def test_transitions_are_published_on_the_event_bus(self):
+        engine = AlertEngine(
+            [AlertRule(name="r", metric="m", threshold=0,
+                       severity="critical")]
+        )
+        bus = EventBus()
+        with use_events(bus):
+            engine.evaluate({"m": 2.0})
+            engine.evaluate({"m": 0.0})
+        kinds = [event.kind for event in bus.events()]
+        assert kinds == ["alert-fired", "alert-resolved"]
+        assert bus.events()[0].severity == "critical"
+
+    def test_state_snapshot_is_json_friendly(self):
+        engine = AlertEngine(
+            [AlertRule(name="r", metric="m", threshold=0,
+                       description="no findings allowed")]
+        )
+        engine.evaluate({"m": 2.0})
+        (state,) = engine.to_dict()
+        assert state["rule"] == "r"
+        assert state["active"] is True
+        assert state["last_value"] == 2.0
+        json.dumps(state)
+
+
+class TestRunsSourceRules:
+    def test_value_mode_reads_the_latest_record(self):
+        engine = AlertEngine(
+            [AlertRule(name="r", metric="findings", threshold=2,
+                       source="runs")]
+        )
+        history = [_run(1, findings=5), _run(2, findings=1)]
+        assert engine.evaluate({}, runs=history) == []
+        history.append(_run(3, findings=4))
+        assert len(engine.evaluate({}, runs=history)) == 1
+
+    def test_delta_mode_compares_window_ends(self):
+        engine = AlertEngine(
+            [AlertRule(name="r", metric="wall_seconds", threshold=0.5,
+                       source="runs", mode="delta", window=3)]
+        )
+        history = [
+            _run(1, wall_seconds=1.0),
+            _run(2, wall_seconds=1.2),
+            _run(3, wall_seconds=1.4),
+        ]
+        assert engine.evaluate({}, runs=history) == []  # delta 0.4
+        history.append(_run(4, wall_seconds=2.0))       # window delta 0.8
+        assert len(engine.evaluate({}, runs=history)) == 1
+
+    def test_regression_pct_mode(self):
+        engine = AlertEngine(
+            [AlertRule(name="r", metric="wall_seconds", threshold=20,
+                       source="runs", mode="regression-pct", window=2)]
+        )
+        history = [_run(1, wall_seconds=1.0), _run(2, wall_seconds=1.1)]
+        assert engine.evaluate({}, runs=history) == []  # +10%
+        history.append(_run(3, wall_seconds=1.5))       # +36% over run 2
+        (fired,) = engine.evaluate({}, runs=history)
+        assert fired.value == pytest.approx(100 * (1.5 - 1.1) / 1.1)
+
+    def test_regression_from_zero_is_infinite(self):
+        engine = AlertEngine(
+            [AlertRule(name="r", metric="findings", threshold=20,
+                       source="runs", mode="regression-pct", window=2)]
+        )
+        history = [_run(1, findings=0), _run(2, findings=3)]
+        (fired,) = engine.evaluate({}, runs=history)
+        assert fired.value == math.inf
+
+    def test_consistent_maps_to_zero_one(self):
+        engine = AlertEngine(
+            [AlertRule(name="r", metric="consistent", threshold=1,
+                       op="<", source="runs")]
+        )
+        assert engine.evaluate({}, runs=[_run(1, consistent=True)]) == []
+        assert len(
+            engine.evaluate({}, runs=[_run(2, consistent=False)])
+        ) == 1
+
+    def test_metric_scalars_from_records(self):
+        record = _run(
+            1, metrics={"walk.steps": {"type": "counter", "value": 9}}
+        )
+        engine = AlertEngine(
+            [AlertRule(name="r", metric="walk.steps", threshold=5,
+                       source="runs")]
+        )
+        assert len(engine.evaluate({}, runs=[record])) == 1
+
+    def test_short_series_is_skipped_not_crashed(self):
+        engine = AlertEngine(
+            [AlertRule(name="r", metric="wall_seconds", threshold=0,
+                       source="runs", mode="delta", window=3)]
+        )
+        assert engine.evaluate({}, runs=[_run(1)]) == []
+
+    def test_absent_registry_metric_warns_once(self, caplog):
+        engine = AlertEngine(
+            [AlertRule(name="r", metric="no.such", threshold=0,
+                       source="runs")]
+        )
+        with caplog.at_level("WARNING", logger="repro.obs.alerts"):
+            engine.evaluate({}, runs=[_run(1)])
+            engine.evaluate({}, runs=[_run(2)])
+        warnings = [
+            record for record in caplog.records
+            if "absent from the run registry" in record.getMessage()
+        ]
+        assert len(warnings) == 1

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import json
+import time
 from pathlib import Path
 
 import pytest
@@ -399,6 +400,152 @@ class TestTailAndDashboard:
         )
         assert status == 2
         assert "nothing to render" in capsys.readouterr().err
+
+    def test_dashboard_rejects_events_and_live_together(
+        self, tmp_path, event_stream, capsys
+    ):
+        status = main(
+            ["dashboard", "--out", str(tmp_path / "d.html"),
+             "--events", str(event_stream),
+             "--live", "http://127.0.0.1:1/events"]
+        )
+        assert status == 2
+        assert "not both" in capsys.readouterr().err
+
+    def test_tail_follow_bounded_by_max_events(self, event_stream, capsys):
+        status = main(
+            ["tail", str(event_stream), "--follow", "--no-color",
+             "--poll", "0.01", "--max-events", "3"]
+        )
+        assert status == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 3
+        assert "evaluation-started" in lines[0]
+
+    def test_tail_follow_rejects_stdin(self, capsys):
+        assert main(["tail", "-", "--follow"]) == 2
+        assert "not stdin" in capsys.readouterr().err
+
+
+class TestServe:
+    def _rules_file(self, tmp_path, threshold=0):
+        rules = tmp_path / "rules.json"
+        rules.write_text(json.dumps({"rules": [{
+            "name": "no-findings",
+            "metric": "report.findings",
+            "op": ">",
+            "threshold": threshold,
+            "severity": "critical",
+        }]}))
+        return rules
+
+    def test_once_on_intact_demo(self, capsys):
+        assert main(["serve", "--system", "pims", "--once"]) == 0
+        out = capsys.readouterr().out
+        assert "serve --once: CONSISTENT, 0 finding(s)" in out
+        assert "0 alert(s) fired" in out
+
+    def test_once_check_exits_one_when_a_rule_fires(
+        self, tmp_path, capsys
+    ):
+        rules = self._rules_file(tmp_path)
+        events = tmp_path / "serve-events.jsonl"
+        status = main(
+            ["serve", "--system", "pims", "--variant", "excised",
+             "--once", "--check", "--rules", str(rules),
+             "--events", str(events)]
+        )
+        assert status == 1
+        out = capsys.readouterr().out
+        assert "INCONSISTENT" in out
+        assert "ALERT no-findings" in out
+        kinds = [event.kind for event in read_events(events)]
+        assert "alert-fired" in kinds
+        assert "evaluation-finished" in kinds
+
+    def test_once_check_passes_quiet_rules(self, tmp_path, capsys):
+        rules = self._rules_file(tmp_path, threshold=1000)
+        status = main(
+            ["serve", "--system", "pims", "--variant", "excised",
+             "--once", "--check", "--rules", str(rules)]
+        )
+        assert status == 0
+
+    def test_check_without_once_is_usage_error(self, capsys):
+        assert main(["serve", "--system", "pims", "--check"]) == 2
+        assert "--once" in capsys.readouterr().err
+
+    def test_system_and_spec_files_conflict(self, tmp_path, capsys):
+        assert main(
+            ["serve", "--system", "pims",
+             "--scenarios", str(tmp_path / "s.xml"), "--once"]
+        ) == 2
+        assert "not both" in capsys.readouterr().err
+
+    def test_partial_spec_files_are_rejected(self, tmp_path, capsys):
+        assert main(
+            ["serve", "--scenarios", str(tmp_path / "s.xml"), "--once"]
+        ) == 2
+        assert "--mapping" in capsys.readouterr().err
+
+    def test_bad_rules_file_is_usage_error(self, tmp_path, capsys):
+        rules = tmp_path / "rules.json"
+        rules.write_text("{}")
+        assert main(
+            ["serve", "--system", "pims", "--once",
+             "--rules", str(rules)]
+        ) == 2
+        assert "rules" in capsys.readouterr().err
+
+    def test_once_records_into_the_registry(self, tmp_path, capsys):
+        runs_dir = tmp_path / "runs"
+        status = main(
+            ["serve", "--system", "pims", "--once", "--record",
+             "--runs-dir", str(runs_dir)]
+        )
+        assert status == 0
+        assert main(["runs", "list", "--runs-dir", str(runs_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "serve-pims-intact" in out
+
+    def test_serve_loop_with_max_runs_answers_http(self, tmp_path, capsys):
+        import threading
+        import urllib.request
+
+        events = tmp_path / "events.jsonl"
+        status_box = {}
+
+        def run():
+            status_box["status"] = main(
+                ["serve", "--system", "pims", "--port", "0",
+                 "--interval", "0.2", "--poll", "0.05",
+                 "--max-runs", "50", "--events", str(events),
+                 "--flush-every", "1"]
+            )
+
+        thread = threading.Thread(target=run, daemon=True)
+        thread.start()
+        # The CLI picks a free port; recover it from the banner line.
+        deadline = time.monotonic() + 30
+        url = None
+        while time.monotonic() < deadline and url is None:
+            out = capsys.readouterr().out
+            for token in out.split():
+                if token.startswith("http://"):
+                    url = token
+            time.sleep(0.05)
+        assert url is not None, "serve never printed its URL"
+        with urllib.request.urlopen(f"{url}/metrics", timeout=10) as resp:
+            body = resp.read().decode("utf-8")
+        assert "sosae_serve_up 1" in body
+        assert 'quantile="0.95"' in body
+        with urllib.request.urlopen(f"{url}/healthz", timeout=10) as resp:
+            health = json.loads(resp.read())
+        assert health["status"] == "ok"
+        thread.join(timeout=60)
+        assert not thread.is_alive()
+        assert status_box["status"] == 0
+        assert events.exists()
 
 
 class TestExplain:

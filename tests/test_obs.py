@@ -158,6 +158,58 @@ class TestMetrics:
             with pytest.raises(ReproError):
                 histogram.percentile(bad)
 
+    def test_histogram_reservoir_bounds_retained_samples(self):
+        from repro.obs import DEFAULT_HISTOGRAM_SAMPLE_CAP
+        from repro.obs.metrics import Histogram
+
+        histogram = Histogram("lat", sample_cap=100)
+        for value in range(10_000):
+            histogram.observe(float(value % 100))
+        assert histogram.sample_count == 100
+        # Exact statistics are untouched by the reservoir.
+        assert histogram.count == 10_000
+        assert histogram.min == 0.0 and histogram.max == 99.0
+        assert histogram.mean == pytest.approx(49.5)
+        # The reservoir is a uniform sample of a uniform stream, so the
+        # median lands near the true median.
+        assert histogram.p50 == pytest.approx(49.5, abs=15.0)
+        assert DEFAULT_HISTOGRAM_SAMPLE_CAP == 4096
+
+    def test_histogram_percentiles_exact_below_the_cap(self):
+        from repro.obs.metrics import Histogram
+
+        histogram = Histogram("lat", sample_cap=200)
+        for value in range(1, 101):
+            histogram.observe(float(value))
+        assert histogram.sample_count == 100
+        assert histogram.p50 == pytest.approx(50.5)
+
+    def test_histogram_reservoir_is_deterministic_per_name(self):
+        from repro.obs.metrics import Histogram
+
+        def fill(name):
+            histogram = Histogram(name, sample_cap=10)
+            for value in range(1000):
+                histogram.observe(float(value))
+            return histogram.to_dict()
+
+        assert fill("same") == fill("same")
+
+    def test_histogram_rejects_nonpositive_cap(self):
+        from repro.obs.metrics import Histogram
+
+        with pytest.raises(ReproError, match="sample cap"):
+            Histogram("lat", sample_cap=0)
+
+    def test_recorder_keeps_a_passed_empty_registry(self):
+        # An empty MetricsRegistry is falsy; the recorder must not
+        # replace it (the serve loop shares one across runs).
+        registry = MetricsRegistry()
+        recorder = Recorder(metrics=registry)
+        assert recorder.metrics is registry
+        spans = SpanRecorder()
+        assert Recorder(spans=spans).spans is spans
+
     def test_kind_conflict_raises(self):
         registry = MetricsRegistry()
         registry.counter("x")

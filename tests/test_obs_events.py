@@ -12,6 +12,8 @@ from repro.errors import ReproError
 from repro.obs import (
     EVENT_TYPES,
     NULL_EVENT_BUS,
+    AlertFired,
+    AlertResolved,
     EvaluationFinished,
     EvaluationStarted,
     EventBus,
@@ -76,6 +78,20 @@ def _sample(cls):
         ),
         Heartbeat: Heartbeat(beat=2, metrics={"x": {"value": 1}}),
         RunRecorded: RunRecorded(run_id="r0001", label="demo"),
+        AlertFired: AlertFired(
+            rule="too-many-findings",
+            metric="findings",
+            severity="critical",
+            value=7.0,
+            threshold=3.0,
+            message="findings > 3",
+        ),
+        AlertResolved: AlertResolved(
+            rule="too-many-findings",
+            metric="findings",
+            severity="critical",
+            value=1.0,
+        ),
     }
     return samples[cls]
 
@@ -121,6 +137,14 @@ class TestEventTypes:
             event_severity(SimMessageFate(fate="delivered")) == "debug"
         )
         assert event_severity(_sample(Heartbeat)) == "debug"
+        assert event_severity(_sample(AlertFired)) == "error"
+        assert (
+            event_severity(
+                AlertFired(rule="r", metric="m", severity="warning")
+            )
+            == "warning"
+        )
+        assert event_severity(_sample(AlertResolved)) == "info"
 
     def test_format_event_offsets_from_base(self):
         event = StageStarted(stage="coverage", seq=4, timestamp=12.5)
@@ -284,6 +308,38 @@ class TestJsonlSink:
         assert len(flushes) == 1
         # Everything written so far was visible at the flush point.
         assert flushes[0] == len(handle.getvalue())
+
+    def test_flush_every_flushes_on_a_cadence(self):
+        handle = io.StringIO()
+        flushes = []
+        handle.flush = lambda: flushes.append(len(handle.getvalue()))
+        sink = JsonlSink(handle, flush_every=3)
+        for index in range(7):
+            sink(StageStarted(stage=f"s{index}"))
+        # Flushed after events 3 and 6; the seventh is still buffered.
+        assert len(flushes) == 2
+
+    def test_flush_every_one_flushes_every_event(self):
+        handle = io.StringIO()
+        flushes = []
+        handle.flush = lambda: flushes.append(True)
+        sink = JsonlSink(handle, flush_every=1)
+        sink(StageStarted(stage="a"))
+        sink(StageStarted(stage="b"))
+        assert len(flushes) == 2
+
+    def test_evaluation_finished_still_flushes_with_cadence(self):
+        handle = io.StringIO()
+        flushes = []
+        handle.flush = lambda: flushes.append(True)
+        sink = JsonlSink(handle, flush_every=100)
+        sink(StageStarted(stage="a"))
+        sink(EvaluationFinished(consistent=True))
+        assert len(flushes) == 1
+
+    def test_flush_every_rejects_nonpositive(self):
+        with pytest.raises(ReproError, match="flush_every"):
+            JsonlSink(io.StringIO(), flush_every=0)
 
     def test_borrowed_handles_are_not_closed(self):
         handle = io.StringIO()

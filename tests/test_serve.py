@@ -1,0 +1,295 @@
+"""Tests for the continuous-evaluation daemon behind ``sosae serve``."""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.core.evaluator import Sosae
+from repro.errors import ReproError
+from repro.obs import (
+    AlertRule,
+    RunRegistry,
+    RunRecorded,
+    ServeDaemon,
+    SpecWatcher,
+    read_sse_events,
+)
+
+
+class TestSpecWatcher:
+    def test_first_poll_reports_a_change(self, tmp_path):
+        spec = tmp_path / "a.xml"
+        spec.write_text("v1")
+        watcher = SpecWatcher([spec])
+        assert watcher.changed() is True
+        assert watcher.changed() is False
+
+    def test_rewrites_are_detected(self, tmp_path):
+        spec = tmp_path / "a.xml"
+        spec.write_text("v1")
+        watcher = SpecWatcher([spec])
+        watcher.changed()
+        spec.write_text("v2 is longer")
+        assert watcher.changed() is True
+        assert watcher.changed() is False
+
+    def test_missing_files_fingerprint_as_absent(self, tmp_path):
+        spec = tmp_path / "gone.xml"
+        watcher = SpecWatcher([spec])
+        watcher.changed()
+        assert watcher.changed() is False
+        spec.write_text("now it exists")
+        assert watcher.changed() is True
+
+    def test_delete_counts_as_a_change(self, tmp_path):
+        spec = tmp_path / "a.xml"
+        spec.write_text("v1")
+        watcher = SpecWatcher([spec])
+        watcher.changed()
+        spec.unlink()
+        assert watcher.changed() is True
+
+
+@pytest.fixture
+def build(small_scenarios, chain_architecture, chain_mapping):
+    return lambda: Sosae(small_scenarios, chain_architecture, chain_mapping)
+
+
+@pytest.fixture
+def failing_build(small_scenarios, chain_architecture, chain_mapping):
+    def _build():
+        raise ReproError("spec went sideways")
+
+    return _build
+
+
+class TestRunOnce:
+    def test_successful_run_updates_state(self, build):
+        daemon = ServeDaemon(build)
+        assert daemon.ready() is False
+        outcome = daemon.run_once()
+        assert outcome.ok is True
+        assert outcome.consistent is True
+        assert outcome.alerting is False
+        assert daemon.ready() is True
+        assert daemon.health()["runs_completed"] == 1
+        assert json.loads(daemon.report_json())["findings"] == []
+
+    def test_metrics_accumulate_across_runs(self, build):
+        daemon = ServeDaemon(build)
+        daemon.run_once()
+        daemon.run_once()
+        text = daemon.render_metrics()
+        assert "sosae_evaluate_runs_total 2" in text
+        assert "sosae_serve_runs_total 2" in text
+        assert 'sosae_evaluate_wall_seconds{quantile="0.5"}' in text
+        assert 'sosae_evaluate_wall_seconds{quantile="0.95"}' in text
+        assert 'sosae_evaluate_wall_seconds{quantile="0.99"}' in text
+        assert (
+            'sosae_serve_stage_wall_seconds{stage="evaluate.walkthrough"}'
+            in text
+        )
+
+    def test_build_failure_is_survived_and_reported(self, failing_build):
+        daemon = ServeDaemon(failing_build)
+        outcome = daemon.run_once()
+        assert outcome.ok is False
+        assert "sideways" in outcome.error
+        health = daemon.health()
+        assert health["status"] == "ok"
+        assert health["runs_failed"] == 1
+        assert "sideways" in health["last_error"]
+        assert daemon.ready() is False
+        assert "sosae_serve_run_failures_total 1" in daemon.render_metrics()
+
+    def test_recovery_clears_the_last_error(
+        self, build, failing_build
+    ):
+        builders = [failing_build, build]
+
+        def flaky():
+            return builders.pop(0)()
+
+        daemon = ServeDaemon(flaky)
+        daemon.run_once()
+        outcome = daemon.run_once(rebuild=True)
+        assert outcome.ok is True
+        assert daemon.health()["last_error"] is None
+
+    def test_findings_rule_fires_and_lands_on_the_bus(
+        self, small_scenarios, chain_architecture, chain_mapping
+    ):
+        chain_architecture.excise_links_between("logic", "logic-store")
+        daemon = ServeDaemon(
+            lambda: Sosae(
+                small_scenarios, chain_architecture, chain_mapping
+            ),
+            rules=[
+                AlertRule(
+                    name="no-findings",
+                    metric="report.findings",
+                    threshold=0,
+                    severity="critical",
+                )
+            ],
+        )
+        outcome = daemon.run_once()
+        assert outcome.ok is True
+        assert outcome.alerting is True
+        assert outcome.fired[0].rule == "no-findings"
+        assert [e.kind for e in daemon.bus.events()].count("alert-fired") == 1
+        alerts = json.loads(daemon.alerts_json())["alerts"]
+        assert alerts[0]["active"] is True
+        assert (
+            'sosae_serve_alerts_active{severity="critical"} 1'
+            in daemon.render_metrics()
+        )
+
+    def test_records_runs_when_given_a_registry(self, build, tmp_path):
+        registry = RunRegistry(tmp_path / "runs")
+        daemon = ServeDaemon(build, registry=registry, label="loop")
+        outcome = daemon.run_once()
+        assert outcome.run_id == "r0001"
+        (record,) = registry.load()
+        assert record.label == "loop"
+        assert any(
+            isinstance(event, RunRecorded) for event in daemon.bus.events()
+        )
+
+    def test_invalid_interval_is_rejected(self, build):
+        with pytest.raises(ReproError, match="interval"):
+            ServeDaemon(build, interval=0.0)
+
+
+class TestServeLoop:
+    def test_max_runs_bounds_the_loop(self, build):
+        daemon = ServeDaemon(build, interval=0.001)
+        daemon.serve_loop(poll=0.001, max_runs=3)
+        assert daemon.health()["runs_completed"] == 3
+
+    def test_spec_change_triggers_a_rebuild(self, tmp_path, build):
+        spec = tmp_path / "watched.xml"
+        spec.write_text("v1")
+        builds = []
+
+        def counting_build():
+            builds.append(spec.read_text())
+            return build()
+
+        daemon = ServeDaemon(counting_build, watch_paths=[spec])
+        daemon.serve_loop(poll=0.001, max_runs=1)
+        spec.write_text("v2")
+        daemon.serve_loop(poll=0.001, max_runs=1)
+        assert builds == ["v1", "v2"]
+
+    def test_no_interval_no_watch_runs_once(self, build):
+        daemon = ServeDaemon(build)
+        daemon.stop()  # returns immediately after the stop flag check
+        daemon.serve_loop(poll=0.001)
+        assert daemon.health()["runs_completed"] == 0
+
+
+@pytest.fixture
+def served(build):
+    daemon = ServeDaemon(
+        build,
+        rules=[AlertRule(name="r", metric="report.findings", threshold=0)],
+    )
+    daemon.run_once()
+    host, port = daemon.start_http()
+    yield daemon, f"http://{host}:{port}"
+    daemon.shutdown()
+
+
+def _get(url):
+    with urllib.request.urlopen(url, timeout=10) as response:
+        return response.status, response.read().decode("utf-8")
+
+
+class TestHttpEndpoints:
+    def test_metrics_endpoint(self, served):
+        _, base = served
+        status, body = _get(f"{base}/metrics")
+        assert status == 200
+        assert "sosae_serve_up 1" in body
+        assert 'quantile="0.95"' in body
+
+    def test_healthz_and_readyz(self, served):
+        _, base = served
+        status, body = _get(f"{base}/healthz")
+        assert status == 200 and json.loads(body)["status"] == "ok"
+        status, body = _get(f"{base}/readyz")
+        assert status == 200 and json.loads(body)["ready"] is True
+
+    def test_readyz_is_503_before_the_first_run(self, build):
+        daemon = ServeDaemon(build)
+        host, port = daemon.start_http()
+        try:
+            with pytest.raises(urllib.error.HTTPError) as caught:
+                _get(f"http://{host}:{port}/readyz")
+            assert caught.value.code == 503
+            with pytest.raises(urllib.error.HTTPError) as caught:
+                _get(f"http://{host}:{port}/report")
+            assert caught.value.code == 503
+        finally:
+            daemon.shutdown()
+
+    def test_report_and_alerts(self, served):
+        _, base = served
+        status, body = _get(f"{base}/report")
+        assert status == 200 and json.loads(body)["findings"] == []
+        status, body = _get(f"{base}/alerts")
+        assert json.loads(body)["alerts"][0]["rule"] == "r"
+
+    def test_root_lists_endpoints(self, served):
+        _, base = served
+        status, body = _get(f"{base}/")
+        assert "/metrics" in json.loads(body)["endpoints"]
+
+    def test_unknown_route_is_404(self, served):
+        _, base = served
+        with pytest.raises(urllib.error.HTTPError) as caught:
+            _get(f"{base}/nope")
+        assert caught.value.code == 404
+
+    def test_sse_replay_returns_buffered_events(self, served):
+        _, base = served
+        events = read_sse_events(f"{base}/events?replay=2048", limit=4)
+        kinds = [event.kind for event in events]
+        assert kinds[0] == "evaluation-started"
+        assert len(events) == 4
+
+    def test_sse_streams_live_events(self, served):
+        daemon, base = served
+        import threading
+
+        collected = {}
+
+        def consume():
+            collected["events"] = read_sse_events(
+                f"{base}/events", limit=1, duration=10.0
+            )
+
+        thread = threading.Thread(target=consume)
+        thread.start()
+        time.sleep(0.3)  # let the subscriber attach
+        daemon.run_once()
+        thread.join(timeout=15)
+        assert not thread.is_alive()
+        assert len(collected["events"]) == 1
+
+    def test_double_start_is_an_error(self, served):
+        daemon, _ = served
+        with pytest.raises(ReproError, match="already running"):
+            daemon.start_http()
+
+
+class TestReadSseEvents:
+    def test_rejects_non_http_urls(self):
+        with pytest.raises(ReproError, match="http"):
+            read_sse_events("file:///etc/passwd")
