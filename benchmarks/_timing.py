@@ -24,7 +24,7 @@ from datetime import datetime, timezone
 from pathlib import Path
 from typing import Optional
 
-__all__ = ["record_timing", "results_path", "timed"]
+__all__ = ["load_results", "record_timing", "results_path", "timed"]
 
 _DEFAULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_results.json"
 
@@ -33,6 +33,37 @@ def results_path() -> Path:
     """Where timings accumulate (``BENCH_RESULTS_PATH`` overrides)."""
     override = os.environ.get("BENCH_RESULTS_PATH")
     return Path(override) if override else _DEFAULT_PATH
+
+
+def load_results(path: Optional[Path] = None) -> list[dict]:
+    """Read the accumulated timing trajectory, failing loudly.
+
+    A missing or unparsable results file raises instead of returning an
+    empty trajectory: every consumer of the trajectory (regression gates,
+    trend plots) treats "no data" as "nothing regressed", so silence here
+    turns a broken benchmark run into a green check. Writing stays
+    tolerant (:func:`record_timing` must not fail the benchmark that
+    produced the data); reading does not.
+    """
+    path = Path(path) if path is not None else results_path()
+    if not path.exists():
+        raise FileNotFoundError(
+            f"benchmark results file {path} does not exist; run the "
+            "benchmarks first (pytest benchmarks/) or point "
+            "BENCH_RESULTS_PATH at an existing trajectory"
+        )
+    try:
+        loaded = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise ValueError(
+            f"benchmark results file {path} is not valid JSON: {exc}"
+        ) from exc
+    if not isinstance(loaded, list):
+        raise ValueError(
+            f"benchmark results file {path} must contain a JSON list, "
+            f"got {type(loaded).__name__}"
+        )
+    return loaded
 
 
 def record_timing(name: str, seconds: float, **metadata) -> dict:

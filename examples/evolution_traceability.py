@@ -23,7 +23,6 @@ Run with::
 from __future__ import annotations
 
 from repro import Scenario, TypedEvent, WalkthroughEngine, diff_architectures
-from repro.core.mapping import Mapping
 from repro.core.traceability import TraceabilityMatrix
 from repro.systems.pims import build_pims
 
@@ -46,7 +45,7 @@ def main() -> None:
         + ", ".join(impacted)
     )
 
-    mapping = Mapping.from_dict(pims.mapping.to_dict(), pims.ontology, evolved)
+    mapping = pims.mapping.rebind(evolved)
     engine = WalkthroughEngine(evolved, mapping, pims.options)
     print("re-evaluating only the impacted scenarios:")
     for name in impacted:

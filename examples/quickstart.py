@@ -153,9 +153,7 @@ def main() -> None:
     # Now seed a fault: cut the order service off from the database.
     faulty = architecture.clone("shop-arch-faulty")
     faulty.excise_links_between("backend-bus", "order-db")
-    faulty_mapping = Mapping.from_dict(
-        mapping.to_dict(), ontology, faulty
-    )
+    faulty_mapping = mapping.rebind(faulty)
     report = Sosae(scenarios, faulty, faulty_mapping).evaluate()
     print(render_report(report))
     assert not report.consistent

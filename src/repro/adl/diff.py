@@ -146,8 +146,17 @@ def _element_changes(
         new_value = new.properties.get(key, "")
         if old_value != new_value:
             changes.append(PropertyChange(old.name, key, old_value, new_value))
-    old_interfaces = set(old.interfaces)
-    new_interfaces = set(new.interfaces)
+    # Compare (name, direction) pairs, not just names: a direction-only
+    # change alters the directed communication graph, and a diff that
+    # missed it would let diff-driven invalidation carry stale verdicts.
+    old_interfaces = {
+        f"{name}:{interface.direction.value}"
+        for name, interface in old.interfaces.items()
+    }
+    new_interfaces = {
+        f"{name}:{interface.direction.value}"
+        for name, interface in new.interfaces.items()
+    }
     if old_interfaces != new_interfaces:
         changes.append(
             PropertyChange(

@@ -51,6 +51,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 from contextlib import contextmanager
@@ -483,6 +484,30 @@ def build_parser() -> argparse.ArgumentParser:
         help="stop the serve loop after N evaluations (for CI smoke "
         "runs)",
     )
+    serve.add_argument(
+        "--full-eval", action="store_true",
+        help="always run the full pipeline on spec changes instead of "
+        "the incremental re-evaluation path",
+    )
+    bench_gate = subparsers.add_parser(
+        "bench-gate",
+        help="gate CI on the recorded incremental-vs-full speedup",
+        description="Read the benchmark timing trajectory "
+        "(BENCH_results.json, written by 'pytest benchmarks/') and fail "
+        "unless the latest incremental re-evaluation ran at least "
+        "--min-ratio times faster than the latest full re-evaluation. "
+        "A missing or unparsable trajectory fails loudly: 'no data' "
+        "must not read as 'nothing regressed'.",
+    )
+    bench_gate.add_argument(
+        "--results", type=Path, default=None, metavar="FILE",
+        help="timing trajectory to read (default: BENCH_results.json "
+        "at the repository root, or $BENCH_RESULTS_PATH)",
+    )
+    bench_gate.add_argument(
+        "--min-ratio", type=float, default=5.0, metavar="X",
+        help="required full/incremental speedup (default: %(default)s)",
+    )
     return parser
 
 
@@ -617,6 +642,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _run_dashboard(args)
         if args.command == "serve":
             return _run_serve(args)
+        if args.command == "bench-gate":
+            return _run_bench_gate(args)
     except ReproError as error:
         _LOG.error("error: %s", error)
         return 2
@@ -708,9 +735,7 @@ def _build_demo(system: str, variant: str) -> _Demo:
         architecture = (
             pims.excised_architecture() if variant == "excised" else pims.architecture
         )
-        mapping = Mapping.from_dict(
-            pims.mapping.to_dict(), pims.ontology, architecture
-        )
+        mapping = pims.mapping.rebind(architecture)
         return _Demo(
             pims.scenarios,
             architecture,
@@ -1059,6 +1084,12 @@ def _run_serve(args: argparse.Namespace) -> int:
     build, watch_paths, label = _serve_builder(args)
     rules = load_rules(args.rules) if args.rules is not None else ()
     registry = RunRegistry(args.runs_dir) if args.record else None
+    # Only architecture-file edits are incremental-safe: a dependency
+    # tracker can invalidate scenarios against a structural diff, but
+    # scenario/mapping edits change artifacts it cannot vouch for.
+    incremental_safe = (
+        (args.architecture,) if args.architecture is not None else ()
+    )
     daemon = ServeDaemon(
         build,
         rules=rules,
@@ -1069,6 +1100,8 @@ def _run_serve(args: argparse.Namespace) -> int:
         heartbeat=args.heartbeat,
         host=args.host,
         port=args.port,
+        incremental=not args.full_eval,
+        incremental_safe_paths=incremental_safe,
     )
     sink = None
     if args.events is not None:
@@ -1111,6 +1144,67 @@ def _run_serve(args: argparse.Namespace) -> int:
             sink.close()
         if args.events is not None:
             _LOG.info("wrote event stream to %s", args.events)
+
+
+_BENCH_INCREMENTAL = "incremental_reevaluation.incremental"
+_BENCH_FULL = "incremental_reevaluation.full"
+
+
+def _latest_timing(entries: list, name: str) -> dict:
+    for entry in reversed(entries):
+        if isinstance(entry, dict) and entry.get("name") == name:
+            return entry
+    raise ReproError(
+        f"no {name!r} entry in the benchmark trajectory; run "
+        "'pytest benchmarks/test_bench_incremental_reevaluation.py' first"
+    )
+
+
+def _run_bench_gate(args: argparse.Namespace) -> int:
+    path = args.results
+    if path is None:
+        override = os.environ.get("BENCH_RESULTS_PATH")
+        path = Path(override) if override else Path("BENCH_results.json")
+    # A missing or malformed trajectory fails the gate instead of
+    # skipping it: "no data" must not read as "nothing regressed".
+    if not path.exists():
+        raise ReproError(
+            f"benchmark results file {path} does not exist; run the "
+            "benchmarks first (pytest benchmarks/) or point --results/"
+            "BENCH_RESULTS_PATH at an existing trajectory"
+        )
+    try:
+        entries = json.loads(path.read_text())
+    except json.JSONDecodeError as error:
+        raise ReproError(
+            f"benchmark results file {path} is not valid JSON: {error}"
+        )
+    if not isinstance(entries, list):
+        raise ReproError(
+            f"benchmark results file {path} must contain a JSON list, "
+            f"got {type(entries).__name__}"
+        )
+    incremental = _latest_timing(entries, _BENCH_INCREMENTAL)
+    full = _latest_timing(entries, _BENCH_FULL)
+    if incremental["seconds"] <= 0:
+        raise ReproError(
+            f"nonsensical incremental timing {incremental['seconds']!r}s "
+            f"in {path}"
+        )
+    ratio = full["seconds"] / incremental["seconds"]
+    print(
+        f"bench-gate: incremental {incremental['seconds'] * 1000:.2f} ms, "
+        f"full {full['seconds'] * 1000:.2f} ms -> {ratio:.1f}x "
+        f"(required: {args.min_ratio:.1f}x)"
+    )
+    if ratio < args.min_ratio:
+        _LOG.error(
+            "incremental re-evaluation regressed: %.1fx < required %.1fx",
+            ratio,
+            args.min_ratio,
+        )
+        return 1
+    return 0
 
 
 def _run_dot(args: argparse.Namespace) -> int:

@@ -33,6 +33,21 @@ class Constraint:
         """Violations of this constraint by the architecture."""
         raise NotImplementedError
 
+    def dependencies(self) -> Optional[tuple[str, ...]]:
+        """The architecture elements this constraint's verdict depends on,
+        or ``None`` when unknown.
+
+        Every built-in constraint is a connectivity question between named
+        endpoints, so its answer can only change when a structural edit
+        affects an endpoint's connected region (see
+        :func:`repro.adl.index.reachability_affected_region`). Incremental
+        re-evaluation uses this to skip re-checking constraints whose
+        endpoints lie entirely outside the affected region; ``None`` (the
+        conservative default for custom subclasses) means "always
+        re-check".
+        """
+        return None
+
     def _violation(
         self,
         message: str,
@@ -72,6 +87,9 @@ class MustRouteVia(Constraint):
                 f"endpoints ({self.source!r}, {self.target!r}); the "
                 "constraint would be unfalsifiable"
             )
+
+    def dependencies(self) -> tuple[str, ...]:
+        return (self.source, self.target, self.via)
 
     def check(self, architecture: Architecture) -> list[Inconsistency]:
         for name in (self.source, self.target, self.via):
@@ -118,6 +136,9 @@ class MustNotCommunicate(Constraint):
     second: str
     description: str = ""
 
+    def dependencies(self) -> tuple[str, ...]:
+        return (self.first, self.second)
+
     def check(self, architecture: Architecture) -> list[Inconsistency]:
         for name in (self.first, self.second):
             architecture.element(name)
@@ -158,6 +179,9 @@ class RequiresPath(Constraint):
     target: str
     respect_directions: bool = False
     description: str = ""
+
+    def dependencies(self) -> tuple[str, ...]:
+        return (self.source, self.target)
 
     def check(self, architecture: Architecture) -> list[Inconsistency]:
         for name in (self.source, self.target):
@@ -200,6 +224,9 @@ class ForbidsDirectLink(Constraint):
     first: str
     second: str
     description: str = ""
+
+    def dependencies(self) -> tuple[str, ...]:
+        return (self.first, self.second)
 
     def check(self, architecture: Architecture) -> list[Inconsistency]:
         for name in (self.first, self.second):

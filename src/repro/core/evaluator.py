@@ -68,6 +68,88 @@ from repro.scenarioml.validation import IssueSeverity, validate_scenario_set
 from repro.sim.runtime import RuntimeConfig
 
 
+def validation_findings(scenario_set: ScenarioSet) -> list[Inconsistency]:
+    """Findings from validating the scenario set against its ontology.
+
+    Architecture-independent: depends only on the scenario set, so
+    incremental re-evaluation can carry these over across architecture
+    edits (:mod:`repro.core.incremental`)."""
+    return [
+        Inconsistency(
+            kind=InconsistencyKind.VALIDATION_ERROR,
+            message=issue.message,
+            scenario=issue.scenario_name,
+            event_label=issue.event_label,
+            severity=(
+                Severity.ERROR
+                if issue.severity is IssueSeverity.ERROR
+                else Severity.WARNING
+            ),
+        )
+        for issue in validate_scenario_set(scenario_set)
+    ]
+
+
+def style_findings(architecture: Architecture) -> list[Inconsistency]:
+    """Findings from checking the architecture against its declared
+    style. Depends only on the architecture's structure."""
+    return [
+        Inconsistency(
+            kind=InconsistencyKind.STYLE_VIOLATION,
+            message=str(violation),
+            elements=violation.elements,
+        )
+        for violation in check_style(architecture)
+    ]
+
+
+def coverage_findings(
+    mapping: Mapping, scenario_set: ScenarioSet
+) -> list[Inconsistency]:
+    """Findings from checking mapping coverage: used event types that map
+    to no component, and components no event type can exercise."""
+    findings = []
+    for name in mapping.unmapped_event_types(scenario_set):
+        _, hops = mapping.resolution_for(name)
+        findings.append(
+            Inconsistency(
+                kind=InconsistencyKind.UNMAPPED_EVENT,
+                message=(
+                    f"event type {name!r} is used by the scenarios but "
+                    "maps to no component"
+                ),
+                severity=Severity.WARNING,
+                provenance=Provenance(
+                    conclusion=(
+                        "mapping coverage check: neither the type nor "
+                        "any supertype carries a mapping entry"
+                    ),
+                    resolution=MappingResolution(event_type=name, hops=hops),
+                ),
+            )
+        )
+    findings.extend(
+        Inconsistency(
+            kind=InconsistencyKind.UNMAPPED_COMPONENT,
+            message=(
+                f"component {name!r} is mapped to by no event type; the "
+                "scenarios cannot exercise it"
+            ),
+            elements=(name,),
+            severity=Severity.WARNING,
+            provenance=Provenance(
+                conclusion=(
+                    "mapping coverage check: no mapping entry names the "
+                    "component (directly or through a nested "
+                    "subcomponent), so no scenario event can reach it"
+                ),
+            ),
+        )
+        for name in mapping.unmapped_components()
+    )
+    return findings
+
+
 class Sosae:
     """Scenario and Ontology-based Software Architecture Evaluation."""
 
@@ -326,74 +408,13 @@ class Sosae:
         return self.engine.walk_scenario(scenario, self.scenario_set)
 
     def _validation_findings(self) -> list[Inconsistency]:
-        return [
-            Inconsistency(
-                kind=InconsistencyKind.VALIDATION_ERROR,
-                message=issue.message,
-                scenario=issue.scenario_name,
-                event_label=issue.event_label,
-                severity=(
-                    Severity.ERROR
-                    if issue.severity is IssueSeverity.ERROR
-                    else Severity.WARNING
-                ),
-            )
-            for issue in validate_scenario_set(self.scenario_set)
-        ]
+        return validation_findings(self.scenario_set)
 
     def _style_findings(self) -> list[Inconsistency]:
-        return [
-            Inconsistency(
-                kind=InconsistencyKind.STYLE_VIOLATION,
-                message=str(violation),
-                elements=violation.elements,
-            )
-            for violation in check_style(self.architecture)
-        ]
+        return style_findings(self.architecture)
 
     def _coverage_findings(self) -> list[Inconsistency]:
-        findings = []
-        for name in self.mapping.unmapped_event_types(self.scenario_set):
-            _, hops = self.mapping.resolution_for(name)
-            findings.append(
-                Inconsistency(
-                    kind=InconsistencyKind.UNMAPPED_EVENT,
-                    message=(
-                        f"event type {name!r} is used by the scenarios but "
-                        "maps to no component"
-                    ),
-                    severity=Severity.WARNING,
-                    provenance=Provenance(
-                        conclusion=(
-                            "mapping coverage check: neither the type nor "
-                            "any supertype carries a mapping entry"
-                        ),
-                        resolution=MappingResolution(
-                            event_type=name, hops=hops
-                        ),
-                    ),
-                )
-            )
-        findings.extend(
-            Inconsistency(
-                kind=InconsistencyKind.UNMAPPED_COMPONENT,
-                message=(
-                    f"component {name!r} is mapped to by no event type; the "
-                    "scenarios cannot exercise it"
-                ),
-                elements=(name,),
-                severity=Severity.WARNING,
-                provenance=Provenance(
-                    conclusion=(
-                        "mapping coverage check: no mapping entry names the "
-                        "component (directly or through a nested "
-                        "subcomponent), so no scenario event can reach it"
-                    ),
-                ),
-            )
-            for name in self.mapping.unmapped_components()
-        )
-        return findings
+        return coverage_findings(self.mapping, self.scenario_set)
 
     def _run_dynamic(
         self, dynamic_scenarios: Optional[Iterable[str]]

@@ -339,6 +339,36 @@ class Mapping:
         """Rebuild a mapping from :meth:`to_json` output."""
         return cls.from_dict(json.loads(text), ontology, architecture)
 
+    def rebind(
+        self, architecture: Architecture, name: Optional[str] = None
+    ) -> "Mapping":
+        """This mapping's entries bound to another architecture object
+        (typically an evolved clone).
+
+        Equivalent to ``Mapping.from_dict(self.to_dict(), ...)`` minus the
+        serialization round-trip: entries are copied directly after
+        checking that every referenced component still exists in the new
+        architecture. Raises :class:`~repro.errors.MappingError` when one
+        does not (the mapping must be repaired before re-binding). Binding
+        back to the same architecture object returns ``self`` unchanged.
+        """
+        if architecture is self.architecture:
+            return self
+        rebound = Mapping(
+            self.ontology, architecture, name=name or self.name
+        )
+        for event_type_name, components in self._event_to_components.items():
+            for component_name in components:
+                if component_name not in rebound._component_index:
+                    raise MappingError(
+                        f"cannot rebind: architecture "
+                        f"{architecture.name!r} has no component "
+                        f"{component_name!r} (mapped by "
+                        f"{event_type_name!r})"
+                    )
+            rebound._event_to_components[event_type_name] = components
+        return rebound
+
     def __repr__(self) -> str:
         return (
             f"Mapping({self.name!r}: {len(self._event_to_components)} event "

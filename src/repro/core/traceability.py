@@ -49,6 +49,10 @@ class TraceabilityMatrix:
         self.scenario_set = scenario_set
         self.mapping = mapping
         self._links: dict[tuple[str, str], list[str]] = {}
+        # Reverse indexes for O(1) impact lookups: component -> scenarios
+        # and scenario -> components (insertion-ordered, deduplicated).
+        self._by_component: dict[str, dict[str, None]] = {}
+        self._by_scenario: dict[str, dict[str, None]] = {}
         for scenario in scenario_set:
             for event_type_name in scenario.event_type_names():
                 for component in mapping.components_for(event_type_name):
@@ -57,6 +61,12 @@ class TraceabilityMatrix:
                     self._links.setdefault(key, [])
                     if event_type_name not in self._links[key]:
                         self._links[key].append(event_type_name)
+                    self._by_component.setdefault(top, {}).setdefault(
+                        scenario.name
+                    )
+                    self._by_scenario.setdefault(scenario.name, {}).setdefault(
+                        top
+                    )
 
     @property
     def links(self) -> tuple[TraceLink, ...]:
@@ -68,19 +78,11 @@ class TraceabilityMatrix:
 
     def components_of(self, scenario_name: str) -> tuple[str, ...]:
         """The components a scenario traces to."""
-        return tuple(
-            component
-            for (scenario, component) in self._links
-            if scenario == scenario_name
-        )
+        return tuple(self._by_scenario.get(scenario_name, ()))
 
     def scenarios_of(self, component_name: str) -> tuple[str, ...]:
         """The scenarios tracing to a component."""
-        return tuple(
-            scenario
-            for (scenario, component) in self._links
-            if component == component_name
-        )
+        return tuple(self._by_component.get(component_name, ()))
 
     # ------------------------------------------------------------------
     # Impact analysis
@@ -98,9 +100,24 @@ class TraceabilityMatrix:
             touched = changed.touched_elements()
         else:
             touched = frozenset(changed)
+        # Work proportional to the touched components' trace links, not
+        # the whole matrix; the final pass restores scenario-set order.
+        candidates: set[str] = set()
+        for component in touched:
+            candidates.update(self._by_component.get(component, ()))
+        return tuple(
+            scenario for scenario in self._by_scenario if scenario in candidates
+        )
+
+    def impacted_scenarios_by_event_types(
+        self, event_types: Iterable[str]
+    ) -> tuple[str, ...]:
+        """Scenarios using any of the given event types (directly) — the
+        requirements-side impact of a mapping-entry change."""
+        wanted = frozenset(event_types)
         impacted: dict[str, None] = {}
-        for (scenario, component) in self._links:
-            if component in touched:
+        for (scenario, _component), types in self._links.items():
+            if any(name in wanted for name in types):
                 impacted.setdefault(scenario)
         return tuple(impacted)
 
@@ -115,9 +132,10 @@ class TraceabilityMatrix:
         else:
             names = set(scenarios)
         impacted: dict[str, None] = {}
-        for (scenario, component) in self._links:
+        for scenario, components in self._by_scenario.items():
             if scenario in names:
-                impacted.setdefault(component)
+                for component in components:
+                    impacted.setdefault(component)
         return tuple(impacted)
 
     def orphan_scenarios(self) -> tuple[str, ...]:

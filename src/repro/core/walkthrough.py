@@ -130,9 +130,7 @@ class WalkthroughEngine:
         if mapping.architecture is not architecture:
             # A mapping built against a different (e.g. pre-evolution)
             # architecture object is fine as long as the entries resolve.
-            mapping = Mapping.from_dict(
-                mapping.to_dict(), mapping.ontology, architecture
-            )
+            mapping = mapping.rebind(architecture)
         self.architecture = architecture
         self.mapping = mapping
         self.options = options or WalkthroughOptions()

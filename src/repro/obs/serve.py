@@ -112,11 +112,23 @@ class SpecWatcher:
         return tuple(stamps)
 
     def changed(self) -> bool:
+        return bool(self.changed_paths())
+
+    def changed_paths(self) -> tuple[Path, ...]:
+        """The watched paths whose fingerprints moved since the last
+        poll (every path on the first call). Remembers the new
+        fingerprint, like :meth:`changed`."""
         current = self.fingerprint()
-        if current != self._fingerprint:
+        if self._fingerprint is None:
             self._fingerprint = current
-            return True
-        return False
+            return tuple(self.paths)
+        previous = self._fingerprint
+        self._fingerprint = current
+        return tuple(
+            path
+            for path, before, after in zip(self.paths, previous, current)
+            if before != after
+        )
 
 
 @dataclass(frozen=True)
@@ -143,6 +155,8 @@ class _ServeState:
 
     runs_completed: int = 0
     runs_failed: int = 0
+    incremental_hits: int = 0
+    incremental_misses: int = 0
     last_error: Optional[str] = None
     last_run_timestamp: Optional[float] = None
     last_run_wall_seconds: Optional[float] = None
@@ -163,6 +177,16 @@ class ServeDaemon:
     previous pipeline and is surfaced on ``/healthz``). ``interval``
     re-runs on a cadence even without changes; with neither watch paths
     nor an interval the daemon evaluates once and then only serves.
+
+    With ``incremental`` enabled (the default), spec edits touching only
+    ``incremental_safe_paths`` — the architecture description, whose
+    edits a :class:`~repro.core.incremental.DependencyTracker` can
+    invalidate soundly — are re-evaluated through
+    :func:`~repro.core.incremental.reevaluate`: only scenarios whose
+    recorded dependencies the edit dirties are re-walked. Any other
+    change (scenarios, mapping, parse errors, a missing tracker) falls
+    back to a full evaluation; hits and misses are exposed as the
+    ``serve.incremental_hit`` / ``serve.incremental_miss`` metrics.
     """
 
     def __init__(
@@ -178,6 +202,8 @@ class ServeDaemon:
         port: int = 0,
         sse_keepalive: float = 1.0,
         clock: Callable[[], float] = time.monotonic,
+        incremental: bool = True,
+        incremental_safe_paths: Sequence[Union[str, Path]] = (),
     ) -> None:
         if interval is not None and interval <= 0:
             raise ReproError(f"interval must be positive, got {interval}")
@@ -197,6 +223,11 @@ class ServeDaemon:
             metrics_source=self.metrics.to_dict,
         )
         self.engine = AlertEngine(tuple(rules))
+        self.incremental = incremental
+        self._incremental_safe = frozenset(
+            str(Path(path)) for path in incremental_safe_paths
+        )
+        self._tracker = None
         self._sosae = None
         self._git_sha: Optional[str] = None
         self._last_report = None
@@ -212,15 +243,29 @@ class ServeDaemon:
     # Evaluation loop
     # ------------------------------------------------------------------
 
-    def run_once(self, rebuild: bool = False) -> RunOutcome:
-        """Run one evaluation, record it, and evaluate the alert rules."""
+    def run_once(
+        self,
+        rebuild: bool = False,
+        changed_paths: Sequence[Union[str, Path]] = (),
+    ) -> RunOutcome:
+        """Run one evaluation, record it, and evaluate the alert rules.
+
+        ``changed_paths`` names the watched files whose change triggered
+        a ``rebuild``; when every one of them is incremental-safe and a
+        dependency tracker from the previous run is available, the run
+        goes through the incremental re-evaluation path instead of a
+        full pipeline (with automatic full-evaluation fallback).
+        """
         from repro.core.report_io import report_to_json  # core imports obs
 
         started_wall = time.time()
         started = time.perf_counter()
+        used_incremental = False
         with use_events(self.bus):
             try:
+                previous_sosae = None
                 if self._sosae is None or rebuild:
+                    previous_sosae = self._sosae
                     self._sosae = self.build_sosae()
                     # One `git rev-parse` per (re)build, not per run: a
                     # subprocess every interval tick would dwarf a small
@@ -231,7 +276,9 @@ class ServeDaemon:
                     spans=SpanRecorder(), metrics=self.metrics
                 )
                 with use(recorder):
-                    report = self._sosae.evaluate()
+                    report, used_incremental = self._produce_report(
+                        previous_sosae, changed_paths, recorder
+                    )
                     # The digest is O(report); between interval runs of
                     # an unchanged spec the report is identical, so an
                     # equality check replaces a re-canonicalization.
@@ -241,6 +288,7 @@ class ServeDaemon:
                     ):
                         self._last_digest = _report_digest(report)
                     self._last_report = report
+                    self._refresh_tracker(report)
                     record = (
                         self.registry.record(
                             self.label,
@@ -273,6 +321,7 @@ class ServeDaemon:
                         len(report.failed_scenarios)
                     ),
                     "report.wall_seconds": wall,
+                    "serve.incremental_hit": 1.0 if used_incremental else 0.0,
                 },
             )
             history = self.registry.load() if self.registry is not None else ()
@@ -282,6 +331,10 @@ class ServeDaemon:
         with self._lock:
             state = self._state
             state.runs_completed += 1
+            if used_incremental:
+                state.incremental_hits += 1
+            elif rebuild and self.incremental and previous_sosae is not None:
+                state.incremental_misses += 1
             state.last_error = None
             state.last_run_timestamp = started_wall
             state.last_run_wall_seconds = wall
@@ -310,6 +363,86 @@ class ServeDaemon:
             resolved=resolved,
         )
 
+    def _produce_report(
+        self,
+        previous_sosae,
+        changed_paths: Sequence[Union[str, Path]],
+        recorder: Recorder,
+    ):
+        """The new report, through the incremental path when the change
+        is provably architecture-only; returns ``(report, hit)``."""
+        if self._incremental_eligible(previous_sosae, changed_paths):
+            # Imported lazily, like report_io above: core imports obs.
+            from repro.core.incremental import reevaluate
+
+            try:
+                with recorder.span(
+                    "evaluate.incremental",
+                    scenarios=len(self._sosae.scenario_set.scenarios),
+                ):
+                    result = reevaluate(
+                        self._last_report,
+                        self._sosae.scenario_set,
+                        previous_sosae.architecture,
+                        self._sosae.architecture,
+                        self._sosae.mapping,
+                        options=self._sosae.walkthrough_options,
+                        tracker=self._tracker,
+                        constraints=tuple(self._sosae.constraints),
+                    )
+            except ReproError as error:
+                _LOG.info(
+                    "incremental re-evaluation unavailable (%s); "
+                    "falling back to a full evaluation",
+                    error,
+                )
+            else:
+                _LOG.info(
+                    "incremental re-evaluation: re-walked %d scenario(s), "
+                    "carried %d",
+                    len(result.rewalked),
+                    len(result.carried_over),
+                )
+                return result.report, True
+        return self._sosae.evaluate(), False
+
+    def _incremental_eligible(
+        self,
+        previous_sosae,
+        changed_paths: Sequence[Union[str, Path]],
+    ) -> bool:
+        return (
+            self.incremental
+            and previous_sosae is not None
+            and self._last_report is not None
+            and self._tracker is not None
+            and self._tracker.architecture is previous_sosae.architecture
+            and bool(changed_paths)
+            and bool(self._incremental_safe)
+            and all(
+                str(Path(path)) in self._incremental_safe
+                for path in changed_paths
+            )
+        )
+
+    def _refresh_tracker(self, report) -> None:
+        """Record the dependency tracker for the next spec edit — one
+        O(report) pass, off the re-evaluation hot path."""
+        if not self.incremental:
+            return
+        from repro.core.incremental import DependencyTracker
+
+        try:
+            self._tracker = DependencyTracker.from_report(
+                report,
+                self._sosae.architecture,
+                self._sosae.mapping,
+                self._sosae.walkthrough_options,
+            )
+        except ReproError as error:
+            self._tracker = None
+            _LOG.warning("dependency tracking disabled for this run: %s", error)
+
     def serve_loop(
         self,
         poll: float = 1.0,
@@ -325,7 +458,10 @@ class ServeDaemon:
         runs = 0
         while not self._stop.is_set():
             now = self._clock()
-            rebuild = bool(self.watcher.paths) and self.watcher.changed()
+            changed = (
+                self.watcher.changed_paths() if self.watcher.paths else ()
+            )
+            rebuild = bool(changed)
             due = last_run is None or rebuild
             if (
                 self.interval is not None
@@ -334,7 +470,7 @@ class ServeDaemon:
             ):
                 due = True
             if due:
-                self.run_once(rebuild=rebuild)
+                self.run_once(rebuild=rebuild, changed_paths=changed)
                 last_run = self._clock()
                 runs += 1
                 if max_runs is not None and runs >= max_runs:
@@ -412,6 +548,20 @@ class ServeDaemon:
                     help="Evaluations that failed (spec parse/build errors).",
                 ),
                 PromSample(
+                    "serve.incremental_hit",
+                    state.incremental_hits,
+                    type="counter",
+                    help="Rebuilds served through the incremental "
+                    "re-evaluation path.",
+                ),
+                PromSample(
+                    "serve.incremental_miss",
+                    state.incremental_misses,
+                    type="counter",
+                    help="Rebuilds that fell back to a full evaluation "
+                    "despite incremental mode.",
+                ),
+                PromSample(
                     "serve.up",
                     1,
                     help="Always 1 while the daemon answers scrapes.",
@@ -482,6 +632,8 @@ class ServeDaemon:
                 "uptime_seconds": time.time() - self._started_at,
                 "runs_completed": state.runs_completed,
                 "runs_failed": state.runs_failed,
+                "incremental_hits": state.incremental_hits,
+                "incremental_misses": state.incremental_misses,
                 "last_error": state.last_error,
             }
 

@@ -2,14 +2,23 @@
 
 from __future__ import annotations
 
+import random
+
+import pytest
+
 from repro.adl.diff import diff_architectures
+from repro.core.constraints import MustNotCommunicate, RequiresPath
 from repro.core.evaluator import Sosae
 from repro.core.incremental import (
+    CARRIED_OVER_NOTE,
+    DependencyTracker,
+    StaleTrackerError,
     impacted_scenario_names,
     reevaluate,
 )
 from repro.core.mapping import Mapping
 from repro.core.walkthrough import WalkthroughEngine
+from repro.systems.generators import SyntheticSpec, build_synthetic
 from repro.systems.pims import GET_SHARE_PRICES
 
 
@@ -88,9 +97,7 @@ class TestReevaluate:
             options=pims.options,
         )
         # Incremental verdicts agree with a from-scratch evaluation.
-        full_mapping = Mapping.from_dict(
-            pims.mapping.to_dict(), pims.ontology, evolved
-        )
+        full_mapping = pims.mapping.rebind(evolved)
         engine = WalkthroughEngine(evolved, full_mapping, pims.options)
         full = {v.scenario: v.passed for v in engine.walk_all(pims.scenarios)}
         incremental = {
@@ -178,3 +185,319 @@ class TestReevaluate:
         verdict = result.report.verdict("forbidden")
         assert verdict.negative
         assert not verdict.passed  # still admitted -> still flagged
+
+
+class TestDependencyTracker:
+    def test_excision_dirty_set_is_exact(self, pims):
+        previous = Sosae(
+            pims.scenarios,
+            pims.architecture,
+            pims.mapping,
+            walkthrough_options=pims.options,
+        ).evaluate()
+        tracker = DependencyTracker.from_report(
+            previous, pims.architecture, pims.mapping, pims.options
+        )
+        diff = diff_architectures(
+            pims.architecture, pims.excised_architecture()
+        )
+        dirty = tracker.dirty_scenarios(diff)
+        # Only the scenario family whose witness paths crossed the
+        # excised adjacency is dirtied — no widening to neighbors.
+        assert GET_SHARE_PRICES in dirty
+        assert all(name.startswith(GET_SHARE_PRICES) for name in dirty)
+
+    def test_noop_diff_dirties_nothing(self, pims):
+        previous = Sosae(
+            pims.scenarios,
+            pims.architecture,
+            pims.mapping,
+            walkthrough_options=pims.options,
+        ).evaluate()
+        tracker = DependencyTracker.from_report(
+            previous, pims.architecture, pims.mapping, pims.options
+        )
+        diff = diff_architectures(
+            pims.architecture, pims.architecture.clone("same")
+        )
+        assert tracker.dirty_scenarios(diff, pims.mapping) == frozenset()
+
+    def test_mapping_edit_dirties_consulted_scenarios_only(
+        self, small_scenarios, small_ontology, chain_architecture, chain_mapping
+    ):
+        previous = Sosae(
+            small_scenarios, chain_architecture, chain_mapping
+        ).evaluate()
+        tracker = DependencyTracker.from_report(
+            previous, chain_architecture, chain_mapping
+        )
+        edited = Mapping(small_ontology, chain_architecture)
+        edited.map_event("create", "logic", "store")
+        edited.map_event("destroy", "logic")  # retargeted
+        edited.map_event("notify", "ui")
+        assert tracker.changed_event_types(edited) == {"destroy"}
+        diff = diff_architectures(
+            chain_architecture, chain_architecture.clone("same")
+        )
+        # Only drop-widget resolves through 'destroy'.
+        assert tracker.dirty_scenarios(diff, edited) == {"drop-widget"}
+
+    def test_stale_tracker_raises(
+        self, small_scenarios, chain_architecture, chain_mapping
+    ):
+        previous = Sosae(
+            small_scenarios, chain_architecture, chain_mapping
+        ).evaluate()
+        other = chain_architecture.clone("other")
+        tracker = DependencyTracker.from_report(
+            previous, other, chain_mapping.rebind(other)
+        )
+        with pytest.raises(StaleTrackerError):
+            reevaluate(
+                previous,
+                small_scenarios,
+                chain_architecture,
+                chain_architecture.clone("v2"),
+                chain_mapping,
+                tracker=tracker,
+            )
+
+    def test_tracker_parity_on_pims_excision(self, pims):
+        previous = Sosae(
+            pims.scenarios,
+            pims.architecture,
+            pims.mapping,
+            constraints=pims.constraints,
+            walkthrough_options=pims.options,
+        ).evaluate()
+        tracker = DependencyTracker.from_report(
+            previous, pims.architecture, pims.mapping, pims.options
+        )
+        evolved = pims.excised_architecture()
+        result = reevaluate(
+            previous,
+            pims.scenarios,
+            pims.architecture,
+            evolved,
+            pims.mapping,
+            options=pims.options,
+            tracker=tracker,
+            constraints=pims.constraints,
+        )
+        full = Sosae(
+            pims.scenarios,
+            pims.excised_architecture(),
+            pims.mapping,
+            constraints=pims.constraints,
+            walkthrough_options=pims.options,
+        ).evaluate()
+        assert result.used_tracker
+        assert {
+            v.scenario: (v.passed, v.blocked)
+            for v in result.report.scenario_verdicts
+        } == {
+            v.scenario: (v.passed, v.blocked) for v in full.scenario_verdicts
+        }
+        assert sorted(f.finding_id for f in result.report.findings) == sorted(
+            f.finding_id for f in full.findings
+        )
+        assert result.report.consistent == full.consistent
+
+
+class TestFindingsRefresh:
+    def test_carried_findings_get_a_provenance_note(
+        self, small_scenarios, chain_architecture, chain_mapping
+    ):
+        # ui reaches store through the chain, so this constraint is
+        # violated in the *previous* report already.
+        constraints = (MustNotCommunicate("ui", "store"),)
+        previous = Sosae(
+            small_scenarios,
+            chain_architecture,
+            chain_mapping,
+            constraints=constraints,
+        ).evaluate()
+        assert any(
+            "MustNotCommunicate" in f.message for f in previous.findings
+        )
+        result = reevaluate(
+            previous,
+            small_scenarios,
+            chain_architecture,
+            chain_architecture.clone("same"),
+            chain_mapping,
+            constraints=constraints,
+        )
+        # A no-op diff cannot change the constraint verdict: the finding
+        # is carried, and says so in its provenance.
+        assert "constraints" in result.carried_stages
+        carried = [
+            f for f in result.report.findings if "MustNotCommunicate" in f.message
+        ]
+        assert carried
+        assert all(
+            CARRIED_OVER_NOTE in f.provenance.notes for f in carried
+        )
+
+    def test_dirty_constraint_findings_are_recomputed(
+        self, small_scenarios, chain_architecture, chain_mapping
+    ):
+        constraints = (RequiresPath("ui", "store"),)
+        previous = Sosae(
+            small_scenarios,
+            chain_architecture,
+            chain_mapping,
+            constraints=constraints,
+        ).evaluate()
+        assert not any(
+            f.kind.name == "CONSTRAINT_VIOLATION" for f in previous.findings
+        )
+        evolved = chain_architecture.clone("evolved")
+        evolved.excise_links_between("logic", "logic-store")
+        result = reevaluate(
+            previous,
+            small_scenarios,
+            chain_architecture,
+            evolved,
+            chain_mapping,
+            constraints=constraints,
+        )
+        # The excision breaks ui -> store, and the constraint's endpoints
+        # lie inside the affected region, so the stage is recomputed and
+        # the new violation appears without a carried-over note.
+        assert "constraints" in result.recomputed_stages
+        violations = [
+            f for f in result.report.findings if "RequiresPath" in f.message
+        ]
+        assert violations
+        assert all(
+            f.provenance is None or CARRIED_OVER_NOTE not in f.provenance.notes
+            for f in violations
+        )
+
+
+def _mutate(system, kind: str, rng: random.Random):
+    """One random single edit; returns (new_architecture, new_mapping)."""
+    architecture = system.architecture.clone(f"evolved-{kind}")
+    mapping = system.mapping
+    if kind == "link-remove":
+        link = rng.choice(architecture.links)
+        architecture.remove_link(link.name)
+    elif kind == "link-add":
+        first, second = rng.sample(
+            [c.name for c in architecture.components], 2
+        )
+        architecture.link((first, "extra-out"), (second, "extra-in"))
+    elif kind == "component-excision":
+        component = rng.choice(architecture.components)
+        architecture.excise_links_between(component.name, "bus")
+    elif kind == "mapping-change":
+        mapping = Mapping(system.ontology, system.architecture)
+        entries = system.mapping.entries
+        retarget = rng.choice(sorted(entries))
+        for name, components in entries.items():
+            if name == retarget:
+                components = tuple(
+                    rng.sample(
+                        [c.name for c in system.architecture.components],
+                        len(components),
+                    )
+                )
+            mapping.map_event(name, *components)
+    else:  # pragma: no cover - guard against typos in the param list
+        raise AssertionError(kind)
+    return architecture, mapping
+
+
+class TestTrackerParityProperties:
+    """Seeded synthetic systems x random single edits: the tracker path
+    must reproduce the from-scratch pipeline's verdicts exactly."""
+
+    EDITS = ("link-remove", "link-add", "component-excision", "mapping-change")
+
+    @pytest.mark.parametrize("seed", range(5))
+    @pytest.mark.parametrize("edit", EDITS)
+    def test_single_edit_parity(self, seed, edit):
+        system = build_synthetic(SyntheticSpec(seed=seed, scenarios=8))
+        previous = Sosae(
+            system.scenarios, system.architecture, system.mapping
+        ).evaluate()
+        tracker = DependencyTracker.from_report(
+            previous, system.architecture, system.mapping
+        )
+        rng = random.Random(seed * 1000 + hash(edit) % 997)
+        evolved, mapping = _mutate(system, edit, rng)
+        result = reevaluate(
+            previous,
+            system.scenarios,
+            system.architecture,
+            evolved,
+            mapping,
+            tracker=tracker,
+        )
+        full = Sosae(
+            system.scenarios, evolved, mapping.rebind(evolved)
+        ).evaluate()
+        assert result.used_tracker
+        assert {
+            v.scenario: (v.passed, v.blocked)
+            for v in result.report.scenario_verdicts
+        } == {
+            v.scenario: (v.passed, v.blocked) for v in full.scenario_verdicts
+        }
+        assert result.report.consistent == full.consistent
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_noop_diff_carries_everything(self, seed):
+        system = build_synthetic(SyntheticSpec(seed=seed, scenarios=8))
+        previous = Sosae(
+            system.scenarios, system.architecture, system.mapping
+        ).evaluate()
+        tracker = DependencyTracker.from_report(
+            previous, system.architecture, system.mapping
+        )
+        result = reevaluate(
+            previous,
+            system.scenarios,
+            system.architecture,
+            system.architecture.clone("same"),
+            system.mapping,
+            tracker=tracker,
+        )
+        assert result.rewalked == ()
+        assert result.savings == 1.0
+        assert result.report.consistent == previous.consistent
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_everything_changed_still_matches(self, seed):
+        system = build_synthetic(SyntheticSpec(seed=seed, scenarios=8))
+        previous = Sosae(
+            system.scenarios, system.architecture, system.mapping
+        ).evaluate()
+        tracker = DependencyTracker.from_report(
+            previous, system.architecture, system.mapping
+        )
+        evolved = system.architecture.clone("gutted")
+        for component in evolved.components:
+            evolved.excise_links_between(component.name, "bus")
+        result = reevaluate(
+            previous,
+            system.scenarios,
+            system.architecture,
+            evolved,
+            system.mapping,
+            tracker=tracker,
+        )
+        full = Sosae(
+            system.scenarios, evolved, system.mapping.rebind(evolved)
+        ).evaluate()
+        assert {
+            v.scenario: (v.passed, v.blocked)
+            for v in result.report.scenario_verdicts
+        } == {
+            v.scenario: (v.passed, v.blocked) for v in full.scenario_verdicts
+        }
+        # Disconnecting every component dirties every scenario.
+        assert set(result.rewalked) == {
+            s.name for s in system.scenarios
+        }

@@ -54,6 +54,17 @@ class TestSpecWatcher:
         spec.unlink()
         assert watcher.changed() is True
 
+    def test_changed_paths_names_the_edited_files(self, tmp_path):
+        first = tmp_path / "a.xml"
+        second = tmp_path / "b.xml"
+        first.write_text("v1")
+        second.write_text("v1")
+        watcher = SpecWatcher([first, second])
+        assert set(watcher.changed_paths()) == {first, second}
+        assert watcher.changed_paths() == ()
+        second.write_text("v2 is longer")
+        assert watcher.changed_paths() == (second,)
+
 
 @pytest.fixture
 def build(small_scenarios, chain_architecture, chain_mapping):
@@ -192,6 +203,95 @@ class TestServeLoop:
         daemon.stop()  # returns immediately after the stop flag check
         daemon.serve_loop(poll=0.001)
         assert daemon.health()["runs_completed"] == 0
+
+
+class TestIncrementalServe:
+    @pytest.fixture
+    def versioned_build(self, small_scenarios, chain_architecture, chain_mapping):
+        """A builder over mutable architecture state, so a 'spec edit'
+        is simulated by swapping the architecture between rebuilds."""
+        state = {"architecture": chain_architecture}
+
+        def build():
+            architecture = state["architecture"]
+            return Sosae(
+                small_scenarios,
+                architecture,
+                chain_mapping.rebind(architecture),
+            )
+
+        return state, build
+
+    def test_architecture_edit_takes_the_incremental_path(
+        self, tmp_path, versioned_build, chain_architecture
+    ):
+        arch_path = tmp_path / "architecture.xml"
+        state, build = versioned_build
+        daemon = ServeDaemon(build, incremental_safe_paths=(arch_path,))
+        first = daemon.run_once()  # cold build: neither hit nor miss
+        state["architecture"] = chain_architecture.clone("v2")
+        second = daemon.run_once(rebuild=True, changed_paths=(arch_path,))
+        assert first.ok and second.ok
+        assert second.consistent == first.consistent
+        health = daemon.health()
+        assert health["incremental_hits"] == 1
+        assert health["incremental_misses"] == 0
+        text = daemon.render_metrics()
+        assert "sosae_serve_incremental_hit_total 1" in text
+        assert "sosae_serve_incremental_miss_total 0" in text
+        assert (
+            'sosae_serve_stage_wall_seconds{stage="evaluate.incremental"}'
+            in text
+        )
+
+    def test_unsafe_path_edit_falls_back_to_full(
+        self, tmp_path, versioned_build, chain_architecture
+    ):
+        arch_path = tmp_path / "architecture.xml"
+        scenario_path = tmp_path / "scenarios.xml"
+        state, build = versioned_build
+        daemon = ServeDaemon(build, incremental_safe_paths=(arch_path,))
+        daemon.run_once()
+        state["architecture"] = chain_architecture.clone("v2")
+        outcome = daemon.run_once(
+            rebuild=True, changed_paths=(scenario_path,)
+        )
+        assert outcome.ok
+        health = daemon.health()
+        assert health["incremental_hits"] == 0
+        assert health["incremental_misses"] == 1
+
+    def test_full_eval_mode_never_goes_incremental(
+        self, tmp_path, versioned_build, chain_architecture
+    ):
+        arch_path = tmp_path / "architecture.xml"
+        state, build = versioned_build
+        daemon = ServeDaemon(
+            build, incremental=False, incremental_safe_paths=(arch_path,)
+        )
+        daemon.run_once()
+        state["architecture"] = chain_architecture.clone("v2")
+        daemon.run_once(rebuild=True, changed_paths=(arch_path,))
+        health = daemon.health()
+        assert health["incremental_hits"] == 0
+        assert health["incremental_misses"] == 0
+
+    def test_watched_edit_routes_through_the_loop(
+        self, tmp_path, versioned_build, chain_architecture
+    ):
+        arch_path = tmp_path / "architecture.xml"
+        arch_path.write_text("v1")
+        state, build = versioned_build
+        daemon = ServeDaemon(
+            build,
+            watch_paths=(arch_path,),
+            incremental_safe_paths=(arch_path,),
+        )
+        daemon.serve_loop(poll=0.001, max_runs=1)
+        state["architecture"] = chain_architecture.clone("v2")
+        arch_path.write_text("v2 with a longer body")
+        daemon.serve_loop(poll=0.001, max_runs=1)
+        assert daemon.health()["incremental_hits"] == 1
 
 
 @pytest.fixture
