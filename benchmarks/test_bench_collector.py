@@ -1,0 +1,148 @@
+"""Collector-merge overhead guard: merging must not eat the speedup.
+
+The sharded evaluator pays the telemetry collector once per evaluation:
+every worker partial is ingested as it arrives and the full set is
+merged — spans re-anchored and stitched, metric registries folded,
+event streams interleaved — into one recorder-compatible view. If that
+merge cost grew with the span volume faster than the walkthrough itself,
+sharding would buy wall-clock on the scenario walk and hand it back in
+the parent.
+
+This benchmark runs the standard synthetic workload (the same
+``SyntheticSpec`` the comm-index, null-recorder, and serve benchmarks
+treat as "the warm path") through a real multi-worker
+:class:`~repro.shard.BatchEvaluator`, then replays the exact worker
+partials that evaluation produces through a fresh
+:class:`~repro.obs.collector.TelemetryCollector` — ingest plus merge,
+the collector's whole job — and asserts the merge costs less than 5%
+of the warm multi-worker evaluation it rides on.
+
+The partials are produced by calling the worker entry points
+(:func:`~repro.shard.worker.init_worker` / ``run_shard``) in-process:
+identical payloads to what the pool ships back, with no process-spawn
+noise in the numerator.
+"""
+
+from __future__ import annotations
+
+import time
+
+from _timing import timed
+
+from repro.core.evaluator import Sosae
+from repro.obs import Recorder, TelemetryCollector, use
+from repro.obs.context import TraceContext, new_trace_id
+from repro.shard import BatchEvaluator
+from repro.shard.batch import plan_shards
+from repro.shard.worker import ShardTask, init_worker, run_shard
+from repro.adl.index import structural_fingerprint
+from repro.adl.xadl import to_xadl_xml
+from repro.scenarioml.xml_io import to_scenarioml_xml
+from repro.systems.generators import SyntheticSpec, build_synthetic
+
+# Same workload as benchmarks/test_bench_comm_index.py and
+# test_bench_serve_overhead.py, so "warm path" means the same thing.
+SPEC = SyntheticSpec(
+    event_types=60,
+    components=120,
+    scenarios=100,
+    events_per_scenario=10,
+    reuse=1.0,
+    components_per_event_type=3,
+    seed=11,
+)
+
+WORKERS = 4
+MAX_MERGE_FRACTION = 0.05
+
+
+def _warm_multiworker_seconds(batch, sosae, repeats=3):
+    with use(Recorder()):
+        batch.evaluate(sosae)  # warm every parent-side cache first
+    start = time.perf_counter()
+    for _ in range(repeats):
+        with use(Recorder()):
+            batch.evaluate(sosae)
+    return (time.perf_counter() - start) / repeats
+
+
+def _worker_partials(sosae):
+    """The exact partial payloads a ``WORKERS``-wide pool would ship
+    back, produced by the worker entry points in this process."""
+    spec = {
+        "fingerprint": structural_fingerprint(sosae.architecture),
+        "scenarioml": to_scenarioml_xml(sosae.scenario_set),
+        "xadl": to_xadl_xml(sosae.architecture),
+        "mapping": sosae.mapping.to_json(),
+        "options": sosae.walkthrough_options,
+    }
+    init_worker(spec)
+    trace_id = new_trace_id()
+    selected = tuple(s.name for s in sosae.scenario_set.scenarios)
+    partials = []
+    for shard, chunk in enumerate(plan_shards(selected, WORKERS), start=1):
+        task = ShardTask(
+            shard=shard,
+            scenarios=chunk,
+            context=TraceContext(trace_id=trace_id, shard=shard),
+        )
+        partials.append(run_shard(task)["partial"])
+    return partials
+
+
+def _merge_seconds(partials, repeats=30):
+    """Ingest + merge of the full partial set — the collector work the
+    sharded evaluate adds on top of the walkthrough itself."""
+    merged = None
+    start = time.perf_counter()
+    for _ in range(repeats):
+        collector = TelemetryCollector()
+        for partial in partials:
+            collector.ingest(partial)
+        merged = collector.merge()
+    seconds = (time.perf_counter() - start) / repeats
+    assert merged is not None
+    assert {summary.shard for summary in merged.shards} == set(
+        range(1, WORKERS + 1)
+    )
+    assert len(merged.roots) == WORKERS
+    return seconds
+
+
+def test_bench_collector_merge_overhead(benchmark):
+    system = build_synthetic(SPEC)
+    sosae = Sosae(system.scenarios, system.architecture, system.mapping)
+    batch = BatchEvaluator(workers=WORKERS)
+
+    def measure():
+        with timed(
+            "collector.warm_multiworker_evaluate",
+            scenarios=SPEC.scenarios,
+            workers=WORKERS,
+        ) as warm:
+            with use(Recorder()):
+                batch.evaluate(sosae)
+        del warm
+        warm_seconds = _warm_multiworker_seconds(batch, sosae)
+        partials = _worker_partials(sosae)
+        merge_seconds = _merge_seconds(partials)
+        return warm_seconds, merge_seconds, partials
+
+    warm_seconds, merge_seconds, partials = benchmark.pedantic(
+        measure, rounds=1, iterations=1
+    )
+    fraction = merge_seconds / warm_seconds
+    spans = sum(p["spans_jsonl"].count("\n") + 1 for p in partials)
+
+    print()
+    print("=== collector merge vs. warm multi-worker evaluation ===")
+    print(
+        f"synthetic ({SPEC.scenarios} scenarios, {WORKERS} workers, "
+        f"~{spans} spans): warm evaluate {warm_seconds * 1e3:.2f} ms, "
+        f"ingest+merge {merge_seconds * 1e3:.2f} ms ({fraction:.2%})"
+    )
+
+    assert fraction < MAX_MERGE_FRACTION, (
+        f"collector merge costs {fraction:.2%} of a warm multi-worker "
+        f"evaluation (allowed {MAX_MERGE_FRACTION:.0%})"
+    )

@@ -84,6 +84,7 @@ from repro.obs import (
     Recorder,
     RunRegistry,
     ServeDaemon,
+    attribute_runs,
     build_dashboard,
     chrome_trace_json,
     configure_logging,
@@ -102,6 +103,7 @@ from repro.obs import (
 )
 from repro.obs.events import event_from_dict, event_severity
 from repro.scenarioml.lint import lint_scenario_set
+from repro.shard import BatchEvaluator
 from repro.scenarioml.owl import to_owl_xml
 from repro.scenarioml.xml_io import parse_scenarioml, to_scenarioml_xml
 from repro.sim.network import ChannelPolicy
@@ -158,6 +160,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="compare against a previously saved report; exit 1 on "
         "regressions even if the current report is otherwise consistent",
     )
+    evaluate.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="shard the walkthrough stage across N worker processes "
+        "(BatchEvaluator; default: 1 = in-process). Telemetry from all "
+        "workers is merged into one trace/metrics/event view.",
+    )
     _add_observability_arguments(evaluate)
 
     demo = subparsers.add_parser("demo", help="run a built-in case study")
@@ -180,6 +188,11 @@ def build_parser() -> argparse.ArgumentParser:
     demo.add_argument(
         "--save-report", type=Path, default=None,
         help="write the evaluation report as JSON to this path",
+    )
+    demo.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="shard the walkthrough stage across N worker processes "
+        "(static pipeline only; incompatible with --dynamic)",
     )
     _add_observability_arguments(demo)
 
@@ -303,6 +316,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="also flag stage wall-time (and timing-metric) increases "
         "beyond this relative threshold; off by default because wall "
         "times jitter between machines",
+    )
+    runs_attr = runs_sub.add_parser(
+        "attribute",
+        help="rank which scenarios/stages regressed between two runs",
+        description="Per-scenario cost attribution between two recorded "
+        "runs: scenarios ranked by wall-time regression (biggest "
+        "first), each with the work-unit counter (walk steps, index "
+        "queries, BFS expansions) whose movement best explains the "
+        "delta, followed by the per-stage wall breakdown.",
+    )
+    runs_attr.add_argument(
+        "before", help="run id, or the alias 'latest' / 'previous'"
+    )
+    runs_attr.add_argument(
+        "after", help="run id, or the alias 'latest' / 'previous'"
+    )
+    runs_attr.add_argument(
+        "--runs-dir", type=Path, default=Path(DEFAULT_RUNS_DIR),
+        help="registry directory (default: %(default)s)",
+    )
+    runs_attr.add_argument(
+        "--top", type=int, default=None, metavar="N",
+        help="show only the N most-regressed scenarios/stages",
     )
 
     tail = subparsers.add_parser(
@@ -488,6 +524,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--full-eval", action="store_true",
         help="always run the full pipeline on spec changes instead of "
         "the incremental re-evaluation path",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="shard full evaluations across N worker processes "
+        "(per-shard serve.shard.* gauges appear on /metrics; "
+        "default: 1 = in-process)",
     )
     bench_gate = subparsers.add_parser(
         "bench-gate",
@@ -682,7 +724,10 @@ def _run_evaluate(args: argparse.Namespace) -> int:
         args.scenarios, args.architecture, args.mapping, args.acme
     )
     with _observed(args) as recorder:
-        report = sosae.evaluate()
+        if args.workers > 1:
+            report = BatchEvaluator(workers=args.workers).evaluate(sosae)
+        else:
+            report = sosae.evaluate()
         # Recording happens while the event bus (if any) is still live,
         # so the run-recorded event reaches the stream before it closes.
         _record_run(
@@ -775,13 +820,21 @@ def _run_demo(args: argparse.Namespace) -> int:
         runtime_config=demo.runtime_config,
     )
     include_dynamic = args.dynamic and demo.bindings is not None
-    with _observed(args) as recorder:
-        report = sosae.evaluate(
-            include_dynamic=include_dynamic,
-            dynamic_scenarios=(
-                demo.dynamic_scenarios if include_dynamic else None
-            ),
+    if args.workers > 1 and include_dynamic:
+        raise ReproError(
+            "--workers shards the static pipeline only; drop --dynamic "
+            "(scenario bindings cannot cross a process boundary)"
         )
+    with _observed(args) as recorder:
+        if args.workers > 1:
+            report = BatchEvaluator(workers=args.workers).evaluate(sosae)
+        else:
+            report = sosae.evaluate(
+                include_dynamic=include_dynamic,
+                dynamic_scenarios=(
+                    demo.dynamic_scenarios if include_dynamic else None
+                ),
+            )
         _record_run(
             args, f"demo-{args.system}-{args.variant}", report, recorder
         )
@@ -895,6 +948,12 @@ def _run_runs(args: argparse.Namespace) -> int:
     if args.runs_command == "list":
         print(registry.render_list())
         return 0
+    if args.runs_command == "attribute":
+        attribution = attribute_runs(
+            registry.get(args.before), registry.get(args.after)
+        )
+        print(attribution.render(limit=args.top))
+        return 0
     diff = diff_runs(
         registry.get(args.before),
         registry.get(args.after),
@@ -930,15 +989,41 @@ def _follow_lines(
     """Complete JSONL lines of ``path`` as they are appended, polling
     every ``poll`` seconds; a partial final line stays buffered until
     its newline arrives. Never returns on its own unless ``max_lines``
-    is given — the caller stops it (Ctrl-C)."""
-    while not path.exists():
-        time.sleep(poll)
+    is given — the caller stops it (Ctrl-C).
+
+    Truncation and rotation are detected: when the file's inode changes
+    (a writer replaced it) or its size shrinks below the read offset (a
+    writer truncated it — per-worker telemetry partials are rewritten
+    between runs), the stale handle is dropped and the new file is read
+    from the start instead of waiting forever at the old offset.
+    """
     yielded = 0
-    with path.open("r", encoding="utf-8") as handle:
-        buffer = ""
+    buffer = ""
+    handle = None
+    try:
         while max_lines is None or yielded < max_lines:
+            if handle is None:
+                try:
+                    handle = path.open("r", encoding="utf-8")
+                    opened_inode = os.fstat(handle.fileno()).st_ino
+                    buffer = ""
+                except OSError:
+                    time.sleep(poll)
+                    continue
             chunk = handle.read()
             if not chunk:
+                try:
+                    stat = path.stat()
+                    rotated = stat.st_ino != opened_inode
+                    truncated = stat.st_size < handle.tell()
+                except OSError:
+                    # Deleted out from under us: treat as rotation and
+                    # wait for the path to reappear.
+                    rotated, truncated = True, False
+                if rotated or truncated:
+                    handle.close()
+                    handle = None
+                    continue
                 time.sleep(poll)
                 continue
             buffer += chunk
@@ -949,6 +1034,9 @@ def _follow_lines(
                     yielded += 1
                     if max_lines is not None and yielded >= max_lines:
                         return
+    finally:
+        if handle is not None:
+            handle.close()
 
 
 def _tail_follow(args: argparse.Namespace, colored: bool) -> int:
@@ -1102,6 +1190,7 @@ def _run_serve(args: argparse.Namespace) -> int:
         port=args.port,
         incremental=not args.full_eval,
         incremental_safe_paths=incremental_safe,
+        workers=args.workers,
     )
     sink = None
     if args.events is not None:

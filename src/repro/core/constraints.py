@@ -22,6 +22,7 @@ from repro.adl.structure import Architecture
 from repro.core.consistency import Inconsistency, InconsistencyKind
 from repro.errors import EvaluationError
 from repro.obs.provenance import IndexQuery, Provenance
+from repro.obs.recorder import current_recorder
 
 
 class Constraint:
@@ -262,7 +263,13 @@ def check_constraints(
     architecture: Architecture, constraints: list[Constraint]
 ) -> list[Inconsistency]:
     """Check every constraint; return all violations."""
+    recorder = current_recorder()
     findings: list[Inconsistency] = []
     for constraint in constraints:
         findings.extend(constraint.check(architecture))
+    if recorder.enabled:
+        recorder.counter("constraints.checks").inc(len(constraints))
+        # Attribution attribute on the enclosing evaluate.constraints
+        # span, mirroring the per-scenario cost.* walkthrough attributes.
+        recorder.annotate("cost.constraint_checks", len(constraints))
     return findings

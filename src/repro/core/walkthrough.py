@@ -178,10 +178,33 @@ class WalkthroughEngine:
                     scenario=scenario.name,
                     negative=scenario.is_negative,
                     traces=len(traces),
-                ):
+                ) as scenario_span:
+                    stats_before = self.index.stats()
                     walked = tuple(
                         self._walk_trace(scenario, index, trace)
                         for index, trace in enumerate(traces)
+                    )
+                    # Per-scenario work-unit attribution: what this
+                    # scenario *cost*, as span attributes, so run records
+                    # and `sosae runs attribute` can rank regressions by
+                    # cause, not just by wall time.
+                    stats_after = self.index.stats()
+                    scenario_span.set_attribute(
+                        "cost.steps",
+                        sum(len(walk.steps) for walk in walked),
+                    )
+                    scenario_span.set_attribute(
+                        "cost.index_queries",
+                        (stats_after.hits + stats_after.misses)
+                        - (stats_before.hits + stats_before.misses),
+                    )
+                    scenario_span.set_attribute(
+                        "cost.bfs_expansions",
+                        stats_after.misses - stats_before.misses,
+                    )
+                    scenario_span.set_attribute(
+                        "cost.findings",
+                        sum(len(walk.inconsistencies) for walk in walked),
                     )
             else:
                 walked = tuple(

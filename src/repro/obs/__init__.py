@@ -34,6 +34,23 @@ from repro.obs.alerts import (
     parse_rules,
     scalar_values,
 )
+from repro.obs.collector import (
+    PARTIAL_FORMAT,
+    MergedTelemetry,
+    ShardSummary,
+    TelemetryCollector,
+    WorkerPartial,
+    clock_anchor,
+    partial_from_jsonl,
+    partial_to_jsonl,
+    snapshot_partial,
+)
+from repro.obs.context import (
+    TraceContext,
+    child_context,
+    new_trace_id,
+    span_id_for,
+)
 from repro.obs.dashboard import build_dashboard, load_trace_file
 from repro.obs.events import (
     EVENT_TYPES,
@@ -105,12 +122,16 @@ from repro.obs.recorder import (
 from repro.obs.runs import (
     DEFAULT_RUNS_DIR,
     MetricDelta,
+    RunAttribution,
     RunDiff,
     RunRecord,
     RunRegistry,
+    ScenarioDelta,
     StageDelta,
+    attribute_runs,
     current_git_sha,
     diff_runs,
+    scenario_costs,
     stage_summary,
 )
 from repro.obs.serve import (
@@ -142,21 +163,26 @@ __all__ = [
     "IndexQuery",
     "JsonlSink",
     "MappingResolution",
+    "MergedTelemetry",
     "MetricDelta",
     "MetricsRegistry",
     "NULL_EVENT_BUS",
     "NULL_RECORDER",
     "NullEventBus",
     "NullRecorder",
+    "PARTIAL_FORMAT",
     "PromSample",
     "Provenance",
     "Recorder",
+    "RunAttribution",
     "RunDiff",
     "RunOutcome",
     "RunRecord",
     "RunRecorded",
     "RunRegistry",
+    "ScenarioDelta",
     "ServeDaemon",
+    "ShardSummary",
     "SpecWatcher",
     "ScenarioFinished",
     "ScenarioStarted",
@@ -166,9 +192,15 @@ __all__ = [
     "StageDelta",
     "StageFinished",
     "StageStarted",
+    "TelemetryCollector",
+    "TraceContext",
+    "WorkerPartial",
+    "attribute_runs",
     "build_dashboard",
+    "child_context",
     "chrome_trace",
     "chrome_trace_json",
+    "clock_anchor",
     "configure_logging",
     "current_event_bus",
     "current_git_sha",
@@ -183,8 +215,11 @@ __all__ = [
     "load_rules",
     "load_trace_file",
     "metrics_to_json",
+    "new_trace_id",
     "observability_enabled",
     "parse_rules",
+    "partial_from_jsonl",
+    "partial_to_jsonl",
     "prometheus_metric_name",
     "provenance_from_dict",
     "read_events",
@@ -192,8 +227,11 @@ __all__ = [
     "render_profile",
     "render_prometheus",
     "scalar_values",
+    "scenario_costs",
     "set_recorder",
     "set_event_bus",
+    "snapshot_partial",
+    "span_id_for",
     "spans_from_chrome_trace",
     "spans_from_jsonl",
     "spans_to_jsonl",

@@ -1,0 +1,112 @@
+"""Trace-context propagation for multi-process telemetry.
+
+A single-process evaluation records an anonymous span tree: nesting is
+positional, and nothing identifies a span beyond its place in the
+forest. The moment work fans out to worker processes that stops being
+enough — each worker records its own tree against its own
+``perf_counter`` epoch, and the parent needs to know *which* spans came
+from *where* and *under what* they belong.
+
+:class:`TraceContext` is the identity a parent hands to each worker:
+
+* ``trace_id`` — one opaque id per distributed evaluation, shared by
+  every participating process;
+* ``shard`` — the worker's shard number (the parent itself is shard 0);
+* ``parent_span_id`` — the id of the parent-process span the worker's
+  root spans stitch under when the collector merges the partials.
+
+A :class:`~repro.obs.spans.SpanRecorder` constructed with a context
+stamps every span it opens with ``(trace_id, shard, span_id)`` plus a
+``parent_id`` reference — ids are assigned *at creation*, in a single
+process, from a per-recorder serial, so they are deterministic for a
+given pipeline run and globally unique across the trace (the shard
+number namespaces the serial). A recorder without an explicit context
+lazily creates a private one (fresh ``trace_id``, shard 0), so stable
+ids exist even for plain single-process runs.
+"""
+
+from __future__ import annotations
+
+import uuid
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ReproError
+
+__all__ = [
+    "TraceContext",
+    "child_context",
+    "new_trace_id",
+    "span_id_for",
+]
+
+
+def new_trace_id() -> str:
+    """A fresh opaque trace id (16 hex characters)."""
+    return uuid.uuid4().hex[:16]
+
+
+def span_id_for(shard: int, serial: int) -> str:
+    """The canonical span id for the ``serial``-th span of ``shard``.
+
+    Deterministic and collision-free across shards: the shard number
+    namespaces the per-recorder serial, so two processes of the same
+    trace can never mint the same id.
+    """
+    return f"s{shard}.{serial}"
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """The serializable identity one process of a distributed trace
+    records under."""
+
+    trace_id: str
+    shard: int = 0
+    parent_span_id: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not self.trace_id:
+            raise ReproError("TraceContext requires a non-empty trace_id")
+        if self.shard < 0:
+            raise ReproError(
+                f"TraceContext shard must be >= 0, got {self.shard}"
+            )
+
+    def to_dict(self) -> dict:
+        return {
+            "trace_id": self.trace_id,
+            "shard": self.shard,
+            "parent_span_id": self.parent_span_id,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TraceContext":
+        try:
+            return cls(
+                trace_id=data["trace_id"],
+                shard=int(data.get("shard", 0)),
+                parent_span_id=data.get("parent_span_id"),
+            )
+        except (TypeError, KeyError) as error:
+            raise ReproError(
+                f"not a trace context: {data!r} ({error})"
+            ) from None
+
+
+def child_context(
+    parent: TraceContext, shard: int, parent_span_id: Optional[str] = None
+) -> TraceContext:
+    """The context a parent hands to worker ``shard``: same trace, the
+    worker's shard number, and (by default) the parent's own
+    ``parent_span_id`` replaced by the span the worker should stitch
+    under."""
+    return TraceContext(
+        trace_id=parent.trace_id,
+        shard=shard,
+        parent_span_id=(
+            parent_span_id
+            if parent_span_id is not None
+            else parent.parent_span_id
+        ),
+    )

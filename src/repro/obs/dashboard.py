@@ -31,7 +31,7 @@ from typing import Optional, Sequence, Union
 from repro.errors import ReproError
 from repro.obs.events import TelemetryEvent, event_severity
 from repro.obs.export import spans_from_chrome_trace, spans_from_jsonl
-from repro.obs.runs import RunRecord, _metric_scalars
+from repro.obs.runs import RunRecord, _metric_scalars, scenario_costs
 from repro.obs.spans import Span
 
 __all__ = ["build_dashboard", "load_trace_file"]
@@ -227,6 +227,194 @@ def _flame_table(roots: Sequence[Span]) -> str:
         '<table class="data"><thead><tr><th>span</th><th>count</th>'
         "<th>wall</th><th>self</th><th>cpu</th><th>share</th></tr></thead>"
         f"<tbody>{rows}</tbody></table></details>"
+    )
+
+
+# ----------------------------------------------------------------------
+# Shard lanes (multi-process traces)
+# ----------------------------------------------------------------------
+
+
+def _lane_blocks(spans: Sequence[Span], shard: int) -> list[Span]:
+    """The spans rendered as blocks in one shard's lane.
+
+    Scenario spans are the interesting grain (which scenario ran where,
+    when); a shard with none — typically shard 0, the parent process —
+    falls back to its stage spans (children of its topmost span), then
+    to the topmost spans themselves.
+    """
+    mine = [
+        span
+        for root in spans
+        for span in root.iter_spans()
+        if (span.shard or 0) == shard
+    ]
+    scenarios = [s for s in mine if s.name == "walkthrough.scenario"]
+    if scenarios:
+        return scenarios
+    tops = [
+        span
+        for span in mine
+        if span.parent_id is None
+        or not any(other.span_id == span.parent_id for other in mine)
+    ]
+    stages = [child for top in tops for child in top.children]
+    return stages or tops
+
+
+def _render_shard_lanes(spans: Sequence[Span]) -> str:
+    shards = sorted(
+        {span.shard or 0 for root in spans for span in root.iter_spans()}
+    )
+    if len(shards) <= 1:
+        return (
+            '<p class="empty">Single-process trace — shard lanes appear '
+            "for traces captured with evaluate --workers N.</p>"
+        )
+    finished = [
+        span
+        for root in spans
+        for span in root.iter_spans()
+        if span.end_wall is not None
+    ]
+    if not finished:
+        return '<p class="empty">No finished spans in the trace.</p>'
+    t0 = min(span.start_wall for span in finished)
+    t1 = max(span.end_wall for span in finished)
+    extent = (t1 - t0) or 1.0
+    lanes = []
+    table_rows = []
+    for shard in shards:
+        blocks = [b for b in _lane_blocks(spans, shard) if b.end_wall]
+        cells = []
+        for span in blocks:
+            left = (span.start_wall - t0) / extent * 100.0
+            width = max((span.end_wall - span.start_wall) / extent * 100.0,
+                        0.05)
+            label = span.attributes.get("scenario", span.name)
+            text = (
+                f'<span class="flame-label">{escape(str(label))}</span>'
+                if width >= 8.0
+                else ""
+            )
+            title = (
+                f"{label}: {_ms(span.wall_seconds)} wall, "
+                f"+{span.start_wall - t0:.4f}s"
+            )
+            cells.append(
+                '<div class="flame-span lane-span" style="'
+                f'left:{left:.3f}%;width:{width:.3f}%;" '
+                f'title="{escape(title, quote=True)}">{text}</div>'
+            )
+        name = "main" if shard == 0 else f"shard {shard}"
+        lanes.append(
+            f'<div class="lane"><div class="lane-name">{escape(name)}</div>'
+            f'<div class="lane-track">{"".join(cells)}</div></div>'
+        )
+        mine = [
+            span
+            for root in spans
+            for span in root.iter_spans()
+            if (span.shard or 0) == shard
+        ]
+        scenario_count = sum(
+            1 for s in mine if s.name == "walkthrough.scenario"
+        )
+        busy = sum(b.wall_seconds for b in blocks)
+        table_rows.append(
+            f"<tr><td>{escape(name)}</td><td>{len(mine)}</td>"
+            f"<td>{scenario_count}</td><td>{_ms(busy)}</td></tr>"
+        )
+    table = (
+        "<details><summary>Table view</summary>"
+        '<table class="data"><thead><tr><th>lane</th><th>spans</th>'
+        "<th>scenarios</th><th>busy wall</th></tr></thead>"
+        f'<tbody>{"".join(table_rows)}</tbody></table></details>'
+    )
+    return (
+        f'<div class="lanes">{"".join(lanes)}</div>'
+        f"{table}"
+    )
+
+
+# ----------------------------------------------------------------------
+# Per-scenario cost treemap
+# ----------------------------------------------------------------------
+
+
+def _cost_source(
+    spans: Sequence[Span], runs: Sequence[RunRecord]
+) -> tuple[dict, str]:
+    """Per-scenario costs from the loaded trace, else from the newest
+    recorded run carrying them; ``(costs, source_label)``."""
+    if spans:
+        costs = scenario_costs(spans)
+        if costs:
+            return costs, "loaded trace"
+    for record in reversed(list(runs)):
+        if record.scenarios:
+            return record.scenarios, f"run {record.run_id}"
+    return {}, ""
+
+
+def _render_cost_treemap(
+    spans: Sequence[Span], runs: Sequence[RunRecord]
+) -> str:
+    costs, source = _cost_source(spans, runs)
+    if not costs:
+        return (
+            '<p class="empty">No per-scenario costs — pass a trace from '
+            "this version (or record runs with --record) to attribute "
+            "evaluation cost to scenarios.</p>"
+        )
+    total = sum(entry["wall_seconds"] for entry in costs.values()) or 1.0
+    ordered = sorted(
+        costs.items(), key=lambda item: -item[1]["wall_seconds"]
+    )
+    cells = []
+    for index, (name, entry) in enumerate(ordered):
+        share = entry["wall_seconds"] / total
+        width = max(share * 100.0, 0.3)
+        color = _FLAME_RAMP[min(index, len(_FLAME_RAMP) - 1)]
+        label = (
+            f'<span class="flame-label">{escape(name)}</span>'
+            if width >= 8.0
+            else ""
+        )
+        title = (
+            f"{name}: {_ms(entry['wall_seconds'])} wall "
+            f"({share * 100.0:.1f}%), shard {entry.get('shard', 0)}, "
+            f"{entry.get('steps', 0)} steps, "
+            f"{entry.get('index_queries', 0)} index queries, "
+            f"{entry.get('bfs_expansions', 0)} BFS expansions, "
+            f"{entry.get('findings', 0)} finding(s)"
+        )
+        cells.append(
+            '<div class="treemap-cell" style="'
+            f'width:{width:.3f}%;background:{color};" '
+            f'title="{escape(title, quote=True)}">{label}</div>'
+        )
+    rows = "".join(
+        f"<tr><td>{escape(name)}</td>"
+        f"<td>{entry.get('shard', 0)}</td>"
+        f"<td>{_ms(entry['wall_seconds'])}</td>"
+        f"<td>{100.0 * entry['wall_seconds'] / total:.1f}%</td>"
+        f"<td>{entry.get('steps', 0)}</td>"
+        f"<td>{entry.get('index_queries', 0)}</td>"
+        f"<td>{entry.get('bfs_expansions', 0)}</td>"
+        f"<td>{entry.get('findings', 0)}</td></tr>"
+        for name, entry in ordered
+    )
+    table = (
+        "<details><summary>Table view</summary>"
+        '<table class="data"><thead><tr><th>scenario</th><th>shard</th>'
+        "<th>wall</th><th>share</th><th>steps</th><th>index queries</th>"
+        "<th>BFS</th><th>findings</th></tr></thead>"
+        f"<tbody>{rows}</tbody></table></details>"
+    )
+    return (
+        f'<p class="section-note">source: {escape(source)}</p>'
+        f'<div class="treemap">{"".join(cells)}</div>{table}'
     )
 
 
@@ -589,6 +777,28 @@ section h2 {
   color: #ffffff; font-size: 12px; line-height: 24px;
   padding: 0 6px; white-space: nowrap; display: inline-block;
 }
+.lanes { margin: 8px 0; }
+.lane { display: flex; align-items: center; margin: 4px 0; }
+.lane-name {
+  flex: 0 0 90px; color: var(--ink-2); font-size: 12px;
+  font-variant-numeric: tabular-nums;
+}
+.lane-track {
+  position: relative; flex: 1; height: 28px;
+  background: var(--page); border: 1px solid var(--grid);
+  border-radius: 4px;
+}
+.lane-span { top: 0; height: 26px; background: var(--series); }
+.treemap {
+  display: flex; width: 100%; height: 56px; margin: 8px 0;
+  border-radius: 4px; overflow: hidden;
+}
+.treemap-cell {
+  height: 100%; overflow: hidden; white-space: nowrap;
+  border-right: 1px solid var(--surface); cursor: default;
+}
+.treemap-cell:hover { filter: brightness(1.15); }
+.treemap-cell .flame-label { line-height: 54px; }
 .spark { display: block; margin-top: 6px; }
 .spark-line {
   fill: none; stroke: var(--series); stroke-width: 2;
@@ -666,6 +876,20 @@ def build_dashboard(
             "hover a span for exact timings; the table view aggregates "
             "by span name).",
             _render_flamegraph(spans),
+        ),
+        (
+            "Shard lanes",
+            "One lane per process of a multi-worker evaluation "
+            "(evaluate --workers N): when each shard walked which "
+            "scenario, on a shared time axis.",
+            _render_shard_lanes(spans),
+        ),
+        (
+            "Scenario cost",
+            "Where the walkthrough budget went, scenario by scenario "
+            "(width = share of walked wall time; hover for work-unit "
+            "counters).",
+            _render_cost_treemap(spans, runs),
         ),
         (
             "Metric trends",

@@ -403,6 +403,9 @@ class NullEventBus:
     def emit(self, event: TelemetryEvent) -> None:
         pass
 
+    def forward(self, event: TelemetryEvent) -> None:
+        pass
+
     def subscribe(self, subscriber: Callable) -> Callable[[], None]:
         return lambda: None
 
@@ -486,6 +489,18 @@ class EventBus:
     def events(self) -> tuple[TelemetryEvent, ...]:
         """The buffered recent events, oldest first."""
         return tuple(self._buffer)
+
+    def forward(self, event: TelemetryEvent) -> None:
+        """Relay an event recorded on *another* bus (a worker process's)
+        into this stream: the event gets this bus's next ``seq`` — the
+        global sequence of the merged stream — but keeps the original
+        ``timestamp``, because the moment it happened in the worker is
+        the truth and the moment the parent collected it is not."""
+        self._seq += 1
+        stamped = replace(event, seq=self._seq)
+        self._buffer.append(stamped)
+        for subscriber in tuple(self._subscribers):
+            subscriber(stamped)
 
     def _dispatch(self, event: TelemetryEvent) -> None:
         self._seq += 1

@@ -54,7 +54,15 @@ def _safe_attributes(attributes: dict) -> dict:
 
 
 def spans_to_jsonl(roots: Sequence[Span]) -> str:
-    """Serialize a span forest as JSON-lines (depth-first preorder)."""
+    """Serialize a span forest as JSON-lines (depth-first preorder).
+
+    Every record carries the positional ``id``/``parent`` pair (what
+    pre-identity readers link the tree by). Spans stamped with a stable
+    identity (recorded under a :class:`~repro.obs.context.TraceContext`)
+    additionally carry ``span_id``/``parent_span_id``/``trace_id``/
+    ``shard``, which survive re-serialization and cross-process merging
+    where positional ids do not.
+    """
     lines: list[str] = []
     next_id = 0
 
@@ -62,21 +70,22 @@ def spans_to_jsonl(roots: Sequence[Span]) -> str:
         nonlocal next_id
         span_id = next_id
         next_id += 1
-        lines.append(
-            json.dumps(
-                {
-                    "id": span_id,
-                    "parent": parent_id,
-                    "name": span.name,
-                    "start_wall": span.start_wall,
-                    "end_wall": span.end_wall,
-                    "start_cpu": span.start_cpu,
-                    "end_cpu": span.end_cpu,
-                    "attributes": _safe_attributes(span.attributes),
-                },
-                sort_keys=True,
-            )
-        )
+        record = {
+            "id": span_id,
+            "parent": parent_id,
+            "name": span.name,
+            "start_wall": span.start_wall,
+            "end_wall": span.end_wall,
+            "start_cpu": span.start_cpu,
+            "end_cpu": span.end_cpu,
+            "attributes": _safe_attributes(span.attributes),
+        }
+        if span.span_id is not None:
+            record["span_id"] = span.span_id
+            record["parent_span_id"] = span.parent_id
+            record["trace_id"] = span.trace_id
+            record["shard"] = span.shard
+        lines.append(json.dumps(record, sort_keys=True))
         for child in span.children:
             emit(child, span_id)
 
@@ -86,7 +95,12 @@ def spans_to_jsonl(roots: Sequence[Span]) -> str:
 
 
 def spans_from_jsonl(text: str) -> tuple[Span, ...]:
-    """Rebuild the span forest :func:`spans_to_jsonl` serialized."""
+    """Rebuild the span forest :func:`spans_to_jsonl` serialized.
+
+    Reads both current records (with stable ``span_id`` identities) and
+    pre-identity ones (positional ``id``/``parent`` only); the tree is
+    linked positionally either way, so old trace files load unchanged.
+    """
     by_id: dict[int, Span] = {}
     roots: list[Span] = []
     for line_number, line in enumerate(text.splitlines(), start=1):
@@ -103,6 +117,10 @@ def spans_from_jsonl(text: str) -> tuple[Span, ...]:
         span.end_wall = record["end_wall"]
         span.start_cpu = record.get("start_cpu", 0.0)
         span.end_cpu = record.get("end_cpu", 0.0)
+        span.span_id = record.get("span_id")
+        span.parent_id = record.get("parent_span_id")
+        span.trace_id = record.get("trace_id")
+        span.shard = record.get("shard")
         by_id[record["id"]] = span
         parent_id = record.get("parent")
         if parent_id is None:
@@ -134,7 +152,18 @@ def chrome_trace(
     the process-name metadata event; a span that never finished (or has
     zero duration) is emitted with ``dur`` clamped to zero rather than a
     negative value the viewer rejects.
+
+    Each span lands on the thread lane of its shard (``tid = shard + 1``,
+    named ``"shard N"``; identity-less spans share lane 1 with shard 0),
+    so a merged multi-worker trace renders as per-shard swimlanes in
+    Perfetto. Single-shard traces keep the legacy document shape — one
+    process-name metadata row, no thread rows. Spans with a stable
+    identity carry ``span_id``/``parent_span_id`` in ``args``, which the
+    reverse direction prefers over interval containment.
     """
+    shards = sorted(
+        {(span.shard or 0) for root in roots for span in root.iter_spans()}
+    )
     events: list[dict] = [
         {
             "name": "process_name",
@@ -144,19 +173,36 @@ def chrome_trace(
             "args": {"name": process_name},
         }
     ]
+    if len(shards) > 1:
+        for shard in shards:
+            events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": 1,
+                    "tid": shard + 1,
+                    "args": {
+                        "name": "main" if shard == 0 else f"shard {shard}"
+                    },
+                }
+            )
     base = min((root.start_wall for root in roots), default=0.0)
 
     def emit(span: Span) -> None:
+        args = _safe_attributes(span.attributes)
+        if span.span_id is not None:
+            args["span_id"] = span.span_id
+            args["parent_span_id"] = span.parent_id
         events.append(
             {
                 "name": span.name,
                 "cat": "sosae",
                 "ph": "X",
                 "pid": 1,
-                "tid": 1,
+                "tid": (span.shard or 0) + 1,
                 "ts": (span.start_wall - base) * 1e6,
                 "dur": max(span.wall_seconds, 0.0) * 1e6,
-                "args": _safe_attributes(span.attributes),
+                "args": args,
             }
         )
         for child in span.children:
@@ -175,9 +221,15 @@ def chrome_trace_json(roots: Sequence[Span], process_name: str = "sosae") -> str
 def spans_from_chrome_trace(document: dict) -> tuple[Span, ...]:
     """Reconstruct a span forest from a Chrome trace document.
 
-    Nesting is inferred from interval containment, exactly as the trace
-    viewer draws it; only complete (``"X"``) events participate. CPU
-    times are not representable in the format and come back as zero.
+    When the events carry stable span identities (``args.span_id`` /
+    ``args.parent_span_id``, written by :func:`chrome_trace` since trace
+    contexts exist), the tree is linked exactly by those references — a
+    stitched multi-shard trace round-trips with worker subtrees nested
+    under their parent-process span even though they sit on different
+    thread lanes. Pre-identity documents fall back to the original
+    interval-containment reconstruction (per thread lane), exactly as
+    the trace viewer draws nesting. Only complete (``"X"``) events
+    participate; CPU times are not representable and come back as zero.
     """
     try:
         events = document["traceEvents"]
@@ -186,23 +238,67 @@ def spans_from_chrome_trace(document: dict) -> tuple[Span, ...]:
             "not a Chrome trace document: no 'traceEvents' key"
         ) from None
     complete = [event for event in events if event.get("ph") == "X"]
-    # Earlier start first; at equal starts the longer (enclosing) span
-    # first, so a parent always precedes its children on the stack.
-    complete.sort(key=lambda event: (event["ts"], -event["dur"]))
+    if complete and all(
+        "span_id" in (event.get("args") or {}) for event in complete
+    ):
+        return _spans_from_identified_events(complete)
     roots: list[Span] = []
-    stack: list[tuple[Span, float]] = []  # (span, end-ts)
+    by_tid: dict[int, list[dict]] = {}
     for event in complete:
-        span = Span(event["name"], dict(event.get("args", {})))
-        span.start_wall = event["ts"] / 1e6
-        span.end_wall = (event["ts"] + event["dur"]) / 1e6
-        end = event["ts"] + event["dur"]
-        while stack and event["ts"] >= stack[-1][1]:
-            stack.pop()
-        if stack:
-            stack[-1][0].add_child(span)
+        by_tid.setdefault(event.get("tid", 1), []).append(event)
+    for tid in sorted(by_tid):
+        lane = by_tid[tid]
+        # Earlier start first; at equal starts the longer (enclosing)
+        # span first, so a parent always precedes its children on the
+        # stack.
+        lane.sort(key=lambda event: (event["ts"], -event["dur"]))
+        stack: list[tuple[Span, float]] = []  # (span, end-ts)
+        for event in lane:
+            span = _span_from_trace_event(event, tid)
+            end = event["ts"] + event["dur"]
+            while stack and event["ts"] >= stack[-1][1]:
+                stack.pop()
+            if stack:
+                stack[-1][0].add_child(span)
+            else:
+                roots.append(span)
+            stack.append((span, end))
+    return tuple(roots)
+
+
+def _span_from_trace_event(event: dict, tid: int) -> Span:
+    args = dict(event.get("args", {}))
+    span = Span(
+        event["name"],
+        {
+            key: value
+            for key, value in args.items()
+            if key not in ("span_id", "parent_span_id")
+        },
+    )
+    span.start_wall = event["ts"] / 1e6
+    span.end_wall = (event["ts"] + event["dur"]) / 1e6
+    span.span_id = args.get("span_id")
+    span.parent_id = args.get("parent_span_id")
+    span.shard = tid - 1 if tid >= 1 else None
+    return span
+
+
+def _spans_from_identified_events(complete: list[dict]) -> tuple[Span, ...]:
+    """Tree linkage by stable span references (document order kept)."""
+    spans: list[Span] = []
+    by_id: dict[str, Span] = {}
+    for event in complete:
+        span = _span_from_trace_event(event, event.get("tid", 1))
+        spans.append(span)
+        by_id[span.span_id] = span
+    roots: list[Span] = []
+    for span in spans:
+        parent = by_id.get(span.parent_id) if span.parent_id else None
+        if parent is not None and parent is not span:
+            parent.add_child(span)
         else:
             roots.append(span)
-        stack.append((span, end))
     return tuple(roots)
 
 

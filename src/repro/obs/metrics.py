@@ -51,6 +51,15 @@ class Counter:
     def to_dict(self) -> dict:
         return {"type": "counter", "value": self.value}
 
+    def state_dict(self) -> dict:
+        """Full-fidelity state for cross-process merging (same shape as
+        :meth:`to_dict` — a counter has no hidden state)."""
+        return {"type": "counter", "value": self.value}
+
+    def merge_state(self, state: dict) -> None:
+        """Fold another process's counter in: counts sum."""
+        self.value += state.get("value", 0)
+
     def __repr__(self) -> str:
         return f"Counter({self.name!r}={self.value})"
 
@@ -72,6 +81,20 @@ class Gauge:
 
     def to_dict(self) -> dict:
         return {"type": "gauge", "value": self.value}
+
+    def state_dict(self) -> dict:
+        """Full-fidelity state for cross-process merging."""
+        return {"type": "gauge", "value": self.value}
+
+    def merge_state(self, state: dict) -> None:
+        """Fold another process's gauge in: the maximum wins.
+
+        A gauge is a point-in-time level (cached tree count, live
+        nodes); the maximum across producers is the only combination
+        that is both meaningful as a level and commutative, so merge
+        results do not depend on partial arrival order.
+        """
+        self.value = max(self.value, state.get("value", 0.0))
 
     def __repr__(self) -> str:
         return f"Gauge({self.name!r}={self.value})"
@@ -185,6 +208,49 @@ class Histogram:
             "p99": self.p99,
         }
 
+    def state_dict(self) -> dict:
+        """Full-fidelity state for cross-process merging: unlike
+        :meth:`to_dict` (a rendered summary), this carries the retained
+        reservoir samples, so merged histograms keep real percentiles
+        instead of averaging percentile summaries."""
+        return {
+            "type": "histogram",
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "sample_cap": self.sample_cap,
+            "samples": list(self._samples),
+        }
+
+    def merge_state(self, state: dict) -> None:
+        """Fold another process's histogram in.
+
+        Exact aggregates (count/sum/min/max) combine exactly; the
+        reservoirs union by concatenation in merge order, truncated at
+        ``sample_cap``. Truncation keeps the earliest-merged samples —
+        deterministic, at the cost of a merged reservoir that is no
+        longer a uniform sample of the combined stream once it
+        overflows; evaluation-sized streams stay far below the cap.
+        """
+        self.count += state.get("count", 0)
+        self.total += state.get("sum", 0.0)
+        for bound, better in (("min", min), ("max", max)):
+            incoming = state.get(bound)
+            if incoming is not None:
+                current = getattr(self, bound)
+                setattr(
+                    self,
+                    bound,
+                    incoming if current is None else better(current, incoming),
+                )
+        samples = state.get("samples", [])
+        if samples:
+            room = self.sample_cap - len(self._samples)
+            if room > 0:
+                self._samples.extend(samples[:room])
+                self._sorted = None
+
     def __repr__(self) -> str:
         return f"Histogram({self.name!r}, n={self.count}, mean={self.mean})"
 
@@ -246,6 +312,45 @@ class MetricsRegistry:
             name: self._instruments[name].to_dict()
             for name in sorted(self._instruments)
         }
+
+    def state_dict(self) -> dict:
+        """A JSON-serializable *full-fidelity* snapshot (histogram
+        reservoirs included), for shipping a worker process's registry
+        to the collector. Sorted by name like :meth:`to_dict`."""
+        return {
+            name: self._instruments[name].state_dict()
+            for name in sorted(self._instruments)
+        }
+
+    def merge_state(self, state: dict) -> None:
+        """Fold another registry's :meth:`state_dict` into this one.
+
+        Instruments merge by name — counters sum, gauges take the
+        maximum, histograms union their exact aggregates and sample
+        reservoirs; names only one side knows are created. Merging the
+        same set of states in any *instrument* order yields the same
+        registry (``to_dict`` is name-sorted), but histogram reservoir
+        truncation makes merge order across *partials* significant, so
+        callers (the collector) merge partials in shard order.
+        """
+        kinds = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+        for name in sorted(state):
+            incoming = state[name]
+            kind = kinds.get(incoming.get("type"))
+            if kind is None:
+                raise ReproError(
+                    f"metric {name!r} has unknown type "
+                    f"{incoming.get('type')!r} in merge state"
+                )
+            instrument = self._get(name, kind)
+            if kind is Histogram and not isinstance(
+                incoming.get("samples"), list
+            ):
+                raise ReproError(
+                    f"metric {name!r}: merge needs a full-fidelity "
+                    "histogram state (state_dict), not a to_dict summary"
+                )
+            instrument.merge_state(incoming)
 
     def __len__(self) -> int:
         return len(self._instruments)

@@ -40,12 +40,16 @@ from repro.obs.spans import Span
 __all__ = [
     "DEFAULT_RUNS_DIR",
     "MetricDelta",
+    "RunAttribution",
     "RunDiff",
     "RunRecord",
     "RunRegistry",
+    "ScenarioDelta",
     "StageDelta",
+    "attribute_runs",
     "current_git_sha",
     "diff_runs",
+    "scenario_costs",
     "stage_summary",
 ]
 
@@ -98,6 +102,50 @@ def stage_summary(roots: Sequence[Span]) -> dict[str, dict]:
     return stages
 
 
+#: The work-unit counters persisted per scenario (from the ``cost.*``
+#: span attributes the walkthrough engine records).
+_COST_COUNTERS = ("steps", "index_queries", "bfs_expansions", "findings")
+
+
+def scenario_costs(roots: Sequence[Span]) -> dict[str, dict]:
+    """Per-scenario cost attribution harvested from a span forest.
+
+    Each ``walkthrough.scenario`` span contributes its wall/CPU time and
+    its ``cost.*`` work-unit attributes (walk steps, index queries, BFS
+    expansions, findings), keyed by scenario name; repeated walks of the
+    same scenario accumulate. ``shard`` records which worker walked it
+    (0 = the single/parent process). This is the durable form the run
+    registry persists and ``sosae runs attribute`` ranks.
+    """
+    costs: dict[str, dict] = {}
+    stack = list(reversed(roots))
+    while stack:
+        span = stack.pop()
+        stack.extend(reversed(span.children))
+        if span.name != "walkthrough.scenario":
+            continue
+        scenario = span.attributes.get("scenario")
+        if not scenario:
+            continue
+        entry = costs.get(scenario)
+        if entry is None:
+            entry = costs[scenario] = {
+                "wall_seconds": 0.0,
+                "cpu_seconds": 0.0,
+                "walks": 0,
+                "traces": 0,
+                "shard": span.shard or 0,
+            }
+            entry.update({counter: 0 for counter in _COST_COUNTERS})
+        entry["wall_seconds"] += span.end_wall - span.start_wall
+        entry["cpu_seconds"] += span.end_cpu - span.start_cpu
+        entry["walks"] += 1
+        entry["traces"] += span.attributes.get("traces", 0) or 0
+        for counter in _COST_COUNTERS:
+            entry[counter] += span.attributes.get(f"cost.{counter}", 0) or 0
+    return costs
+
+
 def _report_digest(report) -> str:
     """A stable digest of a report's JSON form (ignores key order)."""
     # Imported lazily: repro.core imports repro.obs, not the reverse.
@@ -123,6 +171,7 @@ class RunRecord:
     report_digest: str
     metrics: dict = field(default_factory=dict)   # name -> snapshot dict
     stages: dict = field(default_factory=dict)    # name -> count/wall/cpu
+    scenarios: dict = field(default_factory=dict)  # name -> cost attribution
 
     def to_dict(self) -> dict:
         return {
@@ -139,6 +188,7 @@ class RunRecord:
             "report_digest": self.report_digest,
             "metrics": self.metrics,
             "stages": self.stages,
+            "scenarios": self.scenarios,
         }
 
     @classmethod
@@ -161,6 +211,9 @@ class RunRecord:
             report_digest=data.get("report_digest", ""),
             metrics=data.get("metrics", {}),
             stages=data.get("stages", {}),
+            # Optional since the cost-attribution PR; records persisted
+            # before it simply have no per-scenario breakdown.
+            scenarios=data.get("scenarios", {}),
         )
 
 
@@ -237,6 +290,7 @@ class RunRegistry:
             ),
             metrics=recorder.metrics.to_dict(),
             stages=stage_summary(roots),
+            scenarios=scenario_costs(roots),
         )
         self.root.mkdir(parents=True, exist_ok=True)
         with self.path.open("a", encoding="utf-8") as handle:
@@ -552,4 +606,161 @@ def diff_runs(
         time_threshold=time_threshold,
         metrics=tuple(metric_deltas),
         stages=tuple(stage_deltas),
+    )
+
+
+# ----------------------------------------------------------------------
+# Per-scenario cost attribution
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ScenarioDelta:
+    """One scenario's cost movement between two runs, with the work-unit
+    counter that best explains it."""
+
+    name: str
+    before_wall: Optional[float]
+    after_wall: Optional[float]
+    driver: str                       # human-readable cause, or ""
+    counters: dict = field(default_factory=dict)  # counter -> (before, after)
+
+    @property
+    def delta(self) -> float:
+        return (self.after_wall or 0.0) - (self.before_wall or 0.0)
+
+    @property
+    def percent(self) -> Optional[float]:
+        if self.before_wall is None or self.after_wall is None:
+            return None
+        if not self.before_wall:
+            return None
+        return 100.0 * self.delta / self.before_wall
+
+
+@dataclass(frozen=True)
+class RunAttribution:
+    """Where the time went between two runs: scenarios ranked by wall
+    regression (biggest first), then stages the same way."""
+
+    before: RunRecord
+    after: RunRecord
+    scenarios: tuple[ScenarioDelta, ...]
+    stages: tuple[StageDelta, ...]
+
+    @property
+    def top(self) -> Optional[ScenarioDelta]:
+        """The most-regressed scenario (the table's first row)."""
+        return self.scenarios[0] if self.scenarios else None
+
+    def render(self, limit: Optional[int] = None) -> str:
+        lines = [
+            f"cost attribution: {self.before.run_id} ({self.before.label})"
+            f" -> {self.after.run_id} ({self.after.label})",
+            "",
+            f"{'scenario':<28} {'before':>10} {'after':>10} "
+            f"{'delta':>11} {'change':>9}  cause",
+        ]
+        rows = self.scenarios[:limit] if limit else self.scenarios
+        for row in rows:
+            lines.append(
+                f"{row.name:<28} {_attr_ms(row.before_wall):>10} "
+                f"{_attr_ms(row.after_wall):>10} "
+                f"{_seconds(row.delta):>11} {_percent(row.percent):>9}"
+                f"  {row.driver}"
+            )
+        if not self.scenarios:
+            lines.append(
+                "  (neither run carries per-scenario costs; re-record "
+                "with this version)"
+            )
+        lines.append("")
+        lines.append(f"{'stage':<28} {'before':>10} {'after':>10} {'delta':>11}")
+        stage_rows = self.stages[:limit] if limit else self.stages
+        for stage in stage_rows:
+            lines.append(
+                f"{stage.name:<28} {_attr_ms(stage.before_wall):>10} "
+                f"{_attr_ms(stage.after_wall):>10} "
+                f"{_seconds(stage.delta):>11}"
+            )
+        return "\n".join(lines)
+
+
+def _attr_ms(value: Optional[float]) -> str:
+    if value is None:
+        return "-"
+    return f"{value * 1e3:.3f}ms"
+
+
+def _scenario_driver(
+    before: Optional[dict], after: Optional[dict]
+) -> tuple[str, dict]:
+    """The work-unit counter that best explains a scenario's movement."""
+    if before is None:
+        return "new scenario", {}
+    if after is None:
+        return "scenario removed", {}
+    counters: dict = {}
+    best: Optional[tuple[float, str]] = None
+    for counter in _COST_COUNTERS + ("traces",):
+        old = float(before.get(counter, 0) or 0)
+        new = float(after.get(counter, 0) or 0)
+        counters[counter] = (old, new)
+        if new == old:
+            continue
+        growth = abs(new - old) / old if old else float("inf")
+        if best is None or growth > best[0]:
+            sign = "+" if new > old else "-"
+            best = (
+                growth,
+                f"{counter} {old:g} -> {new:g} ({sign}{abs(new - old):g})",
+            )
+    if best is not None:
+        return best[1], counters
+    return "same work units (timing only)", counters
+
+
+def attribute_runs(before: RunRecord, after: RunRecord) -> RunAttribution:
+    """Rank which scenarios (and stages) regressed between two runs and
+    why.
+
+    Scenarios are ordered by wall-time delta, biggest regression first —
+    an injected per-scenario slowdown surfaces as the top row — and each
+    carries the work-unit counter whose movement best explains the
+    delta (or "timing only" when the scenario did the same work
+    slower). Runs recorded before per-scenario costs existed attribute
+    at stage granularity only.
+    """
+    names = sorted(set(before.scenarios) | set(after.scenarios))
+    deltas = []
+    for name in names:
+        old = before.scenarios.get(name)
+        new = after.scenarios.get(name)
+        driver, counters = _scenario_driver(old, new)
+        deltas.append(
+            ScenarioDelta(
+                name=name,
+                before_wall=None if old is None else old.get("wall_seconds"),
+                after_wall=None if new is None else new.get("wall_seconds"),
+                driver=driver,
+                counters=counters,
+            )
+        )
+    deltas.sort(key=lambda row: (-row.delta, row.name))
+    stage_rows = []
+    for name in sorted(set(before.stages) | set(after.stages)):
+        stage_rows.append(
+            StageDelta(
+                name=name,
+                before_wall=before.stages.get(name, {}).get("wall_seconds"),
+                after_wall=after.stages.get(name, {}).get("wall_seconds"),
+                regressed=False,
+            )
+        )
+    stage_rows.sort(key=lambda row: (-(row.delta or 0.0), row.name))
+    return RunAttribution(
+        before=before,
+        after=after,
+        scenarios=tuple(deltas),
+        stages=tuple(stage_rows),
     )

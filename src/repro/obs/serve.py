@@ -166,6 +166,7 @@ class _ServeState:
     metrics_snapshot: dict = field(default_factory=dict)
     stages: dict = field(default_factory=dict)
     alerts: list = field(default_factory=list)
+    shard_stats: tuple = ()
 
 
 class ServeDaemon:
@@ -187,6 +188,14 @@ class ServeDaemon:
     change (scenarios, mapping, parse errors, a missing tracker) falls
     back to a full evaluation; hits and misses are exposed as the
     ``serve.incremental_hit`` / ``serve.incremental_miss`` metrics.
+
+    With ``workers`` > 1, *full* evaluations run through
+    :class:`~repro.shard.BatchEvaluator` — the walkthrough stage is
+    sharded across worker processes and each run's merged telemetry
+    lands in the same recorder the single-process path uses. Per-shard
+    timings are exposed as ``serve.shard.*`` gauges on ``/metrics``.
+    The incremental path is untouched (it re-walks a handful of
+    scenarios; process fan-out would cost more than it saves).
     """
 
     def __init__(
@@ -204,9 +213,12 @@ class ServeDaemon:
         clock: Callable[[], float] = time.monotonic,
         incremental: bool = True,
         incremental_safe_paths: Sequence[Union[str, Path]] = (),
+        workers: int = 1,
     ) -> None:
         if interval is not None and interval <= 0:
             raise ReproError(f"interval must be positive, got {interval}")
+        if workers < 1:
+            raise ReproError(f"workers must be >= 1, got {workers}")
         self.build_sosae = build_sosae
         self.watcher = SpecWatcher(watch_paths)
         self.interval = interval
@@ -227,7 +239,9 @@ class ServeDaemon:
         self._incremental_safe = frozenset(
             str(Path(path)) for path in incremental_safe_paths
         )
+        self.workers = workers
         self._tracker = None
+        self._batch = None
         self._sosae = None
         self._git_sha: Optional[str] = None
         self._last_report = None
@@ -344,6 +358,11 @@ class ServeDaemon:
             state.metrics_snapshot = snapshot
             state.stages = stage_summary(recorder.roots)
             state.alerts = self.engine.to_dict()
+            state.shard_stats = (
+                tuple(self._batch.last_shard_stats)
+                if self._batch is not None and not used_incremental
+                else ()
+            )
         fired = tuple(
             event for event in transitions if isinstance(event, AlertFired)
         )
@@ -404,6 +423,14 @@ class ServeDaemon:
                     len(result.carried_over),
                 )
                 return result.report, True
+        if self.workers > 1:
+            # Imported lazily: repro.shard imports repro.core which
+            # imports repro.obs.
+            from repro.shard import BatchEvaluator
+
+            if self._batch is None:
+                self._batch = BatchEvaluator(workers=self.workers)
+            return self._batch.evaluate(self._sosae), False
         return self._sosae.evaluate(), False
 
     def _incremental_eligible(
@@ -622,6 +649,35 @@ class ServeDaemon:
                         "evaluation.",
                     )
                 )
+            if state.shard_stats:
+                extras.append(
+                    PromSample(
+                        "serve.shard.workers",
+                        len(state.shard_stats),
+                        help="Worker shards of the latest multi-process "
+                        "evaluation.",
+                    )
+                )
+                for stats in state.shard_stats:
+                    shard = {"shard": str(stats.shard)}
+                    extras.append(
+                        PromSample(
+                            "serve.shard.wall_seconds",
+                            stats.wall_seconds,
+                            labels=shard,
+                            help="Per-shard walkthrough wall seconds of "
+                            "the latest multi-process evaluation.",
+                        )
+                    )
+                    extras.append(
+                        PromSample(
+                            "serve.shard.scenarios",
+                            stats.scenarios,
+                            labels=shard,
+                            help="Scenarios evaluated by each shard in "
+                            "the latest multi-process evaluation.",
+                        )
+                    )
             return render_prometheus(snapshot, extras)
 
     def health(self) -> dict:

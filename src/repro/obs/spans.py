@@ -23,9 +23,19 @@ from contextlib import contextmanager
 from functools import wraps
 from typing import Callable, Iterator, Optional
 
+from repro.obs.context import TraceContext, new_trace_id, span_id_for
+
 
 class Span:
-    """One timed, attributed region; finished spans form a tree."""
+    """One timed, attributed region; finished spans form a tree.
+
+    ``span_id``/``parent_id``/``trace_id``/``shard`` are the distributed
+    identity stamped by the recorder (``None`` on spans deserialized
+    from pre-identity trace files): ids are assigned at creation from
+    the recorder's :class:`~repro.obs.context.TraceContext`, so a span
+    tree recorded in a worker process keeps stable references when it is
+    serialized, shipped, and stitched into the parent's trace.
+    """
 
     __slots__ = (
         "name",
@@ -35,6 +45,10 @@ class Span:
         "end_wall",
         "start_cpu",
         "end_cpu",
+        "span_id",
+        "parent_id",
+        "trace_id",
+        "shard",
     )
 
     def __init__(self, name: str, attributes: Optional[dict] = None) -> None:
@@ -45,6 +59,10 @@ class Span:
         self.end_wall: float = 0.0
         self.start_cpu: float = 0.0
         self.end_cpu: float = 0.0
+        self.span_id: Optional[str] = None
+        self.parent_id: Optional[str] = None
+        self.trace_id: Optional[str] = None
+        self.shard: Optional[int] = None
 
     # -- timing ---------------------------------------------------------
 
@@ -99,13 +117,21 @@ class Span:
 
 
 class SpanRecorder:
-    """Collects a forest of spans from one synchronous pipeline run."""
+    """Collects a forest of spans from one synchronous pipeline run.
+
+    ``context`` fixes the recorder's distributed identity (trace id,
+    shard number, and the parent-process span its roots belong under);
+    without one, a private context (fresh trace id, shard 0) is created
+    on first use, so every recorded span still carries stable ids.
+    """
 
     enabled = True
 
-    def __init__(self) -> None:
+    def __init__(self, context: Optional[TraceContext] = None) -> None:
         self.roots: list[Span] = []
         self._stack: list[Span] = []
+        self.context = context
+        self._serial = 0
 
     @contextmanager
     def span(self, name: str, **attributes) -> Iterator[Span]:
@@ -116,10 +142,20 @@ class SpanRecorder:
         naming the exception type).
         """
         span = Span(name, attributes or {})
+        context = self.context
+        if context is None:
+            context = self.context = TraceContext(trace_id=new_trace_id())
+        self._serial += 1
+        span.span_id = span_id_for(context.shard, self._serial)
+        span.trace_id = context.trace_id
+        span.shard = context.shard
         if self._stack:
-            self._stack[-1].add_child(span)
+            parent = self._stack[-1]
+            parent.add_child(span)
+            span.parent_id = parent.span_id
         else:
             self.roots.append(span)
+            span.parent_id = context.parent_span_id
         self._stack.append(span)
         span.begin()
         try:

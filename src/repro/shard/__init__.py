@@ -1,0 +1,22 @@
+"""Sharded, multi-process evaluation (the ROADMAP's parallel engine,
+first cut).
+
+:class:`BatchEvaluator` fans the walkthrough stage of an evaluation out
+across a stdlib ``ProcessPoolExecutor``, merges the report with verdict
+and finding parity against single-process
+:meth:`~repro.core.evaluator.Sosae.evaluate`, and streams each worker's
+telemetry through :class:`~repro.obs.collector.TelemetryCollector` into
+one merged trace/metrics/event view. See ``docs/SHARD.md``.
+"""
+
+from repro.shard.batch import BatchEvaluator, ShardStats, plan_shards
+from repro.shard.worker import ShardTask, init_worker, run_shard
+
+__all__ = [
+    "BatchEvaluator",
+    "ShardStats",
+    "ShardTask",
+    "init_worker",
+    "plan_shards",
+    "run_shard",
+]

@@ -1,0 +1,130 @@
+"""The worker-process half of :class:`repro.shard.BatchEvaluator`.
+
+Everything here is module-level (``ProcessPoolExecutor`` pickles
+references to it by qualified name). A worker is configured once per
+process by :func:`init_worker` with the *spec blob* — the evaluation
+artifacts in their serialized forms (ScenarioML XML, xADL XML, mapping
+JSON) plus the picklable options/constraints — and then runs any number
+of :func:`run_shard` tasks.
+
+The expensive part of a task is not walking scenarios but building the
+artifacts and warming the :class:`~repro.adl.index.CommunicationIndex`;
+both are cached per architecture *structural fingerprint* in the module
+global :data:`_PIPELINES`, so every task of the same evaluation (and
+every subsequent evaluation of an unchanged architecture, in a reused
+pool) hits a warm index. Each task records its telemetry under the
+:class:`~repro.obs.context.TraceContext` the parent handed it and
+returns a picklable payload: the shard's verdicts (full-fidelity
+objects — message traces and provenance survive, which the report-JSON
+round-trip would drop) plus its telemetry partial.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.adl.xadl import parse_xadl
+from repro.core.negative import evaluate_negative_scenario
+from repro.core.mapping import Mapping
+from repro.core.walkthrough import WalkthroughEngine, WalkthroughOptions
+from repro.errors import ReproError
+from repro.obs.collector import snapshot_partial
+from repro.obs.context import TraceContext
+from repro.obs.events import EventBus, use_events
+from repro.obs.recorder import Recorder, use
+from repro.obs.spans import SpanRecorder
+from repro.scenarioml.xml_io import parse_scenarioml
+
+__all__ = ["ShardTask", "init_worker", "run_shard"]
+
+
+@dataclass(frozen=True)
+class ShardTask:
+    """One shard's work order: which scenarios to walk, and the trace
+    identity to record under."""
+
+    shard: int
+    scenarios: tuple[str, ...]
+    context: TraceContext
+
+
+# Per-process state, set once by the pool initializer.
+_SPEC: Optional[dict] = None
+
+# fingerprint -> (scenario_set, engine): the warm pipeline cache. The
+# engine owns the memoized CommunicationIndex, so every task against the
+# same architecture reuses one warm index per worker process.
+_PIPELINES: dict[str, tuple] = {}
+
+
+def init_worker(spec: dict) -> None:
+    """``ProcessPoolExecutor`` initializer: stash the spec blob."""
+    global _SPEC
+    _SPEC = spec
+
+
+def _pipeline() -> tuple:
+    """The (scenario_set, engine) pair for the configured spec, built on
+    first use and cached by architecture fingerprint."""
+    if _SPEC is None:
+        raise ReproError(
+            "shard worker not initialized (init_worker never ran)"
+        )
+    fingerprint = _SPEC["fingerprint"]
+    cached = _PIPELINES.get(fingerprint)
+    if cached is not None:
+        return cached
+    scenario_set = parse_scenarioml(_SPEC["scenarioml"])
+    architecture = parse_xadl(_SPEC["xadl"])
+    mapping = Mapping.from_json(
+        _SPEC["mapping"], scenario_set.ontology, architecture
+    )
+    options: WalkthroughOptions = _SPEC["options"]
+    engine = WalkthroughEngine(architecture, mapping, options)
+    _PIPELINES[fingerprint] = (scenario_set, engine)
+    return _PIPELINES[fingerprint]
+
+
+def run_shard(task: ShardTask) -> dict:
+    """Walk one shard's scenarios; return verdicts + telemetry partial."""
+    scenario_set, engine = _pipeline()
+    recorder = Recorder(spans=SpanRecorder(context=task.context))
+    bus = EventBus()
+    verdicts = []
+    stats_before = engine.index.stats()
+    with use(recorder), use_events(bus):
+        with recorder.span(
+            "shard", shard=task.shard, scenarios=len(task.scenarios)
+        ), engine.index.pinned():
+            for name in task.scenarios:
+                scenario = scenario_set.get(name)
+                if scenario.is_negative:
+                    verdict = evaluate_negative_scenario(
+                        engine, scenario, scenario_set
+                    )
+                else:
+                    verdict = engine.walk_scenario(scenario, scenario_set)
+                verdicts.append(verdict)
+    stats_after = engine.index.stats()
+    recorder.counter("index.hits").inc(stats_after.hits - stats_before.hits)
+    recorder.counter("index.misses").inc(
+        stats_after.misses - stats_before.misses
+    )
+    recorder.counter("index.invalidations").inc(
+        stats_after.invalidations - stats_before.invalidations
+    )
+    recorder.histogram("index.build_seconds").observe(
+        stats_after.build_seconds - stats_before.build_seconds
+    )
+    partial = snapshot_partial(
+        shard=task.shard,
+        trace_id=task.context.trace_id,
+        recorder=recorder,
+        events=bus.events(),
+    )
+    return {
+        "shard": task.shard,
+        "verdicts": verdicts,
+        "partial": partial.to_dict(),
+    }

@@ -693,3 +693,130 @@ class TestVerbosityFlags:
         err = capsys.readouterr().err
         assert err.startswith("error:")
         assert "insecure variant belongs to the crash demo" in err
+
+
+class TestFollowRotation:
+    """``sosae tail --follow`` across truncation and rotation."""
+
+    def _drain(self, path, count):
+        from repro.cli import _follow_lines
+
+        return list(_follow_lines(Path(path), poll=0.01, max_lines=count))
+
+    def test_truncation_reopens_from_the_start(self, tmp_path):
+        from repro.cli import _follow_lines
+
+        stream = tmp_path / "events.jsonl"
+        stream.write_text("one\ntwo\nthree\n")
+        follow = _follow_lines(stream, poll=0.01, max_lines=5)
+        assert [next(follow) for _ in range(3)] == ["one", "two", "three"]
+        # A writer truncates and starts over: the follower must notice
+        # the size shrink and reopen instead of waiting forever.
+        stream.write_text("fresh\nstart\n")
+        assert [next(follow) for _ in range(2)] == ["fresh", "start"]
+
+    def test_rotation_reopens_the_new_file(self, tmp_path):
+        import os
+
+        from repro.cli import _follow_lines
+
+        stream = tmp_path / "events.jsonl"
+        stream.write_text("old-a\nold-b\n")
+        follow = _follow_lines(stream, poll=0.01, max_lines=4)
+        assert [next(follow) for _ in range(2)] == ["old-a", "old-b"]
+        # Log rotation: the path now names a different inode.
+        replacement = tmp_path / "events.jsonl.new"
+        replacement.write_text("new-a\nnew-b\n")
+        os.replace(replacement, stream)
+        assert [next(follow) for _ in range(2)] == ["new-a", "new-b"]
+
+    def test_plain_append_still_streams(self, tmp_path):
+        from repro.cli import _follow_lines
+
+        stream = tmp_path / "events.jsonl"
+        stream.write_text("a\n")
+        follow = _follow_lines(stream, poll=0.01, max_lines=2)
+        assert next(follow) == "a"
+        with stream.open("a") as handle:
+            handle.write("b\n")
+        assert next(follow) == "b"
+
+
+class TestWorkersFlag:
+    def test_demo_workers_matches_single_process_output(self, capsys):
+        assert main(["demo", "pims"]) == 0
+        single = capsys.readouterr().out
+        assert main(["demo", "pims", "--workers", "2"]) == 0
+        sharded = capsys.readouterr().out
+        assert sharded == single
+
+    def test_demo_workers_rejects_dynamic(self, capsys):
+        status = main(["demo", "pims", "--dynamic", "--workers", "2"])
+        assert status == 2
+        assert "process boundary" in capsys.readouterr().err
+
+    def test_evaluate_workers_from_spec_files(self, tmp_path, capsys):
+        scenarios = tmp_path / "s.xml"
+        architecture = tmp_path / "a.xml"
+        mapping = tmp_path / "m.json"
+        for flag, path in (
+            ("scenarioml", scenarios),
+            ("xadl", architecture),
+            ("mapping", mapping),
+        ):
+            assert main(["export", "pims", flag]) == 0
+            path.write_text(capsys.readouterr().out)
+        status = main(
+            ["evaluate", "--scenarios", str(scenarios),
+             "--architecture", str(architecture),
+             "--mapping", str(mapping), "--workers", "2"]
+        )
+        assert status == 0
+        assert "CONSISTENT" in capsys.readouterr().out
+
+
+class TestRunsAttribute:
+    def test_attributes_between_recorded_runs(self, tmp_path, capsys):
+        runs_dir = str(tmp_path / "runs")
+        for _ in range(2):
+            assert main(
+                ["demo", "pims", "--record", "--runs-dir", runs_dir]
+            ) == 0
+        capsys.readouterr()
+        status = main(
+            ["runs", "attribute", "r0001", "r0002", "--runs-dir", runs_dir]
+        )
+        assert status == 0
+        out = capsys.readouterr().out
+        assert "cost attribution: r0001" in out
+        assert "scenario" in out and "cause" in out
+
+    def test_top_limits_scenario_rows(self, tmp_path, capsys):
+        runs_dir = str(tmp_path / "runs")
+        for _ in range(2):
+            assert main(
+                ["demo", "pims", "--record", "--runs-dir", runs_dir]
+            ) == 0
+        capsys.readouterr()
+        assert main(
+            ["runs", "attribute", "r0001", "r0002",
+             "--runs-dir", runs_dir, "--top", "3"]
+        ) == 0
+        out = capsys.readouterr().out
+        header = next(
+            index for index, line in enumerate(out.splitlines())
+            if line.startswith("scenario")
+        )
+        scenario_rows = []
+        for line in out.splitlines()[header + 1:]:
+            if not line.strip():
+                break
+            scenario_rows.append(line)
+        assert len(scenario_rows) == 3
+
+    def test_unknown_run_is_usage_error(self, tmp_path, capsys):
+        assert main(
+            ["runs", "attribute", "r0001", "r0002",
+             "--runs-dir", str(tmp_path / "none")]
+        ) == 2
+        assert "error:" in capsys.readouterr().err

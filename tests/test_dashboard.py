@@ -176,3 +176,91 @@ class TestBuildDashboard:
         )
         assert "<script>alert(1)</script>" not in html
         assert "<b>sneaky</b>" not in html
+
+
+def _sharded_forest() -> tuple[Span, ...]:
+    """A merged-looking forest: main-process envelope with two worker
+    shard subtrees stitched under the walkthrough stage."""
+    root = _span("evaluate", 0.0, 1.0)
+    walk = _span("evaluate.walkthrough", 0.1, 0.9)
+    root.add_child(walk)
+    root.span_id, walk.span_id = "s0.1", "s0.2"
+    for shard in (1, 2):
+        shard_span = _span("shard", 0.15, 0.85)
+        shard_span.shard = shard
+        shard_span.span_id = f"s{shard}.1"
+        shard_span.parent_id = walk.span_id
+        for index, name in enumerate(("alpha", "beta")):
+            scenario = _span(
+                "walkthrough.scenario", 0.2 + index * 0.3, 0.4 + index * 0.3
+            )
+            scenario.shard = shard
+            scenario.span_id = f"s{shard}.{index + 2}"
+            scenario.parent_id = shard_span.span_id
+            scenario.attributes.update(
+                {"scenario": f"{name}-{shard}", "cost.steps": 5 * shard,
+                 "cost.index_queries": 2, "cost.bfs_expansions": 1,
+                 "cost.findings": 0}
+            )
+            shard_span.add_child(scenario)
+        walk.add_child(shard_span)
+    return (root,)
+
+
+class TestShardLanes:
+    def test_multi_shard_trace_renders_lanes(self):
+        html = build_dashboard(spans=_sharded_forest())
+        assert "Shard lanes" in html
+        assert html.count('class="lane"') == 3  # main + 2 shards
+        assert ">main</div>" in html
+        assert ">shard 1</div>" in html and ">shard 2</div>" in html
+        assert "alpha-1" in html and "beta-2" in html
+
+    def test_single_process_trace_degrades_to_a_note(self):
+        html = build_dashboard(spans=_forest())
+        assert "Shard lanes" in html
+        assert "Single-process trace" in html
+        assert 'class="lane"' not in html
+
+    def test_old_idless_trace_file_still_renders(self, tmp_path):
+        """Back-compat: a trace written before span identity existed
+        loads and renders (flamegraph + single-process note)."""
+        path = tmp_path / "old.jsonl"
+        path.write_text(
+            '{"id": 0, "parent": null, "name": "evaluate",'
+            ' "start_wall": 0.0, "end_wall": 1.0,'
+            ' "start_cpu": 0.0, "end_cpu": 0.5, "attributes": {}}\n'
+        )
+        roots = load_trace_file(path)
+        assert roots[0].span_id is None
+        html = build_dashboard(spans=roots)
+        assert "Pipeline flamegraph" in html
+        assert "Single-process trace" in html
+
+
+class TestCostTreemap:
+    def test_treemap_from_trace_spans(self):
+        html = build_dashboard(spans=_sharded_forest())
+        assert "Scenario cost" in html
+        assert html.count('class="treemap-cell"') == 4
+        assert "source: loaded trace" in html
+        # The table view carries the work-unit counters.
+        assert "index queries" in html
+        assert "BFS" in html
+
+    def test_treemap_falls_back_to_recorded_run_costs(self):
+        record = RunRecord.from_dict(
+            {**_record().to_dict(),
+             "scenarios": {
+                 "slow-one": {"wall_seconds": 0.4, "shard": 1,
+                              "steps": 9, "index_queries": 3,
+                              "bfs_expansions": 1, "findings": 0},
+             }}
+        )
+        html = build_dashboard(runs=[record])
+        assert "slow-one" in html
+        assert "source: run r0001" in html
+
+    def test_no_costs_degrades_to_a_note(self):
+        html = build_dashboard(spans=_forest())
+        assert "No per-scenario costs" in html

@@ -158,7 +158,11 @@ class TestChromeTrace:
         span = Span("odd", {"obj": {1, 2}})
         span.start_wall, span.end_wall = 0.0, 0.001
         document = chrome_trace([span])
-        args = document["traceEvents"][1]["args"]
+        args = next(
+            event["args"]
+            for event in document["traceEvents"]
+            if event["ph"] == "X"
+        )
         assert isinstance(args["obj"], str)
         json.dumps(document)  # must be serializable
 
@@ -318,3 +322,115 @@ class TestPimsEvaluationProfile:
         }
         for stage in STAGE_SPANS:
             assert stage in names
+
+
+class TestSpanIdentity:
+    """Stable span ids and parent references in both export formats,
+    with backward-compatible reading of id-less files."""
+
+    def _recorded_forest(self):
+        from repro.obs import TraceContext
+        from repro.obs.spans import SpanRecorder
+
+        recorder = Recorder(
+            spans=SpanRecorder(
+                context=TraceContext(trace_id="abcd" * 4, shard=2)
+            )
+        )
+        with use(recorder):
+            with recorder.span("outer"):
+                with recorder.span("inner"):
+                    pass
+            with recorder.span("second"):
+                pass
+        return recorder.roots
+
+    def test_jsonl_carries_and_restores_identity(self):
+        roots = self._recorded_forest()
+        text = spans_to_jsonl(roots)
+        for line in text.splitlines():
+            record = json.loads(line)
+            assert record["trace_id"] == "abcd" * 4
+            assert record["shard"] == 2
+            assert record["span_id"].startswith("s2.")
+        restored = spans_from_jsonl(text)
+        outer, second = restored
+        assert outer.span_id == "s2.1"
+        assert outer.children[0].span_id == "s2.2"
+        assert outer.children[0].parent_id == "s2.1"
+        assert second.span_id == "s2.3"
+
+    def test_ids_survive_a_jsonl_round_trip_byte_identically(self):
+        roots = self._recorded_forest()
+        text = spans_to_jsonl(roots)
+        assert spans_to_jsonl(spans_from_jsonl(text)) == text
+
+    def test_chrome_trace_args_carry_identity(self):
+        roots = self._recorded_forest()
+        document = chrome_trace(roots)
+        complete = [
+            event for event in document["traceEvents"]
+            if event.get("ph") == "X"
+        ]
+        assert all("span_id" in event["args"] for event in complete)
+        child = next(
+            event for event in complete if event["name"] == "inner"
+        )
+        assert child["args"]["parent_span_id"] == "s2.1"
+        # Shard lanes: tid = shard + 1.
+        assert {event["tid"] for event in complete} == {3}
+
+    def test_multi_shard_trace_names_its_lanes(self):
+        main = Span("evaluate")
+        main.start_wall, main.end_wall = 0.0, 1.0
+        forest = (main,) + self._recorded_forest()
+        document = chrome_trace(forest)
+        names = {
+            event["args"]["name"]
+            for event in document["traceEvents"]
+            if event.get("ph") == "M" and event["name"] == "thread_name"
+        }
+        assert names == {"main", "shard 2"}
+
+    def test_chrome_round_trip_links_by_id(self):
+        roots = self._recorded_forest()
+        restored = spans_from_chrome_trace(chrome_trace(roots))
+        assert [span.name for span in restored] == ["outer", "second"]
+        assert restored[0].children[0].name == "inner"
+        assert restored[0].children[0].parent_id == restored[0].span_id
+        assert all(span.shard == 2 for span in restored)
+        # Identity args do not leak into user attributes.
+        assert "span_id" not in restored[0].attributes
+
+    def test_old_idless_jsonl_still_loads(self):
+        """A trace written before span identity existed (positional
+        id/parent only) must reconstruct the same tree, ids left None."""
+        old = (
+            '{"id": 0, "parent": null, "name": "evaluate",'
+            ' "start_wall": 0.0, "end_wall": 1.0,'
+            ' "start_cpu": 0.0, "end_cpu": 0.5, "attributes": {}}\n'
+            '{"id": 1, "parent": 0, "name": "stage",'
+            ' "start_wall": 0.1, "end_wall": 0.9,'
+            ' "start_cpu": 0.1, "end_cpu": 0.4, "attributes": {}}\n'
+        )
+        (root,) = spans_from_jsonl(old)
+        assert root.name == "evaluate"
+        assert root.span_id is None
+        assert root.shard is None
+        assert root.children[0].name == "stage"
+
+    def test_old_idless_chrome_trace_still_loads(self):
+        """An old Chrome trace (no span_id args) falls back to per-tid
+        interval containment."""
+        document = {
+            "traceEvents": [
+                {"name": "evaluate", "ph": "X", "ts": 0.0, "dur": 1000.0,
+                 "pid": 1, "tid": 1, "args": {}},
+                {"name": "stage", "ph": "X", "ts": 100.0, "dur": 500.0,
+                 "pid": 1, "tid": 1, "args": {}},
+            ]
+        }
+        (root,) = spans_from_chrome_trace(document)
+        assert root.name == "evaluate"
+        assert [child.name for child in root.children] == ["stage"]
+        assert root.span_id is None

@@ -169,3 +169,55 @@ class TestExtraSamples:
 
     def test_content_type_names_the_text_format(self):
         assert "version=0.0.4" in CONTENT_TYPE
+
+
+class TestQuantileEdgeCases:
+    """Histogram summary rendering at the reservoir's degenerate ends."""
+
+    def test_empty_histogram_renders_no_quantile_lines(self):
+        registry = MetricsRegistry()
+        registry.histogram("idle_seconds")
+        text = render_prometheus(registry.to_dict())
+        assert 'quantile="' not in text
+        assert "sosae_idle_seconds_count 0" in text
+        assert "sosae_idle_seconds_sum 0" in text
+
+    def test_single_sample_pins_every_quantile(self):
+        registry = MetricsRegistry()
+        registry.histogram("one_seconds").observe(0.25)
+        text = render_prometheus(registry.to_dict())
+        for quantile in ("0.5", "0.95", "0.99"):
+            assert f'sosae_one_seconds{{quantile="{quantile}"}} 0.25' in text
+        assert "sosae_one_seconds_count 1" in text
+
+    def test_identical_samples_collapse_quantiles(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("same_seconds")
+        for _ in range(32):
+            histogram.observe(2.0)
+        text = render_prometheus(registry.to_dict())
+        for quantile in ("0.5", "0.95", "0.99"):
+            assert f'sosae_same_seconds{{quantile="{quantile}"}} 2' in text
+        assert "sosae_same_seconds_count 32" in text
+        assert "sosae_same_seconds_sum 64" in text
+
+    def test_merged_registry_summary_spans_both_shards(self):
+        """A collector-merged registry's summary reflects the union of
+        worker reservoirs, not either shard alone."""
+        from repro.obs import MetricsRegistry as Registry
+
+        low, high = Registry(), Registry()
+        for value in (0.1, 0.1, 0.1):
+            low.histogram("walk_seconds").observe(value)
+        for value in (0.9, 0.9, 0.9):
+            high.histogram("walk_seconds").observe(value)
+        merged = Registry()
+        merged.merge_state(low.state_dict())
+        merged.merge_state(high.state_dict())
+        text = render_prometheus(merged.to_dict())
+        assert "sosae_walk_seconds_count 6" in text
+        assert 'sosae_walk_seconds{quantile="0.5"}' in text
+        assert 'sosae_walk_seconds{quantile="0.99"} 0.9' in text
+        snapshot = merged.to_dict()["walk_seconds"]
+        assert snapshot["min"] == pytest.approx(0.1)
+        assert snapshot["max"] == pytest.approx(0.9)

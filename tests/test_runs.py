@@ -12,7 +12,9 @@ from repro.obs import (
     Recorder,
     RunRecord,
     RunRegistry,
+    attribute_runs,
     diff_runs,
+    scenario_costs,
     stage_summary,
     use,
 )
@@ -285,3 +287,121 @@ class TestDiffRuns:
             json.loads(json.dumps(record.to_dict()))
         )
         assert diff_runs(record, restored).clean
+
+
+class TestScenarioCosts:
+    def test_harvested_from_walkthrough_scenario_spans(
+        self, recorded_evaluation
+    ):
+        _, recorder = recorded_evaluation
+        costs = scenario_costs(recorder.roots)
+        assert costs
+        for entry in costs.values():
+            assert entry["wall_seconds"] > 0
+            assert entry["walks"] >= 1
+            assert entry["shard"] == 0
+            for counter in ("steps", "index_queries", "bfs_expansions",
+                            "findings"):
+                assert counter in entry
+
+    def test_persisted_on_run_records(self, tmp_path, recorded_evaluation):
+        report, recorder = recorded_evaluation
+        registry = RunRegistry(tmp_path / "runs")
+        registry.record("demo", report, recorder)
+        (loaded,) = registry.load()
+        assert loaded.scenarios
+        assert set(loaded.scenarios) == set(scenario_costs(recorder.roots))
+
+    def test_old_records_without_scenarios_still_load(self, tmp_path):
+        record = _record()
+        data = record.to_dict()
+        del data["scenarios"]
+        assert RunRecord.from_dict(data).scenarios == {}
+
+    def test_empty_forest(self):
+        assert scenario_costs(()) == {}
+
+
+class TestAttributeRuns:
+    def _recorded_pair(self, tmp_path, slow_scenario=None, extra=0.5):
+        """Two recorded runs of the same evaluation; the second
+        optionally has ``extra`` seconds injected into one scenario's
+        span — the synthetic regression attribution must pinpoint."""
+        from repro.systems.pims import build_pims
+
+        pims = build_pims()
+        sosae = Sosae(
+            pims.scenarios, pims.architecture, pims.mapping,
+            constraints=pims.constraints,
+            walkthrough_options=pims.options,
+        )
+        registry = RunRegistry(tmp_path / "runs")
+        records = []
+        for doctor in (False, True):
+            recorder = Recorder()
+            with use(recorder):
+                report = sosae.evaluate()
+            if doctor and slow_scenario is not None:
+                for root in recorder.roots:
+                    for span in root.iter_spans():
+                        if (
+                            span.name == "walkthrough.scenario"
+                            and span.attributes.get("scenario")
+                            == slow_scenario
+                        ):
+                            span.end_wall += extra
+            records.append(registry.record("pims", report, recorder))
+        return records
+
+    def test_injected_slowdown_tops_the_ranking(self, tmp_path):
+        before, after = self._recorded_pair(
+            tmp_path, slow_scenario="compute-net-worth"
+        )
+        attribution = attribute_runs(before, after)
+        assert attribution.top is not None
+        assert attribution.top.name == "compute-net-worth"
+        assert attribution.top.delta == pytest.approx(0.5, rel=0.2)
+        assert "timing only" in attribution.top.driver
+        rendered = attribution.render(limit=3)
+        lines = rendered.splitlines()
+        first_row = lines[lines.index(next(
+            line for line in lines if line.startswith("scenario")
+        )) + 1]
+        assert first_row.startswith("compute-net-worth")
+
+    def test_new_and_removed_scenarios_are_called_out(self):
+        before = _record(run_id="rA")
+        after = _record(run_id="rB")
+        object.__setattr__  # records are plain dataclasses; rebuild
+        before = RunRecord.from_dict(
+            {**before.to_dict(),
+             "scenarios": {"old": {"wall_seconds": 0.1}}}
+        )
+        after = RunRecord.from_dict(
+            {**after.to_dict(),
+             "scenarios": {"new": {"wall_seconds": 0.2}}}
+        )
+        attribution = attribute_runs(before, after)
+        drivers = {row.name: row.driver for row in attribution.scenarios}
+        assert drivers["new"] == "new scenario"
+        assert drivers["old"] == "scenario removed"
+
+    def test_work_unit_growth_named_as_cause(self):
+        before = RunRecord.from_dict(
+            {**_record(run_id="rA").to_dict(),
+             "scenarios": {"s": {"wall_seconds": 0.1, "steps": 10}}}
+        )
+        after = RunRecord.from_dict(
+            {**_record(run_id="rB").to_dict(),
+             "scenarios": {"s": {"wall_seconds": 0.4, "steps": 40}}}
+        )
+        attribution = attribute_runs(before, after)
+        assert attribution.top.name == "s"
+        assert "steps 10 -> 40" in attribution.top.driver
+
+    def test_render_without_costs_shows_placeholder(self):
+        attribution = attribute_runs(
+            _record(run_id="rA"), _record(run_id="rB")
+        )
+        assert attribution.top is None
+        assert "per-scenario costs" in attribution.render()

@@ -393,3 +393,32 @@ class TestReadSseEvents:
     def test_rejects_non_http_urls(self):
         with pytest.raises(ReproError, match="http"):
             read_sse_events("file:///etc/passwd")
+
+
+class TestShardedServe:
+    def test_workers_run_full_evaluations_through_the_pool(self, build):
+        daemon = ServeDaemon(build, workers=2)
+        outcome = daemon.run_once()
+        assert outcome.ok is True
+        text = daemon.render_metrics()
+        assert "sosae_serve_shard_workers 2" in text
+        assert 'sosae_serve_shard_wall_seconds{shard="1"}' in text
+        assert 'sosae_serve_shard_scenarios{shard="1"}' in text
+
+    def test_single_worker_exposes_no_shard_gauges(self, build):
+        daemon = ServeDaemon(build)
+        daemon.run_once()
+        assert "serve_shard" not in daemon.render_metrics()
+
+    def test_workers_must_be_positive(self, build):
+        with pytest.raises(ReproError, match="workers"):
+            ServeDaemon(build, workers=0)
+
+    def test_sharded_report_matches_single_process(self, build):
+        single = ServeDaemon(build)
+        sharded = ServeDaemon(build, workers=2)
+        single.run_once()
+        sharded.run_once()
+        assert json.loads(sharded.report_json()) == json.loads(
+            single.report_json()
+        )
