@@ -13,7 +13,15 @@ Subcommands:
   all finding ids) from a saved report or a freshly run demo.
 * ``runs`` — inspect the persistent run registry: ``runs list`` shows
   recorded evaluations, ``runs diff A B`` compares two of them and
-  flags metric regressions.
+  flags metric regressions, ``runs attribute A B`` ranks which
+  scenarios/stages moved, and ``runs bisect METRIC`` walks the whole
+  history with a rolling median+MAD changepoint detector and names the
+  first run (and git SHA) where the metric stepped.
+* ``profile`` — work with sampled interpreter profiles captured via
+  ``--profile-hz``: ``profile show REF`` prints a profile's hottest
+  frames, ``profile diff A B`` computes differential folded stacks
+  (self/cumulative share deltas, most-regressed first). References are
+  run ids (or ``latest``/``previous``) or folded profile file paths.
 * ``tail`` — pretty-print a telemetry event stream captured with
   ``--events`` (severity-colored, one aligned line per event);
   ``--follow`` keeps polling the file for appended events.
@@ -23,20 +31,26 @@ Subcommands:
   instead of a file.
 * ``serve`` — the continuous evaluation daemon: watch spec files (or
   re-run on ``--interval``), expose ``/metrics`` (Prometheus),
-  ``/healthz``, ``/readyz``, ``/report``, ``/alerts``, and ``/events``
-  (SSE), and evaluate declarative alert/SLO rules (``--rules FILE``)
-  after every run. ``--once --check`` runs a single evaluation and
-  exits 1 when any alert fires — the CI gate.
+  ``/healthz``, ``/readyz``, ``/report``, ``/alerts``, ``/events``
+  (SSE), and — with ``--profile-hz`` — ``/profile`` (the merged folded
+  sampling profile of recent intervals), and evaluate declarative
+  alert/SLO rules (``--rules FILE``) after every run. ``--once
+  --check`` runs a single evaluation and exits 1 when any alert fires
+  — the CI gate.
 
 ``evaluate`` and ``demo`` accept observability flags: ``--profile``
-prints a span profile summary tree after the report, ``--trace-out FILE``
+prints a span profile summary tree after the report, ``--profile-hz N``
+samples the evaluating thread's stack N times a second from a
+background thread (workers of a ``--workers`` run sample themselves;
+all partial profiles merge deterministically), ``--trace-out FILE``
 writes a Chrome ``chrome://tracing``-compatible trace, ``--metrics-out
 FILE`` dumps the metrics registry as JSON, ``--record`` snapshots
 the evaluation into the run registry (``--runs-dir``, default
-``.repro-runs/``), and ``--events FILE`` streams typed telemetry events
-as JSON lines while the evaluation runs (``--heartbeat N`` interleaves
-periodic metric-snapshot heartbeats). The flags never change the report
-or the exit status.
+``.repro-runs/``; with ``--profile-hz`` the folded profile persists
+under ``profiles/`` next to it), and ``--events FILE`` streams typed
+telemetry events as JSON lines while the evaluation runs
+(``--heartbeat N`` interleaves periodic metric-snapshot heartbeats).
+The flags never change the report or the exit status.
 
 Diagnostics go to stderr through the ``repro`` logger: ``-v`` / ``-vv``
 raise verbosity, ``--quiet`` shows errors only. Report output on stdout
@@ -78,16 +92,22 @@ from repro.core.report_io import (
 )
 from repro.errors import ReproError
 from repro.obs import (
+    DEFAULT_ANOMALY_THRESHOLD,
+    DEFAULT_PROFILE_HZ,
     DEFAULT_RUNS_DIR,
     EventBus,
     JsonlSink,
+    Profile,
     Recorder,
     RunRegistry,
+    SamplingProfiler,
     ServeDaemon,
     attribute_runs,
+    bisect_runs,
     build_dashboard,
     chrome_trace_json,
     configure_logging,
+    diff_profiles,
     diff_runs,
     events_from_jsonl,
     format_event,
@@ -100,7 +120,9 @@ from repro.obs import (
     render_profile,
     use,
     use_events,
+    use_profiler,
 )
+from repro.obs.profiler import _short_frame
 from repro.obs.events import event_from_dict, event_severity
 from repro.scenarioml.lint import lint_scenario_set
 from repro.shard import BatchEvaluator
@@ -340,6 +362,91 @@ def build_parser() -> argparse.ArgumentParser:
         "--top", type=int, default=None, metavar="N",
         help="show only the N most-regressed scenarios/stages",
     )
+    runs_bisect = runs_sub.add_parser(
+        "bisect",
+        help="find the first run where a metric stepped",
+        description="Walk the recorded run history oldest-to-newest "
+        "with a rolling median+MAD changepoint detector and name the "
+        "first run (and its git SHA) whose metric value sits more than "
+        "--threshold robust sigmas from the preceding --window runs' "
+        "baseline. Exit 1 when a step is found, 0 when the history is "
+        "clean.",
+    )
+    runs_bisect.add_argument(
+        "metric",
+        help="metric to scan: a record field (findings, wall_seconds, "
+        "scenarios_passed, scenarios_failed, consistent) or any "
+        "flattened metric scalar (e.g. walkthrough.steps)",
+    )
+    runs_bisect.add_argument(
+        "--runs-dir", type=Path, default=Path(DEFAULT_RUNS_DIR),
+        help="registry directory (default: %(default)s)",
+    )
+    runs_bisect.add_argument(
+        "--window", type=int, default=5, metavar="N",
+        help="rolling baseline size in runs (default: %(default)s)",
+    )
+    runs_bisect.add_argument(
+        "--threshold", type=float, default=DEFAULT_ANOMALY_THRESHOLD,
+        metavar="SIGMAS",
+        help="robust z-score above which a value is a step "
+        "(default: %(default)s)",
+    )
+
+    profile = subparsers.add_parser(
+        "profile",
+        help="work with sampled interpreter profiles",
+        description="Inspect and compare statistical sampling profiles "
+        "captured with '--profile-hz N'. A profile reference is a run "
+        "id recorded with '--record' (or the aliases 'latest'/"
+        "'previous'), or the path of a folded-stacks text file.",
+    )
+    profile_sub = profile.add_subparsers(
+        dest="profile_command", required=True
+    )
+    profile_show = profile_sub.add_parser(
+        "show", help="print a profile's hottest frames"
+    )
+    profile_show.add_argument(
+        "reference",
+        help="run id / latest / previous, or a folded profile file",
+    )
+    profile_show.add_argument(
+        "--runs-dir", type=Path, default=Path(DEFAULT_RUNS_DIR),
+        help="registry directory for run references "
+        "(default: %(default)s)",
+    )
+    profile_show.add_argument(
+        "--top", type=int, default=15, metavar="N",
+        help="show the N hottest frames by self time "
+        "(default: %(default)s)",
+    )
+    profile_diff = profile_sub.add_parser(
+        "diff",
+        help="differential folded stacks between two profiles",
+        description="Compare two sampled profiles frame by frame: self "
+        "and cumulative share in each, ranked by self-share regression. "
+        "Shares (fractions of total samples) make profiles of different "
+        "lengths or sampling rates comparable.",
+    )
+    profile_diff.add_argument(
+        "before",
+        help="run id / latest / previous, or a folded profile file",
+    )
+    profile_diff.add_argument(
+        "after",
+        help="run id / latest / previous, or a folded profile file",
+    )
+    profile_diff.add_argument(
+        "--runs-dir", type=Path, default=Path(DEFAULT_RUNS_DIR),
+        help="registry directory for run references "
+        "(default: %(default)s)",
+    )
+    profile_diff.add_argument(
+        "--top", type=int, default=15, metavar="N",
+        help="show the N biggest self-share movements "
+        "(default: %(default)s)",
+    )
 
     tail = subparsers.add_parser(
         "tail",
@@ -422,6 +529,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--live-limit", type=int, default=None, metavar="N",
         help="with --live: stop after N events",
     )
+    dashboard.add_argument(
+        "--profile-before", default=None, metavar="REF",
+        help="'before' side of the differential flamegraph: a profiled "
+        "run id (latest/previous work) or a folded profile file",
+    )
+    dashboard.add_argument(
+        "--profile-after", default=None, metavar="REF",
+        help="'after' side of the differential flamegraph (same forms "
+        "as --profile-before); without either flag the newest two "
+        "profiled runs in --runs-dir are used, and --live also asks "
+        "the daemon's /profile endpoint",
+    )
 
     serve = subparsers.add_parser(
         "serve",
@@ -431,7 +550,8 @@ def build_parser() -> argparse.ArgumentParser:
         "or on a fixed --interval, record each run to the run registry "
         "(--record), evaluate declarative alert/SLO rules after every "
         "run, and answer /metrics (Prometheus text exposition), "
-        "/healthz, /readyz, /report, /alerts, and /events (SSE). The "
+        "/healthz, /readyz, /report, /alerts, /events (SSE), and — "
+        "with --profile-hz — /profile (folded sampling profile). The "
         "spec is either three files (--scenarios/--architecture/"
         "--mapping, watched for changes) or a built-in case study "
         "(--system, re-run on --interval). '--once --check' performs "
@@ -531,6 +651,18 @@ def build_parser() -> argparse.ArgumentParser:
         "(per-shard serve.shard.* gauges appear on /metrics; "
         "default: 1 = in-process)",
     )
+    serve.add_argument(
+        "--profile-hz", type=float, default=None, metavar="HZ",
+        help="continuously sample each evaluation's interpreter stack "
+        "at HZ and expose the merged recent-interval profile at "
+        "/profile (folded stacks text; with --record each run's "
+        "profile also persists in the registry)",
+    )
+    serve.add_argument(
+        "--profile-history", type=int, default=8, metavar="N",
+        help="with --profile-hz: how many recent interval profiles the "
+        "/profile ring keeps (default: %(default)s)",
+    )
     bench_gate = subparsers.add_parser(
         "bench-gate",
         help="gate CI on the recorded incremental-vs-full speedup",
@@ -557,6 +689,13 @@ def _add_observability_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--profile", action="store_true",
         help="print a span profile summary tree after the report",
+    )
+    parser.add_argument(
+        "--profile-hz", type=float, default=None, metavar="HZ",
+        help="statistically sample the evaluating thread's stack HZ "
+        "times a second (try %g) and print the hottest frames; with "
+        "--record the folded profile persists in the run registry"
+        % DEFAULT_PROFILE_HZ,
     )
     parser.add_argument(
         "--trace-out", type=Path, default=None, metavar="FILE",
@@ -586,28 +725,59 @@ def _add_observability_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
+class _Observed:
+    """The live observability handles of one CLI evaluation: the
+    recorder (``None`` when every flag is off) and, after the
+    :meth:`profiling` block exits, the sampled profile."""
+
+    def __init__(
+        self, recorder: Optional[Recorder], profile_hz: Optional[float]
+    ) -> None:
+        self.recorder = recorder
+        self.profile_hz = profile_hz
+        self.profile: Optional[Profile] = None
+
+    @contextmanager
+    def profiling(self) -> Iterator[None]:
+        """Sample the block at ``--profile-hz`` (no-op without the
+        flag). Installing the profiler also makes a sharded run's
+        workers sample themselves at the same rate; their partials
+        merge into ``self.profile``."""
+        if self.profile_hz is None:
+            yield
+            return
+        profiler = SamplingProfiler(hz=self.profile_hz).start()
+        try:
+            with use_profiler(profiler):
+                yield
+        finally:
+            self.profile = profiler.stop()
+
+
 @contextmanager
-def _observed(args: argparse.Namespace) -> Iterator[Optional[Recorder]]:
+def _observed(args: argparse.Namespace) -> Iterator[_Observed]:
     """Install a live recorder (and, with ``--events``, a live event bus
     streaming to a JSONL sink) for the block when any observability flag
-    was given; yields the recorder (or ``None`` when observability is
-    off)."""
+    was given; yields the :class:`_Observed` bundle (its recorder is
+    ``None`` when observability is off)."""
     if args.heartbeat is not None and args.events is None:
         raise ReproError("--heartbeat only makes sense with --events FILE")
     wanted = (
         args.profile
+        or args.profile_hz is not None
         or args.trace_out
         or args.metrics_out
         or args.record
         or args.events
     )
     if not wanted:
-        yield None
+        yield _Observed(None, None)
         return
     recorder = Recorder()
+    observed = _Observed(recorder, args.profile_hz)
     if args.events is None:
         with use(recorder):
-            yield recorder
+            yield observed
         return
     bus = EventBus(
         heartbeat_interval=args.heartbeat,
@@ -616,20 +786,55 @@ def _observed(args: argparse.Namespace) -> Iterator[Optional[Recorder]]:
     with JsonlSink(args.events) as sink:
         bus.subscribe(sink)
         with use(recorder), use_events(bus):
-            yield recorder
+            yield observed
     _LOG.info("wrote event stream to %s", args.events)
 
 
-def _emit_observability(
-    args: argparse.Namespace, recorder: Optional[Recorder]
-) -> None:
+def _render_sampled_profile(profile: Profile, top: int = 15) -> str:
+    """A terminal table of a profile's hottest frames by self time."""
+    lines = [
+        f"sampled profile: {profile.samples} sample(s), "
+        f"{len(profile.counts)} stack(s), {profile.hz:g} Hz, "
+        f"{profile.wall_seconds:.3f}s wall"
+    ]
+    if not profile:
+        lines.append(
+            "  (no samples captured — the run finished between sampler "
+            "ticks; raise --profile-hz)"
+        )
+        return "\n".join(lines)
+    total = profile.samples
+    cumulative = profile.cumulative_counts()
+    ranked = sorted(
+        profile.self_counts().items(), key=lambda item: (-item[1], item[0])
+    )[:top]
+    width = max(len(_short_frame(frame)) for frame, _ in ranked)
+    width = min(max(width, 5), 64)
+    lines.append(
+        f"  {'frame':<{width}}  {'self':>6}  {'self%':>6}  {'cum%':>6}"
+    )
+    for frame, count in ranked:
+        lines.append(
+            f"  {_short_frame(frame):<{width}}  {count:>6}  "
+            f"{100.0 * count / total:>5.1f}%  "
+            f"{100.0 * cumulative[frame] / total:>5.1f}%"
+        )
+    return "\n".join(lines)
+
+
+def _emit_observability(args: argparse.Namespace, obs: _Observed) -> None:
     """Print/write the observability outputs the flags asked for."""
+    recorder = obs.recorder
     if recorder is None:
         return
     if args.profile:
         print()
         print("=== profile ===")
         print(render_profile(recorder.roots, recorder.metrics))
+    if obs.profile is not None:
+        print()
+        print("=== sampled profile ===")
+        print(_render_sampled_profile(obs.profile))
     if args.trace_out is not None:
         args.trace_out.write_text(chrome_trace_json(recorder.roots))
         _LOG.info("wrote Chrome trace to %s", args.trace_out)
@@ -639,13 +844,15 @@ def _emit_observability(
 
 
 def _record_run(
-    args: argparse.Namespace, label: str, report, recorder: Optional[Recorder]
+    args: argparse.Namespace, label: str, report, obs: _Observed
 ) -> None:
-    """Snapshot the evaluation into the run registry when asked."""
-    if not args.record or recorder is None:
+    """Snapshot the evaluation into the run registry when asked (the
+    sampled profile, if any, persists as a folded artifact next to it).
+    """
+    if not args.record or obs.recorder is None:
         return
     registry = RunRegistry(args.runs_dir)
-    record = registry.record(label, report, recorder)
+    record = registry.record(label, report, obs.recorder, profile=obs.profile)
     _LOG.info(
         "recorded run %s (%s) under %s", record.run_id, label, registry.root
     )
@@ -678,6 +885,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _run_explain(args)
         if args.command == "runs":
             return _run_runs(args)
+        if args.command == "profile":
+            return _run_profile(args)
         if args.command == "tail":
             return _run_tail(args)
         if args.command == "dashboard":
@@ -723,18 +932,19 @@ def _run_evaluate(args: argparse.Namespace) -> int:
     sosae = _build_spec_sosae(
         args.scenarios, args.architecture, args.mapping, args.acme
     )
-    with _observed(args) as recorder:
-        if args.workers > 1:
-            report = BatchEvaluator(workers=args.workers).evaluate(sosae)
-        else:
-            report = sosae.evaluate()
+    with _observed(args) as obs:
+        with obs.profiling():
+            if args.workers > 1:
+                report = BatchEvaluator(workers=args.workers).evaluate(sosae)
+            else:
+                report = sosae.evaluate()
         # Recording happens while the event bus (if any) is still live,
         # so the run-recorded event reaches the stream before it closes.
         _record_run(
-            args, f"evaluate-{args.architecture.stem}", report, recorder
+            args, f"evaluate-{args.architecture.stem}", report, obs
         )
     print(render_report(report, markdown=args.markdown))
-    _emit_observability(args, recorder)
+    _emit_observability(args, obs)
     if args.save_report is not None:
         args.save_report.write_text(report_to_json(report))
         _LOG.info("wrote report to %s", args.save_report)
@@ -825,21 +1035,22 @@ def _run_demo(args: argparse.Namespace) -> int:
             "--workers shards the static pipeline only; drop --dynamic "
             "(scenario bindings cannot cross a process boundary)"
         )
-    with _observed(args) as recorder:
-        if args.workers > 1:
-            report = BatchEvaluator(workers=args.workers).evaluate(sosae)
-        else:
-            report = sosae.evaluate(
-                include_dynamic=include_dynamic,
-                dynamic_scenarios=(
-                    demo.dynamic_scenarios if include_dynamic else None
-                ),
-            )
+    with _observed(args) as obs:
+        with obs.profiling():
+            if args.workers > 1:
+                report = BatchEvaluator(workers=args.workers).evaluate(sosae)
+            else:
+                report = sosae.evaluate(
+                    include_dynamic=include_dynamic,
+                    dynamic_scenarios=(
+                        demo.dynamic_scenarios if include_dynamic else None
+                    ),
+                )
         _record_run(
-            args, f"demo-{args.system}-{args.variant}", report, recorder
+            args, f"demo-{args.system}-{args.variant}", report, obs
         )
     print(render_report(report, markdown=args.markdown))
-    _emit_observability(args, recorder)
+    _emit_observability(args, obs)
     if args.save_report is not None:
         args.save_report.write_text(report_to_json(report))
         _LOG.info("wrote report to %s", args.save_report)
@@ -954,6 +1165,15 @@ def _run_runs(args: argparse.Namespace) -> int:
         )
         print(attribution.render(limit=args.top))
         return 0
+    if args.runs_command == "bisect":
+        result = bisect_runs(
+            registry.load(),
+            args.metric,
+            window=args.window,
+            threshold=args.threshold,
+        )
+        print(result.render())
+        return 1 if result.step is not None else 0
     diff = diff_runs(
         registry.get(args.before),
         registry.get(args.after),
@@ -962,6 +1182,26 @@ def _run_runs(args: argparse.Namespace) -> int:
     )
     print(diff.render())
     return 0 if diff.clean else 1
+
+
+def _resolve_profile(reference: str, runs_dir: Path) -> Profile:
+    """A profile by reference: a folded file path when one exists at
+    the reference, else a profiled run in the registry."""
+    path = Path(reference)
+    if path.is_file():
+        return Profile.from_folded(path.read_text(encoding="utf-8"))
+    return RunRegistry(runs_dir).load_profile(reference)
+
+
+def _run_profile(args: argparse.Namespace) -> int:
+    if args.profile_command == "show":
+        profile = _resolve_profile(args.reference, args.runs_dir)
+        print(_render_sampled_profile(profile, top=args.top))
+        return 0
+    before = _resolve_profile(args.before, args.runs_dir)
+    after = _resolve_profile(args.after, args.runs_dir)
+    print(diff_profiles(before, after).render(top=args.top))
+    return 0
 
 
 # ANSI severity coloring for `tail`: errors red, warnings yellow,
@@ -1082,6 +1322,31 @@ def _run_tail(args: argparse.Namespace) -> int:
     return 0
 
 
+def _live_profile(live: str) -> Optional[Profile]:
+    """The merged continuous-profiling ring of a running daemon, when
+    it serves one (404/503 — profiling off or not yet sampled — reads
+    as "no profile", not an error)."""
+    base = live.rstrip("/").split("?")[0]
+    if base.endswith("/events"):
+        base = base[: -len("/events")]
+    url = f"{base}/profile"
+    try:
+        from urllib.request import urlopen
+
+        with urlopen(url, timeout=5) as response:
+            folded = response.read().decode("utf-8")
+    except OSError as error:
+        _LOG.info("no live profile at %s (%s)", url, error)
+        return None
+    try:
+        profile = Profile.from_folded(folded)
+    except ReproError as error:
+        _LOG.warning("live profile at %s is unparsable: %s", url, error)
+        return None
+    _LOG.info("collected live profile from %s", url)
+    return profile
+
+
 def _run_dashboard(args: argparse.Namespace) -> int:
     if args.live is not None and args.events is not None:
         raise ReproError("dashboard takes --events or --live, not both")
@@ -1111,10 +1376,47 @@ def _run_dashboard(args: argparse.Namespace) -> int:
     )
     registry = RunRegistry(args.runs_dir)
     runs = registry.load() if registry.path.exists() else ()
+    profile_before = (
+        _resolve_profile(args.profile_before, args.runs_dir)
+        if args.profile_before is not None
+        else None
+    )
+    profile_after = (
+        _resolve_profile(args.profile_after, args.runs_dir)
+        if args.profile_after is not None
+        else None
+    )
+    if args.live is not None and profile_after is None:
+        profile_after = _live_profile(args.live)
+    if profile_before is None and profile_after is None:
+        # No explicit profile inputs: fall back to the newest two
+        # profiled runs in the registry (one gives a single-profile
+        # flamegraph, two give the differential view).
+        profiled = [record for record in runs if record.profile]
+        if profiled:
+            profile_after = registry.load_profile(profiled[-1].run_id)
+            if len(profiled) >= 2:
+                profile_before = registry.load_profile(
+                    profiled[-2].run_id
+                )
+            _LOG.info(
+                "dashboard profiles: auto-detected %s from run history",
+                " and ".join(
+                    record.run_id for record in profiled[-2:]
+                ),
+            )
     for name, count in (
         ("spans", sum(root.count() for root in spans)),
         ("runs", len(runs)),
         ("events", len(events)),
+        (
+            "profile samples",
+            sum(
+                profile.samples
+                for profile in (profile_before, profile_after)
+                if profile is not None
+            ),
+        ),
     ):
         _LOG.info("dashboard input: %d %s", count, name)
     document = build_dashboard(
@@ -1122,6 +1424,8 @@ def _run_dashboard(args: argparse.Namespace) -> int:
         runs=runs,
         report=report,
         events=events,
+        profile_before=profile_before,
+        profile_after=profile_after,
         title=args.title,
     )
     args.out.write_text(document, encoding="utf-8")
@@ -1191,6 +1495,8 @@ def _run_serve(args: argparse.Namespace) -> int:
         incremental=not args.full_eval,
         incremental_safe_paths=incremental_safe,
         workers=args.workers,
+        profile_hz=args.profile_hz,
+        profile_history=args.profile_history,
     )
     sink = None
     if args.events is not None:
@@ -1211,13 +1517,20 @@ def _run_serve(args: argparse.Namespace) -> int:
                 print(f"  {event.summary()}")
             for event in outcome.resolved:
                 print(f"  {event.summary()}")
+            # Windows the registry cannot fill yet are called out, so
+            # a green gate with an under-filled window is never silent.
+            for line in outcome.insufficient:
+                print(f"  insufficient history: {line}")
             if args.check and outcome.fired:
                 return 1
             return 0
         daemon.start_http()
+        endpoints = "metrics, healthz, readyz, report, alerts, events"
+        if args.profile_hz is not None:
+            endpoints += ", profile"
         print(
             f"sosae serve: http://{args.host}:{daemon.port} "
-            f"(metrics, healthz, readyz, report, alerts, events)",
+            f"({endpoints})",
             flush=True,
         )
         try:

@@ -34,6 +34,14 @@ from repro.obs.alerts import (
     parse_rules,
     scalar_values,
 )
+from repro.obs.anomaly import (
+    DEFAULT_ANOMALY_THRESHOLD,
+    StepPoint,
+    detect_step,
+    mad,
+    median,
+    robust_zscore,
+)
 from repro.obs.collector import (
     PARTIAL_FORMAT,
     MergedTelemetry,
@@ -97,6 +105,21 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
 )
+from repro.obs.profiler import (
+    DEFAULT_PROFILE_HZ,
+    NULL_PROFILER,
+    FrameDelta,
+    NullProfiler,
+    Profile,
+    ProfileDiff,
+    SamplingProfiler,
+    current_profiler,
+    diff_profiles,
+    merge_profiles,
+    profiling_enabled,
+    set_profiler,
+    use_profiler,
+)
 from repro.obs.promexp import (
     PromSample,
     prometheus_metric_name,
@@ -121,6 +144,7 @@ from repro.obs.recorder import (
 )
 from repro.obs.runs import (
     DEFAULT_RUNS_DIR,
+    BisectResult,
     MetricDelta,
     RunAttribution,
     RunDiff,
@@ -129,8 +153,10 @@ from repro.obs.runs import (
     ScenarioDelta,
     StageDelta,
     attribute_runs,
+    bisect_runs,
     current_git_sha,
     diff_runs,
+    record_metric_value,
     scenario_costs,
     stage_summary,
 )
@@ -148,8 +174,11 @@ __all__ = [
     "AlertResolved",
     "AlertRule",
     "AlertState",
+    "BisectResult",
     "Counter",
+    "DEFAULT_ANOMALY_THRESHOLD",
     "DEFAULT_HISTOGRAM_SAMPLE_CAP",
+    "DEFAULT_PROFILE_HZ",
     "DEFAULT_RUNS_DIR",
     "EVENT_TYPES",
     "EvaluationFinished",
@@ -157,6 +186,7 @@ __all__ = [
     "EventBus",
     "EventContext",
     "FindingEmitted",
+    "FrameDelta",
     "Gauge",
     "Heartbeat",
     "Histogram",
@@ -167,10 +197,14 @@ __all__ = [
     "MetricDelta",
     "MetricsRegistry",
     "NULL_EVENT_BUS",
+    "NULL_PROFILER",
     "NULL_RECORDER",
     "NullEventBus",
+    "NullProfiler",
     "NullRecorder",
     "PARTIAL_FORMAT",
+    "Profile",
+    "ProfileDiff",
     "PromSample",
     "Provenance",
     "Recorder",
@@ -180,6 +214,7 @@ __all__ = [
     "RunRecord",
     "RunRecorded",
     "RunRegistry",
+    "SamplingProfiler",
     "ScenarioDelta",
     "ServeDaemon",
     "ShardSummary",
@@ -192,10 +227,12 @@ __all__ = [
     "StageDelta",
     "StageFinished",
     "StageStarted",
+    "StepPoint",
     "TelemetryCollector",
     "TraceContext",
     "WorkerPartial",
     "attribute_runs",
+    "bisect_runs",
     "build_dashboard",
     "child_context",
     "chrome_trace",
@@ -204,7 +241,10 @@ __all__ = [
     "configure_logging",
     "current_event_bus",
     "current_git_sha",
+    "current_profiler",
     "current_recorder",
+    "detect_step",
+    "diff_profiles",
     "diff_runs",
     "event_from_dict",
     "events_enabled",
@@ -214,20 +254,27 @@ __all__ = [
     "get_logger",
     "load_rules",
     "load_trace_file",
+    "mad",
+    "median",
+    "merge_profiles",
     "metrics_to_json",
     "new_trace_id",
     "observability_enabled",
     "parse_rules",
     "partial_from_jsonl",
     "partial_to_jsonl",
+    "profiling_enabled",
     "prometheus_metric_name",
     "provenance_from_dict",
     "read_events",
     "read_sse_events",
+    "record_metric_value",
     "render_profile",
     "render_prometheus",
+    "robust_zscore",
     "scalar_values",
     "scenario_costs",
+    "set_profiler",
     "set_recorder",
     "set_event_bus",
     "snapshot_partial",
@@ -238,4 +285,5 @@ __all__ = [
     "stage_summary",
     "use",
     "use_events",
+    "use_profiler",
 ]

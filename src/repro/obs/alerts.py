@@ -32,7 +32,16 @@ a series over the last ``window`` :class:`~repro.obs.runs.RunRecord`
 entries — record fields (``findings``, ``wall_seconds``, …) or any
 flattened metric scalar — and compare the ``mode``-reduced series:
 ``value`` (latest), ``delta`` (latest − oldest), ``regression-pct``
-(percent increase over the oldest; an increase from zero is +Inf).
+(percent increase over the oldest; an increase from zero is +Inf), or
+``anomaly`` (the latest value's median+MAD robust z-score against the
+window before it, per :mod:`repro.obs.anomaly` — the same detector
+``sosae runs bisect`` walks history with; ``threshold`` defaults to
+3.5 "sigmas", so drift fires without hand-tuned per-metric bounds).
+
+A runs-source rule whose ``window`` the registry cannot fill yet is
+*not* silently skipped: its state reports ``insufficient-history``
+(visible in ``/alerts`` and ``serve --once --check`` output) until
+enough runs are recorded.
 
 :class:`AlertEngine` keeps per-rule state across evaluations — firing
 after ``for`` consecutive violations, resolving on recovery, and
@@ -52,9 +61,10 @@ from pathlib import Path
 from typing import Mapping, Optional, Sequence, Union
 
 from repro.errors import ReproError
+from repro.obs.anomaly import DEFAULT_ANOMALY_THRESHOLD, robust_zscore
 from repro.obs.events import AlertFired, AlertResolved, current_event_bus
 from repro.obs.log import get_logger
-from repro.obs.runs import RunRecord, _metric_scalars
+from repro.obs.runs import RunRecord, _metric_scalars, record_metric_value
 
 __all__ = [
     "AlertEngine",
@@ -77,7 +87,7 @@ _OPS = {
 }
 _SEVERITIES = ("info", "warning", "critical")
 _SOURCES = ("metric", "runs")
-_MODES = ("value", "delta", "regression-pct")
+_MODES = ("value", "delta", "regression-pct", "anomaly")
 
 _RULE_KEYS = {
     "name", "metric", "op", "threshold", "severity", "for", "cooldown",
@@ -137,11 +147,23 @@ class AlertRule:
             raise ReproError(
                 f"alert rule {self.name!r}: cooldown must be >= 0"
             )
-        minimum_window = 2 if self.mode in ("delta", "regression-pct") else 1
+        if self.mode == "anomaly":
+            # window-1 baseline points feed the MAD; fewer than 3 makes
+            # the robust z-score degenerate (MAD of <3 points is noise).
+            minimum_window = 4
+        elif self.mode in ("delta", "regression-pct"):
+            minimum_window = 2
+        else:
+            minimum_window = 1
         if self.window < minimum_window:
             raise ReproError(
                 f"alert rule {self.name!r}: window must be >= "
                 f"{minimum_window} for mode {self.mode!r}"
+            )
+        if self.mode == "anomaly" and self.threshold <= 0:
+            raise ReproError(
+                f"alert rule {self.name!r}: anomaly threshold is a "
+                "robust z-score and must be > 0"
             )
 
     def condition(self) -> str:
@@ -173,13 +195,18 @@ def parse_rules(data: object) -> tuple[AlertRule, ...]:
                 f"rule #{position} has unknown key(s): "
                 f"{', '.join(sorted(unknown))}"
             )
-        missing = {"name", "metric", "threshold"} - set(entry)
+        # Anomaly rules run without a hand-tuned threshold: the robust
+        # z-score cut has a universal default.
+        required = {"name", "metric"}
+        if entry.get("mode") != "anomaly":
+            required.add("threshold")
+        missing = required - set(entry)
         if missing:
             raise ReproError(
                 f"rule #{position} is missing required key(s): "
                 f"{', '.join(sorted(missing))}"
             )
-        threshold = entry["threshold"]
+        threshold = entry.get("threshold", DEFAULT_ANOMALY_THRESHOLD)
         if isinstance(threshold, bool) or not isinstance(
             threshold, (int, float)
         ):
@@ -259,21 +286,9 @@ def scalar_values(
     return values
 
 
-_RECORD_FIELDS = (
-    "findings",
-    "wall_seconds",
-    "scenarios_passed",
-    "scenarios_failed",
-)
-
-
-def _record_value(record: RunRecord, metric: str) -> Optional[float]:
-    if metric in _RECORD_FIELDS:
-        return float(getattr(record, metric))
-    if metric == "consistent":
-        return 1.0 if record.consistent else 0.0
-    value = _metric_scalars(record.metrics).get(metric)
-    return value[0] if value is not None else None
+# Record-metric resolution lives in runs.py (record_metric_value), so
+# ``runs bisect`` and runs-source rules address history identically.
+_record_value = record_metric_value
 
 
 def _reduce_series(series: Sequence[float], mode: str) -> float:
@@ -281,6 +296,10 @@ def _reduce_series(series: Sequence[float], mode: str) -> float:
         return series[-1]
     if mode == "delta":
         return series[-1] - series[0]
+    if mode == "anomaly":
+        # The latest value's robust z-score against the window before
+        # it — the same detector `sosae runs bisect` walks history with.
+        return robust_zscore(series[:-1], series[-1])
     # regression-pct
     first, last = series[0], series[-1]
     if first == 0:
@@ -297,13 +316,24 @@ def _reduce_series(series: Sequence[float], mode: str) -> float:
 
 @dataclass
 class AlertState:
-    """One rule's mutable evaluation state."""
+    """One rule's mutable evaluation state.
+
+    ``status`` says what the last evaluation could do with the rule:
+    ``"pending"`` (never evaluated), ``"ok"`` (resolved to a value),
+    ``"insufficient-history"`` (a runs-source rule whose window is not
+    yet filled by the registry — the operator-visible state the old
+    silent skip hid), or ``"no-data"`` (the metric is absent).
+    ``status_detail`` carries the human wording (e.g. how many runs are
+    recorded versus needed).
+    """
 
     rule: AlertRule
     active: bool = False
     consecutive: int = 0
     last_fired: Optional[float] = None
     last_value: Optional[float] = None
+    status: str = "pending"
+    status_detail: str = ""
 
     def to_dict(self) -> dict:
         return {
@@ -315,6 +345,8 @@ class AlertState:
             "last_value": self.last_value,
             "last_fired": self.last_fired,
             "description": self.rule.description,
+            "status": self.status,
+            "status_detail": self.status_detail,
         }
 
 
@@ -339,41 +371,85 @@ class AlertEngine:
     def active_alerts(self) -> tuple[AlertState, ...]:
         return tuple(state for state in self.states if state.active)
 
+    def insufficient_history(self) -> tuple[AlertState, ...]:
+        """Rules the registry cannot answer yet (window not filled) —
+        surfaced by ``/alerts`` and ``serve --once --check`` so a rule
+        that never evaluates is an operator-visible state, not a silent
+        skip."""
+        return tuple(
+            state
+            for state in self.states
+            if state.status == "insufficient-history"
+        )
+
     def to_dict(self) -> list[dict]:
         return [state.to_dict() for state in self.states]
 
     def _resolve(
         self,
-        rule: AlertRule,
+        state: AlertState,
         values: Mapping[str, float],
         runs: Sequence[RunRecord],
     ) -> Optional[float]:
-        """The rule's current value, or ``None`` when unresolvable."""
+        """The rule's current value, or ``None`` when unresolvable —
+        with ``state.status`` recording *why* when it is."""
+        rule = state.rule
         if rule.source == "metric":
             value = values.get(rule.metric)
-            if value is None and rule.name not in self._warned:
-                self._warned.add(rule.name)
-                _LOG.warning(
-                    "alert rule %r references unknown metric %r; skipping",
-                    rule.name,
-                    rule.metric,
+            if value is None:
+                state.status = "no-data"
+                state.status_detail = (
+                    f"metric {rule.metric!r} not present in this evaluation"
                 )
+                if rule.name not in self._warned:
+                    self._warned.add(rule.name)
+                    _LOG.warning(
+                        "alert rule %r references unknown metric %r; "
+                        "skipping",
+                        rule.name,
+                        rule.metric,
+                    )
             return value
+        # Validate the window against the registry size up front: a
+        # rule whose window the history cannot fill yet is explicitly
+        # "insufficient history", not silently skipped.
+        if len(runs) < rule.window:
+            state.status = "insufficient-history"
+            state.status_detail = (
+                f"window needs {rule.window} runs, registry has "
+                f"{len(runs)}"
+            )
+            return None
         window = list(runs)[-rule.window:]
         series = [
             value
             for record in window
             if (value := _record_value(record, rule.metric)) is not None
         ]
-        needed = 2 if rule.mode in ("delta", "regression-pct") else 1
+        needed = rule.window if rule.mode == "anomaly" else (
+            2 if rule.mode in ("delta", "regression-pct") else 1
+        )
         if len(series) < needed:
-            if not series and window and rule.name not in self._warned:
-                self._warned.add(rule.name)
-                _LOG.warning(
-                    "alert rule %r references metric %r absent from the "
-                    "run registry; skipping",
-                    rule.name,
-                    rule.metric,
+            if not series:
+                state.status = "no-data"
+                state.status_detail = (
+                    f"metric {rule.metric!r} absent from the run registry"
+                )
+                if window and rule.name not in self._warned:
+                    self._warned.add(rule.name)
+                    _LOG.warning(
+                        "alert rule %r references metric %r absent from "
+                        "the run registry; skipping",
+                        rule.name,
+                        rule.metric,
+                    )
+            else:
+                # Some records in the window lack the metric (recorded
+                # by an older version): the effective history is short.
+                state.status = "insufficient-history"
+                state.status_detail = (
+                    f"window needs {needed} values of {rule.metric!r}, "
+                    f"the last {rule.window} runs carry {len(series)}"
                 )
             return None
         return _reduce_series(series, rule.mode)
@@ -388,10 +464,12 @@ class AlertEngine:
         transitions: list[Union[AlertFired, AlertResolved]] = []
         for state in self.states:
             rule = state.rule
-            value = self._resolve(rule, values, runs)
+            value = self._resolve(state, values, runs)
             if value is None:
                 # No data is neither a violation nor a recovery.
                 continue
+            state.status = "ok"
+            state.status_detail = ""
             state.last_value = value
             if _OPS[rule.op](value, rule.threshold):
                 state.consecutive += 1

@@ -1,0 +1,124 @@
+"""Robust changepoint detection shared by ``runs bisect`` and alerts.
+
+Both consumers ask the same question of a metric series over run
+history: *did this value just step away from its recent past?* The
+detector is a rolling median + MAD (median absolute deviation) robust
+z-score — outlier-resistant, scale-free, and threshold-stable across
+metrics, so ``mode = "anomaly"`` alert rules work without hand-tuned
+per-metric thresholds and ``sosae runs bisect`` can name the first run
+where a metric stepped.
+
+For a value ``x`` against a baseline window, the score is::
+
+    |x - median(baseline)| / (1.4826 * MAD(baseline))
+
+1.4826 scales the MAD to the standard deviation of a normal
+distribution, so the default threshold (3.5, the classic modified
+z-score cut) reads like "3.5 sigma". A baseline with zero spread gets
+a relative-epsilon floor instead of a zero divisor: any real deviation
+from a perfectly flat baseline scores huge (which is exactly what a
+stepped counter should do), while float dust stays quiet.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.errors import ReproError
+
+__all__ = [
+    "DEFAULT_ANOMALY_THRESHOLD",
+    "StepPoint",
+    "detect_step",
+    "mad",
+    "median",
+    "robust_zscore",
+]
+
+DEFAULT_ANOMALY_THRESHOLD = 3.5
+
+# MAD -> sigma for normally distributed data (1 / Phi^-1(3/4)).
+_MAD_SCALE = 1.4826
+
+
+def median(values: Sequence[float]) -> float:
+    """The median (no stdlib ``statistics`` import on the hot path)."""
+    if not values:
+        raise ReproError("median of an empty series")
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return float(ordered[mid])
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def mad(values: Sequence[float], center: Optional[float] = None) -> float:
+    """Median absolute deviation around ``center`` (default: median)."""
+    if center is None:
+        center = median(values)
+    return median([abs(value - center) for value in values])
+
+
+def robust_zscore(baseline: Sequence[float], value: float) -> float:
+    """How many (MAD-estimated) sigmas ``value`` sits from the
+    baseline's median. Zero-spread baselines use a relative-epsilon
+    scale floor, so a genuinely flat series scores any real step as a
+    large finite number instead of dividing by zero."""
+    center = median(baseline)
+    spread = _MAD_SCALE * mad(baseline, center)
+    scale = max(spread, abs(center) * 1e-9, 1e-12)
+    return abs(value - center) / scale
+
+
+@dataclass(frozen=True)
+class StepPoint:
+    """One scored point in a series walk."""
+
+    index: int
+    value: float
+    score: float
+    stepped: bool
+
+
+def detect_step(
+    series: Sequence[float],
+    window: int,
+    threshold: float = DEFAULT_ANOMALY_THRESHOLD,
+) -> tuple[Optional[int], tuple[StepPoint, ...]]:
+    """Walk ``series`` left to right scoring each point against the
+    rolling ``window`` values before it; return the index of the first
+    point whose robust z-score exceeds ``threshold`` (or ``None``) plus
+    every scored point.
+
+    The baseline window *stops advancing past a detected step*: points
+    after the first step are scored against the pre-step regime, so a
+    plateau at the new level stays flagged instead of being absorbed
+    into a shifted baseline after ``window`` more points.
+    """
+    if window < 1:
+        raise ReproError(f"anomaly window must be >= 1, got {window}")
+    if threshold <= 0:
+        raise ReproError(
+            f"anomaly threshold must be > 0, got {threshold:g}"
+        )
+    points: list[StepPoint] = []
+    first_step: Optional[int] = None
+    for index in range(window, len(series)):
+        if first_step is None:
+            baseline = series[index - window:index]
+        else:
+            baseline = series[max(0, first_step - window):first_step]
+        score = robust_zscore(baseline, series[index])
+        stepped = score > threshold
+        points.append(
+            StepPoint(
+                index=index,
+                value=float(series[index]),
+                score=score,
+                stepped=stepped,
+            )
+        )
+        if stepped and first_step is None:
+            first_step = index
+    return first_step, tuple(points)

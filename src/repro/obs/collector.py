@@ -43,6 +43,7 @@ from repro.errors import ReproError
 from repro.obs.events import TelemetryEvent, event_from_dict
 from repro.obs.export import spans_from_jsonl, spans_to_jsonl
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.profiler import Profile
 from repro.obs.recorder import Recorder
 from repro.obs.spans import Span
 
@@ -78,9 +79,10 @@ class WorkerPartial:
     spans_jsonl: str                  # spans_to_jsonl of the worker forest
     metrics_state: dict               # MetricsRegistry.state_dict()
     events: tuple[dict, ...]          # TelemetryEvent.to_dict(), seq order
+    profile_folded: str = ""          # Profile.to_folded(), "" when unprofiled
 
     def to_dict(self) -> dict:
-        return {
+        data = {
             "format": PARTIAL_FORMAT,
             "shard": self.shard,
             "trace_id": self.trace_id,
@@ -89,6 +91,11 @@ class WorkerPartial:
             "metrics_state": self.metrics_state,
             "events": list(self.events),
         }
+        # Optional key, like the from_dict defaults below: partials from
+        # unprofiled workers (and pre-profiler readers) keep their shape.
+        if self.profile_folded:
+            data["profile_folded"] = self.profile_folded
+        return data
 
     @classmethod
     def from_dict(cls, data: dict) -> "WorkerPartial":
@@ -104,6 +111,7 @@ class WorkerPartial:
             spans_jsonl=data.get("spans_jsonl", ""),
             metrics_state=data.get("metrics_state", {}),
             events=tuple(data.get("events", [])),
+            profile_folded=data.get("profile_folded", ""),
         )
 
 
@@ -112,9 +120,11 @@ def snapshot_partial(
     trace_id: str,
     recorder: Recorder,
     events: Sequence[TelemetryEvent] = (),
+    profile: Optional[Profile] = None,
 ) -> WorkerPartial:
     """Freeze a worker's live recorder (and optionally its bus's
-    buffered events) into the serializable partial the parent ingests."""
+    buffered events and its sampled profile) into the serializable
+    partial the parent ingests."""
     return WorkerPartial(
         shard=shard,
         trace_id=trace_id,
@@ -122,6 +132,7 @@ def snapshot_partial(
         spans_jsonl=spans_to_jsonl(recorder.roots),
         metrics_state=recorder.metrics.state_dict(),
         events=tuple(event.to_dict() for event in events),
+        profile_folded=profile.to_folded() if profile else "",
     )
 
 
@@ -157,6 +168,13 @@ def partial_to_jsonl(partial: WorkerPartial) -> str:
         json.dumps({"record": "event", "event": event}, sort_keys=True)
         for event in partial.events
     )
+    if partial.profile_folded:
+        lines.append(
+            json.dumps(
+                {"record": "profile", "folded": partial.profile_folded},
+                sort_keys=True,
+            )
+        )
     lines.append(
         json.dumps(
             {"record": "metrics", "state": partial.metrics_state},
@@ -172,6 +190,7 @@ def partial_from_jsonl(text: str) -> WorkerPartial:
     span_lines: list[str] = []
     events: list[dict] = []
     metrics_state: dict = {}
+    profile_folded = ""
     for line_number, line in enumerate(text.splitlines(), start=1):
         if not line.strip():
             continue
@@ -191,6 +210,8 @@ def partial_from_jsonl(text: str) -> WorkerPartial:
             events.append(record["event"])
         elif kind == "metrics":
             metrics_state = record.get("state", {})
+        elif kind == "profile":
+            profile_folded = record.get("folded", "")
         else:
             raise ReproError(
                 f"telemetry partial line {line_number} has unknown record "
@@ -210,6 +231,7 @@ def partial_from_jsonl(text: str) -> WorkerPartial:
         spans_jsonl="\n".join(span_lines) + ("\n" if span_lines else ""),
         metrics_state=metrics_state,
         events=tuple(events),
+        profile_folded=profile_folded,
     )
 
 
@@ -249,6 +271,9 @@ class MergedTelemetry:
     recorder: Recorder
     events: tuple[TelemetryEvent, ...]
     shards: tuple[ShardSummary, ...]
+    #: The folded sampling profiles of every profiled shard, merged in
+    #: shard order; ``None`` when no partial carried one.
+    profile: Optional[Profile] = None
 
     @property
     def roots(self) -> tuple[Span, ...]:
@@ -330,6 +355,7 @@ class TelemetryCollector:
 
         shards: list[ShardSummary] = []
         merged_events: list[TelemetryEvent] = []
+        merged_profile: Optional[Profile] = None
         for partial in ordered:
             roots = spans_from_jsonl(partial.spans_jsonl)
             shift = partial.anchor - anchor
@@ -347,6 +373,13 @@ class TelemetryCollector:
                 else:
                     recorder.spans.roots.append(root)
             recorder.metrics.merge_state(partial.metrics_state)
+            if partial.profile_folded:
+                shard_profile = Profile.from_folded(partial.profile_folded)
+                merged_profile = (
+                    shard_profile
+                    if merged_profile is None
+                    else merged_profile.merge(shard_profile)
+                )
             events = tuple(
                 event_from_dict(event) for event in partial.events
             )
@@ -369,5 +402,6 @@ class TelemetryCollector:
             recorder=recorder,
             events=restamped,
             shards=tuple(shards),
+            profile=merged_profile,
         )
         return self._merged

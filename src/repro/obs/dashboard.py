@@ -31,6 +31,13 @@ from typing import Optional, Sequence, Union
 from repro.errors import ReproError
 from repro.obs.events import TelemetryEvent, event_severity
 from repro.obs.export import spans_from_chrome_trace, spans_from_jsonl
+from repro.obs.profiler import (
+    Profile,
+    _pct,
+    _short_frame,
+    _signed_pct,
+    diff_profiles,
+)
 from repro.obs.runs import RunRecord, _metric_scalars, scenario_costs
 from repro.obs.spans import Span
 
@@ -415,6 +422,202 @@ def _render_cost_treemap(
     return (
         f'<p class="section-note">source: {escape(source)}</p>'
         f'<div class="treemap">{"".join(cells)}</div>{table}'
+    )
+
+
+# ----------------------------------------------------------------------
+# Differential flamegraph (sampled profiles)
+# ----------------------------------------------------------------------
+
+# Diverging ramps for share deltas, light -> strong. All steps stay
+# dark enough for white in-mark labels; near-zero movement renders in
+# the neutral step so color always means *change*, never noise.
+_DIFF_REDS = ("#b55f5f", "#b23d3d", "#9c2424")      # regressed (grew)
+_DIFF_BLUES = ("#5b8ec9", "#3a7ac2", "#2561a8")     # improved (shrank)
+_DIFF_NEUTRAL = "#77766f"
+
+# |cumulative share delta| bucket edges for the ramps above.
+_DIFF_EDGES = (0.002, 0.02, 0.08)
+
+
+def _delta_color(delta: float) -> str:
+    magnitude = abs(delta)
+    if magnitude < _DIFF_EDGES[0]:
+        return _DIFF_NEUTRAL
+    ramp = _DIFF_REDS if delta > 0 else _DIFF_BLUES
+    if magnitude < _DIFF_EDGES[1]:
+        return ramp[0]
+    if magnitude < _DIFF_EDGES[2]:
+        return ramp[1]
+    return ramp[2]
+
+
+def _profile_tree(before: Profile, after: Profile) -> dict:
+    """The union call tree of both profiles: each node carries its
+    cumulative sample count on each side."""
+    root = {"before": 0, "after": 0, "children": {}}
+    for profile, side in ((before, "before"), (after, "after")):
+        for stack, count in profile.counts.items():
+            root[side] += count
+            node = root
+            for frame in stack:
+                node = node["children"].setdefault(
+                    frame, {"before": 0, "after": 0, "children": {}}
+                )
+                node[side] += count
+    return root
+
+
+def _frame_label(frame: str) -> str:
+    """``qualname`` alone — the in-mark label; tooltips carry the rest."""
+    parts = frame.split(":")
+    return parts[1] if len(parts) >= 2 else frame
+
+
+def _render_diff_flamegraph(
+    profile_before: Optional[Profile], profile_after: Optional[Profile]
+) -> str:
+    if profile_before is None and profile_after is None:
+        return (
+            '<p class="empty">No profile loaded — sample runs with '
+            "--profile-hz and pass folded profiles (or profiled runs) "
+            "with --profile-before/--profile-after.</p>"
+        )
+    before = profile_before or Profile()
+    after = profile_after or Profile()
+    differential = profile_before is not None and profile_after is not None
+    if not before and not after:
+        return (
+            '<p class="empty">The loaded profile(s) contain zero samples '
+            "— the run finished between sampler ticks; lower the period "
+            "with a higher --profile-hz.</p>"
+        )
+    total_before = before.samples
+    total_after = after.samples
+    # Widths come from the after profile (the run under scrutiny); a
+    # single loaded profile is its own width basis.
+    basis_side = "after" if total_after else "before"
+    basis_total = total_after or total_before
+    tree = _profile_tree(before, after)
+    cells: list[str] = []
+    max_depth = 0
+
+    def visit(frame: str, node: dict, depth: int, left: float) -> None:
+        nonlocal max_depth
+        max_depth = max(max_depth, depth)
+        width = node[basis_side] / basis_total
+        share_before = node["before"] / total_before if total_before else 0.0
+        share_after = node["after"] / total_after if total_after else 0.0
+        delta = share_after - share_before
+        color = (
+            _delta_color(delta)
+            if differential
+            else _FLAME_RAMP[min(depth, len(_FLAME_RAMP) - 1)]
+        )
+        width_pct = max(width * 100.0, 0.05)
+        label = (
+            f'<span class="flame-label">{escape(_frame_label(frame))}</span>'
+            if width_pct >= 8.0
+            else ""
+        )
+        if differential:
+            title = (
+                f"{frame}: cum {_pct(share_before)} -> {_pct(share_after)} "
+                f"({_signed_pct(delta)}), samples "
+                f"{node['before']} -> {node['after']}"
+            )
+        else:
+            title = (
+                f"{frame}: cum {_pct(width)}, {node[basis_side]} sample(s)"
+            )
+        cells.append(
+            '<div class="flame-span" style="'
+            f"left:{left * 100.0:.3f}%;width:{width_pct:.3f}%;"
+            f'top:{depth * 28}px;background:{color};" '
+            f'title="{escape(title, quote=True)}">{label}</div>'
+        )
+        child_left = left
+        for child_frame in sorted(node["children"]):
+            child = node["children"][child_frame]
+            if not child[basis_side]:
+                continue  # frames only on the zero-width side
+            visit(child_frame, child, depth + 1, child_left)
+            child_left += child[basis_side] / basis_total
+
+    child_left = 0.0
+    for frame in sorted(tree["children"]):
+        child = tree["children"][frame]
+        if not child[basis_side]:
+            continue
+        visit(frame, child, 0, child_left)
+        child_left += child[basis_side] / basis_total
+
+    if differential:
+        caption = (
+            f"before: {total_before} sample(s) @ {before.hz:g} Hz — "
+            f"after: {total_after} sample(s) @ {after.hz:g} Hz "
+            "(width = after-profile share)"
+        )
+        legend = (
+            '<p class="section-note">'
+            f'<span style="color:{_DIFF_REDS[1]}">■</span> regressed '
+            "(self/cumulative share grew) · "
+            f'<span style="color:{_DIFF_BLUES[1]}">■</span> improved '
+            "(share shrank) · "
+            f'<span style="color:{_DIFF_NEUTRAL}">■</span> unchanged</p>'
+        )
+    else:
+        loaded = "after" if total_after else "before"
+        caption = (
+            f"single profile ({loaded}): {basis_total} sample(s) @ "
+            f"{(after if total_after else before).hz:g} Hz — load both "
+            "sides for differential red/blue coloring"
+        )
+        legend = ""
+    parts = [
+        f'<div class="flame-root"><div class="flame-caption">'
+        f"{escape(caption)}</div>"
+        f'<div class="flame" style="height:{(max_depth + 1) * 28}px">'
+        + "".join(cells)
+        + "</div></div>",
+        legend,
+    ]
+    if differential:
+        parts.append(_diff_table(before, after))
+    return "".join(parts)
+
+
+def _diff_table(before: Profile, after: Profile, top: int = 20) -> str:
+    """The differential's table view: biggest self-share movers."""
+    diff = diff_profiles(before, after)
+    moved = [f for f in diff.frames if f.self_delta != 0.0]
+    if not moved:
+        return (
+            '<p class="section-note">no self-time movement between '
+            "the profiles</p>"
+        )
+    ranked = (
+        list(diff.regressed[:top])
+        + list(reversed(diff.improved[-top:]))
+    )
+    rows = "".join(
+        f"<tr><td><code>{escape(_short_frame(delta.frame))}</code></td>"
+        f"<td>{_pct(delta.self_before)}</td>"
+        f"<td>{_pct(delta.self_after)}</td>"
+        f'<td class="{"delta-bad" if delta.self_delta > 0 else "delta-good"}"'
+        f">{_signed_pct(delta.self_delta)}</td>"
+        f"<td>{_pct(delta.cum_before)}</td>"
+        f"<td>{_pct(delta.cum_after)}</td>"
+        f"<td>{_signed_pct(delta.cum_delta)}</td></tr>"
+        for delta in ranked
+        if delta.self_delta != 0.0
+    )
+    return (
+        "<details><summary>Table view (top share movers)</summary>"
+        '<table class="data"><thead><tr><th>frame</th>'
+        "<th>self before</th><th>self after</th><th>Δself</th>"
+        "<th>cum before</th><th>cum after</th><th>Δcum</th></tr></thead>"
+        f"<tbody>{rows}</tbody></table></details>"
     )
 
 
@@ -850,6 +1053,8 @@ def build_dashboard(
     runs: Sequence[RunRecord] = (),
     report=None,
     events: Sequence[TelemetryEvent] = (),
+    profile_before: Optional[Profile] = None,
+    profile_after: Optional[Profile] = None,
     title: str = "SOSAE observability",
     generated_at: Optional[float] = None,
 ) -> str:
@@ -860,10 +1065,18 @@ def build_dashboard(
     returned document references nothing external — no fonts, scripts,
     styles, or images outside the file itself.
     """
-    if not spans and not runs and report is None and not events:
+    if (
+        not spans
+        and not runs
+        and report is None
+        and not events
+        and profile_before is None
+        and profile_after is None
+    ):
         raise ReproError(
             "nothing to render: give the dashboard a trace, a runs "
-            "directory with recorded runs, a report, or an event stream"
+            "directory with recorded runs, a report, an event stream, "
+            "or sampled profiles"
         )
     stamp = time.strftime(
         "%Y-%m-%d %H:%M:%S",
@@ -890,6 +1103,14 @@ def build_dashboard(
             "(width = share of walked wall time; hover for work-unit "
             "counters).",
             _render_cost_treemap(spans, runs),
+        ),
+        (
+            "Differential profile",
+            "Where interpreter time moved between two sampled profiles "
+            "(union call tree; width = after-profile cumulative share; "
+            "red frames regressed, blue improved; hover for exact "
+            "shares).",
+            _render_diff_flamegraph(profile_before, profile_after),
         ),
         (
             "Metric trends",

@@ -34,11 +34,14 @@ from pathlib import Path
 from typing import Optional, Sequence, Union
 
 from repro.errors import ReproError
+from repro.obs.anomaly import DEFAULT_ANOMALY_THRESHOLD, detect_step
 from repro.obs.events import RunRecorded, current_event_bus
+from repro.obs.profiler import Profile
 from repro.obs.spans import Span
 
 __all__ = [
     "DEFAULT_RUNS_DIR",
+    "BisectResult",
     "MetricDelta",
     "RunAttribution",
     "RunDiff",
@@ -47,14 +50,17 @@ __all__ = [
     "ScenarioDelta",
     "StageDelta",
     "attribute_runs",
+    "bisect_runs",
     "current_git_sha",
     "diff_runs",
+    "record_metric_value",
     "scenario_costs",
     "stage_summary",
 ]
 
 DEFAULT_RUNS_DIR = ".repro-runs"
 _RUNS_FILE = "runs.jsonl"
+_PROFILES_DIR = "profiles"
 _FORMAT_VERSION = 1
 
 
@@ -172,6 +178,7 @@ class RunRecord:
     metrics: dict = field(default_factory=dict)   # name -> snapshot dict
     stages: dict = field(default_factory=dict)    # name -> count/wall/cpu
     scenarios: dict = field(default_factory=dict)  # name -> cost attribution
+    profile: dict = field(default_factory=dict)   # digest/samples/hz pointer
 
     def to_dict(self) -> dict:
         return {
@@ -189,6 +196,7 @@ class RunRecord:
             "metrics": self.metrics,
             "stages": self.stages,
             "scenarios": self.scenarios,
+            "profile": self.profile,
         }
 
     @classmethod
@@ -214,6 +222,10 @@ class RunRecord:
             # Optional since the cost-attribution PR; records persisted
             # before it simply have no per-scenario breakdown.
             scenarios=data.get("scenarios", {}),
+            # Optional since the profiler PR: a pointer into
+            # ``.repro-runs/profiles/<run_id>.folded`` when the run was
+            # evaluated under ``--profile-hz``.
+            profile=data.get("profile", {}),
         )
 
 
@@ -236,6 +248,13 @@ class RunRegistry:
     def path(self) -> Path:
         return self.root / _RUNS_FILE
 
+    @property
+    def profiles_dir(self) -> Path:
+        return self.root / _PROFILES_DIR
+
+    def profile_path(self, run_id: str) -> Path:
+        return self.profiles_dir / f"{run_id}.folded"
+
     def _fingerprint(self) -> Optional[tuple[int, int]]:
         try:
             stat = self.path.stat()
@@ -255,6 +274,7 @@ class RunRegistry:
         git_sha: Optional[str] = None,
         timestamp: Optional[float] = None,
         report_digest: Optional[str] = None,
+        profile: Optional[Profile] = None,
     ) -> RunRecord:
         """Snapshot one evaluation (its report and its live
         :class:`~repro.obs.recorder.Recorder`) and append it.
@@ -263,6 +283,11 @@ class RunRegistry:
         (the serve loop caches the digest across runs with identical
         reports) skip re-canonicalizing it — the digest is O(report) and
         dominates recording cost on large evaluations.
+
+        ``profile`` (a sampled :class:`~repro.obs.profiler.Profile`)
+        is persisted as a folded-text artifact under
+        ``profiles/<run_id>.folded``; the record itself carries only a
+        digest pointer, keeping ``runs.jsonl`` lines small.
         """
         roots = tuple(recorder.roots)
         if (
@@ -273,8 +298,20 @@ class RunRegistry:
         else:
             self._cache = None
             existing = len(self._read_lines())
+        run_id = f"r{existing + 1:04d}"
+        profile_pointer: dict = {}
+        if profile is not None:
+            folded = profile.to_folded()
+            self.profiles_dir.mkdir(parents=True, exist_ok=True)
+            self.profile_path(run_id).write_text(folded, encoding="utf-8")
+            profile_pointer = {
+                "digest": profile.digest(),
+                "samples": profile.samples,
+                "stacks": len(profile.counts),
+                "hz": profile.hz,
+            }
         record = RunRecord(
-            run_id=f"r{existing + 1:04d}",
+            run_id=run_id,
             label=label,
             timestamp=time.time() if timestamp is None else timestamp,
             git_sha=git_sha if git_sha is not None else current_git_sha(),
@@ -291,6 +328,7 @@ class RunRegistry:
             metrics=recorder.metrics.to_dict(),
             stages=stage_summary(roots),
             scenarios=scenario_costs(roots),
+            profile=profile_pointer,
         )
         self.root.mkdir(parents=True, exist_ok=True)
         with self.path.open("a", encoding="utf-8") as handle:
@@ -357,6 +395,34 @@ class RunRegistry:
             f"no run {reference!r} under {self.root} "
             f"(have {', '.join(record.run_id for record in records)})"
         )
+
+    def load_profile(self, reference: str) -> Profile:
+        """The folded sampling profile recorded with a run. Fails
+        loudly when the run was not profiled, the artifact is missing,
+        or its content no longer matches the recorded digest."""
+        record = self.get(reference)
+        if not record.profile:
+            raise ReproError(
+                f"run {record.run_id} has no recorded profile "
+                "(evaluate with '--profile-hz N --record')"
+            )
+        path = self.profile_path(record.run_id)
+        try:
+            folded = path.read_text(encoding="utf-8")
+        except OSError:
+            raise ReproError(
+                f"profile artifact {path} for run {record.run_id} "
+                "is missing"
+            ) from None
+        profile = Profile.from_folded(folded)
+        expected = record.profile.get("digest")
+        if expected and profile.digest() != expected:
+            raise ReproError(
+                f"profile artifact {path} does not match run "
+                f"{record.run_id}'s recorded digest (expected {expected}, "
+                f"got {profile.digest()})"
+            )
+        return profile
 
     def render_list(self) -> str:
         """A table of the recorded runs, oldest first.
@@ -554,6 +620,29 @@ def _metric_scalars(snapshot: dict) -> dict[str, tuple[float, bool]]:
     return scalars
 
 
+#: RunRecord fields addressable directly as bisect/alert metrics.
+_RECORD_FIELDS = (
+    "findings",
+    "wall_seconds",
+    "scenarios_passed",
+    "scenarios_failed",
+)
+
+
+def record_metric_value(record: RunRecord, metric: str) -> Optional[float]:
+    """Resolve a metric name against one run record: a record field
+    (``findings``, ``wall_seconds``, …), ``consistent`` (as 0/1), or
+    any flattened metric scalar (see :func:`_metric_scalars`). ``None``
+    when the record carries no such value — shared by ``runs bisect``
+    and runs-source alert rules so both address history identically."""
+    if metric in _RECORD_FIELDS:
+        return float(getattr(record, metric))
+    if metric == "consistent":
+        return 1.0 if record.consistent else 0.0
+    value = _metric_scalars(record.metrics).get(metric)
+    return value[0] if value is not None else None
+
+
 def diff_runs(
     before: RunRecord,
     after: RunRecord,
@@ -693,13 +782,23 @@ def _attr_ms(value: Optional[float]) -> str:
 
 
 def _scenario_driver(
-    before: Optional[dict], after: Optional[dict]
+    before: Optional[dict],
+    after: Optional[dict],
+    before_id: str = "",
+    after_id: str = "",
 ) -> tuple[str, dict]:
-    """The work-unit counter that best explains a scenario's movement."""
+    """The work-unit counter that best explains a scenario's movement.
+
+    Scenarios present on only one side get an explicit cause row — the
+    whole wall time is the "delta", and the cause names which run has
+    the scenario — instead of a spurious counter comparison against
+    zeros."""
     if before is None:
-        return "new scenario", {}
+        where = f" (only in {after_id})" if after_id else ""
+        return f"new scenario{where}", {}
     if after is None:
-        return "scenario removed", {}
+        where = f" (only in {before_id})" if before_id else ""
+        return f"scenario removed{where}", {}
     counters: dict = {}
     best: Optional[tuple[float, str]] = None
     for counter in _COST_COUNTERS + ("traces",):
@@ -736,7 +835,9 @@ def attribute_runs(before: RunRecord, after: RunRecord) -> RunAttribution:
     for name in names:
         old = before.scenarios.get(name)
         new = after.scenarios.get(name)
-        driver, counters = _scenario_driver(old, new)
+        driver, counters = _scenario_driver(
+            old, new, before.run_id, after.run_id
+        )
         deltas.append(
             ScenarioDelta(
                 name=name,
@@ -763,4 +864,122 @@ def attribute_runs(before: RunRecord, after: RunRecord) -> RunAttribution:
         after=after,
         scenarios=tuple(deltas),
         stages=tuple(stage_rows),
+    )
+
+
+# ----------------------------------------------------------------------
+# Regression bisection over run history
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class BisectResult:
+    """Where a metric stepped in run history.
+
+    ``step`` is the first run whose value sits more than ``threshold``
+    robust sigmas from the rolling baseline before it (``None`` when
+    the series never steps); ``points`` carries every scored run for
+    the rendered walk. Runs missing the metric are skipped (old
+    records), not scored.
+    """
+
+    metric: str
+    window: int
+    threshold: float
+    step: Optional[RunRecord]
+    score: float
+    points: tuple[tuple[RunRecord, float, float, bool], ...]
+    skipped: tuple[str, ...]          # run ids missing the metric
+
+    def render(self) -> str:
+        lines = [
+            f"bisect {self.metric}: window={self.window} "
+            f"threshold={self.threshold:g}"
+        ]
+        if self.skipped:
+            lines.append(
+                f"  (skipped {len(self.skipped)} run(s) without the "
+                f"metric: {', '.join(self.skipped)})"
+            )
+        header = (
+            f"  {'run':<6} {'git':<8} {'value':>14} {'score':>8}"
+        )
+        lines.append(header)
+        for record, value, score, stepped in self.points:
+            sha = (record.git_sha or "-")[:8]
+            marker = "  << step" if stepped else ""
+            score_text = "baseline" if score < 0 else f"{score:8.2f}"
+            lines.append(
+                f"  {record.run_id:<6} {sha:<8} {value:>14g} "
+                f"{score_text:>8}{marker}"
+            )
+        lines.append("")
+        if self.step is None:
+            lines.append(f"no step detected in {self.metric}")
+        else:
+            sha = self.step.git_sha or "unknown sha"
+            lines.append(
+                f"{self.metric} stepped at {self.step.run_id} "
+                f"({self.step.label}) — git {sha} — "
+                f"score {self.score:.2f} > {self.threshold:g}"
+            )
+        return "\n".join(lines)
+
+
+def bisect_runs(
+    records: Sequence[RunRecord],
+    metric: str,
+    window: int = 5,
+    threshold: float = DEFAULT_ANOMALY_THRESHOLD,
+) -> BisectResult:
+    """Walk run history oldest-to-newest and name the first run where
+    ``metric`` stepped, by the rolling median+MAD detector shared with
+    ``mode = "anomaly"`` alert rules (:mod:`repro.obs.anomaly`).
+
+    The first ``window`` runs (after dropping records without the
+    metric) seed the baseline and are never flagged; history shorter
+    than ``window + 1`` scored runs is an explicit error, not a silent
+    all-clear.
+    """
+    scored = [
+        (record, value)
+        for record in records
+        if (value := record_metric_value(record, metric)) is not None
+    ]
+    skipped = tuple(
+        record.run_id
+        for record in records
+        if record_metric_value(record, metric) is None
+    )
+    if not scored and records:
+        raise ReproError(
+            f"no recorded run carries metric {metric!r} "
+            "(see 'sosae runs list' and docs/PROFILING.md for names)"
+        )
+    if len(scored) < window + 1:
+        raise ReproError(
+            f"bisecting {metric!r} with window={window} needs at least "
+            f"{window + 1} runs carrying the metric; have {len(scored)} "
+            "(record more runs or pass a smaller --window)"
+        )
+    series = [value for _, value in scored]
+    step_index, step_points = detect_step(series, window, threshold)
+    by_index = {point.index: point for point in step_points}
+    points = []
+    for index, (record, value) in enumerate(scored):
+        point = by_index.get(index)
+        if point is None:
+            points.append((record, value, -1.0, False))  # baseline seed
+        else:
+            points.append((record, value, point.score, point.stepped))
+    step_record = scored[step_index][0] if step_index is not None else None
+    score = by_index[step_index].score if step_index is not None else 0.0
+    return BisectResult(
+        metric=metric,
+        window=window,
+        threshold=threshold,
+        step=step_record,
+        score=score,
+        points=tuple(points),
+        skipped=skipped,
     )

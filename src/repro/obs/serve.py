@@ -22,7 +22,14 @@ dependencies):
     The latest evaluation report as JSON (503 before the first run).
 ``/alerts``
     Every alert rule's state (active, consecutive violations, last
-    value) as JSON.
+    value, evaluation status — including ``insufficient-history`` for
+    windows the registry cannot fill yet) as JSON.
+``/profile``
+    With ``--profile-hz``: the merged folded sampling profile of the
+    recent interval-evaluation ring (``?last=N`` bounds how many
+    intervals), as plain text ``dashboard --live`` folds into its
+    flamegraph. 404 when profiling is off, 503 before the first
+    profiled run.
 ``/events``
     A Server-Sent-Events bridge off the daemon's live event bus: each
     telemetry event becomes one ``event:``/``data:`` frame, with
@@ -47,6 +54,7 @@ import json
 import queue
 import threading
 import time
+from collections import deque
 from dataclasses import dataclass, field
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
@@ -66,6 +74,7 @@ from repro.obs.events import (
 )
 from repro.obs.log import get_logger
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.profiler import Profile, SamplingProfiler, use_profiler
 from repro.obs.promexp import CONTENT_TYPE, PromSample, render_prometheus
 from repro.obs.recorder import Recorder, use
 from repro.obs.runs import (
@@ -142,6 +151,10 @@ class RunOutcome:
     run_id: Optional[str] = None
     fired: tuple[AlertFired, ...] = ()
     resolved: tuple[AlertResolved, ...] = ()
+    #: "rule-name: detail" for every rule the registry history cannot
+    #: answer yet — surfaced by ``serve --once --check`` output so an
+    #: under-filled window is never a silent skip.
+    insufficient: tuple[str, ...] = ()
 
     @property
     def alerting(self) -> bool:
@@ -214,11 +227,21 @@ class ServeDaemon:
         incremental: bool = True,
         incremental_safe_paths: Sequence[Union[str, Path]] = (),
         workers: int = 1,
+        profile_hz: Optional[float] = None,
+        profile_history: int = 8,
     ) -> None:
         if interval is not None and interval <= 0:
             raise ReproError(f"interval must be positive, got {interval}")
         if workers < 1:
             raise ReproError(f"workers must be >= 1, got {workers}")
+        if profile_hz is not None and profile_hz <= 0:
+            raise ReproError(
+                f"profile hz must be > 0, got {profile_hz:g}"
+            )
+        if profile_history < 1:
+            raise ReproError(
+                f"profile history must be >= 1, got {profile_history}"
+            )
         self.build_sosae = build_sosae
         self.watcher = SpecWatcher(watch_paths)
         self.interval = interval
@@ -240,6 +263,10 @@ class ServeDaemon:
             str(Path(path)) for path in incremental_safe_paths
         )
         self.workers = workers
+        self.profile_hz = profile_hz
+        # A bounded ring of recent interval profiles: /profile merges
+        # and serves them as folded text for `dashboard --live`.
+        self._profiles: deque[Profile] = deque(maxlen=profile_history)
         self._tracker = None
         self._batch = None
         self._sosae = None
@@ -289,10 +316,31 @@ class ServeDaemon:
                 recorder = Recorder(
                     spans=SpanRecorder(), metrics=self.metrics
                 )
+                profile: Optional[Profile] = None
                 with use(recorder):
-                    report, used_incremental = self._produce_report(
-                        previous_sosae, changed_paths, recorder
-                    )
+                    if self.profile_hz:
+                        # Continuous profiling: sample this interval's
+                        # evaluation (installing the profiler also makes
+                        # a sharded run's workers sample themselves).
+                        profiler = SamplingProfiler(hz=self.profile_hz)
+                        profiler.start()
+                        try:
+                            with use_profiler(profiler):
+                                report, used_incremental = (
+                                    self._produce_report(
+                                        previous_sosae,
+                                        changed_paths,
+                                        recorder,
+                                    )
+                                )
+                        finally:
+                            profile = profiler.stop()
+                        with self._lock:
+                            self._profiles.append(profile)
+                    else:
+                        report, used_incremental = self._produce_report(
+                            previous_sosae, changed_paths, recorder
+                        )
                     # The digest is O(report); between interval runs of
                     # an unchanged spec the report is identical, so an
                     # equality check replaces a re-canonicalization.
@@ -310,6 +358,7 @@ class ServeDaemon:
                             recorder,
                             git_sha=self._git_sha,
                             report_digest=self._last_digest,
+                            profile=profile,
                         )
                         if self.registry is not None
                         else None
@@ -380,6 +429,10 @@ class ServeDaemon:
             run_id=record.run_id if record is not None else None,
             fired=fired,
             resolved=resolved,
+            insufficient=tuple(
+                f"{state.rule.name}: {state.status_detail}"
+                for state in self.engine.insufficient_history()
+            ),
         )
 
     def _produce_report(
@@ -705,6 +758,19 @@ class ServeDaemon:
         with self._lock:
             return json.dumps({"alerts": self._state.alerts}, sort_keys=True)
 
+    def profile_folded(self, last: Optional[int] = None) -> Optional[str]:
+        """The folded text of the recent interval-profile ring (merged
+        in ring order; ``last`` bounds how many intervals). ``None``
+        before the first profiled run."""
+        with self._lock:
+            profiles = list(self._profiles)
+        if last is not None and last > 0:
+            profiles = profiles[-last:]
+        merged: Optional[Profile] = None
+        for profile in profiles:
+            merged = profile if merged is None else merged.merge(profile)
+        return merged.to_folded() if merged is not None else None
+
 
 class _ServeHTTPServer(ThreadingHTTPServer):
     daemon_threads = True
@@ -749,6 +815,33 @@ class _ServeHandler(BaseHTTPRequestHandler):
                     self._respond(200, "application/json", report)
             elif parts.path == "/alerts":
                 self._respond(200, "application/json", daemon.alerts_json())
+            elif parts.path == "/profile":
+                if daemon.profile_hz is None:
+                    self._respond_json(
+                        404,
+                        {
+                            "error": "continuous profiling is off "
+                            "(start serve with --profile-hz)"
+                        },
+                    )
+                else:
+                    last = None
+                    values = parse_qs(parts.query).get("last")
+                    if values:
+                        try:
+                            last = max(1, int(values[0]))
+                        except ValueError:
+                            last = None
+                    folded = daemon.profile_folded(last=last)
+                    if folded is None:
+                        self._respond_json(
+                            503,
+                            {"error": "no profiled run has completed yet"},
+                        )
+                    else:
+                        self._respond(
+                            200, "text/plain; charset=utf-8", folded
+                        )
             elif parts.path == "/events":
                 self._stream_events(daemon, parts.query)
             elif parts.path == "/":
@@ -762,6 +855,7 @@ class _ServeHandler(BaseHTTPRequestHandler):
                             "/readyz",
                             "/report",
                             "/alerts",
+                            "/profile",
                             "/events",
                         ],
                     },

@@ -50,6 +50,7 @@ from repro.errors import EvaluationError
 from repro.obs.collector import MergedTelemetry, TelemetryCollector
 from repro.obs.context import TraceContext, new_trace_id
 from repro.obs.events import EvaluationFinished, EvaluationStarted, current_event_bus
+from repro.obs.profiler import current_profiler
 from repro.obs.recorder import current_recorder
 from repro.scenarioml.xml_io import to_scenarioml_xml
 from repro.shard.worker import ShardTask, init_worker, run_shard
@@ -227,6 +228,12 @@ class BatchEvaluator:
                 "mapping": sosae.mapping.to_json(),
                 "options": sosae.walkthrough_options,
             }
+            # When the parent is profiling, workers sample their own
+            # walks at the same rate; the folded partials merge into
+            # one coherent profile via the collector + the parent
+            # profiler's ingest queue.
+            profiler = current_profiler()
+            profile_hz = profiler.hz if profiler.enabled else None
             tasks = [
                 ShardTask(
                     shard=shard,
@@ -236,6 +243,7 @@ class BatchEvaluator:
                         shard=shard,
                         parent_span_id=parent_span_id,
                     ),
+                    profile_hz=profile_hz,
                 )
                 for shard, chunk in enumerate(chunks, start=1)
             ]
@@ -260,6 +268,8 @@ class BatchEvaluator:
                         collector.ingest(result["partial"])
             merged = collector.merge()
             self.last_telemetry = merged
+            if profiler.enabled and merged.profile is not None:
+                profiler.ingest(merged.profile)
             self.last_shard_stats = tuple(
                 ShardStats(
                     shard=summary.shard,

@@ -32,6 +32,7 @@ from repro.errors import ReproError
 from repro.obs.collector import snapshot_partial
 from repro.obs.context import TraceContext
 from repro.obs.events import EventBus, use_events
+from repro.obs.profiler import SamplingProfiler
 from repro.obs.recorder import Recorder, use
 from repro.obs.spans import SpanRecorder
 from repro.scenarioml.xml_io import parse_scenarioml
@@ -41,12 +42,14 @@ __all__ = ["ShardTask", "init_worker", "run_shard"]
 
 @dataclass(frozen=True)
 class ShardTask:
-    """One shard's work order: which scenarios to walk, and the trace
-    identity to record under."""
+    """One shard's work order: which scenarios to walk, the trace
+    identity to record under, and (optionally) the sampling rate to
+    profile the walk at."""
 
     shard: int
     scenarios: tuple[str, ...]
     context: TraceContext
+    profile_hz: Optional[float] = None
 
 
 # Per-process state, set once by the pool initializer.
@@ -93,6 +96,14 @@ def run_shard(task: ShardTask) -> dict:
     bus = EventBus()
     verdicts = []
     stats_before = engine.index.stats()
+    # Sample this worker's own walk when the parent asked for it; the
+    # folded profile rides home in the telemetry partial and merges
+    # deterministically with every other shard's.
+    profiler = (
+        SamplingProfiler(hz=task.profile_hz).start()
+        if task.profile_hz
+        else None
+    )
     with use(recorder), use_events(bus):
         with recorder.span(
             "shard", shard=task.shard, scenarios=len(task.scenarios)
@@ -106,6 +117,7 @@ def run_shard(task: ShardTask) -> dict:
                 else:
                     verdict = engine.walk_scenario(scenario, scenario_set)
                 verdicts.append(verdict)
+    profile = profiler.stop() if profiler is not None else None
     stats_after = engine.index.stats()
     recorder.counter("index.hits").inc(stats_after.hits - stats_before.hits)
     recorder.counter("index.misses").inc(
@@ -122,6 +134,7 @@ def run_shard(task: ShardTask) -> dict:
         trace_id=task.context.trace_id,
         recorder=recorder,
         events=bus.events(),
+        profile=profile,
     )
     return {
         "shard": task.shard,

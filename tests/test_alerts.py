@@ -358,3 +358,84 @@ class TestRunsSourceRules:
             if "absent from the run registry" in record.getMessage()
         ]
         assert len(warnings) == 1
+
+
+class TestAnomalyMode:
+    def _engine(self, window=4, threshold=3.5, **extra):
+        kwargs = dict(
+            name="step", metric="wall_seconds", source="runs",
+            mode="anomaly", window=window, threshold=threshold,
+        )
+        kwargs.update(extra)
+        return AlertEngine([AlertRule(**kwargs)])
+
+    def test_fires_on_a_step_not_on_noise(self):
+        engine = self._engine(window=4)
+        history = [
+            _run(i, wall_seconds=w)
+            for i, w in enumerate((1.0, 1.02, 0.98, 1.01), start=1)
+        ]
+        history.append(_run(5, wall_seconds=1.0))
+        assert engine.evaluate({}, runs=history) == []
+        history.append(_run(6, wall_seconds=5.0))
+        (fired,) = engine.evaluate({}, runs=history)
+        assert fired.rule == "step"
+        assert fired.value > 3.5  # the value is the robust z-score
+
+    def test_parse_rules_defaults_anomaly_threshold(self):
+        (rule,) = parse_rules(
+            {"rules": [{"name": "step", "metric": "wall_seconds",
+                        "source": "runs", "mode": "anomaly",
+                        "window": 4}]}
+        )
+        assert rule.mode == "anomaly"
+        assert rule.threshold == 3.5
+
+    def test_anomaly_needs_runs_source_and_a_wide_window(self):
+        with pytest.raises(ReproError, match="source"):
+            AlertRule(name="a", metric="m", threshold=1, mode="anomaly")
+        with pytest.raises(ReproError, match="window"):
+            AlertRule(name="a", metric="m", threshold=3.5, source="runs",
+                      mode="anomaly", window=2)
+
+
+class TestInsufficientHistory:
+    def _engine(self, window=4, mode="anomaly", threshold=3.5):
+        return AlertEngine(
+            [AlertRule(name="slo", metric="wall_seconds", source="runs",
+                       mode=mode, threshold=threshold, window=window)]
+        )
+
+    def test_underfilled_window_sets_the_status(self):
+        engine = self._engine(window=4)
+        engine.evaluate({}, runs=[_run(1), _run(2)])
+        (state,) = engine.insufficient_history()
+        assert state.status == "insufficient-history"
+        assert "needs" in state.status_detail
+        assert "2" in state.status_detail
+
+    def test_status_appears_in_the_snapshot(self):
+        engine = self._engine(window=4)
+        engine.evaluate({}, runs=[_run(1)])
+        (snap,) = engine.to_dict()
+        assert snap["status"] == "insufficient-history"
+        assert snap["status_detail"]
+
+    def test_filled_window_clears_the_status(self):
+        engine = self._engine(window=4)
+        engine.evaluate({}, runs=[_run(1), _run(2)])
+        assert engine.insufficient_history()
+        history = [_run(i, wall_seconds=1.0) for i in range(1, 6)]
+        engine.evaluate({}, runs=history)
+        assert engine.insufficient_history() == ()
+        (snap,) = engine.to_dict()
+        assert snap["status"] == "ok"
+
+    def test_metric_source_rules_never_report_history(self):
+        engine = AlertEngine(
+            [AlertRule(name="m", metric="findings", threshold=0)]
+        )
+        engine.evaluate({})
+        assert engine.insufficient_history() == ()
+        (snap,) = engine.to_dict()
+        assert snap["status"] == "no-data"

@@ -1,0 +1,90 @@
+"""The robust (median + MAD) changepoint detector shared by ``runs
+bisect`` and ``mode = "anomaly"`` alert rules."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ReproError
+from repro.obs import detect_step, mad, median, robust_zscore
+
+
+class TestRobustStats:
+    def test_median_odd_and_even(self):
+        assert median([3.0, 1.0, 2.0]) == 2.0
+        assert median([1.0, 2.0, 3.0, 4.0]) == 2.5
+
+    def test_median_empty_errors(self):
+        with pytest.raises(ReproError, match="empty"):
+            median([])
+
+    def test_mad_is_the_median_absolute_deviation(self):
+        assert mad([1.0, 2.0, 3.0, 100.0]) == pytest.approx(1.0)
+        assert mad([5.0, 5.0, 5.0]) == 0.0
+
+    def test_robust_zscore_scales_by_mad(self):
+        baseline = [10.0, 11.0, 9.0, 10.0, 10.5]
+        assert robust_zscore(baseline, 10.0) == pytest.approx(0.0, abs=1e-9)
+        assert robust_zscore(baseline, 30.0) > 3.5
+
+    def test_zero_mad_baseline_still_flags_steps(self):
+        # A perfectly flat baseline must not divide by zero — and any
+        # real movement off it is a step.
+        baseline = [5.0] * 6
+        assert robust_zscore(baseline, 5.0) == pytest.approx(0.0, abs=1e-9)
+        assert robust_zscore(baseline, 6.0) > 3.5
+
+    def test_outliers_in_the_baseline_do_not_mask_steps(self):
+        # The property that justifies median+MAD over mean+stddev: one
+        # wild baseline value barely moves the robust score.
+        clean = [10.0, 10.2, 9.8, 10.1, 9.9]
+        polluted = clean[:-1] + [100.0]
+        assert robust_zscore(polluted, 20.0) > 3.5
+
+
+class TestDetectStep:
+    def test_finds_an_injected_step(self):
+        series = [10.0, 10.2, 9.8, 10.1, 9.9, 10.0, 20.0, 20.1, 19.9]
+        first, points = detect_step(series, window=5)
+        assert first == 6
+        assert points[0].index == 5  # scoring starts after the window
+        stepped = [point.index for point in points if point.stepped]
+        assert stepped == [6, 7, 8]
+
+    def test_baseline_freezes_at_the_first_step(self):
+        # Without freezing, the rolling window absorbs the new plateau
+        # and post-step values stop being flagged — the regression would
+        # look like a one-sample blip instead of a level shift.
+        series = [10.0] * 6 + [20.0] * 6
+        first, points = detect_step(series, window=5)
+        assert first == 6
+        assert all(point.stepped for point in points if point.index >= 6)
+
+    def test_clean_series_has_no_step(self):
+        series = [10.0, 10.1, 9.9, 10.0, 10.2, 9.8, 10.0]
+        first, points = detect_step(series, window=5)
+        assert first is None
+        assert points and not any(point.stepped for point in points)
+
+    def test_downward_steps_are_flagged_too(self):
+        series = [10.0] * 6 + [1.0]
+        first, _ = detect_step(series, window=5)
+        assert first == 6
+
+    def test_threshold_tunes_sensitivity(self):
+        series = [10.0, 10.2, 9.8, 10.1, 9.9, 10.6]
+        strict, _ = detect_step(series, window=5, threshold=1000.0)
+        loose, _ = detect_step(series, window=5, threshold=0.1)
+        assert strict is None
+        assert loose == 5
+
+    def test_short_series_scores_nothing(self):
+        first, points = detect_step([1.0, 2.0], window=5)
+        assert first is None
+        assert points == ()
+
+    def test_window_and_threshold_validation(self):
+        with pytest.raises(ReproError, match="window"):
+            detect_step([1.0, 2.0], window=0)
+        with pytest.raises(ReproError, match="threshold"):
+            detect_step([1.0, 2.0], window=2, threshold=0.0)

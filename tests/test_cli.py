@@ -820,3 +820,138 @@ class TestRunsAttribute:
              "--runs-dir", str(tmp_path / "none")]
         ) == 2
         assert "error:" in capsys.readouterr().err
+
+
+class TestProfileCommands:
+    def _profiled_demo(self, runs_dir, variant="intact", hz="2000"):
+        return main(
+            ["demo", "pims", "--variant", variant, "--profile-hz", hz,
+             "--record", "--runs-dir", str(runs_dir)]
+        )
+
+    def test_profile_hz_prints_a_sampled_profile(self, capsys):
+        assert main(["demo", "pims", "--profile-hz", "2000"]) == 0
+        out = capsys.readouterr().out
+        assert "=== sampled profile ===" in out
+
+    def test_record_persists_the_folded_artifact(self, tmp_path, capsys):
+        runs_dir = tmp_path / "runs"
+        assert self._profiled_demo(runs_dir) == 0
+        artifact = runs_dir / "profiles" / "r0001.folded"
+        assert artifact.exists()
+        assert artifact.read_text().startswith("# sosae-profile format=1 ")
+
+    def test_show_renders_hot_frames(self, tmp_path, capsys):
+        runs_dir = tmp_path / "runs"
+        assert self._profiled_demo(runs_dir) == 0
+        capsys.readouterr()
+        assert main(
+            ["profile", "show", "latest", "--runs-dir", str(runs_dir)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "self%" in out
+
+    def test_show_reads_a_folded_file_directly(self, tmp_path, capsys):
+        folded = tmp_path / "p.folded"
+        folded.write_text("main;work 10\nmain;idle 2\n")
+        assert main(["profile", "show", str(folded)]) == 0
+        out = capsys.readouterr().out
+        assert "work" in out
+
+    def test_diff_between_recorded_runs(self, tmp_path, capsys):
+        runs_dir = tmp_path / "runs"
+        assert self._profiled_demo(runs_dir) == 0
+        assert self._profiled_demo(runs_dir) == 0
+        capsys.readouterr()
+        assert main(
+            ["profile", "diff", "previous", "latest",
+             "--runs-dir", str(runs_dir)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "profile diff:" in out
+
+    def test_diff_against_unprofiled_run_is_usage_error(
+        self, tmp_path, capsys
+    ):
+        runs_dir = tmp_path / "runs"
+        assert main(
+            ["demo", "pims", "--record", "--runs-dir", str(runs_dir)]
+        ) == 0
+        assert self._profiled_demo(runs_dir) == 0
+        capsys.readouterr()
+        assert main(
+            ["profile", "diff", "r0001", "r0002",
+             "--runs-dir", str(runs_dir)]
+        ) == 2
+        assert "no recorded profile" in capsys.readouterr().err
+
+    def test_dashboard_accepts_profile_flags(self, tmp_path, capsys):
+        runs_dir = tmp_path / "runs"
+        assert self._profiled_demo(runs_dir) == 0
+        assert self._profiled_demo(runs_dir) == 0
+        capsys.readouterr()
+        out_html = tmp_path / "dash.html"
+        assert main(
+            ["dashboard",
+             "--profile-before", "r0001", "--profile-after", "r0002",
+             "--runs-dir", str(runs_dir), "--out", str(out_html)]
+        ) == 0
+        assert "Differential profile" in out_html.read_text()
+
+    def test_dashboard_autodetects_profiled_runs(self, tmp_path, capsys):
+        runs_dir = tmp_path / "runs"
+        assert self._profiled_demo(runs_dir) == 0
+        assert self._profiled_demo(runs_dir) == 0
+        capsys.readouterr()
+        out_html = tmp_path / "dash.html"
+        assert main(
+            ["dashboard", "--runs-dir", str(runs_dir),
+             "--out", str(out_html)]
+        ) == 0
+        html = out_html.read_text()
+        assert "Differential profile" in html
+
+
+class TestRunsBisect:
+    def _record(self, runs_dir, variant="intact"):
+        return main(
+            ["demo", "pims", "--variant", variant,
+             "--record", "--runs-dir", str(runs_dir)]
+        )
+
+    def test_names_the_step_run_and_exits_one(self, tmp_path, capsys):
+        runs_dir = tmp_path / "runs"
+        for _ in range(4):
+            assert self._record(runs_dir) == 0
+        for _ in range(2):
+            assert self._record(runs_dir, variant="excised") == 1
+        capsys.readouterr()
+        assert main(
+            ["runs", "bisect", "findings",
+             "--runs-dir", str(runs_dir), "--window", "3"]
+        ) == 1
+        out = capsys.readouterr().out
+        assert "stepped at r0005" in out
+        assert "<< step" in out
+
+    def test_clean_history_exits_zero(self, tmp_path, capsys):
+        runs_dir = tmp_path / "runs"
+        for _ in range(5):
+            assert self._record(runs_dir) == 0
+        capsys.readouterr()
+        assert main(
+            ["runs", "bisect", "findings",
+             "--runs-dir", str(runs_dir), "--window", "3"]
+        ) == 0
+        assert "no step" in capsys.readouterr().out
+
+    def test_unknown_metric_is_usage_error(self, tmp_path, capsys):
+        runs_dir = tmp_path / "runs"
+        for _ in range(5):
+            assert self._record(runs_dir) == 0
+        capsys.readouterr()
+        assert main(
+            ["runs", "bisect", "not-a-metric",
+             "--runs-dir", str(runs_dir), "--window", "3"]
+        ) == 2
+        assert "error:" in capsys.readouterr().err

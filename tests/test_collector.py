@@ -226,8 +226,12 @@ class TestParentStitching:
             shifted.roots[1].start_wall - aligned.roots[1].start_wall
         )
         assert delta == pytest.approx(100.0, abs=1.0)
-        # Shard 1 (the reference anchor) stays put.
-        assert shifted.roots[0].start_wall == aligned.roots[0].start_wall
+        # Shard 1 stays put (within anchor jitter: each clock_anchor()
+        # call differs by sub-microsecond noise, so which same-epoch
+        # partial supplies the reference anchor is not exact).
+        assert shifted.roots[0].start_wall == pytest.approx(
+            aligned.roots[0].start_wall, abs=1e-3
+        )
 
 
 class TestMergedRegistryExposition:

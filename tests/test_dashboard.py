@@ -10,6 +10,7 @@ from repro.core.evaluator import Sosae
 from repro.errors import ReproError
 from repro.obs import (
     EventBus,
+    Profile,
     Recorder,
     RunRecord,
     RunRegistry,
@@ -264,3 +265,52 @@ class TestCostTreemap:
     def test_no_costs_degrades_to_a_note(self):
         html = build_dashboard(spans=_forest())
         assert "No per-scenario costs" in html
+
+
+def _profile(counts, hz=97.0, wall=0.5):
+    return Profile(
+        counts={tuple(stack): count for stack, count in counts.items()},
+        hz=hz,
+        wall_seconds=wall,
+    )
+
+
+class TestDifferentialFlamegraph:
+    def test_two_profiles_render_red_blue_cells(self):
+        before = _profile({("m:hot:1", "m:leaf:2"): 8, ("m:cool:3",): 8})
+        after = _profile({("m:hot:1", "m:leaf:2"): 14, ("m:cool:3",): 2})
+        html = build_dashboard(
+            profile_before=before, profile_after=after
+        )
+        assert "Differential profile" in html
+        assert "hot" in html and "cool" in html
+        # Regressed frames pick a red, improved frames a blue.
+        assert "#9c2424" in html or "#b23d3d" in html or "#b55f5f" in html
+        assert "#2561a8" in html or "#3a7ac2" in html or "#5b8ec9" in html
+        # The top-movers table accompanies the graph.
+        assert "self%" in html or "self" in html
+
+    def test_single_profile_falls_back_to_plain_flamegraph(self):
+        html = build_dashboard(
+            profile_after=_profile({("m:f:1", "m:g:2"): 5})
+        )
+        assert "single profile (after)" in html
+        assert "differential" in html
+
+    def test_zero_sample_profiles_degrade_to_a_note(self):
+        html = build_dashboard(
+            profile_before=Profile(),
+            profile_after=Profile(),
+            spans=_forest(),
+        )
+        assert "Differential profile" in html
+        # No division by zero; an empty-state note instead of cells.
+        assert "zero samples" in html
+
+    def test_profiles_alone_are_enough_input(self):
+        html = build_dashboard(profile_after=_profile({("m:f:1",): 3}))
+        assert "<html" in html
+
+    def test_profile_section_absent_note_without_input(self):
+        html = build_dashboard(spans=_forest())
+        assert "Differential profile" in html

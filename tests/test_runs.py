@@ -9,11 +9,14 @@ import pytest
 from repro.core.evaluator import Sosae
 from repro.errors import ReproError
 from repro.obs import (
+    Profile,
     Recorder,
     RunRecord,
     RunRegistry,
     attribute_runs,
+    bisect_runs,
     diff_runs,
+    record_metric_value,
     scenario_costs,
     stage_summary,
     use,
@@ -383,8 +386,19 @@ class TestAttributeRuns:
         )
         attribution = attribute_runs(before, after)
         drivers = {row.name: row.driver for row in attribution.scenarios}
-        assert drivers["new"] == "new scenario"
-        assert drivers["old"] == "scenario removed"
+        # The cause row names which run actually has the scenario.
+        assert drivers["new"] == "new scenario (only in rB)"
+        assert drivers["old"] == "scenario removed (only in rA)"
+        # One-sided rows render with a '-' on the missing side, never
+        # a KeyError or a spurious zero-counter comparison.
+        by_name = {row.name: row for row in attribution.scenarios}
+        assert by_name["new"].before_wall is None
+        assert by_name["new"].after_wall == pytest.approx(0.2)
+        assert by_name["old"].after_wall is None
+        assert by_name["new"].counters == {} and by_name["old"].counters == {}
+        rendered = attribution.render()
+        assert "new scenario (only in rB)" in rendered
+        assert "scenario removed (only in rA)" in rendered
 
     def test_work_unit_growth_named_as_cause(self):
         before = RunRecord.from_dict(
@@ -405,3 +419,144 @@ class TestAttributeRuns:
         )
         assert attribution.top is None
         assert "per-scenario costs" in attribution.render()
+
+
+class TestProfilePersistence:
+    def _profile(self):
+        return Profile(
+            counts={("m:f:1", "m:g:2"): 5, ("m:f:1",): 2},
+            hz=97.0,
+            wall_seconds=0.25,
+        )
+
+    def test_record_persists_the_folded_artifact(
+        self, tmp_path, recorded_evaluation
+    ):
+        report, recorder = recorded_evaluation
+        registry = RunRegistry(tmp_path / "runs")
+        profile = self._profile()
+        record = registry.record("label", report, recorder, profile=profile)
+        assert record.profile["digest"] == profile.digest()
+        assert record.profile["samples"] == 7
+        assert record.profile["stacks"] == 2
+        assert record.profile["hz"] == 97.0
+        path = registry.profile_path(record.run_id)
+        assert path.read_text(encoding="utf-8") == profile.to_folded()
+
+    def test_load_profile_round_trips(self, tmp_path, recorded_evaluation):
+        report, recorder = recorded_evaluation
+        registry = RunRegistry(tmp_path / "runs")
+        registry.record("label", report, recorder, profile=self._profile())
+        assert registry.load_profile("latest") == self._profile()
+
+    def test_unprofiled_run_errors_helpfully(
+        self, tmp_path, recorded_evaluation
+    ):
+        report, recorder = recorded_evaluation
+        registry = RunRegistry(tmp_path / "runs")
+        registry.record("label", report, recorder)
+        with pytest.raises(ReproError, match="no recorded profile"):
+            registry.load_profile("latest")
+
+    def test_tampered_artifact_fails_the_digest_check(
+        self, tmp_path, recorded_evaluation
+    ):
+        report, recorder = recorded_evaluation
+        registry = RunRegistry(tmp_path / "runs")
+        record = registry.record(
+            "label", report, recorder, profile=self._profile()
+        )
+        path = registry.profile_path(record.run_id)
+        path.write_text(path.read_text() + "m:rogue:9 1\n")
+        with pytest.raises(ReproError, match="digest"):
+            registry.load_profile(record.run_id)
+
+    def test_missing_artifact_is_a_clear_error(
+        self, tmp_path, recorded_evaluation
+    ):
+        report, recorder = recorded_evaluation
+        registry = RunRegistry(tmp_path / "runs")
+        record = registry.record(
+            "label", report, recorder, profile=self._profile()
+        )
+        registry.profile_path(record.run_id).unlink()
+        with pytest.raises(ReproError, match="missing"):
+            registry.load_profile(record.run_id)
+
+    def test_records_without_profiles_still_load(self, tmp_path):
+        registry = RunRegistry(tmp_path / "runs")
+        data = _record().to_dict()
+        data.pop("profile", None)
+        registry.path.parent.mkdir(parents=True, exist_ok=True)
+        registry.path.write_text(json.dumps(data) + "\n")
+        (loaded,) = registry.load()
+        assert loaded.profile == {}
+
+
+class TestRecordMetricValue:
+    def test_record_fields_and_consistent(self):
+        record = _record()
+        assert record_metric_value(record, "findings") == 0.0
+        assert record_metric_value(record, "wall_seconds") == 0.01
+        assert record_metric_value(record, "consistent") == 1.0
+
+    def test_metric_scalars_resolve(self):
+        record = _record(metrics={"walkthrough.steps": _counter(12)})
+        assert record_metric_value(record, "walkthrough.steps") == 12.0
+
+    def test_absent_metric_is_none(self):
+        assert record_metric_value(_record(), "no.such.metric") is None
+
+
+class TestBisectRuns:
+    def _history(self, values, metric="findings"):
+        records = []
+        for index, value in enumerate(values, start=1):
+            data = _record(run_id=f"r{index:04d}").to_dict()
+            if metric == "findings":
+                data["findings"] = int(value)
+            else:
+                data["metrics"] = {metric: _counter(value)}
+            records.append(RunRecord.from_dict(data))
+        return records
+
+    def test_names_the_first_stepped_run(self):
+        records = self._history([0, 0, 0, 0, 2, 2])
+        result = bisect_runs(records, "findings", window=3)
+        assert result.step is not None
+        assert result.step.run_id == "r0005"
+        rendered = result.render()
+        assert "<< step" in rendered
+        assert "stepped at r0005" in rendered
+
+    def test_clean_history_has_no_step(self):
+        result = bisect_runs(
+            self._history([0, 0, 0, 0, 0, 0]), "findings", window=3
+        )
+        assert result.step is None
+        assert "no step" in result.render()
+
+    def test_metric_scalars_bisect_too(self):
+        records = self._history(
+            [100, 102, 98, 101, 99, 400, 401], metric="walkthrough.steps"
+        )
+        result = bisect_runs(records, "walkthrough.steps", window=4)
+        assert result.step.run_id == "r0006"
+
+    def test_runs_missing_the_metric_are_skipped_and_reported(self):
+        records = self._history(
+            [100, 102, 98, 101, 99, 400], metric="walkthrough.steps"
+        )
+        records.insert(2, _record(run_id="r9999"))
+        result = bisect_runs(records, "walkthrough.steps", window=4)
+        assert result.skipped == ("r9999",)
+        assert result.step.run_id == "r0006"
+        assert "skipped 1 run(s)" in result.render()
+
+    def test_unknown_metric_errors(self):
+        with pytest.raises(ReproError, match="no recorded run carries"):
+            bisect_runs(self._history([0, 0, 0, 0]), "no.such", window=3)
+
+    def test_short_history_errors_not_silently_passes(self):
+        with pytest.raises(ReproError, match="at least"):
+            bisect_runs(self._history([0, 0]), "findings", window=3)

@@ -13,6 +13,7 @@ from repro.core.evaluator import Sosae
 from repro.errors import ReproError
 from repro.obs import (
     AlertRule,
+    Profile,
     RunRegistry,
     RunRecorded,
     ServeDaemon,
@@ -422,3 +423,103 @@ class TestShardedServe:
         assert json.loads(sharded.report_json()) == json.loads(
             single.report_json()
         )
+
+
+class TestContinuousProfiling:
+    def test_rejects_bad_profiling_parameters(self, build):
+        with pytest.raises(ReproError, match="hz"):
+            ServeDaemon(build, profile_hz=0)
+        with pytest.raises(ReproError, match="history"):
+            ServeDaemon(build, profile_hz=97.0, profile_history=0)
+
+    def test_profile_endpoint_is_404_when_profiling_is_off(self, served):
+        _, base = served
+        with pytest.raises(urllib.error.HTTPError) as caught:
+            _get(f"{base}/profile")
+        assert caught.value.code == 404
+        assert "profile-hz" in caught.value.read().decode("utf-8")
+
+    def test_profile_endpoint_is_503_before_the_first_run(self, build):
+        daemon = ServeDaemon(build, profile_hz=500.0)
+        host, port = daemon.start_http()
+        try:
+            with pytest.raises(urllib.error.HTTPError) as caught:
+                _get(f"http://{host}:{port}/profile")
+            assert caught.value.code == 503
+        finally:
+            daemon.shutdown()
+
+    def test_profiled_run_serves_folded_text(self, build):
+        daemon = ServeDaemon(build, profile_hz=2000.0)
+        daemon.run_once()
+        host, port = daemon.start_http()
+        try:
+            status, body = _get(f"http://{host}:{port}/profile")
+            assert status == 200
+            assert body.startswith("# sosae-profile format=1 ")
+            Profile.from_folded(body)  # parses back
+            status, _ = _get(f"http://{host}:{port}/profile?last=1")
+            assert status == 200
+        finally:
+            daemon.shutdown()
+
+    def test_profile_ring_is_bounded_and_last_selects_a_suffix(
+        self, build
+    ):
+        daemon = ServeDaemon(build, profile_hz=2000.0, profile_history=2)
+        for _ in range(3):
+            daemon.run_once()
+        merged_all = Profile.from_folded(daemon.profile_folded())
+        merged_last = Profile.from_folded(daemon.profile_folded(last=1))
+        assert merged_last.samples <= merged_all.samples
+
+    def test_unprofiled_daemon_reports_no_folded_text(self, build):
+        daemon = ServeDaemon(build)
+        daemon.run_once()
+        assert daemon.profile_folded() is None
+
+
+class TestInsufficientHistorySurfacing:
+    def _anomaly_rule(self, window=6):
+        return AlertRule(
+            name="wall-step", metric="wall_seconds", source="runs",
+            mode="anomaly", window=window, threshold=3.5,
+        )
+
+    def test_outcome_names_the_underfilled_rules(self, build, tmp_path):
+        daemon = ServeDaemon(
+            build,
+            registry=RunRegistry(tmp_path / "runs"),
+            rules=[self._anomaly_rule(window=6)],
+        )
+        outcome = daemon.run_once()
+        (line,) = outcome.insufficient
+        assert line.startswith("wall-step:")
+        assert "needs 6" in line
+
+    def test_alerts_endpoint_carries_the_status(self, build, tmp_path):
+        daemon = ServeDaemon(
+            build,
+            registry=RunRegistry(tmp_path / "runs"),
+            rules=[self._anomaly_rule(window=6)],
+        )
+        daemon.run_once()
+        host, port = daemon.start_http()
+        try:
+            status, body = _get(f"http://{host}:{port}/alerts")
+            assert status == 200
+            (state,) = json.loads(body)["alerts"]
+            assert state["status"] == "insufficient-history"
+            assert "needs 6" in state["status_detail"]
+        finally:
+            daemon.shutdown()
+
+    def test_filled_window_clears_the_outcome_field(self, build, tmp_path):
+        daemon = ServeDaemon(
+            build,
+            registry=RunRegistry(tmp_path / "runs"),
+            rules=[self._anomaly_rule(window=4)],
+        )
+        outcomes = [daemon.run_once() for _ in range(5)]
+        assert outcomes[0].insufficient
+        assert outcomes[-1].insufficient == ()
