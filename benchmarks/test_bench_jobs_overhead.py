@@ -1,0 +1,126 @@
+"""Job-API overhead guard: submitting through ``POST /jobs`` must not
+make an evaluation meaningfully slower than running it directly.
+
+A job adds bookkeeping around the same ``evaluate()`` the serve loop
+runs: tenant validation, the spec-bundle digest, three persisted state
+transitions (queued, running, done) each with a registry append and an
+audit line, the lifecycle events, the run-registry record, and the
+report stash for ``GET /report/<run_id>``. This benchmark stubs the
+build and the evaluation out of a real :class:`JobManager` (inline
+executors) so a full submit→done cycle measures exactly that machinery,
+and asserts it stays under 5% of a warm evaluation of the standard
+synthetic workload — the same denominator the serve-overhead guard
+uses, so "the job API is free" means the same thing as "the daemon is
+free".
+"""
+
+from __future__ import annotations
+
+import time
+
+from _timing import timed
+
+from repro.adl.xadl import to_xadl_xml
+from repro.core.evaluator import Sosae
+from repro.obs import (
+    AuditLog,
+    EventBus,
+    JobManager,
+    JobRegistry,
+    Recorder,
+    RunRegistry,
+    use,
+)
+from repro.scenarioml.xml_io import to_scenarioml_xml
+from repro.systems.generators import SyntheticSpec, build_synthetic
+
+# Same workload as test_bench_serve_overhead.py: the warm path.
+SPEC = SyntheticSpec(
+    event_types=60,
+    components=120,
+    scenarios=100,
+    events_per_scenario=10,
+    reuse=1.0,
+    components_per_event_type=3,
+    seed=11,
+)
+
+MAX_OVERHEAD_FRACTION = 0.05
+
+
+def _warm_evaluate_seconds(sosae, repeats=5):
+    with use(Recorder()):
+        sosae.evaluate()
+    start = time.perf_counter()
+    for _ in range(repeats):
+        with use(Recorder()):
+            sosae.evaluate()
+    return (time.perf_counter() - start) / repeats
+
+
+def _job_machinery_seconds(bundle, sosae, report, tmp_path, repeats=30):
+    """Per-job cost of everything the job API adds around evaluate()."""
+    manager = JobManager(
+        registry=JobRegistry(tmp_path),
+        audit=AuditLog(tmp_path),
+        run_registry=RunRegistry(tmp_path),
+        bus=EventBus(),
+        executors=0,
+        tenant_quota=repeats + 2,
+        queue_limit=repeats + 2,
+        build=lambda _bundle: sosae,
+        evaluate=lambda _sosae: report,
+    )
+    # warm the registries' fingerprint caches and the id counter
+    warm = manager.submit(bundle, "bench")
+    manager.run_pending()
+    assert manager.get(warm.job_id).state == "done"
+    start = time.perf_counter()
+    for _ in range(repeats):
+        record = manager.submit(bundle, "bench")
+        manager.run_pending()
+    seconds = (time.perf_counter() - start) / repeats
+    done = manager.get(record.job_id)
+    assert done.state == "done"
+    assert manager.report_json(done.run_id) is not None
+    return seconds
+
+
+def test_bench_jobs_overhead(benchmark, tmp_path):
+    system = build_synthetic(SPEC)
+    sosae = Sosae(system.scenarios, system.architecture, system.mapping)
+    bundle = {
+        "scenarioml": to_scenarioml_xml(system.scenarios),
+        "xadl": to_xadl_xml(system.architecture),
+        "mapping": system.mapping.to_json(),
+    }
+    with use(Recorder()):
+        report = sosae.evaluate()
+
+    def measure():
+        with timed("jobs.warm_evaluate", scenarios=SPEC.scenarios):
+            with use(Recorder()):
+                sosae.evaluate()
+        warm_seconds = _warm_evaluate_seconds(sosae)
+        overhead_seconds = _job_machinery_seconds(
+            bundle, sosae, report, tmp_path / "jobs-bench"
+        )
+        return warm_seconds, overhead_seconds
+
+    warm_seconds, overhead_seconds = benchmark.pedantic(
+        measure, rounds=1, iterations=1
+    )
+    fraction = overhead_seconds / warm_seconds
+
+    print()
+    print("=== job-API machinery vs. warm evaluation ===")
+    print(
+        f"synthetic ({SPEC.scenarios} scenarios): warm evaluate "
+        f"{warm_seconds * 1e3:.2f} ms, job machinery "
+        f"{overhead_seconds * 1e3:.2f} ms per job ({fraction:.2%})"
+    )
+
+    assert fraction < MAX_OVERHEAD_FRACTION, (
+        f"job machinery costs {fraction:.2%} of a warm evaluation "
+        f"(allowed {MAX_OVERHEAD_FRACTION:.0%})"
+    )

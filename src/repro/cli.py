@@ -24,7 +24,9 @@ Subcommands:
   run ids (or ``latest``/``previous``) or folded profile file paths.
 * ``tail`` — pretty-print a telemetry event stream captured with
   ``--events`` (severity-colored, one aligned line per event);
-  ``--follow`` keeps polling the file for appended events.
+  ``--follow`` keeps polling the file for appended events;
+  ``--severity LEVEL`` keeps only events at or above a severity and
+  ``--type PATTERN`` only kinds matching a glob (both compose).
 * ``dashboard`` — render traces, run history, a report's findings, and
   an event stream into one self-contained offline HTML file;
   ``--live URL`` consumes a running daemon's ``/events`` SSE stream
@@ -36,7 +38,16 @@ Subcommands:
   sampling profile of recent intervals), and evaluate declarative
   alert/SLO rules (``--rules FILE``) after every run. ``--once
   --check`` runs a single evaluation and exits 1 when any alert fires
-  — the CI gate.
+  — the CI gate. ``--jobs`` additionally opens the multi-tenant job
+  API (``POST /jobs``, ``GET /jobs``, ``GET /jobs/<id>``,
+  ``GET /report/<run_id>``) with per-tenant quotas
+  (``--tenant-quota``), a bounded queue (``--queue-limit``), and
+  tenant-labeled ``/metrics``.
+* ``jobs`` — the job API's client: ``jobs submit`` POSTs a spec bundle
+  under a tenant id (``--wait`` polls it to completion), ``jobs
+  status`` fetches one job, ``jobs list`` shows a daemon's jobs (or a
+  local ``--jobs-dir`` registry offline), and ``jobs tail`` follows
+  the daemon's SSE stream, optionally scoped to one tenant.
 
 ``evaluate`` and ``demo`` accept observability flags: ``--profile``
 prints a span profile summary tree after the report, ``--profile-hz N``
@@ -64,6 +75,7 @@ a regression), 2 on usage errors.
 from __future__ import annotations
 
 import argparse
+import fnmatch
 import json
 import os
 import sys
@@ -94,8 +106,13 @@ from repro.errors import ReproError
 from repro.obs import (
     DEFAULT_ANOMALY_THRESHOLD,
     DEFAULT_PROFILE_HZ,
+    DEFAULT_QUEUE_LIMIT,
     DEFAULT_RUNS_DIR,
+    DEFAULT_TENANT_QUOTA,
+    SEVERITY_LEVELS,
     EventBus,
+    JobRecord,
+    JobRegistry,
     JsonlSink,
     Profile,
     Recorder,
@@ -112,11 +129,13 @@ from repro.obs import (
     events_from_jsonl,
     format_event,
     get_logger,
+    iter_sse_events,
     load_rules,
     load_trace_file,
     metrics_to_json,
     read_events,
     read_sse_events,
+    render_job_list,
     render_profile,
     use,
     use_events,
@@ -315,6 +334,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--runs-dir", type=Path, default=Path(DEFAULT_RUNS_DIR),
         help="registry directory (default: %(default)s)",
     )
+    runs_list.add_argument(
+        "--tenant", default=None, metavar="TENANT",
+        help="only runs recorded for this tenant (job-API traffic)",
+    )
     runs_diff = runs_sub.add_parser(
         "diff", help="compare two recorded runs"
     )
@@ -479,6 +502,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="with --follow: stop after printing N events (for "
         "scripting)",
     )
+    tail.add_argument(
+        "--severity", choices=SEVERITY_LEVELS, default=None,
+        metavar="LEVEL",
+        help="only events at or above this severity "
+        f"({', '.join(SEVERITY_LEVELS)})",
+    )
+    tail.add_argument(
+        "--type", dest="type_pattern", default=None, metavar="PATTERN",
+        help="only events whose kind matches this glob (e.g. 'job-*', "
+        "'scenario-*'); composes with --severity (both must match)",
+    )
 
     dashboard = subparsers.add_parser(
         "dashboard",
@@ -513,6 +547,16 @@ def build_parser() -> argparse.ArgumentParser:
     dashboard.add_argument(
         "--title", default="SOSAE observability",
         help="dashboard page title (default: %(default)s)",
+    )
+    dashboard.add_argument(
+        "--tenant", default=None, metavar="TENANT",
+        help="render the tenant view: run history, job table, and "
+        "scenario costs narrowed to this tenant's traffic",
+    )
+    dashboard.add_argument(
+        "--jobs-dir", type=Path, default=None, metavar="DIR",
+        help="job registry directory for the tenant-jobs section "
+        "(default: --runs-dir; skipped when no jobs.jsonl exists)",
     )
     dashboard.add_argument(
         "--live", default=None, metavar="URL",
@@ -662,6 +706,144 @@ def build_parser() -> argparse.ArgumentParser:
         "--profile-history", type=int, default=8, metavar="N",
         help="with --profile-hz: how many recent interval profiles the "
         "/profile ring keeps (default: %(default)s)",
+    )
+    serve.add_argument(
+        "--jobs", action="store_true",
+        help="open the multi-tenant job API: POST /jobs accepts spec "
+        "bundles, GET /jobs[/<id>] polls them, and /metrics grows "
+        "tenant-labeled job counters",
+    )
+    serve.add_argument(
+        "--tenant-quota", type=int, default=DEFAULT_TENANT_QUOTA,
+        metavar="N",
+        help="with --jobs: max in-flight (queued+running) jobs per "
+        "tenant before submissions 429 (default: %(default)s)",
+    )
+    serve.add_argument(
+        "--queue-limit", type=int, default=DEFAULT_QUEUE_LIMIT,
+        metavar="N",
+        help="with --jobs: global bound on the queued backlog before "
+        "submissions 429 (default: %(default)s)",
+    )
+    serve.add_argument(
+        "--job-executors", type=int, default=1, metavar="N",
+        help="with --jobs: executor threads draining the job queue "
+        "(evaluations still serialize behind the daemon's evaluation "
+        "lock; default: %(default)s)",
+    )
+
+    jobs = subparsers.add_parser(
+        "jobs",
+        help="submit and inspect multi-tenant evaluation jobs",
+        description="Client verbs for a 'sosae serve --jobs' daemon: "
+        "submit a spec bundle under a tenant id, poll a job, list a "
+        "daemon's (or a local registry's) jobs, or follow the live "
+        "event stream scoped to one tenant.",
+    )
+    jobs_sub = jobs.add_subparsers(dest="jobs_command", required=True)
+    jobs_submit = jobs_sub.add_parser(
+        "submit", help="POST a spec bundle as a new job"
+    )
+    jobs_submit.add_argument(
+        "--url", default="http://127.0.0.1:8787",
+        help="daemon base URL (default: %(default)s)",
+    )
+    jobs_submit.add_argument(
+        "--tenant", required=True, help="tenant id to submit under"
+    )
+    jobs_submit.add_argument(
+        "--label", default="", help="free-form job label"
+    )
+    jobs_submit.add_argument(
+        "--actor", default="",
+        help="who submits, for the audit trail (default: the daemon "
+        "records the client address)",
+    )
+    jobs_submit.add_argument(
+        "--scenarios", type=Path, required=True,
+        help="ScenarioML XML file",
+    )
+    jobs_submit.add_argument(
+        "--architecture", type=Path, required=True,
+        help="architecture file (xADL XML, or Acme with --acme)",
+    )
+    jobs_submit.add_argument(
+        "--mapping", type=Path, required=True, help="mapping JSON file"
+    )
+    jobs_submit.add_argument(
+        "--acme", action="store_true",
+        help="submit the architecture file as Acme instead of xADL",
+    )
+    jobs_submit.add_argument(
+        "--wait", action="store_true",
+        help="poll the job until it reaches a terminal state; exit 0 "
+        "only for a consistent 'done'",
+    )
+    jobs_submit.add_argument(
+        "--timeout", type=float, default=120.0, metavar="SECONDS",
+        help="with --wait: give up after this long (default: %(default)s)",
+    )
+    jobs_submit.add_argument(
+        "--poll", type=float, default=0.5, metavar="SECONDS",
+        help="with --wait: polling period (default: %(default)s)",
+    )
+    jobs_submit.add_argument(
+        "--report", type=Path, default=None, metavar="FILE",
+        help="with --wait: also fetch the finished job's report JSON "
+        "from /report/<run_id> and write it here",
+    )
+    jobs_status = jobs_sub.add_parser(
+        "status", help="fetch one job's record"
+    )
+    jobs_status.add_argument("job_id", help="job id (e.g. j0001)")
+    jobs_status.add_argument(
+        "--url", default="http://127.0.0.1:8787",
+        help="daemon base URL (default: %(default)s)",
+    )
+    jobs_list = jobs_sub.add_parser(
+        "list", help="list jobs from a daemon or a local registry"
+    )
+    jobs_list.add_argument(
+        "--url", default=None,
+        help="daemon base URL; without it the local --jobs-dir "
+        "registry is read offline",
+    )
+    jobs_list.add_argument(
+        "--jobs-dir", type=Path, default=Path(DEFAULT_RUNS_DIR),
+        help="local job registry directory for offline listing "
+        "(default: %(default)s)",
+    )
+    jobs_list.add_argument(
+        "--tenant", default=None, help="only this tenant's jobs"
+    )
+    jobs_tail = jobs_sub.add_parser(
+        "tail", help="follow a daemon's live event stream"
+    )
+    jobs_tail.add_argument(
+        "--url", default="http://127.0.0.1:8787",
+        help="daemon base URL (default: %(default)s)",
+    )
+    jobs_tail.add_argument(
+        "--tenant", default=None,
+        help="only events carrying this tenant id (job lifecycle, "
+        "tenant-scoped run records)",
+    )
+    jobs_tail.add_argument(
+        "--replay", type=int, default=64, metavar="N",
+        help="start with up to N buffered events (default: %(default)s)",
+    )
+    jobs_tail.add_argument(
+        "--max-events", type=int, default=None, metavar="N",
+        help="stop after printing N events (for scripting)",
+    )
+    jobs_tail.add_argument(
+        "--duration", type=float, default=None, metavar="SECONDS",
+        help="stop after this long (default: until the daemon closes "
+        "the stream or Ctrl-C)",
+    )
+    jobs_tail.add_argument(
+        "--no-color", action="store_true",
+        help="disable ANSI severity coloring",
     )
     bench_gate = subparsers.add_parser(
         "bench-gate",
@@ -893,6 +1075,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _run_dashboard(args)
         if args.command == "serve":
             return _run_serve(args)
+        if args.command == "jobs":
+            return _run_jobs(args)
         if args.command == "bench-gate":
             return _run_bench_gate(args)
     except ReproError as error:
@@ -1157,7 +1341,7 @@ def _run_explain(args: argparse.Namespace) -> int:
 def _run_runs(args: argparse.Namespace) -> int:
     registry = RunRegistry(args.runs_dir)
     if args.runs_command == "list":
-        print(registry.render_list())
+        print(registry.render_list(tenant=args.tenant))
         return 0
     if args.runs_command == "attribute":
         attribution = attribute_runs(
@@ -1223,6 +1407,25 @@ def _print_event(event, base: Optional[float], colored: bool) -> None:
     print(line, flush=True)
 
 
+def _event_filter(severity: Optional[str], type_pattern: Optional[str]):
+    """The tail predicate: minimum severity AND kind glob, both
+    optional; an event must satisfy every given filter to print."""
+    floor = SEVERITY_LEVELS.index(severity) if severity else None
+
+    def keep(event) -> bool:
+        if floor is not None and (
+            SEVERITY_LEVELS.index(event_severity(event)) < floor
+        ):
+            return False
+        if type_pattern is not None and not fnmatch.fnmatch(
+            event.kind, type_pattern
+        ):
+            return False
+        return True
+
+    return keep
+
+
 def _follow_lines(
     path: Path, poll: float, max_lines: Optional[int] = None
 ) -> Iterator[str]:
@@ -1282,11 +1485,17 @@ def _follow_lines(
 def _tail_follow(args: argparse.Namespace, colored: bool) -> int:
     if args.path == "-":
         raise ReproError("--follow needs a file path, not stdin")
+    keep = _event_filter(args.severity, args.type_pattern)
     base: Optional[float] = None
     printed = 0
     try:
+        # max_events bounds *printed* events, so the line cap only
+        # applies when no filter can drop lines.
+        unfiltered = args.severity is None and args.type_pattern is None
         for line in _follow_lines(
-            Path(args.path), args.poll, max_lines=args.max_events
+            Path(args.path),
+            args.poll,
+            max_lines=args.max_events if unfiltered else None,
         ):
             try:
                 event = event_from_dict(json.loads(line))
@@ -1295,8 +1504,12 @@ def _tail_follow(args: argparse.Namespace, colored: bool) -> int:
                 continue
             if base is None:
                 base = event.timestamp
+            if not keep(event):
+                continue
             _print_event(event, base, colored)
             printed += 1
+            if args.max_events is not None and printed >= args.max_events:
+                break
     except KeyboardInterrupt:
         pass
     _LOG.info("rendered %d event(s)", printed)
@@ -1315,10 +1528,16 @@ def _run_tail(args: argparse.Namespace) -> int:
     if not events:
         _LOG.warning("no events in %s", args.path)
         return 0
+    # Offsets stay relative to the stream's first event even when a
+    # filter hides it — filtered views of one stream align.
     base = events[0].timestamp
+    keep = _event_filter(args.severity, args.type_pattern)
+    shown = 0
     for event in events:
-        _print_event(event, base, colored)
-    _LOG.info("rendered %d event(s)", len(events))
+        if keep(event):
+            _print_event(event, base, colored)
+            shown += 1
+    _LOG.info("rendered %d of %d event(s)", shown, len(events))
     return 0
 
 
@@ -1376,6 +1595,14 @@ def _run_dashboard(args: argparse.Namespace) -> int:
     )
     registry = RunRegistry(args.runs_dir)
     runs = registry.load() if registry.path.exists() else ()
+    jobs_registry = JobRegistry(
+        args.jobs_dir if args.jobs_dir is not None else args.runs_dir
+    )
+    jobs = (
+        jobs_registry.jobs(args.tenant)
+        if jobs_registry.path.exists()
+        else ()
+    )
     profile_before = (
         _resolve_profile(args.profile_before, args.runs_dir)
         if args.profile_before is not None
@@ -1409,6 +1636,7 @@ def _run_dashboard(args: argparse.Namespace) -> int:
         ("spans", sum(root.count() for root in spans)),
         ("runs", len(runs)),
         ("events", len(events)),
+        ("jobs", len(jobs)),
         (
             "profile samples",
             sum(
@@ -1424,6 +1652,8 @@ def _run_dashboard(args: argparse.Namespace) -> int:
         runs=runs,
         report=report,
         events=events,
+        jobs=jobs,
+        tenant=args.tenant,
         profile_before=profile_before,
         profile_after=profile_after,
         title=args.title,
@@ -1497,6 +1727,10 @@ def _run_serve(args: argparse.Namespace) -> int:
         workers=args.workers,
         profile_hz=args.profile_hz,
         profile_history=args.profile_history,
+        jobs=args.jobs,
+        tenant_quota=args.tenant_quota,
+        queue_limit=args.queue_limit,
+        job_executors=args.job_executors,
     )
     sink = None
     if args.events is not None:
@@ -1528,6 +1762,8 @@ def _run_serve(args: argparse.Namespace) -> int:
         endpoints = "metrics, healthz, readyz, report, alerts, events"
         if args.profile_hz is not None:
             endpoints += ", profile"
+        if args.jobs:
+            endpoints += ", jobs"
         print(
             f"sosae serve: http://{args.host}:{daemon.port} "
             f"({endpoints})",
@@ -1546,6 +1782,193 @@ def _run_serve(args: argparse.Namespace) -> int:
             sink.close()
         if args.events is not None:
             _LOG.info("wrote event stream to %s", args.events)
+
+
+_TERMINAL_JOB_STATES = ("done", "failed", "rejected")
+
+
+def _http_json(
+    url: str, payload: Optional[dict] = None, timeout: float = 10.0
+) -> tuple[int, dict]:
+    """One JSON request against the job API; ``(status, body)``.
+
+    Error statuses carrying a JSON body (the API's 4xx answers) are
+    returned for the caller to interpret, not raised; transport
+    failures and non-JSON answers become :class:`ReproError`.
+    """
+    from urllib.error import HTTPError, URLError
+    from urllib.request import Request, urlopen
+
+    data = None
+    headers = {"Accept": "application/json"}
+    if payload is not None:
+        data = json.dumps(payload).encode("utf-8")
+        headers["Content-Type"] = "application/json"
+    request = Request(url, data=data, headers=headers)
+    try:
+        with urlopen(request, timeout=timeout) as response:
+            return response.status, json.loads(
+                response.read().decode("utf-8")
+            )
+    except HTTPError as error:
+        body = error.read().decode("utf-8", errors="replace")
+        try:
+            return error.code, json.loads(body)
+        except json.JSONDecodeError:
+            raise ReproError(
+                f"{url} answered HTTP {error.code}: {body[:200]}"
+            ) from None
+    except URLError as error:
+        raise ReproError(f"cannot reach {url}: {error.reason}") from None
+    except json.JSONDecodeError as error:
+        raise ReproError(f"{url} answered non-JSON: {error}") from None
+
+
+def _run_jobs_submit(args: argparse.Namespace) -> int:
+    base = args.url.rstrip("/")
+    bundle = {
+        "scenarioml": args.scenarios.read_text(encoding="utf-8"),
+        "mapping": args.mapping.read_text(encoding="utf-8"),
+        ("acme" if args.acme else "xadl"):
+            args.architecture.read_text(encoding="utf-8"),
+    }
+    payload = {
+        "tenant": args.tenant,
+        "label": args.label,
+        "bundle": bundle,
+    }
+    if args.actor:
+        payload["actor"] = args.actor
+    status, data = _http_json(f"{base}/jobs", payload=payload)
+    if status == 429:
+        print(
+            f"rejected ({data.get('reason', '?')}): "
+            f"{data.get('error', 'quota exceeded')}"
+        )
+        return 1
+    if status != 202 or "job" not in data:
+        raise ReproError(
+            f"job submission failed (HTTP {status}): "
+            f"{data.get('error', data)}"
+        )
+    record = data["job"]
+    print(
+        f"submitted {record['job_id']} ({record['state']}) "
+        f"tenant={record['tenant']} digest={record['spec_digest']}"
+    )
+    if not args.wait:
+        return 0
+    deadline = time.monotonic() + args.timeout
+    while True:
+        status, data = _http_json(f"{base}/jobs/{record['job_id']}")
+        if status != 200 or "job" not in data:
+            raise ReproError(
+                f"polling {record['job_id']} failed (HTTP {status}): "
+                f"{data.get('error', data)}"
+            )
+        record = data["job"]
+        if record["state"] in _TERMINAL_JOB_STATES:
+            break
+        if time.monotonic() >= deadline:
+            raise ReproError(
+                f"job {record['job_id']} still {record['state']} after "
+                f"{args.timeout:g}s"
+            )
+        time.sleep(args.poll)
+    if record["state"] != "done":
+        print(
+            f"{record['job_id']}: {record['state']} — "
+            f"{record.get('error') or record.get('reason') or '?'}"
+        )
+        return 1
+    verdict = "CONSISTENT" if record["consistent"] else "INCONSISTENT"
+    print(
+        f"{record['job_id']}: done — {verdict}, "
+        f"{record['findings']} finding(s), run {record['run_id'] or '-'}, "
+        f"{record['wall_seconds'] * 1e3:.1f}ms"
+    )
+    if args.report is not None and record["run_id"]:
+        status, report = _http_json(f"{base}/report/{record['run_id']}")
+        if status == 200:
+            args.report.write_text(
+                json.dumps(report, indent=2, sort_keys=True),
+                encoding="utf-8",
+            )
+            print(f"wrote report to {args.report}")
+        else:
+            _LOG.warning(
+                "no report for run %s (HTTP %d): %s",
+                record["run_id"], status, report.get("error", ""),
+            )
+    return 0 if record["consistent"] else 1
+
+
+def _run_jobs_status(args: argparse.Namespace) -> int:
+    base = args.url.rstrip("/")
+    status, data = _http_json(f"{base}/jobs/{args.job_id}")
+    if status != 200 or "job" not in data:
+        raise ReproError(
+            f"no job {args.job_id!r} (HTTP {status}): "
+            f"{data.get('error', data)}"
+        )
+    print(json.dumps(data["job"], indent=2, sort_keys=True))
+    return 0
+
+
+def _run_jobs_list(args: argparse.Namespace) -> int:
+    if args.url is not None:
+        from urllib.parse import urlencode
+
+        base = args.url.rstrip("/")
+        query = f"?{urlencode({'tenant': args.tenant})}" if args.tenant else ""
+        status, data = _http_json(f"{base}/jobs{query}")
+        if status != 200 or "jobs" not in data:
+            raise ReproError(
+                f"listing jobs failed (HTTP {status}): "
+                f"{data.get('error', data)}"
+            )
+        records = tuple(
+            JobRecord.from_dict(entry) for entry in data["jobs"]
+        )
+    else:
+        records = JobRegistry(args.jobs_dir).jobs(args.tenant)
+    print(render_job_list(records))
+    return 0
+
+
+def _run_jobs_tail(args: argparse.Namespace) -> int:
+    from urllib.parse import urlencode
+
+    base = args.url.rstrip("/")
+    params = {"replay": max(0, args.replay)}
+    if args.tenant:
+        params["tenant"] = args.tenant
+    url = f"{base}/events?{urlencode(params)}"
+    colored = not args.no_color and sys.stdout.isatty()
+    first: Optional[float] = None
+    printed = 0
+    try:
+        for event in iter_sse_events(
+            url, limit=args.max_events, duration=args.duration
+        ):
+            if first is None:
+                first = event.timestamp
+            _print_event(event, first, colored)
+            printed += 1
+    except KeyboardInterrupt:
+        pass
+    _LOG.info("rendered %d event(s)", printed)
+    return 0
+
+
+def _run_jobs(args: argparse.Namespace) -> int:
+    if args.jobs_command == "submit":
+        return _run_jobs_submit(args)
+    if args.jobs_command == "status":
+        return _run_jobs_status(args)
+    if args.jobs_command == "list":
+        return _run_jobs_list(args)
+    return _run_jobs_tail(args)
 
 
 _BENCH_INCREMENTAL = "incremental_reevaluation.incremental"

@@ -91,7 +91,7 @@ _MODES = ("value", "delta", "regression-pct", "anomaly")
 
 _RULE_KEYS = {
     "name", "metric", "op", "threshold", "severity", "for", "cooldown",
-    "source", "mode", "window", "description",
+    "source", "mode", "window", "description", "tenant",
 }
 
 
@@ -110,6 +110,7 @@ class AlertRule:
     mode: str = "value"
     window: int = 1
     description: str = ""
+    tenant: str = ""
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -171,7 +172,10 @@ class AlertRule:
         reduced = self.metric
         if self.source == "runs":
             reduced = f"{self.mode}({self.metric}, window={self.window})"
-        return f"{reduced} {self.op} {self.threshold:g}"
+        rendered = f"{reduced} {self.op} {self.threshold:g}"
+        if self.tenant:
+            rendered += f" [tenant {self.tenant}]"
+        return rendered
 
 
 def parse_rules(data: object) -> tuple[AlertRule, ...]:
@@ -227,6 +231,7 @@ def parse_rules(data: object) -> tuple[AlertRule, ...]:
                 mode=str(entry.get("mode", "value")),
                 window=int(entry.get("window", 1)),
                 description=str(entry.get("description", "")),
+                tenant=str(entry.get("tenant", "")),
             )
         )
     names = [rule.name for rule in rules]
@@ -345,6 +350,7 @@ class AlertState:
             "last_value": self.last_value,
             "last_fired": self.last_fired,
             "description": self.rule.description,
+            "tenant": self.rule.tenant,
             "status": self.status,
             "status_detail": self.status_detail,
         }
@@ -395,7 +401,14 @@ class AlertEngine:
         with ``state.status`` recording *why* when it is."""
         rule = state.rule
         if rule.source == "metric":
-            value = values.get(rule.metric)
+            # A tenant-scoped metric rule reads the per-tenant scalar
+            # the serve loop injects (``tenant.<id>.<metric>``).
+            key = (
+                f"tenant.{rule.tenant}.{rule.metric}"
+                if rule.tenant
+                else rule.metric
+            )
+            value = values.get(key)
             if value is None:
                 state.status = "no-data"
                 state.status_detail = (
@@ -410,14 +423,21 @@ class AlertEngine:
                         rule.metric,
                     )
             return value
+        # A tenant-scoped runs rule watches only that tenant's slice of
+        # history — tenant A's SLO never fires off tenant B's traffic.
+        if rule.tenant:
+            runs = [
+                record for record in runs if record.tenant == rule.tenant
+            ]
         # Validate the window against the registry size up front: a
         # rule whose window the history cannot fill yet is explicitly
         # "insufficient history", not silently skipped.
         if len(runs) < rule.window:
+            scope = f" for tenant {rule.tenant!r}" if rule.tenant else ""
             state.status = "insufficient-history"
             state.status_detail = (
                 f"window needs {rule.window} runs, registry has "
-                f"{len(runs)}"
+                f"{len(runs)}{scope}"
             )
             return None
         window = list(runs)[-rule.window:]

@@ -38,6 +38,7 @@ from repro.obs.profiler import (
     _signed_pct,
     diff_profiles,
 )
+from repro.obs.jobs import JobRecord
 from repro.obs.runs import RunRecord, _metric_scalars, scenario_costs
 from repro.obs.spans import Span
 
@@ -766,6 +767,110 @@ def _render_trends(runs: Sequence[RunRecord]) -> str:
 
 
 # ----------------------------------------------------------------------
+# Tenant jobs (sosae serve --jobs)
+# ----------------------------------------------------------------------
+
+# Job state -> (icon, severity-ish tone): never color alone.
+_JOB_STATE_MARKS = {
+    "queued": "…",
+    "running": "▶",
+    "done": "✓",
+    "failed": "✗",
+    "rejected": "⊘",
+}
+
+
+def _in_flight_series(records: Sequence[JobRecord]) -> list[float]:
+    """The tenant's in-flight (queued+running) depth over time: +1 at
+    each accepted submission, -1 at each completion, sampled at every
+    change point — the quota-pressure curve a per-tenant quota clips."""
+    edges: list[tuple[float, int]] = []
+    horizon = max(
+        (record.finished_at or record.submitted_at for record in records),
+        default=0.0,
+    )
+    for record in records:
+        if record.state == "rejected":
+            continue
+        edges.append((record.submitted_at, 1))
+        edges.append((record.finished_at or horizon, -1))
+    if not edges:
+        return []
+    depth = 0
+    series = [0.0]
+    for _, delta in sorted(edges):
+        depth += delta
+        series.append(float(depth))
+    return series
+
+
+def _render_jobs(
+    jobs: Sequence[JobRecord], tenant: Optional[str]
+) -> str:
+    if tenant is not None:
+        jobs = [record for record in jobs if record.tenant == tenant]
+    if not jobs:
+        scope = f" for tenant {tenant!r}" if tenant else ""
+        return (
+            f'<p class="empty">No jobs recorded{scope} — submit work to '
+            "a 'sosae serve --jobs' daemon and point --jobs-dir at its "
+            "registry.</p>"
+        )
+    by_tenant: dict[str, list[JobRecord]] = {}
+    for record in jobs:
+        by_tenant.setdefault(record.tenant, []).append(record)
+    tiles = []
+    for tenant_name in sorted(by_tenant):
+        records = by_tenant[tenant_name]
+        series = _in_flight_series(records)
+        done = sum(1 for r in records if r.state == "done")
+        rejected = sum(1 for r in records if r.state == "rejected")
+        summary = (
+            f"{len(records)} job(s), {done} done, {rejected} rejected"
+        )
+        spark = (
+            _sparkline(series)
+            if len(series) >= 2
+            else '<div class="tile-delta delta-flat">no accepted jobs</div>'
+        )
+        peak = int(max(series)) if series else 0
+        tiles.append(
+            '<div class="tile trend">'
+            f'<div class="tile-label">tenant {escape(tenant_name)} — '
+            "in-flight depth (quota pressure)</div>"
+            f'<div class="tile-value">peak {peak}</div>'
+            f'<div class="tile-delta delta-flat">{escape(summary)}</div>'
+            f"{spark}</div>"
+        )
+    rows = "".join(
+        f"<tr><td>{escape(record.job_id)}</td>"
+        f"<td>{escape(record.tenant)}</td>"
+        f"<td>{_JOB_STATE_MARKS.get(record.state, '?')} "
+        f"{escape(record.state)}</td>"
+        f"<td>{escape(record.label) or '-'}</td>"
+        f"<td>{escape(record.run_id) or '-'}</td>"
+        f"<td>{_ms(record.wall_seconds) if record.wall_seconds else '-'}</td>"
+        f"<td>{record.findings if record.state == 'done' else '-'}</td>"
+        f"<td>{escape(record.reason or record.error) or '-'}</td></tr>"
+        for record in jobs
+    )
+    table = (
+        '<table class="data"><thead><tr><th>job</th><th>tenant</th>'
+        "<th>state</th><th>label</th><th>run</th><th>wall</th>"
+        "<th>findings</th><th>detail</th></tr></thead>"
+        f"<tbody>{rows}</tbody></table>"
+    )
+    scope = (
+        f"tenant {escape(tenant)}" if tenant else
+        f"{len(by_tenant)} tenant(s)"
+    )
+    return (
+        f'<p class="section-note">{len(jobs)} job(s) across {scope}</p>'
+        f'<div class="tiles">{"".join(tiles)}</div>{table}'
+    )
+
+
+# ----------------------------------------------------------------------
 # Findings
 # ----------------------------------------------------------------------
 
@@ -1053,6 +1158,8 @@ def build_dashboard(
     runs: Sequence[RunRecord] = (),
     report=None,
     events: Sequence[TelemetryEvent] = (),
+    jobs: Sequence[JobRecord] = (),
+    tenant: Optional[str] = None,
     profile_before: Optional[Profile] = None,
     profile_after: Optional[Profile] = None,
     title: str = "SOSAE observability",
@@ -1063,20 +1170,29 @@ def build_dashboard(
 
     All inputs are optional, but at least one must be present. The
     returned document references nothing external — no fonts, scripts,
-    styles, or images outside the file itself.
+    styles, or images outside the file itself. With ``tenant``, the run
+    history, job table, and scenario-cost treemap narrow to that
+    tenant's traffic (the tenant view of ``sosae serve --jobs``).
     """
+    if tenant is not None:
+        runs = [
+            record for record in runs
+            if getattr(record, "tenant", "") == tenant
+        ]
+        title = f"{title} — tenant {tenant}"
     if (
         not spans
         and not runs
         and report is None
         and not events
+        and not jobs
         and profile_before is None
         and profile_after is None
     ):
         raise ReproError(
             "nothing to render: give the dashboard a trace, a runs "
             "directory with recorded runs, a report, an event stream, "
-            "or sampled profiles"
+            "a job registry, or sampled profiles"
         )
     stamp = time.strftime(
         "%Y-%m-%d %H:%M:%S",
@@ -1117,6 +1233,13 @@ def build_dashboard(
             "Each recorded run is one point, oldest to newest "
             "(sparklines; expand a tile for the exact values).",
             _render_trends(runs),
+        ),
+        (
+            "Tenant jobs",
+            "Submitted evaluation jobs and per-tenant quota pressure "
+            "(in-flight depth over submissions; peak vs the daemon's "
+            "--tenant-quota).",
+            _render_jobs(jobs, tenant),
         ),
         (
             "Findings",

@@ -41,6 +41,7 @@ keeps the disabled fast path to one attribute load.
 from __future__ import annotations
 
 import json
+import threading
 import time
 from collections import deque
 from contextlib import contextmanager
@@ -60,6 +61,10 @@ __all__ = [
     "EventBus",
     "FindingEmitted",
     "Heartbeat",
+    "JobFinished",
+    "JobRejected",
+    "JobStarted",
+    "JobSubmitted",
     "JsonlSink",
     "NullEventBus",
     "RunRecorded",
@@ -75,6 +80,7 @@ __all__ = [
     "format_event",
     "read_events",
     "set_event_bus",
+    "SEVERITY_LEVELS",
     "use_events",
 ]
 
@@ -281,9 +287,14 @@ class RunRecorded(TelemetryEvent):
 
     run_id: str = ""
     label: str = ""
+    tenant: str = ""
+    job_id: str = ""
 
     def summary(self) -> str:
-        return f"recorded run {self.run_id} ({self.label})"
+        rendered = f"recorded run {self.run_id} ({self.label})"
+        if self.tenant:
+            rendered += f" for tenant {self.tenant!r}"
+        return rendered
 
 
 @dataclass(frozen=True)
@@ -328,6 +339,93 @@ class AlertResolved(TelemetryEvent):
         return rendered
 
 
+@dataclass(frozen=True)
+class JobSubmitted(TelemetryEvent):
+    """A tenant submitted an evaluation job to the job API."""
+
+    kind: ClassVar[str] = "job-submitted"
+
+    job_id: str = ""
+    tenant: str = ""
+    label: str = ""
+    spec_digest: str = ""
+
+    def summary(self) -> str:
+        return (
+            f"job {self.job_id} submitted by tenant {self.tenant!r}"
+            f" ({self.label or 'unlabeled'}, spec {self.spec_digest[:12]})"
+        )
+
+
+@dataclass(frozen=True)
+class JobStarted(TelemetryEvent):
+    """A queued job was dispatched and its evaluation began."""
+
+    kind: ClassVar[str] = "job-started"
+
+    job_id: str = ""
+    tenant: str = ""
+    queued_seconds: float = 0.0
+
+    def summary(self) -> str:
+        return (
+            f"job {self.job_id} started for tenant {self.tenant!r}"
+            f" after {self.queued_seconds * 1e3:.1f}ms in queue"
+        )
+
+
+@dataclass(frozen=True)
+class JobFinished(TelemetryEvent):
+    """A running job reached a terminal state (done or failed)."""
+
+    kind: ClassVar[str] = "job-finished"
+
+    job_id: str = ""
+    tenant: str = ""
+    state: str = "done"
+    run_id: str = ""
+    consistent: bool = True
+    findings: int = 0
+    wall_seconds: float = 0.0
+    error: str = ""
+
+    def summary(self) -> str:
+        if self.state == "failed":
+            return (
+                f"job {self.job_id} FAILED for tenant {self.tenant!r}: "
+                f"{self.error}"
+            )
+        verdict = "CONSISTENT" if self.consistent else "INCONSISTENT"
+        rendered = (
+            f"job {self.job_id} done for tenant {self.tenant!r}: {verdict}, "
+            f"{self.findings} finding(s) in {self.wall_seconds * 1e3:.1f}ms"
+        )
+        if self.run_id:
+            rendered += f" (run {self.run_id})"
+        return rendered
+
+
+@dataclass(frozen=True)
+class JobRejected(TelemetryEvent):
+    """A submission bounced off a quota or the bounded queue."""
+
+    kind: ClassVar[str] = "job-rejected"
+
+    job_id: str = ""
+    tenant: str = ""
+    reason: str = "quota"
+    detail: str = ""
+
+    def summary(self) -> str:
+        rendered = (
+            f"job {self.job_id} REJECTED for tenant {self.tenant!r}"
+            f" ({self.reason})"
+        )
+        if self.detail:
+            rendered += f": {self.detail}"
+        return rendered
+
+
 def _compact(value: Optional[float]) -> str:
     return "-" if value is None else f"{value:g}"
 
@@ -345,6 +443,10 @@ EVENT_TYPES: tuple[type[TelemetryEvent], ...] = (
     RunRecorded,
     AlertFired,
     AlertResolved,
+    JobSubmitted,
+    JobStarted,
+    JobFinished,
+    JobRejected,
 )
 
 _BY_KIND: dict[str, type[TelemetryEvent]] = {
@@ -448,6 +550,7 @@ class EventBus:
             )
         self._subscribers: list[Callable[[TelemetryEvent], None]] = []
         self._buffer: deque[TelemetryEvent] = deque(maxlen=capacity)
+        self._lock = threading.Lock()
         self._seq = 0
         self._clock = clock
         self._wall_clock = wall_clock
@@ -460,6 +563,16 @@ class EventBus:
     def capacity(self) -> int:
         return self._buffer.maxlen or 0
 
+    @property
+    def subscriber_count(self) -> int:
+        """How many subscribers are registered right now.
+
+        Exposed so leak regressions (a disconnected SSE client whose
+        subscriber lingers) are assertable: after every consumer
+        detaches, the count must return to its baseline.
+        """
+        return len(self._subscribers)
+
     def subscribe(
         self, subscriber: Callable[[TelemetryEvent], None]
     ) -> Callable[[], None]:
@@ -468,13 +581,15 @@ class EventBus:
         Subscribers are invoked synchronously, in subscription order,
         for every event emitted after registration.
         """
-        self._subscribers.append(subscriber)
+        with self._lock:
+            self._subscribers.append(subscriber)
 
         def unsubscribe() -> None:
-            try:
-                self._subscribers.remove(subscriber)
-            except ValueError:
-                pass
+            with self._lock:
+                try:
+                    self._subscribers.remove(subscriber)
+                except ValueError:
+                    pass
 
         return unsubscribe
 
@@ -496,19 +611,27 @@ class EventBus:
         global sequence of the merged stream — but keeps the original
         ``timestamp``, because the moment it happened in the worker is
         the truth and the moment the parent collected it is not."""
-        self._seq += 1
-        stamped = replace(event, seq=self._seq)
-        self._buffer.append(stamped)
-        for subscriber in tuple(self._subscribers):
+        with self._lock:
+            self._seq += 1
+            stamped = replace(event, seq=self._seq)
+            self._buffer.append(stamped)
+            subscribers = tuple(self._subscribers)
+        for subscriber in subscribers:
             subscriber(stamped)
 
     def _dispatch(self, event: TelemetryEvent) -> None:
-        self._seq += 1
-        stamped = replace(
-            event, seq=self._seq, timestamp=self._wall_clock()
-        )
-        self._buffer.append(stamped)
-        for subscriber in tuple(self._subscribers):
+        # The seq stamp and buffer append are guarded: the serve loop
+        # and job-executor threads emit on the same bus concurrently,
+        # and an unguarded `_seq += 1` can hand two events one seq.
+        # Subscribers run outside the lock (they may block on I/O).
+        with self._lock:
+            self._seq += 1
+            stamped = replace(
+                event, seq=self._seq, timestamp=self._wall_clock()
+            )
+            self._buffer.append(stamped)
+            subscribers = tuple(self._subscribers)
+        for subscriber in subscribers:
             subscriber(stamped)
 
     def _maybe_beat(self) -> None:
@@ -657,7 +780,14 @@ _SEVERITY_BY_KIND = {
     Heartbeat.kind: "debug",
     RunRecorded.kind: "info",
     AlertResolved.kind: "info",
+    JobSubmitted.kind: "info",
+    JobStarted.kind: "info",
+    JobRejected.kind: "warning",
 }
+
+#: Severity levels in ascending order — ``sosae tail --severity`` cuts
+#: the stream at a minimum level using this ordering.
+SEVERITY_LEVELS: tuple[str, ...] = ("debug", "info", "warning", "error")
 
 
 def event_severity(event: TelemetryEvent) -> str:
@@ -677,6 +807,10 @@ def event_severity(event: TelemetryEvent) -> str:
         "rejected",
     ):
         return "warning"
+    if isinstance(event, JobFinished):
+        if event.state == "failed":
+            return "error"
+        return "info" if event.consistent else "warning"
     return _SEVERITY_BY_KIND.get(event.kind, "info")
 
 

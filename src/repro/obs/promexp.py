@@ -35,10 +35,16 @@ from repro.errors import ReproError
 
 __all__ = [
     "CONTENT_TYPE",
+    "DEFAULT_LABEL_TOP_K",
     "PromSample",
+    "bounded_label_values",
     "prometheus_metric_name",
     "render_prometheus",
 ]
+
+#: Default top-K for :func:`bounded_label_values` — what ``sosae
+#: serve`` uses to bound the tenant label dimension.
+DEFAULT_LABEL_TOP_K = 8
 
 #: The content type ``/metrics`` responses declare (text format 0.0.4).
 CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
@@ -100,6 +106,30 @@ def _render_labels(labels: Mapping[str, str]) -> str:
         for key in labels
     )
     return "{" + body + "}"
+
+
+def bounded_label_values(
+    weights: Mapping[str, float],
+    top: int = DEFAULT_LABEL_TOP_K,
+    overflow: str = "other",
+) -> dict[str, str]:
+    """Bound a label dimension's cardinality: map each key to itself
+    for the ``top`` heaviest keys and to ``overflow`` for the rest.
+
+    An unbounded tenant population would mint one Prometheus series per
+    tenant per metric — a classic cardinality explosion. Callers rank
+    keys by ``weights`` (e.g. jobs submitted per tenant; ties break
+    alphabetically, so the mapping is deterministic), keep the top K as
+    first-class label values, and aggregate everyone else under the
+    ``overflow`` value before building samples.
+    """
+    if top < 1:
+        raise ReproError(f"label top-K must be >= 1, got {top}")
+    ranked = sorted(weights, key=lambda key: (-float(weights[key]), key))
+    kept = set(ranked[:top])
+    return {
+        key: (key if key in kept else overflow) for key in weights
+    }
 
 
 @dataclass(frozen=True)

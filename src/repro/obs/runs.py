@@ -179,6 +179,8 @@ class RunRecord:
     stages: dict = field(default_factory=dict)    # name -> count/wall/cpu
     scenarios: dict = field(default_factory=dict)  # name -> cost attribution
     profile: dict = field(default_factory=dict)   # digest/samples/hz pointer
+    tenant: str = ""                              # job-API tenant, or ""
+    job_id: str = ""                              # job-API job id, or ""
 
     def to_dict(self) -> dict:
         return {
@@ -197,6 +199,8 @@ class RunRecord:
             "stages": self.stages,
             "scenarios": self.scenarios,
             "profile": self.profile,
+            "tenant": self.tenant,
+            "job_id": self.job_id,
         }
 
     @classmethod
@@ -226,6 +230,10 @@ class RunRecord:
             # ``.repro-runs/profiles/<run_id>.folded`` when the run was
             # evaluated under ``--profile-hz``.
             profile=data.get("profile", {}),
+            # Optional since the multi-tenant job API; single-tenant
+            # records simply carry empty scoping.
+            tenant=data.get("tenant", ""),
+            job_id=data.get("job_id", ""),
         )
 
 
@@ -275,6 +283,8 @@ class RunRegistry:
         timestamp: Optional[float] = None,
         report_digest: Optional[str] = None,
         profile: Optional[Profile] = None,
+        tenant: str = "",
+        job_id: str = "",
     ) -> RunRecord:
         """Snapshot one evaluation (its report and its live
         :class:`~repro.obs.recorder.Recorder`) and append it.
@@ -329,6 +339,8 @@ class RunRegistry:
             stages=stage_summary(roots),
             scenarios=scenario_costs(roots),
             profile=profile_pointer,
+            tenant=tenant,
+            job_id=job_id,
         )
         self.root.mkdir(parents=True, exist_ok=True)
         with self.path.open("a", encoding="utf-8") as handle:
@@ -338,7 +350,14 @@ class RunRegistry:
             self._cache_stamp = self._fingerprint()
         bus = current_event_bus()
         if bus.enabled:
-            bus.emit(RunRecorded(run_id=record.run_id, label=record.label))
+            bus.emit(
+                RunRecorded(
+                    run_id=record.run_id,
+                    label=record.label,
+                    tenant=record.tenant,
+                    job_id=record.job_id,
+                )
+            )
         return record
 
     # ------------------------------------------------------------------
@@ -354,8 +373,18 @@ class RunRegistry:
             if line.strip()
         ]
 
-    def load(self) -> tuple[RunRecord, ...]:
-        """Every recorded run, oldest first."""
+    def load(self, tenant: Optional[str] = None) -> tuple[RunRecord, ...]:
+        """Every recorded run, oldest first.
+
+        ``tenant`` narrows the history to that tenant's job runs —
+        the scoping ``sosae runs list --tenant`` and tenant-scoped
+        alert rules use."""
+        records = self._load_all()
+        if tenant is None:
+            return records
+        return tuple(record for record in records if record.tenant == tenant)
+
+    def _load_all(self) -> tuple[RunRecord, ...]:
         stamp = self._fingerprint()
         if self._cache is not None and stamp == self._cache_stamp:
             return self._cache
@@ -372,12 +401,16 @@ class RunRegistry:
         self._cache_stamp = stamp
         return self._cache
 
-    def get(self, reference: str) -> RunRecord:
-        """A run by id, or by the aliases ``latest`` / ``previous``."""
-        records = self.load()
+    def get(self, reference: str, tenant: Optional[str] = None) -> RunRecord:
+        """A run by id, or by the aliases ``latest`` / ``previous``.
+
+        With ``tenant``, the aliases resolve positionally *within that
+        tenant's runs* and an id must belong to the tenant."""
+        records = self.load(tenant)
         if not records:
+            scope = f" for tenant {tenant!r}" if tenant else ""
             raise ReproError(
-                f"no runs recorded under {self.root} "
+                f"no runs recorded under {self.root}{scope} "
                 "(record one with '--record')"
             )
         if reference == "latest":
@@ -391,8 +424,9 @@ class RunRegistry:
         for record in records:
             if record.run_id == reference:
                 return record
+        scope = f" for tenant {tenant!r}" if tenant else ""
         raise ReproError(
-            f"no run {reference!r} under {self.root} "
+            f"no run {reference!r} under {self.root}{scope} "
             f"(have {', '.join(record.run_id for record in records)})"
         )
 
@@ -424,19 +458,26 @@ class RunRegistry:
             )
         return profile
 
-    def render_list(self) -> str:
+    def render_list(self, tenant: Optional[str] = None) -> str:
         """A table of the recorded runs, oldest first.
 
         ``walk p50``/``walk p95`` are the per-scenario walkthrough
         latency percentiles (from the ``walkthrough.scenario_seconds``
         histogram); ``-`` for runs recorded before percentiles existed.
+        A ``tenant`` column appears whenever any listed record carries
+        tenant scoping (or when the table is itself tenant-filtered).
         """
-        records = self.load()
+        records = self.load(tenant)
         if not records:
-            return f"no runs recorded under {self.root}"
+            scope = f" for tenant {tenant!r}" if tenant else ""
+            return f"no runs recorded under {self.root}{scope}"
+        tenanted = tenant is not None or any(
+            record.tenant for record in records
+        )
+        tenant_header = f"{'tenant':<12} " if tenanted else ""
         header = (
-            f"{'run':<6} {'label':<24} {'when':<19} {'git':<8} "
-            f"{'wall':>9} {'walk p50':>9} {'walk p95':>9} "
+            f"{'run':<6} {'label':<24} {tenant_header}{'when':<19} "
+            f"{'git':<8} {'wall':>9} {'walk p50':>9} {'walk p95':>9} "
             f"{'verdict':<12} {'findings':>8}"
         )
         lines = [header, "-" * len(header)]
@@ -447,8 +488,12 @@ class RunRegistry:
             verdict = "consistent" if record.consistent else "INCONSISTENT"
             sha = (record.git_sha or "-")[:8]
             walk = record.metrics.get("walkthrough.scenario_seconds", {})
+            tenant_cell = (
+                f"{record.tenant or '-':<12} " if tenanted else ""
+            )
             lines.append(
-                f"{record.run_id:<6} {record.label:<24} {when:<19} {sha:<8} "
+                f"{record.run_id:<6} {record.label:<24} {tenant_cell}"
+                f"{when:<19} {sha:<8} "
                 f"{record.wall_seconds * 1e3:>7.1f}ms "
                 f"{_latency(walk.get('p50')):>9} "
                 f"{_latency(walk.get('p95')):>9} "

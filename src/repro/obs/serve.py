@@ -34,9 +34,19 @@ dependencies):
     A Server-Sent-Events bridge off the daemon's live event bus: each
     telemetry event becomes one ``event:``/``data:`` frame, with
     ``: keep-alive`` comments while the pipeline is idle.
-    ``?replay=N`` first replays the last N buffered events.
+    ``?replay=N`` first replays the last N buffered events;
+    ``?tenant=T`` narrows the stream to one tenant's events.
     :func:`read_sse_events` is the matching stdlib-only consumer
     (``sosae dashboard --live URL`` and ``sosae tail`` use it).
+``/jobs`` (with ``--jobs``)
+    The multi-tenant job API (:mod:`repro.obs.jobs`): ``POST /jobs``
+    submits a spec bundle under a tenant id (202, or 429 off a quota /
+    the bounded queue), ``GET /jobs[?tenant=T]`` lists job states,
+    ``GET /jobs/<id>`` polls one job, and ``GET /report/<run_id>``
+    fetches the report a finished job (or watched-spec run) produced.
+    Tenant-labeled job metrics (bounded cardinality) join
+    ``/metrics``; every lifecycle transition lands in the persistent
+    job registry and the append-only audit log.
 
 One :class:`~repro.obs.metrics.MetricsRegistry` spans the daemon's
 lifetime, so counters and histogram reservoirs accumulate across runs
@@ -72,12 +82,26 @@ from repro.obs.events import (
     event_from_dict,
     use_events,
 )
+from repro.obs.jobs import (
+    DEFAULT_QUEUE_LIMIT,
+    DEFAULT_TENANT_QUOTA,
+    AuditLog,
+    JobManager,
+    JobRegistry,
+    tenant_samples,
+)
 from repro.obs.log import get_logger
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.profiler import Profile, SamplingProfiler, use_profiler
-from repro.obs.promexp import CONTENT_TYPE, PromSample, render_prometheus
+from repro.obs.promexp import (
+    CONTENT_TYPE,
+    DEFAULT_LABEL_TOP_K,
+    PromSample,
+    render_prometheus,
+)
 from repro.obs.recorder import Recorder, use
 from repro.obs.runs import (
+    DEFAULT_RUNS_DIR,
     RunRegistry,
     _report_digest,
     current_git_sha,
@@ -89,6 +113,7 @@ __all__ = [
     "RunOutcome",
     "ServeDaemon",
     "SpecWatcher",
+    "iter_sse_events",
     "read_sse_events",
 ]
 
@@ -229,6 +254,11 @@ class ServeDaemon:
         workers: int = 1,
         profile_hz: Optional[float] = None,
         profile_history: int = 8,
+        jobs: bool = False,
+        tenant_quota: int = DEFAULT_TENANT_QUOTA,
+        queue_limit: int = DEFAULT_QUEUE_LIMIT,
+        job_executors: int = 1,
+        tenant_label_top: int = DEFAULT_LABEL_TOP_K,
     ) -> None:
         if interval is not None and interval <= 0:
             raise ReproError(f"interval must be positive, got {interval}")
@@ -279,6 +309,29 @@ class ServeDaemon:
         self._started_at = time.time()
         self._httpd: Optional[_ServeHTTPServer] = None
         self._http_thread: Optional[threading.Thread] = None
+        # One lock serializes every evaluation — the watch loop's and
+        # the job executors' — because the recorder/event-bus
+        # indirections are module globals (see repro.obs.jobs).
+        self.eval_lock = threading.Lock()
+        self.tenant_label_top = tenant_label_top
+        self.jobs: Optional[JobManager] = None
+        if jobs:
+            jobs_root = (
+                registry.root if registry is not None else Path(DEFAULT_RUNS_DIR)
+            )
+            self.jobs = JobManager(
+                registry=JobRegistry(jobs_root),
+                audit=AuditLog(jobs_root),
+                run_registry=registry,
+                bus=self.bus,
+                metrics=self.metrics,
+                evaluate=self._evaluate_job,
+                tenant_quota=tenant_quota,
+                queue_limit=queue_limit,
+                executors=job_executors,
+                eval_lock=self.eval_lock,
+                run_label=f"{label}-job",
+            )
 
     # ------------------------------------------------------------------
     # Evaluation loop
@@ -302,7 +355,7 @@ class ServeDaemon:
         started_wall = time.time()
         started = time.perf_counter()
         used_incremental = False
-        with use_events(self.bus):
+        with self.eval_lock, use_events(self.bus):
             try:
                 previous_sosae = None
                 if self._sosae is None or rebuild:
@@ -387,6 +440,25 @@ class ServeDaemon:
                     "serve.incremental_hit": 1.0 if used_incremental else 0.0,
                 },
             )
+            if self.jobs is not None:
+                # Per-tenant scalars for tenant-scoped metric rules
+                # (rule `tenant = "acme"` + `metric = "jobs_failed"`
+                # reads `tenant.acme.jobs_failed`).
+                for tenant, stats in self.jobs.tenant_stats().items():
+                    prefix = f"tenant.{tenant}."
+                    values[prefix + "jobs_submitted"] = float(
+                        stats["submitted"]
+                    )
+                    values[prefix + "jobs_done"] = float(stats["done"])
+                    values[prefix + "jobs_failed"] = float(stats["failed"])
+                    values[prefix + "jobs_rejected"] = float(
+                        stats["rejected"]
+                    )
+                    values[prefix + "jobs_running"] = float(stats["running"])
+                    values[prefix + "jobs_queued"] = float(stats["queued"])
+                    values[prefix + "job_wall_seconds"] = float(
+                        stats["wall_seconds"]
+                    )
             history = self.registry.load() if self.registry is not None else ()
             transitions = self.engine.evaluate(
                 values, history, now=self._clock()
@@ -412,6 +484,11 @@ class ServeDaemon:
                 if self._batch is not None and not used_incremental
                 else ()
             )
+            report_json = state.report_json
+        if self.jobs is not None and record is not None:
+            # Watched-spec runs join the job runs in the /report/<id>
+            # cache, so any recorded run id resolves to its report.
+            self.jobs.stash_report(record.run_id, report_json)
         fired = tuple(
             event for event in transitions if isinstance(event, AlertFired)
         )
@@ -434,6 +511,19 @@ class ServeDaemon:
                 for state in self.engine.insufficient_history()
             ),
         )
+
+    def _evaluate_job(self, sosae):
+        """How the job manager evaluates a bundle: through the shared
+        :class:`~repro.shard.BatchEvaluator` pool when the daemon
+        shards, else in-process. Always called with ``eval_lock``
+        held, so sharing ``self._batch`` with the watch loop is safe."""
+        if self.workers > 1:
+            from repro.shard import BatchEvaluator
+
+            if self._batch is None:
+                self._batch = BatchEvaluator(workers=self.workers)
+            return self._batch.evaluate(sosae)
+        return sosae.evaluate()
 
     def _produce_report(
         self,
@@ -596,6 +686,8 @@ class ServeDaemon:
     def shutdown(self) -> None:
         """Stop the loop and tear the HTTP server down."""
         self._stop.set()
+        if self.jobs is not None:
+            self.jobs.close()
         if self._httpd is not None:
             self._httpd.shutdown()
             self._httpd.server_close()
@@ -731,12 +823,25 @@ class ServeDaemon:
                             "the latest multi-process evaluation.",
                         )
                     )
-            return render_prometheus(snapshot, extras)
+        if self.jobs is not None:
+            extras.append(
+                PromSample(
+                    "serve.job_queue_depth",
+                    self.jobs.queue_depth,
+                    help="Jobs waiting in the bounded queue.",
+                )
+            )
+            extras.extend(
+                tenant_samples(
+                    self.jobs.tenant_stats(), top=self.tenant_label_top
+                )
+            )
+        return render_prometheus(snapshot, extras)
 
     def health(self) -> dict:
         with self._lock:
             state = self._state
-            return {
+            body = {
                 "status": "ok",
                 "uptime_seconds": time.time() - self._started_at,
                 "runs_completed": state.runs_completed,
@@ -745,6 +850,9 @@ class ServeDaemon:
                 "incremental_misses": state.incremental_misses,
                 "last_error": state.last_error,
             }
+        if self.jobs is not None:
+            body["job_queue_depth"] = self.jobs.queue_depth
+        return body
 
     def ready(self) -> bool:
         with self._lock:
@@ -813,6 +921,12 @@ class _ServeHandler(BaseHTTPRequestHandler):
                     )
                 else:
                     self._respond(200, "application/json", report)
+            elif parts.path.startswith("/report/"):
+                self._get_run_report(daemon, parts.path[len("/report/"):])
+            elif parts.path == "/jobs":
+                self._list_jobs(daemon, parts.query)
+            elif parts.path.startswith("/jobs/"):
+                self._get_job(daemon, parts.path[len("/jobs/"):])
             elif parts.path == "/alerts":
                 self._respond(200, "application/json", daemon.alerts_json())
             elif parts.path == "/profile":
@@ -854,9 +968,12 @@ class _ServeHandler(BaseHTTPRequestHandler):
                             "/healthz",
                             "/readyz",
                             "/report",
+                            "/report/<run_id>",
                             "/alerts",
                             "/profile",
                             "/events",
+                            "/jobs",
+                            "/jobs/<job_id>",
                         ],
                     },
                 )
@@ -864,6 +981,111 @@ class _ServeHandler(BaseHTTPRequestHandler):
                 self._respond_json(404, {"error": f"no route {parts.path}"})
         except (BrokenPipeError, ConnectionResetError):
             pass
+
+    def do_POST(self) -> None:  # noqa: N802 (BaseHTTPRequestHandler API)
+        parts = urlsplit(self.path)
+        daemon = self.server.sosae_daemon
+        try:
+            if parts.path != "/jobs":
+                self._respond_json(
+                    404, {"error": f"no POST route {parts.path}"}
+                )
+                return
+            if daemon.jobs is None:
+                self._respond_json(
+                    404,
+                    {"error": "job API disabled (start serve with --jobs)"},
+                )
+                return
+            try:
+                length = int(self.headers.get("Content-Length", "0"))
+            except ValueError:
+                length = 0
+            if length <= 0:
+                self._respond_json(
+                    400, {"error": "POST /jobs needs a JSON body"}
+                )
+                return
+            raw = self.rfile.read(length)
+            try:
+                payload = json.loads(raw.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError) as error:
+                self._respond_json(
+                    400, {"error": f"request body is not valid JSON: {error}"}
+                )
+                return
+            if not isinstance(payload, dict):
+                self._respond_json(
+                    400, {"error": "request body must be a JSON object"}
+                )
+                return
+            try:
+                record = daemon.jobs.submit(
+                    payload.get("bundle"),
+                    str(payload.get("tenant", "")),
+                    label=str(payload.get("label", "")),
+                    actor=str(payload.get("actor", ""))
+                    or self.address_string(),
+                )
+            except ReproError as error:
+                self._respond_json(400, {"error": str(error)})
+                return
+            if record.state == "rejected":
+                self._respond_json(
+                    429,
+                    {
+                        "error": record.error,
+                        "reason": record.reason,
+                        "job": record.to_dict(),
+                    },
+                )
+            else:
+                self._respond_json(202, {"job": record.to_dict()})
+        except (BrokenPipeError, ConnectionResetError):
+            pass
+
+    def _list_jobs(self, daemon: ServeDaemon, query: str) -> None:
+        if daemon.jobs is None:
+            self._respond_json(
+                404, {"error": "job API disabled (start serve with --jobs)"}
+            )
+            return
+        values = parse_qs(query).get("tenant")
+        tenant = values[0] if values else None
+        records = daemon.jobs.jobs(tenant)
+        self._respond_json(
+            200, {"jobs": [record.to_dict() for record in records]}
+        )
+
+    def _get_job(self, daemon: ServeDaemon, job_id: str) -> None:
+        if daemon.jobs is None:
+            self._respond_json(
+                404, {"error": "job API disabled (start serve with --jobs)"}
+            )
+            return
+        try:
+            record = daemon.jobs.get(job_id)
+        except ReproError as error:
+            self._respond_json(404, {"error": str(error)})
+            return
+        self._respond_json(200, {"job": record.to_dict()})
+
+    def _get_run_report(self, daemon: ServeDaemon, run_id: str) -> None:
+        report = (
+            daemon.jobs.report_json(run_id)
+            if daemon.jobs is not None
+            else None
+        )
+        if report is None:
+            self._respond_json(
+                404,
+                {
+                    "error": f"no cached report for run {run_id!r} "
+                    "(evicted, unknown, or the job API is disabled)"
+                },
+            )
+            return
+        self._respond(200, "application/json", report)
 
     def _respond(self, status: int, content_type: str, body: str) -> None:
         payload = body.encode("utf-8")
@@ -877,22 +1099,44 @@ class _ServeHandler(BaseHTTPRequestHandler):
         self._respond(status, "application/json", json.dumps(data, sort_keys=True))
 
     def _stream_events(self, daemon: ServeDaemon, query: str) -> None:
+        params = parse_qs(query)
         replay = 0
-        values = parse_qs(query).get("replay")
+        values = params.get("replay")
         if values:
             try:
                 replay = max(0, int(values[0]))
             except ValueError:
                 replay = 0
+        tenant_values = params.get("tenant")
+        tenant = tenant_values[0] if tenant_values else None
+
+        def matches(event: TelemetryEvent) -> bool:
+            # ?tenant=T narrows the stream to that tenant's events —
+            # the ones carrying a matching `tenant` field (job
+            # lifecycle, tenant-scoped run records).
+            if tenant is None:
+                return True
+            return getattr(event, "tenant", None) == tenant
+
         inbox: "queue.Queue[TelemetryEvent]" = queue.Queue()
-        unsubscribe = daemon.bus.subscribe(inbox.put)
+
+        def enqueue(event: TelemetryEvent) -> None:
+            if matches(event):
+                inbox.put(event)
+
+        unsubscribe = daemon.bus.subscribe(enqueue)
         try:
             self.send_response(200)
             self.send_header("Content-Type", "text/event-stream")
             self.send_header("Cache-Control", "no-cache")
             self.end_headers()
             if replay:
-                for event in daemon.bus.events()[-replay:]:
+                buffered = [
+                    event
+                    for event in daemon.bus.events()
+                    if matches(event)
+                ]
+                for event in buffered[-replay:]:
                     self.wfile.write(_sse_frame(event))
             self.wfile.flush()
             while not daemon.stopping:
@@ -915,30 +1159,29 @@ def _sse_frame(event: TelemetryEvent) -> bytes:
     return f"event: {event.kind}\ndata: {data}\n\n".encode("utf-8")
 
 
-def read_sse_events(
+def iter_sse_events(
     url: str,
     limit: Optional[int] = None,
     duration: Optional[float] = None,
     connect_timeout: float = 10.0,
-) -> tuple[TelemetryEvent, ...]:
-    """Consume a ``/events`` SSE stream back into telemetry events.
-
-    Collects until ``limit`` events arrived, ``duration`` seconds
+):
+    """Yield telemetry events from a ``/events`` SSE stream as they
+    arrive, until ``limit`` events were yielded, ``duration`` seconds
     elapsed, or the server closed the stream — whichever comes first
     (with neither bound, until close). Keep-alive comments and frames
     that fail to parse as events are skipped. Stdlib only; this is what
-    ``sosae dashboard --live`` uses.
+    ``sosae jobs tail`` follows live.
     """
     if not url.startswith(("http://", "https://")):
-        raise ReproError(f"--live needs an http(s) URL, got {url!r}")
-    events: list[TelemetryEvent] = []
+        raise ReproError(f"event streaming needs an http(s) URL, got {url!r}")
+    yielded = 0
     deadline = (
         time.monotonic() + duration if duration is not None else None
     )
     data_lines: list[str] = []
     with urlopen(url, timeout=connect_timeout) as response:
         while True:
-            if limit is not None and len(events) >= limit:
+            if limit is not None and yielded >= limit:
                 break
             if deadline is not None and time.monotonic() >= deadline:
                 break
@@ -952,9 +1195,10 @@ def read_sse_events(
             if not line:
                 if data_lines:
                     try:
-                        events.append(
-                            event_from_dict(json.loads("\n".join(data_lines)))
+                        yield event_from_dict(
+                            json.loads("\n".join(data_lines))
                         )
+                        yielded += 1
                     except (ReproError, json.JSONDecodeError):
                         pass
                     data_lines = []
@@ -963,4 +1207,22 @@ def read_sse_events(
                 continue
             if line.startswith("data:"):
                 data_lines.append(line[5:].lstrip())
-    return tuple(events)
+
+
+def read_sse_events(
+    url: str,
+    limit: Optional[int] = None,
+    duration: Optional[float] = None,
+    connect_timeout: float = 10.0,
+) -> tuple[TelemetryEvent, ...]:
+    """Collect a ``/events`` SSE stream back into a tuple of telemetry
+    events (the batch form of :func:`iter_sse_events`; this is what
+    ``sosae dashboard --live`` uses)."""
+    return tuple(
+        iter_sse_events(
+            url,
+            limit=limit,
+            duration=duration,
+            connect_timeout=connect_timeout,
+        )
+    )

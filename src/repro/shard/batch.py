@@ -35,6 +35,7 @@ is what shards (matching ``Sosae.evaluate()``'s default).
 
 from __future__ import annotations
 
+import threading
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
@@ -107,6 +108,11 @@ class BatchEvaluator:
             )
         self.workers = workers
         self.mp_context = mp_context
+        # One evaluator instance may be shared across threads (the
+        # serve daemon hands the same pool to its watch loop and its
+        # job executors); `last_*` below are per-evaluation state, so
+        # evaluations must not interleave.
+        self._lock = threading.Lock()
         #: The most recent evaluation's per-shard stats and telemetry.
         self.last_shard_stats: tuple[ShardStats, ...] = ()
         self.last_telemetry: Optional[MergedTelemetry] = None
@@ -120,7 +126,19 @@ class BatchEvaluator:
         scenario_names: Optional[Iterable[str]] = None,
     ) -> EvaluationReport:
         """Run the static pipeline with the walkthrough stage sharded
-        across the pool. Same report as ``sosae.evaluate(...)``."""
+        across the pool. Same report as ``sosae.evaluate(...)``.
+
+        Thread-safe for a shared instance: concurrent callers
+        serialize, because the ``last_*`` attributes describe exactly
+        one evaluation."""
+        with self._lock:
+            return self._evaluate_locked(sosae, scenario_names)
+
+    def _evaluate_locked(
+        self,
+        sosae: Sosae,
+        scenario_names: Optional[Iterable[str]] = None,
+    ) -> EvaluationReport:
         recorder = current_recorder()
         bus = current_event_bus()
         if bus.enabled:

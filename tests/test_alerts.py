@@ -439,3 +439,49 @@ class TestInsufficientHistory:
         assert engine.insufficient_history() == ()
         (snap,) = engine.to_dict()
         assert snap["status"] == "no-data"
+
+
+class TestTenantScopedRules:
+    def test_metric_rule_reads_the_tenant_scalar(self):
+        engine = AlertEngine(
+            [AlertRule(name="r", metric="jobs_failed", threshold=0,
+                       tenant="acme")]
+        )
+        # the bare metric name never matches a tenant-scoped rule
+        assert engine.evaluate({"jobs_failed": 5.0}) == []
+        (state,) = engine.states
+        assert state.status == "no-data"
+        (fired,) = engine.evaluate({"tenant.acme.jobs_failed": 2.0})
+        assert fired.value == 2.0
+
+    def test_runs_rule_sees_only_the_tenant_slice(self):
+        engine = AlertEngine(
+            [AlertRule(name="r", metric="findings", threshold=2,
+                       source="runs", tenant="acme")]
+        )
+        history = [
+            _run(1, findings=9, tenant="beta"),   # loud, but not ours
+            _run(2, findings=0, tenant="acme"),
+        ]
+        assert engine.evaluate({}, runs=history) == []
+        history.append(_run(3, findings=4, tenant="acme"))
+        assert len(engine.evaluate({}, runs=history)) == 1
+
+    def test_insufficient_history_names_the_tenant(self):
+        engine = AlertEngine(
+            [AlertRule(name="r", metric="wall_seconds", threshold=1,
+                       source="runs", mode="delta", window=3,
+                       tenant="acme")]
+        )
+        engine.evaluate({}, runs=[_run(1, tenant="beta")] * 5)
+        (state,) = engine.states
+        assert state.status == "insufficient-history"
+        assert "acme" in state.status_detail
+
+    def test_parse_rules_reads_tenant_and_render_shows_it(self):
+        (rule,) = parse_rules([
+            {"name": "r", "metric": "jobs_rejected", "threshold": 0,
+             "tenant": "acme"}
+        ])
+        assert rule.tenant == "acme"
+        assert "[tenant acme]" in rule.condition()

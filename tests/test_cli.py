@@ -955,3 +955,199 @@ class TestRunsBisect:
              "--runs-dir", str(runs_dir), "--window", "3"]
         ) == 2
         assert "error:" in capsys.readouterr().err
+
+
+class TestTailFilters:
+    @pytest.fixture
+    def noisy_stream(self, tmp_path, capsys) -> Path:
+        """An event stream containing warnings (failed scenario +
+        findings) alongside the usual info chatter."""
+        stream = tmp_path / "events.jsonl"
+        assert main(
+            ["demo", "crash", "--variant", "insecure",
+             "--events", str(stream)]
+        ) == 1
+        capsys.readouterr()
+        return stream
+
+    def test_severity_floor_drops_info_chatter(self, noisy_stream, capsys):
+        assert main(
+            ["tail", str(noisy_stream), "--no-color",
+             "--severity", "warning"]
+        ) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert lines, "warnings expected from the insecure variant"
+        # info-level chatter is gone; only warning-grade kinds remain
+        assert not any("scenario-started" in line for line in lines)
+        assert not any("stage-" in line for line in lines)
+        assert any("finding-emitted" in line for line in lines)
+        assert len(lines) < len(read_events(noisy_stream))
+
+    def test_type_glob_narrows_to_matching_kinds(
+        self, noisy_stream, capsys
+    ):
+        assert main(
+            ["tail", str(noisy_stream), "--no-color",
+             "--type", "scenario-*"]
+        ) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert lines
+        assert all(
+            "scenario-started" in line or "scenario-finished" in line
+            for line in lines
+        )
+
+    def test_severity_and_type_compose_as_and(self, noisy_stream, capsys):
+        assert main(
+            ["tail", str(noisy_stream), "--no-color",
+             "--severity", "warning", "--type", "scenario-finished"]
+        ) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert lines
+        # only the *failed* scenario-finished events clear the floor
+        assert all("scenario-finished" in line for line in lines)
+        assert all("FAIL" in line for line in lines)
+
+    def test_filters_apply_in_follow_mode(self, noisy_stream, capsys):
+        status = main(
+            ["tail", str(noisy_stream), "--follow", "--no-color",
+             "--poll", "0.01", "--max-events", "2",
+             "--type", "scenario-finished"]
+        )
+        assert status == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 2
+        assert all("scenario-finished" in line for line in lines)
+
+    def test_unfiltered_output_is_unchanged(self, noisy_stream, capsys):
+        assert main(["tail", str(noisy_stream), "--no-color"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == len(read_events(noisy_stream))
+
+
+class TestJobsCli:
+    @pytest.fixture
+    def spec_files(self, tmp_path, capsys):
+        """Spec files exported through the CLI itself."""
+        paths = {}
+        for key, argv in (
+            ("scenarios", ["export", "pims", "scenarioml"]),
+            ("architecture", ["export", "pims", "xadl"]),
+            ("mapping", ["export", "pims", "mapping"]),
+        ):
+            assert main(argv) == 0
+            path = tmp_path / f"{key}.spec"
+            path.write_text(capsys.readouterr().out)
+            paths[key] = path
+        return paths
+
+    @pytest.fixture
+    def job_server(self, tmp_path):
+        from repro.obs import RunRegistry, ServeDaemon
+        from repro.systems.pims import build_pims
+        from repro.core.evaluator import Sosae
+
+        pims = build_pims()
+        daemon = ServeDaemon(
+            lambda: Sosae(pims.scenarios, pims.architecture, pims.mapping),
+            registry=RunRegistry(tmp_path / "server-runs"),
+            jobs=True,
+            tenant_quota=2,
+            job_executors=1,
+        )
+        host, port = daemon.start_http()
+        yield daemon, f"http://{host}:{port}"
+        daemon.shutdown()
+
+    def test_submit_wait_round_trip(
+        self, job_server, spec_files, tmp_path, capsys
+    ):
+        _, base = job_server
+        report_path = tmp_path / "report.json"
+        status = main(
+            ["jobs", "submit", "--url", base, "--tenant", "acme",
+             "--label", "cli-test", "--actor", "tester",
+             "--scenarios", str(spec_files["scenarios"]),
+             "--architecture", str(spec_files["architecture"]),
+             "--mapping", str(spec_files["mapping"]),
+             "--wait", "--report", str(report_path)]
+        )
+        out = capsys.readouterr().out
+        assert status == 0, out
+        assert "submitted j0001" in out
+        assert "done" in out
+        report = json.loads(report_path.read_text())
+        assert report["architecture"]
+
+    def test_status_and_list_over_http(
+        self, job_server, spec_files, capsys
+    ):
+        daemon, base = job_server
+        assert main(
+            ["jobs", "submit", "--url", base, "--tenant", "beta",
+             "--scenarios", str(spec_files["scenarios"]),
+             "--architecture", str(spec_files["architecture"]),
+             "--mapping", str(spec_files["mapping"]), "--wait"]
+        ) == 0
+        capsys.readouterr()
+        assert main(["jobs", "status", "j0001", "--url", base]) == 0
+        body = json.loads(capsys.readouterr().out)
+        assert body["state"] == "done"
+        assert main(["jobs", "list", "--url", base, "--tenant", "beta"]) == 0
+        out = capsys.readouterr().out
+        assert "j0001" in out and "beta" in out
+
+    def test_list_offline_reads_the_registry(self, tmp_path, capsys):
+        from repro.obs import JobRecord, JobRegistry
+
+        registry = JobRegistry(tmp_path)
+        registry.append(
+            JobRecord(job_id="j0001", tenant="acme", state="done",
+                      run_id="r0001")
+        )
+        registry.append(
+            JobRecord(job_id="j0002", tenant="beta", state="queued")
+        )
+        assert main(["jobs", "list", "--jobs-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "j0001" in out and "j0002" in out
+        assert main(
+            ["jobs", "list", "--jobs-dir", str(tmp_path),
+             "--tenant", "acme"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "j0001" in out and "j0002" not in out
+
+    def test_runs_list_scopes_by_tenant(self, tmp_path, capsys):
+        runs_dir = tmp_path / "runs"
+        assert main(
+            ["demo", "pims", "--record", "--runs-dir", str(runs_dir)]
+        ) == 0
+        capsys.readouterr()
+        assert main(
+            ["runs", "list", "--runs-dir", str(runs_dir),
+             "--tenant", "ghost"]
+        ) == 0
+        assert "no runs recorded" in capsys.readouterr().out
+
+    def test_dashboard_tenant_view(self, tmp_path, capsys):
+        from repro.obs import JobRecord, JobRegistry
+
+        registry = JobRegistry(tmp_path / "jobs")
+        registry.append(
+            JobRecord(job_id="j0001", tenant="acme", state="done",
+                      submitted_at=1.0, finished_at=2.0,
+                      wall_seconds=0.5)
+        )
+        out_path = tmp_path / "tenant.html"
+        status = main(
+            ["dashboard", "--out", str(out_path),
+             "--runs-dir", str(tmp_path / "no-runs"),
+             "--jobs-dir", str(tmp_path / "jobs"),
+             "--tenant", "acme"]
+        )
+        assert status == 0
+        html = out_path.read_text()
+        assert "Tenant jobs" in html
+        assert "j0001" in html
+        assert "tenant acme" in html

@@ -10,6 +10,7 @@ from repro.core.evaluator import Sosae
 from repro.errors import ReproError
 from repro.obs import (
     EventBus,
+    JobRecord,
     Profile,
     Recorder,
     RunRecord,
@@ -21,6 +22,7 @@ from repro.obs import (
     use,
     use_events,
 )
+from repro.obs.dashboard import _in_flight_series
 from repro.obs.spans import Span
 
 
@@ -314,3 +316,53 @@ class TestDifferentialFlamegraph:
     def test_profile_section_absent_note_without_input(self):
         html = build_dashboard(spans=_forest())
         assert "Differential profile" in html
+
+
+def _job(job_id, tenant="acme", state="done", submitted=0.0, finished=1.0,
+         **kw):
+    return JobRecord(
+        job_id=job_id, tenant=tenant, state=state,
+        submitted_at=submitted,
+        finished_at=finished if state in ("done", "failed") else None,
+        **kw,
+    )
+
+
+class TestTenantJobsSection:
+    def test_in_flight_series_tracks_queue_depth(self):
+        records = [
+            _job("j0001", submitted=0.0, finished=3.0),
+            _job("j0002", submitted=1.0, finished=2.0),
+            _job("j0003", state="rejected", submitted=1.5, finished=None),
+        ]
+        series = _in_flight_series(records)
+        # starts at zero, peaks at 2 while both jobs overlap, drains
+        assert series[0] == 0.0
+        assert max(series) == 2.0
+        assert series[-1] == 0.0
+
+    def test_jobs_alone_render_the_tenant_section(self):
+        jobs = [
+            _job("j0001", run_id="r0001", wall_seconds=0.4),
+            _job("j0002", tenant="beta", state="rejected",
+                 reason="quota", finished=None),
+        ]
+        html = build_dashboard(jobs=jobs, generated_at=10.0)
+        assert "Tenant jobs" in html
+        assert "quota pressure" in html
+        assert "j0001" in html and "j0002" in html
+        assert "acme" in html and "beta" in html
+
+    def test_tenant_filter_scopes_jobs_and_title(self):
+        jobs = [
+            _job("j0001", tenant="acme", run_id="r0001"),
+            _job("j0002", tenant="beta", run_id="r0002"),
+        ]
+        html = build_dashboard(jobs=jobs, tenant="acme", generated_at=10.0)
+        assert "tenant acme" in html
+        assert "j0001" in html
+        assert "j0002" not in html
+
+    def test_empty_jobs_section_degrades_to_a_note(self):
+        html = build_dashboard(runs=[_record()], generated_at=0.0)
+        assert "Tenant jobs" in html  # section header with empty-state

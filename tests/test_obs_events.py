@@ -19,6 +19,10 @@ from repro.obs import (
     EventBus,
     FindingEmitted,
     Heartbeat,
+    JobFinished,
+    JobRejected,
+    JobStarted,
+    JobSubmitted,
     JsonlSink,
     NullEventBus,
     RunRecorded,
@@ -91,6 +95,30 @@ def _sample(cls):
             metric="findings",
             severity="critical",
             value=1.0,
+        ),
+        JobSubmitted: JobSubmitted(
+            job_id="j0001",
+            tenant="acme",
+            label="nightly",
+            spec_digest="ab12cd34ef567890",
+        ),
+        JobStarted: JobStarted(
+            job_id="j0001", tenant="acme", queued_seconds=0.02
+        ),
+        JobFinished: JobFinished(
+            job_id="j0001",
+            tenant="acme",
+            state="done",
+            run_id="r0001",
+            consistent=False,
+            findings=2,
+            wall_seconds=0.4,
+        ),
+        JobRejected: JobRejected(
+            job_id="j0002",
+            tenant="acme",
+            reason="quota",
+            detail="2 jobs already in flight",
         ),
     }
     return samples[cls]

@@ -11,6 +11,7 @@ from repro.errors import ReproError
 from repro.obs import (
     MetricsRegistry,
     PromSample,
+    bounded_label_values,
     prometheus_metric_name,
     render_prometheus,
 )
@@ -221,3 +222,27 @@ class TestQuantileEdgeCases:
         snapshot = merged.to_dict()["walk_seconds"]
         assert snapshot["min"] == pytest.approx(0.1)
         assert snapshot["max"] == pytest.approx(0.9)
+
+
+class TestBoundedLabelValues:
+    def test_top_k_keeps_the_heaviest_keys(self):
+        weights = {"a": 1.0, "b": 5.0, "c": 3.0, "d": 2.0}
+        mapping = bounded_label_values(weights, top=2)
+        assert mapping == {"b": "b", "c": "c", "a": "other", "d": "other"}
+
+    def test_ties_break_alphabetically(self):
+        mapping = bounded_label_values({"z": 1.0, "a": 1.0, "m": 1.0}, top=2)
+        assert mapping == {"a": "a", "m": "m", "z": "other"}
+
+    def test_population_within_the_cap_is_untouched(self):
+        weights = {"a": 1.0, "b": 2.0}
+        assert bounded_label_values(weights, top=8) == {"a": "a", "b": "b"}
+
+    def test_custom_overflow_value(self):
+        mapping = bounded_label_values({"a": 2.0, "b": 1.0}, top=1,
+                                       overflow="rest")
+        assert mapping["b"] == "rest"
+
+    def test_top_must_be_positive(self):
+        with pytest.raises(ReproError, match=">= 1"):
+            bounded_label_values({"a": 1.0}, top=0)

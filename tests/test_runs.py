@@ -560,3 +560,63 @@ class TestBisectRuns:
     def test_short_history_errors_not_silently_passes(self):
         with pytest.raises(ReproError, match="at least"):
             bisect_runs(self._history([0, 0]), "findings", window=3)
+
+
+class TestTenantScoping:
+    def test_record_carries_tenant_and_job(
+        self, tmp_path, recorded_evaluation
+    ):
+        report, recorder = recorded_evaluation
+        registry = RunRegistry(tmp_path / "runs")
+        written = registry.record(
+            "job-run", report, recorder, tenant="acme", job_id="j0001"
+        )
+        (loaded,) = registry.load()
+        assert loaded.tenant == "acme"
+        assert loaded.job_id == "j0001"
+        assert loaded == written
+
+    def test_load_filters_by_tenant(self, tmp_path, recorded_evaluation):
+        report, recorder = recorded_evaluation
+        registry = RunRegistry(tmp_path / "runs")
+        registry.record("a1", report, recorder, tenant="acme")
+        registry.record("b1", report, recorder, tenant="beta")
+        registry.record("a2", report, recorder, tenant="acme")
+        assert [r.label for r in registry.load(tenant="acme")] == ["a1", "a2"]
+        assert registry.load(tenant="nobody") == ()
+
+    def test_aliases_resolve_within_the_tenant(
+        self, tmp_path, recorded_evaluation
+    ):
+        report, recorder = recorded_evaluation
+        registry = RunRegistry(tmp_path / "runs")
+        registry.record("b1", report, recorder, tenant="beta")
+        registry.record("a1", report, recorder, tenant="acme")
+        # "latest" inside beta's slice is b1 even though a1 is newer
+        assert registry.get("latest", tenant="beta").label == "b1"
+        # an id from another tenant is invisible under the scope
+        with pytest.raises(ReproError, match="beta"):
+            registry.get("r0002", tenant="beta")
+
+    def test_render_list_grows_a_tenant_column_when_needed(
+        self, tmp_path, recorded_evaluation
+    ):
+        report, recorder = recorded_evaluation
+        registry = RunRegistry(tmp_path / "runs")
+        registry.record("plain", report, recorder)
+        assert "tenant" not in registry.render_list()
+        registry.record("scoped", report, recorder, tenant="acme")
+        listing = registry.render_list()
+        assert "tenant" in listing.splitlines()[0]
+        assert "acme" in listing
+
+    def test_pre_tenant_lines_load_as_untenanted(self, tmp_path):
+        registry = RunRegistry(tmp_path / "runs")
+        registry.root.mkdir(parents=True)
+        legacy = _record().to_dict()
+        del legacy["tenant"]
+        del legacy["job_id"]
+        registry.path.write_text(json.dumps(legacy) + "\n")
+        (loaded,) = registry.load()
+        assert loaded.tenant == ""
+        assert loaded.job_id == ""

@@ -2,7 +2,11 @@
 
 from __future__ import annotations
 
+import http.client
 import json
+import os
+import re
+import threading
 import time
 import urllib.error
 import urllib.request
@@ -523,3 +527,132 @@ class TestInsufficientHistorySurfacing:
         outcomes = [daemon.run_once() for _ in range(5)]
         assert outcomes[0].insufficient
         assert outcomes[-1].insufficient == ()
+
+
+class TestSpecWatcherFingerprint:
+    def test_rewrite_with_identical_mtime_is_still_detected(self, tmp_path):
+        """mtime alone is too coarse: force the rewrite to land on the
+        exact same timestamp and rely on the size half of the
+        (st_mtime_ns, st_size) fingerprint."""
+        spec = tmp_path / "a.xml"
+        spec.write_text("v1")
+        stamp = spec.stat()
+        watcher = SpecWatcher([spec])
+        watcher.changed()
+        spec.write_text("v2 is longer than v1")
+        os.utime(spec, ns=(stamp.st_atime_ns, stamp.st_mtime_ns))
+        assert spec.stat().st_mtime_ns == stamp.st_mtime_ns
+        assert watcher.changed() is True
+        assert watcher.changed() is False
+
+    def test_touch_without_content_change_reports_a_change(self, tmp_path):
+        # a bumped mtime alone flips the fingerprint (conservative:
+        # better a redundant rebuild than a missed one)
+        spec = tmp_path / "a.xml"
+        spec.write_text("v1")
+        watcher = SpecWatcher([spec])
+        watcher.changed()
+        stamp = spec.stat()
+        os.utime(
+            spec,
+            ns=(stamp.st_atime_ns, stamp.st_mtime_ns + 1_000_000),
+        )
+        assert watcher.changed() is True
+
+
+class TestSseSubscriberLeak:
+    def test_disconnected_client_is_unsubscribed(self, build):
+        """A regression guard for SSE subscriber leaks: after a client
+        drops, the next keep-alive write hits the broken pipe and the
+        handler's finally-block must return the bus to its baseline
+        subscriber count."""
+        daemon = ServeDaemon(build, sse_keepalive=0.1)
+        daemon.run_once()
+        host, port = daemon.start_http()
+        try:
+            baseline = daemon.bus.subscriber_count
+            connection = http.client.HTTPConnection(host, port, timeout=10)
+            connection.request("GET", "/events?replay=1")
+            response = connection.getresponse()
+            assert response.status == 200
+            # read one frame so we know the stream is live
+            assert b"data:" in response.fp.readline() + response.fp.readline()
+            deadline = time.monotonic() + 5.0
+            while daemon.bus.subscriber_count <= baseline:
+                if time.monotonic() > deadline:
+                    pytest.fail("SSE handler never subscribed")
+                time.sleep(0.01)
+            # the response object holds the socket's file alive; both
+            # must go for the server to see the disconnect
+            response.close()
+            connection.close()
+            deadline = time.monotonic() + 5.0
+            while daemon.bus.subscriber_count != baseline:
+                if time.monotonic() > deadline:
+                    pytest.fail(
+                        "subscriber leaked after client disconnect: "
+                        f"{daemon.bus.subscriber_count} != {baseline}"
+                    )
+                time.sleep(0.05)
+        finally:
+            daemon.shutdown()
+
+
+class TestScrapeUnderLoad:
+    def test_metrics_and_healthz_survive_concurrent_runs(self, build, tmp_path):
+        """Hammer /metrics and /healthz from threads while the serve
+        loop re-evaluates: every scrape answers 200 and the run counter
+        never goes backwards."""
+        daemon = ServeDaemon(build, registry=RunRegistry(tmp_path / "runs"))
+        daemon.run_once()
+        host, port = daemon.start_http()
+        base = f"http://{host}:{port}"
+        failures = []
+        # one list per scraping thread: monotonicity is a per-observer
+        # property — two threads' reads interleave arbitrarily
+        per_thread = [[], [], [], []]
+        stop = threading.Event()
+
+        def hammer(path, counters):
+            pattern = re.compile(r"sosae_serve_runs_total (\d+)")
+            while not stop.is_set():
+                try:
+                    status, body = _get(f"{base}{path}")
+                except Exception as error:  # noqa: BLE001
+                    failures.append(f"{path}: {error!r}")
+                    return
+                if status != 200:
+                    failures.append(f"{path}: HTTP {status}")
+                    return
+                if path == "/metrics":
+                    match = pattern.search(body)
+                    if not match:
+                        failures.append("/metrics: runs counter missing")
+                        return
+                    counters.append(int(match.group(1)))
+
+        threads = [
+            threading.Thread(target=hammer, args=(path, counters))
+            for path, counters in zip(
+                ("/metrics", "/metrics", "/healthz", "/healthz"),
+                per_thread,
+            )
+        ]
+        try:
+            for thread in threads:
+                thread.start()
+            for _ in range(8):
+                daemon.run_once()
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join(timeout=10)
+            daemon.shutdown()
+        assert not failures, failures
+        metric_reads = per_thread[0] + per_thread[1]
+        assert metric_reads, "scrape threads never read the run counter"
+        for counters in per_thread[:2]:
+            assert counters == sorted(counters), (
+                "run counter went backwards within one scraper"
+            )
+        assert max(metric_reads) >= 1
