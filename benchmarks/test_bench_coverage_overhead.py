@@ -1,0 +1,150 @@
+"""Coverage-collection overhead guard: building the element-coverage
+matrix during an instrumented evaluation must stay under 5% of the
+evaluation itself.
+
+Coverage rides the walkthrough hot path — every mapping resolution and
+witness path reports into the installed :class:`CoverageBuilder` — so
+this is the layer most likely to regress silently. Subtracting two
+whole-evaluation wall clocks cannot resolve a sub-millisecond cost on a
+shared runner (the difference drowns in scheduler noise), so this
+benchmark accounts for the machinery directly, the same way the
+job-API guard times job bookkeeping rather than evaluation diffs:
+
+1. harvest the exact hook-call trace one real evaluation produces;
+2. replay it against an enabled and a disabled builder (the delta is
+   the true per-event collection cost);
+3. time ``finalize`` plus the ratio gauges on a loaded builder (the
+   per-run close-out cost, digest included via the matrix);
+4. assert hooks + finalize stay under 5% of a warm evaluation of the
+   same workload the serve/jobs guards use.
+
+All arms are reduced with min-of-rounds CPU time, which is stable
+where wall-clock interleaving is not.
+"""
+
+from __future__ import annotations
+
+import time
+
+from _timing import timed
+
+from repro.core.evaluator import Sosae
+from repro.obs import CoverageBuilder, Recorder, use, use_coverage
+from repro.systems.generators import SyntheticSpec, build_synthetic
+
+# Same workload as test_bench_serve_overhead.py: the warm path.
+SPEC = SyntheticSpec(
+    event_types=60,
+    components=120,
+    scenarios=100,
+    events_per_scenario=10,
+    reuse=1.0,
+    components_per_event_type=3,
+    seed=11,
+)
+
+MAX_OVERHEAD_FRACTION = 0.05
+ROUNDS = 30
+
+
+class _SpyBuilder(CoverageBuilder):
+    """Records the hook-call trace of one evaluation for replay."""
+
+    def __init__(self):
+        super().__init__()
+        self.resolution_calls = []
+        self.path_calls = []
+
+    def record_resolution(self, event_type, components, hops):
+        self.resolution_calls.append((event_type, components, hops))
+        super().record_resolution(event_type, components, hops)
+
+    def record_path(self, path):
+        self.path_calls.append(path)
+        super().record_path(path)
+
+
+def _replay_seconds(spy, enabled):
+    best = float("inf")
+    for _ in range(ROUNDS):
+        builder = CoverageBuilder(enabled=enabled)
+        record_resolution = builder.record_resolution
+        record_path = builder.record_path
+        start = time.process_time()
+        for call in spy.resolution_calls:
+            record_resolution(*call)
+        for path in spy.path_calls:
+            record_path(path)
+        best = min(best, time.process_time() - start)
+    return best
+
+
+def _finalize_seconds(spy, sosae):
+    best = float("inf")
+    for _ in range(ROUNDS):
+        builder = CoverageBuilder()
+        for call in spy.resolution_calls:
+            builder.record_resolution(*call)
+        for path in spy.path_calls:
+            builder.record_path(path)
+        recorder = Recorder()
+        start = time.process_time()
+        matrix = builder.finalize(sosae.scenario_set, sosae.mapping)
+        recorder.coverage = matrix
+        recorder.gauge("coverage.component_ratio").set(
+            matrix.component_coverage
+        )
+        recorder.gauge("coverage.link_ratio").set(matrix.link_coverage)
+        recorder.gauge("coverage.event_type_ratio").set(
+            matrix.event_type_coverage
+        )
+        best = min(best, time.process_time() - start)
+    return best
+
+
+def _warm_evaluate_seconds(sosae, repeats=8):
+    with use(Recorder()):
+        sosae.evaluate()
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.process_time()
+        with use(Recorder()):
+            sosae.evaluate()
+        best = min(best, time.process_time() - start)
+    return best
+
+
+def test_bench_coverage_overhead(benchmark):
+    system = build_synthetic(SPEC)
+    sosae = Sosae(system.scenarios, system.architecture, system.mapping)
+
+    def measure():
+        with timed("coverage.warm_evaluate", scenarios=SPEC.scenarios):
+            with use(Recorder()):
+                sosae.evaluate()
+        spy = _SpyBuilder()
+        with use(Recorder()), use_coverage(spy):
+            sosae.evaluate()
+        hooks = _replay_seconds(spy, True) - _replay_seconds(spy, False)
+        finalize = _finalize_seconds(spy, sosae)
+        warm = _warm_evaluate_seconds(sosae)
+        return max(0.0, hooks), finalize, warm, len(spy.resolution_calls)
+
+    hooks, finalize, warm, resolutions = benchmark.pedantic(
+        measure, rounds=1, iterations=1
+    )
+    fraction = (hooks + finalize) / warm
+
+    print()
+    print("=== coverage machinery vs. warm evaluation ===")
+    print(
+        f"synthetic ({SPEC.scenarios} scenarios, {resolutions} "
+        f"resolutions): warm evaluate {warm * 1e3:.2f} ms, hook "
+        f"collection {hooks * 1e3:.3f} ms, finalize+gauges "
+        f"{finalize * 1e3:.3f} ms ({fraction:.2%})"
+    )
+
+    assert fraction < MAX_OVERHEAD_FRACTION, (
+        f"coverage machinery costs {fraction:.2%} of a warm evaluation "
+        f"(allowed {MAX_OVERHEAD_FRACTION:.0%})"
+    )

@@ -110,6 +110,8 @@ from repro.obs import (
     DEFAULT_RUNS_DIR,
     DEFAULT_TENANT_QUOTA,
     SEVERITY_LEVELS,
+    AuditLog,
+    CoverageMatrix,
     EventBus,
     JobRecord,
     JobRegistry,
@@ -123,7 +125,9 @@ from repro.obs import (
     bisect_runs,
     build_dashboard,
     chrome_trace_json,
+    compact_job_logs,
     configure_logging,
+    diff_coverage,
     diff_profiles,
     diff_runs,
     events_from_jsonl,
@@ -414,6 +418,86 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SIGMAS",
         help="robust z-score above which a value is a step "
         "(default: %(default)s)",
+    )
+    runs_compact = runs_sub.add_parser(
+        "compact",
+        help="drop all but the newest N recorded runs",
+        description="Rewrite runs.jsonl keeping only the newest --keep "
+        "runs (atomically, via temp file + rename, under the same lock "
+        "appenders take) and delete the dropped runs' profile "
+        "artifacts. Run ids stay monotonic: new runs continue from the "
+        "highest id ever minted, never reuse a compacted one.",
+    )
+    runs_compact.add_argument(
+        "--runs-dir", type=Path, default=Path(DEFAULT_RUNS_DIR),
+        help="registry directory (default: %(default)s)",
+    )
+    runs_compact.add_argument(
+        "--keep", type=int, required=True, metavar="N",
+        help="how many of the newest runs to keep",
+    )
+
+    coverage = subparsers.add_parser(
+        "coverage",
+        help="inspect element-coverage matrices of recorded runs",
+        description="Work with the element-coverage matrix an "
+        "evaluation records under '--record': which event types "
+        "exercised which components, which architecture links "
+        "walkthrough witness paths crossed, which constraints fired, "
+        "and which mapping entries are dead. A run reference is a run "
+        "id (e.g. r0003) or the alias 'latest' / 'previous'.",
+    )
+    coverage_sub = coverage.add_subparsers(
+        dest="coverage_command", required=True
+    )
+    coverage_show = coverage_sub.add_parser(
+        "show", help="print one run's coverage matrix"
+    )
+    coverage_show.add_argument(
+        "run", nargs="?", default="latest",
+        help="run reference (default: %(default)s)",
+    )
+    coverage_show.add_argument(
+        "--runs-dir", type=Path, default=Path(DEFAULT_RUNS_DIR),
+        help="registry directory (default: %(default)s)",
+    )
+    coverage_diff = coverage_sub.add_parser(
+        "diff",
+        help="compare two runs' coverage; exit 1 on regression",
+        description="Rank what the 'after' run no longer covers "
+        "relative to 'before': newly untouched components, newly "
+        "unexercised event types, newly uncovered links, new dead "
+        "mappings, and ratio drops. Exits 1 when coverage regressed "
+        "past --threshold.",
+    )
+    coverage_diff.add_argument(
+        "before", nargs="?", default="previous",
+        help="run reference (default: %(default)s)",
+    )
+    coverage_diff.add_argument(
+        "after", nargs="?", default="latest",
+        help="run reference (default: %(default)s)",
+    )
+    coverage_diff.add_argument(
+        "--runs-dir", type=Path, default=Path(DEFAULT_RUNS_DIR),
+        help="registry directory (default: %(default)s)",
+    )
+    coverage_diff.add_argument(
+        "--threshold", type=float, default=0.0, metavar="DROP",
+        help="tolerated coverage-ratio drop (0..1) before the exit "
+        "status flags a regression; at 0 any newly-uncovered element "
+        "regresses (default: %(default)s)",
+    )
+    coverage_gaps = coverage_sub.add_parser(
+        "gaps", help="print only what a run left uncovered"
+    )
+    coverage_gaps.add_argument(
+        "run", nargs="?", default="latest",
+        help="run reference (default: %(default)s)",
+    )
+    coverage_gaps.add_argument(
+        "--runs-dir", type=Path, default=Path(DEFAULT_RUNS_DIR),
+        help="registry directory (default: %(default)s)",
     )
 
     profile = subparsers.add_parser(
@@ -845,6 +929,26 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-color", action="store_true",
         help="disable ANSI severity coloring",
     )
+    jobs_compact = jobs_sub.add_parser(
+        "compact",
+        help="collapse terminal jobs' log history past a horizon",
+        description="Rewrite jobs.jsonl and audit.jsonl keeping only "
+        "the latest line per job that reached a terminal state "
+        "(done/failed/rejected) more than --keep-days ago. Non-"
+        "terminal and recent jobs keep their full transition history. "
+        "Atomic (temp file + rename) and safe against a live 'serve "
+        "--jobs' daemon: the rewrite holds the same cross-process lock "
+        "appenders take.",
+    )
+    jobs_compact.add_argument(
+        "--jobs-dir", type=Path, default=Path(DEFAULT_RUNS_DIR),
+        help="job registry directory (default: %(default)s)",
+    )
+    jobs_compact.add_argument(
+        "--keep-days", type=float, required=True, metavar="DAYS",
+        help="keep full history for jobs that finished within this "
+        "many days",
+    )
     bench_gate = subparsers.add_parser(
         "bench-gate",
         help="gate CI on the recorded incremental-vs-full speedup",
@@ -1067,6 +1171,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _run_explain(args)
         if args.command == "runs":
             return _run_runs(args)
+        if args.command == "coverage":
+            return _run_coverage(args)
         if args.command == "profile":
             return _run_profile(args)
         if args.command == "tail":
@@ -1343,6 +1449,13 @@ def _run_runs(args: argparse.Namespace) -> int:
     if args.runs_command == "list":
         print(registry.render_list(tenant=args.tenant))
         return 0
+    if args.runs_command == "compact":
+        stats = registry.compact(args.keep)
+        print(
+            f"kept {stats['kept']} run(s), dropped {stats['dropped']} "
+            f"({registry.path})"
+        )
+        return 0
     if args.runs_command == "attribute":
         attribution = attribute_runs(
             registry.get(args.before), registry.get(args.after)
@@ -1366,6 +1479,37 @@ def _run_runs(args: argparse.Namespace) -> int:
     )
     print(diff.render())
     return 0 if diff.clean else 1
+
+
+def _coverage_matrix(registry: RunRegistry, reference: str) -> CoverageMatrix:
+    """The digest-verified coverage matrix of a recorded run."""
+    record = registry.get(reference)
+    if not record.coverage:
+        raise ReproError(
+            f"run {record.run_id} carries no coverage matrix (it was "
+            "recorded on the incremental fast path, or by a version "
+            "without coverage)"
+        )
+    try:
+        return CoverageMatrix.from_dict(record.coverage)
+    except ValueError as error:
+        raise ReproError(f"run {record.run_id}: {error}") from None
+
+
+def _run_coverage(args: argparse.Namespace) -> int:
+    registry = RunRegistry(args.runs_dir)
+    if args.coverage_command == "show":
+        print(_coverage_matrix(registry, args.run).render())
+        return 0
+    if args.coverage_command == "gaps":
+        print(_coverage_matrix(registry, args.run).render_gaps())
+        return 0
+    diff = diff_coverage(
+        _coverage_matrix(registry, args.before),
+        _coverage_matrix(registry, args.after),
+    )
+    print(diff.render())
+    return 1 if diff.regressed(args.threshold) else 0
 
 
 def _resolve_profile(reference: str, runs_dir: Path) -> Profile:
@@ -1968,6 +2112,19 @@ def _run_jobs(args: argparse.Namespace) -> int:
         return _run_jobs_status(args)
     if args.jobs_command == "list":
         return _run_jobs_list(args)
+    if args.jobs_command == "compact":
+        stats = compact_job_logs(
+            JobRegistry(args.jobs_dir),
+            AuditLog(args.jobs_dir),
+            keep_days=args.keep_days,
+        )
+        print(
+            f"collapsed {stats['stale_jobs']} terminal job(s): kept "
+            f"{stats['jobs_kept']} job line(s) (dropped "
+            f"{stats['jobs_dropped']}), kept {stats['audit_kept']} "
+            f"audit line(s) (dropped {stats['audit_dropped']})"
+        )
+        return 0
     return _run_jobs_tail(args)
 
 

@@ -21,6 +21,7 @@ from repro.adl.index import communication_index
 from repro.adl.structure import Architecture
 from repro.core.consistency import Inconsistency, InconsistencyKind
 from repro.errors import EvaluationError
+from repro.obs.coverage import constraint_label, current_coverage
 from repro.obs.provenance import IndexQuery, Provenance
 from repro.obs.recorder import current_recorder
 
@@ -264,9 +265,15 @@ def check_constraints(
 ) -> list[Inconsistency]:
     """Check every constraint; return all violations."""
     recorder = current_recorder()
+    coverage = current_coverage()
     findings: list[Inconsistency] = []
     for constraint in constraints:
-        findings.extend(constraint.check(architecture))
+        violations = constraint.check(architecture)
+        findings.extend(violations)
+        if coverage.enabled:
+            coverage.record_constraint(
+                constraint_label(constraint), bool(violations)
+            )
     if recorder.enabled:
         recorder.counter("constraints.checks").inc(len(constraints))
         # Attribution attribute on the enclosing evaluate.constraints

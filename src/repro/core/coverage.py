@@ -88,9 +88,14 @@ def compute_coverage(
 ) -> CoverageReport:
     """Compute what the scenario set exercises under the mapping."""
     usage = event_type_usage(scenario_set.scenarios)
+    # Route every lookup through the same supertype-following resolution
+    # the walkthrough uses (`resolution_for`), so an event type mapped
+    # only via a supertype hop counts as mapped here exactly when the
+    # walkthrough would place it.
     exercised: dict[str, None] = {}
     for event_type_name in usage:
-        for component in mapping.components_for(event_type_name):
+        components, _ = mapping.resolution_for(event_type_name)
+        for component in components:
             exercised.setdefault(mapping.top_level_component(component))
     untouched = tuple(
         component.name
@@ -110,7 +115,8 @@ def compute_coverage(
         for event in scenario.all_events():
             if isinstance(event, TypedEvent):
                 typed += 1
-                if mapping.is_mapped(event.type_name):
+                resolved, _ = mapping.resolution_for(event.type_name)
+                if resolved:
                     mapped += 1
             elif isinstance(event, SimpleEvent):
                 simple += 1

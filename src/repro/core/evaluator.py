@@ -53,6 +53,13 @@ from repro.core.mapping import Mapping
 from repro.core.negative import evaluate_negative_scenario
 from repro.core.walkthrough import WalkthroughEngine, WalkthroughOptions
 from repro.errors import EvaluationError
+from repro.obs.coverage import (
+    NULL_COVERAGE,
+    CoverageBuilder,
+    coverage_computed_event,
+    current_coverage,
+    use_coverage,
+)
 from repro.obs.events import (
     EvaluationFinished,
     EvaluationStarted,
@@ -223,17 +230,34 @@ class Sosae:
             )
         started = time.perf_counter()
         index_stats_before = self.index.stats()
+        # Coverage rides the same observed path: a fresh builder per
+        # evaluation, unless one is already installed (a shard worker's,
+        # or a deliberately disabled one from the overhead benchmark) —
+        # whoever installed it owns its finalization.
+        builder = (
+            CoverageBuilder()
+            if current_coverage() is NULL_COVERAGE
+            else None
+        )
         with recorder.span(
             "evaluate",
             architecture=self.architecture.name,
             scenario_set=self.scenario_set.name,
             scenarios=len(self.scenario_set.scenarios),
         ) as span:
-            report = self._evaluate(
-                scenario_names, include_dynamic, dynamic_scenarios
-            )
+            if builder is not None:
+                with use_coverage(builder):
+                    report = self._evaluate(
+                        scenario_names, include_dynamic, dynamic_scenarios
+                    )
+            else:
+                report = self._evaluate(
+                    scenario_names, include_dynamic, dynamic_scenarios
+                )
             span.set_attribute("consistent", report.consistent)
             span.set_attribute("findings", len(report.findings))
+        if builder is not None:
+            self._finish_coverage(builder, recorder, bus)
         if recorder.enabled:
             self._record_index_stats(recorder, index_stats_before)
             # Re-entrant accounting: one long-lived registry (the serve
@@ -375,6 +399,23 @@ class Sosae:
                 message=finding.message,
             )
         )
+
+    def _finish_coverage(self, builder: CoverageBuilder, recorder, bus) -> None:
+        """Finalize the run's coverage matrix: attach it to the live
+        recorder (``RunRegistry.record`` persists it from there) and
+        announce it on the event bus."""
+        matrix = builder.finalize(self.scenario_set, self.mapping)
+        if recorder.enabled:
+            recorder.coverage = matrix
+            recorder.gauge("coverage.component_ratio").set(
+                matrix.component_coverage
+            )
+            recorder.gauge("coverage.link_ratio").set(matrix.link_coverage)
+            recorder.gauge("coverage.event_type_ratio").set(
+                matrix.event_type_coverage
+            )
+        if bus.enabled:
+            bus.emit(coverage_computed_event(matrix))
 
     def _record_index_stats(self, recorder, before) -> None:
         """Accrue this evaluation's index-cache activity to the metrics

@@ -58,6 +58,7 @@ from repro.obs.events import (
     ScenarioStarted,
     current_event_bus,
 )
+from repro.obs.coverage import NULL_COVERAGE, current_coverage
 from repro.obs.recorder import current_recorder
 from repro.scenarioml.events import Event, SimpleEvent, TypedEvent
 from repro.scenarioml.scenario import Scenario, ScenarioSet, TraceOptions
@@ -242,6 +243,7 @@ class WalkthroughEngine:
         # costs a single attribute check per trace, not per event.
         recorder = current_recorder()
         enabled = recorder.enabled
+        coverage = current_coverage()
         steps: list[WalkthroughStep] = []
         findings: list[Inconsistency] = []
         previous_components: Optional[tuple[str, ...]] = None
@@ -261,7 +263,7 @@ class WalkthroughEngine:
                         step, step_findings, components = (
                             self._walk_typed_event(
                                 scenario, event, previous_components,
-                                index, position,
+                                index, position, coverage,
                             )
                         )
                         step_span.set_attribute("ok", step.ok)
@@ -273,7 +275,8 @@ class WalkthroughEngine:
                             fallbacks += 1
                 else:
                     step, step_findings, components = self._walk_typed_event(
-                        scenario, event, previous_components, index, position
+                        scenario, event, previous_components, index, position,
+                        coverage,
                     )
                 steps.append(step)
                 findings.extend(step_findings)
@@ -317,10 +320,12 @@ class WalkthroughEngine:
         previous_components: Optional[tuple[str, ...]],
         trace_index: int,
         event_index: int,
+        coverage=NULL_COVERAGE,
     ) -> tuple[WalkthroughStep, list[Inconsistency], tuple[str, ...]]:
         rendering = event.render(self.mapping.ontology)
         components, hops = self.mapping.resolution_for(event.type_name)
         if not components:
+            coverage.record_resolution(event.type_name, (), hops)
             resolution = MappingResolution(
                 event_type=event.type_name, hops=hops
             )
@@ -356,6 +361,7 @@ class WalkthroughEngine:
         tops = _unique(
             self.mapping.top_level_component(component) for component in components
         )
+        coverage.record_resolution(event.type_name, tops, hops)
         resolution = MappingResolution(
             event_type=event.type_name,
             hops=hops,
@@ -372,7 +378,11 @@ class WalkthroughEngine:
             # path, so path is None exactly when the step is unreachable —
             # and a passing step always carries the path that justifies it.
             path = self._best_inter_event_path(previous_components, tops)
-            if path is None:
+            if path is not None:
+                # The witness path crosses real links; coverage harvests
+                # each consecutive element pair as a link exercise.
+                coverage.record_path(path)
+            else:
                 ok = False
                 note = "no communication path from previous event's components"
                 findings.append(

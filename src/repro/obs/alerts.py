@@ -38,6 +38,23 @@ window before it, per :mod:`repro.obs.anomaly` — the same detector
 ``sosae runs bisect`` walks history with; ``threshold`` defaults to
 3.5 "sigmas", so drift fires without hand-tuned per-metric bounds).
 
+``mode = "coverage"`` rules watch the element-coverage matrix of the
+latest evaluation (see :mod:`repro.obs.coverage`): the metric names the
+``coverage.*`` scalar — ratios like ``component_ratio`` /
+``link_ratio`` / ``event_type_ratio`` (0..1), gap counts like
+``dead_mappings`` / ``untouched_components``, and — once a previous
+covered run exists in the registry — drift values like
+``newly_uncovered_links`` or ``component_drop``. The ``coverage.``
+prefix may be omitted in the rule file; it is normalized in. E.g.::
+
+    [[rules]]
+    name = "coverage-regression"
+    mode = "coverage"
+    metric = "newly_uncovered_links"  # -> coverage.newly_uncovered_links
+    op = ">"
+    threshold = 0
+    severity = "critical"
+
 A runs-source rule whose ``window`` the registry cannot fill yet is
 *not* silently skipped: its state reports ``insufficient-history``
 (visible in ``/alerts`` and ``serve --once --check`` output) until
@@ -87,7 +104,7 @@ _OPS = {
 }
 _SEVERITIES = ("info", "warning", "critical")
 _SOURCES = ("metric", "runs")
-_MODES = ("value", "delta", "regression-pct", "anomaly")
+_MODES = ("value", "delta", "regression-pct", "anomaly", "coverage")
 
 _RULE_KEYS = {
     "name", "metric", "op", "threshold", "severity", "for", "cooldown",
@@ -135,7 +152,20 @@ class AlertRule:
             raise ReproError(
                 f"alert rule {self.name!r} has unknown mode {self.mode!r}"
             )
-        if self.source == "metric" and self.mode != "value":
+        if self.mode == "coverage":
+            if self.source != "metric":
+                raise ReproError(
+                    f"alert rule {self.name!r}: mode 'coverage' reads "
+                    "the coverage scalars of the latest evaluation and "
+                    "needs source = 'metric'"
+                )
+            # Coverage rules address the coverage.* scalar namespace
+            # (see repro.obs.coverage.coverage_scalars); normalize once
+            # so the condition, /alerts state, and AlertFired events
+            # all show the full scalar name.
+            if not self.metric.startswith("coverage."):
+                object.__setattr__(self, "metric", f"coverage.{self.metric}")
+        elif self.source == "metric" and self.mode != "value":
             raise ReproError(
                 f"alert rule {self.name!r}: mode {self.mode!r} needs "
                 "source = 'runs'"

@@ -35,11 +35,12 @@ from __future__ import annotations
 
 import json
 import time
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Optional, Sequence, Union
 
 from repro.errors import ReproError
+from repro.obs.coverage import CoverageBuilder
 from repro.obs.events import TelemetryEvent, event_from_dict
 from repro.obs.export import spans_from_jsonl, spans_to_jsonl
 from repro.obs.metrics import MetricsRegistry
@@ -80,6 +81,7 @@ class WorkerPartial:
     metrics_state: dict               # MetricsRegistry.state_dict()
     events: tuple[dict, ...]          # TelemetryEvent.to_dict(), seq order
     profile_folded: str = ""          # Profile.to_folded(), "" when unprofiled
+    coverage_state: dict = field(default_factory=dict)  # CoverageBuilder.state_dict()
 
     def to_dict(self) -> dict:
         data = {
@@ -91,10 +93,12 @@ class WorkerPartial:
             "metrics_state": self.metrics_state,
             "events": list(self.events),
         }
-        # Optional key, like the from_dict defaults below: partials from
+        # Optional keys, like the from_dict defaults below: partials from
         # unprofiled workers (and pre-profiler readers) keep their shape.
         if self.profile_folded:
             data["profile_folded"] = self.profile_folded
+        if self.coverage_state:
+            data["coverage_state"] = self.coverage_state
         return data
 
     @classmethod
@@ -112,6 +116,7 @@ class WorkerPartial:
             metrics_state=data.get("metrics_state", {}),
             events=tuple(data.get("events", [])),
             profile_folded=data.get("profile_folded", ""),
+            coverage_state=data.get("coverage_state", {}),
         )
 
 
@@ -121,10 +126,11 @@ def snapshot_partial(
     recorder: Recorder,
     events: Sequence[TelemetryEvent] = (),
     profile: Optional[Profile] = None,
+    coverage: Optional[CoverageBuilder] = None,
 ) -> WorkerPartial:
     """Freeze a worker's live recorder (and optionally its bus's
-    buffered events and its sampled profile) into the serializable
-    partial the parent ingests."""
+    buffered events, its sampled profile, and its coverage builder)
+    into the serializable partial the parent ingests."""
     return WorkerPartial(
         shard=shard,
         trace_id=trace_id,
@@ -133,6 +139,7 @@ def snapshot_partial(
         metrics_state=recorder.metrics.state_dict(),
         events=tuple(event.to_dict() for event in events),
         profile_folded=profile.to_folded() if profile else "",
+        coverage_state=coverage.state_dict() if coverage else {},
     )
 
 
@@ -175,6 +182,13 @@ def partial_to_jsonl(partial: WorkerPartial) -> str:
                 sort_keys=True,
             )
         )
+    if partial.coverage_state:
+        lines.append(
+            json.dumps(
+                {"record": "coverage", "state": partial.coverage_state},
+                sort_keys=True,
+            )
+        )
     lines.append(
         json.dumps(
             {"record": "metrics", "state": partial.metrics_state},
@@ -191,6 +205,7 @@ def partial_from_jsonl(text: str) -> WorkerPartial:
     events: list[dict] = []
     metrics_state: dict = {}
     profile_folded = ""
+    coverage_state: dict = {}
     for line_number, line in enumerate(text.splitlines(), start=1):
         if not line.strip():
             continue
@@ -212,6 +227,8 @@ def partial_from_jsonl(text: str) -> WorkerPartial:
             metrics_state = record.get("state", {})
         elif kind == "profile":
             profile_folded = record.get("folded", "")
+        elif kind == "coverage":
+            coverage_state = record.get("state", {})
         else:
             raise ReproError(
                 f"telemetry partial line {line_number} has unknown record "
@@ -232,6 +249,7 @@ def partial_from_jsonl(text: str) -> WorkerPartial:
         metrics_state=metrics_state,
         events=tuple(events),
         profile_folded=profile_folded,
+        coverage_state=coverage_state,
     )
 
 
@@ -274,6 +292,10 @@ class MergedTelemetry:
     #: The folded sampling profiles of every profiled shard, merged in
     #: shard order; ``None`` when no partial carried one.
     profile: Optional[Profile] = None
+    #: The shards' coverage counts summed in shard order (commutative,
+    #: so arrival order cannot leak into it); ``{}`` when none carried
+    #: coverage. Feed into ``CoverageBuilder.ingest_state``.
+    coverage_state: dict = field(default_factory=dict)
 
     @property
     def roots(self) -> tuple[Span, ...]:
@@ -356,6 +378,7 @@ class TelemetryCollector:
         shards: list[ShardSummary] = []
         merged_events: list[TelemetryEvent] = []
         merged_profile: Optional[Profile] = None
+        merged_coverage: Optional[CoverageBuilder] = None
         for partial in ordered:
             roots = spans_from_jsonl(partial.spans_jsonl)
             shift = partial.anchor - anchor
@@ -380,6 +403,10 @@ class TelemetryCollector:
                     if merged_profile is None
                     else merged_profile.merge(shard_profile)
                 )
+            if partial.coverage_state:
+                if merged_coverage is None:
+                    merged_coverage = CoverageBuilder()
+                merged_coverage.ingest_state(partial.coverage_state)
             events = tuple(
                 event_from_dict(event) for event in partial.events
             )
@@ -403,5 +430,8 @@ class TelemetryCollector:
             events=restamped,
             shards=tuple(shards),
             profile=merged_profile,
+            coverage_state=(
+                merged_coverage.state_dict() if merged_coverage else {}
+            ),
         )
         return self._merged

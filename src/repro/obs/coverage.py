@@ -1,0 +1,728 @@
+"""Element-level coverage telemetry for an evaluation run.
+
+The paper motivates coverage directly (§3.2): requirements scenarios
+"are often quite numerous" and evaluation time is limited, so the
+evaluator must know whether the chosen scenario subset is representative
+of the ontology and architecture it judges. ``repro.core.coverage``
+answers that once, in prose; this module makes the answer a first-class
+telemetry signal, collected *during* the walkthrough from the actual
+mapping resolutions and witness paths:
+
+* **cells** — event-type × component exercise counts, one increment per
+  typed event per resolved top-level component (supertype hops
+  included, exactly as the walkthrough resolves them);
+* **link coverage** — every architecture link crossed by a walkthrough
+  witness path, harvested from consecutive path elements;
+* **constraint coverage** — per-constraint checked/fired counts;
+* **dead mappings** — direct mapping entries no scenario's resolution
+  ever answered from (mapped pairs the corpus never exercises).
+
+Collection follows the recorder discipline: instrumented code fetches
+the module-level current builder (:func:`current_coverage`) and calls
+``record_*`` on whatever it gets. The default :data:`NULL_COVERAGE`
+no-ops every call, so the hooks cost one attribute check while coverage
+is off. The finalized :class:`CoverageMatrix` has a canonical compact
+JSON serialization and a sha256 digest; per-shard builder states merge
+by commutative count addition, so ``--workers N`` output is
+byte-identical to single-process.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections import Counter
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from functools import cached_property, lru_cache
+from typing import TYPE_CHECKING, Iterable, Iterator, Optional, Union
+
+from repro.obs.events import CoverageComputed
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (obs <- core)
+    from repro.core.mapping import Mapping
+    from repro.scenarioml.scenario import ScenarioSet
+
+__all__ = [
+    "NULL_COVERAGE",
+    "CoverageBuilder",
+    "CoverageDiff",
+    "CoverageMatrix",
+    "NullCoverage",
+    "constraint_label",
+    "coverage_computed_event",
+    "coverage_scalars",
+    "current_coverage",
+    "diff_coverage",
+    "set_coverage",
+    "use_coverage",
+]
+
+COVERAGE_FORMAT = 1
+
+
+class NullCoverage:
+    """The zero-overhead default: every record operation is a no-op."""
+
+    enabled = False
+
+    def record_resolution(self, event_type, components, hops) -> None:
+        pass
+
+    def record_path(self, path) -> None:
+        pass
+
+    def record_constraint(self, label, fired) -> None:
+        pass
+
+    def __repr__(self) -> str:
+        return "NullCoverage()"
+
+
+NULL_COVERAGE = NullCoverage()
+
+_current: Union[NullCoverage, "CoverageBuilder"] = NULL_COVERAGE
+
+
+def current_coverage() -> Union[NullCoverage, "CoverageBuilder"]:
+    """The coverage builder instrumented code should report to."""
+    return _current
+
+
+def set_coverage(
+    builder: Union[NullCoverage, "CoverageBuilder"],
+) -> Union[NullCoverage, "CoverageBuilder"]:
+    """Install a builder; returns the previous one (for restoring)."""
+    global _current
+    previous = _current
+    _current = builder
+    return previous
+
+
+@contextmanager
+def use_coverage(
+    builder: Union[NullCoverage, "CoverageBuilder"],
+) -> Iterator[Union[NullCoverage, "CoverageBuilder"]]:
+    """Install a coverage builder for the duration of the ``with`` block."""
+    previous = set_coverage(builder)
+    try:
+        yield builder
+    finally:
+        set_coverage(previous)
+
+
+@lru_cache(maxsize=4096)
+def _path_pairs(path: tuple[str, ...]) -> tuple[tuple[str, str], ...]:
+    """A witness path's consecutive element pairs, each normalized to
+    sorted order. Cached module-wide: the same few hundred paths recur
+    across evaluations, so warm drains skip the zip-and-compare work."""
+    previous = path[0]
+    pairs = []
+    for element in path[1:]:
+        pairs.append(
+            (previous, element) if previous <= element
+            else (element, previous)
+        )
+        previous = element
+    return tuple(pairs)
+
+
+def constraint_label(constraint) -> str:
+    """Stable identity for a constraint in the coverage matrix."""
+    endpoints = constraint.dependencies() or ()
+    if endpoints:
+        return f"{type(constraint).__name__}({', '.join(endpoints)})"
+    return type(constraint).__name__
+
+
+class CoverageBuilder:
+    """Accumulates raw exercise counts during one evaluation (or one
+    shard of one). Pure counters: merging two builders' states is
+    element-wise addition, which is commutative — the property the
+    deterministic multi-shard merge rests on.
+
+    Construct with ``enabled=False`` to install a builder that keeps the
+    hooks live but discards nothing *and* records nothing — the
+    benchmark baseline for measuring collection overhead."""
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._cells: dict[str, dict[str, int]] = {}
+        self._event_types: dict[str, int] = {}
+        self._entries: dict[str, int] = {}
+        self._pairs: dict[tuple[str, str], int] = {}
+        self._constraints: dict[str, list[int]] = {}
+        self._resolutions = 0
+        self._supertype_resolutions = 0
+        self._unmapped_events = 0
+        # Hot-path buffers: hooks only bump a counter keyed by the call
+        # signature (scenarios repeat the same resolutions and witness
+        # paths over and over, so these stay tiny); ``_drain`` folds
+        # them into the aggregate counters before any read. Resolutions
+        # slot by event type — within one evaluation the mapping is
+        # fixed, so one type always resolves the same way; the equality
+        # guard folds eagerly if a reused builder ever sees otherwise.
+        self._raw_resolutions: dict[str, list] = {}
+        self._raw_paths: Counter = Counter()
+
+    # -- collection hooks (called from the walkthrough hot path) -------
+
+    def record_resolution(
+        self,
+        event_type: str,
+        components: tuple[str, ...],
+        hops: tuple[str, ...],
+    ) -> None:
+        """One typed event resolved: ``components`` are the top-level
+        components the walkthrough placed it on, ``hops`` the supertype
+        chain ``resolution_for`` walked (``hops[-1]`` is the answering
+        mapping entry when the resolution succeeded)."""
+        if not self.enabled:
+            return
+        slot = self._raw_resolutions.get(event_type)
+        if slot is None:
+            self._raw_resolutions[event_type] = [components, hops, 1]
+        elif slot[0] == components and slot[1] == hops:
+            slot[2] += 1
+        else:
+            self._fold_resolution(event_type, slot[0], slot[1], slot[2])
+            self._raw_resolutions[event_type] = [components, hops, 1]
+
+    def record_path(self, path: tuple[str, ...]) -> None:
+        """One witness path (elements interleaving components and
+        connectors); every consecutive pair crosses a link."""
+        if self.enabled and len(path) > 1:
+            self._raw_paths[path] += 1
+
+    def _fold_resolution(
+        self,
+        event_type: str,
+        components: tuple[str, ...],
+        hops: tuple[str, ...],
+        count: int,
+    ) -> None:
+        event_types = self._event_types
+        event_types[event_type] = event_types.get(event_type, 0) + count
+        if not components:
+            self._unmapped_events += count
+            return
+        self._resolutions += count
+        if len(hops) > 1:
+            self._supertype_resolutions += count
+        entries = self._entries
+        entry = hops[-1]
+        entries[entry] = entries.get(entry, 0) + count
+        cells = self._cells.get(event_type)
+        if cells is None:
+            cells = self._cells[event_type] = {}
+        for component in components:
+            cells[component] = cells.get(component, 0) + count
+
+    def _drain(self) -> None:
+        """Fold the hot-path buffers into the aggregate counters."""
+        for event_type, slot in self._raw_resolutions.items():
+            self._fold_resolution(event_type, slot[0], slot[1], slot[2])
+        self._raw_resolutions.clear()
+        pairs = self._pairs
+        for path, count in self._raw_paths.items():
+            for key in _path_pairs(path):
+                pairs[key] = pairs.get(key, 0) + count
+        self._raw_paths.clear()
+
+    def record_constraint(self, label: str, fired: bool) -> None:
+        """One constraint checked; ``fired`` when it produced findings."""
+        if not self.enabled:
+            return
+        counts = self._constraints.get(label)
+        if counts is None:
+            counts = self._constraints[label] = [0, 0]
+        counts[0] += 1
+        if fired:
+            counts[1] += 1
+
+    # -- shard merge ----------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """The raw counts, JSON-safe, for shipping across processes."""
+        self._drain()
+        return {
+            "cells": {
+                event_type: dict(sorted(counts.items()))
+                for event_type, counts in sorted(self._cells.items())
+            },
+            "event_types": dict(sorted(self._event_types.items())),
+            "entries": dict(sorted(self._entries.items())),
+            "pairs": sorted(
+                [first, second, count]
+                for (first, second), count in self._pairs.items()
+            ),
+            "constraints": {
+                label: list(counts)
+                for label, counts in sorted(self._constraints.items())
+            },
+            "resolutions": self._resolutions,
+            "supertype_resolutions": self._supertype_resolutions,
+            "unmapped_events": self._unmapped_events,
+        }
+
+    def ingest_state(self, state: dict) -> None:
+        """Add another builder's counts into this one (commutative)."""
+        if not state:
+            return
+        self._drain()
+        for event_type, counts in state.get("cells", {}).items():
+            cells = self._cells.get(event_type)
+            if cells is None:
+                cells = self._cells[event_type] = {}
+            for component, count in counts.items():
+                cells[component] = cells.get(component, 0) + count
+        event_types = self._event_types
+        for event_type, count in state.get("event_types", {}).items():
+            event_types[event_type] = event_types.get(event_type, 0) + count
+        entries = self._entries
+        for entry, count in state.get("entries", {}).items():
+            entries[entry] = entries.get(entry, 0) + count
+        pairs = self._pairs
+        for first, second, count in state.get("pairs", []):
+            key = (first, second)
+            pairs[key] = pairs.get(key, 0) + count
+        for label, (checked, fired) in state.get("constraints", {}).items():
+            counts = self._constraints.get(label)
+            if counts is None:
+                counts = self._constraints[label] = [0, 0]
+            counts[0] += checked
+            counts[1] += fired
+        self._resolutions += state.get("resolutions", 0)
+        self._supertype_resolutions += state.get("supertype_resolutions", 0)
+        self._unmapped_events += state.get("unmapped_events", 0)
+
+    # -- finalization ---------------------------------------------------
+
+    def finalize(
+        self, scenario_set: "ScenarioSet", mapping: "Mapping"
+    ) -> "CoverageMatrix":
+        """Close the books against the full element universe: the
+        ontology's concrete event types, the architecture's top-level
+        components and links, and the mapping's direct entries."""
+        self._drain()
+        architecture = mapping.architecture
+        exercised = {
+            component
+            for counts in self._cells.values()
+            for component in counts
+        }
+        untouched = tuple(
+            component.name
+            for component in architecture.components
+            if component.name not in exercised
+        )
+        unexercised = tuple(
+            event_type.name
+            for event_type in scenario_set.ontology.event_types
+            if not event_type.abstract
+            and event_type.name not in self._event_types
+        )
+        # One pass over the links builds a pair -> link-names index;
+        # probing it per witness pair beats re-scanning every link per
+        # pair (``links_between``) by the full O(pairs x links) factor.
+        links_by_pair: dict[tuple[str, str], list[str]] = {}
+        for link in architecture.links:
+            first = link.first.element
+            second = link.second.element
+            key = (first, second) if first <= second else (second, first)
+            links_by_pair.setdefault(key, []).append(link.name)
+        covered_links: dict[str, int] = {}
+        for pair, count in self._pairs.items():
+            for link_name in links_by_pair.get(pair, ()):
+                covered_links[link_name] = (
+                    covered_links.get(link_name, 0) + count
+                )
+        uncovered_links = tuple(
+            link.name
+            for link in architecture.links
+            if link.name not in covered_links
+        )
+        dead = {
+            event_type: tuple(components)
+            for event_type, components in sorted(mapping.entries.items())
+            if event_type not in self._entries
+        }
+        return CoverageMatrix(
+            cells={
+                event_type: dict(sorted(counts.items()))
+                for event_type, counts in sorted(self._cells.items())
+            },
+            event_type_counts=dict(sorted(self._event_types.items())),
+            unexercised_event_types=tuple(sorted(unexercised)),
+            exercised_components=tuple(sorted(exercised)),
+            untouched_components=tuple(sorted(untouched)),
+            covered_links=dict(sorted(covered_links.items())),
+            uncovered_links=tuple(sorted(uncovered_links)),
+            dead_mappings=dead,
+            constraints={
+                label: {"checked": counts[0], "fired": counts[1]}
+                for label, counts in sorted(self._constraints.items())
+            },
+            resolutions=self._resolutions,
+            supertype_resolutions=self._supertype_resolutions,
+            unmapped_events=self._unmapped_events,
+        )
+
+    def __repr__(self) -> str:
+        self._drain()
+        return (
+            f"CoverageBuilder(enabled={self.enabled}, "
+            f"resolutions={self._resolutions})"
+        )
+
+
+@dataclass(frozen=True)
+class CoverageMatrix:
+    """The finalized element-level coverage of one evaluation run.
+
+    Every collection is sorted, so two runs that exercised the same
+    elements the same number of times serialize to the same bytes
+    regardless of scenario order or shard arrival order. Coverage
+    ratios treat an empty universe as fully covered (a zero-link
+    architecture has 100% link coverage — there is nothing to miss)."""
+
+    cells: dict[str, dict[str, int]]
+    event_type_counts: dict[str, int]
+    unexercised_event_types: tuple[str, ...]
+    exercised_components: tuple[str, ...]
+    untouched_components: tuple[str, ...]
+    covered_links: dict[str, int]
+    uncovered_links: tuple[str, ...]
+    dead_mappings: dict[str, tuple[str, ...]]
+    constraints: dict[str, dict[str, int]]
+    resolutions: int = 0
+    supertype_resolutions: int = 0
+    unmapped_events: int = 0
+
+    @property
+    def component_coverage(self) -> float:
+        total = len(self.exercised_components) + len(self.untouched_components)
+        return len(self.exercised_components) / total if total else 1.0
+
+    @property
+    def link_coverage(self) -> float:
+        total = len(self.covered_links) + len(self.uncovered_links)
+        return len(self.covered_links) / total if total else 1.0
+
+    @property
+    def event_type_coverage(self) -> float:
+        # Concrete universe = exercised concrete types + unexercised ones.
+        exercised = len(self.event_type_counts)
+        total = exercised + len(self.unexercised_event_types)
+        return exercised / total if total else 1.0
+
+    def to_payload(self) -> dict:
+        """The canonical JSON-safe payload (digest input)."""
+        return {
+            "format": COVERAGE_FORMAT,
+            "cells": self.cells,
+            "event_type_counts": self.event_type_counts,
+            "unexercised_event_types": list(self.unexercised_event_types),
+            "exercised_components": list(self.exercised_components),
+            "untouched_components": list(self.untouched_components),
+            "covered_links": self.covered_links,
+            "uncovered_links": list(self.uncovered_links),
+            "dead_mappings": {
+                event_type: list(components)
+                for event_type, components in self.dead_mappings.items()
+            },
+            "constraints": self.constraints,
+            "resolutions": self.resolutions,
+            "supertype_resolutions": self.supertype_resolutions,
+            "unmapped_events": self.unmapped_events,
+        }
+
+    def canonical_json(self) -> str:
+        return json.dumps(
+            self.to_payload(), sort_keys=True, separators=(",", ":")
+        )
+
+    @cached_property
+    def digest(self) -> str:
+        # cached_property writes straight into __dict__, which a frozen
+        # dataclass permits; the matrix is immutable, so one hash per
+        # instance is correct and spares re-serializing on every read.
+        return hashlib.sha256(
+            self.canonical_json().encode("utf-8")
+        ).hexdigest()[:16]
+
+    def to_dict(self) -> dict:
+        return {**self.to_payload(), "digest": self.digest}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CoverageMatrix":
+        """Reconstruct; verifies the embedded digest when present."""
+        if data.get("format") != COVERAGE_FORMAT:
+            raise ValueError(
+                f"unsupported coverage format {data.get('format')!r} "
+                f"(expected {COVERAGE_FORMAT})"
+            )
+        matrix = cls(
+            cells={
+                event_type: dict(counts)
+                for event_type, counts in data.get("cells", {}).items()
+            },
+            event_type_counts=dict(data.get("event_type_counts", {})),
+            unexercised_event_types=tuple(
+                data.get("unexercised_event_types", ())
+            ),
+            exercised_components=tuple(data.get("exercised_components", ())),
+            untouched_components=tuple(data.get("untouched_components", ())),
+            covered_links=dict(data.get("covered_links", {})),
+            uncovered_links=tuple(data.get("uncovered_links", ())),
+            dead_mappings={
+                event_type: tuple(components)
+                for event_type, components in data.get(
+                    "dead_mappings", {}
+                ).items()
+            },
+            constraints={
+                label: dict(counts)
+                for label, counts in data.get("constraints", {}).items()
+            },
+            resolutions=data.get("resolutions", 0),
+            supertype_resolutions=data.get("supertype_resolutions", 0),
+            unmapped_events=data.get("unmapped_events", 0),
+        )
+        stored = data.get("digest")
+        if stored and stored != matrix.digest:
+            raise ValueError(
+                f"coverage matrix digest mismatch: stored {stored}, "
+                f"recomputed {matrix.digest}"
+            )
+        return matrix
+
+    def render(self) -> str:
+        """A human-readable coverage summary."""
+        exercised = len(self.exercised_components)
+        components = exercised + len(self.untouched_components)
+        covered = len(self.covered_links)
+        links = covered + len(self.uncovered_links)
+        used = len(self.event_type_counts)
+        event_types = used + len(self.unexercised_event_types)
+        lines = [
+            f"components: {exercised}/{components} exercised "
+            f"({self.component_coverage:.0%})",
+            f"links:      {covered}/{links} covered "
+            f"({self.link_coverage:.0%})",
+            f"event types: {used}/{event_types} exercised "
+            f"({self.event_type_coverage:.0%})",
+            f"resolutions: {self.resolutions} "
+            f"({self.supertype_resolutions} via supertype hop, "
+            f"{self.unmapped_events} unmapped events)",
+        ]
+        if self.dead_mappings:
+            lines.append(f"dead mapping entries: {len(self.dead_mappings)}")
+        if self.constraints:
+            fired = sum(
+                1 for counts in self.constraints.values() if counts["fired"]
+            )
+            lines.append(
+                f"constraints: {len(self.constraints)} checked, {fired} fired"
+            )
+        lines.append(f"digest: {self.digest}")
+        return "\n".join(lines)
+
+    def render_matrix(self) -> str:
+        """The cells, one ``event-type -> component xN`` line each."""
+        lines = []
+        for event_type, counts in self.cells.items():
+            placed = ", ".join(
+                f"{component}x{count}" for component, count in counts.items()
+            )
+            lines.append(f"{event_type}: {placed}")
+        return "\n".join(lines) if lines else "(no resolved events)"
+
+    def render_gaps(self) -> str:
+        """Everything the scenario corpus never exercised."""
+        sections = []
+        if self.untouched_components:
+            sections.append(
+                "untouched components:\n  "
+                + "\n  ".join(self.untouched_components)
+            )
+        if self.unexercised_event_types:
+            sections.append(
+                "unexercised event types:\n  "
+                + "\n  ".join(self.unexercised_event_types)
+            )
+        if self.uncovered_links:
+            sections.append(
+                "uncovered links:\n  " + "\n  ".join(self.uncovered_links)
+            )
+        if self.dead_mappings:
+            sections.append(
+                "dead mapping entries (mapped, never resolved):\n  "
+                + "\n  ".join(
+                    f"{event_type} -> {', '.join(components)}"
+                    for event_type, components in self.dead_mappings.items()
+                )
+            )
+        if not sections:
+            return "no gaps: every element is exercised"
+        return "\n".join(sections)
+
+
+@dataclass(frozen=True)
+class CoverageDiff:
+    """What a later run stopped covering relative to an earlier one."""
+
+    newly_untouched_components: tuple[str, ...]
+    newly_unexercised_event_types: tuple[str, ...]
+    newly_uncovered_links: tuple[str, ...]
+    new_dead_mappings: tuple[str, ...]
+    component_drop: float
+    link_drop: float
+    event_type_drop: float
+
+    @property
+    def worst_drop(self) -> float:
+        return max(
+            self.component_drop, self.link_drop, self.event_type_drop, 0.0
+        )
+
+    @property
+    def newly_uncovered(self) -> int:
+        return (
+            len(self.newly_untouched_components)
+            + len(self.newly_unexercised_event_types)
+            + len(self.newly_uncovered_links)
+        )
+
+    def regressed(self, threshold: float = 0.0) -> bool:
+        """Whether the later run's coverage fell past ``threshold``
+        (allowed ratio drop). At the default zero threshold, any newly
+        uncovered element counts as a regression."""
+        if self.worst_drop > threshold:
+            return True
+        return threshold <= 0.0 and self.newly_uncovered > 0
+
+    def render(self) -> str:
+        lines = [
+            f"component coverage drop:  {self.component_drop:+.1%}"
+            if self.component_drop
+            else "component coverage drop:  none",
+            f"link coverage drop:       {self.link_drop:+.1%}"
+            if self.link_drop
+            else "link coverage drop:       none",
+            f"event-type coverage drop: {self.event_type_drop:+.1%}"
+            if self.event_type_drop
+            else "event-type coverage drop: none",
+        ]
+        ranked = [
+            ("components newly untouched", self.newly_untouched_components),
+            (
+                "event types newly unexercised",
+                self.newly_unexercised_event_types,
+            ),
+            ("links newly uncovered", self.newly_uncovered_links),
+            ("mapping entries newly dead", self.new_dead_mappings),
+        ]
+        ranked.sort(key=lambda pair: -len(pair[1]))
+        for title, names in ranked:
+            if names:
+                lines.append(f"{title} ({len(names)}):")
+                lines.extend(f"  {name}" for name in names)
+        if not self.newly_uncovered and not self.new_dead_mappings:
+            lines.append("no newly uncovered elements")
+        return "\n".join(lines)
+
+
+def diff_coverage(
+    before: CoverageMatrix, after: CoverageMatrix
+) -> CoverageDiff:
+    """Coverage drift from ``before`` to ``after``: which elements the
+    later run stopped exercising, and by how much the ratios fell."""
+
+    def newly(earlier: Iterable[str], later: Iterable[str]) -> tuple[str, ...]:
+        earlier_set = set(earlier)
+        return tuple(name for name in later if name not in earlier_set)
+
+    return CoverageDiff(
+        newly_untouched_components=newly(
+            before.untouched_components, after.untouched_components
+        ),
+        newly_unexercised_event_types=newly(
+            before.unexercised_event_types, after.unexercised_event_types
+        ),
+        newly_uncovered_links=newly(
+            before.uncovered_links, after.uncovered_links
+        ),
+        new_dead_mappings=newly(before.dead_mappings, after.dead_mappings),
+        component_drop=before.component_coverage - after.component_coverage,
+        link_drop=before.link_coverage - after.link_coverage,
+        event_type_drop=(
+            before.event_type_coverage - after.event_type_coverage
+        ),
+    )
+
+
+def coverage_computed_event(matrix: CoverageMatrix) -> CoverageComputed:
+    """The bus announcement for a finalized matrix (``sosae tail``
+    renders its one-line component/link percentage summary)."""
+    return CoverageComputed(
+        components_exercised=len(matrix.exercised_components),
+        components_total=(
+            len(matrix.exercised_components)
+            + len(matrix.untouched_components)
+        ),
+        links_covered=len(matrix.covered_links),
+        links_total=len(matrix.covered_links) + len(matrix.uncovered_links),
+        event_types_used=len(matrix.event_type_counts),
+        event_types_total=(
+            len(matrix.event_type_counts)
+            + len(matrix.unexercised_event_types)
+        ),
+        dead_mappings=len(matrix.dead_mappings),
+        digest=matrix.digest,
+    )
+
+
+def coverage_scalars(
+    data: dict, previous: Optional[dict] = None
+) -> dict[str, float]:
+    """Flat ``coverage.*`` scalars from a persisted matrix dict — the
+    value universe ``mode="coverage"`` alert rules resolve against and
+    the source of the ``sosae_coverage_*`` gauge families.
+
+    With ``previous`` (the prior run's persisted matrix), drift scalars
+    (``coverage.newly_*``) are included so rules like "event type newly
+    unexercised" can fire on the transition itself."""
+    matrix = CoverageMatrix.from_dict(data)
+    scalars = {
+        "coverage.component_ratio": matrix.component_coverage,
+        "coverage.link_ratio": matrix.link_coverage,
+        "coverage.event_type_ratio": matrix.event_type_coverage,
+        "coverage.untouched_components": float(
+            len(matrix.untouched_components)
+        ),
+        "coverage.unexercised_event_types": float(
+            len(matrix.unexercised_event_types)
+        ),
+        "coverage.uncovered_links": float(len(matrix.uncovered_links)),
+        "coverage.dead_mappings": float(len(matrix.dead_mappings)),
+        "coverage.resolutions": float(matrix.resolutions),
+        "coverage.supertype_resolutions": float(
+            matrix.supertype_resolutions
+        ),
+        "coverage.unmapped_events": float(matrix.unmapped_events),
+    }
+    if previous:
+        drift = diff_coverage(CoverageMatrix.from_dict(previous), matrix)
+        scalars["coverage.newly_untouched_components"] = float(
+            len(drift.newly_untouched_components)
+        )
+        scalars["coverage.newly_unexercised_event_types"] = float(
+            len(drift.newly_unexercised_event_types)
+        )
+        scalars["coverage.newly_uncovered_links"] = float(
+            len(drift.newly_uncovered_links)
+        )
+        scalars["coverage.component_drop"] = drift.component_drop
+        scalars["coverage.link_drop"] = drift.link_drop
+    return scalars

@@ -29,6 +29,7 @@ from pathlib import Path
 from typing import Optional, Sequence, Union
 
 from repro.errors import ReproError
+from repro.obs.coverage import CoverageMatrix
 from repro.obs.events import TelemetryEvent, event_severity
 from repro.obs.export import spans_from_chrome_trace, spans_from_jsonl
 from repro.obs.profiler import (
@@ -767,6 +768,165 @@ def _render_trends(runs: Sequence[RunRecord]) -> str:
 
 
 # ----------------------------------------------------------------------
+# Element coverage (evaluate --record)
+# ----------------------------------------------------------------------
+
+
+def _heat_cell(count: int, peak: int) -> str:
+    if not count:
+        return '<td class="heat-cell heat-zero" title="never exercised"></td>'
+    # Alpha ramps with the cell's share of the hottest cell; the count
+    # itself is printed, so shading is never the only signal.
+    alpha = 0.15 + 0.75 * (count / peak)
+    return (
+        f'<td class="heat-cell" style="background: rgba(42, 120, 214, '
+        f'{alpha:.2f})" title="{count} resolution(s)">{count}</td>'
+    )
+
+
+def _coverage_matrices(
+    runs: Sequence[RunRecord],
+) -> list[tuple[RunRecord, CoverageMatrix]]:
+    matrices = []
+    for record in runs:
+        if not record.coverage:
+            continue
+        try:
+            matrices.append((record, CoverageMatrix.from_dict(record.coverage)))
+        except ValueError:
+            # A corrupt or foreign-format record degrades to "absent"
+            # rather than killing the whole dashboard.
+            continue
+    return matrices
+
+
+def _gap_panel(title: str, items: Sequence[str], note: str) -> str:
+    if not items:
+        return ""
+    rendered = "".join(f"<li><code>{escape(item)}</code></li>" for item in items)
+    return (
+        f'<div class="tile gap"><div class="tile-label">{escape(title)} '
+        f"({len(items)})</div>"
+        f'<div class="tile-note">{escape(note)}</div>'
+        f'<ul class="gap-list">{rendered}</ul></div>'
+    )
+
+
+def _render_coverage(runs: Sequence[RunRecord]) -> str:
+    covered = _coverage_matrices(runs)
+    if not covered:
+        return (
+            '<p class="empty">No coverage recorded — evaluations run '
+            "with --record carry an element-coverage matrix.</p>"
+        )
+    record, matrix = covered[-1]
+    components = sorted(
+        set(matrix.exercised_components) | set(matrix.untouched_components)
+    )
+    event_types = sorted(
+        set(matrix.cells) | set(matrix.unexercised_event_types)
+    )
+    tiles = [
+        _tile(
+            "Components",
+            f"{matrix.component_coverage:.0%}",
+            f"{len(matrix.untouched_components)} untouched",
+        ),
+        _tile(
+            "Links",
+            f"{matrix.link_coverage:.0%}",
+            f"{len(matrix.uncovered_links)} uncovered",
+        ),
+        _tile(
+            "Event types",
+            f"{matrix.event_type_coverage:.0%}",
+            f"{len(matrix.unexercised_event_types)} unexercised",
+        ),
+        _tile(
+            "Dead mappings",
+            _compact(len(matrix.dead_mappings)),
+            "entries no resolution used",
+        ),
+    ]
+    parts = [
+        f'<p class="section-note">latest covered run '
+        f"{escape(record.run_id)} — digest "
+        f"<code>{escape(matrix.digest)}</code></p>",
+        f'<div class="tiles">{"".join(tiles)}</div>',
+    ]
+    if components and event_types:
+        peak = max(
+            (
+                int(count)
+                for row in matrix.cells.values()
+                for count in row.values()
+            ),
+            default=1,
+        )
+        header = "".join(
+            f'<th class="heat-col"><span>{escape(name)}</span></th>'
+            for name in components
+        )
+        body_rows = []
+        for event_type in event_types:
+            row = matrix.cells.get(event_type, {})
+            cells = "".join(
+                _heat_cell(int(row.get(name, 0)), peak)
+                for name in components
+            )
+            body_rows.append(
+                f'<tr><th scope="row">{escape(event_type)}</th>{cells}</tr>'
+            )
+        parts.append(
+            '<div class="heat-wrap"><table class="heat">'
+            f"<thead><tr><th></th>{header}</tr></thead>"
+            f'<tbody>{"".join(body_rows)}</tbody></table></div>'
+        )
+    gaps = "".join(
+        (
+            _gap_panel(
+                "Untouched components",
+                matrix.untouched_components,
+                "no scenario event resolved here",
+            ),
+            _gap_panel(
+                "Unexercised event types",
+                matrix.unexercised_event_types,
+                "no scenario uses these concrete types",
+            ),
+            _gap_panel(
+                "Uncovered links",
+                matrix.uncovered_links,
+                "no walkthrough witness path crossed these",
+            ),
+            _gap_panel(
+                "Dead mappings",
+                matrix.dead_mappings,
+                "entries never answering a resolution",
+            ),
+        )
+    )
+    if gaps:
+        parts.append(f'<div class="tiles">{gaps}</div>')
+    else:
+        parts.append(
+            '<p class="section-note">No gaps: every component, link, '
+            "and concrete event type is exercised.</p>"
+        )
+    if len(covered) >= 2:
+        series = [m.component_coverage for _, m in covered]
+        first, last = covered[0][0].run_id, covered[-1][0].run_id
+        parts.append(
+            '<div class="tile trend">'
+            '<div class="tile-label">component coverage over runs</div>'
+            f'<div class="tile-value">{series[-1]:.0%}</div>'
+            f'<div class="tile-note">{escape(first)} … {escape(last)}'
+            f"</div>{_sparkline(series)}</div>"
+        )
+    return "".join(parts)
+
+
+# ----------------------------------------------------------------------
 # Tenant jobs (sosae serve --jobs)
 # ----------------------------------------------------------------------
 
@@ -1107,6 +1267,27 @@ section h2 {
 }
 .treemap-cell:hover { filter: brightness(1.15); }
 .treemap-cell .flame-label { line-height: 54px; }
+.heat-wrap { overflow-x: auto; margin: 8px 0; }
+table.heat { border-collapse: collapse; }
+table.heat th {
+  color: var(--ink-2); font-weight: 600; font-size: 12px;
+  padding: 2px 6px; text-align: left;
+}
+table.heat th.heat-col span {
+  writing-mode: vertical-rl; transform: rotate(180deg);
+  display: inline-block; max-height: 110px; overflow: hidden;
+}
+table.heat td.heat-cell {
+  min-width: 34px; height: 26px; text-align: center;
+  border: 1px solid var(--grid); color: var(--ink); font-size: 12px;
+  font-variant-numeric: tabular-nums;
+}
+table.heat td.heat-zero { background: var(--page); }
+.gap-list {
+  margin: 6px 0 0; padding-left: 18px; font-size: 12px;
+  color: var(--ink-2);
+}
+.tile.gap { max-width: 280px; }
 .spark { display: block; margin-top: 6px; }
 .spark-line {
   fill: none; stroke: var(--series); stroke-width: 2;
@@ -1233,6 +1414,14 @@ def build_dashboard(
             "Each recorded run is one point, oldest to newest "
             "(sparklines; expand a tile for the exact values).",
             _render_trends(runs),
+        ),
+        (
+            "Element coverage",
+            "Which ontology event types exercised which architecture "
+            "components in the latest covered run (cell = resolution "
+            "count), what stayed untouched, and which mapping entries "
+            "are dead.",
+            _render_coverage(runs),
         ),
         (
             "Tenant jobs",

@@ -56,6 +56,7 @@ __all__ = [
     "NULL_EVENT_BUS",
     "AlertFired",
     "AlertResolved",
+    "CoverageComputed",
     "EvaluationFinished",
     "EvaluationStarted",
     "EventBus",
@@ -426,6 +427,42 @@ class JobRejected(TelemetryEvent):
         return rendered
 
 
+@dataclass(frozen=True)
+class CoverageComputed(TelemetryEvent):
+    """An evaluation's element-level coverage matrix was finalized."""
+
+    kind: ClassVar[str] = "coverage-computed"
+
+    components_exercised: int = 0
+    components_total: int = 0
+    links_covered: int = 0
+    links_total: int = 0
+    event_types_used: int = 0
+    event_types_total: int = 0
+    dead_mappings: int = 0
+    digest: str = ""
+
+    def summary(self) -> str:
+        component_pct = (
+            self.components_exercised / self.components_total
+            if self.components_total
+            else 1.0
+        )
+        link_pct = (
+            self.links_covered / self.links_total if self.links_total else 1.0
+        )
+        rendered = (
+            f"coverage: components {self.components_exercised}/"
+            f"{self.components_total} ({component_pct:.0%}), links "
+            f"{self.links_covered}/{self.links_total} ({link_pct:.0%})"
+        )
+        if self.dead_mappings:
+            rendered += f", {self.dead_mappings} dead mapping(s)"
+        if self.digest:
+            rendered += f" [{self.digest}]"
+        return rendered
+
+
 def _compact(value: Optional[float]) -> str:
     return "-" if value is None else f"{value:g}"
 
@@ -447,6 +484,7 @@ EVENT_TYPES: tuple[type[TelemetryEvent], ...] = (
     JobStarted,
     JobFinished,
     JobRejected,
+    CoverageComputed,
 )
 
 _BY_KIND: dict[str, type[TelemetryEvent]] = {
@@ -779,6 +817,7 @@ _SEVERITY_BY_KIND = {
     SimMessageFate.kind: "debug",
     Heartbeat.kind: "debug",
     RunRecorded.kind: "info",
+    CoverageComputed.kind: "info",
     AlertResolved.kind: "info",
     JobSubmitted.kind: "info",
     JobStarted.kind: "info",

@@ -66,6 +66,7 @@ from repro.obs.promexp import (
     bounded_label_values,
 )
 from repro.obs.recorder import Recorder, use
+from repro.obs.runs import registry_lock
 from repro.obs.spans import SpanRecorder
 
 __all__ = [
@@ -77,6 +78,7 @@ __all__ = [
     "JobRecord",
     "JobRegistry",
     "build_bundle_sosae",
+    "compact_job_logs",
     "render_job_list",
     "spec_bundle_digest",
     "tenant_samples",
@@ -315,6 +317,75 @@ class JobRegistry:
             self._cache_stamp = stamp
             return self._cache
 
+    def compact(
+        self, keep_days: float, now: Optional[float] = None
+    ) -> tuple[frozenset, dict]:
+        """Retention pass: for every job that reached a terminal state
+        more than ``keep_days`` ago, drop its intermediate transition
+        lines and keep only the latest (the one ``load()`` uses anyway).
+        Non-terminal and recent jobs keep their full transition history.
+
+        Atomic (temp file + rename) and serve-safe: holds the same
+        cross-process :func:`~repro.obs.runs.registry_lock` appenders
+        hold, so a concurrent transition append cannot be lost.
+
+        Returns ``(stale_job_ids, stats)`` — the ids whose history was
+        collapsed (the audit log compacts the same set) and
+        kept/dropped line counts."""
+        if keep_days < 0:
+            raise ReproError(
+                f"jobs compact needs keep-days >= 0, got {keep_days}"
+            )
+        horizon = (time.time() if now is None else now) - keep_days * 86400.0
+        with registry_lock(self.root), self._lock:
+            rows: list[tuple[str, str]] = []  # (job_id, raw line)
+            latest_by_id: dict[str, JobRecord] = {}
+            last_index: dict[str, int] = {}
+            if self.path.exists():
+                text = self.path.read_text(encoding="utf-8")
+                for number, line in enumerate(text.splitlines(), start=1):
+                    if not line.strip():
+                        continue
+                    try:
+                        record = JobRecord.from_dict(json.loads(line))
+                    except (json.JSONDecodeError, KeyError) as error:
+                        raise ReproError(
+                            f"{self.path} line {number} is not a valid "
+                            f"job record: {error}"
+                        ) from None
+                    latest_by_id[record.job_id] = record
+                    last_index[record.job_id] = len(rows)
+                    rows.append((record.job_id, line))
+            stale: frozenset = frozenset()
+            dropped = 0
+            if rows:
+                stale = frozenset(
+                    job_id
+                    for job_id, record in latest_by_id.items()
+                    if record.terminal
+                    and record.finished_at
+                    and record.finished_at < horizon
+                )
+                kept_lines = [
+                    line
+                    for index, (job_id, line) in enumerate(rows)
+                    if job_id not in stale or index == last_index[job_id]
+                ]
+                dropped = len(rows) - len(kept_lines)
+                if dropped:
+                    staging = self.path.with_name(self.path.name + ".tmp")
+                    staging.write_text(
+                        "".join(line + "\n" for line in kept_lines),
+                        encoding="utf-8",
+                    )
+                    staging.replace(self.path)
+                self._cache = None
+                self._cache_stamp = None
+            return stale, {
+                "jobs_kept": len(rows) - dropped,
+                "jobs_dropped": dropped,
+            }
+
     def jobs(self, tenant: Optional[str] = None) -> tuple[JobRecord, ...]:
         records = self.load()
         if tenant is None:
@@ -375,6 +446,55 @@ class AuditLog:
             if line.strip():
                 rows.append(json.loads(line))
         return tuple(rows)
+
+    def compact(self, job_ids: frozenset) -> dict:
+        """Collapse the trail for ``job_ids`` to one line each (the
+        final transition). Entries for any other job survive verbatim.
+        Atomic via temp file + rename, under the same cross-process
+        lock appenders take."""
+        with registry_lock(self.root), self._lock:
+            if not self.path.exists() or not job_ids:
+                return {"audit_kept": len(self.entries()), "audit_dropped": 0}
+            rows: list[tuple[str, str]] = []  # (job_id, raw line)
+            last_index: dict[str, int] = {}
+            for line in self.path.read_text(encoding="utf-8").splitlines():
+                if not line.strip():
+                    continue
+                job_id = json.loads(line).get("job_id", "")
+                if job_id in job_ids:
+                    last_index[job_id] = len(rows)
+                rows.append((job_id, line))
+            kept = [
+                line
+                for index, (job_id, line) in enumerate(rows)
+                if job_id not in job_ids or index == last_index[job_id]
+            ]
+            dropped = len(rows) - len(kept)
+            if dropped:
+                staging = self.path.with_name(self.path.name + ".tmp")
+                staging.write_text(
+                    "".join(line + "\n" for line in kept),
+                    encoding="utf-8",
+                )
+                staging.replace(self.path)
+            return {"audit_kept": len(kept), "audit_dropped": dropped}
+
+
+def compact_job_logs(
+    registry: JobRegistry,
+    audit: AuditLog,
+    keep_days: float,
+    now: Optional[float] = None,
+) -> dict:
+    """Retention pass over both job stores: jobs whose latest record is
+    terminal and older than ``keep_days`` keep only their final
+    ``jobs.jsonl`` line and final audit entry. The two rewrites take
+    the shared file lock sequentially (never nested — flock on the same
+    sidecar self-deadlocks within one process)."""
+    stale, stats = registry.compact(keep_days, now=now)
+    stats.update(audit.compact(stale))
+    stats["stale_jobs"] = len(stale)
+    return stats
 
 
 # ----------------------------------------------------------------------
@@ -600,8 +720,6 @@ class JobManager:
                 stats["queued"] += 1
                 self._records[job_id] = record
                 self._bundles[job_id] = bundle
-                self._pending.append(job_id)
-                self._cond.notify_all()
         self.registry.append(record)
         self.audit.append(
             timestamp=now,
@@ -632,6 +750,13 @@ class JobManager:
                     )
                 )
         if not reason:
+            # Enqueue only after the 'queued' registry and audit lines
+            # are persisted: an executor may claim the job the instant
+            # it is visible, and its 'queued->running' line must never
+            # beat the submission's own.
+            with self._cond:
+                self._pending.append(job_id)
+                self._cond.notify_all()
             self.start()
         return record
 

@@ -27,11 +27,18 @@ from __future__ import annotations
 
 import hashlib
 import json
+import re
 import subprocess
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Optional, Sequence, Union
+from typing import Iterator, Optional, Sequence, Union
+
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None  # type: ignore[assignment]
 
 from repro.errors import ReproError
 from repro.obs.anomaly import DEFAULT_ANOMALY_THRESHOLD, detect_step
@@ -54,6 +61,7 @@ __all__ = [
     "current_git_sha",
     "diff_runs",
     "record_metric_value",
+    "registry_lock",
     "scenario_costs",
     "stage_summary",
 ]
@@ -62,6 +70,28 @@ DEFAULT_RUNS_DIR = ".repro-runs"
 _RUNS_FILE = "runs.jsonl"
 _PROFILES_DIR = "profiles"
 _FORMAT_VERSION = 1
+
+
+@contextmanager
+def registry_lock(root: Union[str, Path]) -> Iterator[None]:
+    """An exclusive cross-process lock on a registry directory.
+
+    Appenders (a serve daemon recording runs, job executors persisting
+    transitions) and compactors (``sosae runs/jobs compact``) both take
+    it, so a compaction's read-rewrite-rename cannot interleave with a
+    concurrent append and drop the appended line. Advisory ``flock`` on
+    a sidecar ``.lock`` file; a no-op where ``fcntl`` is unavailable."""
+    root = Path(root)
+    root.mkdir(parents=True, exist_ok=True)
+    handle = (root / ".lock").open("a+", encoding="utf-8")
+    try:
+        if fcntl is not None:
+            fcntl.flock(handle, fcntl.LOCK_EX)
+        yield
+    finally:
+        if fcntl is not None:
+            fcntl.flock(handle, fcntl.LOCK_UN)
+        handle.close()
 
 
 def current_git_sha(cwd: Optional[Path] = None) -> Optional[str]:
@@ -152,6 +182,26 @@ def scenario_costs(roots: Sequence[Span]) -> dict[str, dict]:
     return costs
 
 
+_RUN_ID_RE = re.compile(r"^r(\d+)$")
+
+
+def _next_run_number(records: Sequence["RunRecord"]) -> int:
+    """One past the highest numeric run id (compaction-safe: survives
+    records being dropped from the front of the file)."""
+    highest = 0
+    for record in records:
+        match = _RUN_ID_RE.match(record.run_id)
+        if match:
+            highest = max(highest, int(match.group(1)))
+    return highest + 1
+
+
+def _recorder_coverage(recorder) -> dict:
+    """The serialized coverage matrix a recorder carries, if any."""
+    matrix = getattr(recorder, "coverage", None)
+    return matrix.to_dict() if matrix is not None else {}
+
+
 def _report_digest(report) -> str:
     """A stable digest of a report's JSON form (ignores key order)."""
     # Imported lazily: repro.core imports repro.obs, not the reverse.
@@ -181,6 +231,7 @@ class RunRecord:
     profile: dict = field(default_factory=dict)   # digest/samples/hz pointer
     tenant: str = ""                              # job-API tenant, or ""
     job_id: str = ""                              # job-API job id, or ""
+    coverage: dict = field(default_factory=dict)  # CoverageMatrix.to_dict()
 
     def to_dict(self) -> dict:
         return {
@@ -201,6 +252,7 @@ class RunRecord:
             "profile": self.profile,
             "tenant": self.tenant,
             "job_id": self.job_id,
+            "coverage": self.coverage,
         }
 
     @classmethod
@@ -234,6 +286,11 @@ class RunRecord:
             # records simply carry empty scoping.
             tenant=data.get("tenant", ""),
             job_id=data.get("job_id", ""),
+            # Optional since the coverage-telemetry PR: the run's
+            # digest-verified element-level coverage matrix; runs
+            # evaluated without a recorder (or on the incremental fast
+            # path, which re-walks only dirty scenarios) carry none.
+            coverage=data.get("coverage", {}),
         )
 
 
@@ -300,15 +357,10 @@ class RunRegistry:
         digest pointer, keeping ``runs.jsonl`` lines small.
         """
         roots = tuple(recorder.roots)
-        if (
-            self._cache is not None
-            and self._fingerprint() == self._cache_stamp
-        ):
-            existing = len(self._cache)
-        else:
-            self._cache = None
-            existing = len(self._read_lines())
-        run_id = f"r{existing + 1:04d}"
+        # Next id = highest existing numeric id + 1, NOT line count:
+        # after `runs compact` the file holds fewer lines than the
+        # highest id, and counting would mint colliding ids.
+        run_id = f"r{_next_run_number(self._load_all()):04d}"
         profile_pointer: dict = {}
         if profile is not None:
             folded = profile.to_folded()
@@ -341,10 +393,17 @@ class RunRegistry:
             profile=profile_pointer,
             tenant=tenant,
             job_id=job_id,
+            # The evaluation pipeline attaches its finalized
+            # CoverageMatrix to the live recorder; runs evaluated
+            # without one (incremental fast path) carry none.
+            coverage=_recorder_coverage(recorder),
         )
         self.root.mkdir(parents=True, exist_ok=True)
-        with self.path.open("a", encoding="utf-8") as handle:
-            handle.write(json.dumps(record.to_dict(), sort_keys=True) + "\n")
+        with registry_lock(self.root):
+            with self.path.open("a", encoding="utf-8") as handle:
+                handle.write(
+                    json.dumps(record.to_dict(), sort_keys=True) + "\n"
+                )
         if self._cache is not None:
             self._cache = self._cache + (record,)
             self._cache_stamp = self._fingerprint()
@@ -359,6 +418,46 @@ class RunRegistry:
                 )
             )
         return record
+
+    # ------------------------------------------------------------------
+    # Retention
+    # ------------------------------------------------------------------
+
+    def compact(self, keep: int) -> dict:
+        """Rewrite ``runs.jsonl`` keeping only the newest ``keep``
+        records. Atomic (temp file + rename) and serve-safe (the same
+        :func:`registry_lock` appenders hold); profile artifacts of
+        dropped runs are deleted. Run ids are never reused —
+        :meth:`record` derives the next id from the highest surviving
+        id, not the line count."""
+        if keep < 1:
+            raise ReproError(f"runs compact needs keep >= 1, got {keep}")
+        with registry_lock(self.root):
+            # Re-read under the lock: another process may have appended
+            # since our cache was stamped.
+            self._cache = None
+            records = self._load_all()
+            dropped = records[:-keep] if len(records) > keep else ()
+            kept = records[-keep:] if len(records) > keep else records
+            if dropped:
+                staging = self.path.with_name(self.path.name + ".tmp")
+                staging.write_text(
+                    "".join(
+                        json.dumps(record.to_dict(), sort_keys=True) + "\n"
+                        for record in kept
+                    ),
+                    encoding="utf-8",
+                )
+                staging.replace(self.path)
+                for record in dropped:
+                    if record.profile:
+                        try:
+                            self.profile_path(record.run_id).unlink()
+                        except OSError:
+                            pass
+            self._cache = tuple(kept)
+            self._cache_stamp = self._fingerprint()
+        return {"kept": len(kept), "dropped": len(dropped)}
 
     # ------------------------------------------------------------------
     # Reading

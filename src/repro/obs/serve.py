@@ -74,6 +74,7 @@ from urllib.request import urlopen
 
 from repro.errors import ReproError
 from repro.obs.alerts import AlertEngine, AlertRule, scalar_values
+from repro.obs.coverage import coverage_scalars
 from repro.obs.events import (
     AlertFired,
     AlertResolved,
@@ -97,6 +98,7 @@ from repro.obs.promexp import (
     CONTENT_TYPE,
     DEFAULT_LABEL_TOP_K,
     PromSample,
+    bounded_label_values,
     render_prometheus,
 )
 from repro.obs.recorder import Recorder, use
@@ -113,6 +115,7 @@ __all__ = [
     "RunOutcome",
     "ServeDaemon",
     "SpecWatcher",
+    "coverage_samples",
     "iter_sse_events",
     "read_sse_events",
 ]
@@ -120,6 +123,82 @@ __all__ = [
 _LOG = get_logger("obs.serve")
 
 _SEVERITIES = ("info", "warning", "critical")
+
+_COVERAGE_RATIO_HELP = {
+    "coverage.component_ratio": "Fraction of architecture components "
+    "exercised by the latest evaluation's mapping resolutions.",
+    "coverage.link_ratio": "Fraction of architecture links crossed by "
+    "walkthrough witness paths.",
+    "coverage.event_type_ratio": "Fraction of concrete ontology event "
+    "types exercised by scenarios.",
+}
+_COVERAGE_COUNT_HELP = {
+    "coverage.untouched_components": "Components no scenario event "
+    "resolved to in the latest evaluation.",
+    "coverage.unexercised_event_types": "Concrete event types no "
+    "scenario used in the latest evaluation.",
+    "coverage.uncovered_links": "Architecture links no witness path "
+    "crossed in the latest evaluation.",
+    "coverage.dead_mappings": "Mapping entries no resolution was "
+    "answered from in the latest evaluation.",
+    "coverage.resolutions": "Successful event-to-component resolutions "
+    "in the latest evaluation.",
+    "coverage.supertype_resolutions": "Resolutions answered via a "
+    "supertype hop in the latest evaluation.",
+    "coverage.unmapped_events": "Typed events with no mapping "
+    "resolution in the latest evaluation.",
+}
+
+
+def coverage_samples(
+    coverage: dict,
+    tenant_coverage: Optional[dict] = None,
+    top: int = DEFAULT_LABEL_TOP_K,
+) -> list[PromSample]:
+    """``sosae_coverage_*`` gauges from a persisted coverage matrix
+    dict, plus per-tenant ratio series from each tenant's latest
+    covered run — the tenant dimension bounded to the ``top`` heaviest
+    tenants (ranked by resolution volume) with the rest aggregated
+    under ``other`` as the *worst* (minimum) ratio, since a coverage
+    floor is the operationally meaningful rollup."""
+    samples: list[PromSample] = []
+    if coverage:
+        scalars = coverage_scalars(coverage)
+        for name in sorted(scalars):
+            help_text = _COVERAGE_RATIO_HELP.get(
+                name
+            ) or _COVERAGE_COUNT_HELP.get(name, "")
+            samples.append(PromSample(name, scalars[name], help=help_text))
+    if tenant_coverage:
+        per_tenant = {
+            tenant: coverage_scalars(data)
+            for tenant, data in tenant_coverage.items()
+        }
+        mapping = bounded_label_values(
+            {
+                tenant: scalars.get("coverage.resolutions", 0.0)
+                for tenant, scalars in per_tenant.items()
+            },
+            top=top,
+        )
+        merged: dict[str, dict[str, float]] = {}
+        for tenant in sorted(per_tenant):
+            label = mapping[tenant]
+            bucket = merged.setdefault(label, {})
+            for name in _COVERAGE_RATIO_HELP:
+                value = per_tenant[tenant][name]
+                bucket[name] = min(bucket.get(name, 1.0), value)
+        for label in sorted(merged):
+            for name in sorted(merged[label]):
+                samples.append(
+                    PromSample(
+                        name,
+                        merged[label][name],
+                        labels={"tenant": label},
+                        help=_COVERAGE_RATIO_HELP[name],
+                    )
+                )
+    return samples
 
 
 class SpecWatcher:
@@ -205,6 +284,7 @@ class _ServeState:
     stages: dict = field(default_factory=dict)
     alerts: list = field(default_factory=list)
     shard_stats: tuple = ()
+    coverage: dict = field(default_factory=dict)
 
 
 class ServeDaemon:
@@ -460,6 +540,25 @@ class ServeDaemon:
                         stats["wall_seconds"]
                     )
             history = self.registry.load() if self.registry is not None else ()
+            # Coverage scalars for mode="coverage" rules. The drift
+            # scalars compare against the latest *earlier* run that
+            # carries a matrix (incremental fast-path runs don't), so a
+            # "newly uncovered" rule fires on the transition itself.
+            matrix = getattr(recorder, "coverage", None)
+            coverage_data = matrix.to_dict() if matrix is not None else {}
+            if coverage_data:
+                previous_coverage = None
+                for past in reversed(history):
+                    if record is not None and past.run_id == record.run_id:
+                        continue
+                    if past.coverage:
+                        previous_coverage = past.coverage
+                        break
+                values.update(
+                    coverage_scalars(
+                        coverage_data, previous=previous_coverage
+                    )
+                )
             transitions = self.engine.evaluate(
                 values, history, now=self._clock()
             )
@@ -479,6 +578,7 @@ class ServeDaemon:
             state.metrics_snapshot = snapshot
             state.stages = stage_summary(recorder.roots)
             state.alerts = self.engine.to_dict()
+            state.coverage = coverage_data
             state.shard_stats = (
                 tuple(self._batch.last_shard_stats)
                 if self._batch is not None and not used_incremental
@@ -705,6 +805,7 @@ class ServeDaemon:
         with self._lock:
             state = self._state
             snapshot = state.metrics_snapshot
+            coverage = state.coverage
             active = [entry for entry in state.alerts if entry["active"]]
             extras = [
                 PromSample(
@@ -836,6 +937,24 @@ class ServeDaemon:
                     self.jobs.tenant_stats(), top=self.tenant_label_top
                 )
             )
+        # Each tenant's latest covered run feeds a tenant-labeled ratio
+        # series (registry loads are fingerprint-cached, so this is a
+        # dict walk, not an I/O pass, between runs).
+        tenant_coverage: dict[str, dict] = {}
+        if self.registry is not None:
+            for past in self.registry.load():
+                if past.tenant and past.coverage:
+                    tenant_coverage[past.tenant] = past.coverage
+        # The ratio gauges _finish_coverage records already live in the
+        # metrics snapshot; keep only the samples that add a series
+        # (labeled tenant lines, and scalars with no gauge twin).
+        extras.extend(
+            sample
+            for sample in coverage_samples(
+                coverage, tenant_coverage, top=self.tenant_label_top
+            )
+            if sample.labels or sample.name not in snapshot
+        )
         return render_prometheus(snapshot, extras)
 
     def health(self) -> dict:

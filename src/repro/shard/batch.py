@@ -50,6 +50,12 @@ from repro.core.evaluator import Sosae
 from repro.errors import EvaluationError
 from repro.obs.collector import MergedTelemetry, TelemetryCollector
 from repro.obs.context import TraceContext, new_trace_id
+from repro.obs.coverage import (
+    NULL_COVERAGE,
+    CoverageBuilder,
+    current_coverage,
+    use_coverage,
+)
 from repro.obs.events import EvaluationFinished, EvaluationStarted, current_event_bus
 from repro.obs.profiler import current_profiler
 from repro.obs.recorder import current_recorder
@@ -150,6 +156,15 @@ class BatchEvaluator:
                 )
             )
         started = time.perf_counter()
+        # Same ownership rule as Sosae.evaluate: the parent's builder
+        # collects the whole-artifact stages, the workers' builders
+        # collect the sharded walkthrough, and the merged shard state is
+        # summed back into the parent's before finalization.
+        builder = (
+            CoverageBuilder()
+            if current_coverage() is NULL_COVERAGE
+            else None
+        )
         with recorder.span(
             "evaluate",
             architecture=sosae.architecture.name,
@@ -157,9 +172,17 @@ class BatchEvaluator:
             scenarios=len(sosae.scenario_set.scenarios),
             workers=self.workers,
         ) as span:
-            report = self._evaluate(sosae, scenario_names, recorder, bus)
+            if builder is not None:
+                with use_coverage(builder):
+                    report = self._evaluate(
+                        sosae, scenario_names, recorder, bus
+                    )
+            else:
+                report = self._evaluate(sosae, scenario_names, recorder, bus)
             span.set_attribute("consistent", report.consistent)
             span.set_attribute("findings", len(report.findings))
+        if builder is not None:
+            sosae._finish_coverage(builder, recorder, bus)
         if recorder.enabled:
             recorder.counter("evaluate.runs").inc()
             recorder.histogram("evaluate.wall_seconds").observe(
@@ -288,6 +311,9 @@ class BatchEvaluator:
             self.last_telemetry = merged
             if profiler.enabled and merged.profile is not None:
                 profiler.ingest(merged.profile)
+            coverage = current_coverage()
+            if coverage.enabled and merged.coverage_state:
+                coverage.ingest_state(merged.coverage_state)
             self.last_shard_stats = tuple(
                 ShardStats(
                     shard=summary.shard,

@@ -31,6 +31,7 @@ from repro.core.walkthrough import WalkthroughEngine, WalkthroughOptions
 from repro.errors import ReproError
 from repro.obs.collector import snapshot_partial
 from repro.obs.context import TraceContext
+from repro.obs.coverage import CoverageBuilder, use_coverage
 from repro.obs.events import EventBus, use_events
 from repro.obs.profiler import SamplingProfiler
 from repro.obs.recorder import Recorder, use
@@ -104,7 +105,12 @@ def run_shard(task: ShardTask) -> dict:
         if task.profile_hz
         else None
     )
-    with use(recorder), use_events(bus):
+    # Each shard accumulates its own coverage counts; the raw state
+    # rides home in the partial and the parent sums all shards (the
+    # parent finalizes against the full element universe, so merged
+    # coverage is byte-identical to a single-process run).
+    coverage = CoverageBuilder()
+    with use(recorder), use_events(bus), use_coverage(coverage):
         with recorder.span(
             "shard", shard=task.shard, scenarios=len(task.scenarios)
         ), engine.index.pinned():
@@ -135,6 +141,7 @@ def run_shard(task: ShardTask) -> dict:
         recorder=recorder,
         events=bus.events(),
         profile=profile,
+        coverage=coverage,
     )
     return {
         "shard": task.shard,

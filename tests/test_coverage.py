@@ -52,6 +52,26 @@ class TestCoverage:
         assert drop.simple_events == 1
         assert drop.mappable_ratio == 0.5
 
+    def test_subtype_only_mapped_event_counts_as_mapped(
+        self, small_scenarios, chain_mapping
+    ):
+        """Regression: an event type mapped only via a supertype hop
+        must count as mapped/exercised, exactly as the walkthrough's
+        ``resolution_for`` would place it."""
+        mapping = Mapping(
+            chain_mapping.ontology, chain_mapping.architecture
+        )
+        # Map ONLY the abstract supertype; create/destroy resolve
+        # through the hierarchy, never from a direct entry.
+        mapping.map_event("act", "logic")
+        mapping.map_event("notify", "ui")
+        report = compute_coverage(small_scenarios, mapping)
+        assert "logic" in report.exercised_components
+        by_name = {s.scenario: s for s in report.scenarios}
+        make = by_name["make-widget"]
+        assert make.mapped_events == make.typed_events
+        assert make.mappable_ratio == 1.0
+
     def test_render_mentions_key_facts(self, small_scenarios, chain_mapping):
         rendered = compute_coverage(small_scenarios, chain_mapping).render()
         assert "component coverage: 3/3" in rendered

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import json
 import threading
+import time
 import urllib.error
 import urllib.request
 
@@ -309,6 +310,35 @@ class TestThreadedExecution:
             assert stats["beta"]["done"] == 1
         finally:
             manager.close()
+
+    def test_audit_order_survives_a_slow_queued_append(
+        self, tmp_path, bundle
+    ):
+        """Regression: the executor must not see a job before its
+        'queued' registry/audit lines are persisted — a stalled append
+        once let 'queued->running' land first in audit.jsonl."""
+        audit = AuditLog(tmp_path)
+        original = audit.append
+
+        def slow_append(**entry):
+            if entry.get("transition") == "queued":
+                time.sleep(0.1)
+            return original(**entry)
+
+        audit.append = slow_append
+        manager = JobManager(
+            registry=JobRegistry(tmp_path),
+            audit=audit,
+            run_registry=RunRegistry(tmp_path),
+            executors=1,
+        )
+        try:
+            record = manager.submit(bundle, "acme")
+            assert manager.wait(record.job_id, timeout=30.0).state == "done"
+        finally:
+            manager.close()
+        trail = [entry["transition"] for entry in audit.entries()]
+        assert trail == ["queued", "queued->running", "running->done"]
 
 
 class TestTenantSamples:

@@ -14,6 +14,7 @@ from repro.obs import (
     NULL_EVENT_BUS,
     AlertFired,
     AlertResolved,
+    CoverageComputed,
     EvaluationFinished,
     EvaluationStarted,
     EventBus,
@@ -119,6 +120,16 @@ def _sample(cls):
             tenant="acme",
             reason="quota",
             detail="2 jobs already in flight",
+        ),
+        CoverageComputed: CoverageComputed(
+            components_exercised=3,
+            components_total=4,
+            links_covered=2,
+            links_total=4,
+            event_types_used=2,
+            event_types_total=3,
+            dead_mappings=1,
+            digest="ab12cd34ef567890",
         ),
     }
     return samples[cls]
